@@ -1,0 +1,45 @@
+//! Criterion benchmarks for the dual-annealing engine (the Fig. 12
+//! annealing stage).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qanneal::{minimize_discrete, AnnealConfig};
+
+fn quadratic(idx: &[usize]) -> f64 {
+    idx.iter()
+        .enumerate()
+        .map(|(d, &i)| (i as f64 - (d % 7) as f64).powi(2))
+        .sum()
+}
+
+fn bench_dimensionality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dual_annealing");
+    for dims in [4usize, 16, 64] {
+        let arity = vec![12usize; dims];
+        let cfg = AnnealConfig {
+            max_evals: 2000,
+            ..AnnealConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("blocks", dims), &arity, |b, arity| {
+            b.iter(|| minimize_discrete(&quadratic, arity, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eval_budgets(c: &mut Criterion) {
+    let arity = vec![12usize; 16];
+    let mut group = c.benchmark_group("anneal_budget");
+    for evals in [500usize, 2000, 8000] {
+        let cfg = AnnealConfig {
+            max_evals: evals,
+            ..AnnealConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("evals", evals), &cfg, |b, cfg| {
+            b.iter(|| minimize_discrete(&quadratic, &arity, cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dimensionality, bench_eval_budgets);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmarks for the scan partitioner (the Fig. 12 partitioning
+//! stage, dominant for TFIM-structured circuits in the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpartition::scan_partition;
+
+fn bench_partition_widths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_partition");
+    for n in [8usize, 16, 32] {
+        let circ = qbench::spin::tfim(n, 10, 0.1);
+        group.bench_with_input(
+            BenchmarkId::new("tfim_steps10", n),
+            &circ,
+            |b, circ| b.iter(|| scan_partition(circ, 4)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_block_sizes(c: &mut Criterion) {
+    let circ = qbench::spin::heisenberg(16, 5, 0.1);
+    let mut group = c.benchmark_group("partition_block_size");
+    for k in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            b.iter(|| scan_partition(&circ, k))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reassembly(c: &mut Criterion) {
+    let circ = qbench::spin::xy(12, 6, 0.1);
+    let parts = scan_partition(&circ, 4);
+    c.bench_function("reassemble_xy12", |b| b.iter(|| parts.reassemble()));
+}
+
+criterion_group!(benches, bench_partition_widths, bench_block_sizes, bench_reassembly);
+criterion_main!(benches);

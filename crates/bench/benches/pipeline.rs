@@ -1,0 +1,50 @@
+//! Criterion benchmark of the end-to-end QUEST pipeline at test scale,
+//! including the block-cache speedup for repeated compilations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcircuit::Circuit;
+use quest::{BlockCache, Quest, QuestConfig};
+
+fn tiny_circuit() -> Circuit {
+    let mut c = Circuit::new(3);
+    c.h(0);
+    for _ in 0..2 {
+        c.cnot(0, 1).rz(1, 0.2).cnot(0, 1);
+        c.cnot(1, 2).rz(2, 0.2).cnot(1, 2);
+    }
+    c
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let circuit = tiny_circuit();
+    let quest = Quest::new(QuestConfig::fast().with_seed(1));
+    let mut group = c.benchmark_group("quest_pipeline");
+    group.sample_size(10);
+    group.bench_function("compile_cold", |b| b.iter(|| quest.compile(&circuit)));
+    // Warm cache: after the first iteration every block is a hit.
+    let cache = BlockCache::new();
+    let _ = quest.compile_with_cache(&circuit, &cache);
+    group.bench_function("compile_warm_cache", |b| {
+        b.iter(|| quest.compile_with_cache(&circuit, &cache))
+    });
+    group.finish();
+}
+
+fn bench_selection_only(c: &mut Criterion) {
+    // Isolate the annealing stage: synthesis cached, selection recomputed.
+    let circuit = tiny_circuit();
+    let mut cfg = QuestConfig::fast().with_seed(2);
+    cfg.block_size = 2;
+    let quest = Quest::new(cfg);
+    let cache = BlockCache::new();
+    let _ = quest.compile_with_cache(&circuit, &cache);
+    let mut group = c.benchmark_group("quest_selection");
+    group.sample_size(10);
+    group.bench_function("anneal_select_cached", |b| {
+        b.iter(|| quest.compile_with_cache(&circuit, &cache))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_selection_only);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benchmarks for the simulation substrate (ideal + noisy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsim::{noise, Statevector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_statevector_widths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_run");
+    for n in [4usize, 8, 12] {
+        let circ = qbench::spin::tfim(n, 3, 0.1);
+        group.bench_with_input(BenchmarkId::new("tfim", n), &circ, |b, circ| {
+            b.iter(|| Statevector::run(circ))
+        });
+    }
+    group.finish();
+}
+
+fn bench_unitary_builder(c: &mut Criterion) {
+    let circ = qbench::arith::qft(6);
+    c.bench_function("unitary_of_qft6", |b| b.iter(|| qsim::unitary_of(&circ)));
+}
+
+fn bench_noisy_trajectories(c: &mut Criterion) {
+    let circ = qbench::spin::heisenberg(4, 2, 0.1);
+    let model = noise::NoiseModel::pauli(0.01);
+    let mut group = c.benchmark_group("noisy_run");
+    group.sample_size(10);
+    for traj in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::new("trajectories", traj), &traj, |b, &t| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                noise::run_noisy(&circ, &model, 1024, t, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_distribution_metrics(c: &mut Criterion) {
+    let p: Vec<f64> = (0..1 << 12).map(|i| (i + 1) as f64).collect();
+    let total: f64 = p.iter().sum();
+    let p: Vec<f64> = p.iter().map(|x| x / total).collect();
+    let q: Vec<f64> = p.iter().rev().copied().collect();
+    c.bench_function("tvd_4096", |b| b.iter(|| qsim::tvd(&p, &q)));
+    c.bench_function("jsd_4096", |b| b.iter(|| qsim::jsd(&p, &q)));
+}
+
+criterion_group!(
+    benches,
+    bench_statevector_widths,
+    bench_unitary_builder,
+    bench_noisy_trajectories,
+    bench_distribution_metrics
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benchmarks for the synthesis engine (supports Fig. 12's
+//! synthesis-stage cost analysis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcircuit::Circuit;
+use qsynth::{synthesize, SynthesisConfig};
+
+fn bench_exact_2q(c: &mut Criterion) {
+    let mut circ = Circuit::new(2);
+    circ.h(0).cnot(0, 1).rz(1, 0.7).cnot(0, 1);
+    let target = circ.unitary();
+    c.bench_function("synthesize_exact_2q", |b| {
+        b.iter(|| synthesize(&target, &SynthesisConfig::exact(1e-4)))
+    });
+}
+
+fn bench_two_qubit_consolidation(c: &mut Criterion) {
+    let mut circ = Circuit::new(2);
+    circ.swap(0, 1).cnot(0, 1).rz(1, 0.4).cnot(0, 1);
+    let target = circ.unitary();
+    c.bench_function("synthesize_two_qubit_kak", |b| {
+        b.iter(|| qsynth::synthesize_two_qubit(&target, 1e-5, 7))
+    });
+}
+
+fn bench_approximate_3q(c: &mut Criterion) {
+    let circ = qbench::spin::tfim(3, 2, 0.1);
+    let target = circ.unitary();
+    let mut group = c.benchmark_group("approximate_synthesis");
+    group.sample_size(10);
+    for max_cnots in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("tfim3_depth", max_cnots),
+            &max_cnots,
+            |b, &mc| b.iter(|| synthesize(&target, &SynthesisConfig::approximate(0.1, mc))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_gradient_eval(c: &mut Criterion) {
+    use qsynth::Template;
+    let template = (0..4).fold(Template::initial(3), |t, i| {
+        t.with_layer(i % 2, (i % 2) + 1)
+    });
+    let circ = qbench::spin::heisenberg(3, 1, 0.1);
+    let target = circ.unitary();
+    let cost = qsynth::cost::HsCost::new(&template, &target);
+    let params: Vec<f64> = (0..cost.num_params()).map(|i| 0.1 * i as f64).collect();
+    c.bench_function("hs_cost_and_grad_3q", |b| b.iter(|| cost.cost_and_grad(&params)));
+}
+
+criterion_group!(
+    benches,
+    bench_exact_2q,
+    bench_two_qubit_consolidation,
+    bench_approximate_3q,
+    bench_gradient_eval
+);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benchmarks for the Qiskit-baseline transpiler passes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_peephole(c: &mut Criterion) {
+    let circ = qbench::spin::tfim(8, 5, 0.1);
+    let pm = qtranspile::peephole_manager();
+    c.bench_function("peephole_tfim8", |b| b.iter(|| pm.run(&circ)));
+}
+
+fn bench_full_optimize(c: &mut Criterion) {
+    let circ = qbench::spin::heisenberg(4, 1, 0.1);
+    let mut group = c.benchmark_group("full_optimize");
+    group.sample_size(10);
+    group.bench_function("heisenberg4_step1", |b| {
+        b.iter(|| qtranspile::optimize(&circ))
+    });
+    group.finish();
+}
+
+fn bench_cancellation_pass(c: &mut Criterion) {
+    use qcircuit::Circuit;
+    use qtranspile::Pass;
+    let mut circ = Circuit::new(6);
+    for i in 0..200 {
+        let q = i % 5;
+        circ.cnot(q, q + 1).rz(q, 0.1).cnot(q, q + 1);
+    }
+    let pass = qtranspile::passes::CancelInverses;
+    c.bench_function("cancel_inverses_600g", |b| b.iter(|| pass.run(&circ)));
+}
+
+criterion_group!(benches, bench_peephole, bench_full_optimize, bench_cancellation_pass);
+criterion_main!(benches);

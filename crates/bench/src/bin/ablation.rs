@@ -1,0 +1,53 @@
+//! Ablation of QUEST's design decisions (DESIGN.md Sec. 5): dissimilar
+//! selection vs. random sampling vs. single min-CNOT circuit, on ideal and
+//! noisy output quality.
+
+use qsim::{noise::NoiseModel, Statevector};
+use quest::{Quest, SelectionStrategy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let model = NoiseModel::pauli(0.01);
+    let mut rng = StdRng::seed_from_u64(0xAB1A);
+    for (name, circuit) in [
+        ("tfim_4 (t=4)", qbench::spin::tfim(4, 4, 0.1)),
+        ("xy_4 (t=2)", qbench::spin::xy(4, 2, 0.1)),
+    ] {
+        let truth = Statevector::run(&circuit).probabilities();
+        let mut rows = Vec::new();
+        for (label, strategy) in [
+            ("dissimilar (QUEST)", SelectionStrategy::Dissimilar),
+            ("random", SelectionStrategy::Random),
+            ("min-CNOT only", SelectionStrategy::MinCnotOnly),
+        ] {
+            let mut cfg = bench::harness_config();
+            cfg.selection = strategy;
+            let result = Quest::new(cfg).compile(&circuit);
+            if result.samples.is_empty() {
+                rows.push(vec![label.to_string(), "-".into(), "-".into(), "-".into(), "0".into()]);
+                continue;
+            }
+            let ideal_avg = quest::evaluate::averaged_ideal_distribution(&result);
+            let noisy_avg = quest::evaluate::averaged_noisy_distribution(
+                &result,
+                &model,
+                bench::SHOTS,
+                bench::TRAJECTORIES,
+                &mut rng,
+            );
+            rows.push(vec![
+                label.to_string(),
+                bench::f3(qsim::tvd(&truth, &ideal_avg)),
+                bench::f3(qsim::tvd(&truth, &noisy_avg)),
+                format!("{:.1}", result.mean_cnot_count()),
+                result.samples.len().to_string(),
+            ]);
+        }
+        bench::print_table(
+            &format!("Ablation: selection strategy on {name}"),
+            &["strategy", "ideal TVD", "noisy TVD", "mean CNOTs", "samples"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Exports the benchmark suite as OpenQASM 2.0 files — the equivalent of
+//! the paper artifact's `input_qasm_files/` directory.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin export_qasm [-- OUT_DIR]
+//! ```
+
+use std::path::PathBuf;
+
+fn main() -> std::io::Result<()> {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("input_qasm_files"));
+    std::fs::create_dir_all(&out_dir)?;
+    let mut all = qbench::suite();
+    all.extend(qbench::scaling_suite());
+    // Time-evolution series for the case study, one file per timestep.
+    for t in 1..=8usize {
+        all.push(qbench::Benchmark::new(
+            format!("tfim_4_t{t}"),
+            qbench::spin::tfim(4, t, 0.1),
+        ));
+        all.push(qbench::Benchmark::new(
+            format!("heisenberg_4_t{t}"),
+            qbench::spin::heisenberg(4, t, 0.1),
+        ));
+    }
+    for b in &all {
+        let path = out_dir.join(format!("{}.qasm", b.name));
+        std::fs::write(&path, qcircuit::qasm::emit(&b.circuit))?;
+        println!(
+            "{}: {} qubits, {} gates, {} CNOTs",
+            path.display(),
+            b.circuit.num_qubits(),
+            b.circuit.len(),
+            b.circuit.cnot_count()
+        );
+    }
+    println!("\nwrote {} circuits to {}", all.len(), out_dir.display());
+    Ok(())
+}

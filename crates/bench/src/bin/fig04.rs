@@ -1,0 +1,79 @@
+//! Figure 4: CNOT count vs. output TVD for several exactly-synthesized
+//! solutions of a 4-qubit VQE circuit.
+//!
+//! All solutions meet the same tight process-distance threshold yet their
+//! measured (noisy) output distances span a range — and the fewest-CNOT
+//! solution is not necessarily the lowest-TVD one, motivating QUEST's
+//! departure from pick-the-shortest-exact-solution.
+
+use qsim::{noise::NoiseModel, Statevector};
+use qsynth::{synthesize, SynthesisConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let circuit = qbench::varia::vqe_ansatz(3, 3, 0xBEEF);
+    let truth = Statevector::run(&circuit).probabilities();
+    let target = circuit.unitary();
+    let model = NoiseModel::pauli(0.01);
+    let mut rng = StdRng::seed_from_u64(0xF1604);
+    let exact_eps = 1e-2;
+
+    // Collect every solution under the exactness threshold across several
+    // search seeds — different seeds converge at different depths and
+    // angles, giving the paper's population of "exact" solutions.
+    let mut solutions: Vec<(usize, f64, qcircuit::Circuit)> = Vec::new();
+    for seed in 0..5u64 {
+        let mut cfg = SynthesisConfig::approximate(exact_eps, circuit.cnot_count() + 3);
+        cfg.optimizer.max_iters = 900;
+        cfg = cfg.with_seed(seed * 131 + 7);
+        let result = synthesize(&target, &cfg);
+        for cand in result.candidates {
+            if cand.distance <= exact_eps {
+                solutions.push((cand.cnot_count, cand.distance, cand.circuit));
+            }
+        }
+    }
+    // Keep at most two solutions per CNOT count (distinct seeds).
+    solutions.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).unwrap());
+    let mut per_count: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    solutions.retain(|(c, _, _)| {
+        let seen = per_count.entry(*c).or_insert(0);
+        *seen += 1;
+        *seen <= 2
+    });
+
+    let mut rows = Vec::new();
+    let mut stats: Vec<(usize, f64)> = Vec::new();
+    for (cnots, distance, circ) in &solutions {
+        let noisy = qsim::noise::run_noisy(
+            circ,
+            &model,
+            bench::SHOTS,
+            bench::TRAJECTORIES,
+            &mut rng,
+        )
+        .probabilities();
+        let tvd = qsim::tvd(&truth, &noisy);
+        stats.push((*cnots, tvd));
+        rows.push(vec![
+            cnots.to_string(),
+            format!("{distance:.2e}"),
+            bench::f3(tvd),
+        ]);
+    }
+    bench::print_table(
+        "Fig. 4: exact solutions of vqe_3 — CNOTs vs noisy-output TVD",
+        &["CNOTs", "process distance", "TVD (1% noise)"],
+        &rows,
+    );
+    if let (Some(min_c), Some(min_t)) = (
+        stats.iter().min_by_key(|r| r.0),
+        stats.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()),
+    ) {
+        println!(
+            "\nmin-CNOT solution: {} CNOTs with TVD {:.3}; best-TVD solution: {} CNOTs with TVD {:.3}",
+            min_c.0, min_c.1, min_t.0, min_t.1
+        );
+    }
+}

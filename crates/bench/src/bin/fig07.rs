@@ -1,0 +1,44 @@
+//! Figure 7: the theoretical Σε upper bound vs. the actual full-circuit
+//! process distance, over every sample QUEST selects for several algorithms.
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut violations = 0usize;
+    let mut ratios = Vec::new();
+    for b in qbench::suite() {
+        if b.circuit.num_qubits() > 6 {
+            continue; // actual distance needs the dense unitary
+        }
+        let result = bench::run_quest(&b.circuit);
+        for s in &result.samples {
+            let actual = quest::bound::actual_distance(&b.circuit, s);
+            if actual > s.bound + 1e-6 {
+                violations += 1;
+            }
+            if s.bound > 1e-9 {
+                ratios.push(actual / s.bound);
+            }
+            rows.push(vec![
+                b.name.clone(),
+                s.cnot_count.to_string(),
+                bench::f3(s.bound),
+                bench::f3(actual),
+            ]);
+        }
+    }
+    bench::print_table(
+        "Fig. 7: theoretical bound (Σε) vs actual process distance",
+        &["algorithm", "CNOTs", "bound", "actual"],
+        &rows,
+    );
+    let mean_ratio = if ratios.is_empty() {
+        0.0
+    } else {
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    };
+    println!(
+        "\nbound violations: {violations} / {} samples; mean actual/bound tightness: {:.2}",
+        rows.len(),
+        mean_ratio
+    );
+}

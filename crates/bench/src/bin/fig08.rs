@@ -1,0 +1,30 @@
+//! Figure 8: percent CNOT reduction vs. the Baseline circuit for Qiskit,
+//! QUEST, and QUEST + Qiskit, per algorithm.
+
+fn main() {
+    let mut rows = Vec::new();
+    for b in qbench::suite() {
+        let base = b.circuit.cnot_count() as f64;
+        let qiskit = qtranspile::optimize(&b.circuit).cnot_count() as f64;
+        let quest_result = bench::run_quest(&b.circuit);
+        let quest_mean = quest_result.mean_cnot_count();
+        // QUEST + Qiskit reuses the same compilation (one QUEST run).
+        let mut plus = quest_result.clone();
+        bench::apply_qiskit_to_samples(&mut plus);
+        let plus_mean = plus.mean_cnot_count();
+        let red = |x: f64| 100.0 * (1.0 - x / base);
+        rows.push(vec![
+            b.name.clone(),
+            (base as usize).to_string(),
+            bench::pct(red(qiskit)),
+            bench::pct(red(quest_mean)),
+            bench::pct(red(plus_mean)),
+            quest_result.samples.len().to_string(),
+        ]);
+    }
+    bench::print_table(
+        "Fig. 8: CNOT-count reduction over Baseline",
+        &["algorithm", "base CNOTs", "Qiskit", "QUEST", "QUEST+Qiskit", "samples"],
+        &rows,
+    );
+}

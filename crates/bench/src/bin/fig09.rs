@@ -1,0 +1,25 @@
+//! Figure 9: ideal-simulation output distance of QUEST's averaged
+//! approximations from the ground truth — (a) TVD, (b) JSD — per algorithm.
+
+use qsim::Statevector;
+
+fn main() {
+    let mut rows = Vec::new();
+    for b in qbench::suite() {
+        let truth = Statevector::run(&b.circuit).probabilities();
+        let result = bench::run_quest_plus_qiskit(&b.circuit);
+        let avg = quest::evaluate::averaged_ideal_distribution(&result);
+        rows.push(vec![
+            b.name.clone(),
+            bench::f3(qsim::tvd(&truth, &avg)),
+            bench::f3(qsim::jsd(&truth, &avg)),
+            bench::pct(result.cnot_reduction_percent()),
+            result.samples.len().to_string(),
+        ]);
+    }
+    bench::print_table(
+        "Fig. 9: QUEST averaged ideal output vs ground truth",
+        &["algorithm", "TVD", "JSD", "CNOT reduction", "samples"],
+        &rows,
+    );
+}

@@ -1,0 +1,44 @@
+//! Figure 10: TVD from ground truth when the ≤5-qubit algorithms run on the
+//! Manila-class noisy backend — Qiskit alone vs. QUEST + Qiskit.
+
+use qsim::{noise::NoiseModel, Statevector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let model = NoiseModel::linear5();
+    let mut rng = StdRng::seed_from_u64(0xF1610);
+    let mut rows = Vec::new();
+    for b in qbench::suite() {
+        if b.circuit.num_qubits() > 5 {
+            continue; // the machine has 5 qubits
+        }
+        let truth = Statevector::run(&b.circuit).probabilities();
+        let qiskit = qtranspile::optimize(&b.circuit);
+        let qiskit_noisy = quest::evaluate::noisy_distribution(
+            &qiskit,
+            &model,
+            bench::SHOTS,
+            bench::TRAJECTORIES,
+            &mut rng,
+        );
+        let result = bench::run_quest_plus_qiskit(&b.circuit);
+        let quest_noisy = quest::evaluate::averaged_noisy_distribution(
+            &result,
+            &model,
+            bench::SHOTS,
+            bench::TRAJECTORIES,
+            &mut rng,
+        );
+        rows.push(vec![
+            b.name.clone(),
+            bench::f3(qsim::tvd(&truth, &qiskit_noisy)),
+            bench::f3(qsim::tvd(&truth, &quest_noisy)),
+        ]);
+    }
+    bench::print_table(
+        "Fig. 10: TVD on noisy linear5 backend",
+        &["algorithm", "Qiskit", "QUEST+Qiskit"],
+        &rows,
+    );
+}

@@ -1,0 +1,64 @@
+//! Figure 11: percent TVD reduction vs. the noisy Baseline at Pauli noise
+//! levels 1%, 0.5% and 0.1%, for the larger (6–8 qubit) circuits.
+
+use qsim::{noise::NoiseModel, Statevector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xF1611);
+    for p_gate in [0.01, 0.005, 0.001] {
+        let model = NoiseModel::pauli(p_gate);
+        let mut rows = Vec::new();
+        for b in qbench::scaling_suite() {
+            let truth = Statevector::run(&b.circuit).probabilities();
+            let baseline_noisy = quest::evaluate::noisy_distribution(
+                &b.circuit,
+                &model,
+                bench::SHOTS,
+                bench::TRAJECTORIES,
+                &mut rng,
+            );
+            let tvd_base = qsim::tvd(&truth, &baseline_noisy);
+
+            let qiskit = qtranspile::optimize(&b.circuit);
+            let qiskit_noisy = quest::evaluate::noisy_distribution(
+                &qiskit,
+                &model,
+                bench::SHOTS,
+                bench::TRAJECTORIES,
+                &mut rng,
+            );
+            let tvd_qiskit = qsim::tvd(&truth, &qiskit_noisy);
+
+            let result = bench::run_quest_plus_qiskit(&b.circuit);
+            let quest_noisy = quest::evaluate::averaged_noisy_distribution(
+                &result,
+                &model,
+                bench::SHOTS,
+                bench::TRAJECTORIES,
+                &mut rng,
+            );
+            let tvd_quest = qsim::tvd(&truth, &quest_noisy);
+
+            let red = |t: f64| {
+                if tvd_base <= 1e-12 {
+                    0.0
+                } else {
+                    100.0 * (1.0 - t / tvd_base)
+                }
+            };
+            rows.push(vec![
+                b.name.clone(),
+                bench::f3(tvd_base),
+                bench::pct(red(tvd_qiskit)),
+                bench::pct(red(tvd_quest)),
+            ]);
+        }
+        bench::print_table(
+            &format!("Fig. 11: TVD reduction vs noisy Baseline at {}% noise", p_gate * 100.0),
+            &["algorithm", "baseline TVD", "Qiskit", "QUEST+Qiskit"],
+            &rows,
+        );
+    }
+}

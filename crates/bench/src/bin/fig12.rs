@@ -1,0 +1,31 @@
+//! Figure 12: QUEST's one-time compilation cost per algorithm, split into
+//! partitioning, synthesis and dual-annealing stages.
+
+fn main() {
+    let mut rows = Vec::new();
+    for b in qbench::suite() {
+        let result = bench::run_quest(&b.circuit);
+        let t = result.timings;
+        let total = t.total().as_secs_f64();
+        let pct = |d: std::time::Duration| {
+            if total <= 0.0 {
+                0.0
+            } else {
+                100.0 * d.as_secs_f64() / total
+            }
+        };
+        rows.push(vec![
+            b.name.clone(),
+            format!("{total:.2}s"),
+            bench::pct(pct(t.partition)),
+            bench::pct(pct(t.synthesis)),
+            bench::pct(pct(t.annealing)),
+            result.blocks.len().to_string(),
+        ]);
+    }
+    bench::print_table(
+        "Fig. 12: QUEST execution overhead and stage breakdown",
+        &["algorithm", "total", "partition", "synthesis", "annealing", "blocks"],
+        &rows,
+    );
+}

@@ -1,0 +1,21 @@
+//! Table 1: the benchmark suite with circuit statistics.
+
+fn main() {
+    let rows: Vec<Vec<String>> = qbench::suite()
+        .iter()
+        .map(|b| {
+            vec![
+                b.name.clone(),
+                b.circuit.num_qubits().to_string(),
+                b.circuit.len().to_string(),
+                b.circuit.cnot_count().to_string(),
+                b.circuit.depth().to_string(),
+            ]
+        })
+        .collect();
+    bench::print_table(
+        "Table 1: algorithms and benchmarks",
+        &["algorithm", "qubits", "gates", "CNOTs", "depth"],
+        &rows,
+    );
+}

@@ -1,0 +1,116 @@
+//! Shared plumbing for the figure-regeneration harnesses.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the QUEST
+//! paper (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
+//! recorded outputs). This library holds the common pieces: the harness-scale
+//! pipeline configuration, the noisy-backend presets, and text-table
+//! formatting.
+
+use qcircuit::Circuit;
+use quest::{Quest, QuestConfig, QuestResult};
+
+/// The pipeline configuration used by all figure harnesses: paper constants
+/// (block size 4, M = 16, weight 0.5, ε·#blocks threshold) with an
+/// optimization budget sized for a single-core laptop run.
+pub fn harness_config() -> QuestConfig {
+    let mut cfg = QuestConfig::default().with_seed(0x0E57);
+    cfg.max_block_gates = Some(26);
+    cfg.max_synthesis_cnots = 12;
+    cfg.synthesis.optimizer.max_iters = 300;
+    cfg.synthesis.optimizer.restarts = 2;
+    cfg.anneal.max_evals = 1200;
+    cfg
+}
+
+/// Runs QUEST on a circuit with the harness configuration.
+pub fn run_quest(circuit: &Circuit) -> QuestResult {
+    Quest::new(harness_config()).compile(circuit)
+}
+
+/// Runs QUEST with a shared block-synthesis cache — used by the
+/// timestep-sweep harnesses (Figs. 13/14) where consecutive circuits repeat
+/// blocks.
+pub fn run_quest_cached(circuit: &Circuit, cache: &quest::BlockCache) -> QuestResult {
+    Quest::new(harness_config()).compile_with_cache(circuit, cache)
+}
+
+/// Cached variant of [`run_quest_plus_qiskit`].
+pub fn run_quest_plus_qiskit_cached(
+    circuit: &Circuit,
+    cache: &quest::BlockCache,
+) -> QuestResult {
+    let mut result = run_quest_cached(circuit, cache);
+    apply_qiskit_to_samples(&mut result);
+    result
+}
+
+/// Runs QUEST and then the Qiskit-baseline passes on every sample — the
+/// paper's `QUEST + Qiskit` configuration used in Figs. 9–16.
+pub fn run_quest_plus_qiskit(circuit: &Circuit) -> QuestResult {
+    let mut result = run_quest(circuit);
+    apply_qiskit_to_samples(&mut result);
+    result
+}
+
+/// Applies the Qiskit-baseline passes to every sample in place, keeping a
+/// sample's original form when the passes do not help.
+pub fn apply_qiskit_to_samples(result: &mut QuestResult) {
+    for s in &mut result.samples {
+        let optimized = qtranspile::optimize(&s.circuit);
+        if optimized.cnot_count() <= s.cnot_count {
+            s.cnot_count = optimized.cnot_count();
+            s.circuit = optimized;
+        }
+    }
+}
+
+/// Standard shot budget (the paper's 8192, the IBMQ maximum).
+pub const SHOTS: usize = 8192;
+
+/// Trajectories per noisy estimate; shots are spread over these.
+pub const TRAJECTORIES: usize = 128;
+
+/// Prints a header row followed by aligned data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn harness_config_uses_paper_constants() {
+        let c = super::harness_config();
+        assert_eq!(c.block_size, 4);
+        assert_eq!(c.max_samples, 16);
+    }
+}

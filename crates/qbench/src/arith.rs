@@ -1,0 +1,396 @@
+//! Arithmetic benchmarks: Cuccaro adder, QFT, Draper-style multiplier.
+//!
+//! Multi-controlled operations are decomposed into the workspace gate set on
+//! the fly: Toffoli via the standard 6-CNOT network, controlled-phase via
+//! 2 CNOTs + 3 phase gates.
+
+use qcircuit::Circuit;
+
+/// Appends a Toffoli (CCX) on `(a, b, target)` using the standard 6-CNOT,
+/// 7-T decomposition.
+pub fn ccx(c: &mut Circuit, a: usize, b: usize, target: usize) {
+    c.h(target);
+    c.cnot(b, target);
+    c.push(qcircuit::Gate::Tdg, &[target]);
+    c.cnot(a, target);
+    c.t(target);
+    c.cnot(b, target);
+    c.push(qcircuit::Gate::Tdg, &[target]);
+    c.cnot(a, target);
+    c.t(b);
+    c.t(target);
+    c.h(target);
+    c.cnot(a, b);
+    c.t(a);
+    c.push(qcircuit::Gate::Tdg, &[b]);
+    c.cnot(a, b);
+}
+
+/// Appends a controlled-phase `CP(θ)` on `(control, target)` decomposed as
+/// `P(θ/2)·CX·P(−θ/2)·CX·P(θ/2)`.
+pub fn cphase(c: &mut Circuit, theta: f64, control: usize, target: usize) {
+    c.p(control, theta / 2.0);
+    c.cnot(control, target);
+    c.p(target, -theta / 2.0);
+    c.cnot(control, target);
+    c.p(target, theta / 2.0);
+}
+
+/// Appends a doubly-controlled phase `CCP(θ)` on `(a, b, target)` via the
+/// standard square-root trick.
+pub fn ccphase(c: &mut Circuit, theta: f64, a: usize, b: usize, target: usize) {
+    cphase(c, theta / 2.0, a, target);
+    c.cnot(a, b);
+    cphase(c, -theta / 2.0, b, target);
+    c.cnot(a, b);
+    cphase(c, theta / 2.0, b, target);
+}
+
+/// Appends a quantum Fourier transform on the given qubits (first listed
+/// qubit = most significant bit), including the final bit-reversal swaps, so
+/// the subcircuit implements the exact DFT matrix on that subregister.
+pub fn qft_on(c: &mut Circuit, qubits: &[usize]) {
+    let n = qubits.len();
+    for i in 0..n {
+        c.h(qubits[i]);
+        for j in (i + 1)..n {
+            let theta = std::f64::consts::PI / f64::powi(2.0, (j - i) as i32);
+            cphase(c, theta, qubits[j], qubits[i]);
+        }
+    }
+    for i in 0..n / 2 {
+        c.swap(qubits[i], qubits[n - 1 - i]);
+    }
+}
+
+/// The `n`-qubit quantum Fourier transform.
+///
+/// ```
+/// let c = qbench::arith::qft(3);
+/// assert_eq!(c.num_qubits(), 3);
+/// assert!(c.cnot_count() > 0);
+/// ```
+pub fn qft(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    let qubits: Vec<usize> = (0..n).collect();
+    qft_on(&mut c, &qubits);
+    c
+}
+
+/// Register layout of the [`adder`] circuit.
+///
+/// Qubit 0 is the carry-in; bit `i` of operand B sits at `2i + 1`, bit `i`
+/// of operand A at `2i + 2` (LSB first), and the last qubit is the
+/// carry-out. After execution the B positions hold `A + B` and the carry-out
+/// holds the final carry.
+#[derive(Clone, Copy, Debug)]
+pub struct AdderLayout {
+    /// Operand bit-width.
+    pub width: usize,
+}
+
+impl AdderLayout {
+    /// Global qubit holding bit `i` (LSB = 0) of operand A.
+    pub fn a(&self, i: usize) -> usize {
+        2 * i + 2
+    }
+    /// Global qubit holding bit `i` of operand B (and of the sum).
+    pub fn b(&self, i: usize) -> usize {
+        2 * i + 1
+    }
+    /// Carry-in qubit.
+    pub fn carry_in(&self) -> usize {
+        0
+    }
+    /// Carry-out qubit.
+    pub fn carry_out(&self) -> usize {
+        2 * self.width + 1
+    }
+    /// Total register width.
+    pub fn num_qubits(&self) -> usize {
+        2 * self.width + 2
+    }
+}
+
+/// The Cuccaro ripple-carry adder on two `width`-bit operands
+/// (`2·width + 2` qubits total); computes `B ← A + B` in place.
+///
+/// This is the paper's Adder benchmark (its reference \[9\]).
+pub fn adder(width: usize) -> Circuit {
+    assert!(width >= 1, "adder needs at least 1-bit operands");
+    let layout = AdderLayout { width };
+    let mut c = Circuit::new(layout.num_qubits());
+    let maj = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        c.cnot(z, y);
+        c.cnot(z, x);
+        ccx(c, x, y, z);
+    };
+    let uma = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        ccx(c, x, y, z);
+        c.cnot(z, x);
+        c.cnot(x, y);
+    };
+    // Forward MAJ chain.
+    maj(&mut c, layout.carry_in(), layout.b(0), layout.a(0));
+    for i in 1..width {
+        maj(&mut c, layout.a(i - 1), layout.b(i), layout.a(i));
+    }
+    // Copy the final carry.
+    c.cnot(layout.a(width - 1), layout.carry_out());
+    // Backward UMA chain.
+    for i in (1..width).rev() {
+        uma(&mut c, layout.a(i - 1), layout.b(i), layout.a(i));
+    }
+    uma(&mut c, layout.carry_in(), layout.b(0), layout.a(0));
+    c
+}
+
+/// Register layout of the [`multiplier`] circuit.
+///
+/// Operand A occupies qubits `0..width` (MSB first), operand B
+/// `width..2·width`, and the product register the remaining `2·width`
+/// qubits (MSB first).
+#[derive(Clone, Copy, Debug)]
+pub struct MultiplierLayout {
+    /// Operand bit-width.
+    pub width: usize,
+}
+
+impl MultiplierLayout {
+    /// Global qubit of operand-A bit with weight `2^i`.
+    pub fn a(&self, i: usize) -> usize {
+        self.width - 1 - i
+    }
+    /// Global qubit of operand-B bit with weight `2^i`.
+    pub fn b(&self, i: usize) -> usize {
+        2 * self.width - 1 - i
+    }
+    /// Global qubit of product bit with weight `2^i`.
+    pub fn prod(&self, i: usize) -> usize {
+        4 * self.width - 1 - i
+    }
+    /// Total register width.
+    pub fn num_qubits(&self) -> usize {
+        4 * self.width
+    }
+}
+
+/// A QFT-based (Draper-style) multiplier on `width`-bit operands: computes
+/// `P ← A·B` into an initially-zero `2·width`-bit product register.
+///
+/// Stands in for the paper's Multiplier benchmark (its reference \[14\]):
+/// partial products `a_i·b_j·2^{i+j}` are accumulated as doubly-controlled
+/// phase rotations in the Fourier space of the product register.
+pub fn multiplier(width: usize) -> Circuit {
+    assert!(width >= 1, "multiplier needs at least 1-bit operands");
+    let layout = MultiplierLayout { width };
+    let mut c = Circuit::new(layout.num_qubits());
+    let prod_bits = 2 * width;
+    let modulus = f64::powi(2.0, prod_bits as i32);
+    let prod_qubits: Vec<usize> = (0..prod_bits).map(|m| 4 * width - prod_bits + m).collect();
+    qft_on(&mut c, &prod_qubits);
+    for i in 0..width {
+        for j in 0..width {
+            for k in 0..prod_bits {
+                // Adding 2^{i+j} in Fourier space rotates the product bit of
+                // weight 2^k by 2π·2^{i+j+k}/2^{2w}.
+                let exponent = i + j + k;
+                if exponent >= prod_bits {
+                    continue; // full turns are identity
+                }
+                let theta =
+                    2.0 * std::f64::consts::PI * f64::powi(2.0, exponent as i32) / modulus;
+                ccphase(&mut c, theta, layout.a(i), layout.b(j), layout.prod(k));
+            }
+        }
+    }
+    // Inverse QFT on the product register.
+    let mut iqft = Circuit::new(layout.num_qubits());
+    qft_on(&mut iqft, &prod_qubits);
+    c.extend_from(&iqft.inverse());
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmath::{C64, Matrix};
+    use qsim::Statevector;
+
+    /// Runs `c` on basis input `x` and asserts a deterministic output `y`.
+    fn assert_maps(c: &Circuit, x: usize, y: usize) {
+        let mut sv = Statevector::basis_state(c.num_qubits(), x);
+        sv.apply_circuit(c);
+        let probs = sv.probabilities();
+        assert!(
+            probs[y] > 0.999,
+            "expected |{y:0w$b}⟩, got distribution peak {} (p[{y}]={})",
+            probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0,
+            probs[y],
+            w = c.num_qubits()
+        );
+    }
+
+    #[test]
+    fn ccx_matches_toffoli_truth_table() {
+        let mut c = Circuit::new(3);
+        ccx(&mut c, 0, 1, 2);
+        let u = qsim::unitary_of(&c);
+        // |110⟩ (6) → |111⟩ (7) and vice versa; others fixed.
+        for x in 0..8 {
+            let expect = if x >= 6 { x ^ 1 } else { x };
+            assert!(
+                u[(expect, x)].abs() > 0.999,
+                "CCX wrong on input {x}: {:?}",
+                u
+            );
+        }
+    }
+
+    #[test]
+    fn cphase_matrix_is_diag() {
+        let mut c = Circuit::new(2);
+        cphase(&mut c, 0.7, 0, 1);
+        let u = qsim::unitary_of(&c);
+        let expect = Matrix::diagonal(&[C64::ONE, C64::ONE, C64::ONE, C64::cis(0.7)]);
+        assert!(u.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn ccphase_only_phases_all_ones() {
+        let mut c = Circuit::new(3);
+        ccphase(&mut c, 1.1, 0, 1, 2);
+        let u = qsim::unitary_of(&c);
+        for x in 0..8 {
+            let expect = if x == 7 { C64::cis(1.1) } else { C64::ONE };
+            assert!(u[(x, x)].approx_eq(expect, 1e-9), "x={x}");
+        }
+    }
+
+    #[test]
+    fn qft_matches_dft_matrix() {
+        let n = 3;
+        let dim = 1 << n;
+        let u = qsim::unitary_of(&qft(n));
+        let scale = 1.0 / (dim as f64).sqrt();
+        let dft = Matrix::from_fn(dim, dim, |r, c| {
+            C64::cis(2.0 * std::f64::consts::PI * (r * c) as f64 / dim as f64) * scale
+        });
+        assert!(u.approx_eq_phase(&dft, 1e-8), "QFT != DFT");
+    }
+
+    #[test]
+    fn adder_one_bit_truth_table() {
+        let c = adder(1);
+        let layout = AdderLayout { width: 1 };
+        let n = c.num_qubits();
+        // Enumerate (cin, a, b) and check sum/carry.
+        for cin in 0..2usize {
+            for a in 0..2usize {
+                for b in 0..2usize {
+                    let mut x = 0usize;
+                    if cin == 1 {
+                        x |= 1 << (n - 1 - layout.carry_in());
+                    }
+                    if a == 1 {
+                        x |= 1 << (n - 1 - layout.a(0));
+                    }
+                    if b == 1 {
+                        x |= 1 << (n - 1 - layout.b(0));
+                    }
+                    let total = cin + a + b;
+                    let mut y = 0usize;
+                    if a == 1 {
+                        y |= 1 << (n - 1 - layout.a(0)); // A preserved
+                    }
+                    if cin == 1 {
+                        y |= 1 << (n - 1 - layout.carry_in()); // cin restored
+                    }
+                    if total & 1 == 1 {
+                        y |= 1 << (n - 1 - layout.b(0)); // sum bit
+                    }
+                    if total >= 2 {
+                        y |= 1 << (n - 1 - layout.carry_out());
+                    }
+                    assert_maps(&c, x, y);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adder_two_bit_addition() {
+        let c = adder(2);
+        let layout = AdderLayout { width: 2 };
+        let n = c.num_qubits();
+        for a_val in 0..4usize {
+            for b_val in 0..4usize {
+                let mut x = 0usize;
+                for i in 0..2 {
+                    if (a_val >> i) & 1 == 1 {
+                        x |= 1 << (n - 1 - layout.a(i));
+                    }
+                    if (b_val >> i) & 1 == 1 {
+                        x |= 1 << (n - 1 - layout.b(i));
+                    }
+                }
+                let sum = a_val + b_val;
+                let mut y = 0usize;
+                for i in 0..2 {
+                    if (a_val >> i) & 1 == 1 {
+                        y |= 1 << (n - 1 - layout.a(i));
+                    }
+                    if (sum >> i) & 1 == 1 {
+                        y |= 1 << (n - 1 - layout.b(i));
+                    }
+                }
+                if sum >= 4 {
+                    y |= 1 << (n - 1 - layout.carry_out());
+                }
+                assert_maps(&c, x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_two_bit_products() {
+        let c = multiplier(2);
+        let layout = MultiplierLayout { width: 2 };
+        let n = c.num_qubits();
+        for a_val in 0..4usize {
+            for b_val in 0..4usize {
+                let mut x = 0usize;
+                for i in 0..2 {
+                    if (a_val >> i) & 1 == 1 {
+                        x |= 1 << (n - 1 - layout.a(i));
+                    }
+                    if (b_val >> i) & 1 == 1 {
+                        x |= 1 << (n - 1 - layout.b(i));
+                    }
+                }
+                let prod = a_val * b_val;
+                let mut y = x;
+                for k in 0..4 {
+                    if (prod >> k) & 1 == 1 {
+                        y |= 1 << (n - 1 - layout.prod(k));
+                    }
+                }
+                assert_maps(&c, x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn qft_is_reversible() {
+        let c = qft(4);
+        let u = qsim::unitary_of(&c);
+        assert!(u.is_unitary(1e-8));
+        let inv = qsim::unitary_of(&c.inverse());
+        assert!(u.matmul(&inv).approx_eq(&Matrix::identity(16), 1e-7));
+    }
+}

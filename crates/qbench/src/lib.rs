@@ -1,0 +1,126 @@
+//! Benchmark circuit generators — the paper's Table 1 algorithm suite.
+//!
+//! | Algorithm | Generator | Notes |
+//! |---|---|---|
+//! | Adder | [`arith::adder`] | Cuccaro ripple-carry [paper ref 9] |
+//! | Multiplier | [`arith::multiplier`] | QFT-based (Draper-style) multiplier |
+//! | QFT | [`arith::qft`] | Quantum Fourier transform |
+//! | HLF | [`varia::hlf`] | Hidden linear function (Bravyi et al.) |
+//! | QAOA | [`varia::qaoa_maxcut`] | MaxCut alternating-operator ansatz |
+//! | VQE | [`varia::vqe_ansatz`] | Hardware-efficient variational ansatz |
+//! | TFIM | [`spin::tfim`] | Transverse-field Ising time evolution |
+//! | Heisenberg | [`spin::heisenberg`] | XYZ Heisenberg time evolution |
+//! | XY | [`spin::xy`] | XY-model time evolution |
+//!
+//! All generators emit circuits over the workspace gate set (one-qubit
+//! rotations + CNOT/CZ), with multi-controlled operations pre-decomposed —
+//! matching the paper's premise that every algorithm reduces to rotations
+//! plus CNOTs (Sec. 1.1).
+//!
+//! [`suite`] assembles the named benchmark instances used across the
+//! figure-regeneration harnesses.
+
+pub mod arith;
+pub mod observables;
+pub mod spin;
+pub mod states;
+pub mod varia;
+
+use qcircuit::Circuit;
+
+/// A named benchmark instance.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Display name in `algo_qubits` form, e.g. `"tfim_4"`.
+    pub name: String,
+    /// The circuit.
+    pub circuit: Circuit,
+}
+
+impl Benchmark {
+    /// Creates a named benchmark.
+    pub fn new(name: impl Into<String>, circuit: Circuit) -> Self {
+        Benchmark {
+            name: name.into(),
+            circuit,
+        }
+    }
+}
+
+/// The default evaluation suite: one instance per Table-1 algorithm at
+/// laptop-tractable sizes (see DESIGN.md's scale substitution).
+///
+/// Deterministic: random-structure benchmarks (HLF, QAOA weights, VQE
+/// angles) are seeded.
+pub fn suite() -> Vec<Benchmark> {
+    vec![
+        Benchmark::new("adder_4", arith::adder(1)),
+        Benchmark::new("heisenberg_4", spin::heisenberg(4, 2, 0.1)),
+        Benchmark::new("hlf_5", varia::hlf(5, 0xB10C)),
+        Benchmark::new("qft_4", arith::qft(4)),
+        Benchmark::new("qaoa_5", varia::qaoa_maxcut(5, 2, 0xCAFE)),
+        Benchmark::new("mult_8", arith::multiplier(2)),
+        Benchmark::new("tfim_4", spin::tfim(4, 4, 0.1)),
+        Benchmark::new("vqe_4", varia::vqe_ansatz(4, 3, 0xBEEF)),
+        Benchmark::new("xy_4", spin::xy(4, 2, 0.1)),
+    ]
+}
+
+/// A larger-width variant of [`suite`] for scalability experiments
+/// (Fig. 11): same algorithms at 6–8 qubits.
+pub fn scaling_suite() -> Vec<Benchmark> {
+    vec![
+        Benchmark::new("adder_6", arith::adder(2)),
+        Benchmark::new("hlf_7", varia::hlf(7, 0xB10C)),
+        Benchmark::new("qaoa_7", varia::qaoa_maxcut(7, 1, 0xCAFE)),
+        Benchmark::new("tfim_8", spin::tfim(8, 2, 0.1)),
+        Benchmark::new("xy_6", spin::xy(6, 2, 0.1)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_names_are_unique_and_sized() {
+        let s = suite();
+        let mut names: Vec<&str> = s.iter().map(|b| b.name.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), s.len(), "duplicate benchmark names");
+        for b in &s {
+            let declared: usize = b
+                .name
+                .rsplit('_')
+                .next()
+                .unwrap()
+                .parse()
+                .expect("name ends in qubit count");
+            assert_eq!(
+                b.circuit.num_qubits(),
+                declared,
+                "{} width mismatch",
+                b.name
+            );
+            assert!(!b.circuit.is_empty(), "{} is empty", b.name);
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = suite();
+        let b = suite();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.circuit, y.circuit, "{} not deterministic", x.name);
+        }
+    }
+
+    #[test]
+    fn all_suite_circuits_have_cnots() {
+        // QUEST targets CNOT reduction; every benchmark must have some.
+        for b in suite() {
+            assert!(b.circuit.cnot_count() > 0, "{} has no CNOTs", b.name);
+        }
+    }
+}

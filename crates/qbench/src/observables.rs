@@ -1,0 +1,105 @@
+//! Algorithm-specific output observables (paper Sec. 2 and Fig. 13).
+//!
+//! The TFIM/Heisenberg case study tracks the chain's *average magnetization*
+//! `⟨m⟩ = (1/n) Σᵢ ⟨σz_i⟩` (and its staggered variant) over the time
+//! evolution; both are simple functionals of the measured output
+//! distribution.
+
+/// Average magnetization of an `n`-qubit output distribution:
+/// `(1/n) Σᵢ ⟨σz_i⟩`, where a measured bit 0 contributes +1 and a bit 1
+/// contributes −1.
+///
+/// # Panics
+///
+/// Panics if `probs.len() != 2^n`.
+///
+/// ```
+/// // |00⟩ has magnetization +1, |11⟩ −1, their even mixture 0.
+/// assert_eq!(qbench::observables::average_magnetization(&[1.0, 0.0, 0.0, 0.0], 2), 1.0);
+/// assert_eq!(qbench::observables::average_magnetization(&[0.5, 0.0, 0.0, 0.5], 2), 0.0);
+/// ```
+pub fn average_magnetization(probs: &[f64], n: usize) -> f64 {
+    weighted_magnetization(probs, n, |_| 1.0)
+}
+
+/// Staggered magnetization `(1/n) Σᵢ (−1)ⁱ ⟨σz_i⟩` — the antiferromagnetic
+/// order parameter used for Heisenberg-type chains.
+pub fn staggered_magnetization(probs: &[f64], n: usize) -> f64 {
+    weighted_magnetization(probs, n, |i| if i % 2 == 0 { 1.0 } else { -1.0 })
+}
+
+fn weighted_magnetization(probs: &[f64], n: usize, weight: impl Fn(usize) -> f64) -> f64 {
+    assert_eq!(probs.len(), 1usize << n, "distribution size mismatch");
+    let mut m = 0.0;
+    for (state, &p) in probs.iter().enumerate() {
+        if p == 0.0 {
+            continue;
+        }
+        let mut site_sum = 0.0;
+        for q in 0..n {
+            // Qubit q is bit (n-1-q) counting from the LSB.
+            let bit = (state >> (n - 1 - q)) & 1;
+            let sz = if bit == 0 { 1.0 } else { -1.0 };
+            site_sum += weight(q) * sz;
+        }
+        m += p * site_sum;
+    }
+    m / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::Statevector;
+
+    #[test]
+    fn all_zeros_has_unit_magnetization() {
+        let probs = Statevector::zero_state(3).probabilities();
+        assert_eq!(average_magnetization(&probs, 3), 1.0);
+    }
+
+    #[test]
+    fn all_ones_has_negative_unit_magnetization() {
+        let probs = Statevector::basis_state(3, 7).probabilities();
+        assert_eq!(average_magnetization(&probs, 3), -1.0);
+    }
+
+    #[test]
+    fn neel_state_has_full_staggered_order() {
+        // |0101⟩: staggered magnetization = 1, average = 0.
+        let probs = Statevector::basis_state(4, 0b0101).probabilities();
+        assert_eq!(staggered_magnetization(&probs, 4), 1.0);
+        assert_eq!(average_magnetization(&probs, 4), 0.0);
+    }
+
+    #[test]
+    fn uniform_distribution_is_unmagnetized() {
+        let n = 3;
+        let probs = vec![1.0 / 8.0; 8];
+        assert!(average_magnetization(&probs, n).abs() < 1e-12);
+        assert!(staggered_magnetization(&probs, n).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tfim_evolution_demagnetizes_over_time() {
+        // Under a transverse field, |0000⟩ loses z-magnetization.
+        let m0 = {
+            let probs = Statevector::zero_state(4).probabilities();
+            average_magnetization(&probs, 4)
+        };
+        let m_late = {
+            let c = crate::spin::tfim(4, 8, 0.1);
+            let probs = Statevector::run(&c).probabilities();
+            average_magnetization(&probs, 4)
+        };
+        assert_eq!(m0, 1.0);
+        assert!(m_late < 0.95, "field should reduce magnetization: {m_late}");
+        assert!(m_late > -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_size_panics() {
+        let _ = average_magnetization(&[0.5, 0.5], 2);
+    }
+}

@@ -1,0 +1,239 @@
+//! Spin-chain time-evolution benchmarks: TFIM, Heisenberg, XY.
+//!
+//! These are the paper's materials-simulation workloads (its reference
+//! \[4\], the ArQTiC package): first-order Trotterized time evolution of an
+//! open chain of spins, one circuit per timestep. The Hamiltonian families
+//! differ only in which couplings are non-zero (paper Sec. 4.1):
+//!
+//! * **TFIM** — `σz·σz` nearest-neighbour coupling plus a transverse `x`
+//!   field,
+//! * **XY** — `σx·σx` and `σy·σy` couplings,
+//! * **Heisenberg** — all three couplings (`x`, `y`, `z`).
+//!
+//! Each two-spin interaction `exp(−i θ σa⊗σa / 2)` compiles to a basis
+//! change into the Z⊗Z frame, a CNOT-conjugated `Rz`, and the inverse basis
+//! change — so Heisenberg circuits are CNOT-dense, exactly the property that
+//! makes them QUEST's motivating example (Fig. 1).
+
+use qcircuit::Circuit;
+
+/// Physics parameters for a spin-chain evolution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpinParams {
+    /// Nearest-neighbour coupling strength `J`.
+    pub coupling: f64,
+    /// Transverse field strength `h` (TFIM only).
+    pub field: f64,
+    /// Trotter step duration `Δt`.
+    pub dt: f64,
+}
+
+impl Default for SpinParams {
+    fn default() -> Self {
+        SpinParams {
+            coupling: 1.0,
+            field: 1.0,
+            dt: 0.1,
+        }
+    }
+}
+
+/// Appends `exp(−i θ Z_a Z_b / 2)`: `CX · Rz(θ) · CX`.
+pub fn zz_interaction(c: &mut Circuit, theta: f64, a: usize, b: usize) {
+    c.cnot(a, b);
+    c.rz(b, theta);
+    c.cnot(a, b);
+}
+
+/// Appends `exp(−i θ X_a X_b / 2)` via Hadamard conjugation of [`zz_interaction`].
+pub fn xx_interaction(c: &mut Circuit, theta: f64, a: usize, b: usize) {
+    c.h(a).h(b);
+    zz_interaction(c, theta, a, b);
+    c.h(a).h(b);
+}
+
+/// Appends `exp(−i θ Y_a Y_b / 2)` via `Rx(π/2)` conjugation of [`zz_interaction`].
+pub fn yy_interaction(c: &mut Circuit, theta: f64, a: usize, b: usize) {
+    let half_pi = std::f64::consts::FRAC_PI_2;
+    c.rx(a, half_pi).rx(b, half_pi);
+    zz_interaction(c, theta, a, b);
+    c.rx(a, -half_pi).rx(b, -half_pi);
+}
+
+/// TFIM evolution circuit: `steps` Trotter steps on `n` spins with default
+/// couplings and step `dt`.
+///
+/// ```
+/// let c = qbench::spin::tfim(4, 3, 0.1);
+/// assert_eq!(c.num_qubits(), 4);
+/// assert_eq!(c.cnot_count(), 3 * 3 * 2); // 3 bonds × 3 steps × 2 CX each
+/// ```
+pub fn tfim(n: usize, steps: usize, dt: f64) -> Circuit {
+    tfim_with(n, steps, SpinParams { dt, ..Default::default() })
+}
+
+/// TFIM evolution with explicit physics parameters.
+pub fn tfim_with(n: usize, steps: usize, p: SpinParams) -> Circuit {
+    assert!(n >= 2, "spin chain needs at least 2 sites");
+    let mut c = Circuit::new(n);
+    let theta_zz = 2.0 * p.coupling * p.dt;
+    let theta_x = 2.0 * p.field * p.dt;
+    for _ in 0..steps {
+        for q in 0..n - 1 {
+            zz_interaction(&mut c, theta_zz, q, q + 1);
+        }
+        for q in 0..n {
+            c.rx(q, theta_x);
+        }
+    }
+    c
+}
+
+/// XY-model evolution circuit (x and y couplings, no field).
+pub fn xy(n: usize, steps: usize, dt: f64) -> Circuit {
+    xy_with(n, steps, SpinParams { dt, ..Default::default() })
+}
+
+/// XY-model evolution with explicit physics parameters.
+pub fn xy_with(n: usize, steps: usize, p: SpinParams) -> Circuit {
+    assert!(n >= 2, "spin chain needs at least 2 sites");
+    let mut c = Circuit::new(n);
+    let theta = 2.0 * p.coupling * p.dt;
+    for _ in 0..steps {
+        for q in 0..n - 1 {
+            xx_interaction(&mut c, theta, q, q + 1);
+            yy_interaction(&mut c, theta, q, q + 1);
+        }
+    }
+    c
+}
+
+/// Heisenberg-model evolution circuit (x, y and z couplings).
+pub fn heisenberg(n: usize, steps: usize, dt: f64) -> Circuit {
+    heisenberg_with(n, steps, SpinParams { dt, ..Default::default() })
+}
+
+/// Heisenberg evolution with explicit physics parameters.
+pub fn heisenberg_with(n: usize, steps: usize, p: SpinParams) -> Circuit {
+    assert!(n >= 2, "spin chain needs at least 2 sites");
+    let mut c = Circuit::new(n);
+    let theta = 2.0 * p.coupling * p.dt;
+    for _ in 0..steps {
+        for q in 0..n - 1 {
+            xx_interaction(&mut c, theta, q, q + 1);
+            yy_interaction(&mut c, theta, q, q + 1);
+            zz_interaction(&mut c, theta, q, q + 1);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmath::{C64, Matrix};
+
+    fn pauli(which: char) -> Matrix {
+        let o = C64::ZERO;
+        let l = C64::ONE;
+        match which {
+            'x' => Matrix::from_rows(&[&[o, l], &[l, o]]),
+            'y' => Matrix::from_rows(&[&[o, -C64::I], &[C64::I, o]]),
+            _ => Matrix::diagonal(&[l, -l]),
+        }
+    }
+
+    /// exp(−i θ P⊗P / 2) computed by direct matrix exponentiation.
+    fn two_spin_exact(which: char, theta: f64) -> Matrix {
+        let pp = pauli(which).kron(&pauli(which));
+        let gen = pp.scaled(C64::new(0.0, -theta / 2.0));
+        qmath::random::matrix_exp(&gen)
+    }
+
+    #[test]
+    fn zz_interaction_matches_exponential() {
+        let mut c = Circuit::new(2);
+        zz_interaction(&mut c, 0.7, 0, 1);
+        assert!(qsim::unitary_of(&c).approx_eq_phase(&two_spin_exact('z', 0.7), 1e-8));
+    }
+
+    #[test]
+    fn xx_interaction_matches_exponential() {
+        let mut c = Circuit::new(2);
+        xx_interaction(&mut c, -0.4, 0, 1);
+        assert!(qsim::unitary_of(&c).approx_eq_phase(&two_spin_exact('x', -0.4), 1e-8));
+    }
+
+    #[test]
+    fn yy_interaction_matches_exponential() {
+        let mut c = Circuit::new(2);
+        yy_interaction(&mut c, 1.2, 0, 1);
+        assert!(qsim::unitary_of(&c).approx_eq_phase(&two_spin_exact('y', 1.2), 1e-8));
+    }
+
+    #[test]
+    fn cnot_counts_scale_with_steps_and_sites() {
+        assert_eq!(tfim(4, 1, 0.1).cnot_count(), 6);
+        assert_eq!(tfim(4, 10, 0.1).cnot_count(), 60);
+        assert_eq!(xy(4, 1, 0.1).cnot_count(), 12);
+        assert_eq!(heisenberg(4, 1, 0.1).cnot_count(), 18);
+    }
+
+    #[test]
+    fn zero_time_evolution_is_identity() {
+        let c = tfim_with(
+            3,
+            2,
+            SpinParams {
+                coupling: 1.0,
+                field: 1.0,
+                dt: 0.0,
+            },
+        );
+        let u = qsim::unitary_of(&c);
+        assert!(u.approx_eq_phase(&Matrix::identity(8), 1e-8));
+    }
+
+    #[test]
+    fn heisenberg_is_cnot_dense_relative_to_tfim() {
+        // The property the paper leans on: Heisenberg has 3× the CNOTs.
+        let t = tfim(4, 5, 0.1).cnot_count();
+        let h = heisenberg(4, 5, 0.1).cnot_count();
+        assert_eq!(h, 3 * t);
+    }
+
+    #[test]
+    fn trotter_error_shrinks_with_dt() {
+        // exp(-iH t) for TFIM vs. the Trotter circuit at fixed total time.
+        let n = 3;
+        let total_time = 0.5;
+        let exact = {
+            // H = J Σ Z_i Z_{i+1} + h Σ X_i
+            let dim = 1 << n;
+            let mut h = Matrix::zeros(dim, dim);
+            for q in 0..n - 1 {
+                let mut ops = vec![Matrix::identity(2); n];
+                ops[q] = pauli('z');
+                ops[q + 1] = pauli('z');
+                let term = ops.iter().skip(1).fold(ops[0].clone(), |acc, m| acc.kron(m));
+                h = &h + &term;
+            }
+            for q in 0..n {
+                let mut ops = vec![Matrix::identity(2); n];
+                ops[q] = pauli('x');
+                let term = ops.iter().skip(1).fold(ops[0].clone(), |acc, m| acc.kron(m));
+                h = &h + &term;
+            }
+            qmath::random::matrix_exp(&h.scaled(C64::new(0.0, -total_time)))
+        };
+        let coarse = qsim::unitary_of(&tfim(n, 2, total_time / 2.0));
+        let fine = qsim::unitary_of(&tfim(n, 16, total_time / 16.0));
+        let d_coarse = qmath::hs::process_distance(&exact, &coarse);
+        let d_fine = qmath::hs::process_distance(&exact, &fine);
+        assert!(
+            d_fine < d_coarse,
+            "finer Trotterization should be closer: {d_fine} !< {d_coarse}"
+        );
+        assert!(d_fine < 0.05, "fine Trotter error too large: {d_fine}");
+    }
+}

@@ -1,0 +1,205 @@
+//! Canonical state-preparation and oracle benchmarks: GHZ, W,
+//! Bernstein–Vazirani, Grover.
+//!
+//! These complement the Table-1 suite with circuits whose ideal outputs are
+//! known in closed form, which makes them sharp end-to-end probes for the
+//! simulators and for QUEST's output-distance guarantees.
+
+use crate::arith::ccx;
+use qcircuit::Circuit;
+
+/// The `n`-qubit GHZ state preparation `(|0…0⟩ + |1…1⟩)/√2`.
+pub fn ghz(n: usize) -> Circuit {
+    assert!(n >= 2, "GHZ needs at least 2 qubits");
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cnot(q, q + 1);
+    }
+    c
+}
+
+/// Appends a controlled-`Ry(θ)` on `(control, target)` via the standard
+/// two-CNOT decomposition.
+pub fn cry(c: &mut Circuit, theta: f64, control: usize, target: usize) {
+    c.ry(target, theta / 2.0);
+    c.cnot(control, target);
+    c.ry(target, -theta / 2.0);
+    c.cnot(control, target);
+}
+
+/// The `n`-qubit W state `(|10…0⟩ + |01…0⟩ + … + |0…01⟩)/√n` via the
+/// cascade of controlled rotations.
+pub fn w_state(n: usize) -> Circuit {
+    assert!(n >= 2, "W state needs at least 2 qubits");
+    let mut c = Circuit::new(n);
+    c.x(0);
+    for i in 0..n - 1 {
+        let remaining = (n - i) as f64;
+        let theta = 2.0 * (1.0 / remaining.sqrt()).acos();
+        cry(&mut c, theta, i, i + 1);
+        c.cnot(i + 1, i);
+    }
+    c
+}
+
+/// Bernstein–Vazirani circuit recovering an `n`-bit secret in one query:
+/// `n` data qubits plus one ancilla (the last qubit). Measuring the data
+/// qubits yields `secret` deterministically.
+///
+/// # Panics
+///
+/// Panics if the secret does not fit in `n` bits.
+pub fn bernstein_vazirani(n: usize, secret: usize) -> Circuit {
+    assert!(secret < (1 << n), "secret does not fit in {n} bits");
+    let ancilla = n;
+    let mut c = Circuit::new(n + 1);
+    // Ancilla to |−⟩.
+    c.x(ancilla).h(ancilla);
+    for q in 0..n {
+        c.h(q);
+    }
+    // Oracle: f(x) = secret·x (bit q of the secret uses data qubit q, with
+    // qubit 0 holding the most significant bit).
+    for q in 0..n {
+        if (secret >> (n - 1 - q)) & 1 == 1 {
+            c.cnot(q, ancilla);
+        }
+    }
+    for q in 0..n {
+        c.h(q);
+    }
+    c
+}
+
+/// Grover search on 2 or 3 qubits for a single marked basis state, with the
+/// textbook optimal number of iterations (1 for n=2, 2 for n=3).
+///
+/// # Panics
+///
+/// Panics unless `n ∈ {2, 3}` and `marked < 2^n`.
+pub fn grover(n: usize, marked: usize) -> Circuit {
+    assert!(n == 2 || n == 3, "grover implemented for 2 and 3 qubits");
+    assert!(marked < (1 << n), "marked state out of range");
+    let iterations = if n == 2 { 1 } else { 2 };
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for _ in 0..iterations {
+        phase_flip_on(&mut c, n, marked);
+        // Diffusion: H X … flip-on-zero … X H.
+        for q in 0..n {
+            c.h(q);
+        }
+        phase_flip_on(&mut c, n, 0);
+        for q in 0..n {
+            c.h(q);
+        }
+    }
+    c
+}
+
+/// Appends a phase flip of the single basis state `state` (a multi-
+/// controlled Z conjugated by X on the zero bits).
+fn phase_flip_on(c: &mut Circuit, n: usize, state: usize) {
+    let flip: Vec<usize> = (0..n)
+        .filter(|&q| (state >> (n - 1 - q)) & 1 == 0)
+        .collect();
+    for &q in &flip {
+        c.x(q);
+    }
+    match n {
+        2 => {
+            c.cz(0, 1);
+        }
+        3 => {
+            // CCZ = H(target)·CCX·H(target).
+            c.h(2);
+            ccx(c, 0, 1, 2);
+            c.h(2);
+        }
+        _ => unreachable!("guarded by grover()"),
+    }
+    for &q in &flip {
+        c.x(q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::Statevector;
+
+    #[test]
+    fn ghz_amplitudes() {
+        for n in [2, 4, 6] {
+            let probs = Statevector::run(&ghz(n)).probabilities();
+            assert!((probs[0] - 0.5).abs() < 1e-12);
+            assert!((probs[(1 << n) - 1] - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn w_state_is_uniform_over_weight_one() {
+        for n in [2usize, 3, 5] {
+            let probs = Statevector::run(&w_state(n)).probabilities();
+            for (k, &p) in probs.iter().enumerate() {
+                if (k as u32).count_ones() == 1 {
+                    assert!(
+                        (p - 1.0 / n as f64).abs() < 1e-9,
+                        "n={n}, state {k}: p={p}"
+                    );
+                } else {
+                    assert!(p < 1e-9, "n={n}: weight-{} state has mass {p}", k.count_ones());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bernstein_vazirani_recovers_secret() {
+        for secret in [0b101usize, 0b011, 0b000, 0b111] {
+            let c = bernstein_vazirani(3, secret);
+            let probs = Statevector::run(&c).probabilities();
+            // Data qubits (0..3) must read `secret`; ancilla is |−⟩ so the
+            // two ancilla outcomes split the mass evenly.
+            let idx0 = secret << 1;
+            let idx1 = (secret << 1) | 1;
+            assert!(
+                (probs[idx0] + probs[idx1] - 1.0).abs() < 1e-9,
+                "secret {secret:03b}: p={}",
+                probs[idx0] + probs[idx1]
+            );
+        }
+    }
+
+    #[test]
+    fn grover_amplifies_marked_state() {
+        // n=2, one iteration: exact.
+        for marked in 0..4 {
+            let probs = Statevector::run(&grover(2, marked)).probabilities();
+            assert!(
+                probs[marked] > 0.99,
+                "n=2 marked {marked}: p={}",
+                probs[marked]
+            );
+        }
+        // n=3, two iterations: ~94.5%.
+        for marked in [0usize, 5, 7] {
+            let probs = Statevector::run(&grover(3, marked)).probabilities();
+            assert!(
+                probs[marked] > 0.9,
+                "n=3 marked {marked}: p={}",
+                probs[marked]
+            );
+        }
+    }
+
+    #[test]
+    fn generators_are_normalized() {
+        for c in [ghz(3), w_state(4), bernstein_vazirani(3, 5), grover(3, 2)] {
+            assert!((Statevector::run(&c).norm() - 1.0).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Variational and sampling benchmarks: HLF, QAOA, VQE.
+
+use qcircuit::Circuit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hidden-linear-function circuit (Bravyi, Gosset, König — the paper's
+/// reference \[6\]) for a random symmetric binary matrix drawn from `seed`.
+///
+/// Structure: `H^⊗n · [CZ edges] · [S diagonal] · H^⊗n`.
+pub fn hlf(n: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random::<bool>() {
+                c.cz(i, j);
+            }
+        }
+    }
+    for q in 0..n {
+        if rng.random::<bool>() {
+            c.s(q);
+        }
+    }
+    for q in 0..n {
+        c.h(q);
+    }
+    c
+}
+
+/// QAOA MaxCut ansatz on a ring of `n` vertices with `layers` alternating
+/// cost/mixer layers; the `(γ, β)` schedule is drawn deterministically from
+/// `seed` (paper reference \[12\]).
+pub fn qaoa_maxcut(n: usize, layers: usize, seed: u64) -> Circuit {
+    assert!(n >= 3, "ring graph needs at least 3 vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for _ in 0..layers {
+        let gamma: f64 = rng.random_range(0.1..1.5);
+        let beta: f64 = rng.random_range(0.1..1.5);
+        // Cost layer: exp(−iγ Z_i Z_j) on every ring edge.
+        for q in 0..n {
+            let next = (q + 1) % n;
+            c.cnot(q, next);
+            c.rz(next, 2.0 * gamma);
+            c.cnot(q, next);
+        }
+        // Mixer layer.
+        for q in 0..n {
+            c.rx(q, 2.0 * beta);
+        }
+    }
+    c
+}
+
+/// Hardware-efficient VQE ansatz (paper reference \[26\]): `layers`
+/// repetitions of per-qubit `Ry·Rz` rotations followed by a linear CNOT
+/// entangler, with rotation angles drawn deterministically from `seed`.
+pub fn vqe_ansatz(n: usize, layers: usize, seed: u64) -> Circuit {
+    assert!(n >= 2, "ansatz needs at least 2 qubits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    let angle = |rng: &mut StdRng| rng.random_range(-std::f64::consts::PI..std::f64::consts::PI);
+    for q in 0..n {
+        c.ry(q, angle(&mut rng));
+        c.rz(q, angle(&mut rng));
+    }
+    for _ in 0..layers {
+        for q in 0..n - 1 {
+            c.cnot(q, q + 1);
+        }
+        for q in 0..n {
+            c.ry(q, angle(&mut rng));
+            c.rz(q, angle(&mut rng));
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::Statevector;
+
+    #[test]
+    fn hlf_is_deterministic_per_seed() {
+        assert_eq!(hlf(5, 1), hlf(5, 1));
+        assert_ne!(hlf(5, 1), hlf(5, 2));
+    }
+
+    #[test]
+    fn hlf_has_expected_structure() {
+        let c = hlf(4, 7);
+        // Starts and ends with a Hadamard wall.
+        let insts = c.instructions();
+        for q in 0..4 {
+            assert_eq!(insts[q].gate, qcircuit::Gate::H);
+            assert_eq!(insts[insts.len() - 4 + q].gate, qcircuit::Gate::H);
+        }
+    }
+
+    #[test]
+    fn qaoa_width_and_cnot_count() {
+        let c = qaoa_maxcut(5, 2, 3);
+        assert_eq!(c.num_qubits(), 5);
+        // Ring of 5 edges × 2 CX × 2 layers.
+        assert_eq!(c.cnot_count(), 20);
+    }
+
+    #[test]
+    fn vqe_entangles() {
+        let c = vqe_ansatz(4, 3, 9);
+        assert_eq!(c.cnot_count(), 9);
+        // Output should not be a computational basis state.
+        let probs = Statevector::run(&c).probabilities();
+        let max = probs.iter().cloned().fold(0.0, f64::max);
+        assert!(max < 0.99, "VQE output looks trivial: {max}");
+    }
+
+    #[test]
+    fn all_generators_produce_normalized_states() {
+        for c in [hlf(4, 1), qaoa_maxcut(4, 1, 2), vqe_ansatz(3, 2, 3)] {
+            let sv = Statevector::run(&c);
+            assert!((sv.norm() - 1.0).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Semantic checks of the benchmark generators beyond structure: the
+//! circuits must compute what their algorithms promise.
+
+use qbench::arith::{adder, multiplier, qft, AdderLayout, MultiplierLayout};
+use qsim::Statevector;
+
+/// Deterministically maps basis input x through circuit c.
+fn output_state(c: &qcircuit::Circuit, x: usize) -> usize {
+    let mut sv = Statevector::basis_state(c.num_qubits(), x);
+    sv.apply_circuit(c);
+    let probs = sv.probabilities();
+    let (idx, p) = probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    assert!(*p > 0.999, "output not deterministic: peak {p}");
+    idx
+}
+
+#[test]
+fn adder_three_bit_exhaustive() {
+    let width = 3;
+    let c = adder(width);
+    let layout = AdderLayout { width };
+    let n = c.num_qubits();
+    for a in 0..8usize {
+        for b in 0..8usize {
+            let mut x = 0usize;
+            for i in 0..width {
+                if (a >> i) & 1 == 1 {
+                    x |= 1 << (n - 1 - layout.a(i));
+                }
+                if (b >> i) & 1 == 1 {
+                    x |= 1 << (n - 1 - layout.b(i));
+                }
+            }
+            let y = output_state(&c, x);
+            // Decode sum from the B positions + carry-out.
+            let mut sum = 0usize;
+            for i in 0..width {
+                if (y >> (n - 1 - layout.b(i))) & 1 == 1 {
+                    sum |= 1 << i;
+                }
+            }
+            if (y >> (n - 1 - layout.carry_out())) & 1 == 1 {
+                sum |= 1 << width;
+            }
+            assert_eq!(sum, a + b, "adder({a}, {b})");
+            // A register preserved.
+            for i in 0..width {
+                assert_eq!(
+                    (y >> (n - 1 - layout.a(i))) & 1,
+                    (a >> i) & 1,
+                    "A clobbered"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn multiplier_preserves_operands() {
+    let c = multiplier(2);
+    let layout = MultiplierLayout { width: 2 };
+    let n = c.num_qubits();
+    for a in 0..4usize {
+        for b in 0..4usize {
+            let mut x = 0usize;
+            for i in 0..2 {
+                if (a >> i) & 1 == 1 {
+                    x |= 1 << (n - 1 - layout.a(i));
+                }
+                if (b >> i) & 1 == 1 {
+                    x |= 1 << (n - 1 - layout.b(i));
+                }
+            }
+            let y = output_state(&c, x);
+            let mut prod = 0usize;
+            for k in 0..4 {
+                if (y >> (n - 1 - layout.prod(k))) & 1 == 1 {
+                    prod |= 1 << k;
+                }
+            }
+            assert_eq!(prod, a * b, "multiplier({a}, {b})");
+        }
+    }
+}
+
+#[test]
+fn qft_of_basis_state_is_flat() {
+    // |QFT x⟩ has uniform probability over all basis states.
+    let c = qft(4);
+    for x in [0usize, 5, 15] {
+        let mut sv = Statevector::basis_state(4, x);
+        sv.apply_circuit(&c);
+        let probs = sv.probabilities();
+        for &p in &probs {
+            assert!((p - 1.0 / 16.0).abs() < 1e-9, "non-uniform: {p}");
+        }
+    }
+}
+
+#[test]
+fn qft_inverse_qft_is_identity_on_random_state() {
+    let mut prep = qcircuit::Circuit::new(3);
+    prep.ry(0, 0.3).ry(1, 1.2).ry(2, -0.7).cnot(0, 1).cnot(1, 2);
+    let before = Statevector::run(&prep);
+    let mut sv = before.clone();
+    let f = qft(3);
+    sv.apply_circuit(&f);
+    sv.apply_circuit(&f.inverse());
+    for (a, b) in sv.amplitudes().iter().zip(before.amplitudes()) {
+        assert!(a.approx_eq(*b, 1e-9));
+    }
+}
+
+#[test]
+fn hlf_output_is_classically_structured() {
+    // HLF circuits are Clifford: output probabilities are 0 or uniform over
+    // an affine subspace (all non-zero entries equal).
+    for seed in [1u64, 7, 99] {
+        let c = qbench::varia::hlf(5, seed);
+        let probs = Statevector::run(&c).probabilities();
+        let nonzero: Vec<f64> = probs.iter().copied().filter(|&p| p > 1e-9).collect();
+        let first = nonzero[0];
+        for &p in &nonzero {
+            assert!((p - first).abs() < 1e-9, "seed {seed}: non-uniform support");
+        }
+        // Support size is a power of two.
+        assert!(nonzero.len().is_power_of_two(), "support {}", nonzero.len());
+    }
+}
+
+#[test]
+fn spin_models_conserve_symmetries() {
+    // XY and Heisenberg conserve total Z-magnetization; starting from
+    // |0000⟩ (a magnetization eigenstate) the output stays |0000⟩-dominant
+    // in total weight... specifically the support stays in the m=+1 sector:
+    // only the all-zeros state.
+    for circ in [qbench::spin::xy(4, 3, 0.1), qbench::spin::heisenberg(4, 3, 0.1)] {
+        let probs = Statevector::run(&circ).probabilities();
+        assert!(
+            probs[0] > 0.999,
+            "U(1)-symmetric evolution must fix |0…0⟩: p0 = {}",
+            probs[0]
+        );
+    }
+    // TFIM's transverse field breaks the symmetry: |0000⟩ must leak.
+    let probs = Statevector::run(&qbench::spin::tfim(4, 3, 0.1)).probabilities();
+    assert!(probs[0] < 0.999, "TFIM should not fix |0…0⟩");
+}

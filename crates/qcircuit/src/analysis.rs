@@ -1,0 +1,105 @@
+//! Structural circuit analysis.
+//!
+//! The paper observes that partitioning quality depends on circuit
+//! structure — "a qubit having many CNOTs with a rotating set of other
+//! qubits makes partitioning more challenging" (Sec. 4.2). These helpers
+//! quantify that structure: the two-qubit interaction graph, per-qubit
+//! load, and the available parallelism.
+
+use crate::topology::CouplingMap;
+use crate::Circuit;
+
+/// The undirected graph of qubit pairs coupled by at least one two-qubit
+/// gate.
+///
+/// ```
+/// use qcircuit::{analysis, Circuit};
+///
+/// let mut c = Circuit::new(3);
+/// c.cnot(0, 1).cz(1, 2);
+/// let g = analysis::interaction_graph(&c);
+/// assert!(g.connected(0, 1) && g.connected(1, 2) && !g.connected(0, 2));
+/// ```
+pub fn interaction_graph(circuit: &Circuit) -> CouplingMap {
+    let edges: Vec<(usize, usize)> = circuit
+        .iter()
+        .filter(|i| i.gate.is_two_qubit())
+        .map(|i| (i.qubits[0], i.qubits[1]))
+        .collect();
+    CouplingMap::new(circuit.num_qubits(), &edges)
+}
+
+/// Number of instructions touching each qubit.
+pub fn qubit_utilization(circuit: &Circuit) -> Vec<usize> {
+    let mut counts = vec![0usize; circuit.num_qubits()];
+    for inst in circuit.iter() {
+        for &q in &inst.qubits {
+            counts[q] += 1;
+        }
+    }
+    counts
+}
+
+/// Average instructions per depth layer (`len / depth`); 1.0 means fully
+/// sequential, larger means more gate-level parallelism.
+pub fn parallelism(circuit: &Circuit) -> f64 {
+    let depth = circuit.depth();
+    if depth == 0 {
+        return 0.0;
+    }
+    circuit.len() as f64 / depth as f64
+}
+
+/// The number of distinct partners each qubit interacts with — the paper's
+/// "rotating set of other qubits" difficulty signal. High values mean the
+/// scan partitioner is forced into small blocks.
+pub fn interaction_degrees(circuit: &Circuit) -> Vec<usize> {
+    let graph = interaction_graph(circuit);
+    (0..circuit.num_qubits())
+        .map(|q| {
+            (0..circuit.num_qubits())
+                .filter(|&p| graph.connected(q, p))
+                .count()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_counts_every_touch() {
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).cnot(1, 2).rz(1, 0.1);
+        assert_eq!(qubit_utilization(&c), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn parallelism_of_parallel_layer() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).h(2).h(3);
+        assert!((parallelism(&c) - 4.0).abs() < 1e-12);
+        assert_eq!(parallelism(&Circuit::new(2)), 0.0);
+    }
+
+    #[test]
+    fn degrees_reflect_rotating_partners() {
+        // Star: qubit 0 interacts with everyone.
+        let mut star = Circuit::new(4);
+        star.cnot(0, 1).cnot(0, 2).cnot(0, 3);
+        assert_eq!(interaction_degrees(&star), vec![3, 1, 1, 1]);
+        // Line: interior qubits have degree 2.
+        let mut line = Circuit::new(4);
+        line.cnot(0, 1).cnot(1, 2).cnot(2, 3);
+        assert_eq!(interaction_degrees(&line), vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn interaction_graph_dedupes_repeats() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1).cnot(1, 0).cz(0, 1);
+        let g = interaction_graph(&c);
+        assert_eq!(g.num_edges(), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! ASCII circuit diagrams.
+//!
+//! Renders a [`Circuit`] as one text line per qubit wire, with gates placed
+//! into depth columns — handy for examples, debugging, and the CLI.
+//!
+//! ```
+//! use qcircuit::{draw, Circuit};
+//!
+//! let mut c = Circuit::new(2);
+//! c.h(0).cnot(0, 1);
+//! let art = draw::to_ascii(&c);
+//! assert!(art.contains("h"));
+//! assert!(art.contains("●"));
+//! assert!(art.contains("⊕"));
+//! ```
+
+use crate::{Circuit, Gate};
+
+/// Renders the circuit as ASCII art, one row per qubit.
+///
+/// Gates are packed greedily into columns (the same scheduling as
+/// [`Circuit::depth`]); two-qubit gates draw a vertical connector between
+/// control (`●`) and target (`⊕` for CNOT, `●` for CZ, `x` for SWAP).
+pub fn to_ascii(circuit: &Circuit) -> String {
+    let n = circuit.num_qubits();
+    if n == 0 {
+        return String::new();
+    }
+    // Column index per qubit (same greedy layering as depth()).
+    let mut level = vec![0usize; n];
+    // cells[column][qubit]
+    let mut cells: Vec<Vec<String>> = Vec::new();
+    let ensure_column = |cells: &mut Vec<Vec<String>>, col: usize| {
+        while cells.len() <= col {
+            cells.push(vec![String::new(); n]);
+        }
+    };
+
+    for inst in circuit.iter() {
+        let col = inst.qubits.iter().map(|&q| level[q]).max().unwrap_or(0);
+        ensure_column(&mut cells, col);
+        match inst.gate.num_qubits() {
+            1 => {
+                let label = short_label(&inst.gate);
+                cells[col][inst.qubits[0]] = label;
+            }
+            _ => {
+                let (a, b) = (inst.qubits[0], inst.qubits[1]);
+                let (ctrl_sym, tgt_sym) = match inst.gate {
+                    Gate::Cnot => ("●", "⊕"),
+                    Gate::Cz => ("●", "●"),
+                    _ => ("x", "x"), // SWAP
+                };
+                cells[col][a] = ctrl_sym.to_string();
+                cells[col][b] = tgt_sym.to_string();
+                // Vertical connector through intermediate wires.
+                let (lo, hi) = (a.min(b), a.max(b));
+                for q in (lo + 1)..hi {
+                    if cells[col][q].is_empty() {
+                        cells[col][q] = "│".to_string();
+                    }
+                }
+            }
+        }
+        for &q in &inst.qubits {
+            level[q] = col + 1;
+        }
+        // Two-qubit gates also block the wires they cross.
+        if inst.gate.num_qubits() == 2 {
+            let (lo, hi) = (
+                *inst.qubits.iter().min().unwrap(),
+                *inst.qubits.iter().max().unwrap(),
+            );
+            for q in lo..=hi {
+                level[q] = level[q].max(col + 1);
+            }
+        }
+    }
+
+    // Column widths.
+    let widths: Vec<usize> = cells
+        .iter()
+        .map(|col| col.iter().map(|c| c.chars().count()).max().unwrap_or(0).max(1))
+        .collect();
+    let mut out = String::new();
+    for q in 0..n {
+        out.push_str(&format!("q{q}: "));
+        for (ci, col) in cells.iter().enumerate() {
+            let cell = &col[q];
+            let w = widths[ci];
+            let pad = w - cell.chars().count();
+            if cell.is_empty() {
+                out.push_str(&"─".repeat(w));
+            } else {
+                out.push_str(cell);
+                out.push_str(&"─".repeat(pad));
+            }
+            out.push_str("──");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn short_label(gate: &Gate) -> String {
+    match gate {
+        Gate::Rx(t) => format!("rx({t:.2})"),
+        Gate::Ry(t) => format!("ry({t:.2})"),
+        Gate::Rz(t) => format!("rz({t:.2})"),
+        Gate::Phase(t) => format!("p({t:.2})"),
+        Gate::U3(a, b, c) => format!("u3({a:.1},{b:.1},{c:.1})"),
+        g => g.name().to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_one_row_per_qubit() {
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 2).rz(1, 0.5);
+        let art = to_ascii(&c);
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.contains("q0:"));
+        assert!(art.contains("q2:"));
+    }
+
+    #[test]
+    fn cnot_draws_control_and_target() {
+        let mut c = Circuit::new(2);
+        c.cnot(1, 0);
+        let art = to_ascii(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[1].contains('●'), "control missing: {art}");
+        assert!(lines[0].contains('⊕'), "target missing: {art}");
+    }
+
+    #[test]
+    fn connector_crosses_intermediate_wires() {
+        let mut c = Circuit::new(3);
+        c.cnot(0, 2);
+        let art = to_ascii(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[1].contains('│'), "connector missing: {art}");
+    }
+
+    #[test]
+    fn parallel_gates_share_a_column() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1);
+        let art = to_ascii(&c);
+        // Both h's in the first column → equal line lengths, single column.
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines[0].chars().count(), lines[1].chars().count());
+    }
+
+    #[test]
+    fn rotation_labels_include_angle() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.25);
+        assert!(to_ascii(&c).contains("rz(0.25)"));
+    }
+
+    #[test]
+    fn empty_circuit_renders_bare_wires() {
+        let art = to_ascii(&Circuit::new(2));
+        assert_eq!(art.lines().count(), 2);
+    }
+}

@@ -1,0 +1,173 @@
+//! Embedding k-qubit gate matrices into n-qubit unitaries.
+//!
+//! The paper's proof machinery (Sec. 3.8) manipulates unitaries of the form
+//! `U_block ⊗ I` extended to the full register; [`embed`] generalizes this to
+//! blocks acting on an arbitrary (possibly non-contiguous, possibly permuted)
+//! subset of qubits.
+
+use qmath::{C64, Matrix};
+
+/// Embeds a `2^k × 2^k` matrix acting on the ordered qubit list `qubits`
+/// into the full `2^n × 2^n` space.
+///
+/// `qubits[0]` corresponds to the most significant bit of the small matrix's
+/// index, matching the crate's global big-endian convention.
+///
+/// # Panics
+///
+/// Panics if `m` is not `2^k × 2^k` for `k = qubits.len()`, if any qubit is
+/// out of range, or if qubits repeat.
+///
+/// ```
+/// use qcircuit::{embed, Gate};
+/// use qmath::Matrix;
+///
+/// // X on qubit 1 of 2 = I ⊗ X.
+/// let full = embed::embed(&Gate::X.matrix(), &[1], 2);
+/// let expect = Matrix::identity(2).kron(&Gate::X.matrix());
+/// assert!(full.approx_eq(&expect, 1e-12));
+/// ```
+pub fn embed(m: &Matrix, qubits: &[usize], n: usize) -> Matrix {
+    let k = qubits.len();
+    let dim_small = 1usize << k;
+    assert_eq!(
+        (m.rows(), m.cols()),
+        (dim_small, dim_small),
+        "matrix size does not match qubit count"
+    );
+    for (i, &q) in qubits.iter().enumerate() {
+        assert!(q < n, "qubit {q} out of range for {n} qubits");
+        assert!(
+            !qubits[..i].contains(&q),
+            "duplicate qubit {q} in embedding"
+        );
+    }
+    let dim = 1usize << n;
+    let mut out = Matrix::zeros(dim, dim);
+    // Bit position (from the left / MSB) of qubit q is n-1-q counting from
+    // the LSB side: qubit 0 is the MSB.
+    let shifts: Vec<usize> = qubits.iter().map(|&q| n - 1 - q).collect();
+
+    // For each full-space column j: extract the sub-index formed by the
+    // embedded qubits, then scatter the matrix column into the rows that
+    // differ from j only on those qubits.
+    for j in 0..dim {
+        let mut sub_col = 0usize;
+        for (bit, &sh) in shifts.iter().enumerate() {
+            if (j >> sh) & 1 == 1 {
+                sub_col |= 1 << (k - 1 - bit);
+            }
+        }
+        // Base index with the embedded qubits cleared.
+        let mut base = j;
+        for &sh in &shifts {
+            base &= !(1 << sh);
+        }
+        for sub_row in 0..dim_small {
+            let a = m[(sub_row, sub_col)];
+            if a == C64::ZERO {
+                continue;
+            }
+            let mut i = base;
+            for (bit, &sh) in shifts.iter().enumerate() {
+                if (sub_row >> (k - 1 - bit)) & 1 == 1 {
+                    i |= 1 << sh;
+                }
+            }
+            out[(i, j)] = a;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gate;
+    use qmath::random::haar_unitary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn one_qubit_embedding_matches_kron() {
+        let x = Gate::X.matrix();
+        let id = Matrix::identity(2);
+        // Qubit 0 of 2: X ⊗ I.
+        assert!(embed(&x, &[0], 2).approx_eq(&x.kron(&id), 1e-12));
+        // Qubit 1 of 2: I ⊗ X.
+        assert!(embed(&x, &[1], 2).approx_eq(&id.kron(&x), 1e-12));
+    }
+
+    #[test]
+    fn contiguous_two_qubit_embedding_matches_kron() {
+        let cx = Gate::Cnot.matrix();
+        let id = Matrix::identity(2);
+        // Qubits [0,1] of 3: CX ⊗ I.
+        assert!(embed(&cx, &[0, 1], 3).approx_eq(&cx.kron(&id), 1e-12));
+        // Qubits [1,2] of 3: I ⊗ CX.
+        assert!(embed(&cx, &[1, 2], 3).approx_eq(&id.kron(&cx), 1e-12));
+    }
+
+    #[test]
+    fn reversed_qubit_order_swaps_control_and_target() {
+        // CNOT with control=1, target=0 on 2 qubits.
+        let m = embed(&Gate::Cnot.matrix(), &[1, 0], 2);
+        // |01⟩ (index 1, q1=1 control set) → |11⟩ (index 3).
+        assert_eq!(m[(3, 1)], C64::ONE);
+        assert_eq!(m[(1, 3)], C64::ONE);
+        assert_eq!(m[(0, 0)], C64::ONE);
+        assert_eq!(m[(2, 2)], C64::ONE);
+        assert!(m.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn non_adjacent_embedding_is_unitary_and_correct() {
+        // CNOT control=0, target=2 on 3 qubits: |1ab⟩ → |1a(b⊕1)⟩.
+        let m = embed(&Gate::Cnot.matrix(), &[0, 2], 3);
+        assert!(m.is_unitary(1e-12));
+        // |100⟩ (4) → |101⟩ (5)
+        assert_eq!(m[(5, 4)], C64::ONE);
+        // |110⟩ (6) → |111⟩ (7)
+        assert_eq!(m[(7, 6)], C64::ONE);
+        // |010⟩ (2) stays.
+        assert_eq!(m[(2, 2)], C64::ONE);
+    }
+
+    #[test]
+    fn random_unitary_embedding_preserves_unitarity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let u = haar_unitary(4, &mut rng);
+        let m = embed(&u, &[2, 0], 3);
+        assert!(m.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn embedding_identity_gives_identity() {
+        let id4 = Matrix::identity(4);
+        assert!(embed(&id4, &[1, 3], 4).approx_eq(&Matrix::identity(16), 1e-12));
+    }
+
+    #[test]
+    fn embedding_composes_like_matrices() {
+        // embed(A)·embed(B) = embed(A·B) on the same qubits.
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = haar_unitary(4, &mut rng);
+        let b = haar_unitary(4, &mut rng);
+        let qubits = [3, 1];
+        let lhs = embed(&a, &qubits, 4).matmul(&embed(&b, &qubits, 4));
+        let rhs = embed(&a.matmul(&b), &qubits, 4);
+        assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate qubit")]
+    fn duplicate_qubit_panics() {
+        let _ = embed(&Gate::Cnot.matrix(), &[1, 1], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = embed(&Gate::X.matrix(), &[5], 3);
+    }
+}

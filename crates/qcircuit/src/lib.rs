@@ -1,0 +1,92 @@
+//! Quantum circuit intermediate representation.
+//!
+//! This crate replaces the circuit layer of Qiskit/BQSKit that the QUEST
+//! paper builds on:
+//!
+//! * [`Gate`] — the gate set (one-qubit Cliffords, parameterized rotations,
+//!   `U3`, CNOT/CZ/SWAP) with exact matrices and inverses,
+//! * [`Circuit`] — an ordered gate list with builder methods, composition,
+//!   inversion, depth/CNOT statistics and full-unitary construction,
+//! * [`qasm`] — a parser and printer for the OpenQASM 2.0 subset the paper's
+//!   benchmark files use,
+//! * [`embed`] — embedding of k-qubit gate matrices into n-qubit unitaries.
+//!
+//! # Bit-ordering convention
+//!
+//! Qubit 0 is the **most significant bit** of a computational-basis index:
+//! for a 2-qubit system, basis state `|q0 q1⟩ = |10⟩` has index 2. This makes
+//! `U_q0 ⊗ U_q1` the natural Kronecker order. (Qiskit uses the opposite,
+//! little-endian convention; distributions produced here index states
+//! big-endian.)
+//!
+//! # Example
+//!
+//! ```
+//! use qcircuit::Circuit;
+//!
+//! // Bell pair.
+//! let mut c = Circuit::new(2);
+//! c.h(0).cnot(0, 1);
+//! assert_eq!(c.cnot_count(), 1);
+//! let u = c.unitary();
+//! assert!(u.is_unitary(1e-12));
+//! ```
+
+pub mod analysis;
+pub mod circuit;
+pub mod draw;
+pub mod embed;
+pub mod gate;
+pub mod qasm;
+pub mod topology;
+
+pub use circuit::{Circuit, Instruction};
+pub use gate::Gate;
+
+use std::fmt;
+
+/// Errors produced when constructing or manipulating circuits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A qubit index was out of range for the circuit width.
+    QubitOutOfRange {
+        /// The offending index.
+        qubit: usize,
+        /// The circuit width.
+        num_qubits: usize,
+    },
+    /// The same qubit appeared twice in one instruction.
+    DuplicateQubit {
+        /// The duplicated index.
+        qubit: usize,
+    },
+    /// The number of qubit operands did not match the gate's arity.
+    ArityMismatch {
+        /// Gate name.
+        gate: &'static str,
+        /// Expected operand count.
+        expected: usize,
+        /// Actual operand count.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+            }
+            CircuitError::DuplicateQubit { qubit } => {
+                write!(f, "qubit {qubit} used twice in one instruction")
+            }
+            CircuitError::ArityMismatch {
+                gate,
+                expected,
+                actual,
+            } => write!(f, "gate {gate} expects {expected} qubits, got {actual}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}

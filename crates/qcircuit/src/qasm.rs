@@ -1,0 +1,542 @@
+//! OpenQASM 2.0 subset parser and printer.
+//!
+//! The QUEST artifact distributes its benchmarks as OpenQASM 2.0 files; this
+//! module supports the subset those files use: a single `qreg`, optional
+//! `creg`/`measure`/`barrier` (ignored), the qelib1 gates this workspace
+//! models, and constant angle expressions over `pi`, literals and `+ - * /`.
+//!
+//! ```
+//! use qcircuit::qasm;
+//!
+//! let src = r#"
+//! OPENQASM 2.0;
+//! include "qelib1.inc";
+//! qreg q[2];
+//! h q[0];
+//! cx q[0],q[1];
+//! rz(pi/4) q[1];
+//! "#;
+//! let circuit = qasm::parse(src).unwrap();
+//! assert_eq!(circuit.num_qubits(), 2);
+//! assert_eq!(circuit.cnot_count(), 1);
+//! let printed = qasm::emit(&circuit);
+//! let reparsed = qasm::parse(&printed).unwrap();
+//! assert_eq!(circuit, reparsed);
+//! ```
+
+use crate::{Circuit, Gate};
+use std::fmt;
+
+/// Errors produced while parsing OpenQASM.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QasmError {
+    /// A statement could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+    /// A gate name is not in the supported subset.
+    UnsupportedGate {
+        /// 1-based line number.
+        line: usize,
+        /// The gate name encountered.
+        name: String,
+    },
+    /// No `qreg` declaration was found before gate statements.
+    MissingRegister,
+    /// A circuit-level validation failed (bad qubit index etc.).
+    Circuit(crate::CircuitError),
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QasmError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            QasmError::UnsupportedGate { line, name } => {
+                write!(f, "line {line}: unsupported gate `{name}`")
+            }
+            QasmError::MissingRegister => write!(f, "no qreg declared before gates"),
+            QasmError::Circuit(e) => write!(f, "invalid instruction: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QasmError {}
+
+impl From<crate::CircuitError> for QasmError {
+    fn from(e: crate::CircuitError) -> Self {
+        QasmError::Circuit(e)
+    }
+}
+
+/// Parses an OpenQASM 2.0 program into a [`Circuit`].
+///
+/// `creg`, `measure` and `barrier` statements are accepted and ignored
+/// (measurement of the full register is implicit in this workspace).
+///
+/// # Errors
+///
+/// Returns [`QasmError`] on malformed statements, unsupported gates, or
+/// invalid qubit references.
+pub fn parse(source: &str) -> Result<Circuit, QasmError> {
+    let mut circuit: Option<Circuit> = None;
+    for (lineno, raw_line) in source.lines().enumerate() {
+        let line = lineno + 1;
+        // Strip comments.
+        let text = match raw_line.find("//") {
+            Some(idx) => &raw_line[..idx],
+            None => raw_line,
+        };
+        for stmt in text.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            if stmt.starts_with("OPENQASM") || stmt.starts_with("include") {
+                continue;
+            }
+            if let Some(rest) = stmt.strip_prefix("qreg") {
+                let (name, size) = parse_register(rest, line)?;
+                let _ = name;
+                circuit = Some(Circuit::new(size));
+                continue;
+            }
+            if stmt.starts_with("creg") || stmt.starts_with("barrier") || stmt.starts_with("measure")
+            {
+                continue;
+            }
+            let c = circuit.as_mut().ok_or(QasmError::MissingRegister)?;
+            parse_gate_statement(stmt, line, c)?;
+        }
+    }
+    circuit.ok_or(QasmError::MissingRegister)
+}
+
+/// Serializes a circuit as OpenQASM 2.0.
+///
+/// Angles are printed with 17 significant digits so that a parse round-trip
+/// reproduces the circuit bit-exactly.
+pub fn emit(circuit: &Circuit) -> String {
+    let mut out = String::from("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    out.push_str(&format!("qreg q[{}];\n", circuit.num_qubits()));
+    for inst in circuit.iter() {
+        let params = inst.gate.params();
+        if params.is_empty() {
+            out.push_str(inst.gate.name());
+        } else {
+            let joined = params
+                .iter()
+                .map(|p| format!("{p:.17e}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!("{}({})", inst.gate.name(), joined));
+        }
+        let qs = inst
+            .qubits
+            .iter()
+            .map(|q| format!("q[{q}]"))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&format!(" {qs};\n"));
+    }
+    out
+}
+
+fn parse_register(rest: &str, line: usize) -> Result<(String, usize), QasmError> {
+    // e.g. " q[4]"
+    let rest = rest.trim();
+    let open = rest.find('[').ok_or_else(|| syntax(line, "expected `[`"))?;
+    let close = rest.find(']').ok_or_else(|| syntax(line, "expected `]`"))?;
+    let name = rest[..open].trim().to_string();
+    let size: usize = rest[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| syntax(line, "register size is not an integer"))?;
+    Ok((name, size))
+}
+
+fn parse_gate_statement(stmt: &str, line: usize, c: &mut Circuit) -> Result<(), QasmError> {
+    // Split "name(params) operands" / "name operands".
+    let (head, operands) = split_head(stmt, line)?;
+    let (name, params) = match head.find('(') {
+        Some(open) => {
+            let close = head
+                .rfind(')')
+                .ok_or_else(|| syntax(line, "unbalanced parenthesis"))?;
+            let name = head[..open].trim();
+            let params: Result<Vec<f64>, QasmError> = head[open + 1..close]
+                .split(',')
+                .map(|e| eval_expr(e, line))
+                .collect();
+            (name, params?)
+        }
+        None => (head, Vec::new()),
+    };
+    let qubits = parse_operands(operands, line)?;
+    let gate = make_gate(name, &params, line)?;
+    c.try_push(gate, &qubits)?;
+    Ok(())
+}
+
+fn split_head(stmt: &str, line: usize) -> Result<(&str, &str), QasmError> {
+    // The head ends at the first whitespace outside parentheses.
+    let mut depth = 0usize;
+    for (i, ch) in stmt.char_indices() {
+        match ch {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            c if c.is_whitespace() && depth == 0 => {
+                return Ok((&stmt[..i], stmt[i..].trim()));
+            }
+            _ => {}
+        }
+    }
+    Err(syntax(line, "gate statement has no operands"))
+}
+
+fn parse_operands(operands: &str, line: usize) -> Result<Vec<usize>, QasmError> {
+    operands
+        .split(',')
+        .map(|op| {
+            let op = op.trim();
+            let open = op
+                .find('[')
+                .ok_or_else(|| syntax(line, "operand must be indexed, e.g. q[0]"))?;
+            let close = op
+                .find(']')
+                .ok_or_else(|| syntax(line, "expected `]` in operand"))?;
+            op[open + 1..close]
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| syntax(line, "qubit index is not an integer"))
+        })
+        .collect()
+}
+
+fn make_gate(name: &str, params: &[f64], line: usize) -> Result<Gate, QasmError> {
+    let need = |n: usize| -> Result<(), QasmError> {
+        if params.len() == n {
+            Ok(())
+        } else {
+            Err(syntax(
+                line,
+                &format!("gate {name} expects {n} parameter(s), got {}", params.len()),
+            ))
+        }
+    };
+    let gate = match name {
+        "x" => Gate::X,
+        "y" => Gate::Y,
+        "z" => Gate::Z,
+        "h" => Gate::H,
+        "s" => Gate::S,
+        "sdg" => Gate::Sdg,
+        "t" => Gate::T,
+        "tdg" => Gate::Tdg,
+        "rx" => {
+            need(1)?;
+            Gate::Rx(params[0])
+        }
+        "ry" => {
+            need(1)?;
+            Gate::Ry(params[0])
+        }
+        "rz" => {
+            need(1)?;
+            Gate::Rz(params[0])
+        }
+        "p" | "u1" => {
+            need(1)?;
+            Gate::Phase(params[0])
+        }
+        "u3" | "u" => {
+            need(3)?;
+            Gate::U3(params[0], params[1], params[2])
+        }
+        "cx" | "CX" => Gate::Cnot,
+        "cz" => Gate::Cz,
+        "swap" => Gate::Swap,
+        other => {
+            return Err(QasmError::UnsupportedGate {
+                line,
+                name: other.to_string(),
+            })
+        }
+    };
+    if gate.params().is_empty() && !params.is_empty() {
+        return Err(syntax(line, &format!("gate {name} takes no parameters")));
+    }
+    Ok(gate)
+}
+
+fn syntax(line: usize, message: &str) -> QasmError {
+    QasmError::Syntax {
+        line,
+        message: message.to_string(),
+    }
+}
+
+// --- tiny arithmetic-expression evaluator for angle parameters -----------
+
+/// Evaluates a constant angle expression such as `-3*pi/4` or `1.5e-1`.
+fn eval_expr(src: &str, line: usize) -> Result<f64, QasmError> {
+    let tokens = tokenize(src, line)?;
+    let mut parser = ExprParser {
+        tokens: &tokens,
+        pos: 0,
+        line,
+    };
+    let v = parser.expr()?;
+    if parser.pos != tokens.len() {
+        return Err(syntax(line, "trailing characters in expression"));
+    }
+    Ok(v)
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Num(f64),
+    Pi,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+}
+
+fn tokenize(src: &str, line: usize) -> Result<Vec<Tok>, QasmError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let ch = bytes[i] as char;
+        match ch {
+            c if c.is_whitespace() => i += 1,
+            '+' => {
+                out.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Tok::Slash);
+                i += 1;
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            'p' | 'P' => {
+                if src[i..].to_ascii_lowercase().starts_with("pi") {
+                    out.push(Tok::Pi);
+                    i += 2;
+                } else {
+                    return Err(syntax(line, "unknown identifier in expression"));
+                }
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_digit() || c == '.' {
+                        i += 1;
+                    } else if (c == 'e' || c == 'E')
+                        && i + 1 < bytes.len()
+                        && ((bytes[i + 1] as char).is_ascii_digit()
+                            || bytes[i + 1] == b'-'
+                            || bytes[i + 1] == b'+')
+                    {
+                        i += 2;
+                    } else {
+                        break;
+                    }
+                }
+                let v: f64 = src[start..i]
+                    .parse()
+                    .map_err(|_| syntax(line, "malformed number"))?;
+                out.push(Tok::Num(v));
+            }
+            _ => return Err(syntax(line, &format!("unexpected character `{ch}`"))),
+        }
+    }
+    Ok(out)
+}
+
+struct ExprParser<'a> {
+    tokens: &'a [Tok],
+    pos: usize,
+    line: usize,
+}
+
+impl ExprParser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&Tok> {
+        let t = self.tokens.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    fn expr(&mut self) -> Result<f64, QasmError> {
+        let mut v = self.term()?;
+        while let Some(op) = self.peek() {
+            match op {
+                Tok::Plus => {
+                    self.pos += 1;
+                    v += self.term()?;
+                }
+                Tok::Minus => {
+                    self.pos += 1;
+                    v -= self.term()?;
+                }
+                _ => break,
+            }
+        }
+        Ok(v)
+    }
+
+    fn term(&mut self) -> Result<f64, QasmError> {
+        let mut v = self.factor()?;
+        while let Some(op) = self.peek() {
+            match op {
+                Tok::Star => {
+                    self.pos += 1;
+                    v *= self.factor()?;
+                }
+                Tok::Slash => {
+                    self.pos += 1;
+                    v /= self.factor()?;
+                }
+                _ => break,
+            }
+        }
+        Ok(v)
+    }
+
+    fn factor(&mut self) -> Result<f64, QasmError> {
+        match self.next() {
+            Some(Tok::Num(v)) => Ok(*v),
+            Some(Tok::Pi) => Ok(std::f64::consts::PI),
+            Some(Tok::Minus) => Ok(-self.factor()?),
+            Some(Tok::Plus) => self.factor(),
+            Some(Tok::LParen) => {
+                let v = self.expr()?;
+                match self.next() {
+                    Some(Tok::RParen) => Ok(v),
+                    _ => Err(syntax(self.line, "expected `)`")),
+                }
+            }
+            _ => Err(syntax(self.line, "expected number, pi, or `(`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn parses_basic_program() {
+        let src = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncreg c[3];\nh q[0];\ncx q[0],q[1];\nmeasure q -> c;\n";
+        let c = parse(src).unwrap();
+        assert_eq!(c.num_qubits(), 3);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn parses_angle_expressions() {
+        let src = "qreg q[1]; rz(pi/2) q[0]; rx(-pi/4) q[0]; ry(3*pi/2) q[0]; p(0.5e-1) q[0];";
+        let c = parse(src).unwrap();
+        assert_eq!(c.instructions()[0].gate, Gate::Rz(PI / 2.0));
+        assert_eq!(c.instructions()[1].gate, Gate::Rx(-PI / 4.0));
+        assert_eq!(c.instructions()[2].gate, Gate::Ry(3.0 * PI / 2.0));
+        assert_eq!(c.instructions()[3].gate, Gate::Phase(0.05));
+    }
+
+    #[test]
+    fn parses_u3_with_three_params() {
+        let src = "qreg q[1]; u3(pi/2, 0, pi) q[0];";
+        let c = parse(src).unwrap();
+        assert_eq!(c.instructions()[0].gate, Gate::U3(PI / 2.0, 0.0, PI));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "// header\nqreg q[1];\n\nh q[0]; // trailing comment\n";
+        let c = parse(src).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn multiple_statements_per_line() {
+        let src = "qreg q[2]; h q[0]; cx q[0],q[1];";
+        let c = parse(src).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn unsupported_gate_is_reported() {
+        let src = "qreg q[3]; ccx q[0],q[1],q[2];";
+        match parse(src) {
+            Err(QasmError::UnsupportedGate { name, .. }) => assert_eq!(name, "ccx"),
+            other => panic!("expected UnsupportedGate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_register_is_reported() {
+        assert_eq!(parse("h q[0];"), Err(QasmError::MissingRegister));
+    }
+
+    #[test]
+    fn qubit_out_of_range_is_reported() {
+        let src = "qreg q[2]; h q[5];";
+        assert!(matches!(parse(src), Err(QasmError::Circuit(_))));
+    }
+
+    #[test]
+    fn emit_parse_roundtrip_exact() {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .cnot(0, 1)
+            .rz(1, 0.123456789012345)
+            .u3(2, 0.1, -0.2, 0.3)
+            .swap(0, 2)
+            .cz(1, 2)
+            .p(0, -1.75);
+        let text = emit(&c);
+        let back = parse(&text).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn eval_expr_precedence() {
+        assert_eq!(eval_expr("1+2*3", 1).unwrap(), 7.0);
+        assert_eq!(eval_expr("(1+2)*3", 1).unwrap(), 9.0);
+        assert_eq!(eval_expr("-pi/2", 1).unwrap(), -PI / 2.0);
+        assert_eq!(eval_expr("2*-3", 1).unwrap(), -6.0);
+    }
+
+    #[test]
+    fn eval_expr_rejects_garbage() {
+        assert!(eval_expr("1+", 1).is_err());
+        assert!(eval_expr("(1", 1).is_err());
+        assert!(eval_expr("foo", 1).is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! Qubit-connectivity (coupling) maps.
+//!
+//! The LEAP family of synthesizers is *topology-aware*: the per-layer CNOT
+//! placements can be restricted to a device's coupling graph so synthesized
+//! circuits need no routing. This module provides the graph structure and
+//! the common presets (line, ring, all-to-all, and the 5-qubit line of
+//! IBMQ-Manila-class devices).
+
+use std::collections::{BTreeSet, VecDeque};
+
+/// An undirected qubit-connectivity graph.
+///
+/// ```
+/// use qcircuit::topology::CouplingMap;
+///
+/// let line = CouplingMap::line(5);
+/// assert!(line.connected(1, 2));
+/// assert!(!line.connected(0, 4));
+/// assert_eq!(line.distance(0, 4), Some(4));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CouplingMap {
+    num_qubits: usize,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl CouplingMap {
+    /// Creates a map from an explicit edge list (undirected; order within a
+    /// pair does not matter).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or self-loop edges.
+    pub fn new(num_qubits: usize, edge_list: &[(usize, usize)]) -> Self {
+        let mut edges = BTreeSet::new();
+        for &(a, b) in edge_list {
+            assert!(a < num_qubits && b < num_qubits, "edge out of range");
+            assert_ne!(a, b, "self-loop edge");
+            edges.insert((a.min(b), a.max(b)));
+        }
+        CouplingMap { num_qubits, edges }
+    }
+
+    /// Fully-connected topology (the default for simulation studies).
+    pub fn all_to_all(num_qubits: usize) -> Self {
+        let edges: Vec<(usize, usize)> = (0..num_qubits)
+            .flat_map(|a| ((a + 1)..num_qubits).map(move |b| (a, b)))
+            .collect();
+        CouplingMap::new(num_qubits, &edges)
+    }
+
+    /// Open chain `0 — 1 — … — n−1`.
+    pub fn line(num_qubits: usize) -> Self {
+        let edges: Vec<(usize, usize)> = (0..num_qubits.saturating_sub(1))
+            .map(|q| (q, q + 1))
+            .collect();
+        CouplingMap::new(num_qubits, &edges)
+    }
+
+    /// Closed ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics for fewer than 3 qubits.
+    pub fn ring(num_qubits: usize) -> Self {
+        assert!(num_qubits >= 3, "ring needs at least 3 qubits");
+        let edges: Vec<(usize, usize)> = (0..num_qubits)
+            .map(|q| (q, (q + 1) % num_qubits))
+            .collect();
+        CouplingMap::new(num_qubits, &edges)
+    }
+
+    /// The 5-qubit line of IBMQ-Manila-class devices.
+    pub fn manila() -> Self {
+        CouplingMap::line(5)
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The undirected edges, each normalized to `(low, high)`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` when `a` and `b` share an edge.
+    pub fn connected(&self, a: usize, b: usize) -> bool {
+        a != b && self.edges.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Shortest-path (hop) distance between two qubits, or `None` when they
+    /// sit in different components.
+    pub fn distance(&self, a: usize, b: usize) -> Option<usize> {
+        if a == b {
+            return Some(0);
+        }
+        let mut seen = vec![false; self.num_qubits];
+        let mut queue = VecDeque::new();
+        seen[a] = true;
+        queue.push_back((a, 0usize));
+        while let Some((q, d)) = queue.pop_front() {
+            for next in 0..self.num_qubits {
+                if self.connected(q, next) && !seen[next] {
+                    if next == b {
+                        return Some(d + 1);
+                    }
+                    seen[next] = true;
+                    queue.push_back((next, d + 1));
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns `true` when every qubit can reach every other.
+    pub fn is_connected_graph(&self) -> bool {
+        if self.num_qubits <= 1 {
+            return true;
+        }
+        (1..self.num_qubits).all(|q| self.distance(0, q).is_some())
+    }
+
+    /// Restricts the map to a subset of qubits, relabelling them `0..k` in
+    /// the order given — how a full-device map is projected onto a
+    /// partitioned block.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or duplicate qubits.
+    pub fn induced(&self, qubits: &[usize]) -> CouplingMap {
+        for (i, &q) in qubits.iter().enumerate() {
+            assert!(q < self.num_qubits, "qubit out of range");
+            assert!(!qubits[..i].contains(&q), "duplicate qubit");
+        }
+        let mut edges = Vec::new();
+        for (i, &a) in qubits.iter().enumerate() {
+            for (j, &b) in qubits.iter().enumerate().skip(i + 1) {
+                if self.connected(a, b) {
+                    edges.push((i, j));
+                }
+            }
+        }
+        CouplingMap::new(qubits.len(), &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_structure() {
+        let m = CouplingMap::line(4);
+        assert_eq!(m.num_edges(), 3);
+        assert!(m.connected(0, 1) && m.connected(2, 3));
+        assert!(!m.connected(0, 2));
+        assert!(m.is_connected_graph());
+    }
+
+    #[test]
+    fn ring_wraps_around() {
+        let m = CouplingMap::ring(5);
+        assert!(m.connected(4, 0));
+        assert_eq!(m.distance(0, 3), Some(2)); // around the short way
+    }
+
+    #[test]
+    fn all_to_all_has_every_edge() {
+        let m = CouplingMap::all_to_all(4);
+        assert_eq!(m.num_edges(), 6);
+        assert_eq!(m.distance(0, 3), Some(1));
+    }
+
+    #[test]
+    fn distance_on_line() {
+        let m = CouplingMap::line(6);
+        assert_eq!(m.distance(0, 5), Some(5));
+        assert_eq!(m.distance(2, 2), Some(0));
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let m = CouplingMap::new(4, &[(0, 1), (2, 3)]);
+        assert_eq!(m.distance(0, 3), None);
+        assert!(!m.is_connected_graph());
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let m = CouplingMap::line(5);
+        // Take qubits [2, 3, 0]: edges (2,3) → local (0,1); nothing else.
+        let sub = m.induced(&[2, 3, 0]);
+        assert_eq!(sub.num_qubits(), 3);
+        assert!(sub.connected(0, 1));
+        assert!(!sub.connected(0, 2));
+        assert!(!sub.connected(1, 2));
+    }
+
+    #[test]
+    fn undirected_normalization() {
+        let m = CouplingMap::new(3, &[(2, 0), (0, 2)]);
+        assert_eq!(m.num_edges(), 1);
+        assert!(m.connected(0, 2) && m.connected(2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let _ = CouplingMap::new(3, &[(1, 1)]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the circuit IR.
+
+use proptest::prelude::*;
+use qcircuit::{qasm, Circuit, Gate};
+use qmath::Matrix;
+
+/// Strategy producing an arbitrary supported gate with bounded angles.
+fn gate_strategy() -> impl Strategy<Value = Gate> {
+    let angle = -6.3..6.3f64;
+    prop_oneof![
+        Just(Gate::X),
+        Just(Gate::Y),
+        Just(Gate::Z),
+        Just(Gate::H),
+        Just(Gate::S),
+        Just(Gate::Sdg),
+        Just(Gate::T),
+        Just(Gate::Tdg),
+        angle.clone().prop_map(Gate::Rx),
+        angle.clone().prop_map(Gate::Ry),
+        angle.clone().prop_map(Gate::Rz),
+        angle.clone().prop_map(Gate::Phase),
+        (angle.clone(), angle.clone(), angle.clone()).prop_map(|(a, b, c)| Gate::U3(a, b, c)),
+        Just(Gate::Cnot),
+        Just(Gate::Cz),
+        Just(Gate::Swap),
+    ]
+}
+
+/// Strategy producing a random valid circuit on `n` qubits.
+fn circuit_strategy(n: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec((gate_strategy(), 0..n, 1..n), 0..max_len).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for (gate, a, offset) in gates {
+            match gate.num_qubits() {
+                1 => {
+                    c.push(gate, &[a]);
+                }
+                _ => {
+                    let b = (a + offset) % n;
+                    if a != b {
+                        c.push(gate, &[a, b]);
+                    }
+                }
+            }
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn circuit_unitary_is_unitary(c in circuit_strategy(3, 12)) {
+        prop_assert!(c.unitary().is_unitary(1e-8));
+    }
+
+    #[test]
+    fn inverse_composes_to_identity(c in circuit_strategy(3, 10)) {
+        let u = c.unitary().matmul(&c.inverse().unitary());
+        prop_assert!(u.approx_eq(&Matrix::identity(8), 1e-7));
+    }
+
+    #[test]
+    fn qasm_roundtrip_preserves_circuit(c in circuit_strategy(4, 16)) {
+        let text = qasm::emit(&c);
+        let back = qasm::parse(&text).unwrap();
+        prop_assert_eq!(&c, &back);
+    }
+
+    #[test]
+    fn gate_inverse_matrix_is_dagger(g in gate_strategy()) {
+        let m = g.matrix();
+        let mi = g.inverse().matrix();
+        prop_assert!(mi.approx_eq(&m.dagger(), 1e-9), "{} inverse != dagger", g);
+    }
+
+    #[test]
+    fn depth_at_most_len(c in circuit_strategy(4, 20)) {
+        prop_assert!(c.depth() <= c.len());
+    }
+
+    #[test]
+    fn cnot_count_at_most_3x_two_qubit_count(c in circuit_strategy(4, 20)) {
+        prop_assert!(c.cnot_count() <= 3 * c.two_qubit_count());
+        prop_assert!(c.cnot_count() >= c.two_qubit_count().min(c.cnot_count()));
+    }
+
+    #[test]
+    fn remap_roundtrip_preserves_unitary(c in circuit_strategy(3, 10)) {
+        // Map block into a 4-qubit register on qubits [3,1,0] and compare
+        // against embedding the block unitary the same way.
+        let mapping = [3usize, 1, 0];
+        let remapped = c.remapped(&mapping, 4);
+        let direct = qcircuit::embed::embed(&c.unitary(), &mapping, 4);
+        prop_assert!(remapped.unitary().approx_eq(&direct, 1e-7));
+    }
+}

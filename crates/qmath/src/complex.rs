@@ -1,0 +1,371 @@
+//! `f64`-based complex numbers.
+//!
+//! The approved dependency set has no complex-number crate, so [`C64`] is
+//! implemented here from scratch. It is a plain `Copy` value type with the
+//! operator overloads, conjugation, polar helpers and formatting that the
+//! rest of the workspace needs.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// ```
+/// use qmath::C64;
+///
+/// let i = C64::I;
+/// assert_eq!(i * i, -C64::ONE);
+/// assert!((C64::from_polar(2.0, std::f64::consts::FRAC_PI_2) - 2.0 * i).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from Cartesian parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        C64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{iθ}`, a unit-modulus phase.
+    ///
+    /// ```
+    /// use qmath::C64;
+    /// assert!((C64::cis(std::f64::consts::PI) + C64::ONE).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate `re − im·i`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `re² + im²`. Cheaper than [`C64::abs`].
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus (absolute value).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns NaNs when `self` is zero, mirroring `1.0 / 0.0` semantics for
+    /// floats rather than panicking.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        C64::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Self::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Self::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Returns `true` when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Returns `true` when `|self − other| ≤ tol`.
+    #[inline]
+    pub fn approx_eq(self, other: C64, tol: f64) -> bool {
+        (self - other).abs() <= tol
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl fmt::Debug for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}{:+}i)", self.re, self.im)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(p) = f.precision() {
+            write!(f, "{:.*}{:+.*}i", p, self.re, p, self.im)
+        } else {
+            write!(f, "{}{:+}i", self.re, self.im)
+        }
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.recip()
+    }
+}
+
+impl Add<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: f64) -> C64 {
+        C64::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: f64) -> C64 {
+        C64::new(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        C64::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: f64) -> C64 {
+        C64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Add<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        rhs + self
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs * self
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for C64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: C64) {
+        *self = *self / rhs;
+    }
+}
+
+impl MulAssign<f64> for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for C64 {
+    fn product<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn constants_behave() {
+        assert_eq!(C64::ZERO + C64::ONE, C64::ONE);
+        assert_eq!(C64::I * C64::I, -C64::ONE);
+        assert_eq!(C64::ONE.conj(), C64::ONE);
+        assert_eq!(C64::I.conj(), -C64::I);
+    }
+
+    #[test]
+    fn arithmetic_matches_hand_computation() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert_eq!(a + b, C64::new(4.0, 1.0));
+        assert_eq!(a - b, C64::new(-2.0, 3.0));
+        assert_eq!(a * b, C64::new(5.0, 5.0));
+        let q = a / b;
+        assert!(q.approx_eq(C64::new(0.1, 0.7), 1e-12));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = C64::from_polar(2.5, 1.1);
+        assert!((z.abs() - 2.5).abs() < 1e-12);
+        assert!((z.arg() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_quarter_turn_is_i() {
+        assert!(C64::cis(FRAC_PI_2).approx_eq(C64::I, 1e-12));
+    }
+
+    #[test]
+    fn exp_of_i_pi_is_minus_one() {
+        assert!((C64::I * PI).exp().approx_eq(-C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = C64::new(-3.0, 4.0);
+        let r = z.sqrt();
+        assert!((r * r).approx_eq(z, 1e-12));
+    }
+
+    #[test]
+    fn recip_is_inverse() {
+        let z = C64::new(0.3, -0.8);
+        assert!((z * z.recip()).approx_eq(C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn norm_sqr_is_conj_product() {
+        let z = C64::new(1.5, -2.5);
+        assert!(((z * z.conj()).re - z.norm_sqr()).abs() < 1e-12);
+        assert!((z * z.conj()).im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let z = C64::new(1.0, 1.0);
+        assert_eq!(z * 2.0, C64::new(2.0, 2.0));
+        assert_eq!(2.0 * z, C64::new(2.0, 2.0));
+        assert_eq!(z / 2.0, C64::new(0.5, 0.5));
+        assert_eq!(z + 1.0, C64::new(2.0, 1.0));
+        assert_eq!(z - 1.0, C64::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn sum_and_product_fold() {
+        let xs = [C64::ONE, C64::I, C64::new(2.0, 0.0)];
+        let s: C64 = xs.iter().copied().sum();
+        assert_eq!(s, C64::new(3.0, 1.0));
+        let p: C64 = xs.iter().copied().product();
+        assert_eq!(p, C64::new(0.0, 2.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        let z = C64::new(1.25, -0.5);
+        assert_eq!(format!("{z:.2}"), "1.25-0.50i");
+        assert_eq!(format!("{z:?}"), "(1.25-0.5i)");
+    }
+}

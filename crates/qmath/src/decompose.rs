@@ -1,0 +1,170 @@
+//! Euler-angle decompositions of single-qubit unitaries.
+//!
+//! Any 2×2 unitary can be written as `e^{iα}·Rz(β)·Ry(γ)·Rz(δ)` (the *ZYZ*
+//! decomposition). The transpiler's single-qubit fusion pass uses this to
+//! collapse arbitrary runs of one-qubit gates into a single `U3` gate, the
+//! same normal form Qiskit's `Optimize1qGates` pass targets.
+
+use crate::{C64, Matrix};
+
+/// The ZYZ Euler decomposition `U = e^{iα}·Rz(β)·Ry(γ)·Rz(δ)` of a 2×2
+/// unitary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Zyz {
+    /// Global phase `α`.
+    pub alpha: f64,
+    /// First (leftmost) Z rotation angle `β`.
+    pub beta: f64,
+    /// Middle Y rotation angle `γ`.
+    pub gamma: f64,
+    /// Last (rightmost) Z rotation angle `δ`.
+    pub delta: f64,
+}
+
+impl Zyz {
+    /// The `U3(θ, φ, λ)` angles equivalent to this decomposition (up to
+    /// global phase): `θ = γ`, `φ = β`, `λ = δ`.
+    pub fn u3_angles(&self) -> (f64, f64, f64) {
+        (self.gamma, self.beta, self.delta)
+    }
+}
+
+/// `Rz(θ) = diag(e^{−iθ/2}, e^{iθ/2})`.
+pub fn rz_matrix(theta: f64) -> Matrix {
+    Matrix::diagonal(&[C64::cis(-theta / 2.0), C64::cis(theta / 2.0)])
+}
+
+/// `Ry(θ)` rotation matrix.
+pub fn ry_matrix(theta: f64) -> Matrix {
+    let (s, c) = (theta / 2.0).sin_cos();
+    Matrix::from_rows(&[
+        &[C64::real(c), C64::real(-s)],
+        &[C64::real(s), C64::real(c)],
+    ])
+}
+
+/// Decomposes a 2×2 unitary into ZYZ Euler angles.
+///
+/// # Panics
+///
+/// Panics if `u` is not a 2×2 matrix or is far from unitary.
+///
+/// ```
+/// use qmath::{C64, Matrix, decompose};
+///
+/// let x = Matrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]]);
+/// let zyz = decompose::zyz(&x);
+/// let rebuilt = decompose::reconstruct(&zyz);
+/// assert!(rebuilt.approx_eq(&x, 1e-9));
+/// ```
+pub fn zyz(u: &Matrix) -> Zyz {
+    assert_eq!((u.rows(), u.cols()), (2, 2), "zyz expects a 2x2 matrix");
+    assert!(u.is_unitary(1e-6), "zyz expects a unitary matrix");
+    // det(U) = e^{2iα'}; dividing by sqrt(det) maps U into SU(2).
+    let det = u[(0, 0)] * u[(1, 1)] - u[(0, 1)] * u[(1, 0)];
+    let sqrt_det = det.sqrt();
+    let v00 = u[(0, 0)] / sqrt_det;
+    let v10 = u[(1, 0)] / sqrt_det;
+    let v11 = u[(1, 1)] / sqrt_det;
+
+    let gamma = 2.0 * v10.abs().atan2(v00.abs());
+    let (beta, delta) = if v00.abs() < 1e-10 {
+        // cos(γ/2) = 0: only β − δ is defined; pick δ = 0.
+        (2.0 * v10.arg(), 0.0)
+    } else if v10.abs() < 1e-10 {
+        // sin(γ/2) = 0: only β + δ is defined; pick δ = 0.
+        (2.0 * v11.arg(), 0.0)
+    } else {
+        let sum = 2.0 * v11.arg(); // β + δ
+        let diff = 2.0 * v10.arg(); // β − δ
+        ((sum + diff) / 2.0, (sum - diff) / 2.0)
+    };
+    // Solve the global phase from any entry with decent magnitude.
+    let candidate = reconstruct(&Zyz {
+        alpha: 0.0,
+        beta,
+        gamma,
+        delta,
+    });
+    let (i, j) = if u[(0, 0)].abs() > 0.5 { (0, 0) } else { (1, 0) };
+    let alpha = (u[(i, j)] / candidate[(i, j)]).arg();
+    Zyz {
+        alpha,
+        beta,
+        gamma,
+        delta,
+    }
+}
+
+/// Rebuilds the 2×2 unitary from its ZYZ angles.
+pub fn reconstruct(z: &Zyz) -> Matrix {
+    rz_matrix(z.beta)
+        .matmul(&ry_matrix(z.gamma))
+        .matmul(&rz_matrix(z.delta))
+        .scaled(C64::cis(z.alpha))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::haar_unitary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_on_random_unitaries() {
+        let mut rng = StdRng::seed_from_u64(100);
+        for _ in 0..50 {
+            let u = haar_unitary(2, &mut rng);
+            let z = zyz(&u);
+            let rebuilt = reconstruct(&z);
+            assert!(
+                rebuilt.approx_eq(&u, 1e-8),
+                "roundtrip failed for {u:?}, got {rebuilt:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_decomposes_trivially() {
+        let z = zyz(&Matrix::identity(2));
+        assert!(z.gamma.abs() < 1e-9);
+        assert!(reconstruct(&z).approx_eq(&Matrix::identity(2), 1e-9));
+    }
+
+    #[test]
+    fn pauli_x_has_pi_y_rotation() {
+        let x = Matrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]]);
+        let z = zyz(&x);
+        assert!((z.gamma - std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diagonal_unitary_roundtrip() {
+        // Pure phase gates exercise the sin(γ/2)=0 branch.
+        let u = Matrix::diagonal(&[C64::cis(0.3), C64::cis(-1.1)]);
+        let z = zyz(&u);
+        assert!(reconstruct(&z).approx_eq(&u, 1e-9));
+    }
+
+    #[test]
+    fn antidiagonal_unitary_roundtrip() {
+        // Exercises the cos(γ/2)=0 branch.
+        let u = Matrix::from_rows(&[
+            &[C64::ZERO, C64::cis(0.4)],
+            &[C64::cis(-0.9), C64::ZERO],
+        ]);
+        let z = zyz(&u);
+        assert!(reconstruct(&z).approx_eq(&u, 1e-9));
+    }
+
+    #[test]
+    fn rz_ry_match_definitions() {
+        let t = 0.77;
+        let rz = rz_matrix(t);
+        assert!(rz[(0, 0)].approx_eq(C64::cis(-t / 2.0), 1e-12));
+        let ry = ry_matrix(t);
+        assert!((ry[(0, 0)].re - (t / 2.0).cos()).abs() < 1e-12);
+        assert!(rz.is_unitary(1e-12) && ry.is_unitary(1e-12));
+    }
+}

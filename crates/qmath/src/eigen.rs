@@ -1,0 +1,208 @@
+//! Eigendecomposition of Hermitian matrices (cyclic complex Jacobi).
+//!
+//! Needed for spectral diagnostics of density matrices — von Neumann
+//! entropy, positivity checks — and generally useful when analyzing the
+//! Hermitian operators (observables, ρ) that quantum evaluation produces.
+//! The complex Jacobi method is simple, numerically robust, and more than
+//! fast enough at the ≤128-dimensional sizes this workspace touches.
+
+use crate::{C64, Matrix};
+
+/// The result of [`eigh`]: `a = V · diag(λ) · V†` with real eigenvalues
+/// sorted ascending and orthonormal eigenvector columns.
+#[derive(Clone, Debug)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, ascending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as matrix columns (column `k` pairs with `values[k]`).
+    pub vectors: Matrix,
+}
+
+/// Eigendecomposition of a Hermitian matrix.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or not Hermitian within `1e-8`.
+///
+/// ```
+/// use qmath::{C64, Matrix, eigen};
+///
+/// let z = Matrix::diagonal(&[C64::real(2.0), C64::real(-1.0)]);
+/// let d = eigen::eigh(&z);
+/// assert!((d.values[0] + 1.0).abs() < 1e-10);
+/// assert!((d.values[1] - 2.0).abs() < 1e-10);
+/// ```
+pub fn eigh(a: &Matrix) -> EigenDecomposition {
+    assert!(a.is_square(), "eigh expects a square matrix");
+    let n = a.rows();
+    // Hermiticity check.
+    for i in 0..n {
+        for j in 0..n {
+            assert!(
+                (a[(i, j)] - a[(j, i)].conj()).abs() < 1e-8,
+                "matrix is not Hermitian at ({i},{j})"
+            );
+        }
+    }
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    // Cyclic Jacobi sweeps: zero out each off-diagonal pair with a complex
+    // Givens rotation until convergence.
+    for _sweep in 0..100 {
+        let mut off: f64 = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)].norm_sqr();
+            }
+        }
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-18 {
+                    continue;
+                }
+                // Phase of the pivot: apq = |apq|·e^{iφ}.
+                let phase = apq / apq.abs();
+                let app = m[(p, p)].re;
+                let aqq = m[(q, q)].re;
+                // tan(2θ) = 2|apq| / (app − aqq) zeroes the rotated pivot.
+                let theta = 0.5 * (2.0 * apq.abs()).atan2(app - aqq);
+                let (s, c) = theta.sin_cos();
+                // J = [[c, −e^{iφ}·s], [e^{−iφ}·s, c]] on rows/cols (p, q).
+                let r_pp = C64::real(c);
+                let r_pq = -phase * s;
+                let r_qp = phase.conj() * s;
+                let r_qq = C64::real(c);
+                // m ← R† m R ; v ← v R.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = mkp * r_pp + mkq * r_qp;
+                    m[(k, q)] = mkp * r_pq + mkq * r_qq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = r_pp.conj() * mpk + r_qp.conj() * mqk;
+                    m[(q, k)] = r_pq.conj() * mpk + r_qq.conj() * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = vkp * r_pp + vkq * r_qp;
+                    v[(k, q)] = vkp * r_pq + vkq * r_qq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort.
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)].re, i)).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let values: Vec<f64> = pairs.iter().map(|&(val, _)| val).collect();
+    let vectors = Matrix::from_fn(n, n, |i, k| v[(i, pairs[k].1)]);
+    EigenDecomposition { values, vectors }
+}
+
+/// Von Neumann entropy `−Σ λ·ln λ` (in nats) of a density matrix given its
+/// eigenvalues; tiny negative eigenvalues from floating-point noise are
+/// clipped.
+pub fn von_neumann_entropy(eigenvalues: &[f64]) -> f64 {
+    eigenvalues
+        .iter()
+        .map(|&l| {
+            let l = l.max(0.0);
+            if l > 1e-15 {
+                -l * l.ln()
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_hermitian(n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = crate::random::ginibre(n, &mut rng);
+        let gd = g.dagger();
+        (&g + &gd).scaled(C64::real(0.5))
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let d = Matrix::diagonal(&[C64::real(3.0), C64::real(1.0), C64::real(-2.0)]);
+        let e = eigh(&d);
+        assert!((e.values[0] + 2.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        assert!((e.values[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pauli_x_eigenvalues_are_plus_minus_one() {
+        let x = Matrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]]);
+        let e = eigh(&x);
+        assert!((e.values[0] + 1.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        for seed in [1u64, 2, 3] {
+            let a = random_hermitian(6, seed);
+            let e = eigh(&a);
+            // V is unitary.
+            assert!(e.vectors.is_unitary(1e-8), "seed {seed}: V not unitary");
+            // A·v_k = λ_k·v_k for every column.
+            for k in 0..6 {
+                let col: Vec<C64> = (0..6).map(|i| e.vectors[(i, k)]).collect();
+                let av = a.apply(&col);
+                for i in 0..6 {
+                    let expect = col[i] * e.values[k];
+                    assert!(
+                        av[i].approx_eq(expect, 1e-7),
+                        "seed {seed}, col {k}: {:?} vs {:?}",
+                        av[i],
+                        expect
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = random_hermitian(5, 9);
+        let e = eigh(&a);
+        let sum: f64 = e.values.iter().sum();
+        assert!((a.trace().re - sum).abs() < 1e-8);
+    }
+
+    #[test]
+    fn entropy_of_pure_and_mixed() {
+        assert!(von_neumann_entropy(&[1.0, 0.0]).abs() < 1e-12);
+        let uniform = von_neumann_entropy(&[0.5, 0.5]);
+        assert!((uniform - std::f64::consts::LN_2).abs() < 1e-12);
+        // Clipping of tiny negatives.
+        assert!(von_neumann_entropy(&[1.0, -1e-17]).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not Hermitian")]
+    fn non_hermitian_panics() {
+        let a = Matrix::from_rows(&[
+            &[C64::ZERO, C64::ONE],
+            &[C64::real(2.0), C64::ZERO],
+        ]);
+        let _ = eigh(&a);
+    }
+}

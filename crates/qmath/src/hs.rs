@@ -1,0 +1,170 @@
+//! Hilbert–Schmidt inner product and QUEST's process distance.
+//!
+//! QUEST (Sec. 2) measures how close a synthesized unitary `U'` is to its
+//! target `U` with the normalized Hilbert–Schmidt distance
+//!
+//! ```text
+//! d(U, U') = sqrt(1 − |Tr(U† U')|² / N²),   N = 2^n
+//! ```
+//!
+//! which is 0 for unitaries equal up to global phase and approaches 1 for
+//! "orthogonal" processes. The paper's theoretical result (Sec. 3.8) bounds
+//! the distance of a block-composed circuit by the *sum* of per-block
+//! distances; [`compose_bound`] exposes that bound.
+
+use crate::Matrix;
+
+/// Hilbert–Schmidt inner product `Tr(a† b)`.
+///
+/// Computed directly as `Σ_ij conj(a_ij)·b_ij` without materializing the
+/// product matrix — O(N²) instead of O(N³).
+///
+/// # Panics
+///
+/// Panics if the matrices have different shapes.
+///
+/// ```
+/// use qmath::{Matrix, hs};
+/// let id = Matrix::identity(4);
+/// assert!((hs::inner(&id, &id).re - 4.0).abs() < 1e-12);
+/// ```
+pub fn inner(a: &Matrix, b: &Matrix) -> crate::C64 {
+    assert_eq!(
+        (a.rows(), a.cols()),
+        (b.rows(), b.cols()),
+        "HS inner product requires matching shapes"
+    );
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| x.conj() * *y)
+        .sum()
+}
+
+/// QUEST's normalized HS process distance
+/// `sqrt(1 − |Tr(U† V)|² / N²)` for `N×N` matrices.
+///
+/// Clamps tiny negative values arising from floating-point error to 0.
+///
+/// # Panics
+///
+/// Panics if the matrices are not square with equal dimensions.
+///
+/// ```
+/// use qmath::{C64, Matrix, hs};
+/// let u = Matrix::identity(2);
+/// // Distance to itself is zero, distance is phase-invariant.
+/// assert!(hs::process_distance(&u, &u.scaled(C64::cis(1.2))) < 1e-9);
+/// ```
+pub fn process_distance(u: &Matrix, v: &Matrix) -> f64 {
+    assert!(u.is_square() && v.is_square(), "unitaries must be square");
+    let n = u.rows() as f64;
+    let t = inner(u, v);
+    let val = 1.0 - t.norm_sqr() / (n * n);
+    val.max(0.0).sqrt()
+}
+
+/// The paper's theoretical upper bound (Sec. 3.8): the process distance of a
+/// circuit partitioned into K blocks with per-block distances `eps` is at
+/// most `Σ eps_k`.
+///
+/// ```
+/// assert_eq!(qmath::hs::compose_bound(&[0.1, 0.2, 0.05]), 0.35000000000000003);
+/// ```
+pub fn compose_bound(eps: &[f64]) -> f64 {
+    eps.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::haar_unitary;
+    use crate::C64;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let u = haar_unitary(4, &mut rng);
+        assert!(process_distance(&u, &u) < 1e-6);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let u = haar_unitary(4, &mut rng);
+        let v = haar_unitary(4, &mut rng);
+        let d1 = process_distance(&u, &v);
+        let d2 = process_distance(&v, &u);
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_phase_invariant() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let u = haar_unitary(8, &mut rng);
+        let v = u.scaled(C64::cis(0.9));
+        assert!(process_distance(&u, &v) < 1e-9);
+    }
+
+    #[test]
+    fn distance_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..10 {
+            let u = haar_unitary(4, &mut rng);
+            let v = haar_unitary(4, &mut rng);
+            let d = process_distance(&u, &v);
+            assert!((0.0..=1.0).contains(&d), "distance {d} out of range");
+        }
+    }
+
+    #[test]
+    fn orthogonal_paulis_are_maximally_distant() {
+        let x = Matrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]]);
+        let z = Matrix::from_rows(&[&[C64::ONE, C64::ZERO], &[C64::ZERO, -C64::ONE]]);
+        // Tr(X† Z) = 0, so distance = 1.
+        assert!((process_distance(&x, &z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_of_identity_is_dimension() {
+        let id = Matrix::identity(8);
+        assert!((inner(&id, &id).re - 8.0).abs() < 1e-12);
+        assert!(inner(&id, &id).im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn extension_by_identity_preserves_distance() {
+        // Core lemma from the paper's proof (Eq. 3-4): d(U⊗I, V⊗I) = d(U, V).
+        let mut rng = StdRng::seed_from_u64(11);
+        let u = haar_unitary(4, &mut rng);
+        let v = haar_unitary(4, &mut rng);
+        let id = Matrix::identity(4);
+        let d_small = process_distance(&u, &v);
+        let d_big = process_distance(&u.kron(&id), &v.kron(&id));
+        assert!((d_small - d_big).abs() < 1e-9);
+    }
+
+    #[test]
+    fn composition_bound_holds_for_random_two_block_circuit() {
+        // The Sec. 3.8 theorem: d(U_I2·U_1I, U'_I2·U'_1I) ≤ d(U1,U1') + d(U2,U2').
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..5 {
+            let u1 = haar_unitary(4, &mut rng);
+            let u1p = haar_unitary(4, &mut rng);
+            let u2 = haar_unitary(4, &mut rng);
+            let u2p = haar_unitary(4, &mut rng);
+            let id = Matrix::identity(2);
+            // 3-qubit circuit: block 1 on qubits {0,1}, block 2 on {1,2}.
+            let full = id.kron(&u2).matmul(&u1.kron(&id));
+            let full_p = id.kron(&u2p).matmul(&u1p.kron(&id));
+            let lhs = process_distance(&full, &full_p);
+            let rhs = process_distance(&u1, &u1p) + process_distance(&u2, &u2p);
+            assert!(
+                lhs <= rhs + 1e-9,
+                "bound violated: {lhs} > {rhs}"
+            );
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! Dense, row-major complex matrices.
+//!
+//! Sized for quantum synthesis workloads: the hot path is repeated products
+//! of `2^k × 2^k` matrices for `k ≤ 4` (QUEST block size), plus occasional
+//! full-circuit unitaries up to ~10 qubits. A straightforward cache-friendly
+//! triple loop is more than fast enough at these sizes and keeps the code
+//! auditable.
+
+use crate::C64;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense complex matrix stored in row-major order.
+///
+/// ```
+/// use qmath::{C64, Matrix};
+///
+/// let h = Matrix::from_rows(&[
+///     &[C64::real(1.0), C64::real(1.0)],
+///     &[C64::real(1.0), C64::real(-1.0)],
+/// ]).scaled(C64::real(1.0 / 2.0_f64.sqrt()));
+/// assert!(h.is_unitary(1e-12));
+/// assert!((&h * &h).approx_eq(&Matrix::identity(2), 1e-12));
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[C64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have the same length");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<C64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds each entry from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> C64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn diagonal(diag: &[C64]) -> Self {
+        let mut m = Matrix::zeros(diag.len(), diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` for square matrices.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Flat row-major view of the entries.
+    #[inline]
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the entries.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    /// Borrow of row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[C64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j ordering keeps the inner loop streaming over contiguous rows.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == C64::ZERO {
+                    continue;
+                }
+                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o += a * r;
+                }
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose `self†`.
+    pub fn dagger(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Plain transpose (no conjugation).
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Entrywise complex conjugate.
+    pub fn conj(&self) -> Matrix {
+        let data = self.data.iter().map(|z| z.conj()).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    ///
+    /// ```
+    /// use qmath::Matrix;
+    /// let i2 = Matrix::identity(2);
+    /// assert_eq!(i2.kron(&i2), Matrix::identity(4));
+    /// ```
+    pub fn kron(&self, rhs: &Matrix) -> Matrix {
+        let rows = self.rows * rhs.rows;
+        let cols = self.cols * rhs.cols;
+        let mut out = Matrix::zeros(rows, cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                for p in 0..rhs.rows {
+                    for q in 0..rhs.cols {
+                        out[(i * rhs.rows + p, j * rhs.cols + q)] = a * rhs[(p, q)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Trace `Σᵢ self[i,i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> C64 {
+        assert!(self.is_square(), "trace requires a square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Scales every entry by `s`.
+    pub fn scaled(&self, s: C64) -> Matrix {
+        let data = self.data.iter().map(|&z| z * s).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Frobenius norm `sqrt(Σ |a_ij|²)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Applies the matrix to a column vector, returning `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn apply(&self, v: &[C64]) -> Vec<C64> {
+        assert_eq!(v.len(), self.cols, "vector length mismatch");
+        let mut out = vec![C64::ZERO; self.rows];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = C64::ZERO;
+            for (a, x) in row.iter().zip(v) {
+                acc += *a * *x;
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Returns `true` when `self† · self` is within `tol` of the identity in
+    /// max-entry distance.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let prod = self.dagger().matmul(self);
+        let id = Matrix::identity(self.rows);
+        prod.approx_eq(&id, tol)
+    }
+
+    /// Returns `true` when every entry differs from `other`'s by at most
+    /// `tol` in modulus.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Max-modulus distance `max_ij |a_ij − b_ij|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Returns `true` when the two matrices are equal up to a global phase,
+    /// i.e. `self ≈ e^{iφ}·other` for some φ.
+    ///
+    /// Quantum states and unitaries are physically defined only up to global
+    /// phase, so this is the right equality for comparing synthesized
+    /// circuits against their targets.
+    pub fn approx_eq_phase(&self, other: &Matrix, tol: f64) -> bool {
+        if self.rows != other.rows || self.cols != other.cols {
+            return false;
+        }
+        // Find a reference entry with non-negligible magnitude in `other`.
+        let Some(k) = other.data.iter().position(|z| z.abs() > 1e-8) else {
+            return self.approx_eq(other, tol);
+        };
+        if self.data[k].abs() <= 1e-8 {
+            return false;
+        }
+        let phase = self.data[k] / other.data[k];
+        if (phase.abs() - 1.0).abs() > 1e-6 {
+            return false;
+        }
+        self.approx_eq(&other.scaled(phase), tol)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.matmul(rhs)
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:.4} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pauli_x() -> Matrix {
+        Matrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]])
+    }
+
+    fn pauli_y() -> Matrix {
+        Matrix::from_rows(&[&[C64::ZERO, -C64::I], &[C64::I, C64::ZERO]])
+    }
+
+    fn pauli_z() -> Matrix {
+        Matrix::from_rows(&[&[C64::ONE, C64::ZERO], &[C64::ZERO, -C64::ONE]])
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let x = pauli_x();
+        let id = Matrix::identity(2);
+        assert_eq!(x.matmul(&id), x);
+        assert_eq!(id.matmul(&x), x);
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        // XY = iZ
+        let xy = pauli_x().matmul(&pauli_y());
+        assert!(xy.approx_eq(&pauli_z().scaled(C64::I), 1e-12));
+        // X² = I
+        assert!(pauli_x().matmul(&pauli_x()).approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn paulis_are_unitary_traceless() {
+        for p in [pauli_x(), pauli_y(), pauli_z()] {
+            assert!(p.is_unitary(1e-12));
+            assert!(p.trace().abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dagger_of_product_reverses() {
+        let a = pauli_x();
+        let b = pauli_y();
+        let lhs = a.matmul(&b).dagger();
+        let rhs = b.dagger().matmul(&a.dagger());
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let x = pauli_x();
+        let z = pauli_z();
+        let k = x.kron(&z);
+        assert_eq!(k.rows(), 4);
+        // X⊗Z maps |00> -> |10>
+        assert_eq!(k[(2, 0)], C64::ONE);
+        assert_eq!(k[(3, 1)], -C64::ONE);
+        assert!(k.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A⊗B)(C⊗D) = (AC)⊗(BD)
+        let a = pauli_x();
+        let b = pauli_y();
+        let c = pauli_z();
+        let d = pauli_x();
+        let lhs = a.kron(&b).matmul(&c.kron(&d));
+        let rhs = a.matmul(&c).kron(&b.matmul(&d));
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn trace_of_kron_is_product_of_traces() {
+        let a = Matrix::from_rows(&[
+            &[C64::new(1.0, 2.0), C64::ZERO],
+            &[C64::ZERO, C64::new(3.0, -1.0)],
+        ]);
+        let id = Matrix::identity(4);
+        let t = a.kron(&id).trace();
+        let expect = a.trace() * C64::real(4.0);
+        assert!(t.approx_eq(expect, 1e-12));
+    }
+
+    #[test]
+    fn apply_matches_matmul() {
+        let x = pauli_x();
+        let v = vec![C64::ONE, C64::ZERO];
+        assert_eq!(x.apply(&v), vec![C64::ZERO, C64::ONE]);
+    }
+
+    #[test]
+    fn frobenius_norm_of_identity() {
+        assert!((Matrix::identity(4).frobenius_norm() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn approx_eq_phase_detects_global_phase() {
+        let x = pauli_x();
+        let phased = x.scaled(C64::cis(0.7));
+        assert!(phased.approx_eq_phase(&x, 1e-12));
+        assert!(!pauli_z().approx_eq_phase(&x, 1e-9));
+    }
+
+    #[test]
+    fn non_square_is_not_unitary() {
+        let m = Matrix::zeros(2, 3);
+        assert!(!m.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn diagonal_builder() {
+        let d = Matrix::diagonal(&[C64::ONE, C64::I]);
+        assert_eq!(d[(0, 0)], C64::ONE);
+        assert_eq!(d[(1, 1)], C64::I);
+        assert_eq!(d[(0, 1)], C64::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = pauli_x();
+        let b = pauli_y();
+        let s = &(&a + &b) - &b;
+        assert!(s.approx_eq(&a, 1e-12));
+    }
+}

@@ -1,0 +1,208 @@
+//! Random matrices: Ginibre ensembles and Haar-distributed unitaries.
+//!
+//! Haar-random unitaries are produced with the standard recipe: draw a
+//! complex Ginibre matrix (i.i.d. standard complex Gaussian entries),
+//! QR-factorize it with modified Gram–Schmidt, and fix the phase of R's
+//! diagonal so the distribution is exactly Haar (Mezzadri 2007).
+
+use crate::{C64, Matrix};
+use rand::Rng;
+
+/// Draws a sample from the standard normal distribution via Box–Muller.
+fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // Avoid log(0) by sampling u1 in the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// An `n×n` complex Ginibre matrix: i.i.d. entries `(a + b·i)/√2` with
+/// `a, b ~ N(0, 1)`.
+pub fn ginibre(n: usize, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(n, n, |_, _| {
+        C64::new(standard_normal(rng), standard_normal(rng)) * std::f64::consts::FRAC_1_SQRT_2
+    })
+}
+
+/// QR factorization via modified Gram–Schmidt.
+///
+/// Returns `(Q, R)` with `Q` having orthonormal columns and `R` upper
+/// triangular such that `Q·R ≈ input`. Intended for well-conditioned inputs
+/// such as Ginibre samples; no pivoting is performed.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn qr(m: &Matrix) -> (Matrix, Matrix) {
+    assert!(m.is_square(), "qr expects a square matrix");
+    let n = m.rows();
+    // Work on columns.
+    let mut cols: Vec<Vec<C64>> = (0..n)
+        .map(|j| (0..n).map(|i| m[(i, j)]).collect())
+        .collect();
+    let mut r = Matrix::zeros(n, n);
+    for j in 0..n {
+        // Re-orthogonalize against previous columns (modified Gram-Schmidt).
+        for k in 0..j {
+            let mut proj = C64::ZERO;
+            for i in 0..n {
+                proj += cols[k][i].conj() * cols[j][i];
+            }
+            r[(k, j)] = proj;
+            for i in 0..n {
+                let sub = proj * cols[k][i];
+                cols[j][i] -= sub;
+            }
+        }
+        let norm: f64 = cols[j].iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        r[(j, j)] = C64::real(norm);
+        if norm > 0.0 {
+            for z in &mut cols[j] {
+                *z = *z / norm;
+            }
+        }
+    }
+    let q = Matrix::from_fn(n, n, |i, j| cols[j][i]);
+    (q, r)
+}
+
+/// An `n×n` Haar-distributed random unitary.
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let u = qmath::random::haar_unitary(8, &mut rng);
+/// assert!(u.is_unitary(1e-9));
+/// ```
+pub fn haar_unitary(n: usize, rng: &mut impl Rng) -> Matrix {
+    let g = ginibre(n, rng);
+    let (q, r) = qr(&g);
+    // Multiply each column of Q by the phase of the corresponding diagonal
+    // entry of R to make the distribution exactly Haar.
+    let mut u = q;
+    for j in 0..n {
+        let d = r[(j, j)];
+        let phase = if d.abs() > 0.0 { d / d.abs() } else { C64::ONE };
+        for i in 0..n {
+            u[(i, j)] = u[(i, j)] * phase;
+        }
+    }
+    u
+}
+
+/// A unitary that is a small random perturbation of `u`: `u` composed with a
+/// Haar unitary interpolated toward the identity by `strength ∈ [0, 1]`.
+///
+/// Used by tests and bound experiments to create "approximations" with a
+/// controlled process distance. `strength = 0` returns `u` itself.
+pub fn perturbed_unitary(u: &Matrix, strength: f64, rng: &mut impl Rng) -> Matrix {
+    let n = u.rows();
+    // Build a skew-Hermitian generator and exponentiate approximately with a
+    // scaled-and-squared Taylor series: exp(s·A) where A† = −A.
+    let g = ginibre(n, rng);
+    let a = {
+        let gd = g.dagger();
+        (&g - &gd).scaled(C64::real(0.5 * strength))
+    };
+    matrix_exp(&a)
+}
+
+/// Matrix exponential via scaling-and-squaring with a Taylor series.
+///
+/// Accurate for the small-norm generators used in this crate; for
+/// skew-Hermitian inputs the result is unitary up to floating-point error.
+pub fn matrix_exp(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    // Scale down until the norm is small.
+    let norm = a.frobenius_norm();
+    let s = norm.log2().ceil().max(0.0) as u32 + 4;
+    let scaled = a.scaled(C64::real(1.0 / f64::powi(2.0, s as i32)));
+    // Taylor series to order 12.
+    let mut term = Matrix::identity(n);
+    let mut sum = Matrix::identity(n);
+    for k in 1..=12 {
+        term = term.matmul(&scaled).scaled(C64::real(1.0 / k as f64));
+        sum = &sum + &term;
+    }
+    // Square back up.
+    let mut result = sum;
+    for _ in 0..s {
+        result = result.matmul(&result);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn haar_unitary_is_unitary() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [2, 4, 8] {
+            let u = haar_unitary(n, &mut rng);
+            assert!(u.is_unitary(1e-9), "n={n} not unitary");
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let g = ginibre(6, &mut rng);
+        let (q, r) = qr(&g);
+        assert!(q.matmul(&r).approx_eq(&g, 1e-9));
+        assert!(q.is_unitary(1e-9));
+        // R is upper triangular.
+        for i in 0..6 {
+            for j in 0..i {
+                assert!(r[(i, j)].abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_exp_of_zero_is_identity() {
+        let z = Matrix::zeros(4, 4);
+        assert!(matrix_exp(&z).approx_eq(&Matrix::identity(4), 1e-12));
+    }
+
+    #[test]
+    fn matrix_exp_of_skew_hermitian_is_unitary() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let g = ginibre(4, &mut rng);
+        let a = (&g - &g.dagger()).scaled(crate::C64::real(0.5));
+        assert!(matrix_exp(&a).is_unitary(1e-8));
+    }
+
+    #[test]
+    fn matrix_exp_matches_scalar_exp_on_diagonal() {
+        let a = Matrix::diagonal(&[crate::C64::new(0.0, 1.0), crate::C64::new(0.0, -0.5)]);
+        let e = matrix_exp(&a);
+        assert!(e[(0, 0)].approx_eq(crate::C64::cis(1.0), 1e-10));
+        assert!(e[(1, 1)].approx_eq(crate::C64::cis(-0.5), 1e-10));
+    }
+
+    #[test]
+    fn perturbation_strength_controls_distance() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let u = Matrix::identity(4);
+        let small = perturbed_unitary(&u, 0.05, &mut rng);
+        let large = perturbed_unitary(&u, 0.8, &mut rng);
+        let d_small = crate::hs::process_distance(&u, &small);
+        let d_large = crate::hs::process_distance(&u, &large);
+        assert!(d_small < d_large, "{d_small} !< {d_large}");
+        assert!(small.is_unitary(1e-8));
+        assert!(large.is_unitary(1e-8));
+    }
+
+    #[test]
+    fn ginibre_entries_have_unit_variance_approximately() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let g = ginibre(32, &mut rng);
+        let mean_sq: f64 =
+            g.as_slice().iter().map(|z| z.norm_sqr()).sum::<f64>() / (32.0 * 32.0);
+        assert!((mean_sq - 1.0).abs() < 0.15, "variance {mean_sq} far from 1");
+    }
+}

@@ -1,0 +1,209 @@
+//! Complex column vectors (quantum statevectors).
+
+use crate::{C64, Matrix};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A complex column vector; the workspace's statevector representation.
+///
+/// ```
+/// use qmath::{C64, Vector};
+///
+/// let mut v = Vector::basis_state(2, 0); // |0⟩ on one qubit
+/// assert!((v.norm() - 1.0).abs() < 1e-12);
+/// v[1] = C64::ONE;
+/// v.normalize();
+/// let probs = v.probabilities();
+/// assert!((probs[0] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Vector {
+    data: Vec<C64>,
+}
+
+impl Vector {
+    /// Creates a zero vector of the given dimension.
+    pub fn zeros(dim: usize) -> Self {
+        Vector {
+            data: vec![C64::ZERO; dim],
+        }
+    }
+
+    /// Creates the computational basis state `|k⟩` in a `dim`-dimensional
+    /// space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= dim`.
+    pub fn basis_state(dim: usize, k: usize) -> Self {
+        assert!(k < dim, "basis index {k} out of range for dimension {dim}");
+        let mut v = Vector::zeros(dim);
+        v[k] = C64::ONE;
+        v
+    }
+
+    /// Wraps an existing buffer.
+    pub fn from_vec(data: Vec<C64>) -> Self {
+        Vector { data }
+    }
+
+    /// Dimension of the vector.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Borrow of the amplitudes.
+    #[inline]
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Mutable borrow of the amplitudes.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector, returning the underlying buffer.
+    pub fn into_inner(self) -> Vec<C64> {
+        self.data
+    }
+
+    /// Hermitian inner product `⟨self|other⟩ = Σ conj(selfᵢ)·otherᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn inner(&self, other: &Vector) -> C64 {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Rescales the vector to unit norm. No-op on the zero vector.
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        if n > 0.0 {
+            for z in &mut self.data {
+                *z = *z / n;
+            }
+        }
+    }
+
+    /// Measurement probabilities `|amplitude|²` per basis state.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.data.iter().map(|z| z.norm_sqr()).collect()
+    }
+
+    /// Applies a matrix, returning `m · self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.cols() != self.dim()`.
+    pub fn transformed(&self, m: &Matrix) -> Vector {
+        Vector::from_vec(m.apply(&self.data))
+    }
+
+    /// Returns `true` when every amplitude is within `tol` of `other`'s.
+    pub fn approx_eq(&self, other: &Vector, tol: f64) -> bool {
+        self.dim() == other.dim()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = C64;
+    #[inline]
+    fn index(&self, i: usize) -> &C64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut C64 {
+        &mut self.data[i]
+    }
+}
+
+impl fmt::Debug for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vector[")?;
+        for (i, z) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{z:.4}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<C64> for Vector {
+    fn from_iter<I: IntoIterator<Item = C64>>(iter: I) -> Self {
+        Vector::from_vec(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_state_is_normalized() {
+        let v = Vector::basis_state(8, 3);
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+        assert_eq!(v[3], C64::ONE);
+        assert_eq!(v[0], C64::ZERO);
+    }
+
+    #[test]
+    fn inner_product_conjugate_symmetry() {
+        let a = Vector::from_vec(vec![C64::new(1.0, 1.0), C64::new(0.0, -2.0)]);
+        let b = Vector::from_vec(vec![C64::new(0.5, 0.0), C64::new(1.0, 1.0)]);
+        let ab = a.inner(&b);
+        let ba = b.inner(&a);
+        assert!(ab.approx_eq(ba.conj(), 1e-12));
+    }
+
+    #[test]
+    fn probabilities_sum_to_norm_squared() {
+        let mut v = Vector::from_vec(vec![C64::new(1.0, 0.0), C64::new(0.0, 1.0)]);
+        v.normalize();
+        let p: f64 = v.probabilities().iter().sum();
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transform_by_identity_is_noop() {
+        let v = Vector::basis_state(4, 2);
+        let id = Matrix::identity(4);
+        assert!(v.transformed(&id).approx_eq(&v, 1e-12));
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut v = Vector::zeros(3);
+        v.normalize();
+        assert_eq!(v.norm(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn basis_state_out_of_range_panics() {
+        let _ = Vector::basis_state(4, 4);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use qmath::{hs, random, C64, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn c64_strategy() -> impl Strategy<Value = C64> {
+    (-10.0..10.0f64, -10.0..10.0f64).prop_map(|(re, im)| C64::new(re, im))
+}
+
+proptest! {
+    #[test]
+    fn complex_mul_is_commutative(a in c64_strategy(), b in c64_strategy()) {
+        prop_assert!((a * b).approx_eq(b * a, 1e-9));
+    }
+
+    #[test]
+    fn complex_mul_is_associative(a in c64_strategy(), b in c64_strategy(), c in c64_strategy()) {
+        prop_assert!(((a * b) * c).approx_eq(a * (b * c), 1e-6));
+    }
+
+    #[test]
+    fn complex_distributes(a in c64_strategy(), b in c64_strategy(), c in c64_strategy()) {
+        prop_assert!((a * (b + c)).approx_eq(a * b + a * c, 1e-6));
+    }
+
+    #[test]
+    fn conj_is_involutive(a in c64_strategy()) {
+        prop_assert_eq!(a.conj().conj(), a);
+    }
+
+    #[test]
+    fn modulus_is_multiplicative(a in c64_strategy(), b in c64_strategy()) {
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn haar_unitaries_compose_to_unitary(seed1 in 0u64..1000, seed2 in 0u64..1000) {
+        let mut r1 = StdRng::seed_from_u64(seed1);
+        let mut r2 = StdRng::seed_from_u64(seed2);
+        let u = random::haar_unitary(4, &mut r1);
+        let v = random::haar_unitary(4, &mut r2);
+        prop_assert!(u.matmul(&v).is_unitary(1e-8));
+    }
+
+    #[test]
+    fn kron_of_unitaries_is_unitary(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = random::haar_unitary(2, &mut rng);
+        let v = random::haar_unitary(4, &mut rng);
+        prop_assert!(u.kron(&v).is_unitary(1e-8));
+    }
+
+    #[test]
+    fn process_distance_axioms(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = random::haar_unitary(4, &mut rng);
+        let v = random::haar_unitary(4, &mut rng);
+        let d = hs::process_distance(&u, &v);
+        // Range and symmetry.
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!((d - hs::process_distance(&v, &u)).abs() < 1e-10);
+        // Identity of indiscernibles (up to phase).
+        prop_assert!(hs::process_distance(&u, &u) < 1e-6);
+        // Unitary invariance: d(WU, WV) = d(U, V).
+        let w = random::haar_unitary(4, &mut rng);
+        let d2 = hs::process_distance(&w.matmul(&u), &w.matmul(&v));
+        prop_assert!((d - d2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn two_block_composition_bound(seed in 0u64..200, s1 in 0.01f64..0.5, s2 in 0.01f64..0.5) {
+        // Paper Sec. 3.8 theorem on randomly perturbed blocks.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u1 = random::haar_unitary(4, &mut rng);
+        let u2 = random::haar_unitary(4, &mut rng);
+        let u1p = {
+            let p = random::perturbed_unitary(&Matrix::identity(4), s1, &mut rng);
+            u1.matmul(&p)
+        };
+        let u2p = {
+            let p = random::perturbed_unitary(&Matrix::identity(4), s2, &mut rng);
+            u2.matmul(&p)
+        };
+        let id = Matrix::identity(2);
+        let full = id.kron(&u2).matmul(&u1.kron(&id));
+        let full_p = id.kron(&u2p).matmul(&u1p.kron(&id));
+        let lhs = hs::process_distance(&full, &full_p);
+        let eps1 = hs::process_distance(&u1, &u1p);
+        let eps2 = hs::process_distance(&u2, &u2p);
+        prop_assert!(lhs <= hs::compose_bound(&[eps1, eps2]) + 1e-8,
+            "bound violated: {} > {} + {}", lhs, eps1, eps2);
+    }
+
+    #[test]
+    fn zyz_roundtrip(seed in 0u64..2000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = random::haar_unitary(2, &mut rng);
+        let z = qmath::decompose::zyz(&u);
+        prop_assert!(qmath::decompose::reconstruct(&z).approx_eq(&u, 1e-7));
+    }
+
+    #[test]
+    fn matmul_is_associative(seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random::ginibre(4, &mut rng);
+        let b = random::ginibre(4, &mut rng);
+        let c = random::ginibre(4, &mut rng);
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-6));
+    }
+
+    #[test]
+    fn trace_is_similarity_invariant(seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random::ginibre(4, &mut rng);
+        let u = random::haar_unitary(4, &mut rng);
+        let conj = u.dagger().matmul(&a).matmul(&u);
+        prop_assert!(a.trace().approx_eq(conj.trace(), 1e-7));
+    }
+}

@@ -1,0 +1,373 @@
+//! Circuit partitioning into small synthesizable blocks (paper Sec. 3.3).
+//!
+//! Synthesis cost scales exponentially with block width, so QUEST first
+//! splits the circuit into blocks of at most `k` qubits (4 in the paper) and
+//! synthesizes each block in isolation. Like the BQSKit *scan partitioner*
+//! the paper uses, [`scan_partition`] makes a single front-to-back pass:
+//! gates are absorbed into the open block while the union of touched qubits
+//! stays within the size budget, and a new block opens otherwise. Because
+//! gates are never reordered, the blocks are in topological order and the
+//! circuit equals the in-order composition of its blocks.
+//!
+//! ```
+//! use qcircuit::Circuit;
+//! use qpartition::scan_partition;
+//!
+//! let mut c = Circuit::new(4);
+//! c.h(0).cnot(0, 1).cnot(1, 2).cnot(2, 3);
+//! let parts = scan_partition(&c, 3);
+//! assert!(parts.blocks().iter().all(|b| b.qubits().len() <= 3));
+//! // Reassembly preserves the computation.
+//! assert!(parts.reassemble().unitary().approx_eq(&c.unitary(), 1e-10));
+//! ```
+
+use qcircuit::{Circuit, Instruction};
+use qmath::Matrix;
+
+/// A contiguous group of instructions acting on at most `k` qubits.
+///
+/// The block stores its circuit over *local* qubit indices `0..width`; the
+/// `qubits` list maps local index `i` to the global qubit `qubits[i]`
+/// (sorted ascending).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    qubits: Vec<usize>,
+    circuit: Circuit,
+}
+
+impl Block {
+    /// Global qubits the block acts on, ascending; local qubit `i`
+    /// corresponds to `qubits()[i]`.
+    pub fn qubits(&self) -> &[usize] {
+        &self.qubits
+    }
+
+    /// The block's circuit over local qubit indices.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Block width (number of qubits).
+    pub fn width(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// The block's unitary (local dimension `2^width`). This is the target
+    /// QUEST's approximate synthesis minimizes against.
+    pub fn unitary(&self) -> Matrix {
+        self.circuit.unitary()
+    }
+
+    /// The block's circuit re-targeted onto the full register.
+    pub fn remapped_to_full(&self, num_qubits: usize) -> Circuit {
+        self.circuit.remapped(&self.qubits, num_qubits)
+    }
+}
+
+/// A circuit expressed as an ordered sequence of blocks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionedCircuit {
+    num_qubits: usize,
+    blocks: Vec<Block>,
+}
+
+impl PartitionedCircuit {
+    /// Width of the original circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The blocks in topological (program) order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns `true` when there are no blocks (empty input circuit).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Rebuilds the full circuit by composing the blocks in order.
+    pub fn reassemble(&self) -> Circuit {
+        let mut c = Circuit::new(self.num_qubits);
+        for b in &self.blocks {
+            c.extend_from(&b.remapped_to_full(self.num_qubits));
+        }
+        c
+    }
+
+    /// Rebuilds the full circuit with block `i`'s body replaced by
+    /// `replacements[i]` (e.g. a synthesized approximation). Each
+    /// replacement must have the corresponding block's width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replacements.len() != self.len()` or widths mismatch.
+    pub fn reassemble_with(&self, replacements: &[&Circuit]) -> Circuit {
+        assert_eq!(
+            replacements.len(),
+            self.blocks.len(),
+            "need one replacement per block"
+        );
+        let mut c = Circuit::new(self.num_qubits);
+        for (b, r) in self.blocks.iter().zip(replacements) {
+            assert_eq!(
+                r.num_qubits(),
+                b.width(),
+                "replacement width mismatch for block on {:?}",
+                b.qubits
+            );
+            c.extend_from(&r.remapped(&b.qubits, self.num_qubits));
+        }
+        c
+    }
+}
+
+/// Partitions `circuit` into blocks of at most `max_block_size` qubits with
+/// a single front-to-back scan.
+///
+/// # Panics
+///
+/// Panics if `max_block_size < 2` (two-qubit gates must fit in a block).
+pub fn scan_partition(circuit: &Circuit, max_block_size: usize) -> PartitionedCircuit {
+    scan_partition_with(circuit, max_block_size, None)
+}
+
+/// Like [`scan_partition`], but additionally closing a block once it holds
+/// `max_block_gates` instructions.
+///
+/// A pure qubit-width budget puts an arbitrarily deep circuit on few qubits
+/// into one giant block; a gate cap time-slices it instead, which keeps
+/// per-block synthesis tractable and — for Trotterized evolutions — makes
+/// consecutive timestep circuits share identical blocks (synthesis-cache
+/// hits).
+///
+/// # Panics
+///
+/// Panics if `max_block_size < 2` or `max_block_gates == Some(0)`.
+pub fn scan_partition_with(
+    circuit: &Circuit,
+    max_block_size: usize,
+    max_block_gates: Option<usize>,
+) -> PartitionedCircuit {
+    assert!(
+        max_block_size >= 2,
+        "blocks must hold at least 2 qubits to contain CNOTs"
+    );
+    assert!(
+        max_block_gates != Some(0),
+        "gate budget must be at least 1"
+    );
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut open_qubits: Vec<usize> = Vec::new();
+    let mut open_insts: Vec<Instruction> = Vec::new();
+
+    let flush = |qubits: &mut Vec<usize>, insts: &mut Vec<Instruction>, blocks: &mut Vec<Block>| {
+        if insts.is_empty() {
+            return;
+        }
+        qubits.sort_unstable();
+        let local_index = |q: usize| qubits.iter().position(|&g| g == q).unwrap();
+        let mut local = Circuit::new(qubits.len());
+        for inst in insts.drain(..) {
+            let lq: Vec<usize> = inst.qubits.iter().map(|&q| local_index(q)).collect();
+            local.push(inst.gate, &lq);
+        }
+        blocks.push(Block {
+            qubits: std::mem::take(qubits),
+            circuit: local,
+        });
+    };
+
+    for inst in circuit.iter() {
+        let new_qubits: Vec<usize> = inst
+            .qubits
+            .iter()
+            .copied()
+            .filter(|q| !open_qubits.contains(q))
+            .collect();
+        let over_width = open_qubits.len() + new_qubits.len() > max_block_size;
+        let over_gates = max_block_gates.is_some_and(|cap| open_insts.len() >= cap);
+        if over_width || over_gates {
+            flush(&mut open_qubits, &mut open_insts, &mut blocks);
+        }
+        for q in inst.qubits.iter() {
+            if !open_qubits.contains(q) {
+                open_qubits.push(*q);
+            }
+        }
+        open_insts.push(inst.clone());
+    }
+    flush(&mut open_qubits, &mut open_insts, &mut blocks);
+
+    PartitionedCircuit {
+        num_qubits: circuit.num_qubits(),
+        blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_circuit(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 0..n - 1 {
+            c.cnot(q, q + 1);
+            c.rz(q + 1, 0.1 * q as f64);
+        }
+        c
+    }
+
+    #[test]
+    fn blocks_respect_size_budget() {
+        for k in 2..=4 {
+            let parts = scan_partition(&line_circuit(6), k);
+            for b in parts.blocks() {
+                assert!(b.width() <= k, "block {:?} too wide for k={k}", b.qubits());
+            }
+        }
+    }
+
+    #[test]
+    fn reassembly_is_exact() {
+        let c = line_circuit(5);
+        for k in 2..=4 {
+            let parts = scan_partition(&c, k);
+            assert!(
+                parts.reassemble().unitary().approx_eq(&c.unitary(), 1e-9),
+                "k={k} reassembly differs"
+            );
+        }
+    }
+
+    #[test]
+    fn instruction_count_is_preserved() {
+        let c = line_circuit(6);
+        let parts = scan_partition(&c, 3);
+        let total: usize = parts.blocks().iter().map(|b| b.circuit().len()).sum();
+        assert_eq!(total, c.len());
+    }
+
+    #[test]
+    fn fully_local_circuit_fits_one_block_per_size() {
+        // Circuit touching only 2 qubits fits into a single block at k>=2.
+        let mut c = Circuit::new(4);
+        c.h(1).cnot(1, 2).rz(2, 0.5).cnot(1, 2);
+        let parts = scan_partition(&c, 4);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts.blocks()[0].qubits(), &[1, 2]);
+    }
+
+    #[test]
+    fn wider_budget_gives_fewer_blocks() {
+        let c = line_circuit(8);
+        let small = scan_partition(&c, 2).len();
+        let large = scan_partition(&c, 4).len();
+        assert!(large < small, "k=4 ({large}) !< k=2 ({small})");
+    }
+
+    #[test]
+    fn block_local_indices_are_valid() {
+        let c = line_circuit(6);
+        let parts = scan_partition(&c, 3);
+        for b in parts.blocks() {
+            for inst in b.circuit().iter() {
+                for &q in &inst.qubits {
+                    assert!(q < b.width());
+                }
+            }
+            // Qubit list sorted ascending.
+            assert!(b.qubits().windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn reassemble_with_identity_replacements_is_noop() {
+        let c = line_circuit(5);
+        let parts = scan_partition(&c, 3);
+        let bodies: Vec<Circuit> = parts.blocks().iter().map(|b| b.circuit().clone()).collect();
+        let refs: Vec<&Circuit> = bodies.iter().collect();
+        let re = parts.reassemble_with(&refs);
+        assert!(re.unitary().approx_eq(&c.unitary(), 1e-9));
+    }
+
+    #[test]
+    fn empty_circuit_yields_no_blocks() {
+        let parts = scan_partition(&Circuit::new(3), 3);
+        assert!(parts.is_empty());
+        assert_eq!(parts.reassemble().len(), 0);
+    }
+
+    #[test]
+    fn gate_cap_time_slices_deep_circuits() {
+        // A deep 3-qubit circuit: width-only partitioning gives one block;
+        // a gate cap slices it into several identical-shape blocks.
+        let mut c = Circuit::new(3);
+        for _ in 0..6 {
+            c.cnot(0, 1).rz(1, 0.2).cnot(0, 1).cnot(1, 2).rz(2, 0.2).cnot(1, 2);
+        }
+        assert_eq!(scan_partition(&c, 3).len(), 1);
+        let sliced = scan_partition_with(&c, 3, Some(12));
+        assert!(sliced.len() >= 3, "got {} blocks", sliced.len());
+        for b in sliced.blocks() {
+            assert!(b.circuit().len() <= 12);
+        }
+        assert!(sliced.reassemble().unitary().approx_eq(&c.unitary(), 1e-9));
+    }
+
+    #[test]
+    fn gate_cap_produces_repeated_blocks() {
+        // Trotter repetition → identical block bodies (the cache premise).
+        let mut c = Circuit::new(2);
+        for _ in 0..4 {
+            c.cnot(0, 1).rz(1, 0.5).cnot(0, 1);
+        }
+        let parts = scan_partition_with(&c, 2, Some(3));
+        assert_eq!(parts.len(), 4);
+        let first = parts.blocks()[0].circuit().clone();
+        for b in parts.blocks() {
+            assert_eq!(b.circuit(), &first);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gate budget")]
+    fn zero_gate_cap_panics() {
+        let _ = scan_partition_with(&Circuit::new(2), 2, Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 qubits")]
+    fn block_size_one_panics() {
+        let _ = scan_partition(&Circuit::new(2), 1);
+    }
+
+    #[test]
+    fn benchmark_suite_partitions_cleanly() {
+        for b in qbench::suite() {
+            let parts = scan_partition(&b.circuit, 4);
+            assert!(!parts.is_empty(), "{} produced no blocks", b.name);
+            let total: usize = parts.blocks().iter().map(|bl| bl.circuit().len()).sum();
+            assert_eq!(total, b.circuit.len(), "{} lost instructions", b.name);
+        }
+    }
+
+    #[test]
+    fn suite_reassembly_matches_statevector() {
+        // Cheaper than unitary comparison for wider circuits.
+        for b in qbench::suite().into_iter().filter(|b| b.circuit.num_qubits() <= 6) {
+            let parts = scan_partition(&b.circuit, 4);
+            let orig = qsim::Statevector::run(&b.circuit);
+            let re = qsim::Statevector::run(&parts.reassemble());
+            let t = qsim::tvd(&orig.probabilities(), &re.probabilities());
+            assert!(t < 1e-9, "{}: tvd {t}", b.name);
+        }
+    }
+}

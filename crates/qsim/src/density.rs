@@ -1,0 +1,361 @@
+//! Exact density-matrix simulation of the Pauli noise channel.
+//!
+//! The trajectory simulator in [`crate::noise`] is a Monte-Carlo *unraveling*
+//! of a quantum channel; this module evolves the density matrix under the
+//! exact channel instead: after every gate each touched qubit passes through
+//! the symmetric Pauli channel
+//!
+//! ```text
+//! ρ → (1−p)·ρ + p/3·(XρX + YρY + ZρZ)
+//! ```
+//!
+//! and readout error applies an independent bit-flip channel per qubit.
+//! Memory is `O(4^n)`, so this is for validation at ≤7 qubits — its role in
+//! this workspace is to certify that the scalable trajectory simulator
+//! converges to the exact channel (see the convergence tests), the same way
+//! the paper's noisy simulations are trusted.
+
+use crate::noise::NoiseModel;
+use qcircuit::{embed::embed, Circuit, Gate};
+use qmath::{C64, Matrix};
+
+/// A density matrix on `n` qubits.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DensityMatrix {
+    num_qubits: usize,
+    rho: Matrix,
+}
+
+impl DensityMatrix {
+    /// The pure state `|0…0⟩⟨0…0|`.
+    pub fn zero_state(num_qubits: usize) -> Self {
+        assert!(num_qubits <= 7, "density matrices limited to 7 qubits");
+        let dim = 1usize << num_qubits;
+        let mut rho = Matrix::zeros(dim, dim);
+        rho[(0, 0)] = C64::ONE;
+        DensityMatrix { num_qubits, rho }
+    }
+
+    /// A pure state `|ψ⟩⟨ψ|` from amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the amplitude count is not `2^n` for some `n ≤ 7`.
+    pub fn from_amplitudes(amps: &[C64]) -> Self {
+        let dim = amps.len();
+        assert!(dim.is_power_of_two(), "amplitude count must be 2^n");
+        let num_qubits = dim.trailing_zeros() as usize;
+        assert!(num_qubits <= 7, "density matrices limited to 7 qubits");
+        let rho = Matrix::from_fn(dim, dim, |i, j| amps[i] * amps[j].conj());
+        DensityMatrix { num_qubits, rho }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Borrow of the underlying matrix.
+    pub fn as_matrix(&self) -> &Matrix {
+        &self.rho
+    }
+
+    /// `Tr(ρ)` — must stay 1 under any channel.
+    pub fn trace(&self) -> f64 {
+        self.rho.trace().re
+    }
+
+    /// Purity `Tr(ρ²)`: 1 for pure states, `1/2^n` for maximally mixed.
+    pub fn purity(&self) -> f64 {
+        self.rho.matmul(&self.rho).trace().re
+    }
+
+    /// Von Neumann entanglement entropy `S(ρ) = −Tr(ρ ln ρ)` in nats:
+    /// 0 for pure states, `n·ln 2` for the maximally mixed state.
+    pub fn entropy(&self) -> f64 {
+        let e = qmath::eigen::eigh(&self.rho);
+        qmath::eigen::von_neumann_entropy(&e.values)
+    }
+
+    /// Measurement probabilities (the diagonal).
+    pub fn probabilities(&self) -> Vec<f64> {
+        (0..self.rho.rows()).map(|i| self.rho[(i, i)].re.max(0.0)).collect()
+    }
+
+    /// Applies a unitary gate: `ρ ← GρG†`.
+    pub fn apply_gate(&mut self, gate: Gate, qubits: &[usize]) {
+        let g = embed(&gate.matrix(), qubits, self.num_qubits);
+        self.rho = g.matmul(&self.rho).matmul(&g.dagger());
+    }
+
+    /// Applies the symmetric Pauli channel with error probability `p` to one
+    /// qubit.
+    pub fn apply_pauli_channel(&mut self, qubit: usize, p: f64) {
+        if p <= 0.0 {
+            return;
+        }
+        let mut out = self.rho.scaled(C64::real(1.0 - p));
+        for pauli in [Gate::X, Gate::Y, Gate::Z] {
+            let g = embed(&pauli.matrix(), &[qubit], self.num_qubits);
+            let term = g.matmul(&self.rho).matmul(&g.dagger());
+            out = &out + &term.scaled(C64::real(p / 3.0));
+        }
+        self.rho = out;
+    }
+
+    /// Applies a classical bit-flip channel (readout error) to one qubit:
+    /// `ρ → (1−p)·ρ + p·XρX`.
+    pub fn apply_bitflip_channel(&mut self, qubit: usize, p: f64) {
+        if p <= 0.0 {
+            return;
+        }
+        let g = embed(&Gate::X.matrix(), &[qubit], self.num_qubits);
+        let flipped = g.matmul(&self.rho).matmul(&g.dagger());
+        self.rho = &self.rho.scaled(C64::real(1.0 - p)) + &flipped.scaled(C64::real(p));
+    }
+
+    /// Partial trace: the reduced density matrix on `keep` (ordered; the
+    /// first listed qubit becomes the new most significant bit), tracing out
+    /// every other qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or duplicate qubits, or when `keep` is empty.
+    pub fn partial_trace(&self, keep: &[usize]) -> DensityMatrix {
+        assert!(!keep.is_empty(), "must keep at least one qubit");
+        for (i, &q) in keep.iter().enumerate() {
+            assert!(q < self.num_qubits, "qubit {q} out of range");
+            assert!(!keep[..i].contains(&q), "duplicate qubit {q}");
+        }
+        let n = self.num_qubits;
+        let traced: Vec<usize> = (0..n).filter(|q| !keep.contains(q)).collect();
+        let k = keep.len();
+        let dim_out = 1usize << k;
+        let dim_env = 1usize << traced.len();
+        // Bit position (from the LSB) of qubit q in the full index.
+        let pos = |q: usize| n - 1 - q;
+        let build_index = |kept_bits: usize, env_bits: usize| -> usize {
+            let mut idx = 0usize;
+            for (bit, &q) in keep.iter().enumerate() {
+                if (kept_bits >> (k - 1 - bit)) & 1 == 1 {
+                    idx |= 1 << pos(q);
+                }
+            }
+            for (bit, &q) in traced.iter().enumerate() {
+                if (env_bits >> (traced.len() - 1 - bit)) & 1 == 1 {
+                    idx |= 1 << pos(q);
+                }
+            }
+            idx
+        };
+        let mut out = Matrix::zeros(dim_out, dim_out);
+        for i in 0..dim_out {
+            for j in 0..dim_out {
+                let mut acc = C64::ZERO;
+                for e in 0..dim_env {
+                    acc += self.rho[(build_index(i, e), build_index(j, e))];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        DensityMatrix {
+            num_qubits: k,
+            rho: out,
+        }
+    }
+
+    /// Runs a circuit under the given noise model, exactly: gate, then the
+    /// per-qubit Pauli channel at the gate-class rate, then readout error at
+    /// the end — the channel the trajectory simulator unravels.
+    pub fn run_noisy(circuit: &Circuit, model: &NoiseModel) -> Self {
+        let mut dm = DensityMatrix::zero_state(circuit.num_qubits());
+        for inst in circuit.iter() {
+            dm.apply_gate(inst.gate, &inst.qubits);
+            let p = if inst.gate.is_two_qubit() {
+                model.p2
+            } else {
+                model.p1
+            };
+            for &q in &inst.qubits {
+                dm.apply_pauli_channel(q, p);
+            }
+        }
+        for q in 0..circuit.num_qubits() {
+            dm.apply_bitflip_channel(q, model.spam);
+        }
+        dm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::tvd;
+    use crate::noise::run_noisy;
+    use crate::statevector::Statevector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        c
+    }
+
+    #[test]
+    fn pure_evolution_matches_statevector() {
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).rz(1, 0.4).cnot(1, 2).ry(2, -0.8);
+        let dm = DensityMatrix::run_noisy(&c, &NoiseModel::ideal());
+        let sv = Statevector::run(&c);
+        let p_dm = dm.probabilities();
+        let p_sv = sv.probabilities();
+        for (a, b) in p_dm.iter().zip(&p_sv) {
+            assert!((a - b).abs() < 1e-10);
+        }
+        assert!((dm.purity() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn channels_preserve_trace() {
+        let mut dm = DensityMatrix::zero_state(2);
+        dm.apply_gate(Gate::H, &[0]);
+        dm.apply_pauli_channel(0, 0.2);
+        dm.apply_pauli_channel(1, 0.05);
+        dm.apply_bitflip_channel(0, 0.1);
+        assert!((dm.trace() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn noise_reduces_purity() {
+        let dm_clean = DensityMatrix::run_noisy(&bell(), &NoiseModel::ideal());
+        let dm_noisy = DensityMatrix::run_noisy(&bell(), &NoiseModel::pauli(0.05));
+        assert!(dm_noisy.purity() < dm_clean.purity());
+        assert!(dm_noisy.purity() > 0.25); // still far from maximally mixed
+    }
+
+    #[test]
+    fn full_depolarization_limit() {
+        // Repeated strong Pauli channels drive a qubit to the maximally
+        // mixed state.
+        let mut dm = DensityMatrix::zero_state(1);
+        for _ in 0..200 {
+            dm.apply_pauli_channel(0, 0.5);
+        }
+        let p = dm.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-6);
+        assert!((dm.purity() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bitflip_channel_mixes_diagonal() {
+        let mut dm = DensityMatrix::zero_state(1);
+        dm.apply_bitflip_channel(0, 0.25);
+        let p = dm.probabilities();
+        assert!((p[0] - 0.75).abs() < 1e-12);
+        assert!((p[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trajectory_simulator_converges_to_exact_channel() {
+        // The load-bearing validation: Monte-Carlo trajectories → exact
+        // density-matrix channel as trajectory count grows.
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).cnot(1, 2).rz(2, 0.5).cnot(0, 1);
+        let model = NoiseModel::pauli(0.05);
+        let exact = DensityMatrix::run_noisy(&c, &model).probabilities();
+
+        let mut rng = StdRng::seed_from_u64(1234);
+        let coarse = run_noisy(&c, &model, 40_000, 40, &mut rng).probabilities();
+        let fine = run_noisy(&c, &model, 40_000, 4000, &mut rng).probabilities();
+        let d_coarse = tvd(&coarse, &exact);
+        let d_fine = tvd(&fine, &exact);
+        assert!(
+            d_fine < 0.02,
+            "trajectory simulator disagrees with exact channel: {d_fine}"
+        );
+        assert!(
+            d_fine <= d_coarse + 0.01,
+            "more trajectories should not hurt: {d_fine} vs {d_coarse}"
+        );
+    }
+
+    #[test]
+    fn spam_matches_between_simulators() {
+        let model = NoiseModel {
+            p1: 1e-9,
+            p2: 1e-9,
+            spam: 0.1,
+        };
+        let c = bell();
+        let exact = DensityMatrix::run_noisy(&c, &model).probabilities();
+        let mut rng = StdRng::seed_from_u64(77);
+        let sampled = run_noisy(&c, &model, 60_000, 16, &mut rng).probabilities();
+        assert!(tvd(&exact, &sampled) < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 7 qubits")]
+    fn too_wide_panics() {
+        let _ = DensityMatrix::zero_state(8);
+    }
+
+    #[test]
+    fn entropy_tracks_entanglement_and_noise() {
+        // Pure product state: zero entropy.
+        let dm = DensityMatrix::zero_state(2);
+        assert!(dm.entropy().abs() < 1e-8);
+        // Bell state: globally pure (S≈0) but reduced state has S = ln 2.
+        let bell_dm = DensityMatrix::run_noisy(&bell(), &NoiseModel::ideal());
+        assert!(bell_dm.entropy().abs() < 1e-6);
+        let reduced = bell_dm.partial_trace(&[0]);
+        assert!((reduced.entropy() - std::f64::consts::LN_2).abs() < 1e-6);
+        // Noise strictly increases global entropy.
+        let noisy = DensityMatrix::run_noisy(&bell(), &NoiseModel::pauli(0.1));
+        assert!(noisy.entropy() > 0.01);
+    }
+
+    #[test]
+    fn partial_trace_of_bell_is_maximally_mixed() {
+        let dm = DensityMatrix::run_noisy(&bell(), &NoiseModel::ideal());
+        let reduced = dm.partial_trace(&[0]);
+        assert_eq!(reduced.num_qubits(), 1);
+        assert!((reduced.trace() - 1.0).abs() < 1e-10);
+        // Maximally entangled → reduced state is I/2.
+        assert!((reduced.purity() - 0.5).abs() < 1e-10);
+        let p = reduced.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn partial_trace_of_product_state_is_pure() {
+        let mut c = Circuit::new(2);
+        c.h(0).rz(0, 0.4).x(1);
+        let dm = DensityMatrix::run_noisy(&c, &NoiseModel::ideal());
+        let reduced = dm.partial_trace(&[1]);
+        assert!((reduced.purity() - 1.0).abs() < 1e-10);
+        assert!((reduced.probabilities()[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn partial_trace_keep_order_permutes() {
+        // |01⟩: keeping [1, 0] should read back (1, 0) in the new order.
+        let mut c = Circuit::new(2);
+        c.x(1);
+        let dm = DensityMatrix::run_noisy(&c, &NoiseModel::ideal());
+        let reduced = dm.partial_trace(&[1, 0]);
+        let p = reduced.probabilities();
+        // New qubit 0 = old qubit 1 (=1), new qubit 1 = old qubit 0 (=0):
+        // state |10⟩ = index 2.
+        assert!((p[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn partial_trace_preserves_trace_under_noise() {
+        let c = bell();
+        let dm = DensityMatrix::run_noisy(&c, &NoiseModel::pauli(0.1));
+        let reduced = dm.partial_trace(&[1]);
+        assert!((reduced.trace() - 1.0).abs() < 1e-10);
+        assert!(reduced.purity() <= 1.0 + 1e-10);
+    }
+}

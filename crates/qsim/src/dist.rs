@@ -1,0 +1,161 @@
+//! Output-distribution distance metrics (paper Sec. 2).
+//!
+//! * [`tvd`] — Total Variational Distance, `½ Σ |p(k) − p'(k)|`,
+//! * [`jsd`] — Jensen–Shannon Divergence,
+//!   `sqrt(½ [D(p‖m) + D(p'‖m)])` with `m` the pointwise mean,
+//! * [`kl`] — Kullback–Leibler divergence (natural log), the building block
+//!   of JSD.
+//!
+//! Both TVD and JSD map a pair of distributions into `[0, 1]`, with 0 best.
+//! These are the two general-purpose output metrics the paper evaluates
+//! every algorithm with (Fig. 9).
+
+/// Total Variational Distance between two probability distributions.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// ```
+/// assert_eq!(qsim::tvd(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+/// assert_eq!(qsim::tvd(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+/// ```
+pub fn tvd(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Kullback–Leibler divergence `Σ p(k)·ln(p(k)/q(k))` in nats.
+///
+/// Terms with `p(k) = 0` contribute zero; terms with `q(k) = 0 < p(k)`
+/// contribute `+∞` (standard convention).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn kl(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    p.iter()
+        .zip(q)
+        .map(|(&a, &b)| {
+            if a <= 0.0 {
+                0.0
+            } else if b <= 0.0 {
+                f64::INFINITY
+            } else {
+                a * (a / b).ln()
+            }
+        })
+        .sum()
+}
+
+/// Jensen–Shannon Divergence, normalized to `[0, 1]`.
+///
+/// Computed as `sqrt(½ [D(p‖m) + D(q‖m)] / ln 2)` where `m` is the pointwise
+/// mean; the `ln 2` normalization makes disjoint distributions score exactly
+/// 1 (the convention matching the paper's 0-to-1 range).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// ```
+/// assert!((qsim::jsd(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+/// assert!(qsim::jsd(&[0.5, 0.5], &[0.5, 0.5]) < 1e-12);
+/// ```
+pub fn jsd(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let m: Vec<f64> = p.iter().zip(q).map(|(a, b)| 0.5 * (a + b)).collect();
+    let d = 0.5 * (kl(p, &m) + kl(q, &m)) / std::f64::consts::LN_2;
+    d.max(0.0).sqrt()
+}
+
+/// Pointwise mean of a set of distributions — QUEST's output-averaging step
+/// over its `M` selected approximate circuits (paper Sec. 4.1).
+///
+/// # Panics
+///
+/// Panics if `dists` is empty or the rows have mismatched lengths.
+pub fn average_distributions(dists: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!dists.is_empty(), "need at least one distribution");
+    let len = dists[0].len();
+    let mut out = vec![0.0; len];
+    for d in dists {
+        assert_eq!(d.len(), len, "distribution length mismatch");
+        for (o, &v) in out.iter_mut().zip(d) {
+            *o += v;
+        }
+    }
+    let k = dists.len() as f64;
+    for o in &mut out {
+        *o /= k;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tvd_basic_cases() {
+        assert_eq!(tvd(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert_eq!(tvd(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+        assert!((tvd(&[0.75, 0.25], &[0.25, 0.75]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tvd_is_symmetric() {
+        let p = [0.1, 0.2, 0.3, 0.4];
+        let q = [0.4, 0.3, 0.2, 0.1];
+        assert_eq!(tvd(&p, &q), tvd(&q, &p));
+    }
+
+    #[test]
+    fn kl_self_is_zero() {
+        let p = [0.3, 0.7];
+        assert!(kl(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_handles_zeros() {
+        assert_eq!(kl(&[0.0, 1.0], &[0.5, 0.5]), (1.0f64 / 0.5).ln());
+        assert_eq!(kl(&[0.5, 0.5], &[0.0, 1.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn jsd_bounds() {
+        assert!(jsd(&[0.5, 0.5], &[0.5, 0.5]) < 1e-12);
+        assert!((jsd(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+        let mid = jsd(&[0.8, 0.2], &[0.2, 0.8]);
+        assert!(mid > 0.0 && mid < 1.0);
+    }
+
+    #[test]
+    fn jsd_is_symmetric_and_finite_on_disjoint_support() {
+        let p = [1.0, 0.0, 0.0];
+        let q = [0.0, 0.5, 0.5];
+        let d1 = jsd(&p, &q);
+        let d2 = jsd(&q, &p);
+        assert!(d1.is_finite());
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averaging_reduces_symmetric_errors() {
+        // Two distributions that err on opposite sides of the target
+        // average to the target — the paper's Fig. 6 intuition.
+        let target = [0.5, 0.5];
+        let a = [0.7, 0.3];
+        let b = [0.3, 0.7];
+        let avg = average_distributions(&[a.to_vec(), b.to_vec()]);
+        assert!(tvd(&avg, &target) < tvd(&a, &target));
+        assert!(tvd(&avg, &target) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn tvd_length_mismatch_panics() {
+        let _ = tvd(&[1.0], &[0.5, 0.5]);
+    }
+}

@@ -1,0 +1,41 @@
+//! Quantum circuit simulation: the evaluation substrate of the QUEST
+//! reproduction.
+//!
+//! The paper evaluates circuits three ways; each has a counterpart here:
+//!
+//! | Paper | This crate |
+//! |---|---|
+//! | Qiskit Aer unitary simulator (ground truth) | [`statevector`] / [`unitary`] |
+//! | IBMQ QASM simulator + Pauli noise model | [`noise`] trajectory simulator |
+//! | IBMQ Manila 5-qubit machine | [`noise::NoiseModel::linear5`] preset |
+//!
+//! Output-distribution metrics (TVD, JSD — paper Sec. 2) live in [`dist`].
+//!
+//! # Example
+//!
+//! ```
+//! use qcircuit::Circuit;
+//! use qsim::statevector::Statevector;
+//!
+//! let mut bell = Circuit::new(2);
+//! bell.h(0).cnot(0, 1);
+//! let state = Statevector::run(&bell);
+//! let probs = state.probabilities();
+//! assert!((probs[0] - 0.5).abs() < 1e-12);
+//! assert!((probs[3] - 0.5).abs() < 1e-12);
+//! ```
+
+pub mod density;
+pub mod dist;
+pub mod marginals;
+pub mod mitigation;
+pub mod noise;
+pub mod pauli;
+pub mod statevector;
+pub mod unitary;
+
+pub use density::DensityMatrix;
+pub use dist::{jsd, tvd};
+pub use noise::{NoiseModel, NoisyResult};
+pub use statevector::Statevector;
+pub use unitary::unitary_of;

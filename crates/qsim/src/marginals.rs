@@ -1,0 +1,119 @@
+//! Distribution post-processing: marginals, bitstring labels, top outcomes.
+//!
+//! Small utilities shared by the evaluation harnesses and examples when
+//! reporting measured distributions.
+
+/// Marginal distribution over a subset of qubits (ordered; the first listed
+/// qubit becomes the most significant bit of the marginal index).
+///
+/// # Panics
+///
+/// Panics if `probs.len()` is not a power of two, or on out-of-range or
+/// duplicate qubits.
+///
+/// ```
+/// // Bell pair: both marginals are uniform.
+/// let joint = [0.5, 0.0, 0.0, 0.5];
+/// assert_eq!(qsim::marginals::marginal(&joint, &[0]), vec![0.5, 0.5]);
+/// ```
+pub fn marginal(probs: &[f64], keep: &[usize]) -> Vec<f64> {
+    assert!(probs.len().is_power_of_two(), "length must be 2^n");
+    let n = probs.len().trailing_zeros() as usize;
+    for (i, &q) in keep.iter().enumerate() {
+        assert!(q < n, "qubit {q} out of range");
+        assert!(!keep[..i].contains(&q), "duplicate qubit {q}");
+    }
+    let k = keep.len();
+    let mut out = vec![0.0; 1 << k];
+    for (idx, &p) in probs.iter().enumerate() {
+        let mut sub = 0usize;
+        for (bit, &q) in keep.iter().enumerate() {
+            if (idx >> (n - 1 - q)) & 1 == 1 {
+                sub |= 1 << (k - 1 - bit);
+            }
+        }
+        out[sub] += p;
+    }
+    out
+}
+
+/// Formats a basis-state index as a bitstring of width `n` (qubit 0 first).
+///
+/// ```
+/// assert_eq!(qsim::marginals::bitstring(6, 3), "110");
+/// ```
+pub fn bitstring(index: usize, n: usize) -> String {
+    (0..n)
+        .map(|q| {
+            if (index >> (n - 1 - q)) & 1 == 1 {
+                '1'
+            } else {
+                '0'
+            }
+        })
+        .collect()
+}
+
+/// The `k` most probable outcomes as `(bitstring, probability)`, sorted
+/// descending (ties broken by index).
+pub fn top_outcomes(probs: &[f64], k: usize) -> Vec<(String, f64)> {
+    assert!(probs.len().is_power_of_two(), "length must be 2^n");
+    let n = probs.len().trailing_zeros() as usize;
+    let mut indexed: Vec<(usize, f64)> = probs.iter().copied().enumerate().collect();
+    indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    indexed
+        .into_iter()
+        .take(k)
+        .map(|(i, p)| (bitstring(i, n), p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marginal_sums_out_other_qubits() {
+        // 2-qubit distribution concentrated on |01⟩.
+        let probs = [0.0, 1.0, 0.0, 0.0];
+        assert_eq!(marginal(&probs, &[0]), vec![1.0, 0.0]); // qubit 0 = 0
+        assert_eq!(marginal(&probs, &[1]), vec![0.0, 1.0]); // qubit 1 = 1
+    }
+
+    #[test]
+    fn marginal_keep_order_matters() {
+        let probs = [0.0, 1.0, 0.0, 0.0]; // |01⟩
+        // [1, 0] puts qubit 1 as MSB → |10⟩ = index 2.
+        assert_eq!(marginal(&probs, &[1, 0]), vec![0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn marginal_preserves_total_mass() {
+        let probs = [0.1, 0.2, 0.3, 0.4];
+        let m = marginal(&probs, &[1]);
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((m[0] - 0.4).abs() < 1e-12);
+        assert!((m[1] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bitstring_formatting() {
+        assert_eq!(bitstring(0, 3), "000");
+        assert_eq!(bitstring(5, 3), "101");
+        assert_eq!(bitstring(1, 1), "1");
+    }
+
+    #[test]
+    fn top_outcomes_sorted() {
+        let probs = [0.1, 0.5, 0.15, 0.25];
+        let top = top_outcomes(&probs, 2);
+        assert_eq!(top[0], ("01".to_string(), 0.5));
+        assert_eq!(top[1], ("11".to_string(), 0.25));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn marginal_bad_qubit_panics() {
+        let _ = marginal(&[0.5, 0.5], &[3]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Tensored readout-error mitigation.
+//!
+//! NISQ results are routinely post-processed to undo measurement (SPAM)
+//! errors: calibration circuits estimate each qubit's readout confusion
+//! matrix, and measured distributions are multiplied by its inverse. This
+//! module implements the standard *tensored* scheme (per-qubit 2×2 matrices,
+//! so calibration needs 2 circuits instead of 2^n) against this crate's
+//! noise models — the natural companion to [`crate::noise`]'s SPAM channel.
+
+use crate::noise::{run_noisy, NoiseModel};
+use qcircuit::Circuit;
+use rand::Rng;
+
+/// Per-qubit readout confusion matrices.
+///
+/// `confusion[q] = [[p(read 0 | prep 0), p(read 0 | prep 1)],
+///                  [p(read 1 | prep 0), p(read 1 | prep 1)]]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReadoutCalibration {
+    confusion: Vec<[[f64; 2]; 2]>,
+}
+
+impl ReadoutCalibration {
+    /// Builds a calibration from known per-qubit flip probabilities
+    /// (`p01[q]` = P(read 1 | prep 0), `p10[q]` = P(read 0 | prep 1)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or probabilities are
+    /// outside `[0, 0.5)` (a readout worse than a coin flip cannot be
+    /// inverted stably).
+    pub fn from_flip_probabilities(p01: &[f64], p10: &[f64]) -> Self {
+        assert_eq!(p01.len(), p10.len(), "length mismatch");
+        let confusion = p01
+            .iter()
+            .zip(p10)
+            .map(|(&a, &b)| {
+                assert!((0.0..0.5).contains(&a) && (0.0..0.5).contains(&b),
+                    "flip probabilities must be in [0, 0.5)");
+                [[1.0 - a, b], [a, 1.0 - b]]
+            })
+            .collect();
+        ReadoutCalibration { confusion }
+    }
+
+    /// Estimates the calibration for a backend by measuring the two
+    /// standard calibration circuits (`|0…0⟩` and `|1…1⟩`) under `model`.
+    pub fn calibrate(
+        num_qubits: usize,
+        model: &NoiseModel,
+        shots: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let zeros = Circuit::new(num_qubits);
+        let mut ones = Circuit::new(num_qubits);
+        for q in 0..num_qubits {
+            ones.x(q);
+        }
+        let probs0 = run_noisy(&zeros, model, shots, 16, rng).probabilities();
+        let probs1 = run_noisy(&ones, model, shots, 16, rng).probabilities();
+        let marg = |probs: &[f64], q: usize| -> f64 {
+            // P(qubit q reads 1).
+            probs
+                .iter()
+                .enumerate()
+                .filter(|(idx, _)| (idx >> (num_qubits - 1 - q)) & 1 == 1)
+                .map(|(_, &p)| p)
+                .sum()
+        };
+        let p01: Vec<f64> = (0..num_qubits)
+            .map(|q| marg(&probs0, q).clamp(0.0, 0.499))
+            .collect();
+        let p10: Vec<f64> = (0..num_qubits)
+            .map(|q| (1.0 - marg(&probs1, q)).clamp(0.0, 0.499))
+            .collect();
+        ReadoutCalibration::from_flip_probabilities(&p01, &p10)
+    }
+
+    /// Number of calibrated qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.confusion.len()
+    }
+
+    /// Applies the inverse confusion map to a measured distribution, then
+    /// clips negative quasi-probabilities and renormalizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs.len() != 2^n`.
+    pub fn mitigate(&self, probs: &[f64]) -> Vec<f64> {
+        let n = self.num_qubits();
+        assert_eq!(probs.len(), 1usize << n, "distribution size mismatch");
+        let mut current = probs.to_vec();
+        // Apply each qubit's inverse 2×2 independently (tensored structure).
+        for q in 0..n {
+            let m = &self.confusion[q];
+            let det = m[0][0] * m[1][1] - m[0][1] * m[1][0];
+            // [[d, -b], [-c, a]] / det
+            let inv = [
+                [m[1][1] / det, -m[0][1] / det],
+                [-m[1][0] / det, m[0][0] / det],
+            ];
+            let mask = 1usize << (n - 1 - q);
+            let mut next = vec![0.0; current.len()];
+            for idx in 0..current.len() {
+                let bit = usize::from(idx & mask != 0);
+                let idx0 = idx & !mask;
+                let idx1 = idx | mask;
+                next[idx] = inv[bit][0] * current[idx0] + inv[bit][1] * current[idx1];
+            }
+            current = next;
+        }
+        // Clip and renormalize.
+        for v in &mut current {
+            *v = v.max(0.0);
+        }
+        let total: f64 = current.iter().sum();
+        if total > 0.0 {
+            for v in &mut current {
+                *v /= total;
+            }
+        }
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::tvd;
+    use crate::statevector::Statevector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_inverse_on_known_flips() {
+        // Single qubit: true distribution (0.8, 0.2), flips p01 = p10 = 0.1.
+        let cal = ReadoutCalibration::from_flip_probabilities(&[0.1], &[0.1]);
+        let true_dist = [0.8, 0.2];
+        let measured = [
+            0.9 * true_dist[0] + 0.1 * true_dist[1],
+            0.1 * true_dist[0] + 0.9 * true_dist[1],
+        ];
+        let mitigated = cal.mitigate(&measured);
+        assert!((mitigated[0] - 0.8).abs() < 1e-10, "{mitigated:?}");
+        assert!((mitigated[1] - 0.2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn two_qubit_tensored_inverse() {
+        let cal = ReadoutCalibration::from_flip_probabilities(&[0.05, 0.2], &[0.1, 0.15]);
+        // Forward-apply the confusion to a known distribution, then invert.
+        let true_dist = [0.4, 0.3, 0.2, 0.1];
+        let mut measured = [0.0; 4];
+        for prep in 0..4usize {
+            for read in 0..4usize {
+                let mut w = true_dist[prep];
+                for q in 0..2 {
+                    let pb = (prep >> (1 - q)) & 1;
+                    let rb = (read >> (1 - q)) & 1;
+                    let m = [[0.95, 0.10], [0.05, 0.90]];
+                    let m2 = [[0.80, 0.15], [0.20, 0.85]];
+                    let mm = if q == 0 { m } else { m2 };
+                    w *= mm[rb][pb];
+                }
+                measured[read] += w;
+            }
+        }
+        let mitigated = cal.mitigate(&measured);
+        for (a, b) in mitigated.iter().zip(&true_dist) {
+            assert!((a - b).abs() < 1e-9, "{mitigated:?}");
+        }
+    }
+
+    #[test]
+    fn calibration_recovers_spam_rates() {
+        let model = NoiseModel {
+            p1: 0.0,
+            p2: 0.0,
+            spam: 0.08,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let cal = ReadoutCalibration::calibrate(3, &model, 60_000, &mut rng);
+        for q in 0..3 {
+            let p01 = cal.confusion[q][1][0];
+            assert!((p01 - 0.08).abs() < 0.02, "qubit {q}: {p01}");
+        }
+    }
+
+    #[test]
+    fn mitigation_improves_noisy_ghz_readout() {
+        let mut ghz = Circuit::new(3);
+        ghz.h(0);
+        ghz.cnot(0, 1);
+        ghz.cnot(1, 2);
+        let truth = Statevector::run(&ghz).probabilities();
+        let model = NoiseModel {
+            p1: 1e-6,
+            p2: 1e-6,
+            spam: 0.06,
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        let cal = ReadoutCalibration::calibrate(3, &model, 60_000, &mut rng);
+        let raw = run_noisy(&ghz, &model, 60_000, 32, &mut rng).probabilities();
+        let mitigated = cal.mitigate(&raw);
+        let tvd_raw = tvd(&truth, &raw);
+        let tvd_fixed = tvd(&truth, &mitigated);
+        assert!(
+            tvd_fixed < tvd_raw * 0.6,
+            "mitigation did not help: {tvd_fixed} vs {tvd_raw}"
+        );
+    }
+
+    #[test]
+    fn mitigated_distribution_is_normalized() {
+        let cal = ReadoutCalibration::from_flip_probabilities(&[0.1, 0.1], &[0.1, 0.1]);
+        let out = cal.mitigate(&[0.7, 0.1, 0.1, 0.1]);
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(out.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "flip probabilities")]
+    fn rejects_unstable_calibration() {
+        let _ = ReadoutCalibration::from_flip_probabilities(&[0.6], &[0.1]);
+    }
+}

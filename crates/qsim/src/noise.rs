@@ -1,0 +1,282 @@
+//! Pauli-noise trajectory simulation.
+//!
+//! Reproduces the paper's noisy-evaluation substrate: a Pauli noise model on
+//! all qubits where the two-qubit (CNOT) error rate `p` dominates and
+//! one-qubit errors are an order of magnitude weaker (paper Sec. 1.2 and
+//! 4.1). Noise is simulated with quantum trajectories: after every gate,
+//! each involved qubit suffers a uniformly random Pauli (X, Y or Z) with the
+//! gate-class error probability; readout (SPAM) errors flip each measured
+//! bit independently.
+//!
+//! Trajectory averaging converges to the density-matrix result as the
+//! trajectory count grows while costing only statevector memory, which is
+//! what makes 16-qubit noisy runs tractable — the same regime the paper's
+//! IBMQ QASM simulator experiments cover.
+
+use crate::statevector::{counts_to_probs, Statevector};
+use qcircuit::{Circuit, Gate};
+use rand::Rng;
+
+/// Pauli + SPAM noise parameters for a simulated backend.
+///
+/// ```
+/// let m = qsim::NoiseModel::pauli(0.01);
+/// assert_eq!(m.p2, 0.01);
+/// assert_eq!(m.p1, 0.001);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseModel {
+    /// Per-qubit Pauli error probability after a one-qubit gate.
+    pub p1: f64,
+    /// Per-qubit Pauli error probability after a two-qubit gate.
+    pub p2: f64,
+    /// Per-qubit readout bit-flip probability.
+    pub spam: f64,
+}
+
+impl NoiseModel {
+    /// Noiseless model.
+    pub fn ideal() -> Self {
+        NoiseModel {
+            p1: 0.0,
+            p2: 0.0,
+            spam: 0.0,
+        }
+    }
+
+    /// The paper's simulation noise model: two-qubit rate `p_gate`,
+    /// one-qubit rate `p_gate / 10` (the order-of-magnitude gap of Sec. 1.2),
+    /// no SPAM. Used at `p_gate ∈ {0.01, 0.005, 0.001}` for Figs. 11/14/16.
+    pub fn pauli(p_gate: f64) -> Self {
+        NoiseModel {
+            p1: p_gate / 10.0,
+            p2: p_gate,
+            spam: 0.0,
+        }
+    }
+
+    /// A 5-qubit-class device model standing in for IBMQ Manila: ~1% CNOT
+    /// error, ~0.1% one-qubit error, ~2% readout error (ballpark of Manila's
+    /// published calibration data).
+    pub fn linear5() -> Self {
+        NoiseModel {
+            p1: 0.001,
+            p2: 0.01,
+            spam: 0.02,
+        }
+    }
+
+    /// Returns `true` when every rate is zero.
+    pub fn is_ideal(&self) -> bool {
+        self.p1 == 0.0 && self.p2 == 0.0 && self.spam == 0.0
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::ideal()
+    }
+}
+
+/// The outcome of a noisy execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NoisyResult {
+    /// Shot counts per basis state (length `2^n`).
+    pub counts: Vec<u64>,
+    /// Total shots taken.
+    pub shots: usize,
+}
+
+impl NoisyResult {
+    /// Normalized output distribution.
+    pub fn probabilities(&self) -> Vec<f64> {
+        counts_to_probs(&self.counts)
+    }
+}
+
+/// Runs `circuit` under `model`, taking `shots` measurement samples spread
+/// over `trajectories` independent noise realizations.
+///
+/// With an ideal model this reduces to exact sampling from the noiseless
+/// distribution. `trajectories` is clamped to `shots` so every trajectory
+/// yields at least one sample.
+///
+/// # Panics
+///
+/// Panics if `shots == 0` or `trajectories == 0`.
+pub fn run_noisy(
+    circuit: &Circuit,
+    model: &NoiseModel,
+    shots: usize,
+    trajectories: usize,
+    rng: &mut impl Rng,
+) -> NoisyResult {
+    assert!(shots > 0, "shots must be positive");
+    assert!(trajectories > 0, "trajectories must be positive");
+    let n = circuit.num_qubits();
+    let dim = 1usize << n;
+    let mut counts = vec![0u64; dim];
+
+    if model.is_ideal() {
+        let sv = Statevector::run(circuit);
+        for _ in 0..shots {
+            counts[sv.sample(rng)] += 1;
+        }
+        return NoisyResult { counts, shots };
+    }
+
+    let trajectories = trajectories.min(shots);
+    // Distribute shots as evenly as possible over trajectories.
+    let base = shots / trajectories;
+    let extra = shots % trajectories;
+    for t in 0..trajectories {
+        let traj_shots = base + usize::from(t < extra);
+        if traj_shots == 0 {
+            continue;
+        }
+        let sv = run_one_trajectory(circuit, model, rng);
+        let probs = sv.probabilities();
+        for _ in 0..traj_shots {
+            let mut outcome = crate::statevector::sample_index(&probs, rng);
+            // SPAM: independent readout bit flips.
+            if model.spam > 0.0 {
+                for bit in 0..n {
+                    if rng.random::<f64>() < model.spam {
+                        outcome ^= 1 << (n - 1 - bit);
+                    }
+                }
+            }
+            counts[outcome] += 1;
+        }
+    }
+    NoisyResult { counts, shots }
+}
+
+/// Evolves one noisy trajectory: the circuit with per-gate random Pauli
+/// insertions.
+fn run_one_trajectory(circuit: &Circuit, model: &NoiseModel, rng: &mut impl Rng) -> Statevector {
+    let mut sv = Statevector::zero_state(circuit.num_qubits());
+    for inst in circuit.iter() {
+        sv.apply_instruction(inst);
+        let p = if inst.gate.is_two_qubit() {
+            model.p2
+        } else {
+            model.p1
+        };
+        if p > 0.0 {
+            for &q in &inst.qubits {
+                if rng.random::<f64>() < p {
+                    let pauli = match rng.random_range(0..3) {
+                        0 => Gate::X,
+                        1 => Gate::Y,
+                        _ => Gate::Z,
+                    };
+                    sv.apply_gate(pauli, &[q]);
+                }
+            }
+        }
+    }
+    sv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::tvd;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ghz(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 0..n - 1 {
+            c.cnot(q, q + 1);
+        }
+        c
+    }
+
+    #[test]
+    fn ideal_model_matches_statevector_distribution() {
+        let c = ghz(3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let res = run_noisy(&c, &NoiseModel::ideal(), 20_000, 1, &mut rng);
+        let probs = res.probabilities();
+        let exact = Statevector::run(&c).probabilities();
+        assert!(tvd(&probs, &exact) < 0.02);
+    }
+
+    #[test]
+    fn noise_increases_output_distance() {
+        let c = ghz(4);
+        let exact = Statevector::run(&c).probabilities();
+        let mut rng = StdRng::seed_from_u64(3);
+        let clean = run_noisy(&c, &NoiseModel::ideal(), 8192, 64, &mut rng);
+        let noisy = run_noisy(&c, &NoiseModel::pauli(0.05), 8192, 64, &mut rng);
+        let d_clean = tvd(&clean.probabilities(), &exact);
+        let d_noisy = tvd(&noisy.probabilities(), &exact);
+        assert!(
+            d_noisy > d_clean + 0.01,
+            "noisy {d_noisy} not worse than clean {d_clean}"
+        );
+    }
+
+    #[test]
+    fn more_cnots_mean_more_error() {
+        // The core premise QUEST exploits: error grows with CNOT count.
+        let mut short = Circuit::new(3);
+        short.h(0).cnot(0, 1);
+        // Long circuit computing the same state: pairs of cancelling CNOTs.
+        let mut long = short.clone();
+        for _ in 0..10 {
+            long.cnot(1, 2).cnot(1, 2);
+        }
+        let exact = Statevector::run(&short).probabilities();
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = NoiseModel::pauli(0.02);
+        let d_short = tvd(
+            &run_noisy(&short, &model, 8192, 128, &mut rng).probabilities(),
+            &exact,
+        );
+        let d_long = tvd(
+            &run_noisy(&long, &model, 8192, 128, &mut rng).probabilities(),
+            &exact,
+        );
+        assert!(
+            d_long > d_short,
+            "long circuit ({d_long}) should be noisier than short ({d_short})"
+        );
+    }
+
+    #[test]
+    fn spam_flips_degrade_even_trivial_circuits() {
+        let c = Circuit::new(2); // identity circuit, with spam applied at readout
+        let mut noisy_model = NoiseModel::ideal();
+        noisy_model.spam = 0.25;
+        let mut rng = StdRng::seed_from_u64(5);
+        // run_noisy short-circuits ideal models, so give it a tiny p1 to
+        // exercise the trajectory path with SPAM.
+        noisy_model.p1 = 1e-9;
+        let res = run_noisy(&c, &noisy_model, 8192, 16, &mut rng);
+        let probs = res.probabilities();
+        // |00⟩ should leak into other states.
+        assert!(probs[0] < 0.75);
+        assert!(probs[1] > 0.05);
+    }
+
+    #[test]
+    fn shots_are_conserved() {
+        let c = ghz(2);
+        let mut rng = StdRng::seed_from_u64(6);
+        let res = run_noisy(&c, &NoiseModel::pauli(0.01), 1000, 7, &mut rng);
+        assert_eq!(res.counts.iter().sum::<u64>(), 1000);
+        assert_eq!(res.shots, 1000);
+    }
+
+    #[test]
+    fn presets_have_expected_relations() {
+        let m = NoiseModel::pauli(0.01);
+        assert!((m.p2 / m.p1 - 10.0).abs() < 1e-12);
+        assert!(NoiseModel::ideal().is_ideal());
+        assert!(!NoiseModel::linear5().is_ideal());
+    }
+}

@@ -1,0 +1,255 @@
+//! Pauli-string observables and expectation values.
+//!
+//! Spin-chain case studies (paper Sec. 4.3) report magnetization, which is a
+//! sum of single-site `⟨Z⟩` expectations; this module provides the general
+//! machinery: a [`PauliString`] operator over the register and exact
+//! expectation values against a statevector.
+
+use crate::statevector::Statevector;
+use qcircuit::Gate;
+use qmath::C64;
+use std::fmt;
+use std::str::FromStr;
+
+/// A single-qubit Pauli operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PauliOp {
+    /// Identity.
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+/// A tensor product of single-qubit Paulis over the whole register; index 0
+/// acts on qubit 0 (the most significant bit).
+///
+/// ```
+/// use qsim::pauli::PauliString;
+/// use qsim::Statevector;
+///
+/// let zz: PauliString = "ZZ".parse().unwrap();
+/// let state = Statevector::zero_state(2);
+/// assert!((zz.expectation(&state) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PauliString(Vec<PauliOp>);
+
+impl PauliString {
+    /// Creates a string from explicit operators.
+    pub fn new(ops: Vec<PauliOp>) -> Self {
+        PauliString(ops)
+    }
+
+    /// The identity string on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        PauliString(vec![PauliOp::I; n])
+    }
+
+    /// A single-site operator: `op` on `qubit`, identity elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit >= n`.
+    pub fn single(n: usize, qubit: usize, op: PauliOp) -> Self {
+        assert!(qubit < n, "qubit out of range");
+        let mut ops = vec![PauliOp::I; n];
+        ops[qubit] = op;
+        PauliString(ops)
+    }
+
+    /// Number of qubits the string spans.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` for the zero-qubit string.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The operators, qubit 0 first.
+    pub fn ops(&self) -> &[PauliOp] {
+        &self.0
+    }
+
+    /// Number of non-identity sites.
+    pub fn weight(&self) -> usize {
+        self.0.iter().filter(|&&op| op != PauliOp::I).count()
+    }
+
+    /// Applies the string to a state, returning `P|ψ⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn apply(&self, state: &Statevector) -> Statevector {
+        assert_eq!(self.len(), state.num_qubits(), "width mismatch");
+        let mut out = state.clone();
+        for (q, op) in self.0.iter().enumerate() {
+            let gate = match op {
+                PauliOp::I => continue,
+                PauliOp::X => Gate::X,
+                PauliOp::Y => Gate::Y,
+                PauliOp::Z => Gate::Z,
+            };
+            out.apply_gate(gate, &[q]);
+        }
+        out
+    }
+
+    /// Exact expectation value `⟨ψ|P|ψ⟩` (real because P is Hermitian).
+    pub fn expectation(&self, state: &Statevector) -> f64 {
+        let transformed = self.apply(state);
+        let mut acc = C64::ZERO;
+        for (a, b) in state.amplitudes().iter().zip(transformed.amplitudes()) {
+            acc += a.conj() * *b;
+        }
+        acc.re
+    }
+}
+
+impl FromStr for PauliString {
+    type Err = String;
+
+    /// Parses strings like `"IZZX"` (qubit 0 first).
+    fn from_str(s: &str) -> Result<Self, String> {
+        s.chars()
+            .map(|c| match c.to_ascii_uppercase() {
+                'I' => Ok(PauliOp::I),
+                'X' => Ok(PauliOp::X),
+                'Y' => Ok(PauliOp::Y),
+                'Z' => Ok(PauliOp::Z),
+                other => Err(format!("invalid Pauli character `{other}`")),
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(PauliString)
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for op in &self.0 {
+            let c = match op {
+                PauliOp::I => 'I',
+                PauliOp::X => 'X',
+                PauliOp::Y => 'Y',
+                PauliOp::Z => 'Z',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Average magnetization `(1/n) Σᵢ ⟨Zᵢ⟩` computed from the exact state —
+/// the statevector counterpart of the distribution-based estimate in
+/// `qbench::observables`.
+pub fn average_magnetization(state: &Statevector) -> f64 {
+    let n = state.num_qubits();
+    (0..n)
+        .map(|q| PauliString::single(n, q, PauliOp::Z).expectation(state))
+        .sum::<f64>()
+        / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::Circuit;
+
+    #[test]
+    fn z_on_basis_states() {
+        let n = 2;
+        let z0 = PauliString::single(n, 0, PauliOp::Z);
+        assert!((z0.expectation(&Statevector::zero_state(n)) - 1.0).abs() < 1e-12);
+        // |10⟩: qubit 0 is 1.
+        assert!((z0.expectation(&Statevector::basis_state(n, 2)) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_on_plus_state() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let plus = Statevector::run(&c);
+        let x = PauliString::single(1, 0, PauliOp::X);
+        let z = PauliString::single(1, 0, PauliOp::Z);
+        assert!((x.expectation(&plus) - 1.0).abs() < 1e-12);
+        assert!(z.expectation(&plus).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zz_correlations_in_bell_state() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let bell = Statevector::run(&c);
+        let zz: PauliString = "ZZ".parse().unwrap();
+        let xx: PauliString = "XX".parse().unwrap();
+        let zi: PauliString = "ZI".parse().unwrap();
+        assert!((zz.expectation(&bell) - 1.0).abs() < 1e-12);
+        assert!((xx.expectation(&bell) - 1.0).abs() < 1e-12);
+        assert!(zi.expectation(&bell).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("IZQX".parse::<PauliString>().is_err());
+        // Lowercase is accepted.
+        assert!("izzx".parse::<PauliString>().is_ok());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let p: PauliString = "IXYZ".parse().unwrap();
+        assert_eq!(p.to_string(), "IXYZ");
+        assert_eq!(p.weight(), 3);
+    }
+
+    #[test]
+    fn magnetization_matches_distribution_estimate() {
+        let c = qbench_free_tfim();
+        let state = Statevector::run(&c);
+        let exact = average_magnetization(&state);
+        // Distribution-based estimate: Σ p(k)·m(k).
+        let probs = state.probabilities();
+        let n = c.num_qubits();
+        let mut est = 0.0;
+        for (k, &p) in probs.iter().enumerate() {
+            let mut m = 0.0;
+            for q in 0..n {
+                let bit = (k >> (n - 1 - q)) & 1;
+                m += if bit == 0 { 1.0 } else { -1.0 };
+            }
+            est += p * m / n as f64;
+        }
+        assert!((exact - est).abs() < 1e-10);
+    }
+
+    /// Local TFIM-like circuit to avoid a dev-dependency cycle on qbench.
+    fn qbench_free_tfim() -> Circuit {
+        let mut c = Circuit::new(3);
+        for _ in 0..3 {
+            for q in 0..2 {
+                c.cnot(q, q + 1).rz(q + 1, 0.2).cnot(q, q + 1);
+            }
+            for q in 0..3 {
+                c.rx(q, 0.2);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn expectation_is_in_valid_range() {
+        let c = qbench_free_tfim();
+        let state = Statevector::run(&c);
+        for s in ["ZZZ", "XIX", "YYI"] {
+            let p: PauliString = s.parse().unwrap();
+            let e = p.expectation(&state);
+            assert!((-1.0..=1.0).contains(&e), "{s}: {e}");
+        }
+    }
+}

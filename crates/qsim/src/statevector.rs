@@ -1,0 +1,285 @@
+//! Statevector simulation with in-place gate application.
+//!
+//! Gates are applied directly to the `2^n` amplitude array — `O(2^n)` per
+//! gate — rather than by materializing `2^n × 2^n` unitaries, so ideal
+//! ("ground truth") outputs stay cheap for every circuit width the paper
+//! evaluates in simulation (≤16 qubits).
+
+use qcircuit::{Circuit, Gate, Instruction};
+use qmath::{C64, Matrix, Vector};
+use rand::Rng;
+
+/// A statevector on `n` qubits supporting in-place gate application.
+///
+/// Follows the workspace convention: qubit 0 is the most significant bit of
+/// the basis index.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Statevector {
+    num_qubits: usize,
+    amps: Vec<C64>,
+}
+
+impl Statevector {
+    /// The all-zeros state `|0…0⟩`.
+    pub fn zero_state(num_qubits: usize) -> Self {
+        let mut amps = vec![C64::ZERO; 1 << num_qubits];
+        amps[0] = C64::ONE;
+        Statevector { num_qubits, amps }
+    }
+
+    /// A computational basis state `|k⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= 2^num_qubits`.
+    pub fn basis_state(num_qubits: usize, k: usize) -> Self {
+        assert!(k < (1 << num_qubits), "basis index out of range");
+        let mut amps = vec![C64::ZERO; 1 << num_qubits];
+        amps[k] = C64::ONE;
+        Statevector { num_qubits, amps }
+    }
+
+    /// Runs `circuit` on `|0…0⟩` and returns the final state.
+    pub fn run(circuit: &Circuit) -> Self {
+        let mut sv = Statevector::zero_state(circuit.num_qubits());
+        sv.apply_circuit(circuit);
+        sv
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Borrow of the amplitudes.
+    #[inline]
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Applies every instruction of `circuit` in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit width differs from the state's.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert_eq!(
+            circuit.num_qubits(),
+            self.num_qubits,
+            "circuit width mismatch"
+        );
+        for inst in circuit.iter() {
+            self.apply_instruction(inst);
+        }
+    }
+
+    /// Applies a single instruction.
+    pub fn apply_instruction(&mut self, inst: &Instruction) {
+        match inst.gate.num_qubits() {
+            1 => self.apply_1q(&inst.gate.matrix(), inst.qubits[0]),
+            _ => self.apply_2q(&inst.gate.matrix(), inst.qubits[0], inst.qubits[1]),
+        }
+    }
+
+    /// Applies a 2×2 matrix to qubit `q` in place.
+    pub fn apply_1q(&mut self, m: &Matrix, q: usize) {
+        debug_assert_eq!(m.rows(), 2);
+        let n = self.num_qubits;
+        let shift = n - 1 - q; // qubit 0 = MSB
+        let mask = 1usize << shift;
+        let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
+        let dim = self.amps.len();
+        let mut base = 0usize;
+        while base < dim {
+            if base & mask == 0 {
+                for i in base..base + mask.min(dim - base) {
+                    let j = i | mask;
+                    let a0 = self.amps[i];
+                    let a1 = self.amps[j];
+                    self.amps[i] = m00 * a0 + m01 * a1;
+                    self.amps[j] = m10 * a0 + m11 * a1;
+                }
+                base += mask;
+            }
+            base += mask;
+        }
+    }
+
+    /// Applies a 4×4 matrix to qubits `(a, b)` in place, `a` being the most
+    /// significant bit of the 4×4 index.
+    pub fn apply_2q(&mut self, m: &Matrix, a: usize, b: usize) {
+        debug_assert_eq!(m.rows(), 4);
+        debug_assert_ne!(a, b);
+        let n = self.num_qubits;
+        let sa = n - 1 - a;
+        let sb = n - 1 - b;
+        let ma = 1usize << sa;
+        let mb = 1usize << sb;
+        let dim = self.amps.len();
+        for i in 0..dim {
+            // Visit each 4-amplitude group once, from its 00 representative.
+            if i & ma != 0 || i & mb != 0 {
+                continue;
+            }
+            let i00 = i;
+            let i01 = i | mb;
+            let i10 = i | ma;
+            let i11 = i | ma | mb;
+            let a00 = self.amps[i00];
+            let a01 = self.amps[i01];
+            let a10 = self.amps[i10];
+            let a11 = self.amps[i11];
+            self.amps[i00] = m[(0, 0)] * a00 + m[(0, 1)] * a01 + m[(0, 2)] * a10 + m[(0, 3)] * a11;
+            self.amps[i01] = m[(1, 0)] * a00 + m[(1, 1)] * a01 + m[(1, 2)] * a10 + m[(1, 3)] * a11;
+            self.amps[i10] = m[(2, 0)] * a00 + m[(2, 1)] * a01 + m[(2, 2)] * a10 + m[(2, 3)] * a11;
+            self.amps[i11] = m[(3, 0)] * a00 + m[(3, 1)] * a01 + m[(3, 2)] * a10 + m[(3, 3)] * a11;
+        }
+    }
+
+    /// Applies a bare [`Gate`] to the given qubits.
+    pub fn apply_gate(&mut self, gate: Gate, qubits: &[usize]) {
+        self.apply_instruction(&Instruction::new(gate, qubits.to_vec()));
+    }
+
+    /// Measurement probabilities per basis state.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|z| z.norm_sqr()).collect()
+    }
+
+    /// Samples one measurement outcome (a basis-state index).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        sample_index(&self.probabilities(), rng)
+    }
+
+    /// Samples `shots` measurement outcomes and returns per-state counts.
+    pub fn sample_counts(&self, shots: usize, rng: &mut impl Rng) -> Vec<u64> {
+        let probs = self.probabilities();
+        let mut counts = vec![0u64; self.amps.len()];
+        for _ in 0..shots {
+            counts[sample_index(&probs, rng)] += 1;
+        }
+        counts
+    }
+
+    /// L2 norm of the state (1 for any state produced by unitary evolution).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Converts into a plain [`Vector`].
+    pub fn into_vector(self) -> Vector {
+        Vector::from_vec(self.amps)
+    }
+}
+
+/// Samples an index from an (unnormalized is tolerated) probability vector.
+pub(crate) fn sample_index(probs: &[f64], rng: &mut impl Rng) -> usize {
+    let total: f64 = probs.iter().sum();
+    let mut r: f64 = rng.random::<f64>() * total;
+    for (i, &p) in probs.iter().enumerate() {
+        r -= p;
+        if r <= 0.0 {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+/// Converts integer counts into a normalized probability distribution.
+pub fn counts_to_probs(counts: &[u64]) -> Vec<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return vec![0.0; counts.len()];
+    }
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn x_flips_msb_qubit() {
+        let mut sv = Statevector::zero_state(2);
+        sv.apply_gate(Gate::X, &[0]);
+        // |00⟩ → |10⟩ = index 2
+        assert!(sv.amplitudes()[2].approx_eq(C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn matches_dense_unitary_on_random_circuit() {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .cnot(0, 2)
+            .rz(2, 0.37)
+            .ry(1, -0.9)
+            .swap(1, 2)
+            .cz(0, 1)
+            .u3(2, 0.5, 1.0, -0.3)
+            .cnot(2, 0);
+        let sv = Statevector::run(&c);
+        let dense = c.unitary();
+        let expect = Vector::basis_state(8, 0).transformed(&dense);
+        for (a, b) in sv.amplitudes().iter().zip(expect.as_slice()) {
+            assert!(a.approx_eq(*b, 1e-10), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn ghz_distribution_is_bimodal() {
+        let mut c = Circuit::new(4);
+        c.h(0);
+        for q in 0..3 {
+            c.cnot(q, q + 1);
+        }
+        let probs = Statevector::run(&c).probabilities();
+        assert!((probs[0] - 0.5).abs() < 1e-12);
+        assert!((probs[15] - 0.5).abs() < 1e-12);
+        assert!(probs[1..15].iter().all(|&p| p < 1e-12));
+    }
+
+    #[test]
+    fn norm_is_preserved() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2).cnot(0, 1).rz(2, 1.0).cnot(1, 2);
+        let sv = Statevector::run(&c);
+        assert!((sv.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_tracks_probabilities() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let sv = Statevector::run(&c);
+        let mut rng = StdRng::seed_from_u64(1);
+        let counts = sv.sample_counts(10_000, &mut rng);
+        let p0 = counts[0] as f64 / 10_000.0;
+        assert!((p0 - 0.5).abs() < 0.03, "p0 = {p0}");
+    }
+
+    #[test]
+    fn counts_to_probs_normalizes() {
+        assert_eq!(counts_to_probs(&[1, 3]), vec![0.25, 0.75]);
+        assert_eq!(counts_to_probs(&[0, 0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn basis_state_runs() {
+        let sv = Statevector::basis_state(3, 5);
+        assert!(sv.amplitudes()[5].approx_eq(C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn apply_2q_nonadjacent_matches_embed() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).h(2).h(3).cnot(3, 0);
+        let sv = Statevector::run(&c);
+        let expect = Vector::basis_state(16, 0).transformed(&c.unitary());
+        for (a, b) in sv.amplitudes().iter().zip(expect.as_slice()) {
+            assert!(a.approx_eq(*b, 1e-10));
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Full-circuit unitary construction via columnwise statevector evolution.
+//!
+//! Builds the `2^n × 2^n` unitary in `O(len · 4^n)` by evolving each basis
+//! column with the in-place statevector engine — asymptotically better than
+//! repeated dense matrix products (`O(len · 8^n)`), which matters from ~6
+//! qubits up. This mirrors how the paper obtains ground-truth unitaries from
+//! the Qiskit unitary simulator.
+
+use crate::statevector::Statevector;
+use qcircuit::Circuit;
+use qmath::Matrix;
+
+/// Computes the unitary matrix of `circuit`.
+///
+/// # Panics
+///
+/// Panics for circuits wider than 14 qubits (dense storage would exceed
+/// ~4 GiB).
+///
+/// ```
+/// use qcircuit::Circuit;
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cnot(0, 1);
+/// let u = qsim::unitary_of(&c);
+/// assert!(u.approx_eq(&c.unitary(), 1e-10));
+/// ```
+pub fn unitary_of(circuit: &Circuit) -> Matrix {
+    let n = circuit.num_qubits();
+    assert!(n <= 14, "dense unitary limited to 14 qubits");
+    let dim = 1usize << n;
+    let mut out = Matrix::zeros(dim, dim);
+    for col in 0..dim {
+        let mut sv = Statevector::basis_state(n, col);
+        sv.apply_circuit(circuit);
+        for (row, amp) in sv.amplitudes().iter().enumerate() {
+            out[(row, col)] = *amp;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_dense_construction() {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .cnot(0, 1)
+            .rz(1, 0.4)
+            .swap(0, 2)
+            .u3(1, 0.2, 0.3, 0.4)
+            .cz(2, 1)
+            .cnot(2, 0);
+        assert!(unitary_of(&c).approx_eq(&c.unitary(), 1e-10));
+    }
+
+    #[test]
+    fn empty_circuit_gives_identity() {
+        let c = Circuit::new(4);
+        assert!(unitary_of(&c).approx_eq(&Matrix::identity(16), 1e-12));
+    }
+
+    #[test]
+    fn result_is_unitary() {
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.h(q).rz(q, 0.1 * q as f64);
+        }
+        c.cnot(0, 3).cnot(1, 2).cnot(2, 3);
+        assert!(unitary_of(&c).is_unitary(1e-9));
+    }
+}

@@ -1,0 +1,104 @@
+//! Cross-simulator validation: the scalable trajectory simulator against
+//! the exact density-matrix channel, over benchmark-shaped circuits and
+//! noise levels, plus the readout-mitigation loop.
+
+use qcircuit::Circuit;
+use qsim::mitigation::ReadoutCalibration;
+use qsim::{noise, DensityMatrix, NoiseModel, Statevector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn trotter_chain(n: usize, steps: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for _ in 0..steps {
+        for q in 0..n - 1 {
+            c.cnot(q, q + 1).rz(q + 1, 0.3).cnot(q, q + 1);
+        }
+        for q in 0..n {
+            c.rx(q, 0.2);
+        }
+    }
+    c
+}
+
+#[test]
+fn trajectory_matches_exact_channel_across_noise_levels() {
+    let circuit = trotter_chain(3, 2);
+    let mut rng = StdRng::seed_from_u64(41);
+    for p in [0.002, 0.01, 0.05] {
+        let model = NoiseModel::pauli(p);
+        let exact = DensityMatrix::run_noisy(&circuit, &model).probabilities();
+        let sampled = noise::run_noisy(&circuit, &model, 60_000, 3000, &mut rng).probabilities();
+        let d = qsim::tvd(&exact, &sampled);
+        assert!(d < 0.03, "p={p}: trajectory vs exact TVD {d}");
+    }
+}
+
+#[test]
+fn exact_channel_error_grows_with_depth() {
+    // Density-matrix confirmation of the premise behind QUEST: more noisy
+    // gates → larger deviation from the ideal output.
+    let model = NoiseModel::pauli(0.02);
+    let mut prev = 0.0;
+    for steps in [1usize, 3, 6] {
+        let circuit = trotter_chain(3, steps);
+        let ideal = Statevector::run(&circuit).probabilities();
+        let noisy = DensityMatrix::run_noisy(&circuit, &model).probabilities();
+        let d = qsim::tvd(&ideal, &noisy);
+        assert!(
+            d >= prev - 0.01,
+            "deeper circuit should not be cleaner: {d} after {prev}"
+        );
+        prev = d;
+    }
+    assert!(prev > 0.05, "deep circuit barely noisy: {prev}");
+}
+
+#[test]
+fn purity_decreases_monotonically_with_noise_level() {
+    let circuit = trotter_chain(3, 2);
+    let mut prev = 1.1;
+    for p in [0.0, 0.01, 0.05, 0.2] {
+        let dm = DensityMatrix::run_noisy(&circuit, &NoiseModel::pauli(p));
+        let purity = dm.purity();
+        assert!(purity < prev + 1e-9, "purity rose with noise: {purity}");
+        prev = purity;
+    }
+}
+
+#[test]
+fn mitigation_composes_with_gate_noise() {
+    // Mitigation undoes the SPAM share of the error but not the gate share.
+    let circuit = trotter_chain(3, 2);
+    let truth = Statevector::run(&circuit).probabilities();
+    let model = NoiseModel {
+        p1: 0.001,
+        p2: 0.01,
+        spam: 0.05,
+    };
+    let mut rng = StdRng::seed_from_u64(42);
+    let cal = ReadoutCalibration::calibrate(3, &model, 40_000, &mut rng);
+    let raw = noise::run_noisy(&circuit, &model, 40_000, 200, &mut rng).probabilities();
+    let mitigated = cal.mitigate(&raw);
+    let tvd_raw = qsim::tvd(&truth, &raw);
+    let tvd_mit = qsim::tvd(&truth, &mitigated);
+    assert!(
+        tvd_mit < tvd_raw,
+        "mitigation should help: {tvd_mit} !< {tvd_raw}"
+    );
+    // Gate noise remains: mitigation cannot reach the ideal distribution.
+    assert!(tvd_mit > 0.005, "mitigated result suspiciously perfect");
+}
+
+#[test]
+fn spam_free_model_needs_no_mitigation() {
+    let circuit = trotter_chain(3, 1);
+    let model = NoiseModel::pauli(0.01); // no SPAM term
+    let mut rng = StdRng::seed_from_u64(43);
+    let cal = ReadoutCalibration::calibrate(3, &model, 40_000, &mut rng);
+    let raw = noise::run_noisy(&circuit, &model, 40_000, 200, &mut rng).probabilities();
+    let mitigated = cal.mitigate(&raw);
+    // Near-identity calibration → mitigation changes little.
+    assert!(qsim::tvd(&raw, &mitigated) < 0.02);
+}

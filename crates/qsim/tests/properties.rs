@@ -1,0 +1,119 @@
+//! Property-based tests for the simulators.
+
+use proptest::prelude::*;
+use qcircuit::{Circuit, Gate};
+use qmath::Vector;
+use qsim::{dist, Statevector};
+
+fn gate_strategy() -> impl Strategy<Value = Gate> {
+    prop_oneof![
+        Just(Gate::H),
+        Just(Gate::X),
+        Just(Gate::Y),
+        Just(Gate::S),
+        (-3.2..3.2f64).prop_map(Gate::Rx),
+        (-3.2..3.2f64).prop_map(Gate::Ry),
+        (-3.2..3.2f64).prop_map(Gate::Rz),
+        (-3.2..3.2f64).prop_map(Gate::Phase),
+        Just(Gate::Cnot),
+        Just(Gate::Cz),
+        Just(Gate::Swap),
+    ]
+}
+
+fn circuit_strategy(n: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec((gate_strategy(), 0..n, 1..n), 1..max_len).prop_map(move |gs| {
+        let mut c = Circuit::new(n);
+        for (g, a, off) in gs {
+            if g.num_qubits() == 1 {
+                c.push(g, &[a]);
+            } else {
+                let b = (a + off) % n;
+                if a != b {
+                    c.push(g, &[a, b]);
+                }
+            }
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn statevector_matches_dense_unitary(c in circuit_strategy(4, 18)) {
+        let fast = Statevector::run(&c);
+        let dense = Vector::basis_state(16, 0).transformed(&qsim::unitary_of(&c));
+        for (a, b) in fast.amplitudes().iter().zip(dense.as_slice()) {
+            prop_assert!(a.approx_eq(*b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn evolution_preserves_norm(c in circuit_strategy(5, 30)) {
+        let sv = Statevector::run(&c);
+        prop_assert!((sv.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probabilities_form_distribution(c in circuit_strategy(4, 20)) {
+        let p = Statevector::run(&c).probabilities();
+        prop_assert!(p.iter().all(|&x| (-1e-12..=1.0 + 1e-12).contains(&x)));
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tvd_metric_axioms(
+        c1 in circuit_strategy(3, 12),
+        c2 in circuit_strategy(3, 12),
+        c3 in circuit_strategy(3, 12),
+    ) {
+        let p = Statevector::run(&c1).probabilities();
+        let q = Statevector::run(&c2).probabilities();
+        let r = Statevector::run(&c3).probabilities();
+        let d_pq = dist::tvd(&p, &q);
+        // Range, symmetry, identity, triangle inequality.
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&d_pq));
+        prop_assert!((d_pq - dist::tvd(&q, &p)).abs() < 1e-12);
+        prop_assert!(dist::tvd(&p, &p) < 1e-12);
+        prop_assert!(d_pq <= dist::tvd(&p, &r) + dist::tvd(&r, &q) + 1e-12);
+    }
+
+    #[test]
+    fn jsd_bounded_and_symmetric(
+        c1 in circuit_strategy(3, 12),
+        c2 in circuit_strategy(3, 12),
+    ) {
+        let p = Statevector::run(&c1).probabilities();
+        let q = Statevector::run(&c2).probabilities();
+        let d = dist::jsd(&p, &q);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&d));
+        prop_assert!((d - dist::jsd(&q, &p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_circuit_returns_to_zero_state(c in circuit_strategy(4, 15)) {
+        let mut sv = Statevector::run(&c);
+        sv.apply_circuit(&c.inverse());
+        let p = sv.probabilities();
+        prop_assert!((p[0] - 1.0).abs() < 1e-8, "p0 = {}", p[0]);
+    }
+
+    #[test]
+    fn averaging_never_exceeds_max_member_tvd(
+        c1 in circuit_strategy(3, 10),
+        c2 in circuit_strategy(3, 10),
+        t in circuit_strategy(3, 10),
+    ) {
+        // TVD is convex: TVD(avg, target) ≤ max member TVD — the property
+        // that makes QUEST's averaging safe.
+        let target = Statevector::run(&t).probabilities();
+        let p = Statevector::run(&c1).probabilities();
+        let q = Statevector::run(&c2).probabilities();
+        let avg = dist::average_distributions(&[p.clone(), q.clone()]);
+        let d_avg = dist::tvd(&avg, &target);
+        let worst = dist::tvd(&p, &target).max(dist::tvd(&q, &target));
+        prop_assert!(d_avg <= worst + 1e-12);
+    }
+}

@@ -1,0 +1,404 @@
+//! The layer-by-layer synthesis search (paper Fig. 5) with QUEST's
+//! collect-all-approximations modification.
+
+use crate::cost::HsCost;
+use crate::optimize::{minimize, OptimizerConfig};
+use crate::template::Template;
+use qcircuit::Circuit;
+use qmath::Matrix;
+
+/// Configuration of the synthesis search.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SynthesisConfig {
+    /// Success threshold on the HS process distance.
+    pub epsilon: f64,
+    /// Stop expanding once a layer would exceed this many CNOTs (the paper
+    /// stops at the original circuit's CNOT count). `None` ⇒ width² + 8.
+    pub max_cnots: Option<usize>,
+    /// Branches kept per tree depth (beam search width).
+    pub beam_width: usize,
+    /// LEAP re-seeding: every this-many layers the tree collapses to its
+    /// best branch.
+    pub reseed_interval: usize,
+    /// Per-node angle-optimization settings.
+    pub optimizer: OptimizerConfig,
+    /// When `true` (QUEST mode, Sec. 3.5) every optimized tree node is
+    /// recorded as a candidate; when `false` the search just hunts for one
+    /// exact solution.
+    pub collect_all: bool,
+    /// Optional device topology: CNOT layers are only placed on coupled
+    /// qubit pairs, so synthesized circuits need no routing (LEAP is
+    /// topology-aware). `None` means all-to-all.
+    pub coupling: Option<qcircuit::topology::CouplingMap>,
+}
+
+impl SynthesisConfig {
+    /// Exact-synthesis preset: tight threshold, no candidate collection.
+    pub fn exact(epsilon: f64) -> Self {
+        SynthesisConfig {
+            epsilon,
+            max_cnots: None,
+            beam_width: 2,
+            reseed_interval: 3,
+            optimizer: OptimizerConfig {
+                max_iters: 600,
+                restarts: 2,
+                target_cost: (epsilon * epsilon).max(1e-14),
+                ..OptimizerConfig::default()
+            },
+            collect_all: false,
+            coupling: None,
+        }
+    }
+
+    /// QUEST approximate-synthesis preset: looser threshold, collect every
+    /// intermediate solution up to `max_cnots`.
+    pub fn approximate(epsilon: f64, max_cnots: usize) -> Self {
+        SynthesisConfig {
+            epsilon,
+            max_cnots: Some(max_cnots),
+            beam_width: 2,
+            reseed_interval: 3,
+            optimizer: OptimizerConfig {
+                max_iters: 500,
+                restarts: 3,
+                target_cost: 1e-14,
+                ..OptimizerConfig::default()
+            },
+            collect_all: true,
+            coupling: None,
+        }
+    }
+
+    /// Returns a copy with the base RNG seed replaced.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.optimizer.seed = seed;
+        self
+    }
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig::exact(1e-5)
+    }
+}
+
+/// One synthesized circuit with its quality metrics.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// The instantiated circuit.
+    pub circuit: Circuit,
+    /// HS process distance to the target unitary.
+    pub distance: f64,
+    /// CNOT count of the circuit.
+    pub cnot_count: usize,
+}
+
+/// All circuits produced by one synthesis run.
+#[derive(Clone, Debug, Default)]
+pub struct SynthesisResult {
+    /// Every recorded candidate, in exploration order.
+    pub candidates: Vec<Candidate>,
+    /// Tree depth reached.
+    pub layers_explored: usize,
+    /// Total gradient evaluations spent (cost proxy for Fig. 12).
+    pub gradient_evals: usize,
+}
+
+impl SynthesisResult {
+    /// The candidate with the smallest distance (ties → fewer CNOTs).
+    pub fn best(&self) -> Option<&Candidate> {
+        self.candidates.iter().min_by(|a, b| {
+            (a.distance, a.cnot_count)
+                .partial_cmp(&(b.distance, b.cnot_count))
+                .unwrap()
+        })
+    }
+
+    /// The fewest-CNOT candidate within `epsilon`, if any.
+    pub fn best_within(&self, epsilon: f64) -> Option<&Candidate> {
+        self.candidates
+            .iter()
+            .filter(|c| c.distance <= epsilon)
+            .min_by(|a, b| {
+                (a.cnot_count, a.distance)
+                    .partial_cmp(&(b.cnot_count, b.distance))
+                    .unwrap()
+            })
+    }
+
+    /// The Pareto frontier over (CNOT count, distance): for every CNOT count
+    /// explored, the lowest-distance candidate, filtered so distance is
+    /// strictly decreasing with CNOT count.
+    pub fn pareto(&self) -> Vec<&Candidate> {
+        let mut by_cnots: Vec<&Candidate> = Vec::new();
+        let mut sorted: Vec<&Candidate> = self.candidates.iter().collect();
+        sorted.sort_by(|a, b| {
+            (a.cnot_count, a.distance)
+                .partial_cmp(&(b.cnot_count, b.distance))
+                .unwrap()
+        });
+        let mut best_so_far = f64::INFINITY;
+        for c in sorted {
+            if by_cnots
+                .last()
+                .is_some_and(|prev| prev.cnot_count == c.cnot_count)
+            {
+                continue; // keep only the best per CNOT count
+            }
+            if c.distance < best_so_far {
+                best_so_far = c.distance;
+                by_cnots.push(c);
+            }
+        }
+        by_cnots
+    }
+}
+
+struct Node {
+    template: Template,
+    params: Vec<f64>,
+    cost: f64,
+}
+
+/// Synthesizes circuits for `target` (a `2^n × 2^n` unitary, `n ≤ 4`
+/// recommended) according to `cfg`.
+///
+/// Deterministic for a fixed config (all randomness is seeded from
+/// `cfg.optimizer.seed`).
+///
+/// # Panics
+///
+/// Panics if `target` is not square with a power-of-two dimension ≥ 2.
+pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
+    assert!(target.is_square(), "target must be square");
+    let dim = target.rows();
+    assert!(
+        dim >= 2 && dim.is_power_of_two(),
+        "target dimension must be a power of two ≥ 2"
+    );
+    let n = dim.trailing_zeros() as usize;
+    let max_cnots = cfg.max_cnots.unwrap_or(n * n + 8);
+    let exact_floor = (cfg.epsilon * 1e-2).min(1e-7);
+
+    let mut result = SynthesisResult::default();
+    let record = |node: &Node, result: &mut SynthesisResult| {
+        result.candidates.push(Candidate {
+            circuit: node.template.instantiate(&node.params),
+            distance: HsCost::distance(node.cost),
+            cnot_count: node.template.cnot_count(),
+        });
+    };
+
+    // Depth 0: free U3 on every qubit.
+    let root_template = Template::initial(n);
+    let root = {
+        let cost_fn = HsCost::new(&root_template, target);
+        let out = minimize(
+            &|x| cost_fn.cost_and_grad(x),
+            cost_fn.num_params(),
+            None,
+            &seeded(&cfg.optimizer, 0),
+        );
+        result.gradient_evals += out.evals;
+        Node {
+            template: root_template,
+            params: out.params,
+            cost: out.cost,
+        }
+    };
+    record(&root, &mut result);
+    let mut done = HsCost::distance(root.cost) <= if cfg.collect_all {
+        exact_floor
+    } else {
+        cfg.epsilon
+    };
+    let mut frontier = vec![root];
+
+    // Unordered qubit pairs; CNOT direction is absorbable by the adjacent
+    // free U3s, so one direction per pair halves the branching factor. A
+    // coupling map restricts layers to device-native pairs.
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+        .filter(|&(a, b)| {
+            cfg.coupling
+                .as_ref()
+                .map_or(true, |map| map.connected(a, b))
+        })
+        .collect();
+    if let Some(map) = &cfg.coupling {
+        assert_eq!(
+            map.num_qubits(),
+            n,
+            "coupling map width must match the target"
+        );
+        assert!(
+            !pairs.is_empty() || n == 1,
+            "coupling map leaves no usable qubit pairs"
+        );
+    }
+
+    let mut layer = 0usize;
+    while !done {
+        layer += 1;
+        if layer > max_cnots {
+            break;
+        }
+        let mut children: Vec<Node> = Vec::new();
+        for (ni, node) in frontier.iter().enumerate() {
+            for (pi, &(c, t)) in pairs.iter().enumerate() {
+                let template = node.template.with_layer(c, t);
+                let cost_fn = HsCost::new(&template, target);
+                let seed_mix = (layer as u64) << 32 | (ni as u64) << 16 | pi as u64;
+                // Adaptive effort: try the warm start alone first; extra
+                // random restarts are only paid for when the warm basin
+                // fails to reach the threshold.
+                let warm_cfg = OptimizerConfig {
+                    restarts: 1,
+                    ..seeded(&cfg.optimizer, seed_mix)
+                };
+                let mut out = minimize(
+                    &|x| cost_fn.cost_and_grad(x),
+                    cost_fn.num_params(),
+                    Some(&node.params),
+                    &warm_cfg,
+                );
+                if HsCost::distance(out.cost) > cfg.epsilon && cfg.optimizer.restarts > 1 {
+                    let cold_cfg = OptimizerConfig {
+                        restarts: cfg.optimizer.restarts - 1,
+                        ..seeded(&cfg.optimizer, seed_mix ^ 0xC01D)
+                    };
+                    let mut cold = minimize(
+                        &|x| cost_fn.cost_and_grad(x),
+                        cost_fn.num_params(),
+                        None,
+                        &cold_cfg,
+                    );
+                    cold.evals += out.evals;
+                    if cold.cost < out.cost {
+                        out = cold;
+                    } else {
+                        out.evals = cold.evals;
+                    }
+                }
+                result.gradient_evals += out.evals;
+                let child = Node {
+                    template,
+                    params: out.params,
+                    cost: out.cost,
+                };
+                if cfg.collect_all {
+                    record(&child, &mut result);
+                }
+                children.push(child);
+            }
+        }
+        children.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+        if !cfg.collect_all {
+            if let Some(best) = children.first() {
+                if HsCost::distance(best.cost) <= cfg.epsilon {
+                    record(best, &mut result);
+                    done = true;
+                }
+            }
+        } else if let Some(best) = children.first() {
+            // In collect-all mode, deeper layers only add CNOTs once the
+            // solution is numerically exact.
+            if HsCost::distance(best.cost) <= exact_floor {
+                done = true;
+            }
+        }
+        children.truncate(cfg.beam_width.max(1));
+        // LEAP prefix re-seeding: collapse to the best branch periodically.
+        if cfg.reseed_interval > 0 && layer % cfg.reseed_interval == 0 {
+            children.truncate(1);
+        }
+        if children.is_empty() {
+            break;
+        }
+        frontier = children;
+    }
+    result.layers_explored = layer;
+    result
+}
+
+fn seeded(base: &OptimizerConfig, mix: u64) -> OptimizerConfig {
+    OptimizerConfig {
+        seed: base.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(mix),
+        ..*base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::Gate;
+
+    #[test]
+    fn synthesizes_single_qubit_unitary_with_zero_cnots() {
+        let target = qcircuit::embed::embed(&Gate::H.matrix(), &[0], 2);
+        let result = synthesize(&target, &SynthesisConfig::exact(1e-6));
+        let best = result.best().unwrap();
+        assert!(best.distance < 1e-6, "distance {}", best.distance);
+        assert_eq!(best.cnot_count, 0);
+    }
+
+    #[test]
+    fn synthesizes_cnot_equivalent() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1);
+        let result = synthesize(&c.unitary(), &SynthesisConfig::exact(1e-5));
+        let best = result.best().unwrap();
+        assert!(best.distance < 1e-5, "distance {}", best.distance);
+        assert!(best.cnot_count <= 1, "cnots {}", best.cnot_count);
+    }
+
+    #[test]
+    fn approximate_mode_collects_multiple_cnot_counts() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1).rz(1, 0.9).cnot(0, 1).ry(0, 0.4).cnot(0, 1);
+        let cfg = SynthesisConfig::approximate(0.3, 3);
+        let result = synthesize(&c.unitary(), &cfg);
+        assert!(result.candidates.len() >= 3);
+        let counts: std::collections::BTreeSet<usize> =
+            result.candidates.iter().map(|c| c.cnot_count).collect();
+        assert!(counts.len() >= 2, "expected multiple CNOT counts: {counts:?}");
+    }
+
+    #[test]
+    fn pareto_frontier_is_monotone() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1).rz(1, 0.9).cnot(0, 1).rx(0, 1.0).cnot(0, 1);
+        let cfg = SynthesisConfig::approximate(0.5, 3);
+        let result = synthesize(&c.unitary(), &cfg);
+        let frontier = result.pareto();
+        for w in frontier.windows(2) {
+            assert!(w[0].cnot_count < w[1].cnot_count);
+            assert!(w[0].distance > w[1].distance);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1).rz(1, 0.5);
+        let cfg = SynthesisConfig::exact(1e-4).with_seed(7);
+        let r1 = synthesize(&c.unitary(), &cfg);
+        let r2 = synthesize(&c.unitary(), &cfg);
+        assert_eq!(r1.candidates.len(), r2.candidates.len());
+        assert_eq!(r1.best().unwrap().circuit, r2.best().unwrap().circuit);
+    }
+
+    #[test]
+    fn best_within_prefers_fewer_cnots() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1).rz(1, 0.9).cnot(0, 1);
+        let cfg = SynthesisConfig::approximate(0.9, 3);
+        let result = synthesize(&c.unitary(), &cfg);
+        let loose = result.best_within(0.9).unwrap();
+        let tight = result.best_within(1e-3);
+        if let Some(tight) = tight {
+            assert!(loose.cnot_count <= tight.cnot_count);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Gradient-based angle optimization (Adam with random restarts).
+//!
+//! The synthesis cost landscape is non-convex; LEAP-family compilers handle
+//! this with multi-start local optimization. Adam is robust here because the
+//! cost and gradient are cheap and smooth; restarts draw fresh angles
+//! uniformly from `[−π, π]`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`minimize`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OptimizerConfig {
+    /// Maximum Adam iterations per start.
+    pub max_iters: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Number of starts (the first uses the warm-start point when given).
+    pub restarts: usize,
+    /// Early-stop threshold on the cost value.
+    pub target_cost: f64,
+    /// RNG seed for restart initialization.
+    pub seed: u64,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            max_iters: 400,
+            learning_rate: 0.05,
+            restarts: 2,
+            target_cost: 1e-14,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of an optimization run.
+#[derive(Clone, Debug)]
+pub struct OptimizeOutcome {
+    /// Best parameters found.
+    pub params: Vec<f64>,
+    /// Cost at those parameters.
+    pub cost: f64,
+    /// Total gradient evaluations spent.
+    pub evals: usize,
+}
+
+/// Minimizes `f` (returning `(cost, gradient)`) over `num_params` angles.
+///
+/// The first start uses `warm_start` when provided (missing tail entries are
+/// zero-filled); remaining starts are random. Returns the best point across
+/// all starts.
+pub fn minimize(
+    f: &dyn Fn(&[f64]) -> (f64, Vec<f64>),
+    num_params: usize,
+    warm_start: Option<&[f64]>,
+    cfg: &OptimizerConfig,
+) -> OptimizeOutcome {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut best_params = vec![0.0; num_params];
+    let mut best_cost = f64::INFINITY;
+    let mut evals = 0;
+
+    for start in 0..cfg.restarts.max(1) {
+        let mut x: Vec<f64> = if start == 0 {
+            match warm_start {
+                Some(w) => {
+                    let mut x = vec![0.0; num_params];
+                    let k = w.len().min(num_params);
+                    x[..k].copy_from_slice(&w[..k]);
+                    x
+                }
+                None => (0..num_params)
+                    .map(|_| rng.random_range(-std::f64::consts::PI..std::f64::consts::PI))
+                    .collect(),
+            }
+        } else {
+            (0..num_params)
+                .map(|_| rng.random_range(-std::f64::consts::PI..std::f64::consts::PI))
+                .collect()
+        };
+
+        let (mut m, mut v) = (vec![0.0; num_params], vec![0.0; num_params]);
+        let (b1, b2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+        // Adaptive schedule: halve the step when progress stalls so the
+        // final approach to a minimum is not limited by a fixed step size.
+        let mut lr = cfg.learning_rate;
+        let mut start_best = f64::INFINITY;
+        let mut stall = 0usize;
+        for iter in 1..=cfg.max_iters {
+            let (c, g) = f(&x);
+            evals += 1;
+            if c < best_cost {
+                best_cost = c;
+                best_params.copy_from_slice(&x);
+            }
+            if c < start_best * (1.0 - 1e-3) {
+                start_best = c;
+                stall = 0;
+            } else {
+                stall += 1;
+                if stall >= 30 {
+                    lr = (lr * 0.5).max(1e-5);
+                    stall = 0;
+                }
+            }
+            if c <= cfg.target_cost {
+                break;
+            }
+            let b1t = 1.0 - b1.powi(iter as i32);
+            let b2t = 1.0 - b2.powi(iter as i32);
+            for i in 0..num_params {
+                m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+                v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+                let mhat = m[i] / b1t;
+                let vhat = v[i] / b2t;
+                x[i] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+        if best_cost <= cfg.target_cost {
+            break;
+        }
+    }
+    OptimizeOutcome {
+        params: best_params,
+        cost: best_cost,
+        evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simple convex bowl with minimum at (1, −2, 3).
+    fn bowl(x: &[f64]) -> (f64, Vec<f64>) {
+        let target = [1.0, -2.0, 3.0];
+        let mut c = 0.0;
+        let mut g = vec![0.0; 3];
+        for i in 0..3 {
+            let d = x[i] - target[i];
+            c += d * d;
+            g[i] = 2.0 * d;
+        }
+        (c, g)
+    }
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let cfg = OptimizerConfig {
+            max_iters: 2000,
+            learning_rate: 0.05,
+            restarts: 1,
+            target_cost: 1e-12,
+            seed: 1,
+        };
+        let out = minimize(&bowl, 3, None, &cfg);
+        assert!(out.cost < 1e-6, "cost {}", out.cost);
+        assert!((out.params[0] - 1.0).abs() < 1e-3);
+        assert!((out.params[1] + 2.0).abs() < 1e-3);
+        assert!((out.params[2] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn warm_start_speeds_convergence() {
+        let cfg = OptimizerConfig {
+            max_iters: 20,
+            learning_rate: 0.05,
+            restarts: 1,
+            target_cost: 1e-12,
+            seed: 2,
+        };
+        let cold = minimize(&bowl, 3, None, &cfg);
+        let warm = minimize(&bowl, 3, Some(&[1.0, -2.0, 3.0]), &cfg);
+        assert!(warm.cost < cold.cost);
+        assert!(warm.cost < 1e-10);
+    }
+
+    #[test]
+    fn restarts_escape_bad_basins() {
+        // Rastrigin-ish 1D with many local minima; global at 0.
+        let nasty = |x: &[f64]| {
+            let v = x[0];
+            let c = v * v + 3.0 * (1.0 - (2.0 * v).cos());
+            let g = vec![2.0 * v + 6.0 * (2.0 * v).sin()];
+            (c, g)
+        };
+        let cfg = OptimizerConfig {
+            max_iters: 500,
+            learning_rate: 0.03,
+            restarts: 8,
+            target_cost: 1e-10,
+            seed: 3,
+        };
+        let out = minimize(&nasty, 1, Some(&[2.9]), &cfg);
+        assert!(out.cost < 0.5, "stuck at {}", out.cost);
+    }
+
+    #[test]
+    fn early_stop_respects_target() {
+        let cfg = OptimizerConfig {
+            max_iters: 100_000,
+            learning_rate: 0.05,
+            restarts: 1,
+            target_cost: 1e-3,
+            seed: 4,
+        };
+        let out = minimize(&bowl, 3, None, &cfg);
+        assert!(out.cost <= 1e-3);
+        assert!(out.evals < 100_000, "should stop early, used {}", out.evals);
+    }
+}

@@ -1,0 +1,127 @@
+//! Integration tests: synthesis of structured circuits and quality of the
+//! collected approximation menus.
+
+use qcircuit::Circuit;
+use qmath::hs;
+use qsynth::{synthesize, synthesize_two_qubit, SynthesisConfig};
+
+#[test]
+fn recovers_bell_circuit_with_one_cnot() {
+    let mut c = Circuit::new(2);
+    c.h(0).cnot(0, 1);
+    let result = synthesize(&c.unitary(), &SynthesisConfig::exact(1e-5));
+    let best = result.best().unwrap();
+    assert_eq!(best.cnot_count, 1);
+    assert!(best.distance < 1e-5);
+    // The synthesized circuit really implements the target.
+    let d = hs::process_distance(&best.circuit.unitary(), &c.unitary());
+    assert!(d < 1e-4);
+}
+
+#[test]
+fn collapses_redundant_trotter_steps() {
+    // zz(θ) applied twice == zz(2θ): 4 CNOTs reducible to 2.
+    let mut c = Circuit::new(2);
+    for _ in 0..2 {
+        c.cnot(0, 1).rz(1, 0.3).cnot(0, 1);
+    }
+    let result = synthesize(&c.unitary(), &SynthesisConfig::exact(1e-5).with_seed(3));
+    let best = result.best_within(1e-5).unwrap();
+    assert!(best.cnot_count <= 2, "cnots {}", best.cnot_count);
+}
+
+#[test]
+fn approximation_menu_distances_decrease_along_pareto() {
+    let mut c = Circuit::new(3);
+    c.h(0).cnot(0, 1).rz(1, 0.4).cnot(1, 2).rz(2, -0.2).cnot(0, 1);
+    let cfg = SynthesisConfig::approximate(0.2, 3).with_seed(5);
+    let result = synthesize(&c.unitary(), &cfg);
+    let frontier = result.pareto();
+    assert!(!frontier.is_empty());
+    for w in frontier.windows(2) {
+        assert!(w[1].distance < w[0].distance);
+        assert!(w[1].cnot_count > w[0].cnot_count);
+    }
+    // Reported distances are truthful.
+    for cand in &result.candidates {
+        let real = hs::process_distance(&cand.circuit.unitary(), &c.unitary());
+        assert!(
+            (real - cand.distance).abs() < 1e-6,
+            "reported {} vs real {}",
+            cand.distance,
+            real
+        );
+    }
+}
+
+#[test]
+fn candidates_never_exceed_cnot_budget() {
+    let mut c = Circuit::new(3);
+    for q in 0..2 {
+        c.cnot(q, q + 1).rz(q + 1, 0.7).cnot(q, q + 1);
+    }
+    let cfg = SynthesisConfig::approximate(0.3, 3).with_seed(1);
+    let result = synthesize(&c.unitary(), &cfg);
+    for cand in &result.candidates {
+        assert!(cand.cnot_count <= 3);
+    }
+}
+
+#[test]
+fn two_qubit_synthesis_matches_tree_search_quality() {
+    let mut c = Circuit::new(2);
+    c.h(0).cnot(0, 1).rz(1, 0.9).cnot(0, 1).ry(0, 0.3);
+    let u = c.unitary();
+    let direct = synthesize_two_qubit(&u, 1e-5, 9).unwrap();
+    let tree = synthesize(&u, &SynthesisConfig::exact(1e-5).with_seed(9));
+    let tree_best = tree.best_within(1e-5).unwrap();
+    // Both should find a ≤2-CNOT implementation of this ZZ-type unitary.
+    assert!(direct.cnot_count <= 2);
+    assert!(tree_best.cnot_count <= 2);
+}
+
+#[test]
+fn gradient_evals_are_accounted() {
+    let mut c = Circuit::new(2);
+    c.cnot(0, 1);
+    let result = synthesize(&c.unitary(), &SynthesisConfig::exact(1e-4));
+    assert!(result.gradient_evals > 0);
+    assert!(result.layers_explored >= 1);
+}
+
+#[test]
+fn topology_constrained_synthesis_respects_coupling() {
+    use qcircuit::topology::CouplingMap;
+    // Target entangles qubits 0 and 2, but the line topology only couples
+    // (0,1) and (1,2): the synthesized circuit must route through qubit 1.
+    let mut c = Circuit::new(3);
+    c.h(0).cnot(0, 2).rz(2, 0.6).cnot(0, 2);
+    let mut cfg = SynthesisConfig::exact(1e-2).with_seed(17);
+    cfg.coupling = Some(CouplingMap::line(3));
+    cfg.beam_width = 3;
+    cfg.optimizer.max_iters = 900;
+    cfg.optimizer.restarts = 4;
+    let result = synthesize(&c.unitary(), &cfg);
+    let best = result.best().unwrap();
+    assert!(best.distance < 1e-2, "distance {}", best.distance);
+    let map = CouplingMap::line(3);
+    for inst in best.circuit.iter() {
+        if inst.gate.is_two_qubit() {
+            assert!(
+                map.connected(inst.qubits[0], inst.qubits[1]),
+                "CNOT on uncoupled pair {:?}",
+                inst.qubits
+            );
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "coupling map width")]
+fn mismatched_coupling_width_panics() {
+    let mut cfg = SynthesisConfig::exact(1e-3);
+    cfg.coupling = Some(qcircuit::topology::CouplingMap::line(4));
+    let mut c = Circuit::new(2);
+    c.cnot(0, 1);
+    let _ = synthesize(&c.unitary(), &cfg);
+}

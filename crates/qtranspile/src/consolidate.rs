@@ -1,0 +1,132 @@
+//! Two-qubit block consolidation (Qiskit's `Collect2qBlocks` +
+//! `ConsolidateBlocks` + `UnitarySynthesis` at optimization level 3).
+//!
+//! Maximal runs of instructions supported on a single qubit pair are
+//! collected with the scan partitioner at block size 2, their 4×4 unitary is
+//! computed, and [`qsynth::synthesize_two_qubit`] re-expresses it with at
+//! most 3 CNOTs (the KAK bound). The replacement is kept only when it
+//! strictly reduces the CNOT count, so the pass never regresses and is
+//! idempotent on already-optimal circuits.
+
+use crate::Pass;
+use qcircuit::Circuit;
+use qpartition::scan_partition;
+
+/// The consolidation pass.
+#[derive(Clone, Copy, Debug)]
+pub struct Consolidate2qBlocks {
+    /// Accuracy demanded of the re-synthesized block.
+    pub epsilon: f64,
+    /// Base RNG seed for the numerical synthesis.
+    pub seed: u64,
+}
+
+impl Default for Consolidate2qBlocks {
+    fn default() -> Self {
+        Consolidate2qBlocks {
+            epsilon: 1e-6,
+            seed: 0xC0150,
+        }
+    }
+}
+
+impl Pass for Consolidate2qBlocks {
+    fn name(&self) -> &'static str {
+        "consolidate-2q-blocks"
+    }
+
+    fn run(&self, circuit: &Circuit) -> Circuit {
+        let parts = scan_partition(circuit, 2);
+        let mut replacements: Vec<Circuit> = Vec::with_capacity(parts.len());
+        for (i, block) in parts.blocks().iter().enumerate() {
+            let body = block.circuit();
+            // Only two-qubit blocks with at least 2 CNOT-equivalents can
+            // possibly improve (KAK bound is 3; a 1-CNOT block is minimal
+            // unless it is secretly local, which RemoveIdentities-level
+            // passes don't see — handled here too via the 0-CNOT template).
+            let worth_trying = block.width() == 2 && body.cnot_count() >= 2;
+            if !worth_trying {
+                replacements.push(body.clone());
+                continue;
+            }
+            let target = body.unitary();
+            match qsynth::synthesize_two_qubit(&target, self.epsilon, self.seed ^ i as u64) {
+                Some(c) if c.cnot_count < body.cnot_count() => replacements.push(c.circuit),
+                _ => replacements.push(body.clone()),
+            }
+        }
+        let refs: Vec<&Circuit> = replacements.iter().collect();
+        parts.reassemble_with(&refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::Gate;
+
+    #[test]
+    fn consolidates_redundant_cnot_sandwich() {
+        // 3 CNOTs computing a ZZ interaction (needs only 2).
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1).rz(1, 0.8).cnot(0, 1).cnot(0, 1).cnot(0, 1);
+        let opt = Consolidate2qBlocks::default().run(&c);
+        assert!(opt.cnot_count() <= 2, "cnots {}", opt.cnot_count());
+        assert!(qmath::hs::process_distance(&opt.unitary(), &c.unitary()) < 1e-5);
+    }
+
+    #[test]
+    fn swap_plus_cnot_consolidates_below_four() {
+        // SWAP (3 CX) + CNOT = 4 CX; its product needs at most 3.
+        let mut c = Circuit::new(2);
+        c.swap(0, 1).cnot(0, 1);
+        let opt = Consolidate2qBlocks::default().run(&c);
+        assert!(opt.cnot_count() <= 3, "cnots {}", opt.cnot_count());
+        assert!(qmath::hs::process_distance(&opt.unitary(), &c.unitary()) < 1e-5);
+    }
+
+    #[test]
+    fn leaves_minimal_blocks_alone() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let opt = Consolidate2qBlocks::default().run(&c);
+        assert_eq!(opt.cnot_count(), 1);
+    }
+
+    #[test]
+    fn heisenberg_bond_consolidates_to_three() {
+        // One Heisenberg bond-step: XX+YY+ZZ = 6 CNOTs → 3 (KAK bound).
+        let mut c = Circuit::new(2);
+        qbench::spin::xx_interaction(&mut c, 0.2, 0, 1);
+        qbench::spin::yy_interaction(&mut c, 0.2, 0, 1);
+        qbench::spin::zz_interaction(&mut c, 0.2, 0, 1);
+        assert_eq!(c.cnot_count(), 6);
+        let opt = Consolidate2qBlocks::default().run(&c);
+        assert!(opt.cnot_count() <= 3, "cnots {}", opt.cnot_count());
+        assert!(qmath::hs::process_distance(&opt.unitary(), &c.unitary()) < 1e-5);
+    }
+
+    #[test]
+    fn multi_qubit_circuit_consolidates_per_pair() {
+        let mut c = Circuit::new(3);
+        // Pair (0,1): reducible; pair (1,2): reducible.
+        for pair in [(0usize, 1usize), (1, 2)] {
+            c.cnot(pair.0, pair.1)
+                .rz(pair.1, 0.5)
+                .cnot(pair.0, pair.1)
+                .cnot(pair.0, pair.1)
+                .cnot(pair.0, pair.1);
+        }
+        let opt = Consolidate2qBlocks::default().run(&c);
+        assert!(opt.cnot_count() <= 4, "cnots {}", opt.cnot_count());
+        assert!(qmath::hs::process_distance(&opt.unitary(), &c.unitary()) < 1e-5);
+    }
+
+    #[test]
+    fn preserves_one_qubit_only_blocks() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(1).push(Gate::Sdg, &[0]);
+        let opt = Consolidate2qBlocks::default().run(&c);
+        assert!(opt.unitary().approx_eq_phase(&c.unitary(), 1e-8));
+    }
+}

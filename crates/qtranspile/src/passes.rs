@@ -1,0 +1,384 @@
+//! Peephole passes: identity removal, rotation merging, inverse
+//! cancellation, one-qubit-run fusion.
+
+use crate::Pass;
+use qcircuit::{Circuit, Gate, Instruction};
+use qmath::Matrix;
+
+/// Returns `true` when the two instructions commute as operators.
+///
+/// Conservative: `false` is always safe. Disjoint supports commute
+/// trivially; on shared qubits the rules cover the cases the optimizer
+/// exploits (diagonal gates, CNOT control/target structure).
+pub fn commutes(a: &Instruction, b: &Instruction) -> bool {
+    let shared: Vec<usize> = a
+        .qubits
+        .iter()
+        .copied()
+        .filter(|q| b.qubits.contains(q))
+        .collect();
+    if shared.is_empty() {
+        return true;
+    }
+    let diag_a = a.gate.is_diagonal();
+    let diag_b = b.gate.is_diagonal();
+    if diag_a && diag_b {
+        return true;
+    }
+    // CNOT structure rules.
+    let cnot_roles = |inst: &Instruction, q: usize| -> Option<bool> {
+        // Some(true) = q is control, Some(false) = q is target.
+        if inst.gate == Gate::Cnot {
+            Some(inst.qubits[0] == q)
+        } else {
+            None
+        }
+    };
+    let x_like = |g: &Gate| matches!(g, Gate::X | Gate::Rx(_));
+    shared.iter().all(|&q| {
+        match (cnot_roles(a, q), cnot_roles(b, q)) {
+            // CNOT vs CNOT on a shared qubit: commute iff same role.
+            (Some(ra), Some(rb)) => ra == rb,
+            // CNOT vs one-qubit gate: diagonal on control, X-like on target.
+            (Some(true), None) => diag_b,
+            (Some(false), None) => x_like(&b.gate),
+            (None, Some(true)) => diag_a,
+            (None, Some(false)) => x_like(&a.gate),
+            // Anything else (CZ handled by the diagonal rule above).
+            (None, None) => false,
+        }
+    })
+}
+
+/// Returns `true` when applying `later` immediately after `earlier` is the
+/// identity.
+fn is_inverse_pair(earlier: &Instruction, later: &Instruction) -> bool {
+    if earlier.gate.num_qubits() != later.gate.num_qubits() {
+        return false;
+    }
+    let same_operands = earlier.qubits == later.qubits
+        || (matches!(earlier.gate, Gate::Cz | Gate::Swap)
+            && earlier.qubits.len() == 2
+            && earlier.qubits[0] == later.qubits[1]
+            && earlier.qubits[1] == later.qubits[0]);
+    same_operands && later.gate == earlier.gate.inverse()
+}
+
+/// Drops gates that are numerically the identity (up to global phase), e.g.
+/// `Rz(0)` or `Rx(4π)` left behind by other passes.
+#[derive(Clone, Copy, Debug)]
+pub struct RemoveIdentities {
+    /// Max-entry tolerance for the identity check.
+    pub tol: f64,
+}
+
+impl Default for RemoveIdentities {
+    fn default() -> Self {
+        RemoveIdentities { tol: 1e-10 }
+    }
+}
+
+impl Pass for RemoveIdentities {
+    fn name(&self) -> &'static str {
+        "remove-identities"
+    }
+
+    fn run(&self, circuit: &Circuit) -> Circuit {
+        let mut out = Circuit::new(circuit.num_qubits());
+        for inst in circuit.iter() {
+            if !inst.gate.is_identity(self.tol) {
+                out.push(inst.gate, &inst.qubits);
+            }
+        }
+        out
+    }
+}
+
+/// Merges same-axis rotations separated only by gates that commute with
+/// them: `Rz(a)…Rz(b) → Rz(a+b)` and likewise for `Rx`, `Ry`, `Phase`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MergeRotations;
+
+fn merge_same_axis(a: &Gate, b: &Gate) -> Option<Gate> {
+    match (a, b) {
+        (Gate::Rx(x), Gate::Rx(y)) => Some(Gate::Rx(x + y)),
+        (Gate::Ry(x), Gate::Ry(y)) => Some(Gate::Ry(x + y)),
+        (Gate::Rz(x), Gate::Rz(y)) => Some(Gate::Rz(x + y)),
+        (Gate::Phase(x), Gate::Phase(y)) => Some(Gate::Phase(x + y)),
+        _ => None,
+    }
+}
+
+impl Pass for MergeRotations {
+    fn name(&self) -> &'static str {
+        "merge-rotations"
+    }
+
+    fn run(&self, circuit: &Circuit) -> Circuit {
+        let mut out: Vec<Instruction> = Vec::with_capacity(circuit.len());
+        'next: for inst in circuit.iter() {
+            for j in (0..out.len()).rev() {
+                if out[j].qubits == inst.qubits {
+                    if let Some(merged) = merge_same_axis(&out[j].gate, &inst.gate) {
+                        out[j] = Instruction::new(merged, inst.qubits.clone());
+                        continue 'next;
+                    }
+                }
+                let disjoint = !out[j].qubits.iter().any(|q| inst.qubits.contains(q));
+                if disjoint || commutes(&out[j], inst) {
+                    continue;
+                }
+                break;
+            }
+            out.push(inst.clone());
+        }
+        rebuild(circuit.num_qubits(), out)
+    }
+}
+
+/// Cancels inverse pairs, looking through intervening gates that commute
+/// with the candidate (Qiskit's `CommutativeCancellation` behaviour).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CancelInverses;
+
+impl Pass for CancelInverses {
+    fn name(&self) -> &'static str {
+        "cancel-inverses"
+    }
+
+    fn run(&self, circuit: &Circuit) -> Circuit {
+        let mut out: Vec<Instruction> = Vec::with_capacity(circuit.len());
+        'next: for inst in circuit.iter() {
+            for j in (0..out.len()).rev() {
+                if is_inverse_pair(&out[j], inst) {
+                    // Everything between j and the end commutes with `inst`,
+                    // so it can slide back and annihilate out[j].
+                    out.remove(j);
+                    continue 'next;
+                }
+                if commutes(&out[j], inst) {
+                    continue;
+                }
+                break;
+            }
+            out.push(inst.clone());
+        }
+        rebuild(circuit.num_qubits(), out)
+    }
+}
+
+/// Fuses maximal runs of one-qubit gates on each wire into a single `U3`
+/// (dropped entirely when the run is the identity).
+#[derive(Clone, Copy, Debug)]
+pub struct Fuse1qRuns {
+    /// Identity tolerance for dropping fused runs.
+    pub tol: f64,
+}
+
+impl Default for Fuse1qRuns {
+    fn default() -> Self {
+        Fuse1qRuns { tol: 1e-10 }
+    }
+}
+
+impl Fuse1qRuns {
+    fn flush(&self, pending: &mut Vec<Instruction>, qubit: usize, out: &mut Vec<Instruction>) {
+        if pending.is_empty() {
+            return;
+        }
+        if pending.len() == 1 {
+            out.push(pending.pop().unwrap());
+            return;
+        }
+        // Compose left-to-right: U = G_k … G_1.
+        let mut u = Matrix::identity(2);
+        for inst in pending.iter() {
+            u = inst.gate.matrix().matmul(&u);
+        }
+        pending.clear();
+        if u.approx_eq_phase(&Matrix::identity(2), self.tol) {
+            return;
+        }
+        let z = qmath::decompose::zyz(&u);
+        let (t, p, l) = z.u3_angles();
+        out.push(Instruction::new(Gate::U3(t, p, l), vec![qubit]));
+    }
+}
+
+impl Pass for Fuse1qRuns {
+    fn name(&self) -> &'static str {
+        "fuse-1q-runs"
+    }
+
+    fn run(&self, circuit: &Circuit) -> Circuit {
+        let n = circuit.num_qubits();
+        let mut pending: Vec<Vec<Instruction>> = vec![Vec::new(); n];
+        let mut out: Vec<Instruction> = Vec::with_capacity(circuit.len());
+        for inst in circuit.iter() {
+            if inst.gate.num_qubits() == 1 {
+                pending[inst.qubits[0]].push(inst.clone());
+            } else {
+                for &q in &inst.qubits {
+                    let mut p = std::mem::take(&mut pending[q]);
+                    self.flush(&mut p, q, &mut out);
+                }
+                out.push(inst.clone());
+            }
+        }
+        for q in 0..n {
+            let mut p = std::mem::take(&mut pending[q]);
+            self.flush(&mut p, q, &mut out);
+        }
+        rebuild(n, out)
+    }
+}
+
+fn rebuild(num_qubits: usize, insts: Vec<Instruction>) -> Circuit {
+    let mut c = Circuit::new(num_qubits);
+    for inst in insts {
+        c.push(inst.gate, &inst.qubits);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(gate: Gate, qs: &[usize]) -> Instruction {
+        Instruction::new(gate, qs.to_vec())
+    }
+
+    #[test]
+    fn commutation_rules() {
+        // Diagonal gates commute.
+        assert!(commutes(&inst(Gate::Rz(0.1), &[0]), &inst(Gate::Cz, &[0, 1])));
+        // Rz on CNOT control commutes.
+        assert!(commutes(&inst(Gate::Rz(0.1), &[0]), &inst(Gate::Cnot, &[0, 1])));
+        // Rz on CNOT target does not.
+        assert!(!commutes(&inst(Gate::Rz(0.1), &[1]), &inst(Gate::Cnot, &[0, 1])));
+        // X on CNOT target commutes.
+        assert!(commutes(&inst(Gate::X, &[1]), &inst(Gate::Cnot, &[0, 1])));
+        // H on control does not.
+        assert!(!commutes(&inst(Gate::H, &[0]), &inst(Gate::Cnot, &[0, 1])));
+        // CNOTs sharing a control commute.
+        assert!(commutes(&inst(Gate::Cnot, &[0, 1]), &inst(Gate::Cnot, &[0, 2])));
+        // CNOTs sharing a target commute.
+        assert!(commutes(&inst(Gate::Cnot, &[0, 2]), &inst(Gate::Cnot, &[1, 2])));
+        // CNOT chain (target feeds control) does not.
+        assert!(!commutes(&inst(Gate::Cnot, &[0, 1]), &inst(Gate::Cnot, &[1, 2])));
+        // Disjoint always commute.
+        assert!(commutes(&inst(Gate::H, &[0]), &inst(Gate::H, &[1])));
+    }
+
+    #[test]
+    fn commutation_claims_hold_as_matrices() {
+        // Every pair commutes() claims true for must actually commute.
+        let cases = vec![
+            (inst(Gate::Rz(0.3), &[0]), inst(Gate::Cnot, &[0, 1])),
+            (inst(Gate::X, &[1]), inst(Gate::Cnot, &[0, 1])),
+            (inst(Gate::Cnot, &[0, 1]), inst(Gate::Cnot, &[0, 2])),
+            (inst(Gate::Cnot, &[0, 2]), inst(Gate::Cnot, &[1, 2])),
+            (inst(Gate::S, &[1]), inst(Gate::Cz, &[0, 1])),
+        ];
+        for (a, b) in cases {
+            assert!(commutes(&a, &b));
+            let mut ab = Circuit::new(3);
+            ab.push(a.gate, &a.qubits).push(b.gate, &b.qubits);
+            let mut ba = Circuit::new(3);
+            ba.push(b.gate, &b.qubits).push(a.gate, &a.qubits);
+            assert!(
+                ab.unitary().approx_eq(&ba.unitary(), 1e-9),
+                "claimed commuting pair does not commute: {a} / {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn cancel_adjacent_cnots() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1).cnot(0, 1);
+        assert_eq!(CancelInverses.run(&c).len(), 0);
+    }
+
+    #[test]
+    fn cancel_through_commuting_gates() {
+        // CNOT, Rz-on-control, CNOT: the Rz commutes so the CNOTs cancel.
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1).rz(0, 0.4).cnot(0, 1);
+        let opt = CancelInverses.run(&c);
+        assert_eq!(opt.cnot_count(), 0);
+        assert_eq!(opt.len(), 1);
+        assert!(opt.unitary().approx_eq_phase(&c.unitary(), 1e-9));
+    }
+
+    #[test]
+    fn no_cancel_through_blocking_gates() {
+        // Rz on the target blocks cancellation.
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1).rz(1, 0.4).cnot(0, 1);
+        assert_eq!(CancelInverses.run(&c).cnot_count(), 2);
+    }
+
+    #[test]
+    fn swap_cancels_in_either_operand_order() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1).swap(1, 0);
+        assert_eq!(CancelInverses.run(&c).len(), 0);
+    }
+
+    #[test]
+    fn merge_rotations_adds_angles() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.3).rz(0, 0.5);
+        let opt = MergeRotations.run(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(opt.instructions()[0].gate, Gate::Rz(0.8));
+    }
+
+    #[test]
+    fn merge_rotations_through_commuting_cnot() {
+        // Rz(control) CNOT Rz(control): merge across the CNOT.
+        let mut c = Circuit::new(2);
+        c.rz(0, 0.3).cnot(0, 1).rz(0, 0.5);
+        let opt = MergeRotations.run(&c);
+        assert_eq!(opt.len(), 2);
+        assert!(opt.unitary().approx_eq(&c.unitary(), 1e-9));
+    }
+
+    #[test]
+    fn fuse_1q_runs_to_single_u3() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0).s(0).rz(0, 0.3).ry(0, -0.8);
+        let opt = Fuse1qRuns::default().run(&c);
+        assert_eq!(opt.len(), 1);
+        assert!(matches!(opt.instructions()[0].gate, Gate::U3(..)));
+        assert!(opt.unitary().approx_eq_phase(&c.unitary(), 1e-8));
+    }
+
+    #[test]
+    fn fuse_drops_identity_runs() {
+        let mut c = Circuit::new(1);
+        c.h(0).h(0);
+        assert_eq!(Fuse1qRuns::default().run(&c).len(), 0);
+    }
+
+    #[test]
+    fn fuse_respects_2q_boundaries() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1).h(0);
+        let opt = Fuse1qRuns::default().run(&c);
+        // Cannot fuse across the CNOT.
+        assert_eq!(opt.len(), 3);
+        assert!(opt.unitary().approx_eq_phase(&c.unitary(), 1e-9));
+    }
+
+    #[test]
+    fn remove_identities_drops_null_rotations() {
+        let mut c = Circuit::new(2);
+        c.rz(0, 0.0).rx(1, 4.0 * std::f64::consts::PI).h(0);
+        let opt = RemoveIdentities::default().run(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(opt.instructions()[0].gate, Gate::H);
+    }
+}

@@ -1,0 +1,229 @@
+//! SWAP-insertion routing onto a device coupling map.
+//!
+//! The paper's "Qiskit" baseline includes layout/routing passes; the main
+//! evaluation here runs on all-to-all connectivity where routing is a no-op
+//! (see DESIGN.md), but this pass completes the compiler so constrained
+//! topologies (e.g. the Manila line) can be targeted end-to-end: every
+//! two-qubit gate whose operands are not adjacent on the device is preceded
+//! by SWAPs that walk one operand next to the other along a shortest path.
+//!
+//! The router tracks the logical→physical layout; measurement results of the
+//! routed circuit are therefore permuted by [`RoutedCircuit::final_layout`].
+
+use qcircuit::topology::CouplingMap;
+use qcircuit::{Circuit, Gate};
+
+/// The output of [`route`].
+#[derive(Clone, Debug)]
+pub struct RoutedCircuit {
+    /// The routed circuit over physical qubits.
+    pub circuit: Circuit,
+    /// `final_layout[logical] = physical`: where each logical qubit ends up.
+    pub final_layout: Vec<usize>,
+}
+
+impl RoutedCircuit {
+    /// Number of SWAPs the router inserted.
+    pub fn swap_overhead(&self, original: &Circuit) -> usize {
+        self.circuit
+            .iter()
+            .filter(|i| i.gate == Gate::Swap)
+            .count()
+            - original.iter().filter(|i| i.gate == Gate::Swap).count()
+    }
+
+    /// Permutes a measured distribution over physical qubits back into
+    /// logical qubit order, undoing the router's layout changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs.len() != 2^n`.
+    pub fn unpermute_distribution(&self, probs: &[f64]) -> Vec<f64> {
+        let n = self.final_layout.len();
+        assert_eq!(probs.len(), 1usize << n, "distribution size mismatch");
+        let mut out = vec![0.0; probs.len()];
+        for (phys_index, &p) in probs.iter().enumerate() {
+            // Build the logical index: logical bit l comes from physical
+            // bit final_layout[l].
+            let mut logical_index = 0usize;
+            for l in 0..n {
+                let phys = self.final_layout[l];
+                let bit = (phys_index >> (n - 1 - phys)) & 1;
+                logical_index |= bit << (n - 1 - l);
+            }
+            out[logical_index] += p;
+        }
+        out
+    }
+}
+
+/// Routes `circuit` onto `map` by inserting SWAPs along shortest paths.
+///
+/// # Panics
+///
+/// Panics if widths mismatch or the coupling graph is disconnected.
+pub fn route(circuit: &Circuit, map: &CouplingMap) -> RoutedCircuit {
+    assert_eq!(
+        circuit.num_qubits(),
+        map.num_qubits(),
+        "circuit and coupling map width mismatch"
+    );
+    assert!(map.is_connected_graph(), "coupling graph must be connected");
+    let n = circuit.num_qubits();
+    // layout[logical] = physical; position[physical] = logical.
+    let mut layout: Vec<usize> = (0..n).collect();
+    let mut position: Vec<usize> = (0..n).collect();
+    let mut out = Circuit::new(n);
+
+    let do_swap = |out: &mut Circuit,
+                       layout: &mut Vec<usize>,
+                       position: &mut Vec<usize>,
+                       p: usize,
+                       q: usize| {
+        out.swap(p, q);
+        let (lp, lq) = (position[p], position[q]);
+        layout.swap(lp, lq);
+        position.swap(p, q);
+    };
+
+    for inst in circuit.iter() {
+        match inst.gate.num_qubits() {
+            1 => {
+                out.push(inst.gate, &[layout[inst.qubits[0]]]);
+            }
+            _ => {
+                let (la, lb) = (inst.qubits[0], inst.qubits[1]);
+                // Walk physical position of `la` toward `lb`.
+                while !map.connected(layout[la], layout[lb]) {
+                    let pa = layout[la];
+                    let pb = layout[lb];
+                    let d_now = map.distance(pa, pb).expect("connected graph");
+                    // Move to any neighbor strictly closer to the target.
+                    let next = (0..n)
+                        .find(|&cand| {
+                            map.connected(pa, cand)
+                                && map
+                                    .distance(cand, pb)
+                                    .is_some_and(|d| d < d_now)
+                        })
+                        .expect("a closer neighbor exists on a shortest path");
+                    do_swap(&mut out, &mut layout, &mut position, pa, next);
+                }
+                out.push(inst.gate, &[layout[la], layout[lb]]);
+            }
+        }
+    }
+    RoutedCircuit {
+        circuit: out,
+        final_layout: layout,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::Statevector;
+
+    /// Routed circuit + unpermute must reproduce the original distribution.
+    fn assert_routing_faithful(c: &Circuit, map: &CouplingMap) {
+        let routed = route(c, map);
+        // Every 2q gate must be on a coupled pair.
+        for inst in routed.circuit.iter() {
+            if inst.gate.is_two_qubit() {
+                assert!(
+                    map.connected(inst.qubits[0], inst.qubits[1]),
+                    "gate on uncoupled pair {:?}",
+                    inst.qubits
+                );
+            }
+        }
+        let want = Statevector::run(c).probabilities();
+        let got_phys = Statevector::run(&routed.circuit).probabilities();
+        let got = routed.unpermute_distribution(&got_phys);
+        assert!(
+            qsim::tvd(&want, &got) < 1e-9,
+            "routing changed the computation: tvd {}",
+            qsim::tvd(&want, &got)
+        );
+    }
+
+    #[test]
+    fn adjacent_gates_need_no_swaps() {
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).cnot(1, 2);
+        let routed = route(&c, &CouplingMap::line(3));
+        assert_eq!(routed.swap_overhead(&c), 0);
+        assert_eq!(routed.final_layout, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn distant_gate_gets_routed() {
+        let mut c = Circuit::new(4);
+        c.h(0).cnot(0, 3);
+        let map = CouplingMap::line(4);
+        let routed = route(&c, &map);
+        assert!(routed.swap_overhead(&c) >= 2);
+        assert_routing_faithful(&c, &map);
+    }
+
+    #[test]
+    fn random_circuits_route_faithfully_on_line() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let map = CouplingMap::line(4);
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut c = Circuit::new(4);
+            for _ in 0..12 {
+                match rng.random_range(0..3) {
+                    0 => {
+                        let q = rng.random_range(0..4);
+                        c.rz(q, rng.random_range(-3.0..3.0));
+                        c.h(q);
+                    }
+                    _ => {
+                        let a = rng.random_range(0..4usize);
+                        let mut b = rng.random_range(0..4usize);
+                        if a == b {
+                            b = (b + 1) % 4;
+                        }
+                        c.cnot(a, b);
+                    }
+                }
+            }
+            assert_routing_faithful(&c, &map);
+        }
+    }
+
+    #[test]
+    fn routing_on_ring_uses_short_way() {
+        let mut c = Circuit::new(5);
+        c.cnot(0, 4); // adjacent on the ring
+        let routed = route(&c, &CouplingMap::ring(5));
+        assert_eq!(routed.swap_overhead(&c), 0);
+    }
+
+    #[test]
+    fn qft_routes_on_manila() {
+        let c = qbench::arith::qft(5);
+        assert_routing_faithful(&c, &CouplingMap::manila());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be connected")]
+    fn disconnected_map_panics() {
+        let map = CouplingMap::new(4, &[(0, 1), (2, 3)]);
+        let mut c = Circuit::new(4);
+        c.cnot(0, 2);
+        let _ = route(&c, &map);
+    }
+
+    #[test]
+    fn unpermute_identity_layout_is_noop() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let routed = route(&c, &CouplingMap::line(2));
+        let probs = vec![0.5, 0.0, 0.0, 0.5];
+        assert_eq!(routed.unpermute_distribution(&probs), probs);
+    }
+}

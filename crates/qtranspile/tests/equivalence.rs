@@ -1,0 +1,122 @@
+//! Property tests: every pass pipeline preserves circuit semantics.
+
+use proptest::prelude::*;
+use qcircuit::{Circuit, Gate};
+
+fn gate_strategy() -> impl Strategy<Value = Gate> {
+    prop_oneof![
+        Just(Gate::H),
+        Just(Gate::X),
+        Just(Gate::Z),
+        Just(Gate::S),
+        Just(Gate::Sdg),
+        Just(Gate::T),
+        Just(Gate::Tdg),
+        (-3.2..3.2f64).prop_map(Gate::Rx),
+        (-3.2..3.2f64).prop_map(Gate::Ry),
+        (-3.2..3.2f64).prop_map(Gate::Rz),
+        (-3.2..3.2f64).prop_map(Gate::Phase),
+        Just(Gate::Cnot),
+        Just(Gate::Cz),
+        Just(Gate::Swap),
+    ]
+}
+
+fn circuit_strategy(n: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec((gate_strategy(), 0..n, 1..n), 0..max_len).prop_map(move |gs| {
+        let mut c = Circuit::new(n);
+        for (g, a, off) in gs {
+            if g.num_qubits() == 1 {
+                c.push(g, &[a]);
+            } else {
+                let b = (a + off) % n;
+                if a != b {
+                    c.push(g, &[a, b]);
+                }
+            }
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn peephole_preserves_unitary_up_to_phase(c in circuit_strategy(4, 24)) {
+        let opt = qtranspile::peephole_manager().run(&c);
+        prop_assert!(
+            opt.unitary().approx_eq_phase(&c.unitary(), 1e-7),
+            "peephole changed semantics"
+        );
+        prop_assert!(opt.cnot_count() <= c.cnot_count());
+        prop_assert!(opt.len() <= c.len());
+    }
+
+    #[test]
+    fn individual_passes_preserve_unitary(c in circuit_strategy(3, 16)) {
+        use qtranspile::passes::*;
+        use qtranspile::Pass;
+        let passes: Vec<Box<dyn Pass>> = vec![
+            Box::new(RemoveIdentities::default()),
+            Box::new(MergeRotations),
+            Box::new(CancelInverses),
+            Box::new(Fuse1qRuns::default()),
+        ];
+        for p in &passes {
+            let opt = p.run(&c);
+            prop_assert!(
+                opt.unitary().approx_eq_phase(&c.unitary(), 1e-7),
+                "pass {} changed semantics", p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn peephole_is_idempotent(c in circuit_strategy(4, 20)) {
+        let pm = qtranspile::peephole_manager();
+        let once = pm.run(&c);
+        let twice = pm.run(&once);
+        prop_assert_eq!(once, twice);
+    }
+}
+
+#[test]
+fn full_optimize_preserves_semantics_with_consolidation() {
+    // Heavier (numerical synthesis inside): a handful of fixed seeds rather
+    // than full proptest exploration.
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut c = Circuit::new(3);
+        for _ in 0..12 {
+            match rng.random_range(0..4) {
+                0 => {
+                    let q = rng.random_range(0..3);
+                    c.rz(q, rng.random_range(-3.0..3.0));
+                }
+                1 => {
+                    let q = rng.random_range(0..3);
+                    c.h(q);
+                }
+                2 => {
+                    let a = rng.random_range(0..3usize);
+                    let b = (a + 1) % 3;
+                    c.cnot(a, b);
+                }
+                _ => {
+                    let a = rng.random_range(0..3usize);
+                    let b = (a + 1) % 3;
+                    c.cnot(a, b);
+                    c.rz(b, rng.random_range(-3.0..3.0));
+                    c.cnot(a, b);
+                }
+            }
+        }
+        let opt = qtranspile::optimize(&c);
+        let d = qmath::hs::process_distance(&opt.unitary(), &c.unitary());
+        assert!(d < 1e-4, "seed {seed}: optimize drifted by {d}");
+        assert!(opt.cnot_count() <= c.cnot_count());
+    }
+}

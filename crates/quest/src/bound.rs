@@ -1,0 +1,59 @@
+//! The theoretical process-distance bound (paper Sec. 3.8) and its
+//! empirical verification (Fig. 7).
+
+use crate::pipeline::QuestSample;
+use qcircuit::Circuit;
+
+/// The Σε upper bound carried by a sample.
+pub fn theoretical_bound(sample: &QuestSample) -> f64 {
+    sample.bound
+}
+
+/// The *actual* full-circuit HS process distance between the original
+/// circuit and a sample — the quantity the paper proves is bounded by Σε.
+///
+/// Builds both full unitaries, so this is only for verification at small
+/// widths (≤ ~10 qubits); QUEST itself never needs it (that is the point of
+/// the bound).
+///
+/// # Panics
+///
+/// Panics for circuits wider than 14 qubits.
+pub fn actual_distance(original: &Circuit, sample: &QuestSample) -> f64 {
+    let u = qsim::unitary_of(original);
+    let v = qsim::unitary_of(&sample.circuit);
+    qmath::hs::process_distance(&u, &v)
+}
+
+/// Convenience: checks the bound for every sample of a result, returning
+/// `(actual, bound)` pairs.
+pub fn verify_bounds(original: &Circuit, samples: &[QuestSample]) -> Vec<(f64, f64)> {
+    samples
+        .iter()
+        .map(|s| (actual_distance(original, s), theoretical_bound(s)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Quest, QuestConfig};
+    use qcircuit::Circuit;
+
+    #[test]
+    fn bounds_hold_on_compiled_samples() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        for _ in 0..2 {
+            c.cnot(0, 1).rz(1, 0.3).cnot(0, 1).cnot(1, 2).rx(2, 0.5);
+        }
+        let result = Quest::new(QuestConfig::fast().with_seed(5)).compile(&c);
+        let pairs = super::verify_bounds(&c, &result.samples);
+        assert!(!pairs.is_empty());
+        for (actual, bound) in pairs {
+            assert!(
+                actual <= bound + 1e-6,
+                "bound violated: {actual} > {bound}"
+            );
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Block-level synthesis memoization.
+//!
+//! The paper's case study compiles one circuit per Trotter timestep
+//! (Sec. 4.3), and a timestep-`t` circuit contains the same blocks as the
+//! timestep-`t−1` circuit plus one more step's worth. Approximate synthesis
+//! dominates QUEST's one-time cost, so re-synthesizing identical blocks is
+//! pure waste. [`BlockCache`] keys a block's approximation menu by the exact
+//! gate sequence (gate kind, parameter bits, operands), making repeated
+//! compilations of structurally repetitive circuits — time evolution sweeps,
+//! threshold sweeps at fixed ε-independent stages — dramatically cheaper.
+//!
+//! The cache is keyed purely by block *content*; results are only valid for
+//! one pipeline configuration, so use one cache per [`crate::QuestConfig`]
+//! (enforced by fingerprinting the relevant config knobs too).
+
+use crate::config::QuestConfig;
+use crate::pipeline::BlockApprox;
+use parking_lot::Mutex;
+use qcircuit::Circuit;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A memoized block menu.
+#[derive(Clone, Debug)]
+pub(crate) struct CachedMenu {
+    /// The approximation list (including the exact original).
+    pub approximations: Vec<BlockApprox>,
+    /// Gradient evaluations originally spent producing it.
+    pub synthesis_evals: usize,
+}
+
+/// A shareable, thread-safe cache of per-block synthesis results.
+///
+/// ```
+/// use quest::cache::BlockCache;
+/// let cache = BlockCache::new();
+/// assert_eq!(cache.hits(), 0);
+/// assert_eq!(cache.misses(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct BlockCache {
+    // Per-key OnceLock cells: concurrent lookups of the same key share one
+    // synthesis run (the second caller blocks on `get_or_init` instead of
+    // duplicating the work).
+    inner: Mutex<HashMap<u64, Arc<std::sync::OnceLock<Arc<CachedMenu>>>>>,
+    hits: std::sync::atomic::AtomicUsize,
+    misses: std::sync::atomic::AtomicUsize,
+}
+
+impl BlockCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        BlockCache::default()
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of lookups that required fresh synthesis.
+    pub fn misses(&self) -> usize {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of distinct block menus stored (completed syntheses only).
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .values()
+            .filter(|cell| cell.get().is_some())
+            .count()
+    }
+
+    /// Returns `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all cached menus (keeps counters).
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+
+    pub(crate) fn get_or_insert_with(
+        &self,
+        key: u64,
+        make: impl FnOnce() -> CachedMenu,
+    ) -> Arc<CachedMenu> {
+        let cell = self.inner.lock().entry(key).or_default().clone();
+        // Synthesis runs outside the map lock (it is the expensive part);
+        // concurrent callers for the same key serialize on the cell instead
+        // of duplicating the work.
+        let mut ran = false;
+        let value = cell
+            .get_or_init(|| {
+                ran = true;
+                Arc::new(make())
+            })
+            .clone();
+        let counter = if ran { &self.misses } else { &self.hits };
+        counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        value
+    }
+}
+
+/// Fingerprints a block body together with the config knobs that affect its
+/// synthesis result.
+pub(crate) fn block_key(body: &Circuit, config: &QuestConfig) -> u64 {
+    let mut h = DefaultHasher::new();
+    body.num_qubits().hash(&mut h);
+    for inst in body.iter() {
+        inst.gate.name().hash(&mut h);
+        for p in inst.gate.params() {
+            p.to_bits().hash(&mut h);
+        }
+        inst.qubits.hash(&mut h);
+    }
+    // Synthesis-relevant configuration.
+    config.epsilon_per_block.to_bits().hash(&mut h);
+    config.max_synthesis_cnots.hash(&mut h);
+    config.max_candidates_per_block.hash(&mut h);
+    config.synthesis.beam_width.hash(&mut h);
+    config.synthesis.reseed_interval.hash(&mut h);
+    config.synthesis.optimizer.max_iters.hash(&mut h);
+    config.synthesis.optimizer.restarts.hash(&mut h);
+    config.synthesis.optimizer.learning_rate.to_bits().hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Quest, QuestConfig};
+
+    fn toy(steps: usize) -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        for _ in 0..steps {
+            c.cnot(0, 1).rz(1, 0.2).cnot(0, 1);
+            c.cnot(1, 2).rz(2, 0.2).cnot(1, 2);
+        }
+        c
+    }
+
+    #[test]
+    fn identical_blocks_hit_the_cache() {
+        let cache = BlockCache::new();
+        let quest = Quest::new(QuestConfig::fast().with_seed(1));
+        // Force multiple identical 2-qubit blocks.
+        let mut cfg = quest.config().clone();
+        cfg.block_size = 2;
+        let quest = Quest::new(cfg);
+        let _ = quest.compile_with_cache(&toy(2), &cache);
+        assert!(cache.misses() > 0);
+        assert!(
+            cache.hits() > 0,
+            "repeated Trotter blocks should hit: {} hits / {} misses",
+            cache.hits(),
+            cache.misses()
+        );
+    }
+
+    #[test]
+    fn cached_and_uncached_compilations_agree() {
+        let cache = BlockCache::new();
+        let quest = Quest::new(QuestConfig::fast().with_seed(2));
+        let c = toy(2);
+        let without = quest.compile(&c);
+        let with = quest.compile_with_cache(&c, &cache);
+        assert_eq!(without.samples.len(), with.samples.len());
+        for (a, b) in without.samples.iter().zip(&with.samples) {
+            assert_eq!(a.indices, b.indices);
+            assert_eq!(a.circuit, b.circuit);
+        }
+    }
+
+    #[test]
+    fn second_compilation_is_mostly_cached() {
+        let cache = BlockCache::new();
+        let quest = Quest::new(QuestConfig::fast().with_seed(3));
+        let _ = quest.compile_with_cache(&toy(1), &cache);
+        let misses_before = cache.misses();
+        let _ = quest.compile_with_cache(&toy(1), &cache);
+        assert_eq!(
+            cache.misses(),
+            misses_before,
+            "identical circuit must be fully cached"
+        );
+    }
+
+    #[test]
+    fn different_config_changes_key() {
+        let c = toy(1);
+        let parts = qpartition::scan_partition(&c, 3);
+        let body = parts.blocks()[0].circuit();
+        let cfg_a = QuestConfig::fast();
+        let cfg_b = QuestConfig::fast().with_epsilon(0.37);
+        assert_ne!(block_key(body, &cfg_a), block_key(body, &cfg_b));
+        assert_eq!(block_key(body, &cfg_a), block_key(body, &cfg_a));
+    }
+}

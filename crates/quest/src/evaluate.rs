@@ -1,0 +1,193 @@
+//! Output evaluation: ideal and noisy execution of QUEST samples with
+//! distribution averaging (paper Sec. 4.1, "Evaluation Metrics").
+
+use crate::pipeline::QuestResult;
+use qcircuit::Circuit;
+use qsim::{dist, noise, Statevector};
+use rand::Rng;
+
+/// The exact (noiseless) output distribution of one circuit.
+pub fn ideal_distribution(circuit: &Circuit) -> Vec<f64> {
+    Statevector::run(circuit).probabilities()
+}
+
+/// QUEST's averaged ideal output: the pointwise mean of each sample's exact
+/// distribution.
+///
+/// # Panics
+///
+/// Panics if the result holds no samples.
+pub fn averaged_ideal_distribution(result: &QuestResult) -> Vec<f64> {
+    let dists: Vec<Vec<f64>> = result
+        .samples
+        .iter()
+        .map(|s| ideal_distribution(&s.circuit))
+        .collect();
+    dist::average_distributions(&dists)
+}
+
+/// Runs every sample on the noisy simulator, splitting `total_shots` evenly,
+/// and averages the measured distributions — how QUEST executes on real
+/// hardware (each approximation gets a share of the shot budget).
+///
+/// # Panics
+///
+/// Panics if the result holds no samples or `total_shots` is smaller than
+/// the sample count.
+pub fn averaged_noisy_distribution(
+    result: &QuestResult,
+    model: &noise::NoiseModel,
+    total_shots: usize,
+    trajectories_per_sample: usize,
+    rng: &mut impl Rng,
+) -> Vec<f64> {
+    assert!(!result.samples.is_empty(), "no samples to execute");
+    assert!(
+        total_shots >= result.samples.len(),
+        "need at least one shot per sample"
+    );
+    let per = total_shots / result.samples.len();
+    let dists: Vec<Vec<f64>> = result
+        .samples
+        .iter()
+        .map(|s| {
+            noise::run_noisy(&s.circuit, model, per.max(1), trajectories_per_sample, rng)
+                .probabilities()
+        })
+        .collect();
+    dist::average_distributions(&dists)
+}
+
+/// Fidelity-weighted averaging (an extension beyond the paper): instead of
+/// the uniform mean, each sample's distribution is weighted by its expected
+/// circuit fidelity under a depolarizing-style model,
+/// `w ∝ (1 − p2)^CNOTs`, so cheaper circuits — which the hardware corrupts
+/// less — count more. Reduces the noise floor when sample CNOT counts vary
+/// widely; equals the uniform mean when they are equal.
+///
+/// # Panics
+///
+/// Panics if the result holds no samples or `total_shots` is smaller than
+/// the sample count.
+pub fn weighted_noisy_distribution(
+    result: &QuestResult,
+    model: &noise::NoiseModel,
+    total_shots: usize,
+    trajectories_per_sample: usize,
+    rng: &mut impl Rng,
+) -> Vec<f64> {
+    assert!(!result.samples.is_empty(), "no samples to execute");
+    assert!(
+        total_shots >= result.samples.len(),
+        "need at least one shot per sample"
+    );
+    let per = (total_shots / result.samples.len()).max(1);
+    let mut weights = Vec::with_capacity(result.samples.len());
+    let mut dists = Vec::with_capacity(result.samples.len());
+    for s in &result.samples {
+        let d = noise::run_noisy(&s.circuit, model, per, trajectories_per_sample, rng)
+            .probabilities();
+        weights.push((1.0 - model.p2).powi(s.cnot_count as i32));
+        dists.push(d);
+    }
+    let total_w: f64 = weights.iter().sum();
+    let len = dists[0].len();
+    let mut out = vec![0.0; len];
+    for (w, d) in weights.iter().zip(&dists) {
+        for (o, &v) in out.iter_mut().zip(d) {
+            *o += w / total_w * v;
+        }
+    }
+    out
+}
+
+/// Runs a single circuit on the noisy simulator and returns its measured
+/// distribution (the Baseline/Qiskit execution path).
+pub fn noisy_distribution(
+    circuit: &Circuit,
+    model: &noise::NoiseModel,
+    shots: usize,
+    trajectories: usize,
+    rng: &mut impl Rng,
+) -> Vec<f64> {
+    noise::run_noisy(circuit, model, shots, trajectories, rng).probabilities()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Quest, QuestConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        for _ in 0..2 {
+            c.cnot(0, 1).rz(1, 0.25).cnot(0, 1);
+            c.cnot(1, 2).rz(2, 0.25).cnot(1, 2);
+        }
+        c.rx(0, 0.4).rx(1, 0.4).rx(2, 0.4);
+        c
+    }
+
+    #[test]
+    fn averaged_ideal_output_is_close_to_original() {
+        let c = toy();
+        let result = Quest::new(QuestConfig::fast().with_seed(6)).compile(&c);
+        let truth = ideal_distribution(&c);
+        let avg = averaged_ideal_distribution(&result);
+        let tvd = dist::tvd(&truth, &avg);
+        assert!(tvd < 0.15, "averaged ideal TVD too high: {tvd}");
+    }
+
+    #[test]
+    fn averaged_distribution_is_normalized() {
+        let result = Quest::new(QuestConfig::fast().with_seed(7)).compile(&toy());
+        let avg = averaged_ideal_distribution(&result);
+        let total: f64 = avg.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_average_matches_uniform_for_equal_cnots() {
+        let result = Quest::new(QuestConfig::fast().with_seed(9)).compile(&toy());
+        // Force equal CNOT weights by checking the math: weights equal ⇒
+        // weighted == uniform.
+        if result.samples.iter().all(|s| s.cnot_count == result.samples[0].cnot_count) {
+            let mut r1 = StdRng::seed_from_u64(4);
+            let mut r2 = StdRng::seed_from_u64(4);
+            let uniform = averaged_noisy_distribution(
+                &result, &noise::NoiseModel::pauli(0.01), 4096, 32, &mut r1);
+            let weighted = weighted_noisy_distribution(
+                &result, &noise::NoiseModel::pauli(0.01), 4096, 32, &mut r2);
+            for (a, b) in uniform.iter().zip(&weighted) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_average_is_normalized() {
+        let result = Quest::new(QuestConfig::fast().with_seed(10)).compile(&toy());
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = weighted_noisy_distribution(
+            &result, &noise::NoiseModel::pauli(0.02), 4096, 32, &mut rng);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_execution_splits_shots() {
+        let result = Quest::new(QuestConfig::fast().with_seed(8)).compile(&toy());
+        let mut rng = StdRng::seed_from_u64(1);
+        let avg = averaged_noisy_distribution(
+            &result,
+            &noise::NoiseModel::pauli(0.01),
+            4096,
+            32,
+            &mut rng,
+        );
+        assert_eq!(avg.len(), 8);
+        assert!((avg.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,48 @@
+//! QUEST — systematic approximation of quantum circuits for higher output
+//! fidelity.
+//!
+//! Reproduction of Patel et al., ASPLOS 2022. The pipeline (paper Fig. 2):
+//!
+//! 1. **Partition** (Sec. 3.3): split the circuit into ≤`block_size`-qubit
+//!    blocks with the scan partitioner ([`qpartition`]).
+//! 2. **Approximate synthesis** (Sec. 3.5): run the modified LEAP compiler
+//!    ([`qsynth`]) on every block, collecting *all* intermediate solutions —
+//!    a menu of approximations trading CNOTs against process distance.
+//! 3. **Dissimilar selection** (Sec. 3.6, Algorithm 1): repeatedly run a
+//!    dual-annealing engine ([`qanneal`]) over the per-block choice lattice,
+//!    minimizing `½·normalized-CNOTs + ½·similarity-to-already-selected`,
+//!    rejecting candidates whose summed block distances exceed the
+//!    theoretical bound threshold (Sec. 3.8). Up to `M = 16` mutually
+//!    dissimilar full-circuit approximations are selected.
+//! 4. **Averaging**: the selected circuits are executed and their output
+//!    distributions averaged ([`evaluate`]), tracking the original circuit's
+//!    output with far fewer CNOTs per executed circuit.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use qcircuit::Circuit;
+//! use quest::{Quest, QuestConfig};
+//!
+//! let mut circuit = Circuit::new(4);
+//! circuit.h(0).cnot(0, 1).cnot(1, 2).cnot(2, 3).rz(3, 0.7).cnot(2, 3);
+//! let result = Quest::new(QuestConfig::default()).compile(&circuit);
+//! println!(
+//!     "original {} CNOTs, best approximation {} CNOTs ({} samples)",
+//!     result.original_cnots,
+//!     result.min_cnot_sample().unwrap().cnot_count,
+//!     result.samples.len()
+//! );
+//! ```
+
+pub mod bound;
+pub mod cache;
+pub mod config;
+pub mod evaluate;
+pub mod objective;
+pub mod pipeline;
+pub mod report;
+
+pub use cache::BlockCache;
+pub use config::{QuestConfig, SelectionStrategy};
+pub use pipeline::{Quest, QuestResult, QuestSample, StageTimings, SynthesizedBlock};

@@ -1,0 +1,655 @@
+//! The end-to-end QUEST pipeline.
+
+use crate::cache::{block_key, BlockCache, CachedMenu};
+use crate::config::{QuestConfig, SelectionStrategy};
+use crate::objective::{BlockSimilarity, Objective};
+use qanneal::minimize_discrete;
+use qcircuit::Circuit;
+use qmath::Matrix;
+use qpartition::{scan_partition_with, PartitionedCircuit};
+use qsynth::synthesize;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// One approximation of one block.
+#[derive(Clone, Debug)]
+pub struct BlockApprox {
+    /// The approximate circuit (local qubit indices).
+    pub circuit: Circuit,
+    /// Its unitary, cached for similarity computations.
+    pub unitary: Matrix,
+    /// HS process distance to the original block unitary.
+    pub distance: f64,
+    /// CNOT count.
+    pub cnot_count: usize,
+}
+
+/// A partitioned block together with its approximation menu.
+#[derive(Clone, Debug)]
+pub struct SynthesizedBlock {
+    /// Global qubits the block acts on (ascending).
+    pub qubits: Vec<usize>,
+    /// The original block unitary.
+    pub original_unitary: Matrix,
+    /// CNOT count of the original block body.
+    pub original_cnots: usize,
+    /// Approximations, always including the original block circuit itself
+    /// (distance 0) so the exact circuit stays reachable.
+    pub approximations: Vec<BlockApprox>,
+    /// Gradient evaluations spent synthesizing this block.
+    pub synthesis_evals: usize,
+}
+
+/// Wall-clock cost of each pipeline stage (the paper's Fig. 12 breakdown).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimings {
+    /// Partitioning time.
+    pub partition: Duration,
+    /// Approximate-synthesis time (all blocks).
+    pub synthesis: Duration,
+    /// Dual-annealing selection time.
+    pub annealing: Duration,
+}
+
+impl StageTimings {
+    /// Total pipeline time.
+    pub fn total(&self) -> Duration {
+        self.partition + self.synthesis + self.annealing
+    }
+}
+
+/// One selected full-circuit approximation.
+#[derive(Clone, Debug)]
+pub struct QuestSample {
+    /// Chosen approximation index per block.
+    pub indices: Vec<usize>,
+    /// The reassembled full circuit.
+    pub circuit: Circuit,
+    /// Total CNOT count.
+    pub cnot_count: usize,
+    /// The Σε theoretical upper bound on this sample's process distance to
+    /// the original circuit (Sec. 3.8).
+    pub bound: f64,
+}
+
+/// The output of [`Quest::compile`].
+#[derive(Clone, Debug)]
+pub struct QuestResult {
+    /// Selected approximate circuits, in selection order (first = lowest
+    /// CNOT count per the selection procedure).
+    pub samples: Vec<QuestSample>,
+    /// CNOT count of the input circuit.
+    pub original_cnots: usize,
+    /// Per-block synthesis summary.
+    pub blocks: Vec<SynthesizedBlock>,
+    /// Per-stage wall-clock times.
+    pub timings: StageTimings,
+    /// The full-circuit bound threshold that gated selection.
+    pub threshold: f64,
+}
+
+impl QuestResult {
+    /// The sample with the fewest CNOTs.
+    pub fn min_cnot_sample(&self) -> Option<&QuestSample> {
+        self.samples.iter().min_by_key(|s| s.cnot_count)
+    }
+
+    /// Mean CNOT count over the selected samples — the cost of the circuits
+    /// QUEST actually executes.
+    pub fn mean_cnot_count(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.cnot_count as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Borrowed list of the selected circuits.
+    pub fn circuits(&self) -> Vec<&Circuit> {
+        self.samples.iter().map(|s| &s.circuit).collect()
+    }
+
+    /// Percent CNOT reduction of the mean sample vs. the original.
+    pub fn cnot_reduction_percent(&self) -> f64 {
+        if self.original_cnots == 0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - self.mean_cnot_count() / self.original_cnots as f64)
+    }
+}
+
+/// The QUEST compiler.
+#[derive(Clone, Debug)]
+pub struct Quest {
+    config: QuestConfig,
+}
+
+impl Quest {
+    /// Creates a compiler with the given configuration.
+    pub fn new(config: QuestConfig) -> Self {
+        Quest { config }
+    }
+
+    /// Access to the configuration.
+    pub fn config(&self) -> &QuestConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is empty (there is nothing to approximate).
+    pub fn compile(&self, circuit: &Circuit) -> QuestResult {
+        self.compile_inner(circuit, None)
+    }
+
+    /// Like [`Quest::compile`], but memoizing per-block synthesis results in
+    /// `cache`. Dramatically faster for structurally repetitive workloads —
+    /// e.g. the per-timestep compilations of the TFIM/Heisenberg case study,
+    /// where later timesteps repeat earlier timesteps' blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is empty.
+    pub fn compile_with_cache(&self, circuit: &Circuit, cache: &BlockCache) -> QuestResult {
+        self.compile_inner(circuit, Some(cache))
+    }
+
+    fn compile_inner(&self, circuit: &Circuit, cache: Option<&BlockCache>) -> QuestResult {
+        assert!(!circuit.is_empty(), "cannot compile an empty circuit");
+        let mut timings = StageTimings::default();
+
+        // Step 1: partition (Sec. 3.3).
+        let t0 = Instant::now();
+        let parts = scan_partition_with(
+            circuit,
+            self.config.block_size,
+            self.config.max_block_gates,
+        );
+        timings.partition = t0.elapsed();
+
+        // Step 2: approximate synthesis per block (Sec. 3.5).
+        let t0 = Instant::now();
+        let blocks = self.synthesize_blocks(&parts, cache);
+        timings.synthesis = t0.elapsed();
+
+        // Step 3: dissimilar selection (Sec. 3.6 / Algorithm 1).
+        let t0 = Instant::now();
+        let threshold = self.config.full_threshold(blocks.len());
+        let original_cnots = circuit.cnot_count();
+        let selected = match self.config.selection {
+            SelectionStrategy::Dissimilar => {
+                self.select_dissimilar(&blocks, threshold, original_cnots)
+            }
+            SelectionStrategy::Random => self.select_random(&blocks, threshold),
+            SelectionStrategy::MinCnotOnly => self.select_min_cnot(&blocks),
+        };
+        timings.annealing = t0.elapsed();
+
+        let samples = selected
+            .into_iter()
+            .map(|indices| {
+                let chosen: Vec<&Circuit> = indices
+                    .iter()
+                    .zip(&blocks)
+                    .map(|(&i, b)| &b.approximations[i].circuit)
+                    .collect();
+                let full = parts.reassemble_with(&chosen);
+                let bound = indices
+                    .iter()
+                    .zip(&blocks)
+                    .map(|(&i, b)| b.approximations[i].distance)
+                    .sum();
+                QuestSample {
+                    cnot_count: full.cnot_count(),
+                    circuit: full,
+                    indices,
+                    bound,
+                }
+            })
+            .collect();
+
+        QuestResult {
+            samples,
+            original_cnots,
+            blocks,
+            timings,
+            threshold,
+        }
+    }
+
+    fn synthesize_blocks(
+        &self,
+        parts: &PartitionedCircuit,
+        cache: Option<&BlockCache>,
+    ) -> Vec<SynthesizedBlock> {
+        // The synthesis seed depends only on block *content* (via the cache
+        // key) when caching, and on the block index otherwise; both are
+        // deterministic for a fixed input circuit.
+        let synthesize_menu = |seed_mix: u64, block: &qpartition::Block| -> CachedMenu {
+            let target = block.unitary();
+            let original_cnots = block.circuit().cnot_count();
+            let mut cfg = self.config.synthesis.clone();
+            cfg.epsilon = self.config.epsilon_per_block;
+            cfg.max_cnots = Some(original_cnots.min(self.config.max_synthesis_cnots).max(1));
+            cfg = cfg.with_seed(self.config.seed ^ seed_mix.wrapping_mul(0x9E37));
+            let res = synthesize(&target, &cfg);
+            let mut approximations: Vec<BlockApprox> = res
+                .candidates
+                .into_iter()
+                .map(|c| BlockApprox {
+                    unitary: c.circuit.unitary(),
+                    circuit: c.circuit,
+                    distance: c.distance,
+                    cnot_count: c.cnot_count,
+                })
+                .collect();
+            // The original circuit itself is always available at distance 0:
+            // QUEST never does worse than the Baseline.
+            approximations.push(BlockApprox {
+                circuit: block.circuit().clone(),
+                unitary: target,
+                distance: 0.0,
+                cnot_count: original_cnots,
+            });
+            let approximations =
+                cap_candidates(approximations, self.config.max_candidates_per_block);
+            CachedMenu {
+                approximations,
+                synthesis_evals: res.gradient_evals,
+            }
+        };
+        let synth_one = |_index: usize, block: &qpartition::Block| -> SynthesizedBlock {
+            // Seeding by content key (not block index) keeps cached and
+            // uncached compilations bit-identical.
+            let key = block_key(block.circuit(), &self.config);
+            let menu = match cache {
+                Some(cache) => {
+                    (*cache.get_or_insert_with(key, || synthesize_menu(key, block))).clone()
+                }
+                None => synthesize_menu(key, block),
+            };
+            SynthesizedBlock {
+                qubits: block.qubits().to_vec(),
+                original_unitary: block.unitary(),
+                original_cnots: block.circuit().cnot_count(),
+                approximations: menu.approximations,
+                synthesis_evals: menu.synthesis_evals,
+            }
+        };
+
+        if self.config.parallel && parts.len() > 1 {
+            let blocks = parts.blocks();
+            let mut out: Vec<Option<SynthesizedBlock>> = (0..blocks.len()).map(|_| None).collect();
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = blocks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| scope.spawn(move |_| (i, synth_one(i, b))))
+                    .collect();
+                for h in handles {
+                    let (i, sb) = h.join().expect("block synthesis thread panicked");
+                    out[i] = Some(sb);
+                }
+            })
+            .expect("crossbeam scope failed");
+            out.into_iter().map(|o| o.unwrap()).collect()
+        } else {
+            parts
+                .blocks()
+                .iter()
+                .enumerate()
+                .map(|(i, b)| synth_one(i, b))
+                .collect()
+        }
+    }
+
+    fn select_dissimilar(
+        &self,
+        blocks: &[SynthesizedBlock],
+        threshold: f64,
+        original_cnots: usize,
+    ) -> Vec<Vec<usize>> {
+        let similarities: Vec<BlockSimilarity> =
+            blocks.iter().map(BlockSimilarity::new).collect();
+        let arity: Vec<usize> = blocks.iter().map(|b| b.approximations.len()).collect();
+        let mut selected: Vec<Vec<usize>> = Vec::new();
+        'rounds: for s in 0..self.config.max_samples {
+            let obj = Objective::new(
+                blocks,
+                &similarities,
+                &selected,
+                threshold,
+                original_cnots,
+                self.config.cnot_weight,
+            );
+            // The engine occasionally re-proposes an already-selected
+            // circuit out of annealing randomness rather than true
+            // exhaustion; give each round a few independently-seeded tries
+            // before treating a repeat as the paper's termination signal.
+            const RETRIES: u64 = 3;
+            for attempt in 0..RETRIES {
+                let seed = self
+                    .config
+                    .seed
+                    .wrapping_add(s as u64)
+                    .wrapping_add(attempt.wrapping_mul(0x51_7E_ED));
+                let outcome = minimize_discrete(
+                    &|idx| obj.score(idx),
+                    &arity,
+                    &self.config.anneal.with_seed(seed),
+                );
+                let best = if obj.bound(&outcome.best) > threshold && selected.is_empty() {
+                    // Degenerate landscape: when only near-exact
+                    // combinations are feasible, every feasible score ties
+                    // with the infeasible 1.0 and the engine may return an
+                    // infeasible point. The exact combination (all
+                    // distance-0 originals) is always feasible — fall back
+                    // to it so QUEST never does worse than the Baseline.
+                    exact_indices(blocks)
+                } else {
+                    outcome.best
+                };
+                if obj.bound(&best) <= threshold && !selected.contains(&best) {
+                    selected.push(best);
+                    continue 'rounds;
+                }
+            }
+            // Every retry returned a repeat or infeasible circuit — the
+            // paper's termination condition.
+            break;
+        }
+        selected
+    }
+
+    fn select_random(&self, blocks: &[SynthesizedBlock], threshold: f64) -> Vec<Vec<usize>> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut selected: Vec<Vec<usize>> = Vec::new();
+        let mut attempts = 0;
+        while selected.len() < self.config.max_samples && attempts < self.config.max_samples * 200 {
+            attempts += 1;
+            let candidate: Vec<usize> = blocks
+                .iter()
+                .map(|b| rng.random_range(0..b.approximations.len()))
+                .collect();
+            let bound: f64 = candidate
+                .iter()
+                .zip(blocks)
+                .map(|(&i, b)| b.approximations[i].distance)
+                .sum();
+            if bound <= threshold && !selected.contains(&candidate) {
+                selected.push(candidate);
+            }
+        }
+        selected
+    }
+
+    fn select_min_cnot(&self, blocks: &[SynthesizedBlock]) -> Vec<Vec<usize>> {
+        // Per block: fewest CNOTs among approximations within the per-block
+        // ε (summing to within the full threshold by construction).
+        let indices: Vec<usize> = blocks
+            .iter()
+            .map(|b| {
+                b.approximations
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.distance <= self.config.epsilon_per_block)
+                    .min_by_key(|(_, a)| a.cnot_count)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect();
+        vec![indices]
+    }
+}
+
+/// The index vector choosing each block's exact original (distance 0).
+fn exact_indices(blocks: &[SynthesizedBlock]) -> Vec<usize> {
+    blocks
+        .iter()
+        .map(|b| {
+            b.approximations
+                .iter()
+                .enumerate()
+                .min_by(|(_, x), (_, y)| x.distance.partial_cmp(&y.distance).unwrap())
+                .map(|(i, _)| i)
+                .expect("block has at least one approximation")
+        })
+        .collect()
+}
+
+/// Caps a block's approximation list while keeping variety: the Pareto
+/// frontier over (CNOTs, distance) is kept first, then up to two entries per
+/// CNOT count by ascending distance, until the cap.
+fn cap_candidates(mut all: Vec<BlockApprox>, cap: usize) -> Vec<BlockApprox> {
+    if all.len() <= cap {
+        return all;
+    }
+    all.sort_by(|a, b| {
+        (a.cnot_count, a.distance)
+            .partial_cmp(&(b.cnot_count, b.distance))
+            .unwrap()
+    });
+    let mut keep: Vec<BlockApprox> = Vec::with_capacity(cap);
+    // Pareto frontier.
+    let mut best = f64::INFINITY;
+    let mut frontier_idx: Vec<usize> = Vec::new();
+    for (i, a) in all.iter().enumerate() {
+        if frontier_idx
+            .last()
+            .is_some_and(|&j| all[j].cnot_count == a.cnot_count)
+        {
+            continue;
+        }
+        if a.distance < best {
+            best = a.distance;
+            frontier_idx.push(i);
+        }
+    }
+    let mut taken = vec![false; all.len()];
+    for &i in &frontier_idx {
+        if keep.len() >= cap {
+            break;
+        }
+        taken[i] = true;
+        keep.push(all[i].clone());
+    }
+    // Second-best per CNOT count for dissimilarity variety.
+    let mut per_count: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for &i in &frontier_idx {
+        per_count.insert(all[i].cnot_count, 1);
+    }
+    for (i, a) in all.iter().enumerate() {
+        if keep.len() >= cap {
+            break;
+        }
+        if taken[i] {
+            continue;
+        }
+        let seen = per_count.entry(a.cnot_count).or_insert(0);
+        if *seen < 2 {
+            *seen += 1;
+            taken[i] = true;
+            keep.push(a.clone());
+        }
+    }
+    // Fill any remaining room by ascending distance.
+    if keep.len() < cap {
+        let mut rest: Vec<usize> = (0..all.len()).filter(|&i| !taken[i]).collect();
+        rest.sort_by(|&a, &b| all[a].distance.partial_cmp(&all[b].distance).unwrap());
+        for i in rest {
+            if keep.len() >= cap {
+                break;
+            }
+            keep.push(all[i].clone());
+        }
+    }
+    keep.sort_by(|a, b| {
+        (a.cnot_count, a.distance)
+            .partial_cmp(&(b.cnot_count, b.distance))
+            .unwrap()
+    });
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_circuit() -> Circuit {
+        // 3 qubits, CNOT-heavy with redundancy so approximations exist.
+        let mut c = Circuit::new(3);
+        c.h(0);
+        for _ in 0..2 {
+            c.cnot(0, 1).rz(1, 0.2).cnot(0, 1);
+            c.cnot(1, 2).rz(2, 0.2).cnot(1, 2);
+        }
+        c
+    }
+
+    fn fast_quest() -> Quest {
+        Quest::new(QuestConfig::fast().with_seed(42))
+    }
+
+    #[test]
+    fn pipeline_produces_samples() {
+        let result = fast_quest().compile(&toy_circuit());
+        assert!(!result.samples.is_empty());
+        assert!(result.original_cnots > 0);
+        for s in &result.samples {
+            assert!(s.bound <= result.threshold + 1e-12);
+            assert_eq!(s.circuit.num_qubits(), 3);
+        }
+    }
+
+    #[test]
+    fn first_sample_has_lowest_cnots() {
+        // The selection procedure picks the min-CNOT sample first
+        // (dissimilarity weight is zero in round one).
+        let result = fast_quest().compile(&toy_circuit());
+        let first = result.samples[0].cnot_count;
+        for s in &result.samples {
+            assert!(first <= s.cnot_count, "first {first} > {}", s.cnot_count);
+        }
+    }
+
+    #[test]
+    fn samples_are_distinct() {
+        let result = fast_quest().compile(&toy_circuit());
+        for i in 0..result.samples.len() {
+            for j in (i + 1)..result.samples.len() {
+                assert_ne!(
+                    result.samples[i].indices, result.samples[j].indices,
+                    "duplicate samples selected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduces_cnots_on_redundant_circuit() {
+        let c = toy_circuit();
+        let result = fast_quest().compile(&c);
+        assert!(
+            result.min_cnot_sample().unwrap().cnot_count < c.cnot_count(),
+            "no reduction: {} vs {}",
+            result.min_cnot_sample().unwrap().cnot_count,
+            c.cnot_count()
+        );
+    }
+
+    #[test]
+    fn bound_holds_against_actual_distance() {
+        // The Sec. 3.8 guarantee, verified with real unitaries.
+        let c = toy_circuit();
+        let result = fast_quest().compile(&c);
+        let u = c.unitary();
+        for s in &result.samples {
+            let actual = qmath::hs::process_distance(&u, &s.circuit.unitary());
+            assert!(
+                actual <= s.bound + 1e-6,
+                "bound violated: actual {actual} > bound {}",
+                s.bound
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = fast_quest().compile(&toy_circuit());
+        let b = fast_quest().compile(&toy_circuit());
+        assert_eq!(a.samples.len(), b.samples.len());
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(x.indices, y.indices);
+        }
+    }
+
+    #[test]
+    fn every_block_contains_the_exact_original() {
+        let result = fast_quest().compile(&toy_circuit());
+        for b in &result.blocks {
+            assert!(
+                b.approximations
+                    .iter()
+                    .any(|a| a.distance == 0.0 && a.cnot_count == b.original_cnots),
+                "exact original missing from block menu"
+            );
+        }
+    }
+
+    #[test]
+    fn min_cnot_strategy_returns_single_sample() {
+        let mut cfg = QuestConfig::fast().with_seed(3);
+        cfg.selection = SelectionStrategy::MinCnotOnly;
+        let result = Quest::new(cfg).compile(&toy_circuit());
+        assert_eq!(result.samples.len(), 1);
+    }
+
+    #[test]
+    fn random_strategy_respects_bound() {
+        let mut cfg = QuestConfig::fast().with_seed(4);
+        cfg.selection = SelectionStrategy::Random;
+        let result = Quest::new(cfg).compile(&toy_circuit());
+        assert!(!result.samples.is_empty());
+        for s in &result.samples {
+            assert!(s.bound <= result.threshold + 1e-12);
+        }
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let result = fast_quest().compile(&toy_circuit());
+        assert!(result.timings.synthesis > Duration::ZERO);
+        assert!(result.timings.total() >= result.timings.synthesis);
+    }
+
+    #[test]
+    fn cap_candidates_keeps_pareto() {
+        let mk = |d: f64, c: usize| BlockApprox {
+            circuit: Circuit::new(2),
+            unitary: Matrix::identity(4),
+            distance: d,
+            cnot_count: c,
+        };
+        let all = vec![
+            mk(0.5, 0),
+            mk(0.3, 1),
+            mk(0.35, 1),
+            mk(0.1, 2),
+            mk(0.2, 2),
+            mk(0.0, 3),
+        ];
+        let kept = cap_candidates(all, 4);
+        assert_eq!(kept.len(), 4);
+        // Pareto members survive.
+        assert!(kept.iter().any(|a| a.cnot_count == 0));
+        assert!(kept.iter().any(|a| a.distance == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty circuit")]
+    fn empty_circuit_panics() {
+        let _ = fast_quest().compile(&Circuit::new(2));
+    }
+}

@@ -1,0 +1,79 @@
+//! Human-readable summaries of compilation results.
+
+use crate::pipeline::QuestResult;
+use std::fmt::Write as _;
+
+/// Renders a multi-line text report of a [`QuestResult`]: per-sample CNOT
+/// counts and bounds, stage timings, and block statistics. Used by the CLI
+/// and handy in examples.
+///
+/// ```no_run
+/// # use quest::{Quest, QuestConfig};
+/// # let circuit = qcircuit::Circuit::new(2);
+/// let result = Quest::new(QuestConfig::fast()).compile(&circuit);
+/// println!("{}", quest::report::render(&result));
+/// ```
+pub fn render(result: &QuestResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "QUEST result: {} sample(s), original {} CNOTs, threshold {:.3}",
+        result.samples.len(),
+        result.original_cnots,
+        result.threshold
+    );
+    let _ = writeln!(
+        out,
+        "blocks: {} (approximations per block: {})",
+        result.blocks.len(),
+        result
+            .blocks
+            .iter()
+            .map(|b| b.approximations.len().to_string())
+            .collect::<Vec<_>>()
+            .join("/")
+    );
+    for (i, s) in result.samples.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  sample {i}: {} CNOTs ({:+.1}% vs baseline), Σε bound {:.4}",
+            s.cnot_count,
+            100.0 * (s.cnot_count as f64 / result.original_cnots.max(1) as f64 - 1.0),
+            s.bound
+        );
+    }
+    let t = result.timings;
+    let _ = writeln!(
+        out,
+        "timings: partition {:.3?}, synthesis {:.3?}, annealing {:.3?} (total {:.3?})",
+        t.partition,
+        t.synthesis,
+        t.annealing,
+        t.total()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Quest, QuestConfig};
+    use qcircuit::Circuit;
+
+    #[test]
+    fn report_mentions_all_samples_and_timings() {
+        let mut c = Circuit::new(2);
+        for _ in 0..2 {
+            c.cnot(0, 1).rz(1, 0.4).cnot(0, 1);
+        }
+        let result = Quest::new(QuestConfig::fast().with_seed(11)).compile(&c);
+        let text = super::render(&result);
+        assert!(text.contains("QUEST result"));
+        assert!(text.contains("sample 0:"));
+        assert!(text.contains("timings:"));
+        assert_eq!(
+            text.matches("sample ").count(),
+            result.samples.len(),
+            "one line per sample"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of Algorithm 1's objective function.
+
+use proptest::prelude::*;
+use qcircuit::Circuit;
+use qmath::Matrix;
+use quest::objective::{BlockSimilarity, Objective};
+use quest::pipeline::{BlockApprox, SynthesizedBlock};
+
+/// Builds a synthetic block with the given per-approximation
+/// (distance, cnots) pairs; unitaries are distinct rotations so similarity
+/// varies deterministically.
+fn block(specs: &[(f64, usize)]) -> SynthesizedBlock {
+    let approximations = specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(distance, cnot_count))| {
+            let mut c = Circuit::new(2);
+            c.rx(0, 0.7 * i as f64);
+            c.rz(1, 0.3 * i as f64);
+            BlockApprox {
+                unitary: c.unitary(),
+                circuit: c,
+                distance,
+                cnot_count,
+            }
+        })
+        .collect();
+    SynthesizedBlock {
+        qubits: vec![0, 1],
+        original_unitary: Matrix::identity(4),
+        original_cnots: specs.iter().map(|s| s.1).max().unwrap_or(1),
+        approximations,
+        synthesis_evals: 0,
+    }
+}
+
+fn spec_strategy() -> impl Strategy<Value = Vec<(f64, usize)>> {
+    prop::collection::vec((0.0..0.6f64, 0usize..8), 2..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn score_is_in_unit_interval(
+        specs1 in spec_strategy(),
+        specs2 in spec_strategy(),
+        threshold in 0.05..1.5f64,
+        pick in 0usize..1000,
+    ) {
+        let blocks = vec![block(&specs1), block(&specs2)];
+        let sims: Vec<BlockSimilarity> = blocks.iter().map(BlockSimilarity::new).collect();
+        let selected = vec![vec![0usize, 0]];
+        let original = blocks.iter().map(|b| b.original_cnots).sum::<usize>().max(1);
+        let obj = Objective::new(&blocks, &sims, &selected, threshold, original, 0.5);
+        let idx = vec![pick % specs1.len(), (pick / 7) % specs2.len()];
+        let s = obj.score(&idx);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "score {s}");
+    }
+
+    #[test]
+    fn breached_bound_always_scores_one(
+        specs in spec_strategy(),
+        pick in 0usize..1000,
+    ) {
+        let blocks = vec![block(&specs)];
+        let sims: Vec<BlockSimilarity> = blocks.iter().map(BlockSimilarity::new).collect();
+        let selected: Vec<Vec<usize>> = vec![];
+        let obj = Objective::new(&blocks, &sims, &selected, 0.0, 10, 0.5);
+        let idx = vec![pick % specs.len()];
+        if obj.bound(&idx) > 0.0 {
+            prop_assert_eq!(obj.score(&idx), 1.0);
+        }
+    }
+
+    #[test]
+    fn first_round_score_is_normalized_cnots(
+        specs in spec_strategy(),
+        pick in 0usize..1000,
+    ) {
+        let blocks = vec![block(&specs)];
+        let sims: Vec<BlockSimilarity> = blocks.iter().map(BlockSimilarity::new).collect();
+        let selected: Vec<Vec<usize>> = vec![];
+        let original = 16usize;
+        let obj = Objective::new(&blocks, &sims, &selected, 10.0, original, 0.5);
+        let idx = vec![pick % specs.len()];
+        let expect = obj.cnots(&idx) as f64 / original as f64;
+        prop_assert!((obj.score(&idx) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded(
+        specs1 in spec_strategy(),
+        specs2 in spec_strategy(),
+        a in 0usize..1000,
+        b in 0usize..1000,
+    ) {
+        let blocks = vec![block(&specs1), block(&specs2)];
+        let sims: Vec<BlockSimilarity> = blocks.iter().map(BlockSimilarity::new).collect();
+        let selected: Vec<Vec<usize>> = vec![];
+        let obj = Objective::new(&blocks, &sims, &selected, 10.0, 10, 0.5);
+        let ia = vec![a % specs1.len(), (a / 7) % specs2.len()];
+        let ib = vec![b % specs1.len(), (b / 7) % specs2.len()];
+        let sab = obj.similarity(&ia, &ib);
+        let sba = obj.similarity(&ib, &ia);
+        prop_assert!((sab - sba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&sab));
+        // Self-similarity is maximal.
+        prop_assert!((obj.similarity(&ia, &ia) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicates_score_worse_than_or_equal_to_fresh(
+        specs in prop::collection::vec((0.0..0.05f64, 1usize..5), 3..6),
+    ) {
+        // With one sample already selected, re-proposing it can never score
+        // strictly better than any equally-cheap alternative.
+        let blocks = vec![block(&specs)];
+        let sims: Vec<BlockSimilarity> = blocks.iter().map(BlockSimilarity::new).collect();
+        let selected = vec![vec![0usize]];
+        let obj = Objective::new(&blocks, &sims, &selected, 10.0, 8, 0.5);
+        let dup_score = obj.score(&[0]);
+        for alt in 1..specs.len() {
+            if obj.cnots(&[alt]) <= obj.cnots(&[0]) {
+                prop_assert!(
+                    obj.score(&[alt]) <= dup_score + 1e-12,
+                    "equally-cheap fresh candidate scored worse than duplicate"
+                );
+            }
+        }
+    }
+}

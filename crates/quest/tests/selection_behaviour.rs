@@ -1,0 +1,114 @@
+//! Behavioural tests of QUEST's selection machinery on real pipelines.
+
+use qcircuit::Circuit;
+use qsim::Statevector;
+use quest::{Quest, QuestConfig, SelectionStrategy};
+
+/// A 4-qubit, 2-qubit-blocks-friendly circuit with redundancy.
+fn circuit() -> Circuit {
+    let mut c = Circuit::new(4);
+    c.h(0);
+    for _ in 0..2 {
+        for q in 0..3 {
+            c.cnot(q, q + 1).rz(q + 1, 0.15).cnot(q, q + 1);
+        }
+    }
+    c
+}
+
+fn base_config() -> QuestConfig {
+    let mut cfg = QuestConfig::fast().with_seed(21);
+    cfg.block_size = 2; // many small blocks → rich selection lattice
+    cfg
+}
+
+#[test]
+fn dissimilar_selection_yields_multiple_samples_with_rich_lattice() {
+    let result = Quest::new(base_config()).compile(&circuit());
+    assert!(
+        result.samples.len() >= 2,
+        "expected several dissimilar samples, got {}",
+        result.samples.len()
+    );
+}
+
+#[test]
+fn selected_samples_have_pairwise_different_circuits() {
+    let result = Quest::new(base_config()).compile(&circuit());
+    for i in 0..result.samples.len() {
+        for j in (i + 1)..result.samples.len() {
+            assert_ne!(
+                result.samples[i].indices, result.samples[j].indices,
+                "samples {i} and {j} identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn larger_epsilon_allows_fewer_cnots() {
+    let c = circuit();
+    let tight = Quest::new(base_config().with_epsilon(0.01)).compile(&c);
+    let loose = Quest::new(base_config().with_epsilon(0.5)).compile(&c);
+    assert!(
+        loose.min_cnot_sample().unwrap().cnot_count
+            <= tight.min_cnot_sample().unwrap().cnot_count,
+        "loose ε should not need more CNOTs"
+    );
+}
+
+#[test]
+fn averaging_beats_typical_single_sample() {
+    // The Fig. 6 mechanism: the averaged output should be at least as close
+    // to the truth as the *average* individual sample is.
+    let c = circuit();
+    let result = Quest::new(base_config()).compile(&c);
+    let truth = Statevector::run(&c).probabilities();
+    let avg = quest::evaluate::averaged_ideal_distribution(&result);
+    let tvd_avg = qsim::tvd(&truth, &avg);
+    let mean_individual: f64 = result
+        .samples
+        .iter()
+        .map(|s| qsim::tvd(&truth, &Statevector::run(&s.circuit).probabilities()))
+        .sum::<f64>()
+        / result.samples.len() as f64;
+    assert!(
+        tvd_avg <= mean_individual + 1e-9,
+        "averaging hurt: {tvd_avg} > mean individual {mean_individual}"
+    );
+}
+
+#[test]
+fn strategies_trade_quality_for_cnots_consistently() {
+    let c = circuit();
+    let truth = Statevector::run(&c).probabilities();
+    let mut results = Vec::new();
+    for strategy in [
+        SelectionStrategy::Dissimilar,
+        SelectionStrategy::Random,
+        SelectionStrategy::MinCnotOnly,
+    ] {
+        let mut cfg = base_config();
+        cfg.selection = strategy;
+        let r = Quest::new(cfg).compile(&c);
+        assert!(!r.samples.is_empty(), "{strategy:?} selected nothing");
+        let avg = quest::evaluate::averaged_ideal_distribution(&r);
+        results.push((strategy, qsim::tvd(&truth, &avg), r.mean_cnot_count()));
+    }
+    // All strategies respect the bound, so none should be catastrophically
+    // wrong in ideal simulation.
+    for (s, tvd, _) in &results {
+        assert!(*tvd < 0.5, "{s:?} ideal TVD {tvd}");
+    }
+}
+
+#[test]
+fn samples_simulate_identically_across_runs() {
+    // Full determinism end to end: same seed → same averaged distribution.
+    let c = circuit();
+    let r1 = Quest::new(base_config()).compile(&c);
+    let r2 = Quest::new(base_config()).compile(&c);
+    let d1 = quest::evaluate::averaged_ideal_distribution(&r1);
+    let d2 = quest::evaluate::averaged_ideal_distribution(&r2);
+    assert_eq!(d1, d2);
+}

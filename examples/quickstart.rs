@@ -1,0 +1,67 @@
+//! Quickstart: compile a small circuit with QUEST and inspect the result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use qcircuit::Circuit;
+use quest::{Quest, QuestConfig};
+
+fn main() {
+    // A 4-qubit circuit with Trotter-like structure (plenty of CNOTs).
+    let mut circuit = Circuit::new(4);
+    circuit.h(0);
+    for _ in 0..3 {
+        for q in 0..3 {
+            circuit.cnot(q, q + 1).rz(q + 1, 0.2).cnot(q, q + 1);
+        }
+        for q in 0..4 {
+            circuit.rx(q, 0.2);
+        }
+    }
+    println!(
+        "input: {} qubits, {} gates, {} CNOTs, depth {}",
+        circuit.num_qubits(),
+        circuit.len(),
+        circuit.cnot_count(),
+        circuit.depth()
+    );
+
+    // Compile with QUEST (paper defaults: 4-qubit blocks, M = 16 samples).
+    let mut cfg = QuestConfig::default().with_seed(1);
+    cfg.max_block_gates = Some(26); // time-slice deep blocks (see DESIGN.md)
+    let result = Quest::new(cfg).compile(&circuit);
+
+    println!(
+        "QUEST selected {} dissimilar approximations (threshold {:.2}):",
+        result.samples.len(),
+        result.threshold
+    );
+    for (i, s) in result.samples.iter().enumerate() {
+        println!(
+            "  sample {i}: {} CNOTs (bound on process distance: {:.3})",
+            s.cnot_count, s.bound
+        );
+    }
+    println!(
+        "mean CNOT reduction: {:.1}%",
+        result.cnot_reduction_percent()
+    );
+
+    // Verify the approximation quality against the ground truth.
+    let truth = qsim::Statevector::run(&circuit).probabilities();
+    let avg = quest::evaluate::averaged_ideal_distribution(&result);
+    println!(
+        "averaged ideal-output TVD from ground truth: {:.4}",
+        qsim::tvd(&truth, &avg)
+    );
+    println!(
+        "stage timings: partition {:?}, synthesis {:?}, annealing {:?}",
+        result.timings.partition, result.timings.synthesis, result.timings.annealing
+    );
+
+    if let Some(best) = result.min_cnot_sample() {
+        println!("\nfewest-CNOT approximation ({} CNOTs):", best.cnot_count);
+        print!("{}", qcircuit::draw::to_ascii(&best.circuit));
+    }
+}

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Pastes results/*.txt into the matching '(pending)' slots of
+EXPERIMENTS.md. Status marks are still reviewed by hand."""
+
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+exp = (ROOT / "EXPERIMENTS.md").read_text()
+
+sections = {
+    "fig04": "## Fig. 4",
+    "fig07": "## Fig. 7",
+    "fig08": "## Fig. 8",
+    "fig09": "## Fig. 9",
+    "fig10": "## Fig. 10",
+    "fig11": "## Fig. 11",
+    "fig12": "## Fig. 12",
+    "fig13": "## Fig. 13",
+    "fig14": "## Fig. 14",
+    "fig15": "## Fig. 15",
+    "fig16": "## Fig. 16",
+    "ablation": "## Ablation",
+}
+
+for name, header in sections.items():
+    path = ROOT / "results" / f"{name}.txt"
+    if not path.exists():
+        continue
+    body = path.read_text().strip()
+    # Drop the runner banner and any compile warnings before the first table.
+    first = body.find("== ")
+    if first > 0:
+        body = body[first:]
+    body = re.sub(r"^=== .* ===\n", "", body)
+    if not body:
+        continue
+    start = exp.index(header)
+    pending = exp.index("(pending)", start)
+    exp = exp[:pending] + f"```text\n{body}\n```" + exp[pending + len("(pending)"):]
+
+(ROOT / "EXPERIMENTS.md").write_text(exp)
+print("filled")

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""One-shot registration of modules written while the figure harness held
+the cargo lock: qtranspile::routing, qsim::marginals, qcircuit::analysis."""
+
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def patch(path, old, new):
+    p = ROOT / path
+    s = p.read_text()
+    assert old in s, f"pattern missing in {path}"
+    p.write_text(s.replace(old, new, 1))
+    print(f"patched {path}")
+
+
+patch(
+    "crates/qtranspile/src/lib.rs",
+    "pub mod consolidate;\npub mod passes;",
+    "pub mod consolidate;\npub mod passes;\npub mod routing;",
+)
+patch(
+    "crates/qsim/src/lib.rs",
+    "pub mod density;\npub mod dist;",
+    "pub mod density;\npub mod dist;\npub mod marginals;\npub mod mitigation;",
+)
+patch(
+    "crates/qmath/src/lib.rs",
+    "pub mod decompose;",
+    "pub mod decompose;\npub mod eigen;",
+)
+patch(
+    "crates/qcircuit/src/lib.rs",
+    "pub mod circuit;\npub mod embed;",
+    "pub mod analysis;\npub mod circuit;\npub mod draw;\npub mod embed;",
+)
+patch(
+    "crates/qsim/src/density.rs",
+    "    /// Measurement probabilities (the diagonal).",
+    """    /// Von Neumann entanglement entropy `S(ρ) = −Tr(ρ ln ρ)` in nats:
+    /// 0 for pure states, `n·ln 2` for the maximally mixed state.
+    pub fn entropy(&self) -> f64 {
+        let e = qmath::eigen::eigh(&self.rho);
+        qmath::eigen::von_neumann_entropy(&e.values)
+    }
+
+    /// Measurement probabilities (the diagonal).""",
+)
+patch(
+    "crates/qsim/src/density.rs",
+    "    #[test]\n    fn partial_trace_of_bell_is_maximally_mixed() {",
+    """    #[test]
+    fn entropy_tracks_entanglement_and_noise() {
+        // Pure product state: zero entropy.
+        let dm = DensityMatrix::zero_state(2);
+        assert!(dm.entropy().abs() < 1e-8);
+        // Bell state: globally pure (S≈0) but reduced state has S = ln 2.
+        let bell_dm = DensityMatrix::run_noisy(&bell(), &NoiseModel::ideal());
+        assert!(bell_dm.entropy().abs() < 1e-6);
+        let reduced = bell_dm.partial_trace(&[0]);
+        assert!((reduced.entropy() - std::f64::consts::LN_2).abs() < 1e-6);
+        // Noise strictly increases global entropy.
+        let noisy = DensityMatrix::run_noisy(&bell(), &NoiseModel::pauli(0.1));
+        assert!(noisy.entropy() > 0.01);
+    }
+
+    #[test]
+    fn partial_trace_of_bell_is_maximally_mixed() {""",
+)
+print("done")

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper into results/.
+# Usage: scripts/run_all_figures.sh [filter...]
+set -u
+cd "$(dirname "$0")/.."
+mkdir -p results
+targets=(table1 fig01 fig04 fig07 fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15 fig16 ablation)
+if [ "$#" -gt 0 ]; then
+    targets=("$@")
+fi
+cargo build --release -p bench || exit 1
+for t in "${targets[@]}"; do
+    echo "=== $t ==="
+    cargo run --quiet --release -p bench --bin "$t" 2>&1 | tee "results/$t.txt"
+done

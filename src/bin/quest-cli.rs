@@ -1,0 +1,172 @@
+//! Command-line front end: approximate an OpenQASM 2.0 circuit with QUEST.
+//!
+//! ```sh
+//! quest-cli INPUT.qasm [--epsilon 0.1] [--block-size 4] [--samples 16]
+//!           [--seed 42] [--out-dir DIR] [--fast] [--qiskit]
+//! ```
+//!
+//! Writes one `approx_<i>_<cnots>cx.qasm` per selected approximation (to
+//! `--out-dir`, default alongside the input) and prints a summary.
+
+use quest::{Quest, QuestConfig};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    input: PathBuf,
+    out_dir: Option<PathBuf>,
+    epsilon: Option<f64>,
+    block_size: Option<usize>,
+    samples: Option<usize>,
+    seed: Option<u64>,
+    fast: bool,
+    qiskit: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        input: PathBuf::new(),
+        out_dir: None,
+        epsilon: None,
+        block_size: None,
+        samples: None,
+        seed: None,
+        fast: false,
+        qiskit: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut have_input = false;
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--epsilon" => args.epsilon = Some(value("--epsilon")?.parse().map_err(|e| format!("--epsilon: {e}"))?),
+            "--block-size" => args.block_size = Some(value("--block-size")?.parse().map_err(|e| format!("--block-size: {e}"))?),
+            "--samples" => args.samples = Some(value("--samples")?.parse().map_err(|e| format!("--samples: {e}"))?),
+            "--seed" => args.seed = Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?),
+            "--out-dir" => args.out_dir = Some(PathBuf::from(value("--out-dir")?)),
+            "--fast" => args.fast = true,
+            "--qiskit" => args.qiskit = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            path => {
+                if have_input {
+                    return Err("only one input file is supported".into());
+                }
+                args.input = PathBuf::from(path);
+                have_input = true;
+            }
+        }
+    }
+    if !have_input {
+        return Err("missing input .qasm file".into());
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: quest-cli INPUT.qasm [--epsilon E] [--block-size K] [--samples M]\n\
+         \u{20}                 [--seed S] [--out-dir DIR] [--fast] [--qiskit]\n\
+         \n\
+         Approximates the circuit with QUEST (ASPLOS'22) and writes one\n\
+         OpenQASM file per selected low-CNOT approximation.\n\
+         \n\
+         --epsilon E     per-block process-distance threshold (default 0.1)\n\
+         --block-size K  partition block size in qubits (default 4)\n\
+         --samples M     max approximations to select (default 16)\n\
+         --seed S        master seed (default 0xBA5E)\n\
+         --out-dir DIR   output directory (default: input's directory)\n\
+         --fast          lighter optimization budget\n\
+         --qiskit        run the Qiskit-baseline passes on each sample"
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let source = std::fs::read_to_string(&args.input)
+        .map_err(|e| format!("cannot read {}: {e}", args.input.display()))?;
+    let circuit = qcircuit::qasm::parse(&source).map_err(|e| format!("parse error: {e}"))?;
+    println!(
+        "parsed {}: {} qubits, {} gates, {} CNOTs",
+        args.input.display(),
+        circuit.num_qubits(),
+        circuit.len(),
+        circuit.cnot_count()
+    );
+
+    let mut cfg = if args.fast {
+        QuestConfig::fast()
+    } else {
+        QuestConfig::default()
+    };
+    if let Some(e) = args.epsilon {
+        cfg = cfg.with_epsilon(e);
+    }
+    if let Some(k) = args.block_size {
+        cfg.block_size = k;
+    }
+    if let Some(m) = args.samples {
+        cfg.max_samples = m;
+    }
+    if let Some(s) = args.seed {
+        cfg = cfg.with_seed(s);
+    }
+
+    let t0 = std::time::Instant::now();
+    let mut result = Quest::new(cfg).compile(&circuit);
+    if args.qiskit {
+        for s in &mut result.samples {
+            let optimized = qtranspile::optimize(&s.circuit);
+            if optimized.cnot_count() <= s.cnot_count {
+                s.cnot_count = optimized.cnot_count();
+                s.circuit = optimized;
+            }
+        }
+    }
+    println!(
+        "selected {} approximations in {:.1?} (mean CNOT reduction {:.1}%)",
+        result.samples.len(),
+        t0.elapsed(),
+        result.cnot_reduction_percent()
+    );
+
+    let out_dir = args
+        .out_dir
+        .clone()
+        .unwrap_or_else(|| args.input.parent().unwrap_or(Path::new(".")).to_path_buf());
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    for (i, s) in result.samples.iter().enumerate() {
+        let path = out_dir.join(format!("approx_{i}_{}cx.qasm", s.cnot_count));
+        std::fs::write(&path, qcircuit::qasm::emit(&s.circuit))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!(
+            "  {}: {} CNOTs, process-distance bound {:.4}",
+            path.display(),
+            s.cnot_count,
+            s.bound
+        );
+    }
+    Ok(())
+}

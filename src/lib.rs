@@ -1,0 +1,25 @@
+//! Umbrella crate for the QUEST reproduction workspace.
+//!
+//! Re-exports the member crates so the `examples/` and `tests/` at the
+//! repository root can reach the whole system through one dependency. See
+//! the individual crates for the real APIs:
+//!
+//! * [`quest`] — the paper's contribution (partition → approximate
+//!   synthesis → dissimilar selection → averaging),
+//! * [`qcircuit`] / [`qmath`] — circuit IR and linear algebra,
+//! * [`qsim`] — ideal and noisy simulation,
+//! * [`qsynth`] — LEAP-style numerical synthesis,
+//! * [`qpartition`] — scan partitioner,
+//! * [`qanneal`] — dual annealing,
+//! * [`qtranspile`] — the Qiskit-baseline pass pipeline,
+//! * [`qbench`] — the Table-1 workload generators.
+
+pub use qanneal;
+pub use qbench;
+pub use qcircuit;
+pub use qmath;
+pub use qpartition;
+pub use qsim;
+pub use qsynth;
+pub use qtranspile;
+pub use quest;

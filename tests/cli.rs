@@ -1,0 +1,81 @@
+//! End-to-end test of the `quest-cli` binary: OpenQASM file in,
+//! approximation files out.
+
+use std::process::Command;
+
+const INPUT: &str = r#"OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[0];
+cx q[0],q[1];
+rz(pi/8) q[1];
+cx q[0],q[1];
+cx q[1],q[2];
+rz(pi/8) q[2];
+cx q[1],q[2];
+cx q[0],q[1];
+rz(pi/8) q[1];
+cx q[0],q[1];
+"#;
+
+#[test]
+fn cli_compiles_qasm_and_writes_approximations() {
+    let dir = std::env::temp_dir().join(format!("quest_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("input.qasm");
+    std::fs::write(&input, INPUT).unwrap();
+    let out_dir = dir.join("out");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_quest-cli"))
+        .arg(&input)
+        .args(["--fast", "--samples", "4", "--seed", "7"])
+        .arg("--out-dir")
+        .arg(&out_dir)
+        .output()
+        .expect("failed to launch quest-cli");
+    assert!(
+        output.status.success(),
+        "cli failed: {}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("parsed"), "missing parse line: {stdout}");
+
+    // Every emitted file must be valid OpenQASM for a 3-qubit circuit with
+    // no more CNOTs than the input.
+    let entries: Vec<_> = std::fs::read_dir(&out_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "qasm"))
+        .collect();
+    assert!(!entries.is_empty(), "no approximations written");
+    for path in entries {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let circuit = qcircuit::qasm::parse(&text).expect("emitted QASM must parse");
+        assert_eq!(circuit.num_qubits(), 3);
+        assert!(circuit.cnot_count() <= 6);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_rejects_missing_input() {
+    let output = Command::new(env!("CARGO_BIN_EXE_quest-cli"))
+        .arg("/nonexistent/path.qasm")
+        .output()
+        .expect("failed to launch quest-cli");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("cannot read"), "stderr: {stderr}");
+}
+
+#[test]
+fn cli_prints_usage_without_args() {
+    let output = Command::new(env!("CARGO_BIN_EXE_quest-cli"))
+        .output()
+        .expect("failed to launch quest-cli");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
+}

@@ -1,0 +1,104 @@
+//! Cross-crate property tests: invariants that must hold when the
+//! substrates are composed (proptest).
+
+use proptest::prelude::*;
+use qcircuit::{Circuit, Gate};
+use qpartition::scan_partition;
+use qsim::Statevector;
+
+fn random_circuit_strategy(n: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
+    let gate = prop_oneof![
+        Just(Gate::H),
+        Just(Gate::X),
+        Just(Gate::T),
+        (-3.2..3.2f64).prop_map(Gate::Rz),
+        (-3.2..3.2f64).prop_map(Gate::Rx),
+        Just(Gate::Cnot),
+        Just(Gate::Cz),
+    ];
+    prop::collection::vec((gate, 0..n, 1..n), 1..max_len).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for (g, a, off) in gates {
+            if g.num_qubits() == 1 {
+                c.push(g, &[a]);
+            } else {
+                let b = (a + off) % n;
+                if a != b {
+                    c.push(g, &[a, b]);
+                }
+            }
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn partition_reassembly_preserves_output(c in random_circuit_strategy(5, 24)) {
+        let parts = scan_partition(&c, 3);
+        let orig = Statevector::run(&c).probabilities();
+        let re = Statevector::run(&parts.reassemble()).probabilities();
+        prop_assert!(qsim::tvd(&orig, &re) < 1e-9);
+    }
+
+    #[test]
+    fn transpile_preserves_output_distribution(c in random_circuit_strategy(4, 20)) {
+        let opt = qtranspile::peephole_manager().run(&c);
+        let orig = Statevector::run(&c).probabilities();
+        let new = Statevector::run(&opt).probabilities();
+        prop_assert!(qsim::tvd(&orig, &new) < 1e-7,
+            "peephole changed distribution by {}", qsim::tvd(&orig, &new));
+        prop_assert!(opt.cnot_count() <= c.cnot_count());
+    }
+
+    #[test]
+    fn qasm_roundtrip_on_random_circuits(c in random_circuit_strategy(6, 30)) {
+        let text = qcircuit::qasm::emit(&c);
+        let back = qcircuit::qasm::parse(&text).unwrap();
+        prop_assert_eq!(c, back);
+    }
+
+    #[test]
+    fn noisy_simulation_conserves_probability(c in random_circuit_strategy(3, 12), p in 0.0..0.05f64) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let res = qsim::noise::run_noisy(&c, &qsim::NoiseModel::pauli(p), 512, 8, &mut rng);
+        prop_assert_eq!(res.counts.iter().sum::<u64>(), 512);
+        let probs = res.probabilities();
+        prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn composition_bound_holds_for_partitioned_random_circuits(
+        c in random_circuit_strategy(4, 16),
+        strength in 0.02..0.3f64,
+        seed in 0u64..500,
+    ) {
+        // Perturb every block and check Σε bounds the composed distance —
+        // the Sec. 3.8 theorem exercised through the real partitioner.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let parts = scan_partition(&c, 2);
+        prop_assume!(!parts.is_empty());
+        let dim_full = 1usize << c.num_qubits();
+        let mut bound = 0.0;
+        let mut full = qmath::Matrix::identity(dim_full);
+        let mut full_p = qmath::Matrix::identity(dim_full);
+        for block in parts.blocks() {
+            let u = block.unitary();
+            let p = qmath::random::perturbed_unitary(
+                &qmath::Matrix::identity(u.rows()),
+                strength,
+                &mut rng,
+            );
+            let up = u.matmul(&p);
+            bound += qmath::hs::process_distance(&u, &up);
+            full = qcircuit::embed::embed(&u, block.qubits(), c.num_qubits()).matmul(&full);
+            full_p = qcircuit::embed::embed(&up, block.qubits(), c.num_qubits()).matmul(&full_p);
+        }
+        let actual = qmath::hs::process_distance(&full, &full_p);
+        prop_assert!(actual <= bound + 1e-7, "bound {bound} < actual {actual}");
+    }
+}
