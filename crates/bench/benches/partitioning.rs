@@ -8,11 +8,9 @@ fn bench_partition_widths(c: &mut Criterion) {
     let mut group = c.benchmark_group("scan_partition");
     for n in [8usize, 16, 32] {
         let circ = qbench::spin::tfim(n, 10, 0.1);
-        group.bench_with_input(
-            BenchmarkId::new("tfim_steps10", n),
-            &circ,
-            |b, circ| b.iter(|| scan_partition(circ, 4)),
-        );
+        group.bench_with_input(BenchmarkId::new("tfim_steps10", n), &circ, |b, circ| {
+            b.iter(|| scan_partition(circ, 4))
+        });
     }
     group.finish();
 }
@@ -34,5 +32,10 @@ fn bench_reassembly(c: &mut Criterion) {
     c.bench_function("reassemble_xy12", |b| b.iter(|| parts.reassemble()));
 }
 
-criterion_group!(benches, bench_partition_widths, bench_block_sizes, bench_reassembly);
+criterion_group!(
+    benches,
+    bench_partition_widths,
+    bench_block_sizes,
+    bench_reassembly
+);
 criterion_main!(benches);

@@ -47,7 +47,9 @@ fn bench_gradient_eval(c: &mut Criterion) {
     let target = circ.unitary();
     let cost = qsynth::cost::HsCost::new(&template, &target);
     let params: Vec<f64> = (0..cost.num_params()).map(|i| 0.1 * i as f64).collect();
-    c.bench_function("hs_cost_and_grad_3q", |b| b.iter(|| cost.cost_and_grad(&params)));
+    c.bench_function("hs_cost_and_grad_3q", |b| {
+        b.iter(|| cost.cost_and_grad(&params))
+    });
 }
 
 criterion_group!(

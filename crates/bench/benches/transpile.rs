@@ -30,5 +30,10 @@ fn bench_cancellation_pass(c: &mut Criterion) {
     c.bench_function("cancel_inverses_600g", |b| b.iter(|| pass.run(&circ)));
 }
 
-criterion_group!(benches, bench_peephole, bench_full_optimize, bench_cancellation_pass);
+criterion_group!(
+    benches,
+    bench_peephole,
+    bench_full_optimize,
+    bench_cancellation_pass
+);
 criterion_main!(benches);

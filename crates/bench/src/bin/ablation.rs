@@ -25,7 +25,13 @@ fn main() {
             cfg.selection = strategy;
             let result = Quest::new(cfg).compile(&circuit);
             if result.samples.is_empty() {
-                rows.push(vec![label.to_string(), "-".into(), "-".into(), "-".into(), "0".into()]);
+                rows.push(vec![
+                    label.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "0".into(),
+                ]);
                 continue;
             }
             let ideal_avg = quest::evaluate::averaged_ideal_distribution(&result);
@@ -46,7 +52,13 @@ fn main() {
         }
         bench::print_table(
             &format!("Ablation: selection strategy on {name}"),
-            &["strategy", "ideal TVD", "noisy TVD", "mean CNOTs", "samples"],
+            &[
+                "strategy",
+                "ideal TVD",
+                "noisy TVD",
+                "mean CNOTs",
+                "samples",
+            ],
             &rows,
         );
     }

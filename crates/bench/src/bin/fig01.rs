@@ -12,7 +12,10 @@ fn main() {
     let model = NoiseModel::linear5();
     let mut rng = StdRng::seed_from_u64(0xF1601);
     for (name, gen) in [
-        ("TFIM", qbench::spin::tfim as fn(usize, usize, f64) -> qcircuit::Circuit),
+        (
+            "TFIM",
+            qbench::spin::tfim as fn(usize, usize, f64) -> qcircuit::Circuit,
+        ),
         ("Heisenberg", qbench::spin::heisenberg),
     ] {
         let mut rows = Vec::new();

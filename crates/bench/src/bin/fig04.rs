@@ -46,14 +46,9 @@ fn main() {
     let mut rows = Vec::new();
     let mut stats: Vec<(usize, f64)> = Vec::new();
     for (cnots, distance, circ) in &solutions {
-        let noisy = qsim::noise::run_noisy(
-            circ,
-            &model,
-            bench::SHOTS,
-            bench::TRAJECTORIES,
-            &mut rng,
-        )
-        .probabilities();
+        let noisy =
+            qsim::noise::run_noisy(circ, &model, bench::SHOTS, bench::TRAJECTORIES, &mut rng)
+                .probabilities();
         let tvd = qsim::tvd(&truth, &noisy);
         stats.push((*cnots, tvd));
         rows.push(vec![

@@ -56,7 +56,10 @@ fn main() {
             ]);
         }
         bench::print_table(
-            &format!("Fig. 11: TVD reduction vs noisy Baseline at {}% noise", p_gate * 100.0),
+            &format!(
+                "Fig. 11: TVD reduction vs noisy Baseline at {}% noise",
+                p_gate * 100.0
+            ),
             &["algorithm", "baseline TVD", "Qiskit", "QUEST+Qiskit"],
             &rows,
         );

@@ -25,7 +25,14 @@ fn main() {
     }
     bench::print_table(
         "Fig. 12: QUEST execution overhead and stage breakdown",
-        &["algorithm", "total", "partition", "synthesis", "annealing", "blocks"],
+        &[
+            "algorithm",
+            "total",
+            "partition",
+            "synthesis",
+            "annealing",
+            "blocks",
+        ],
         &rows,
     );
 }

@@ -13,7 +13,10 @@ fn main() {
     // Consecutive timesteps repeat blocks; share one synthesis cache.
     let cache = quest::BlockCache::new();
     for (name, gen) in [
-        ("TFIM", qbench::spin::tfim as fn(usize, usize, f64) -> qcircuit::Circuit),
+        (
+            "TFIM",
+            qbench::spin::tfim as fn(usize, usize, f64) -> qcircuit::Circuit,
+        ),
         ("Heisenberg", qbench::spin::heisenberg),
     ] {
         let mut rows = Vec::new();

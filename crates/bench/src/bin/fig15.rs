@@ -22,9 +22,7 @@ fn main() {
         cfg.synthesis.optimizer.restarts = 3;
         let mut result = Quest::new(cfg).compile(&circuit);
         bench::apply_qiskit_to_samples(&mut result);
-        let best = result
-            .min_cnot_sample()
-            .expect("QUEST selected no samples");
+        let best = result.min_cnot_sample().expect("QUEST selected no samples");
         let rows = vec![
             vec![
                 "Baseline".to_string(),

@@ -35,10 +35,7 @@ pub fn run_quest_cached(circuit: &Circuit, cache: &quest::BlockCache) -> QuestRe
 }
 
 /// Cached variant of [`run_quest_plus_qiskit`].
-pub fn run_quest_plus_qiskit_cached(
-    circuit: &Circuit,
-    cache: &quest::BlockCache,
-) -> QuestResult {
+pub fn run_quest_plus_qiskit_cached(circuit: &Circuit, cache: &quest::BlockCache) -> QuestResult {
     let mut result = run_quest_cached(circuit, cache);
     apply_qiskit_to_samples(&mut result);
     result
@@ -89,7 +86,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

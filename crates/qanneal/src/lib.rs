@@ -94,11 +94,20 @@ pub fn minimize_discrete(
     cfg: &AnnealConfig,
 ) -> AnnealOutcome {
     assert!(!arity.is_empty(), "need at least one dimension");
-    assert!(arity.iter().all(|&a| a > 0), "every dimension needs choices");
+    assert!(
+        arity.iter().all(|&a| a > 0),
+        "every dimension needs choices"
+    );
     let decode = |x: &[f64]| -> Vec<usize> {
         x.iter()
             .zip(arity)
-            .map(|(&xi, &a)| ((xi * a as f64) as usize).min(a - 1))
+            // xi ∈ [0, 1] and arities are small menu sizes, so the float→index
+            // cast is in-range; truncation toward zero is the intended floor.
+            .map(|(&xi, &a)| {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let idx = (xi * a as f64) as usize;
+                idx.min(a - 1)
+            })
             .collect()
     };
     let (best01, best_value, evals) = anneal01(&|x| f(&decode(x)), arity.len(), cfg);
@@ -135,7 +144,9 @@ pub fn minimize_continuous(
 ) -> ContinuousOutcome {
     assert!(!bounds.is_empty(), "need at least one dimension");
     assert!(
-        bounds.iter().all(|&(lo, hi)| hi > lo && lo.is_finite() && hi.is_finite()),
+        bounds
+            .iter()
+            .all(|&(lo, hi)| hi > lo && lo.is_finite() && hi.is_finite()),
         "bounds must be finite non-degenerate intervals"
     );
     let decode = |x: &[f64]| -> Vec<f64> {
@@ -287,6 +298,8 @@ fn ln_gamma(x: f64) -> f64 {
         (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x)
     } else {
         let x = x - 1.0;
+        // Published Lanczos (g = 7) base coefficient; quoted digits kept verbatim.
+        #[allow(clippy::excessive_precision)]
         let mut a = 0.999_999_999_999_809_93;
         for (i, c) in COEFFS.iter().enumerate() {
             a += c / (x + (i + 1) as f64);
@@ -403,9 +416,7 @@ mod tests {
 
     #[test]
     fn continuous_minimizes_shifted_sphere() {
-        let f = |x: &[f64]| {
-            (x[0] - 1.5).powi(2) + (x[1] + 0.5).powi(2)
-        };
+        let f = |x: &[f64]| (x[0] - 1.5).powi(2) + (x[1] + 0.5).powi(2);
         let cfg = AnnealConfig {
             max_evals: 8000,
             ..AnnealConfig::default()
@@ -437,7 +448,11 @@ mod tests {
         let f = |x: &[f64]| -x[0]; // minimized at the upper bound
         let out = minimize_continuous(&f, &[(2.0, 3.0)], &AnnealConfig::default());
         assert!((2.0..=3.0).contains(&out.best[0]));
-        assert!(out.best[0] > 2.9, "should push to the boundary: {}", out.best[0]);
+        assert!(
+            out.best[0] > 2.9,
+            "should push to the boundary: {}",
+            out.best[0]
+        );
     }
 
     #[test]

@@ -54,6 +54,8 @@ pub fn qft_on(c: &mut Circuit, qubits: &[usize]) {
     for i in 0..n {
         c.h(qubits[i]);
         for j in (i + 1)..n {
+            // Register widths are tiny; the bit-distance cast cannot truncate.
+            #[allow(clippy::cast_possible_truncation)]
             let theta = std::f64::consts::PI / f64::powi(2.0, (j - i) as i32);
             cphase(c, theta, qubits[j], qubits[i]);
         }
@@ -186,6 +188,8 @@ pub fn multiplier(width: usize) -> Circuit {
     let layout = MultiplierLayout { width };
     let mut c = Circuit::new(layout.num_qubits());
     let prod_bits = 2 * width;
+    // Operand widths are tiny; bit-count casts to i32 cannot truncate.
+    #[allow(clippy::cast_possible_truncation)]
     let modulus = f64::powi(2.0, prod_bits as i32);
     let prod_qubits: Vec<usize> = (0..prod_bits).map(|m| 4 * width - prod_bits + m).collect();
     qft_on(&mut c, &prod_qubits);
@@ -198,8 +202,8 @@ pub fn multiplier(width: usize) -> Circuit {
                 if exponent >= prod_bits {
                     continue; // full turns are identity
                 }
-                let theta =
-                    2.0 * std::f64::consts::PI * f64::powi(2.0, exponent as i32) / modulus;
+                #[allow(clippy::cast_possible_truncation)] // exponent < prod_bits ≪ i32::MAX
+                let theta = 2.0 * std::f64::consts::PI * f64::powi(2.0, exponent as i32) / modulus;
                 ccphase(&mut c, theta, layout.a(i), layout.b(j), layout.prod(k));
             }
         }
@@ -214,7 +218,7 @@ pub fn multiplier(width: usize) -> Circuit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qmath::{C64, Matrix};
+    use qmath::{Matrix, C64};
     use qsim::Statevector;
 
     /// Runs `c` on basis input `x` and asserts a deterministic output `y`.

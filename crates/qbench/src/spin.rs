@@ -69,7 +69,14 @@ pub fn yy_interaction(c: &mut Circuit, theta: f64, a: usize, b: usize) {
 /// assert_eq!(c.cnot_count(), 3 * 3 * 2); // 3 bonds × 3 steps × 2 CX each
 /// ```
 pub fn tfim(n: usize, steps: usize, dt: f64) -> Circuit {
-    tfim_with(n, steps, SpinParams { dt, ..Default::default() })
+    tfim_with(
+        n,
+        steps,
+        SpinParams {
+            dt,
+            ..Default::default()
+        },
+    )
 }
 
 /// TFIM evolution with explicit physics parameters.
@@ -91,7 +98,14 @@ pub fn tfim_with(n: usize, steps: usize, p: SpinParams) -> Circuit {
 
 /// XY-model evolution circuit (x and y couplings, no field).
 pub fn xy(n: usize, steps: usize, dt: f64) -> Circuit {
-    xy_with(n, steps, SpinParams { dt, ..Default::default() })
+    xy_with(
+        n,
+        steps,
+        SpinParams {
+            dt,
+            ..Default::default()
+        },
+    )
 }
 
 /// XY-model evolution with explicit physics parameters.
@@ -110,7 +124,14 @@ pub fn xy_with(n: usize, steps: usize, p: SpinParams) -> Circuit {
 
 /// Heisenberg-model evolution circuit (x, y and z couplings).
 pub fn heisenberg(n: usize, steps: usize, dt: f64) -> Circuit {
-    heisenberg_with(n, steps, SpinParams { dt, ..Default::default() })
+    heisenberg_with(
+        n,
+        steps,
+        SpinParams {
+            dt,
+            ..Default::default()
+        },
+    )
 }
 
 /// Heisenberg evolution with explicit physics parameters.
@@ -131,7 +152,7 @@ pub fn heisenberg_with(n: usize, steps: usize, p: SpinParams) -> Circuit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qmath::{C64, Matrix};
+    use qmath::{Matrix, C64};
 
     fn pauli(which: char) -> Matrix {
         let o = C64::ZERO;
@@ -215,13 +236,19 @@ mod tests {
                 let mut ops = vec![Matrix::identity(2); n];
                 ops[q] = pauli('z');
                 ops[q + 1] = pauli('z');
-                let term = ops.iter().skip(1).fold(ops[0].clone(), |acc, m| acc.kron(m));
+                let term = ops
+                    .iter()
+                    .skip(1)
+                    .fold(ops[0].clone(), |acc, m| acc.kron(m));
                 h = &h + &term;
             }
             for q in 0..n {
                 let mut ops = vec![Matrix::identity(2); n];
                 ops[q] = pauli('x');
-                let term = ops.iter().skip(1).fold(ops[0].clone(), |acc, m| acc.kron(m));
+                let term = ops
+                    .iter()
+                    .skip(1)
+                    .fold(ops[0].clone(), |acc, m| acc.kron(m));
                 h = &h + &term;
             }
             qmath::random::matrix_exp(&h.scaled(C64::new(0.0, -total_time)))

@@ -145,13 +145,14 @@ mod tests {
         for n in [2usize, 3, 5] {
             let probs = Statevector::run(&w_state(n)).probabilities();
             for (k, &p) in probs.iter().enumerate() {
-                if (k as u32).count_ones() == 1 {
-                    assert!(
-                        (p - 1.0 / n as f64).abs() < 1e-9,
-                        "n={n}, state {k}: p={p}"
-                    );
+                if k.count_ones() == 1 {
+                    assert!((p - 1.0 / n as f64).abs() < 1e-9, "n={n}, state {k}: p={p}");
                 } else {
-                    assert!(p < 1e-9, "n={n}: weight-{} state has mass {p}", k.count_ones());
+                    assert!(
+                        p < 1e-9,
+                        "n={n}: weight-{} state has mass {p}",
+                        k.count_ones()
+                    );
                 }
             }
         }

@@ -138,7 +138,10 @@ fn spin_models_conserve_symmetries() {
     // |0000⟩ (a magnetization eigenstate) the output stays |0000⟩-dominant
     // in total weight... specifically the support stays in the m=+1 sector:
     // only the all-zeros state.
-    for circ in [qbench::spin::xy(4, 3, 0.1), qbench::spin::heisenberg(4, 3, 0.1)] {
+    for circ in [
+        qbench::spin::xy(4, 3, 0.1),
+        qbench::spin::heisenberg(4, 3, 0.1),
+    ] {
         let probs = Statevector::run(&circ).probabilities();
         assert!(
             probs[0] > 0.999,

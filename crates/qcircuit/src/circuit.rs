@@ -275,17 +275,28 @@ impl Circuit {
 
     /// Appends all instructions of `other` (same width) to `self`.
     ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::WidthMismatch`] when the widths differ.
+    pub fn try_extend_from(&mut self, other: &Circuit) -> Result<&mut Self, CircuitError> {
+        if self.num_qubits != other.num_qubits {
+            return Err(CircuitError::WidthMismatch {
+                left: self.num_qubits,
+                right: other.num_qubits,
+            });
+        }
+        self.instructions.extend(other.instructions.iter().cloned());
+        Ok(self)
+    }
+
+    /// Appends all instructions of `other` (same width) to `self`.
+    ///
     /// # Panics
     ///
-    /// Panics if the widths differ.
+    /// Panics if the widths differ; see [`Circuit::try_extend_from`].
     pub fn extend_from(&mut self, other: &Circuit) -> &mut Self {
-        assert_eq!(
-            self.num_qubits, other.num_qubits,
-            "cannot compose circuits of different widths"
-        );
-        self.instructions
-            .extend(other.instructions.iter().cloned());
-        self
+        self.try_extend_from(other)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The inverse circuit: gates inverted, order reversed.
@@ -303,41 +314,80 @@ impl Circuit {
     ///
     /// Used to place a synthesized block back into the full circuit.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `mapping.len() != self.num_qubits()` or any mapped index is
-    /// `>= new_width`.
-    pub fn remapped(&self, mapping: &[usize], new_width: usize) -> Circuit {
-        assert_eq!(mapping.len(), self.num_qubits, "mapping length mismatch");
+    /// Returns [`CircuitError::MappingLength`] when
+    /// `mapping.len() != self.num_qubits()`, [`CircuitError::QubitOutOfRange`]
+    /// when a mapped index is `>= new_width`, and
+    /// [`CircuitError::DuplicateQubit`] when the mapping sends two operands
+    /// of one gate to the same target.
+    pub fn try_remapped(
+        &self,
+        mapping: &[usize],
+        new_width: usize,
+    ) -> Result<Circuit, CircuitError> {
+        if mapping.len() != self.num_qubits {
+            return Err(CircuitError::MappingLength {
+                expected: self.num_qubits,
+                actual: mapping.len(),
+            });
+        }
         let mut out = Circuit::new(new_width);
         for inst in &self.instructions {
             let qubits: Vec<usize> = inst.qubits.iter().map(|&q| mapping[q]).collect();
-            out.push(inst.gate, &qubits);
+            out.try_push(inst.gate, &qubits)?;
         }
-        out
+        Ok(out)
     }
+
+    /// Returns this circuit re-targeted onto a larger register: local qubit
+    /// `i` maps to `mapping[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid mapping; see [`Circuit::try_remapped`].
+    pub fn remapped(&self, mapping: &[usize], new_width: usize) -> Circuit {
+        self.try_remapped(mapping, new_width)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Width limit for [`Circuit::unitary`]: beyond 14 qubits the dense
+    /// matrix would exceed ~4 GiB.
+    pub const MAX_DENSE_QUBITS: usize = 14;
 
     /// The full `2^n × 2^n` unitary of the circuit.
     ///
     /// Cost is `O(len · 4^n)`; intended for circuits up to ~10 qubits (QUEST
     /// blocks are ≤4). Use `qsim`'s statevector simulator for larger widths.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics for circuits wider than 14 qubits, where the dense matrix
-    /// would exceed ~4 GiB.
-    pub fn unitary(&self) -> Matrix {
-        assert!(
-            self.num_qubits <= 14,
-            "dense unitary limited to 14 qubits; use a statevector simulator"
-        );
+    /// Returns [`CircuitError::TooWide`] for circuits wider than
+    /// [`Circuit::MAX_DENSE_QUBITS`].
+    pub fn try_unitary(&self) -> Result<Matrix, CircuitError> {
+        if self.num_qubits > Self::MAX_DENSE_QUBITS {
+            return Err(CircuitError::TooWide {
+                num_qubits: self.num_qubits,
+                max: Self::MAX_DENSE_QUBITS,
+            });
+        }
         let dim = 1usize << self.num_qubits;
         let mut u = Matrix::identity(dim);
         for inst in &self.instructions {
             let g = embed::embed(&inst.gate.matrix(), &inst.qubits, self.num_qubits);
             u = g.matmul(&u);
         }
-        u
+        Ok(u)
+    }
+
+    /// The full `2^n × 2^n` unitary of the circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics for circuits wider than [`Circuit::MAX_DENSE_QUBITS`]; see
+    /// [`Circuit::try_unitary`].
+    pub fn unitary(&self) -> Matrix {
+        self.try_unitary().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -370,7 +420,7 @@ impl Extend<Instruction> for Circuit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qmath::{C64, Vector};
+    use qmath::{Vector, C64};
 
     #[test]
     fn bell_state_unitary() {
@@ -412,6 +462,64 @@ mod tests {
         c.cnot(0, 1).cz(1, 2).swap(0, 2);
         assert_eq!(c.cnot_count(), 1 + 1 + 3);
         assert_eq!(c.two_qubit_count(), 3);
+    }
+
+    #[test]
+    fn try_extend_from_rejects_width_mismatch() {
+        let mut a = Circuit::new(2);
+        let b = Circuit::new(3);
+        assert_eq!(
+            a.try_extend_from(&b).unwrap_err(),
+            CircuitError::WidthMismatch { left: 2, right: 3 }
+        );
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.try_extend_from(&b).unwrap();
+    }
+
+    #[test]
+    fn try_remapped_rejects_bad_mappings() {
+        let mut block = Circuit::new(2);
+        block.cnot(0, 1);
+        assert_eq!(
+            block.try_remapped(&[0], 3).unwrap_err(),
+            CircuitError::MappingLength {
+                expected: 2,
+                actual: 1
+            }
+        );
+        assert_eq!(
+            block.try_remapped(&[0, 5], 3).unwrap_err(),
+            CircuitError::QubitOutOfRange {
+                qubit: 5,
+                num_qubits: 3
+            }
+        );
+        assert_eq!(
+            block.try_remapped(&[1, 1], 3).unwrap_err(),
+            CircuitError::DuplicateQubit { qubit: 1 }
+        );
+        assert!(block.try_remapped(&[2, 0], 3).is_ok());
+    }
+
+    #[test]
+    fn try_unitary_rejects_too_wide() {
+        let c = Circuit::new(Circuit::MAX_DENSE_QUBITS + 1);
+        assert_eq!(
+            c.try_unitary().unwrap_err(),
+            CircuitError::TooWide {
+                num_qubits: Circuit::MAX_DENSE_QUBITS + 1,
+                max: Circuit::MAX_DENSE_QUBITS
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot compose circuits of widths")]
+    fn extend_from_panics_with_typed_message() {
+        let mut a = Circuit::new(2);
+        let b = Circuit::new(3);
+        a.extend_from(&b);
     }
 
     #[test]

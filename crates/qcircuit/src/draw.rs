@@ -55,9 +55,9 @@ pub fn to_ascii(circuit: &Circuit) -> String {
                 cells[col][b] = tgt_sym.to_string();
                 // Vertical connector through intermediate wires.
                 let (lo, hi) = (a.min(b), a.max(b));
-                for q in (lo + 1)..hi {
-                    if cells[col][q].is_empty() {
-                        cells[col][q] = "│".to_string();
+                for cell in &mut cells[col][(lo + 1)..hi] {
+                    if cell.is_empty() {
+                        *cell = "│".to_string();
                     }
                 }
             }
@@ -71,8 +71,8 @@ pub fn to_ascii(circuit: &Circuit) -> String {
                 *inst.qubits.iter().min().unwrap(),
                 *inst.qubits.iter().max().unwrap(),
             );
-            for q in lo..=hi {
-                level[q] = level[q].max(col + 1);
+            for lvl in &mut level[lo..=hi] {
+                *lvl = (*lvl).max(col + 1);
             }
         }
     }
@@ -80,7 +80,13 @@ pub fn to_ascii(circuit: &Circuit) -> String {
     // Column widths.
     let widths: Vec<usize> = cells
         .iter()
-        .map(|col| col.iter().map(|c| c.chars().count()).max().unwrap_or(0).max(1))
+        .map(|col| {
+            col.iter()
+                .map(|c| c.chars().count())
+                .max()
+                .unwrap_or(0)
+                .max(1)
+        })
         .collect();
     let mut out = String::new();
     for q in 0..n {

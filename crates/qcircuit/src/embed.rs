@@ -5,7 +5,7 @@
 //! blocks acting on an arbitrary (possibly non-contiguous, possibly permuted)
 //! subset of qubits.
 
-use qmath::{C64, Matrix};
+use qmath::{Matrix, C64};
 
 /// Embeds a `2^k × 2^k` matrix acting on the ordered qubit list `qubits`
 /// into the full `2^n × 2^n` space.

@@ -5,7 +5,7 @@
 //! Cliffords and `U3` so benchmark circuits and transpiler output stay
 //! readable.
 
-use qmath::{C64, Matrix};
+use qmath::{Matrix, C64};
 use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
 use std::fmt;
 
@@ -135,7 +135,14 @@ impl Gate {
     pub fn is_diagonal(&self) -> bool {
         matches!(
             self,
-            Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::Rz(_) | Gate::Phase(_) | Gate::Cz
+            Gate::Z
+                | Gate::S
+                | Gate::Sdg
+                | Gate::T
+                | Gate::Tdg
+                | Gate::Rz(_)
+                | Gate::Phase(_)
+                | Gate::Cz
         )
     }
 
@@ -173,20 +180,12 @@ impl Gate {
             }
             Gate::Cnot => {
                 // Basis order |c t⟩: 00→00, 01→01, 10→11, 11→10.
-                Matrix::from_rows(&[
-                    &[l, o, o, o],
-                    &[o, l, o, o],
-                    &[o, o, o, l],
-                    &[o, o, l, o],
-                ])
+                Matrix::from_rows(&[&[l, o, o, o], &[o, l, o, o], &[o, o, o, l], &[o, o, l, o]])
             }
             Gate::Cz => Matrix::diagonal(&[l, l, l, -l]),
-            Gate::Swap => Matrix::from_rows(&[
-                &[l, o, o, o],
-                &[o, o, l, o],
-                &[o, l, o, o],
-                &[o, o, o, l],
-            ]),
+            Gate::Swap => {
+                Matrix::from_rows(&[&[l, o, o, o], &[o, o, l, o], &[o, l, o, o], &[o, o, o, l]])
+            }
         }
     }
 

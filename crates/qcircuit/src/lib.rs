@@ -69,13 +69,37 @@ pub enum CircuitError {
         /// Actual operand count.
         actual: usize,
     },
+    /// Two circuits of different widths were composed.
+    WidthMismatch {
+        /// Width of the receiving circuit.
+        left: usize,
+        /// Width of the other circuit.
+        right: usize,
+    },
+    /// A remapping had the wrong number of entries for the circuit width.
+    MappingLength {
+        /// The circuit width (expected mapping length).
+        expected: usize,
+        /// The mapping length provided.
+        actual: usize,
+    },
+    /// The circuit is too wide for a dense-unitary operation.
+    TooWide {
+        /// The circuit width.
+        num_qubits: usize,
+        /// The maximum width the operation supports.
+        max: usize,
+    },
 }
 
 impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {num_qubits}-qubit circuit"
+                )
             }
             CircuitError::DuplicateQubit { qubit } => {
                 write!(f, "qubit {qubit} used twice in one instruction")
@@ -85,6 +109,21 @@ impl fmt::Display for CircuitError {
                 expected,
                 actual,
             } => write!(f, "gate {gate} expects {expected} qubits, got {actual}"),
+            CircuitError::WidthMismatch { left, right } => {
+                write!(f, "cannot compose circuits of widths {left} and {right}")
+            }
+            CircuitError::MappingLength { expected, actual } => {
+                write!(
+                    f,
+                    "mapping has {actual} entries for a {expected}-qubit circuit"
+                )
+            }
+            CircuitError::TooWide { num_qubits, max } => {
+                write!(
+                    f,
+                    "{num_qubits}-qubit circuit exceeds the {max}-qubit dense limit"
+                )
+            }
         }
     }
 }

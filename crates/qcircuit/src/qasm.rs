@@ -103,7 +103,9 @@ pub fn parse(source: &str) -> Result<Circuit, QasmError> {
                 circuit = Some(Circuit::new(size));
                 continue;
             }
-            if stmt.starts_with("creg") || stmt.starts_with("barrier") || stmt.starts_with("measure")
+            if stmt.starts_with("creg")
+                || stmt.starts_with("barrier")
+                || stmt.starts_with("measure")
             {
                 continue;
             }

@@ -64,9 +64,8 @@ impl CouplingMap {
     /// Panics for fewer than 3 qubits.
     pub fn ring(num_qubits: usize) -> Self {
         assert!(num_qubits >= 3, "ring needs at least 3 qubits");
-        let edges: Vec<(usize, usize)> = (0..num_qubits)
-            .map(|q| (q, (q + 1) % num_qubits))
-            .collect();
+        let edges: Vec<(usize, usize)> =
+            (0..num_qubits).map(|q| (q, (q + 1) % num_qubits)).collect();
         CouplingMap::new(num_qubits, &edges)
     }
 
@@ -106,12 +105,12 @@ impl CouplingMap {
         seen[a] = true;
         queue.push_back((a, 0usize));
         while let Some((q, d)) = queue.pop_front() {
-            for next in 0..self.num_qubits {
-                if self.connected(q, next) && !seen[next] {
+            for (next, seen_next) in seen.iter_mut().enumerate() {
+                if self.connected(q, next) && !*seen_next {
                     if next == b {
                         return Some(d + 1);
                     }
-                    seen[next] = true;
+                    *seen_next = true;
                     queue.push_back((next, d + 1));
                 }
             }

@@ -1,0 +1,272 @@
+//! The analysis context: the circuit under inspection plus optional
+//! pipeline artifacts.
+//!
+//! A [`LintContext`] deliberately stores *raw* instruction lists rather than
+//! [`Circuit`] values: `Circuit` validates on construction, but the whole
+//! point of a verifier is to inspect IR that may be invalid — a parser bug,
+//! a corrupted partition, a miscounted report. [`qcircuit::Instruction`] is
+//! constructible without validation, so tests (and tools reading untrusted
+//! input) can build contexts the builder API would reject.
+
+use qcircuit::topology::CouplingMap;
+use qcircuit::{Circuit, Gate, Instruction};
+use qmath::Matrix;
+
+/// One block of a [`PartitionView`]: global qubits plus the block body over
+/// local indices `0..qubits.len()`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockView {
+    /// Global qubits, expected ascending; local qubit `i` is `qubits[i]`.
+    pub qubits: Vec<usize>,
+    /// Block body over local indices.
+    pub instructions: Vec<Instruction>,
+}
+
+/// A claimed partitioning of the context circuit, checked by the
+/// `partition-soundness` lint: the blocks must cover every instruction of
+/// the circuit exactly once, in order, with width at most
+/// `max_block_size`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionView {
+    /// The width budget the partitioner was configured with (4 in the
+    /// paper, Sec. 3.3).
+    pub max_block_size: usize,
+    /// Blocks in program order.
+    pub blocks: Vec<BlockView>,
+}
+
+impl PartitionView {
+    /// Builds a view from a real partitioner output.
+    pub fn from_partition(parts: &qpartition::PartitionedCircuit, max_block_size: usize) -> Self {
+        PartitionView {
+            max_block_size,
+            blocks: parts
+                .blocks()
+                .iter()
+                .map(|b| BlockView {
+                    qubits: b.qubits().to_vec(),
+                    instructions: b.circuit().instructions().to_vec(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The pre-routing circuit and final layout of a routed context circuit,
+/// checked semantically by the `topology` lint: un-permuting the routed
+/// circuit by `final_layout` must reproduce the original unitary up to
+/// global phase.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoutingView {
+    /// The circuit before routing, over logical qubits.
+    pub original: Vec<Instruction>,
+    /// Width of the original circuit (equals the routed width).
+    pub original_width: usize,
+    /// `final_layout[logical] = physical` after the routed circuit runs.
+    pub final_layout: Vec<usize>,
+}
+
+impl RoutingView {
+    /// Builds a view from a pre-routing circuit and the router's layout.
+    pub fn new(original: &Circuit, final_layout: Vec<usize>) -> Self {
+        RoutingView {
+            original: original.instructions().to_vec(),
+            original_width: original.num_qubits(),
+            final_layout,
+        }
+    }
+}
+
+/// A cached block unitary alongside the circuit it claims to represent,
+/// checked by the `unitarity-drift` lint.
+#[derive(Clone, Debug)]
+pub struct BlockReport {
+    /// Where the report came from (block index, cache key, …).
+    pub label: String,
+    /// Block width.
+    pub width: usize,
+    /// Block body over local indices.
+    pub instructions: Vec<Instruction>,
+    /// The unitary some cache or report claims equals the body's unitary.
+    pub cached_unitary: Matrix,
+}
+
+/// A claimed CNOT count for some instruction list, checked by the
+/// `cnot-accounting` lint against a recount.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CnotClaim {
+    /// Where the claim came from (sample index, report row, …).
+    pub label: String,
+    /// The claimed count.
+    pub claimed: usize,
+    /// The instructions the claim describes.
+    pub instructions: Vec<Instruction>,
+}
+
+/// Per-sample HS budget accounting, checked by the `hs-bound-budget` lint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampleBudget {
+    /// Where the sample came from.
+    pub label: String,
+    /// HS process distance of each selected block approximation.
+    pub block_distances: Vec<f64>,
+    /// The Σε bound the pipeline reported for the sample (Sec. 3.8).
+    pub claimed_bound: f64,
+}
+
+/// The HS-distance budget of a pipeline run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BudgetReport {
+    /// Configured per-block ε.
+    pub epsilon_per_block: f64,
+    /// Full-circuit threshold the run enforced (ε × number of blocks).
+    pub threshold: f64,
+    /// Number of partition blocks in the run.
+    pub num_blocks: usize,
+    /// Per-sample accounting.
+    pub samples: Vec<SampleBudget>,
+}
+
+/// Everything a lint may inspect. Built with [`LintContext::for_circuit`]
+/// or [`LintContext::from_raw`] plus `with_*` builder calls.
+pub struct LintContext<'a> {
+    num_qubits: usize,
+    instructions: &'a [Instruction],
+    coupling: Option<&'a CouplingMap>,
+    partition: Option<PartitionView>,
+    routing: Option<RoutingView>,
+    block_reports: Vec<BlockReport>,
+    cnot_claims: Vec<CnotClaim>,
+    budget: Option<BudgetReport>,
+}
+
+impl<'a> LintContext<'a> {
+    /// Context over a validated circuit.
+    pub fn for_circuit(circuit: &'a Circuit) -> Self {
+        Self::from_raw(circuit.num_qubits(), circuit.instructions())
+    }
+
+    /// Context over a raw (possibly invalid) instruction list.
+    pub fn from_raw(num_qubits: usize, instructions: &'a [Instruction]) -> Self {
+        LintContext {
+            num_qubits,
+            instructions,
+            coupling: None,
+            partition: None,
+            routing: None,
+            block_reports: Vec::new(),
+            cnot_claims: Vec::new(),
+            budget: None,
+        }
+    }
+
+    /// Declares the device topology the circuit must comply with.
+    #[must_use]
+    pub fn with_coupling(mut self, map: &'a CouplingMap) -> Self {
+        self.coupling = Some(map);
+        self
+    }
+
+    /// Attaches a claimed partitioning of the circuit.
+    #[must_use]
+    pub fn with_partition(mut self, view: PartitionView) -> Self {
+        self.partition = Some(view);
+        self
+    }
+
+    /// Declares the circuit to be the routed form of `view.original`.
+    #[must_use]
+    pub fn with_routing(mut self, view: RoutingView) -> Self {
+        self.routing = Some(view);
+        self
+    }
+
+    /// Attaches a cached-unitary report.
+    #[must_use]
+    pub fn with_block_report(mut self, report: BlockReport) -> Self {
+        self.block_reports.push(report);
+        self
+    }
+
+    /// Attaches a CNOT-count claim.
+    #[must_use]
+    pub fn with_cnot_claim(mut self, claim: CnotClaim) -> Self {
+        self.cnot_claims.push(claim);
+        self
+    }
+
+    /// Attaches the run's HS budget accounting.
+    #[must_use]
+    pub fn with_budget(mut self, budget: BudgetReport) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Width of the analyzed circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The analyzed instruction list.
+    pub fn instructions(&self) -> &[Instruction] {
+        self.instructions
+    }
+
+    /// The declared topology, if any.
+    pub fn coupling(&self) -> Option<&CouplingMap> {
+        self.coupling
+    }
+
+    /// The claimed partition, if any.
+    pub fn partition(&self) -> Option<&PartitionView> {
+        self.partition.as_ref()
+    }
+
+    /// The routing provenance, if any.
+    pub fn routing(&self) -> Option<&RoutingView> {
+        self.routing.as_ref()
+    }
+
+    /// Cached-unitary reports.
+    pub fn block_reports(&self) -> &[BlockReport] {
+        &self.block_reports
+    }
+
+    /// CNOT-count claims.
+    pub fn cnot_claims(&self) -> &[CnotClaim] {
+        &self.cnot_claims
+    }
+
+    /// The HS budget accounting, if any.
+    pub fn budget(&self) -> Option<&BudgetReport> {
+        self.budget.as_ref()
+    }
+
+    /// Rebuilds a validated [`Circuit`] from the raw instructions, or `None`
+    /// when they are invalid (in which case `qubit-bounds` already fires).
+    pub fn to_circuit(&self) -> Option<Circuit> {
+        build_circuit(self.num_qubits, self.instructions)
+    }
+}
+
+/// Validates-and-builds a circuit from raw instructions.
+pub(crate) fn build_circuit(num_qubits: usize, instructions: &[Instruction]) -> Option<Circuit> {
+    let mut c = Circuit::new(num_qubits);
+    for inst in instructions {
+        c.try_push(inst.gate, &inst.qubits).ok()?;
+    }
+    Some(c)
+}
+
+/// CNOT count of a raw instruction list, with the same hardware weighting
+/// as [`Circuit::cnot_count`]: CZ counts 1, SWAP counts 3.
+pub(crate) fn cnot_count(instructions: &[Instruction]) -> usize {
+    instructions
+        .iter()
+        .map(|i| match i.gate {
+            Gate::Cnot | Gate::Cz => 1,
+            Gate::Swap => 3,
+            _ => 0,
+        })
+        .sum()
+}

@@ -1,0 +1,197 @@
+//! Static analysis for the circuit IR.
+//!
+//! QUEST's output is only trustworthy when a handful of structural
+//! invariants hold: partitions must cover every gate exactly once with
+//! bounded-width blocks (paper Sec. 3.3), routed circuits must respect the
+//! device coupling map, synthesized blocks must stay within the HS-distance
+//! budget that makes the Sec. 3.8 fidelity bound valid, and every CNOT count
+//! the pipeline reports must match the circuit it describes. This crate
+//! checks those invariants *from the outside*: a [`Lint`] inspects a
+//! [`LintContext`] — the circuit under analysis plus whatever pipeline
+//! artifacts are available (partition, routing layout, block unitaries,
+//! count claims, budget reports) — and emits [`Finding`]s.
+//!
+//! Lints are deliberately decoupled from the pipeline that produced the
+//! artifacts: the context can be built from a freshly parsed QASM file, from
+//! a `quest` pipeline result, or from hand-constructed (possibly invalid)
+//! instruction lists in tests. Lints that need an
+//! artifact the context does not carry simply pass.
+//!
+//! ```
+//! use qcircuit::Circuit;
+//! use qlint::{LintContext, Registry};
+//!
+//! let mut c = Circuit::new(2);
+//! c.h(0).cnot(0, 1);
+//! let findings = Registry::with_builtin_lints().run(&LintContext::for_circuit(&c));
+//! assert!(findings.is_empty());
+//! ```
+
+pub mod context;
+pub mod lints;
+
+pub use context::{
+    BlockReport, BlockView, BudgetReport, CnotClaim, LintContext, PartitionView, RoutingView,
+    SampleBudget,
+};
+
+use std::fmt;
+
+/// How severe a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not necessarily wrong (e.g. a declared-but-unused
+    /// qubit wastes hardware and usually indicates a width bug upstream).
+    Warning,
+    /// An invariant violation: the circuit or report is wrong.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A single lint finding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Finding {
+    /// Name of the lint that produced this finding.
+    pub lint: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Index of the offending instruction in the analyzed circuit, when the
+    /// finding is attributable to one.
+    pub instruction: Option<usize>,
+}
+
+impl Finding {
+    /// Creates an error-severity finding.
+    pub fn error(lint: &'static str, message: impl Into<String>) -> Self {
+        Finding {
+            lint,
+            severity: Severity::Error,
+            message: message.into(),
+            instruction: None,
+        }
+    }
+
+    /// Creates a warning-severity finding.
+    pub fn warning(lint: &'static str, message: impl Into<String>) -> Self {
+        Finding {
+            lint,
+            severity: Severity::Warning,
+            message: message.into(),
+            instruction: None,
+        }
+    }
+
+    /// Attaches an instruction index.
+    #[must_use]
+    pub fn at(mut self, instruction: usize) -> Self {
+        self.instruction = Some(instruction);
+        self
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.lint, self.message)?;
+        if let Some(i) = self.instruction {
+            write!(f, " (instruction {i})")?;
+        }
+        Ok(())
+    }
+}
+
+/// A check over a [`LintContext`].
+///
+/// Implementations must be *total*: a lint whose required artifact is absent
+/// from the context reports nothing rather than erroring.
+pub trait Lint {
+    /// Stable kebab-case identifier, used in [`Finding::lint`].
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list`-style output.
+    fn description(&self) -> &'static str;
+    /// Runs the check, appending findings to `out`.
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Finding>);
+}
+
+/// An ordered collection of lints run as one pass.
+pub struct Registry {
+    lints: Vec<Box<dyn Lint>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry { lints: Vec::new() }
+    }
+
+    /// A registry preloaded with every built-in lint.
+    pub fn with_builtin_lints() -> Self {
+        let mut r = Registry::new();
+        r.register(Box::new(lints::QubitBounds));
+        r.register(Box::new(lints::DanglingQubit));
+        r.register(Box::new(lints::TopologyCompliance::default()));
+        r.register(Box::new(lints::PartitionSoundness));
+        r.register(Box::new(lints::UnitarityDrift::default()));
+        r.register(Box::new(lints::QasmRoundTrip));
+        r.register(Box::new(lints::CnotAccounting));
+        r.register(Box::new(lints::HsBoundBudget::default()));
+        r
+    }
+
+    /// Adds a lint to the end of the run order.
+    pub fn register(&mut self, lint: Box<dyn Lint>) {
+        self.lints.push(lint);
+    }
+
+    /// Number of registered lints.
+    pub fn len(&self) -> usize {
+        self.lints.len()
+    }
+
+    /// Returns `true` when no lints are registered.
+    pub fn is_empty(&self) -> bool {
+        self.lints.is_empty()
+    }
+
+    /// `(name, description)` of every registered lint, in run order.
+    pub fn descriptions(&self) -> Vec<(&'static str, &'static str)> {
+        self.lints
+            .iter()
+            .map(|l| (l.name(), l.description()))
+            .collect()
+    }
+
+    /// Runs every lint over `ctx`, collecting all findings.
+    pub fn run(&self, ctx: &LintContext<'_>) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for lint in &self.lints {
+            lint.check(ctx, &mut out);
+        }
+        out
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_builtin_lints()
+    }
+}
+
+/// Convenience: runs all built-in lints over `ctx`.
+pub fn lint(ctx: &LintContext<'_>) -> Vec<Finding> {
+    Registry::with_builtin_lints().run(ctx)
+}
+
+/// Returns `true` when any finding is [`Severity::Error`].
+pub fn has_errors(findings: &[Finding]) -> bool {
+    findings.iter().any(|f| f.severity == Severity::Error)
+}

@@ -1,0 +1,594 @@
+//! The built-in lints.
+//!
+//! Each lint checks one invariant the QUEST pipeline relies on. Lints whose
+//! required artifact (coupling map, partition view, …) is absent from the
+//! context report nothing — see the [`Lint`] contract.
+
+use crate::context::{build_circuit, cnot_count};
+use crate::{Finding, Lint, LintContext};
+use qcircuit::{Circuit, Instruction};
+use qmath::hs;
+
+/// Dense-unitary comparisons are `O(4^n)`; above this width the semantic
+/// lints fall back to structural checks only.
+const MAX_DENSE_QUBITS: usize = 10;
+
+// ---------------------------------------------------------------------------
+// 1. qubit-bounds
+// ---------------------------------------------------------------------------
+
+/// Every instruction's operands must match the gate arity, lie inside the
+/// register, and be pairwise distinct.
+pub struct QubitBounds;
+
+impl Lint for QubitBounds {
+    fn name(&self) -> &'static str {
+        "qubit-bounds"
+    }
+
+    fn description(&self) -> &'static str {
+        "operand count matches gate arity; indices in range and distinct"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Finding>) {
+        for (i, inst) in ctx.instructions().iter().enumerate() {
+            let expected = inst.gate.num_qubits();
+            if inst.qubits.len() != expected {
+                out.push(
+                    Finding::error(
+                        self.name(),
+                        format!(
+                            "gate `{}` expects {expected} operand(s), got {}",
+                            inst.gate.name(),
+                            inst.qubits.len()
+                        ),
+                    )
+                    .at(i),
+                );
+                continue;
+            }
+            for (k, &q) in inst.qubits.iter().enumerate() {
+                if q >= ctx.num_qubits() {
+                    out.push(
+                        Finding::error(
+                            self.name(),
+                            format!(
+                                "qubit {q} out of range for {}-qubit circuit",
+                                ctx.num_qubits()
+                            ),
+                        )
+                        .at(i),
+                    );
+                }
+                if inst.qubits[..k].contains(&q) {
+                    out.push(
+                        Finding::error(
+                            self.name(),
+                            format!("qubit {q} used twice in one instruction"),
+                        )
+                        .at(i),
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. dangling-qubit
+// ---------------------------------------------------------------------------
+
+/// Declared qubits that no instruction touches. Usually a width bug in
+/// whatever produced the circuit (QUEST blocks, by construction, touch
+/// every qubit they declare).
+pub struct DanglingQubit;
+
+impl Lint for DanglingQubit {
+    fn name(&self) -> &'static str {
+        "dangling-qubit"
+    }
+
+    fn description(&self) -> &'static str {
+        "declared qubits never touched by any instruction"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Finding>) {
+        if ctx.instructions().is_empty() {
+            return; // an empty circuit is vacuously fine
+        }
+        let mut touched = vec![false; ctx.num_qubits()];
+        for inst in ctx.instructions() {
+            for &q in &inst.qubits {
+                if let Some(t) = touched.get_mut(q) {
+                    *t = true;
+                }
+            }
+        }
+        for (q, &t) in touched.iter().enumerate() {
+            if !t {
+                out.push(Finding::warning(
+                    self.name(),
+                    format!("qubit {q} is declared but never used"),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. topology
+// ---------------------------------------------------------------------------
+
+/// Routed circuits must respect the device topology, and — when routing
+/// provenance is attached — must still compute the original circuit once
+/// the final layout is undone.
+///
+/// The structural half flags two-qubit gates on uncoupled pairs. The
+/// semantic half catches bugs the edge check cannot see on undirected maps,
+/// e.g. a CNOT whose control/target were swapped during routing.
+pub struct TopologyCompliance {
+    /// Unitary-comparison tolerance for the semantic check.
+    pub tol: f64,
+}
+
+impl Default for TopologyCompliance {
+    fn default() -> Self {
+        TopologyCompliance { tol: 1e-9 }
+    }
+}
+
+impl Lint for TopologyCompliance {
+    fn name(&self) -> &'static str {
+        "topology"
+    }
+
+    fn description(&self) -> &'static str {
+        "two-qubit gates on coupled pairs; routing preserves semantics"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Finding>) {
+        if let Some(map) = ctx.coupling() {
+            if map.num_qubits() != ctx.num_qubits() {
+                out.push(Finding::error(
+                    self.name(),
+                    format!(
+                        "coupling map has {} qubits but circuit has {}",
+                        map.num_qubits(),
+                        ctx.num_qubits()
+                    ),
+                ));
+            } else {
+                for (i, inst) in ctx.instructions().iter().enumerate() {
+                    if inst.gate.is_two_qubit() && inst.qubits.len() == 2 {
+                        let (a, b) = (inst.qubits[0], inst.qubits[1]);
+                        if a < map.num_qubits() && b < map.num_qubits() && !map.connected(a, b) {
+                            out.push(
+                                Finding::error(
+                                    self.name(),
+                                    format!("`{}` on uncoupled pair ({a}, {b})", inst.gate.name()),
+                                )
+                                .at(i),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        let Some(view) = ctx.routing() else { return };
+        if view.original_width != ctx.num_qubits() {
+            out.push(Finding::error(
+                self.name(),
+                format!(
+                    "routing changed the register width: {} -> {}",
+                    view.original_width,
+                    ctx.num_qubits()
+                ),
+            ));
+            return;
+        }
+        let n = ctx.num_qubits();
+        let mut seen = vec![false; n];
+        let layout_ok = view.final_layout.len() == n
+            && view
+                .final_layout
+                .iter()
+                .all(|&p| p < n && !std::mem::replace(&mut seen[p], true));
+        if !layout_ok {
+            out.push(Finding::error(
+                self.name(),
+                format!(
+                    "final layout {:?} is not a permutation of 0..{n}",
+                    view.final_layout
+                ),
+            ));
+            return;
+        }
+        if n > MAX_DENSE_QUBITS {
+            return; // structural checks only beyond dense-unitary reach
+        }
+        let (Some(routed), Some(original)) = (
+            ctx.to_circuit(),
+            build_circuit(view.original_width, &view.original),
+        ) else {
+            return; // qubit-bounds reports the invalid instructions
+        };
+        // Undo the layout with explicit SWAPs, then the circuits must agree
+        // up to global phase.
+        let mut fixed = routed;
+        let mut layout = view.final_layout.clone();
+        for l in 0..n {
+            while layout[l] != l {
+                let p = layout[l];
+                fixed.swap(p, l);
+                for x in &mut layout {
+                    if *x == p {
+                        *x = l;
+                    } else if *x == l {
+                        *x = p;
+                    }
+                }
+            }
+        }
+        if !fixed
+            .unitary()
+            .approx_eq_phase(&original.unitary(), self.tol)
+        {
+            out.push(Finding::error(
+                self.name(),
+                "routed circuit does not compute the original circuit after \
+                 undoing the final layout",
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4. partition-soundness
+// ---------------------------------------------------------------------------
+
+/// A partition must cover every instruction of the circuit exactly once, in
+/// program order, with blocks no wider than the configured budget
+/// (paper Sec. 3.3: blocks of at most 4 qubits compose to the circuit).
+pub struct PartitionSoundness;
+
+impl Lint for PartitionSoundness {
+    fn name(&self) -> &'static str {
+        "partition-soundness"
+    }
+
+    fn description(&self) -> &'static str {
+        "blocks cover every gate exactly once within the width budget"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Finding>) {
+        let Some(view) = ctx.partition() else { return };
+        let mut reconstructed: Vec<Instruction> = Vec::new();
+        for (bi, block) in view.blocks.iter().enumerate() {
+            let w = block.qubits.len();
+            if w > view.max_block_size {
+                out.push(Finding::error(
+                    self.name(),
+                    format!(
+                        "block {bi} spans {w} qubits, budget is {}",
+                        view.max_block_size
+                    ),
+                ));
+            }
+            if !block.qubits.windows(2).all(|p| p[0] < p[1]) {
+                out.push(Finding::error(
+                    self.name(),
+                    format!(
+                        "block {bi} qubit list {:?} not strictly ascending",
+                        block.qubits
+                    ),
+                ));
+            }
+            if let Some(&q) = block.qubits.iter().find(|&&q| q >= ctx.num_qubits()) {
+                out.push(Finding::error(
+                    self.name(),
+                    format!("block {bi} maps to out-of-range global qubit {q}"),
+                ));
+                continue;
+            }
+            for inst in &block.instructions {
+                if inst.qubits.iter().any(|&lq| lq >= w) {
+                    out.push(Finding::error(
+                        self.name(),
+                        format!(
+                            "block {bi} instruction `{}` uses a local index outside 0..{w}",
+                            inst.gate.name()
+                        ),
+                    ));
+                    return; // cannot remap; cover check would be garbage
+                }
+                let global: Vec<usize> = inst.qubits.iter().map(|&lq| block.qubits[lq]).collect();
+                reconstructed.push(Instruction::new(inst.gate, global));
+            }
+        }
+        if reconstructed.len() != ctx.instructions().len() {
+            out.push(Finding::error(
+                self.name(),
+                format!(
+                    "partition holds {} instruction(s) but the circuit has {} \
+                     — gates dropped or duplicated",
+                    reconstructed.len(),
+                    ctx.instructions().len()
+                ),
+            ));
+            return;
+        }
+        for (i, (got, want)) in reconstructed.iter().zip(ctx.instructions()).enumerate() {
+            if got != want {
+                out.push(
+                    Finding::error(
+                        self.name(),
+                        format!(
+                            "partition disagrees with the circuit: block gate `{got}` \
+                             vs circuit gate `{want}`"
+                        ),
+                    )
+                    .at(i),
+                );
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 5. unitarity-drift
+// ---------------------------------------------------------------------------
+
+/// Cached block unitaries must (a) still be unitary and (b) match a fresh
+/// recomputation from the block body. Catches stale caches and numerical
+/// drift that would silently invalidate every downstream HS distance.
+pub struct UnitarityDrift {
+    /// Maximum tolerated HS process distance between cached and recomputed.
+    pub tol: f64,
+}
+
+impl Default for UnitarityDrift {
+    fn default() -> Self {
+        UnitarityDrift { tol: 1e-6 }
+    }
+}
+
+impl Lint for UnitarityDrift {
+    fn name(&self) -> &'static str {
+        "unitarity-drift"
+    }
+
+    fn description(&self) -> &'static str {
+        "cached block unitaries are unitary and match recomputation"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Finding>) {
+        for report in ctx.block_reports() {
+            let dim = 1usize << report.width;
+            if report.cached_unitary.rows() != dim || report.cached_unitary.cols() != dim {
+                out.push(Finding::error(
+                    self.name(),
+                    format!(
+                        "{}: cached matrix is {}x{}, expected {dim}x{dim} for width {}",
+                        report.label,
+                        report.cached_unitary.rows(),
+                        report.cached_unitary.cols(),
+                        report.width
+                    ),
+                ));
+                continue;
+            }
+            if !report.cached_unitary.is_unitary(self.tol.max(1e-9)) {
+                out.push(Finding::error(
+                    self.name(),
+                    format!("{}: cached matrix is not unitary", report.label),
+                ));
+                continue;
+            }
+            if report.width > MAX_DENSE_QUBITS {
+                continue;
+            }
+            let Some(body) = build_circuit(report.width, &report.instructions) else {
+                out.push(Finding::error(
+                    self.name(),
+                    format!("{}: block body is not a valid circuit", report.label),
+                ));
+                continue;
+            };
+            let drift = hs::process_distance(&report.cached_unitary, &body.unitary());
+            if drift > self.tol {
+                out.push(Finding::error(
+                    self.name(),
+                    format!(
+                        "{}: cached unitary drifted {drift:.3e} from the block \
+                         body (tolerance {:.1e})",
+                        report.label, self.tol
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 6. qasm-roundtrip
+// ---------------------------------------------------------------------------
+
+/// Emitting the circuit as OpenQASM and re-parsing it must reproduce the
+/// circuit. Guards the exchange format every sample leaves the pipeline
+/// through.
+pub struct QasmRoundTrip;
+
+/// Structural circuit comparison with a small tolerance on gate parameters
+/// (the printed form has finite precision).
+fn same_structure(a: &Circuit, b: &Circuit, tol: f64) -> bool {
+    a.num_qubits() == b.num_qubits()
+        && a.len() == b.len()
+        && a.iter().zip(b.iter()).all(|(x, y)| {
+            x.qubits == y.qubits
+                && x.gate.name() == y.gate.name()
+                && x.gate.params().len() == y.gate.params().len()
+                && x.gate
+                    .params()
+                    .iter()
+                    .zip(y.gate.params())
+                    .all(|(p, q)| (p - q).abs() <= tol)
+        })
+}
+
+impl Lint for QasmRoundTrip {
+    fn name(&self) -> &'static str {
+        "qasm-roundtrip"
+    }
+
+    fn description(&self) -> &'static str {
+        "emit → parse reproduces the circuit"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Finding>) {
+        let Some(circuit) = ctx.to_circuit() else {
+            return; // qubit-bounds reports invalid instructions
+        };
+        if circuit.is_empty() {
+            return; // the emitter needs a non-empty register to round-trip
+        }
+        let text = qcircuit::qasm::emit(&circuit);
+        match qcircuit::qasm::parse(&text) {
+            Err(e) => out.push(Finding::error(
+                self.name(),
+                format!("emitted QASM does not re-parse: {e}"),
+            )),
+            Ok(back) => {
+                if !same_structure(&circuit, &back, 1e-9) {
+                    out.push(Finding::error(
+                        self.name(),
+                        "re-parsed circuit differs from the original",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 7. cnot-accounting
+// ---------------------------------------------------------------------------
+
+/// Every CNOT count the pipeline reports must match a recount of the
+/// circuit it describes (CZ = 1, SWAP = 3, as in `Circuit::cnot_count`).
+/// QUEST's entire cost model is CNOT counts; a miscount silently corrupts
+/// the Pareto trade-off.
+pub struct CnotAccounting;
+
+impl Lint for CnotAccounting {
+    fn name(&self) -> &'static str {
+        "cnot-accounting"
+    }
+
+    fn description(&self) -> &'static str {
+        "reported CNOT counts match a recount of the circuit"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Finding>) {
+        for claim in ctx.cnot_claims() {
+            let actual = cnot_count(&claim.instructions);
+            if actual != claim.claimed {
+                out.push(Finding::error(
+                    self.name(),
+                    format!(
+                        "{}: claims {} CNOT(s) but the circuit has {actual}",
+                        claim.label, claim.claimed
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 8. hs-bound-budget
+// ---------------------------------------------------------------------------
+
+/// The Sec. 3.8 guarantee: a sample's process distance is bounded by the
+/// sum of its blocks' distances, and selection must keep that sum under the
+/// configured threshold. The lint re-derives each sample's bound from its
+/// per-block distances and checks both the arithmetic and the budget.
+pub struct HsBoundBudget {
+    /// Slack for floating-point accumulation.
+    pub tol: f64,
+}
+
+impl Default for HsBoundBudget {
+    fn default() -> Self {
+        HsBoundBudget { tol: 1e-9 }
+    }
+}
+
+impl Lint for HsBoundBudget {
+    fn name(&self) -> &'static str {
+        "hs-bound-budget"
+    }
+
+    fn description(&self) -> &'static str {
+        "sample bounds equal the sum of block distances and respect ε"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Finding>) {
+        let Some(budget) = ctx.budget() else { return };
+        let expected_threshold = budget.epsilon_per_block * budget.num_blocks as f64;
+        if (budget.threshold - expected_threshold).abs() > self.tol.max(1e-12) {
+            out.push(Finding::error(
+                self.name(),
+                format!(
+                    "threshold {} != ε × blocks = {} × {} = {expected_threshold}",
+                    budget.threshold, budget.epsilon_per_block, budget.num_blocks
+                ),
+            ));
+        }
+        for sample in &budget.samples {
+            if sample.block_distances.len() != budget.num_blocks {
+                out.push(Finding::error(
+                    self.name(),
+                    format!(
+                        "{}: {} block distance(s) for a {}-block run",
+                        sample.label,
+                        sample.block_distances.len(),
+                        budget.num_blocks
+                    ),
+                ));
+                continue;
+            }
+            if let Some(d) = sample
+                .block_distances
+                .iter()
+                .find(|d| !d.is_finite() || **d < 0.0)
+            {
+                out.push(Finding::error(
+                    self.name(),
+                    format!("{}: invalid block distance {d}", sample.label),
+                ));
+                continue;
+            }
+            let sum: f64 = sample.block_distances.iter().sum();
+            if (sum - sample.claimed_bound).abs() > self.tol {
+                out.push(Finding::error(
+                    self.name(),
+                    format!(
+                        "{}: claimed bound {} but block distances sum to {sum}",
+                        sample.label, sample.claimed_bound
+                    ),
+                ));
+            }
+            if sum > budget.threshold + self.tol {
+                out.push(Finding::error(
+                    self.name(),
+                    format!(
+                        "{}: bound {sum} exceeds the Σε threshold {}",
+                        sample.label, budget.threshold
+                    ),
+                ));
+            }
+        }
+    }
+}

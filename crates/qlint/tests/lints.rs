@@ -1,0 +1,376 @@
+//! One positive (lint fires) and one negative (clean input passes) test per
+//! built-in lint.
+
+use qcircuit::topology::CouplingMap;
+use qcircuit::{Circuit, Gate, Instruction};
+use qlint::{
+    lint, BlockReport, BudgetReport, CnotClaim, LintContext, PartitionView, Registry, RoutingView,
+    SampleBudget, Severity,
+};
+use qpartition::scan_partition;
+
+fn ghz(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cnot(q, q + 1);
+    }
+    c
+}
+
+fn names(findings: &[qlint::Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.lint).collect()
+}
+
+#[test]
+fn registry_has_eight_distinct_builtin_lints() {
+    let reg = Registry::with_builtin_lints();
+    assert_eq!(reg.len(), 8);
+    let mut seen = std::collections::HashSet::new();
+    for (name, desc) in reg.descriptions() {
+        assert!(seen.insert(name), "duplicate lint name {name}");
+        assert!(!desc.is_empty());
+    }
+}
+
+// --- qubit-bounds ---------------------------------------------------------
+
+#[test]
+fn qubit_bounds_clean_circuit_passes() {
+    let c = ghz(3);
+    assert!(lint(&LintContext::for_circuit(&c)).is_empty());
+}
+
+#[test]
+fn qubit_bounds_flags_range_arity_and_duplicates() {
+    let insts = vec![
+        Instruction::new(Gate::H, vec![5]),       // out of range
+        Instruction::new(Gate::Cnot, vec![0]),    // arity
+        Instruction::new(Gate::Cnot, vec![1, 1]), // duplicate
+        Instruction::new(Gate::X, vec![0]),       // fine
+    ];
+    let ctx = LintContext::from_raw(2, &insts);
+    let findings = lint(&ctx);
+    let bounds: Vec<_> = findings
+        .iter()
+        .filter(|f| f.lint == "qubit-bounds")
+        .collect();
+    assert_eq!(bounds.len(), 3, "{findings:?}");
+    assert!(bounds.iter().all(|f| f.severity == Severity::Error));
+    assert_eq!(bounds[0].instruction, Some(0));
+    assert_eq!(bounds[1].instruction, Some(1));
+    assert_eq!(bounds[2].instruction, Some(2));
+}
+
+// --- dangling-qubit -------------------------------------------------------
+
+#[test]
+fn dangling_qubit_flags_untouched_qubit_as_warning() {
+    let mut c = Circuit::new(4);
+    c.h(0).cnot(0, 1).h(3);
+    let findings = lint(&LintContext::for_circuit(&c));
+    assert_eq!(names(&findings), vec!["dangling-qubit"]);
+    assert_eq!(findings[0].severity, Severity::Warning);
+    assert!(findings[0].message.contains("qubit 2"));
+}
+
+#[test]
+fn dangling_qubit_quiet_when_all_qubits_used() {
+    let c = ghz(4);
+    assert!(lint(&LintContext::for_circuit(&c)).is_empty());
+}
+
+// --- topology -------------------------------------------------------------
+
+#[test]
+fn topology_flags_gate_on_uncoupled_pair() {
+    let mut c = Circuit::new(3);
+    c.h(0).cnot(0, 2).cnot(0, 1).cnot(1, 2);
+    let map = CouplingMap::line(3);
+    let findings = lint(&LintContext::for_circuit(&c).with_coupling(&map));
+    assert_eq!(names(&findings), vec!["topology"]);
+    assert_eq!(findings[0].instruction, Some(1));
+    assert!(findings[0].message.contains("(0, 2)"));
+}
+
+#[test]
+fn topology_accepts_faithfully_routed_circuit() {
+    let mut c = Circuit::new(4);
+    c.h(0).cnot(0, 3).rz(3, 0.4).cnot(1, 2);
+    let map = CouplingMap::line(4);
+    let routed = qtranspile::routing::route(&c, &map);
+    let ctx = LintContext::for_circuit(&routed.circuit)
+        .with_coupling(&map)
+        .with_routing(RoutingView::new(&c, routed.final_layout.clone()));
+    assert!(lint(&ctx).is_empty());
+}
+
+#[test]
+fn topology_flags_swapped_cnot_direction_after_routing() {
+    let mut c = Circuit::new(4);
+    c.h(0).cnot(0, 3).rz(3, 0.4).cnot(1, 2);
+    let map = CouplingMap::line(4);
+    let routed = qtranspile::routing::route(&c, &map);
+    // Reverse the operands of the first CNOT in the routed circuit. The
+    // pair stays coupled (undirected map), so only the semantic check can
+    // catch it.
+    let mut broken: Vec<Instruction> = routed.circuit.instructions().to_vec();
+    let idx = broken
+        .iter()
+        .position(|i| i.gate == Gate::Cnot)
+        .expect("routed circuit has a CNOT");
+    broken[idx].qubits.reverse();
+    let ctx = LintContext::from_raw(4, &broken)
+        .with_coupling(&map)
+        .with_routing(RoutingView::new(&c, routed.final_layout.clone()));
+    let findings = lint(&ctx);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.lint == "topology" && f.message.contains("does not compute")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn topology_flags_bad_final_layout() {
+    let c = ghz(3);
+    let ctx = LintContext::for_circuit(&c).with_routing(RoutingView::new(&c, vec![0, 0, 2]));
+    let findings = lint(&ctx);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.lint == "topology" && f.message.contains("not a permutation")),
+        "{findings:?}"
+    );
+}
+
+// --- partition-soundness --------------------------------------------------
+
+#[test]
+fn partition_soundness_accepts_scan_partition() {
+    let mut c = Circuit::new(5);
+    c.h(0);
+    for q in 0..4 {
+        c.cnot(q, q + 1).rz(q + 1, 0.1);
+    }
+    let parts = scan_partition(&c, 3);
+    let ctx = LintContext::for_circuit(&c).with_partition(PartitionView::from_partition(&parts, 3));
+    assert!(lint(&ctx).is_empty());
+}
+
+#[test]
+fn partition_soundness_flags_dropped_gate() {
+    let c = ghz(4);
+    let parts = scan_partition(&c, 2);
+    let mut view = PartitionView::from_partition(&parts, 2);
+    view.blocks[0].instructions.pop();
+    let ctx = LintContext::for_circuit(&c).with_partition(view);
+    let findings = lint(&ctx);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.lint == "partition-soundness" && f.message.contains("dropped")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn partition_soundness_flags_overwide_block() {
+    let c = ghz(4);
+    let parts = scan_partition(&c, 4); // one 4-qubit block
+    let view = PartitionView::from_partition(&parts, 2); // claim budget was 2
+    let ctx = LintContext::for_circuit(&c).with_partition(view);
+    let findings = lint(&ctx);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.lint == "partition-soundness" && f.message.contains("budget")),
+        "{findings:?}"
+    );
+}
+
+// --- unitarity-drift ------------------------------------------------------
+
+#[test]
+fn unitarity_drift_accepts_exact_cache() {
+    let mut body = Circuit::new(2);
+    body.h(0).cnot(0, 1).rz(1, 0.3);
+    let report = BlockReport {
+        label: "block 0".into(),
+        width: 2,
+        instructions: body.instructions().to_vec(),
+        cached_unitary: body.unitary(),
+    };
+    let c = ghz(2);
+    let ctx = LintContext::for_circuit(&c).with_block_report(report);
+    assert!(lint(&ctx).is_empty());
+}
+
+#[test]
+fn unitarity_drift_flags_stale_cache() {
+    let mut body = Circuit::new(2);
+    body.h(0).cnot(0, 1).rz(1, 0.3);
+    let mut other = Circuit::new(2);
+    other.x(0).cnot(1, 0); // a perfectly good unitary for the wrong block
+    let report = BlockReport {
+        label: "block 0".into(),
+        width: 2,
+        instructions: body.instructions().to_vec(),
+        cached_unitary: other.unitary(),
+    };
+    let c = ghz(2);
+    let findings = lint(&LintContext::for_circuit(&c).with_block_report(report));
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.lint == "unitarity-drift" && f.message.contains("drifted")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn unitarity_drift_flags_nonunitary_matrix() {
+    let mut body = Circuit::new(1);
+    body.h(0);
+    let report = BlockReport {
+        label: "block 0".into(),
+        width: 1,
+        instructions: body.instructions().to_vec(),
+        cached_unitary: qmath::Matrix::identity(2).scaled(qmath::C64::real(2.0)),
+    };
+    let c = ghz(2);
+    let findings = lint(&LintContext::for_circuit(&c).with_block_report(report));
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.lint == "unitarity-drift" && f.message.contains("not unitary")),
+        "{findings:?}"
+    );
+}
+
+// --- qasm-roundtrip -------------------------------------------------------
+
+#[test]
+fn qasm_roundtrip_clean_on_all_gate_kinds() {
+    let mut c = Circuit::new(3);
+    c.h(0)
+        .x(1)
+        .y(2)
+        .z(0)
+        .s(1)
+        .t(2)
+        .rx(0, 0.25)
+        .ry(1, -1.5)
+        .rz(2, 3.0)
+        .p(0, 0.125)
+        .u3(1, 0.1, 0.2, 0.3)
+        .cnot(0, 1)
+        .cz(1, 2)
+        .swap(0, 2);
+    assert!(lint(&LintContext::for_circuit(&c)).is_empty());
+}
+
+#[test]
+fn qasm_roundtrip_flags_nan_angle() {
+    // A NaN angle is representable in the IR but poisons the interchange
+    // format: the emitted text cannot be parsed back.
+    let mut c = Circuit::new(1);
+    c.h(0).rz(0, f64::NAN);
+    let findings = lint(&LintContext::for_circuit(&c));
+    assert!(
+        findings.iter().any(|f| f.lint == "qasm-roundtrip"),
+        "{findings:?}"
+    );
+}
+
+// --- cnot-accounting ------------------------------------------------------
+
+#[test]
+fn cnot_accounting_accepts_correct_claim_with_swap_weighting() {
+    let mut c = Circuit::new(3);
+    c.cnot(0, 1).cz(1, 2).swap(0, 2); // 1 + 1 + 3
+    let claim = CnotClaim {
+        label: "sample 0".into(),
+        claimed: 5,
+        instructions: c.instructions().to_vec(),
+    };
+    let base = ghz(3);
+    assert!(lint(&LintContext::for_circuit(&base).with_cnot_claim(claim)).is_empty());
+}
+
+#[test]
+fn cnot_accounting_flags_miscount() {
+    let mut c = Circuit::new(3);
+    c.cnot(0, 1).swap(0, 2);
+    let claim = CnotClaim {
+        label: "sample 0".into(),
+        claimed: 2, // actual is 4
+        instructions: c.instructions().to_vec(),
+    };
+    let base = ghz(3);
+    let findings = lint(&LintContext::for_circuit(&base).with_cnot_claim(claim));
+    assert_eq!(names(&findings), vec!["cnot-accounting"]);
+    assert!(findings[0].message.contains("claims 2"));
+}
+
+// --- hs-bound-budget ------------------------------------------------------
+
+fn clean_budget() -> BudgetReport {
+    BudgetReport {
+        epsilon_per_block: 0.1,
+        threshold: 0.3,
+        num_blocks: 3,
+        samples: vec![SampleBudget {
+            label: "sample 0".into(),
+            block_distances: vec![0.05, 0.0, 0.08],
+            claimed_bound: 0.13,
+        }],
+    }
+}
+
+#[test]
+fn hs_bound_budget_accepts_consistent_accounting() {
+    let c = ghz(3);
+    assert!(lint(&LintContext::for_circuit(&c).with_budget(clean_budget())).is_empty());
+}
+
+#[test]
+fn hs_bound_budget_flags_sum_mismatch() {
+    let mut b = clean_budget();
+    b.samples[0].claimed_bound = 0.05; // distances sum to 0.13
+    let c = ghz(3);
+    let findings = lint(&LintContext::for_circuit(&c).with_budget(b));
+    assert_eq!(names(&findings), vec!["hs-bound-budget"]);
+    assert!(findings[0].message.contains("sum"));
+}
+
+#[test]
+fn hs_bound_budget_flags_threshold_violation() {
+    let mut b = clean_budget();
+    b.samples[0].block_distances = vec![0.2, 0.2, 0.2];
+    b.samples[0].claimed_bound = 0.6000000000000001;
+    let c = ghz(3);
+    let findings = lint(&LintContext::for_circuit(&c).with_budget(b));
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.lint == "hs-bound-budget" && f.message.contains("exceeds")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn hs_bound_budget_flags_wrong_distance_count() {
+    let mut b = clean_budget();
+    b.samples[0].block_distances.pop();
+    b.samples[0].claimed_bound = 0.05;
+    let c = ghz(3);
+    let findings = lint(&LintContext::for_circuit(&c).with_budget(b));
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.lint == "hs-bound-budget" && f.message.contains("3-block")),
+        "{findings:?}"
+    );
+}

@@ -1,0 +1,119 @@
+//! Property tests: valid IR is lint-clean, and each seeded mutation class
+//! triggers its specific lint.
+
+use proptest::prelude::*;
+use qcircuit::topology::CouplingMap;
+use qcircuit::{Circuit, Gate};
+use qlint::{lint, LintContext, PartitionView, RoutingView};
+use qpartition::scan_partition;
+
+fn random_circuit_strategy(n: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
+    let gate = prop_oneof![
+        Just(Gate::H),
+        Just(Gate::X),
+        Just(Gate::T),
+        (-3.2..3.2f64).prop_map(Gate::Rz),
+        (-3.2..3.2f64).prop_map(Gate::Ry),
+        Just(Gate::Cnot),
+        Just(Gate::Cz),
+        Just(Gate::Swap),
+    ];
+    prop::collection::vec((gate, 0..n, 1..n), 1..max_len).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        // Touch every qubit so the dangling-qubit lint is vacuous and the
+        // "valid circuit ⇒ no findings" property is exact.
+        for q in 0..n {
+            c.h(q);
+        }
+        for (g, a, off) in gates {
+            if g.num_qubits() == 1 {
+                c.push(g, &[a]);
+            } else {
+                c.push(g, &[a, (a + off) % n]);
+            }
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn valid_circuits_produce_no_findings(c in random_circuit_strategy(5, 24)) {
+        let findings = lint(&LintContext::for_circuit(&c));
+        prop_assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+    }
+
+    #[test]
+    fn valid_partitions_produce_no_findings(
+        c in random_circuit_strategy(5, 20),
+        k in 2..5usize,
+    ) {
+        let parts = scan_partition(&c, k);
+        let ctx = LintContext::for_circuit(&c)
+            .with_partition(PartitionView::from_partition(&parts, k));
+        let findings = lint(&ctx);
+        prop_assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+    }
+
+    #[test]
+    fn out_of_range_qubit_triggers_qubit_bounds(
+        c in random_circuit_strategy(5, 20),
+        pick in 0..10_000usize,
+    ) {
+        let mut insts = c.instructions().to_vec();
+        let i = pick % insts.len();
+        insts[i].qubits[0] = c.num_qubits() + pick % 7;
+        let findings = lint(&LintContext::from_raw(c.num_qubits(), &insts));
+        prop_assert!(
+            findings.iter().any(|f| f.lint == "qubit-bounds"),
+            "mutation at {i} not caught: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn dropped_partition_gate_triggers_partition_soundness(
+        c in random_circuit_strategy(5, 20),
+        pick in 0..10_000usize,
+    ) {
+        let parts = scan_partition(&c, 3);
+        let mut view = PartitionView::from_partition(&parts, 3);
+        let bi = pick % view.blocks.len();
+        let len = view.blocks[bi].instructions.len();
+        view.blocks[bi].instructions.remove(pick % len);
+        let ctx = LintContext::for_circuit(&c).with_partition(view);
+        let findings = lint(&ctx);
+        prop_assert!(
+            findings.iter().any(|f| f.lint == "partition-soundness"),
+            "dropped gate in block {bi} not caught: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn swapped_cnot_direction_post_routing_triggers_topology(
+        c in random_circuit_strategy(4, 16),
+        pick in 0..10_000usize,
+    ) {
+        let map = CouplingMap::line(4);
+        let routed = qtranspile::routing::route(&c, &map);
+        let cnots: Vec<usize> = routed
+            .circuit
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.gate == Gate::Cnot)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!cnots.is_empty());
+        let mut broken = routed.circuit.instructions().to_vec();
+        broken[cnots[pick % cnots.len()]].qubits.reverse();
+        let ctx = LintContext::from_raw(4, &broken)
+            .with_coupling(&map)
+            .with_routing(RoutingView::new(&c, routed.final_layout.clone()));
+        let findings = lint(&ctx);
+        prop_assert!(
+            findings.iter().any(|f| f.lint == "topology"),
+            "reversed CNOT not caught: {findings:?}"
+        );
+    }
+}

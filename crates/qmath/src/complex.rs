@@ -181,6 +181,8 @@ impl Mul for C64 {
 
 impl Div for C64 {
     type Output = C64;
+    // Complex division IS multiplication by the reciprocal; the `*` is not a typo.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: C64) -> C64 {
         self * rhs.recip()

@@ -5,7 +5,7 @@
 //! collapse arbitrary runs of one-qubit gates into a single `U3` gate, the
 //! same normal form Qiskit's `Optimize1qGates` pass targets.
 
-use crate::{C64, Matrix};
+use crate::{Matrix, C64};
 
 /// The ZYZ Euler decomposition `U = e^{iα}·Rz(β)·Ry(γ)·Rz(δ)` of a 2×2
 /// unitary.
@@ -86,7 +86,11 @@ pub fn zyz(u: &Matrix) -> Zyz {
         gamma,
         delta,
     });
-    let (i, j) = if u[(0, 0)].abs() > 0.5 { (0, 0) } else { (1, 0) };
+    let (i, j) = if u[(0, 0)].abs() > 0.5 {
+        (0, 0)
+    } else {
+        (1, 0)
+    };
     let alpha = (u[(i, j)] / candidate[(i, j)]).arg();
     Zyz {
         alpha,
@@ -150,10 +154,7 @@ mod tests {
     #[test]
     fn antidiagonal_unitary_roundtrip() {
         // Exercises the cos(γ/2)=0 branch.
-        let u = Matrix::from_rows(&[
-            &[C64::ZERO, C64::cis(0.4)],
-            &[C64::cis(-0.9), C64::ZERO],
-        ]);
+        let u = Matrix::from_rows(&[&[C64::ZERO, C64::cis(0.4)], &[C64::cis(-0.9), C64::ZERO]]);
         let z = zyz(&u);
         assert!(reconstruct(&z).approx_eq(&u, 1e-9));
     }

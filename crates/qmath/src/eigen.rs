@@ -6,7 +6,7 @@
 //! The complex Jacobi method is simple, numerically robust, and more than
 //! fast enough at the ≤128-dimensional sizes this workspace touches.
 
-use crate::{C64, Matrix};
+use crate::{Matrix, C64};
 
 /// The result of [`eigh`]: `a = V · diag(λ) · V†` with real eigenvalues
 /// sorted ascending and orthonormal eigenvector columns.
@@ -199,10 +199,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "not Hermitian")]
     fn non_hermitian_panics() {
-        let a = Matrix::from_rows(&[
-            &[C64::ZERO, C64::ONE],
-            &[C64::real(2.0), C64::ZERO],
-        ]);
+        let a = Matrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::real(2.0), C64::ZERO]]);
         let _ = eigh(&a);
     }
 }

@@ -161,10 +161,7 @@ mod tests {
             let full_p = id.kron(&u2p).matmul(&u1p.kron(&id));
             let lhs = process_distance(&full, &full_p);
             let rhs = process_distance(&u1, &u1p) + process_distance(&u2, &u2p);
-            assert!(
-                lhs <= rhs + 1e-9,
-                "bound violated: {lhs} > {rhs}"
-            );
+            assert!(lhs <= rhs + 1e-9, "bound violated: {lhs} > {rhs}");
         }
     }
 }

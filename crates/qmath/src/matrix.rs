@@ -235,13 +235,13 @@ impl Matrix {
     pub fn apply(&self, v: &[C64]) -> Vec<C64> {
         assert_eq!(v.len(), self.cols, "vector length mismatch");
         let mut out = vec![C64::ZERO; self.rows];
-        for i in 0..self.rows {
+        for (i, o) in out.iter_mut().enumerate() {
             let row = self.row(i);
             let mut acc = C64::ZERO;
             for (a, x) in row.iter().zip(v) {
                 acc += *a * *x;
             }
-            out[i] = acc;
+            *o = acc;
         }
         out
     }
@@ -334,7 +334,12 @@ impl Add for &Matrix {
     type Output = Matrix;
     fn add(self, rhs: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| *a + *b)
+            .collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 }
@@ -343,7 +348,12 @@ impl Sub for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| *a - *b)
+            .collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 }
@@ -392,7 +402,9 @@ mod tests {
         let xy = pauli_x().matmul(&pauli_y());
         assert!(xy.approx_eq(&pauli_z().scaled(C64::I), 1e-12));
         // X² = I
-        assert!(pauli_x().matmul(&pauli_x()).approx_eq(&Matrix::identity(2), 1e-12));
+        assert!(pauli_x()
+            .matmul(&pauli_x())
+            .approx_eq(&Matrix::identity(2), 1e-12));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! QR-factorize it with modified Gram–Schmidt, and fix the phase of R's
 //! diagonal so the distribution is exactly Haar (Mezzadri 2007).
 
-use crate::{C64, Matrix};
+use crate::{Matrix, C64};
 use rand::Rng;
 
 /// Draws a sample from the standard normal distribution via Box–Muller.
@@ -44,14 +44,15 @@ pub fn qr(m: &Matrix) -> (Matrix, Matrix) {
     for j in 0..n {
         // Re-orthogonalize against previous columns (modified Gram-Schmidt).
         for k in 0..j {
+            let (head, tail) = cols.split_at_mut(j);
+            let (ck, cj) = (&head[k], &mut tail[0]);
             let mut proj = C64::ZERO;
-            for i in 0..n {
-                proj += cols[k][i].conj() * cols[j][i];
+            for (a, b) in ck.iter().zip(cj.iter()) {
+                proj += a.conj() * *b;
             }
             r[(k, j)] = proj;
-            for i in 0..n {
-                let sub = proj * cols[k][i];
-                cols[j][i] -= sub;
+            for (a, b) in ck.iter().zip(cj.iter_mut()) {
+                *b -= proj * *a;
             }
         }
         let norm: f64 = cols[j].iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
@@ -84,7 +85,7 @@ pub fn haar_unitary(n: usize, rng: &mut impl Rng) -> Matrix {
         let d = r[(j, j)];
         let phase = if d.abs() > 0.0 { d / d.abs() } else { C64::ONE };
         for i in 0..n {
-            u[(i, j)] = u[(i, j)] * phase;
+            u[(i, j)] *= phase;
         }
     }
     u
@@ -115,6 +116,8 @@ pub fn matrix_exp(a: &Matrix) -> Matrix {
     let n = a.rows();
     // Scale down until the norm is small.
     let norm = a.frobenius_norm();
+    // log2 of a finite Frobenius norm is ≪ 2^32, so the cast cannot truncate.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let s = norm.log2().ceil().max(0.0) as u32 + 4;
     let scaled = a.scaled(C64::real(1.0 / f64::powi(2.0, s as i32)));
     // Taylor series to order 12.
@@ -201,8 +204,10 @@ mod tests {
     fn ginibre_entries_have_unit_variance_approximately() {
         let mut rng = StdRng::seed_from_u64(46);
         let g = ginibre(32, &mut rng);
-        let mean_sq: f64 =
-            g.as_slice().iter().map(|z| z.norm_sqr()).sum::<f64>() / (32.0 * 32.0);
-        assert!((mean_sq - 1.0).abs() < 0.15, "variance {mean_sq} far from 1");
+        let mean_sq: f64 = g.as_slice().iter().map(|z| z.norm_sqr()).sum::<f64>() / (32.0 * 32.0);
+        assert!(
+            (mean_sq - 1.0).abs() < 0.15,
+            "variance {mean_sq} far from 1"
+        );
     }
 }

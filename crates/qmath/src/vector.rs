@@ -1,6 +1,6 @@
 //! Complex column vectors (quantum statevectors).
 
-use crate::{C64, Matrix};
+use crate::{Matrix, C64};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 

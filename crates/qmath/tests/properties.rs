@@ -1,7 +1,7 @@
 //! Property-based tests for the linear-algebra substrate.
 
 use proptest::prelude::*;
-use qmath::{hs, random, C64, Matrix};
+use qmath::{hs, random, Matrix, C64};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -159,10 +159,7 @@ pub fn scan_partition_with(
         max_block_size >= 2,
         "blocks must hold at least 2 qubits to contain CNOTs"
     );
-    assert!(
-        max_block_gates != Some(0),
-        "gate budget must be at least 1"
-    );
+    assert!(max_block_gates != Some(0), "gate budget must be at least 1");
     let mut blocks: Vec<Block> = Vec::new();
     let mut open_qubits: Vec<usize> = Vec::new();
     let mut open_insts: Vec<Instruction> = Vec::new();
@@ -311,7 +308,12 @@ mod tests {
         // a gate cap slices it into several identical-shape blocks.
         let mut c = Circuit::new(3);
         for _ in 0..6 {
-            c.cnot(0, 1).rz(1, 0.2).cnot(0, 1).cnot(1, 2).rz(2, 0.2).cnot(1, 2);
+            c.cnot(0, 1)
+                .rz(1, 0.2)
+                .cnot(0, 1)
+                .cnot(1, 2)
+                .rz(2, 0.2)
+                .cnot(1, 2);
         }
         assert_eq!(scan_partition(&c, 3).len(), 1);
         let sliced = scan_partition_with(&c, 3, Some(12));
@@ -362,7 +364,10 @@ mod tests {
     #[test]
     fn suite_reassembly_matches_statevector() {
         // Cheaper than unitary comparison for wider circuits.
-        for b in qbench::suite().into_iter().filter(|b| b.circuit.num_qubits() <= 6) {
+        for b in qbench::suite()
+            .into_iter()
+            .filter(|b| b.circuit.num_qubits() <= 6)
+        {
             let parts = scan_partition(&b.circuit, 4);
             let orig = qsim::Statevector::run(&b.circuit);
             let re = qsim::Statevector::run(&parts.reassemble());

@@ -17,7 +17,7 @@
 
 use crate::noise::NoiseModel;
 use qcircuit::{embed::embed, Circuit, Gate};
-use qmath::{C64, Matrix};
+use qmath::{Matrix, C64};
 
 /// A density matrix on `n` qubits.
 #[derive(Clone, Debug, PartialEq)]
@@ -79,7 +79,9 @@ impl DensityMatrix {
 
     /// Measurement probabilities (the diagonal).
     pub fn probabilities(&self) -> Vec<f64> {
-        (0..self.rho.rows()).map(|i| self.rho[(i, i)].re.max(0.0)).collect()
+        (0..self.rho.rows())
+            .map(|i| self.rho[(i, i)].re.max(0.0))
+            .collect()
     }
 
     /// Applies a unitary gate: `ρ ← GρG†`.

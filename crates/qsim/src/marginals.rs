@@ -83,7 +83,7 @@ mod tests {
     #[test]
     fn marginal_keep_order_matters() {
         let probs = [0.0, 1.0, 0.0, 0.0]; // |01⟩
-        // [1, 0] puts qubit 1 as MSB → |10⟩ = index 2.
+                                          // [1, 0] puts qubit 1 as MSB → |10⟩ = index 2.
         assert_eq!(marginal(&probs, &[1, 0]), vec![0.0, 0.0, 1.0, 0.0]);
     }
 

@@ -35,8 +35,10 @@ impl ReadoutCalibration {
             .iter()
             .zip(p10)
             .map(|(&a, &b)| {
-                assert!((0.0..0.5).contains(&a) && (0.0..0.5).contains(&b),
-                    "flip probabilities must be in [0, 0.5)");
+                assert!(
+                    (0.0..0.5).contains(&a) && (0.0..0.5).contains(&b),
+                    "flip probabilities must be in [0, 0.5)"
+                );
                 [[1.0 - a, b], [a, 1.0 - b]]
             })
             .collect();
@@ -102,11 +104,11 @@ impl ReadoutCalibration {
             ];
             let mask = 1usize << (n - 1 - q);
             let mut next = vec![0.0; current.len()];
-            for idx in 0..current.len() {
+            for (idx, out) in next.iter_mut().enumerate() {
                 let bit = usize::from(idx & mask != 0);
                 let idx0 = idx & !mask;
                 let idx1 = idx | mask;
-                next[idx] = inv[bit][0] * current[idx0] + inv[bit][1] * current[idx1];
+                *out = inv[bit][0] * current[idx0] + inv[bit][1] * current[idx1];
             }
             current = next;
         }
@@ -152,9 +154,9 @@ mod tests {
         // Forward-apply the confusion to a known distribution, then invert.
         let true_dist = [0.4, 0.3, 0.2, 0.1];
         let mut measured = [0.0; 4];
-        for prep in 0..4usize {
-            for read in 0..4usize {
-                let mut w = true_dist[prep];
+        for (prep, &p_true) in true_dist.iter().enumerate() {
+            for (read, m_read) in measured.iter_mut().enumerate() {
+                let mut w = p_true;
                 for q in 0..2 {
                     let pb = (prep >> (1 - q)) & 1;
                     let rb = (read >> (1 - q)) & 1;
@@ -163,7 +165,7 @@ mod tests {
                     let mm = if q == 0 { m } else { m2 };
                     w *= mm[rb][pb];
                 }
-                measured[read] += w;
+                *m_read += w;
             }
         }
         let mitigated = cal.mitigate(&measured);

@@ -6,7 +6,7 @@
 //! evaluates in simulation (≤16 qubits).
 
 use qcircuit::{Circuit, Gate, Instruction};
-use qmath::{C64, Matrix, Vector};
+use qmath::{Matrix, Vector, C64};
 use rand::Rng;
 
 /// A statevector on `n` qubits supporting in-place gate application.

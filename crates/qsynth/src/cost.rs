@@ -9,7 +9,7 @@
 
 use crate::template::{u3_and_grads, Template, TemplateOp};
 use qcircuit::{embed::embed, Gate};
-use qmath::{C64, Matrix};
+use qmath::{Matrix, C64};
 
 /// Cost function object binding a target unitary to a template.
 pub struct HsCost<'a> {
@@ -142,7 +142,9 @@ mod tests {
     #[test]
     fn cost_zero_when_template_matches_target() {
         let t = Template::initial(2).with_layer(0, 1);
-        let params: Vec<f64> = vec![0.3, -0.2, 0.8, 1.1, 0.0, -0.5, 0.25, 0.5, -1.0, 0.7, 0.1, 0.9];
+        let params: Vec<f64> = vec![
+            0.3, -0.2, 0.8, 1.1, 0.0, -0.5, 0.25, 0.5, -1.0, 0.7, 0.1, 0.9,
+        ];
         let target = t.unitary(&params);
         let cost = HsCost::new(&t, &target).cost(&params);
         assert!(cost.abs() < 1e-10, "cost {cost}");
@@ -197,7 +199,11 @@ mod tests {
             let mut pp = params.clone();
             pp[i] += h;
             let fd = (cost_fn.cost(&pp) - c0) / h;
-            assert!((fd - grad[i]).abs() < 1e-4, "param {i}: {fd} vs {}", grad[i]);
+            assert!(
+                (fd - grad[i]).abs() < 1e-4,
+                "param {i}: {fd} vs {}",
+                grad[i]
+            );
         }
     }
 

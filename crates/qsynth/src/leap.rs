@@ -208,11 +208,12 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
         }
     };
     record(&root, &mut result);
-    let mut done = HsCost::distance(root.cost) <= if cfg.collect_all {
-        exact_floor
-    } else {
-        cfg.epsilon
-    };
+    let mut done = HsCost::distance(root.cost)
+        <= if cfg.collect_all {
+            exact_floor
+        } else {
+            cfg.epsilon
+        };
     let mut frontier = vec![root];
 
     // Unordered qubit pairs; CNOT direction is absorbable by the adjacent
@@ -220,11 +221,7 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
     // coupling map restricts layers to device-native pairs.
     let pairs: Vec<(usize, usize)> = (0..n)
         .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
-        .filter(|&(a, b)| {
-            cfg.coupling
-                .as_ref()
-                .map_or(true, |map| map.connected(a, b))
-        })
+        .filter(|&(a, b)| cfg.coupling.as_ref().is_none_or(|map| map.connected(a, b)))
         .collect();
     if let Some(map) = &cfg.coupling {
         assert_eq!(
@@ -310,7 +307,7 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
         }
         children.truncate(cfg.beam_width.max(1));
         // LEAP prefix re-seeding: collapse to the best branch periodically.
-        if cfg.reseed_interval > 0 && layer % cfg.reseed_interval == 0 {
+        if cfg.reseed_interval > 0 && layer.is_multiple_of(cfg.reseed_interval) {
             children.truncate(1);
         }
         if children.is_empty() {
@@ -324,7 +321,10 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
 
 fn seeded(base: &OptimizerConfig, mix: u64) -> OptimizerConfig {
     OptimizerConfig {
-        seed: base.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(mix),
+        seed: base
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(mix),
         ..*base
     }
 }
@@ -356,19 +356,32 @@ mod tests {
     #[test]
     fn approximate_mode_collects_multiple_cnot_counts() {
         let mut c = Circuit::new(2);
-        c.h(0).cnot(0, 1).rz(1, 0.9).cnot(0, 1).ry(0, 0.4).cnot(0, 1);
+        c.h(0)
+            .cnot(0, 1)
+            .rz(1, 0.9)
+            .cnot(0, 1)
+            .ry(0, 0.4)
+            .cnot(0, 1);
         let cfg = SynthesisConfig::approximate(0.3, 3);
         let result = synthesize(&c.unitary(), &cfg);
         assert!(result.candidates.len() >= 3);
         let counts: std::collections::BTreeSet<usize> =
             result.candidates.iter().map(|c| c.cnot_count).collect();
-        assert!(counts.len() >= 2, "expected multiple CNOT counts: {counts:?}");
+        assert!(
+            counts.len() >= 2,
+            "expected multiple CNOT counts: {counts:?}"
+        );
     }
 
     #[test]
     fn pareto_frontier_is_monotone() {
         let mut c = Circuit::new(2);
-        c.h(0).cnot(0, 1).rz(1, 0.9).cnot(0, 1).rx(0, 1.0).cnot(0, 1);
+        c.h(0)
+            .cnot(0, 1)
+            .rz(1, 0.9)
+            .cnot(0, 1)
+            .rx(0, 1.0)
+            .cnot(0, 1);
         let cfg = SynthesisConfig::approximate(0.5, 3);
         let result = synthesize(&c.unitary(), &cfg);
         let frontier = result.pareto();

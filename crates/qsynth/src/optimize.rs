@@ -46,13 +46,16 @@ pub struct OptimizeOutcome {
     pub evals: usize,
 }
 
+/// A cost function returning `(cost, gradient)` for a parameter vector.
+pub type CostAndGrad<'a> = &'a dyn Fn(&[f64]) -> (f64, Vec<f64>);
+
 /// Minimizes `f` (returning `(cost, gradient)`) over `num_params` angles.
 ///
 /// The first start uses `warm_start` when provided (missing tail entries are
 /// zero-filled); remaining starts are random. Returns the best point across
 /// all starts.
 pub fn minimize(
-    f: &dyn Fn(&[f64]) -> (f64, Vec<f64>),
+    f: CostAndGrad<'_>,
     num_params: usize,
     warm_start: Option<&[f64]>,
     cfg: &OptimizerConfig,
@@ -108,8 +111,12 @@ pub fn minimize(
             if c <= cfg.target_cost {
                 break;
             }
-            let b1t = 1.0 - b1.powi(iter as i32);
-            let b2t = 1.0 - b2.powi(iter as i32);
+            // Iteration counts stay far below i32::MAX; beyond ~10^3 the
+            // bias-correction factor is 1.0 to machine precision anyway.
+            #[allow(clippy::cast_possible_truncation)]
+            let t = iter as i32;
+            let b1t = 1.0 - b1.powi(t);
+            let b2t = 1.0 - b2.powi(t);
             for i in 0..num_params {
                 m[i] = b1 * m[i] + (1.0 - b1) * g[i];
                 v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];

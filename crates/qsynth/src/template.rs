@@ -7,7 +7,7 @@
 //! on the two touched qubits.
 
 use qcircuit::Circuit;
-use qmath::{C64, Matrix};
+use qmath::{Matrix, C64};
 
 /// One structural element of a template.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -128,10 +128,7 @@ pub(crate) fn u3_and_grads(t: f64, p: f64, l: f64) -> (Matrix, [Matrix; 3]) {
     let eip = C64::cis(p);
     let eil = C64::cis(l);
     let eipl = C64::cis(p + l);
-    let m = Matrix::from_rows(&[
-        &[C64::real(c), -eil * s],
-        &[eip * s, eipl * c],
-    ]);
+    let m = Matrix::from_rows(&[&[C64::real(c), -eil * s], &[eip * s, eipl * c]]);
     // ∂/∂θ
     let dt = Matrix::from_rows(&[
         &[C64::real(-s / 2.0), -eil * (c / 2.0)],
@@ -189,11 +186,7 @@ mod tests {
         let (t0, p0, l0) = (0.83, -0.4, 1.9);
         let (m, grads) = u3_and_grads(t0, p0, l0);
         let h = 1e-6;
-        let cases = [
-            (t0 + h, p0, l0),
-            (t0, p0 + h, l0),
-            (t0, p0, l0 + h),
-        ];
+        let cases = [(t0 + h, p0, l0), (t0, p0 + h, l0), (t0, p0, l0 + h)];
         for (k, &(t, p, l)) in cases.iter().enumerate() {
             let (m2, _) = u3_and_grads(t, p, l);
             for i in 0..2 {

@@ -33,7 +33,12 @@ fn collapses_redundant_trotter_steps() {
 #[test]
 fn approximation_menu_distances_decrease_along_pareto() {
     let mut c = Circuit::new(3);
-    c.h(0).cnot(0, 1).rz(1, 0.4).cnot(1, 2).rz(2, -0.2).cnot(0, 1);
+    c.h(0)
+        .cnot(0, 1)
+        .rz(1, 0.4)
+        .cnot(1, 2)
+        .rz(2, -0.2)
+        .cnot(0, 1);
     let cfg = SynthesisConfig::approximate(0.2, 3).with_seed(5);
     let result = synthesize(&c.unitary(), &cfg);
     let frontier = result.pareto();

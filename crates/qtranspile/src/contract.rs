@@ -1,0 +1,272 @@
+//! Pass contracts: every rewriting pass must preserve the circuit unitary
+//! up to global phase, within the HS-distance budget the pass declares.
+//!
+//! The checks live here as plain functions so tools (the `qlint` CLI, test
+//! harnesses) can run them on demand; the `verify` cargo feature
+//! additionally wires them into [`PassManager::run`](crate::PassManager)
+//! and [`routing::route`](crate::routing::route) so every pass invocation
+//! is checked in-line and violations abort immediately.
+
+use crate::Pass;
+use qcircuit::Circuit;
+use qmath::hs;
+use std::fmt;
+
+/// Dense-unitary comparison is `O(len · 4^n)`; beyond this width the
+/// semantic half of the contract is skipped and only structural checks run.
+pub const MAX_CONTRACT_QUBITS: usize = 8;
+
+/// Numerical slack on top of a pass's declared budget (ZYZ refusion and
+/// block re-synthesis are float pipelines, not symbolic rewrites).
+const CONTRACT_SLACK: f64 = 1e-9;
+
+/// A violated pass contract.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ContractViolation {
+    /// Name of the offending pass.
+    pub pass: &'static str,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ContractViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pass `{}` violated its contract: {}",
+            self.pass, self.message
+        )
+    }
+}
+
+/// Checks one pass invocation: the output must have the input's width and —
+/// when the width permits a dense comparison — an HS process distance to
+/// the input of at most `hs_budget`.
+pub fn check_pass(
+    name: &'static str,
+    input: &Circuit,
+    output: &Circuit,
+    hs_budget: f64,
+) -> Vec<ContractViolation> {
+    let mut out = Vec::new();
+    if output.num_qubits() != input.num_qubits() {
+        out.push(ContractViolation {
+            pass: name,
+            message: format!(
+                "changed the register width: {} -> {}",
+                input.num_qubits(),
+                output.num_qubits()
+            ),
+        });
+        return out;
+    }
+    if input.num_qubits() > MAX_CONTRACT_QUBITS {
+        return out;
+    }
+    let distance = hs::process_distance(&input.unitary(), &output.unitary());
+    if distance > hs_budget + CONTRACT_SLACK {
+        out.push(ContractViolation {
+            pass: name,
+            message: format!(
+                "output drifted {distance:.3e} from the input in HS process \
+                 distance (declared budget {hs_budget:.1e})"
+            ),
+        });
+    }
+    out
+}
+
+/// Checks a routing invocation: every two-qubit gate of the routed circuit
+/// must be on a coupled pair, and un-permuting the routed circuit by the
+/// final layout must reproduce the original unitary up to global phase.
+pub fn check_routing(
+    original: &Circuit,
+    routed: &crate::routing::RoutedCircuit,
+    map: &qcircuit::topology::CouplingMap,
+) -> Vec<ContractViolation> {
+    const NAME: &str = "route";
+    let mut out = Vec::new();
+    for (i, inst) in routed.circuit.iter().enumerate() {
+        if inst.gate.is_two_qubit() && !map.connected(inst.qubits[0], inst.qubits[1]) {
+            out.push(ContractViolation {
+                pass: NAME,
+                message: format!(
+                    "instruction {i} (`{}`) acts on uncoupled pair ({}, {})",
+                    inst.gate.name(),
+                    inst.qubits[0],
+                    inst.qubits[1]
+                ),
+            });
+        }
+    }
+    let n = original.num_qubits();
+    let mut seen = vec![false; n];
+    let perm_ok = routed.final_layout.len() == n
+        && routed
+            .final_layout
+            .iter()
+            .all(|&p| p < n && !std::mem::replace(&mut seen[p], true));
+    if !perm_ok {
+        out.push(ContractViolation {
+            pass: NAME,
+            message: format!(
+                "final layout {:?} is not a permutation of 0..{n}",
+                routed.final_layout
+            ),
+        });
+        return out;
+    }
+    if n > MAX_CONTRACT_QUBITS {
+        return out;
+    }
+    // Undo the layout with explicit SWAPs, then compare unitaries.
+    let mut fixed = routed.circuit.clone();
+    let mut layout = routed.final_layout.clone();
+    for l in 0..n {
+        while layout[l] != l {
+            let p = layout[l];
+            fixed.swap(p, l);
+            for x in &mut layout {
+                if *x == p {
+                    *x = l;
+                } else if *x == l {
+                    *x = p;
+                }
+            }
+        }
+    }
+    if !fixed.unitary().approx_eq_phase(&original.unitary(), 1e-9) {
+        out.push(ContractViolation {
+            pass: NAME,
+            message: "routed circuit does not compute the original circuit \
+                      after undoing the final layout"
+                .into(),
+        });
+    }
+    out
+}
+
+/// A [`Pass`] wrapper that checks the inner pass's contract on every run.
+///
+/// # Panics
+///
+/// `run` panics when the inner pass violates its declared budget — the
+/// wrapper exists to turn silent miscompilation into an immediate failure.
+pub struct CheckedPass<P: Pass> {
+    inner: P,
+}
+
+impl<P: Pass> CheckedPass<P> {
+    /// Wraps `inner`.
+    pub fn new(inner: P) -> Self {
+        CheckedPass { inner }
+    }
+}
+
+impl<P: Pass> Pass for CheckedPass<P> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn hs_budget(&self) -> f64 {
+        self.inner.hs_budget()
+    }
+
+    fn run(&self, circuit: &Circuit) -> Circuit {
+        let output = self.inner.run(circuit);
+        let violations = check_pass(self.inner.name(), circuit, &output, self.inner.hs_budget());
+        assert!(
+            violations.is_empty(),
+            "{}",
+            violations
+                .iter()
+                .map(ContractViolation::to_string)
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+        output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::CancelInverses;
+    use qcircuit::topology::CouplingMap;
+    use qcircuit::Gate;
+
+    /// A pass that silently drops every gate — the miscompilation the
+    /// contract exists to catch.
+    struct DropEverything;
+
+    impl Pass for DropEverything {
+        fn name(&self) -> &'static str {
+            "drop-everything"
+        }
+        fn run(&self, circuit: &Circuit) -> Circuit {
+            Circuit::new(circuit.num_qubits())
+        }
+    }
+
+    #[test]
+    fn well_behaved_pass_passes_contract() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1).cnot(0, 1).h(0);
+        let out = CheckedPass::new(CancelInverses).run(&c);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "drop-everything")]
+    fn gate_dropping_pass_violates_contract() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let _ = CheckedPass::new(DropEverything).run(&c);
+    }
+
+    #[test]
+    fn check_pass_reports_width_change() {
+        let a = Circuit::new(3);
+        let b = Circuit::new(2);
+        let v = check_pass("test", &a, &b, 0.0);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("width"));
+    }
+
+    #[test]
+    fn faithful_routing_passes_contract() {
+        let mut c = Circuit::new(4);
+        c.h(0).cnot(0, 3).rz(3, 0.2);
+        let map = CouplingMap::line(4);
+        let routed = crate::routing::route(&c, &map);
+        assert!(check_routing(&c, &routed, &map).is_empty());
+    }
+
+    #[test]
+    fn corrupted_routing_fails_contract() {
+        let mut c = Circuit::new(4);
+        c.h(0).cnot(0, 3).rz(3, 0.2);
+        let map = CouplingMap::line(4);
+        let mut routed = crate::routing::route(&c, &map);
+        // Reverse a CNOT's direction: still coupled, semantically wrong.
+        let idx = routed
+            .circuit
+            .iter()
+            .position(|i| i.gate == Gate::Cnot)
+            .unwrap();
+        let mut broken = Circuit::new(4);
+        for (i, inst) in routed.circuit.iter().enumerate() {
+            let mut qs = inst.qubits.clone();
+            if i == idx {
+                qs.reverse();
+            }
+            broken.push(inst.gate, &qs);
+        }
+        routed.circuit = broken;
+        let v = check_routing(&c, &routed, &map);
+        assert!(
+            v.iter().any(|x| x.message.contains("does not compute")),
+            "{v:?}"
+        );
+    }
+}

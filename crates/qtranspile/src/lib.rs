@@ -33,18 +33,28 @@
 //! ```
 
 pub mod consolidate;
+pub mod contract;
 pub mod passes;
 pub mod routing;
 
 use qcircuit::Circuit;
 
 /// A circuit-rewriting pass. All passes must preserve the circuit unitary up
-/// to global phase.
+/// to global phase, within the HS-distance budget they declare via
+/// [`Pass::hs_budget`]. With the `verify` cargo feature enabled,
+/// [`PassManager::run`] checks the contract on every invocation (see
+/// [`contract`]).
 pub trait Pass {
     /// Short identifier for logs.
     fn name(&self) -> &'static str;
     /// Rewrites the circuit.
     fn run(&self, circuit: &Circuit) -> Circuit;
+    /// The HS process distance this pass is allowed to introduce. The
+    /// passes in this crate are exact rewrites up to numerical noise, hence
+    /// the tight default; an approximating pass must override this.
+    fn hs_budget(&self) -> f64 {
+        1e-6
+    }
 }
 
 /// Runs a list of passes repeatedly until a fixpoint (or an iteration cap).
@@ -63,12 +73,30 @@ impl PassManager {
     }
 
     /// Applies all passes round-robin until the circuit stops changing.
+    ///
+    /// With the `verify` feature enabled, every pass invocation is checked
+    /// against its [`Pass::hs_budget`] contract and a violation panics.
     pub fn run(&self, circuit: &Circuit) -> Circuit {
         let mut current = circuit.clone();
         for _ in 0..self.max_rounds {
             let mut next = current.clone();
             for pass in &self.passes {
-                next = pass.run(&next);
+                let out = pass.run(&next);
+                #[cfg(feature = "verify")]
+                {
+                    let violations =
+                        contract::check_pass(pass.name(), &next, &out, pass.hs_budget());
+                    assert!(
+                        violations.is_empty(),
+                        "{}",
+                        violations
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join("; ")
+                    );
+                }
+                next = out;
             }
             if next == current {
                 break;
@@ -83,7 +111,7 @@ impl PassManager {
 pub fn peephole_manager() -> PassManager {
     PassManager::new(vec![
         Box::new(passes::RemoveIdentities::default()),
-        Box::new(passes::MergeRotations::default()),
+        Box::new(passes::MergeRotations),
         Box::new(passes::CancelInverses),
         Box::new(passes::Fuse1qRuns::default()),
         Box::new(passes::RemoveIdentities::default()),

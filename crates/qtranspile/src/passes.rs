@@ -225,8 +225,8 @@ impl Pass for Fuse1qRuns {
                 out.push(inst.clone());
             }
         }
-        for q in 0..n {
-            let mut p = std::mem::take(&mut pending[q]);
+        for (q, slot) in pending.iter_mut().enumerate() {
+            let mut p = std::mem::take(slot);
             self.flush(&mut p, q, &mut out);
         }
         rebuild(n, out)
@@ -252,21 +252,39 @@ mod tests {
     #[test]
     fn commutation_rules() {
         // Diagonal gates commute.
-        assert!(commutes(&inst(Gate::Rz(0.1), &[0]), &inst(Gate::Cz, &[0, 1])));
+        assert!(commutes(
+            &inst(Gate::Rz(0.1), &[0]),
+            &inst(Gate::Cz, &[0, 1])
+        ));
         // Rz on CNOT control commutes.
-        assert!(commutes(&inst(Gate::Rz(0.1), &[0]), &inst(Gate::Cnot, &[0, 1])));
+        assert!(commutes(
+            &inst(Gate::Rz(0.1), &[0]),
+            &inst(Gate::Cnot, &[0, 1])
+        ));
         // Rz on CNOT target does not.
-        assert!(!commutes(&inst(Gate::Rz(0.1), &[1]), &inst(Gate::Cnot, &[0, 1])));
+        assert!(!commutes(
+            &inst(Gate::Rz(0.1), &[1]),
+            &inst(Gate::Cnot, &[0, 1])
+        ));
         // X on CNOT target commutes.
         assert!(commutes(&inst(Gate::X, &[1]), &inst(Gate::Cnot, &[0, 1])));
         // H on control does not.
         assert!(!commutes(&inst(Gate::H, &[0]), &inst(Gate::Cnot, &[0, 1])));
         // CNOTs sharing a control commute.
-        assert!(commutes(&inst(Gate::Cnot, &[0, 1]), &inst(Gate::Cnot, &[0, 2])));
+        assert!(commutes(
+            &inst(Gate::Cnot, &[0, 1]),
+            &inst(Gate::Cnot, &[0, 2])
+        ));
         // CNOTs sharing a target commute.
-        assert!(commutes(&inst(Gate::Cnot, &[0, 2]), &inst(Gate::Cnot, &[1, 2])));
+        assert!(commutes(
+            &inst(Gate::Cnot, &[0, 2]),
+            &inst(Gate::Cnot, &[1, 2])
+        ));
         // CNOT chain (target feeds control) does not.
-        assert!(!commutes(&inst(Gate::Cnot, &[0, 1]), &inst(Gate::Cnot, &[1, 2])));
+        assert!(!commutes(
+            &inst(Gate::Cnot, &[0, 1]),
+            &inst(Gate::Cnot, &[1, 2])
+        ));
         // Disjoint always commute.
         assert!(commutes(&inst(Gate::H, &[0]), &inst(Gate::H, &[1])));
     }

@@ -25,10 +25,7 @@ pub struct RoutedCircuit {
 impl RoutedCircuit {
     /// Number of SWAPs the router inserted.
     pub fn swap_overhead(&self, original: &Circuit) -> usize {
-        self.circuit
-            .iter()
-            .filter(|i| i.gate == Gate::Swap)
-            .count()
+        self.circuit.iter().filter(|i| i.gate == Gate::Swap).count()
             - original.iter().filter(|i| i.gate == Gate::Swap).count()
     }
 
@@ -76,10 +73,10 @@ pub fn route(circuit: &Circuit, map: &CouplingMap) -> RoutedCircuit {
     let mut out = Circuit::new(n);
 
     let do_swap = |out: &mut Circuit,
-                       layout: &mut Vec<usize>,
-                       position: &mut Vec<usize>,
-                       p: usize,
-                       q: usize| {
+                   layout: &mut Vec<usize>,
+                   position: &mut Vec<usize>,
+                   p: usize,
+                   q: usize| {
         out.swap(p, q);
         let (lp, lq) = (position[p], position[q]);
         layout.swap(lp, lq);
@@ -102,9 +99,7 @@ pub fn route(circuit: &Circuit, map: &CouplingMap) -> RoutedCircuit {
                     let next = (0..n)
                         .find(|&cand| {
                             map.connected(pa, cand)
-                                && map
-                                    .distance(cand, pb)
-                                    .is_some_and(|d| d < d_now)
+                                && map.distance(cand, pb).is_some_and(|d| d < d_now)
                         })
                         .expect("a closer neighbor exists on a shortest path");
                     do_swap(&mut out, &mut layout, &mut position, pa, next);
@@ -113,10 +108,24 @@ pub fn route(circuit: &Circuit, map: &CouplingMap) -> RoutedCircuit {
             }
         }
     }
-    RoutedCircuit {
+    let routed = RoutedCircuit {
         circuit: out,
         final_layout: layout,
+    };
+    #[cfg(feature = "verify")]
+    {
+        let violations = crate::contract::check_routing(circuit, &routed, map);
+        assert!(
+            violations.is_empty(),
+            "{}",
+            violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
     }
+    routed
 }
 
 #[cfg(test)]

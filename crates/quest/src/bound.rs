@@ -50,10 +50,7 @@ mod tests {
         let pairs = super::verify_bounds(&c, &result.samples);
         assert!(!pairs.is_empty());
         for (actual, bound) in pairs {
-            assert!(
-                actual <= bound + 1e-6,
-                "bound violated: {actual} > {bound}"
-            );
+            assert!(actual <= bound + 1e-6, "bound violated: {actual} > {bound}");
         }
     }
 }

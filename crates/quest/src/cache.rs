@@ -126,7 +126,12 @@ pub(crate) fn block_key(body: &Circuit, config: &QuestConfig) -> u64 {
     config.synthesis.reseed_interval.hash(&mut h);
     config.synthesis.optimizer.max_iters.hash(&mut h);
     config.synthesis.optimizer.restarts.hash(&mut h);
-    config.synthesis.optimizer.learning_rate.to_bits().hash(&mut h);
+    config
+        .synthesis
+        .optimizer
+        .learning_rate
+        .to_bits()
+        .hash(&mut h);
     h.finish()
 }
 

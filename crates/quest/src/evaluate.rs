@@ -85,9 +85,12 @@ pub fn weighted_noisy_distribution(
     let mut weights = Vec::with_capacity(result.samples.len());
     let mut dists = Vec::with_capacity(result.samples.len());
     for s in &result.samples {
-        let d = noise::run_noisy(&s.circuit, model, per, trajectories_per_sample, rng)
-            .probabilities();
-        weights.push((1.0 - model.p2).powi(s.cnot_count as i32));
+        let d =
+            noise::run_noisy(&s.circuit, model, per, trajectories_per_sample, rng).probabilities();
+        // CNOT counts are circuit-sized; far below i32::MAX.
+        #[allow(clippy::cast_possible_truncation)]
+        let cnots = s.cnot_count as i32;
+        weights.push((1.0 - model.p2).powi(cnots));
         dists.push(d);
     }
     let total_w: f64 = weights.iter().sum();
@@ -154,13 +157,27 @@ mod tests {
         let result = Quest::new(QuestConfig::fast().with_seed(9)).compile(&toy());
         // Force equal CNOT weights by checking the math: weights equal ⇒
         // weighted == uniform.
-        if result.samples.iter().all(|s| s.cnot_count == result.samples[0].cnot_count) {
+        if result
+            .samples
+            .iter()
+            .all(|s| s.cnot_count == result.samples[0].cnot_count)
+        {
             let mut r1 = StdRng::seed_from_u64(4);
             let mut r2 = StdRng::seed_from_u64(4);
             let uniform = averaged_noisy_distribution(
-                &result, &noise::NoiseModel::pauli(0.01), 4096, 32, &mut r1);
+                &result,
+                &noise::NoiseModel::pauli(0.01),
+                4096,
+                32,
+                &mut r1,
+            );
             let weighted = weighted_noisy_distribution(
-                &result, &noise::NoiseModel::pauli(0.01), 4096, 32, &mut r2);
+                &result,
+                &noise::NoiseModel::pauli(0.01),
+                4096,
+                32,
+                &mut r2,
+            );
             for (a, b) in uniform.iter().zip(&weighted) {
                 assert!((a - b).abs() < 1e-12);
             }
@@ -172,7 +189,12 @@ mod tests {
         let result = Quest::new(QuestConfig::fast().with_seed(10)).compile(&toy());
         let mut rng = StdRng::seed_from_u64(5);
         let w = weighted_noisy_distribution(
-            &result, &noise::NoiseModel::pauli(0.02), 4096, 32, &mut rng);
+            &result,
+            &noise::NoiseModel::pauli(0.02),
+            4096,
+            32,
+            &mut rng,
+        );
         assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 

@@ -42,6 +42,7 @@ pub mod evaluate;
 pub mod objective;
 pub mod pipeline;
 pub mod report;
+pub mod verify;
 
 pub use cache::BlockCache;
 pub use config::{QuestConfig, SelectionStrategy};

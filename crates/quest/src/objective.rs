@@ -29,20 +29,18 @@ impl BlockSimilarity {
     pub fn new(block: &SynthesizedBlock) -> Self {
         let k = block.approximations.len();
         let mut similar = vec![vec![false; k]; k];
+        // Each upper-triangle entry is written to two rows at once, so an
+        // iterator over `similar` cannot express the symmetric fill.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..k {
-            for j in 0..k {
-                if i == j {
-                    similar[i][j] = true;
-                    continue;
-                }
-                if j < i {
-                    similar[i][j] = similar[j][i];
-                    continue;
-                }
+            similar[i][i] = true;
+            for j in (i + 1)..k {
                 let a = &block.approximations[i];
                 let b = &block.approximations[j];
                 let mutual = qmath::hs::process_distance(&a.unitary, &b.unitary);
-                similar[i][j] = mutual <= a.distance.max(b.distance);
+                let is_similar = mutual <= a.distance.max(b.distance);
+                similar[i][j] = is_similar;
+                similar[j][i] = is_similar;
             }
         }
         BlockSimilarity { similar }
@@ -183,7 +181,6 @@ mod tests {
         let obj = Objective::new(&blocks, &sims, &selected, 0.2, 8, 0.5);
         assert_eq!(obj.score(&[0]), 1.0); // 0.5 > 0.2
         assert!(obj.score(&[1]) < 1.0); // feasible: c_norm = 4/8
-
     }
 
     #[test]

@@ -101,7 +101,11 @@ impl QuestResult {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().map(|s| s.cnot_count as f64).sum::<f64>() / self.samples.len() as f64
+        self.samples
+            .iter()
+            .map(|s| s.cnot_count as f64)
+            .sum::<f64>()
+            / self.samples.len() as f64
     }
 
     /// Borrowed list of the selected circuits.
@@ -162,11 +166,8 @@ impl Quest {
 
         // Step 1: partition (Sec. 3.3).
         let t0 = Instant::now();
-        let parts = scan_partition_with(
-            circuit,
-            self.config.block_size,
-            self.config.max_block_gates,
-        );
+        let parts =
+            scan_partition_with(circuit, self.config.block_size, self.config.max_block_gates);
         timings.partition = t0.elapsed();
 
         // Step 2: approximate synthesis per block (Sec. 3.5).
@@ -210,13 +211,18 @@ impl Quest {
             })
             .collect();
 
-        QuestResult {
+        let result = QuestResult {
             samples,
             original_cnots,
             blocks,
             timings,
             threshold,
-        }
+        };
+        // With the `verify` feature on, re-check every invariant the result
+        // rests on before handing it out (see the `verify` module).
+        #[cfg(feature = "verify")]
+        crate::verify::assert_result_clean(circuit, &result, &self.config);
+        result
     }
 
     fn synthesize_blocks(
@@ -311,8 +317,7 @@ impl Quest {
         threshold: f64,
         original_cnots: usize,
     ) -> Vec<Vec<usize>> {
-        let similarities: Vec<BlockSimilarity> =
-            blocks.iter().map(BlockSimilarity::new).collect();
+        let similarities: Vec<BlockSimilarity> = blocks.iter().map(BlockSimilarity::new).collect();
         let arity: Vec<usize> = blocks.iter().map(|b| b.approximations.len()).collect();
         let mut selected: Vec<Vec<usize>> = Vec::new();
         'rounds: for s in 0..self.config.max_samples {

@@ -1,0 +1,148 @@
+//! Post-run verification of pipeline results against the invariants the
+//! Sec. 3.8 fidelity bound rests on.
+//!
+//! [`check_result`] rebuilds a [`qlint::LintContext`] from a finished
+//! [`QuestResult`] — the deterministic re-partition of the input, every
+//! cached block unitary, every reported CNOT count and the full Σε budget
+//! accounting — and runs the whole lint registry over it, plus a direct
+//! re-derivation of each selected approximation's HS distance. The function
+//! is always available (the `qlint` CLI calls it on demand); the `verify`
+//! cargo feature additionally runs it inside [`Quest::compile`] and panics
+//! on any error-severity finding.
+//!
+//! [`Quest::compile`]: crate::Quest::compile
+
+use crate::config::QuestConfig;
+use crate::pipeline::QuestResult;
+use qcircuit::Circuit;
+use qlint::{
+    BlockReport, BudgetReport, CnotClaim, Finding, LintContext, PartitionView, SampleBudget,
+};
+use qmath::hs;
+use qpartition::scan_partition_with;
+
+/// Slack for re-derived HS distances (synthesis and verification compute
+/// them through the same float pipeline, but in different orders).
+const DISTANCE_TOL: f64 = 1e-6;
+
+/// Verifies `result` against the `original` circuit it was compiled from.
+///
+/// Returns every lint finding; a result is trustworthy when no finding has
+/// [`qlint::Severity::Error`] (warnings — e.g. a sample that no longer
+/// touches a qubit because its approximation dropped every gate on it — do
+/// not invalidate the bound).
+pub fn check_result(
+    original: &Circuit,
+    result: &QuestResult,
+    config: &QuestConfig,
+) -> Vec<Finding> {
+    // The partitioner is deterministic, so re-partitioning reproduces the
+    // blocks the pipeline used; soundness of that partition is exactly what
+    // `reassemble_with` relied on.
+    let parts = scan_partition_with(original, config.block_size, config.max_block_gates);
+    let mut ctx = LintContext::for_circuit(original)
+        .with_partition(PartitionView::from_partition(&parts, config.block_size));
+
+    for (bi, block) in result.blocks.iter().enumerate() {
+        // The block's own unitary must match what the partition says.
+        ctx = ctx.with_block_report(BlockReport {
+            label: format!("block {bi} (original)"),
+            width: block.qubits.len(),
+            instructions: parts
+                .blocks()
+                .get(bi)
+                .map(|b| b.circuit().instructions().to_vec())
+                .unwrap_or_default(),
+            cached_unitary: block.original_unitary.clone(),
+        });
+        // Every menu entry's cached unitary must match its circuit.
+        for (ai, approx) in block.approximations.iter().enumerate() {
+            ctx = ctx.with_block_report(BlockReport {
+                label: format!("block {bi} approximation {ai}"),
+                width: block.qubits.len(),
+                instructions: approx.circuit.instructions().to_vec(),
+                cached_unitary: approx.unitary.clone(),
+            });
+        }
+    }
+
+    let mut budget = BudgetReport {
+        epsilon_per_block: config.epsilon_per_block,
+        threshold: result.threshold,
+        num_blocks: result.blocks.len(),
+        samples: Vec::new(),
+    };
+    let mut extra: Vec<Finding> = Vec::new();
+    for (si, sample) in result.samples.iter().enumerate() {
+        let label = format!("sample {si}");
+        ctx = ctx.with_cnot_claim(CnotClaim {
+            label: label.clone(),
+            claimed: sample.cnot_count,
+            instructions: sample.circuit.instructions().to_vec(),
+        });
+        if sample.indices.len() != result.blocks.len() {
+            extra.push(Finding::error(
+                "hs-bound-budget",
+                format!(
+                    "{label}: {} block choice(s) for a {}-block run",
+                    sample.indices.len(),
+                    result.blocks.len()
+                ),
+            ));
+            continue;
+        }
+        let mut distances = Vec::with_capacity(sample.indices.len());
+        for (bi, (&ai, block)) in sample.indices.iter().zip(&result.blocks).enumerate() {
+            let Some(approx) = block.approximations.get(ai) else {
+                extra.push(Finding::error(
+                    "hs-bound-budget",
+                    format!(
+                        "{label}: block {bi} choice {ai} out of range ({} entries)",
+                        block.approximations.len()
+                    ),
+                ));
+                continue;
+            };
+            // The distance the bound is built from must be re-derivable
+            // from the unitaries themselves.
+            let recomputed = hs::process_distance(&block.original_unitary, &approx.unitary);
+            if (recomputed - approx.distance).abs() > DISTANCE_TOL {
+                extra.push(Finding::error(
+                    "hs-bound-budget",
+                    format!(
+                        "{label}: block {bi} claims distance {} but the \
+                         unitaries give {recomputed}",
+                        approx.distance
+                    ),
+                ));
+            }
+            distances.push(approx.distance);
+        }
+        budget.samples.push(SampleBudget {
+            label,
+            block_distances: distances,
+            claimed_bound: sample.bound,
+        });
+    }
+    ctx = ctx.with_budget(budget);
+
+    let mut findings = qlint::lint(&ctx);
+    findings.extend(extra);
+    findings
+}
+
+/// Panics with a readable report when `check_result` finds any error.
+#[cfg(feature = "verify")]
+pub(crate) fn assert_result_clean(original: &Circuit, result: &QuestResult, config: &QuestConfig) {
+    let findings = check_result(original, result, config);
+    let errors: Vec<String> = findings
+        .iter()
+        .filter(|f| f.severity == qlint::Severity::Error)
+        .map(ToString::to_string)
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "QUEST result failed verification:\n  {}",
+        errors.join("\n  ")
+    );
+}

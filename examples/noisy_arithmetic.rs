@@ -50,8 +50,7 @@ fn main() {
     );
 
     let qiskit = qtranspile::optimize(&circuit);
-    let qiskit_noisy =
-        qsim::noise::run_noisy(&qiskit, &model, shots, 64, &mut rng).probabilities();
+    let qiskit_noisy = qsim::noise::run_noisy(&qiskit, &model, shots, 64, &mut rng).probabilities();
     println!(
         "noisy Qiskit ({} CNOTs):  P(correct) = {:.3}, TVD = {:.3}",
         qiskit.cnot_count(),

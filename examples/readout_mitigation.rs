@@ -27,8 +27,7 @@ fn main() {
     let calibration = ReadoutCalibration::calibrate(4, &model, 30_000, &mut rng);
 
     let qiskit = qtranspile::optimize(&circuit);
-    let qiskit_raw =
-        qsim::noise::run_noisy(&qiskit, &model, shots, 64, &mut rng).probabilities();
+    let qiskit_raw = qsim::noise::run_noisy(&qiskit, &model, shots, 64, &mut rng).probabilities();
 
     let mut cfg = QuestConfig::default().with_seed(3);
     cfg.max_block_gates = Some(26);

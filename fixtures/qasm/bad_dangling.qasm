@@ -1,0 +1,7 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// Seeded bug: a 4-qubit register, but qubits 2 and 3 are never touched.
+qreg q[4];
+h q[0];
+cx q[0],q[1];
+rz(0.5) q[1];

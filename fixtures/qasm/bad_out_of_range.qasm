@@ -1,0 +1,6 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// Seeded bug: q[3] does not exist in a 2-qubit register.
+qreg q[2];
+h q[0];
+cx q[0],q[3];

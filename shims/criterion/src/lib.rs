@@ -1,0 +1,245 @@
+//! Offline drop-in subset of the Criterion.rs benchmarking API.
+//!
+//! Implements enough of `criterion` 0.5 for this workspace's benches to
+//! compile and produce useful numbers without crates.io access (see
+//! `crates/shims/README.md`): [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple — each routine is warmed up, then
+//! timed over `sample_size` samples and reported as min/median/max of the
+//! per-iteration mean. There is no outlier analysis, HTML report, or
+//! baseline comparison.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    samples: usize,
+    /// Mean per-iteration time of each sample.
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records per-iteration timings.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up and iteration-count calibration: aim for ~10 ms per
+        // sample, capped to keep total bench time bounded.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+
+        self.results.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.results.push(t0.elapsed() / iters);
+        }
+    }
+}
+
+fn report(name: &str, results: &mut [Duration]) {
+    if results.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    results.sort();
+    let min = results[0];
+    let med = results[results.len() / 2];
+    let max = results[results.len() - 1];
+    println!("{name:<40} [{min:>12.2?} {med:>12.2?} {max:>12.2?}]");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &mut b.results);
+        self
+    }
+
+    /// Benchmarks `f` under `id` with a borrowed input.
+    // By-value `id` mirrors the real criterion signature the benches compile against.
+    #[allow(clippy::needless_pass_by_value)]
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            results: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &mut b.results);
+        self
+    }
+
+    /// Ends the group (report output is per-benchmark; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.effective_sample_size(),
+            results: Vec::new(),
+        };
+        f(&mut b);
+        report(name, &mut b.results);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.effective_sample_size();
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        if self.sample_size == 0 {
+            20
+        } else {
+            self.sample_size
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs_to_completion() {
+        let mut c = Criterion::default().sample_size(3);
+        sample_bench(&mut c);
+    }
+
+    criterion_group!(test_group, sample_bench);
+
+    #[test]
+    fn group_macro_expands() {
+        test_group();
+    }
+}

@@ -1,0 +1,94 @@
+//! Offline drop-in subset of the `crossbeam` API, backed by `std::thread`.
+//!
+//! Only `crossbeam::thread::scope` is provided — `std::thread::scope`
+//! (stable since 1.63) gives the same borrow-from-the-stack guarantee, so
+//! this shim is a thin signature adapter: crossbeam spawn closures take a
+//! `&Scope` argument and `scope` returns a `Result`.
+
+pub mod thread {
+    //! Scoped threads with the crossbeam 0.8 calling convention.
+
+    use std::any::Any;
+
+    /// Handle for spawning further threads inside a scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result, or the panic payload
+        /// if it panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it can
+        /// spawn nested threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// all threads are joined before `scope` returns.
+    ///
+    /// Unlike crossbeam (which collects panics from unjoined threads into
+    /// the `Err` variant), `std::thread::scope` propagates unjoined-thread
+    /// panics by resuming them on the caller; explicitly joined threads
+    /// behave identically. This workspace joins every handle.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` (kept for crossbeam signature compatibility).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn join_surfaces_panics() {
+        let res = crate::thread::scope(|s| s.spawn(|_| panic!("boom")).join());
+        assert!(res.unwrap().is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! Test-runner plumbing: config, case outcomes, and per-test RNGs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG driving strategy generation.
+pub type TestRng = StdRng;
+
+/// Runner configuration (only `cases` is honored by this shim).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; circuits-with-unitaries cases in this
+        // workspace are ~1 ms each, so a lower default keeps `cargo test`
+        // fast while still exploring meaningfully.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a test case did not succeed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` precondition failed — skip, do not count.
+    Reject,
+    /// `prop_assert!`-style failure with its message.
+    Fail(String),
+}
+
+/// Deterministic RNG for one property test, seeded from the test name so
+/// every run explores the same sequence (reproducibility without
+/// `proptest-regressions` files).
+pub fn rng_for_test(name: &str) -> TestRng {
+    // FNV-1a over the test name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h)
+}

@@ -1,0 +1,184 @@
+//! `qlint` — lint OpenQASM files and QUEST pipeline runs.
+//!
+//! ```text
+//! qlint [OPTIONS] <FILE.qasm>...
+//!
+//! Options:
+//!   --list                 list the registered lints and exit
+//!   --pipeline             run the QUEST pipeline on each circuit and
+//!                          verify the result's invariants too
+//!   --coupling <TOPOLOGY>  route onto `line`, `ring`, `manila` or
+//!                          `all-to-all` and lint the routed circuit
+//!   --seed <N>             pipeline seed (default 7)
+//!   --allow-warnings       exit zero when only warnings were found
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
+//! I/O errors.
+
+use qcircuit::topology::CouplingMap;
+use qcircuit::{qasm, Circuit};
+use qlint::{LintContext, PartitionView, Registry, RoutingView, Severity};
+use qpartition::scan_partition;
+use quest::{Quest, QuestConfig};
+
+struct Options {
+    list: bool,
+    pipeline: bool,
+    coupling: Option<String>,
+    seed: u64,
+    allow_warnings: bool,
+    files: Vec<String>,
+}
+
+fn usage() -> String {
+    "usage: qlint [--list] [--pipeline] [--coupling <line|ring|manila|all-to-all>] \
+     [--seed <N>] [--allow-warnings] <FILE.qasm>..."
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        list: false,
+        pipeline: false,
+        coupling: None,
+        seed: 7,
+        allow_warnings: false,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => opts.list = true,
+            "--pipeline" => opts.pipeline = true,
+            "--allow-warnings" => opts.allow_warnings = true,
+            "--coupling" => {
+                let v = it.next().ok_or("--coupling needs a topology name")?;
+                opts.coupling = Some(v.clone());
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a number")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`\n{}", usage()))
+            }
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+fn coupling_for(name: &str, n: usize) -> Result<CouplingMap, String> {
+    match name {
+        "line" => Ok(CouplingMap::line(n)),
+        "ring" => Ok(CouplingMap::ring(n)),
+        "all-to-all" => Ok(CouplingMap::all_to_all(n)),
+        "manila" => {
+            if n != 5 {
+                return Err(format!(
+                    "manila is a 5-qubit device, circuit has {n} qubits"
+                ));
+            }
+            Ok(CouplingMap::manila())
+        }
+        other => Err(format!("unknown topology `{other}`")),
+    }
+}
+
+/// Lints one parsed circuit with every artifact the options ask for.
+fn lint_circuit(circuit: &Circuit, opts: &Options) -> Result<Vec<qlint::Finding>, String> {
+    let registry = Registry::with_builtin_lints();
+
+    // Base context: the circuit plus a real partition of it, so partition
+    // soundness is exercised on every file.
+    let parts = scan_partition(circuit, 4);
+    let ctx =
+        LintContext::for_circuit(circuit).with_partition(PartitionView::from_partition(&parts, 4));
+    let mut findings = registry.run(&ctx);
+
+    if let Some(name) = &opts.coupling {
+        let map = coupling_for(name, circuit.num_qubits())?;
+        let routed = qtranspile::routing::route(circuit, &map);
+        let routed_ctx = LintContext::for_circuit(&routed.circuit)
+            .with_coupling(&map)
+            .with_routing(RoutingView::new(circuit, routed.final_layout.clone()));
+        findings.extend(registry.run(&routed_ctx));
+    }
+
+    if opts.pipeline {
+        if circuit.is_empty() {
+            return Err("--pipeline needs a non-empty circuit".into());
+        }
+        let config = QuestConfig::fast().with_seed(opts.seed);
+        let result = Quest::new(config.clone()).compile(circuit);
+        findings.extend(quest::verify::check_result(circuit, &result, &config));
+    }
+    Ok(findings)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    if opts.list {
+        for (name, desc) in Registry::with_builtin_lints().descriptions() {
+            println!("{name:<20} {desc}");
+        }
+        return;
+    }
+    if opts.files.is_empty() {
+        eprintln!("{}", usage());
+        std::process::exit(2);
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for file in &opts.files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{file}: cannot read: {e}");
+                std::process::exit(2);
+            }
+        };
+        let circuit = match qasm::parse(&source) {
+            Ok(c) => c,
+            Err(e) => {
+                // A file that does not even parse is itself a finding: the
+                // pipeline's interchange format is broken.
+                println!("{file}: error[qasm-parse]: {e}");
+                errors += 1;
+                continue;
+            }
+        };
+        match lint_circuit(&circuit, &opts) {
+            Err(msg) => {
+                eprintln!("{file}: {msg}");
+                std::process::exit(2);
+            }
+            Ok(findings) => {
+                for f in &findings {
+                    println!("{file}: {f}");
+                    match f.severity {
+                        Severity::Error => errors += 1,
+                        Severity::Warning => warnings += 1,
+                    }
+                }
+            }
+        }
+    }
+
+    if errors + warnings > 0 {
+        eprintln!("qlint: {errors} error(s), {warnings} warning(s)");
+    }
+    let failing = errors + if opts.allow_warnings { 0 } else { warnings };
+    std::process::exit(i32::from(failing > 0));
+}

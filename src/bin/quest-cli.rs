@@ -41,10 +41,34 @@ fn parse_args() -> Result<Args, String> {
             it.next().ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
-            "--epsilon" => args.epsilon = Some(value("--epsilon")?.parse().map_err(|e| format!("--epsilon: {e}"))?),
-            "--block-size" => args.block_size = Some(value("--block-size")?.parse().map_err(|e| format!("--block-size: {e}"))?),
-            "--samples" => args.samples = Some(value("--samples")?.parse().map_err(|e| format!("--samples: {e}"))?),
-            "--seed" => args.seed = Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?),
+            "--epsilon" => {
+                args.epsilon = Some(
+                    value("--epsilon")?
+                        .parse()
+                        .map_err(|e| format!("--epsilon: {e}"))?,
+                )
+            }
+            "--block-size" => {
+                args.block_size = Some(
+                    value("--block-size")?
+                        .parse()
+                        .map_err(|e| format!("--block-size: {e}"))?,
+                )
+            }
+            "--samples" => {
+                args.samples = Some(
+                    value("--samples")?
+                        .parse()
+                        .map_err(|e| format!("--samples: {e}"))?,
+                )
+            }
+            "--seed" => {
+                args.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
             "--out-dir" => args.out_dir = Some(PathBuf::from(value("--out-dir")?)),
             "--fast" => args.fast = true,
             "--qiskit" => args.qiskit = true,

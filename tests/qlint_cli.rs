@@ -1,0 +1,106 @@
+//! End-to-end tests of the `qlint` binary over the shipped QASM fixtures.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures/qasm")
+        .join(name)
+}
+
+fn run(args: &[&dyn AsRef<std::ffi::OsStr>]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_qlint"));
+    for a in args {
+        cmd.arg(a.as_ref());
+    }
+    cmd.output().expect("failed to launch qlint")
+}
+
+#[test]
+fn clean_fixtures_exit_zero() {
+    let out = run(&[
+        &fixture("ghz4.qasm"),
+        &fixture("vqe3.qasm"),
+        &fixture("trotter2.qasm"),
+    ]);
+    assert!(
+        out.status.success(),
+        "expected clean run: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn seeded_bug_fixtures_exit_nonzero() {
+    let out = run(&[&fixture("bad_out_of_range.qasm")]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("qasm-parse"), "stdout: {stdout}");
+
+    let out = run(&[&fixture("bad_dangling.qasm")]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("dangling-qubit"), "stdout: {stdout}");
+}
+
+#[test]
+fn allow_warnings_downgrades_dangling_fixture() {
+    let out = run(&[&"--allow-warnings", &fixture("bad_dangling.qasm")]);
+    assert!(
+        out.status.success(),
+        "warnings should not fail with --allow-warnings: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    // The out-of-range fixture is an error and must still fail.
+    let out = run(&[&"--allow-warnings", &fixture("bad_out_of_range.qasm")]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn pipeline_mode_verifies_a_real_run() {
+    let out = run(&[&"--pipeline", &"--seed", &"7", &fixture("trotter2.qasm")]);
+    assert!(
+        out.status.success(),
+        "pipeline verification failed: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn coupling_mode_checks_routed_circuit() {
+    let out = run(&[&"--coupling", &"line", &fixture("ghz4.qasm")]);
+    assert!(
+        out.status.success(),
+        "routing verification failed: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn list_prints_all_eight_lints() {
+    let out = run(&[&"--list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in [
+        "qubit-bounds",
+        "dangling-qubit",
+        "topology",
+        "partition-soundness",
+        "unitarity-drift",
+        "qasm-roundtrip",
+        "cnot-accounting",
+        "hs-bound-budget",
+    ] {
+        assert!(stdout.contains(name), "missing {name}: {stdout}");
+    }
+}
+
+#[test]
+fn unknown_option_is_a_usage_error() {
+    let out = run(&[&"--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}
