@@ -1,0 +1,79 @@
+//! Regenerates the committed `BENCH_pipeline.json` perf snapshot.
+//!
+//! Runs the end-to-end pipeline on a fixed workload (the 3-qubit VQE fixture
+//! plus a 4-qubit GHZ+Trotter mix) inside a metrics session and writes the
+//! flat metric readings to `BENCH_pipeline.json` — the repo's perf
+//! trajectory file. Usage:
+//!
+//! ```sh
+//! cargo run --release -p bench --bin perf_snapshot [OUT_DIR]
+//! ```
+//!
+//! `OUT_DIR` defaults to the current directory; EXPERIMENTS.md documents the
+//! regeneration workflow. Absolute wall-times vary by machine — the stable
+//! signals are the counters (evaluations, CNOTs, blocks) and the *ratios*
+//! between stage times.
+
+use bench::run_quest;
+use qcircuit::Circuit;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workload() -> Vec<(&'static str, Circuit)> {
+    // A redundant CNOT-heavy 3-qubit circuit (approximation headroom) and a
+    // 4-qubit entangler; both small enough that the snapshot regenerates in
+    // seconds yet exercise partition/synthesis/selection end to end.
+    let mut vqe = Circuit::new(3);
+    vqe.h(0);
+    for _ in 0..2 {
+        vqe.cnot(0, 1).rz(1, 0.2).cnot(0, 1);
+        vqe.cnot(1, 2).rz(2, 0.2).cnot(1, 2);
+    }
+    let mut ghz = Circuit::new(4);
+    ghz.h(0);
+    for q in 0..3 {
+        ghz.cnot(q, q + 1);
+    }
+    for q in 0..3 {
+        ghz.rz(q + 1, 0.3).cnot(q, q + 1);
+    }
+    vec![("vqe3", vqe), ("ghz4_trotter", ghz)]
+}
+
+fn main() -> ExitCode {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+
+    let session = qobs::metrics::session();
+    let mut snapshot = qobs::snapshot::BenchSnapshot::new("pipeline");
+    for (name, circuit) in workload() {
+        let result = run_quest(&circuit);
+        println!(
+            "{name}: {} samples, {} -> {:.1} CNOTs (mean), {:.2?} total",
+            result.samples.len(),
+            result.original_cnots,
+            result.mean_cnot_count(),
+            result.timings.total()
+        );
+        snapshot = snapshot
+            .with(
+                format!("{name}.total_seconds"),
+                result.timings.total().as_secs_f64(),
+            )
+            .with(format!("{name}.mean_cnots"), result.mean_cnot_count());
+    }
+    snapshot = snapshot.with_metrics(&session.snapshot());
+    drop(session);
+
+    match snapshot.write_to(&out_dir) {
+        Ok(path) => {
+            println!("wrote {}", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot write snapshot: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -27,6 +27,8 @@
 //! assert_eq!(out.best, vec![3, 1, 4]);
 //! ```
 
+#![warn(missing_docs)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -78,6 +80,24 @@ pub struct AnnealOutcome {
     pub best_value: f64,
     /// Objective evaluations spent.
     pub evals: usize,
+    /// Uphill-or-downhill moves the Tsallis criterion accepted.
+    pub accepted: usize,
+    /// Temperature-collapse restarts taken.
+    pub restarts: usize,
+}
+
+impl AnnealOutcome {
+    /// Fraction of proposed moves accepted (0 when nothing was proposed).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.evals == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.accepted as f64 / self.evals as f64
+            }
+        }
+    }
 }
 
 /// Minimizes `f` over the integer lattice `{0..arity[0]} × … ×
@@ -110,11 +130,15 @@ pub fn minimize_discrete(
             })
             .collect()
     };
-    let (best01, best_value, evals) = anneal01(&|x| f(&decode(x)), arity.len(), cfg);
+    let _span = qobs::span!("qanneal.minimize_discrete", dims = arity.len());
+    let run = anneal01(&|x| f(&decode(x)), arity.len(), cfg);
+    record_run(&run);
     AnnealOutcome {
-        best: decode(&best01),
-        best_value,
-        evals,
+        best: decode(&run.best),
+        best_value: run.best_value,
+        evals: run.evals,
+        accepted: run.accepted,
+        restarts: run.restarts,
     }
 }
 
@@ -155,18 +179,51 @@ pub fn minimize_continuous(
             .map(|(&xi, &(lo, hi))| lo + xi * (hi - lo))
             .collect()
     };
-    let (best01, best_value, evals) = anneal01(&|x| f(&decode(x)), bounds.len(), cfg);
+    let _span = qobs::span!("qanneal.minimize_continuous", dims = bounds.len());
+    let run = anneal01(&|x| f(&decode(x)), bounds.len(), cfg);
+    record_run(&run);
     ContinuousOutcome {
-        best: decode(&best01),
-        best_value,
-        evals,
+        best: decode(&run.best),
+        best_value: run.best_value,
+        evals: run.evals,
     }
 }
 
+/// Raw engine statistics shared by both front ends.
+struct EngineRun {
+    best: Vec<f64>,
+    best_value: f64,
+    evals: usize,
+    accepted: usize,
+    restarts: usize,
+    final_temperature: f64,
+}
+
+/// Publishes one engine run to the metrics registry (no-op when metrics
+/// collection is off; see DESIGN.md's metric-name table).
+fn record_run(run: &EngineRun) {
+    qobs::metrics::counter("qanneal.evals", run.evals as u64);
+    qobs::metrics::counter("qanneal.accepted", run.accepted as u64);
+    qobs::metrics::counter("qanneal.restarts", run.restarts as u64);
+    qobs::metrics::counter("qanneal.runs", 1);
+    #[allow(clippy::cast_precision_loss)]
+    let rate = if run.evals == 0 {
+        0.0
+    } else {
+        run.accepted as f64 / run.evals as f64
+    };
+    qobs::metrics::histogram("qanneal.acceptance_rate", rate);
+    qobs::metrics::gauge("qanneal.final_temperature", run.final_temperature);
+    qobs::metrics::histogram("qanneal.best_value", run.best_value);
+}
+
 /// The GSA engine over the unit box `[0, 1)^d` with periodic boundaries.
-fn anneal01(f: &dyn Fn(&[f64]) -> f64, d: usize, cfg: &AnnealConfig) -> (Vec<f64>, f64, usize) {
+fn anneal01(f: &dyn Fn(&[f64]) -> f64, d: usize, cfg: &AnnealConfig) -> EngineRun {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut evals = 0usize;
+    let mut accepted = 0usize;
+    let mut restarts = 0usize;
+    let mut last_temperature = cfg.initial_temp;
     let mut best: Vec<f64> = vec![0.0; d];
     let mut best_value = f64::INFINITY;
 
@@ -184,8 +241,18 @@ fn anneal01(f: &dyn Fn(&[f64]) -> f64, d: usize, cfg: &AnnealConfig) -> (Vec<f64
         loop {
             let t = temperature(cfg.initial_temp, cfg.visit, k);
             if t < cfg.initial_temp * cfg.restart_temp_ratio {
-                break; // temperature collapsed → restart
+                // Temperature collapsed → restart. The objective trace and
+                // cooling schedule are observable via these events.
+                restarts += 1;
+                qobs::event!(
+                    "qanneal.restart",
+                    evals = evals,
+                    temperature = t,
+                    best_value = best_value,
+                );
+                break;
             }
+            last_temperature = t;
             // One annealing "cycle": a global all-dimensions move followed
             // by d single-dimension moves (SciPy's strategy chain).
             for step in 0..=d {
@@ -206,9 +273,16 @@ fn anneal01(f: &dyn Fn(&[f64]) -> f64, d: usize, cfg: &AnnealConfig) -> (Vec<f64
                 if e_new < best_value {
                     best_value = e_new;
                     best.copy_from_slice(&cand);
+                    qobs::event!(
+                        "qanneal.improved",
+                        evals = evals,
+                        value = e_new,
+                        temperature = t,
+                    );
                 }
                 let t_accept = t / (k + 1) as f64;
                 if tsallis_accept(e_new - e_cur, t_accept, cfg.accept, &mut rng) {
+                    accepted += 1;
                     x = cand;
                     e_cur = e_new;
                 }
@@ -219,7 +293,14 @@ fn anneal01(f: &dyn Fn(&[f64]) -> f64, d: usize, cfg: &AnnealConfig) -> (Vec<f64
             break;
         }
     }
-    (best, best_value, evals)
+    EngineRun {
+        best,
+        best_value,
+        evals,
+        accepted,
+        restarts,
+        final_temperature: last_temperature,
+    }
 }
 
 /// GSA temperature schedule `t(k) = t₀·(2^{q_v−1} − 1)/((1+k)^{q_v−1} − 1)`.

@@ -32,6 +32,8 @@
 //! assert!(u.is_unitary(1e-12));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod analysis;
 pub mod circuit;
 pub mod draw;

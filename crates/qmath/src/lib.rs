@@ -29,6 +29,8 @@
 //! assert!(hs::process_distance(&x, &x) < 1e-9);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod complex;
 pub mod decompose;
 pub mod eigen;

@@ -1,0 +1,162 @@
+//! Observability substrate for the QUEST pipeline.
+//!
+//! The build environment has no crates.io access, so this crate is the
+//! workspace's offline stand-in for the `tracing` + `tracing-subscriber` +
+//! `metrics` stack (see `shims/README.md` for the shim policy): a small,
+//! dependency-free layer every pipeline crate instruments against.
+//!
+//! Three pieces:
+//!
+//! * **Spans** ([`span!`], [`event!`]): hierarchical, timed regions with
+//!   structured fields, dispatched to an installed [`Subscriber`]. With no
+//!   subscriber installed the macros cost one relaxed atomic load — field
+//!   expressions are not even evaluated.
+//! * **Metrics** ([`metrics`]): a process-global registry of named counters,
+//!   gauges, and histogram summaries. Disabled by default; enabling is
+//!   explicit ([`metrics::session`]) so library code can record freely
+//!   without a collection cost in ordinary runs.
+//! * **JSON** ([`json`]): a minimal ordered JSON value model with an
+//!   emitter and parser, used by the `RunReport` / `BENCH_*.json` outputs so
+//!   reports round-trip without an external serde.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! // Install a collecting subscriber (tests; CLIs use Fmt/Json subscribers).
+//! let sub = Arc::new(qobs::subscriber::TestSubscriber::default());
+//! qobs::subscribe(sub.clone());
+//! {
+//!     let _span = qobs::span!("demo.work", items = 3usize);
+//!     qobs::event!("demo.step", done = true);
+//! }
+//! qobs::unsubscribe();
+//! assert_eq!(sub.entered(), vec!["demo.work".to_string()]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod snapshot;
+pub mod span;
+pub mod subscriber;
+
+pub use span::{Field, SpanGuard};
+pub use subscriber::{FmtSubscriber, JsonSubscriber, Subscriber};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+static SPANS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn subscriber_slot() -> &'static RwLock<Option<Arc<dyn Subscriber>>> {
+    static SLOT: std::sync::OnceLock<RwLock<Option<Arc<dyn Subscriber>>>> =
+        std::sync::OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Installs `subscriber` as the process-global span/event sink, replacing
+/// any previous one. Spans become live immediately on every thread.
+pub fn subscribe(subscriber: Arc<dyn Subscriber>) {
+    *subscriber_slot().write().unwrap() = Some(subscriber);
+    SPANS_ENABLED.store(true, Ordering::Release);
+}
+
+/// Removes the installed subscriber; [`span!`] / [`event!`] return to their
+/// disabled fast path.
+pub fn unsubscribe() {
+    SPANS_ENABLED.store(false, Ordering::Release);
+    *subscriber_slot().write().unwrap() = None;
+}
+
+/// Whether a subscriber is installed. The [`span!`] / [`event!`] macros
+/// check this before evaluating their field expressions, which is what makes
+/// instrumentation zero-cost when tracing is off.
+#[inline]
+pub fn enabled() -> bool {
+    SPANS_ENABLED.load(Ordering::Acquire)
+}
+
+pub(crate) fn with_subscriber(f: impl FnOnce(&dyn Subscriber)) {
+    if let Some(sub) = subscriber_slot().read().unwrap().as_ref() {
+        f(sub.as_ref());
+    }
+}
+
+/// Opens a timed span: `span!("name")` or `span!("name", key = value, ...)`.
+///
+/// Returns a [`SpanGuard`] that reports its wall-clock duration to the
+/// subscriber when dropped. Field values may be any type with a
+/// `From` impl on [`Field`] (unsigned/signed integers, floats, bools,
+/// strings). When no subscriber is installed the guard is inert and the
+/// field expressions are never evaluated.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::span::enter(
+                $name,
+                vec![$((stringify!($key), $crate::span::Field::from($val))),*],
+            )
+        } else {
+            $crate::span::SpanGuard::disabled()
+        }
+    };
+}
+
+/// Emits an instantaneous structured event at the current span depth:
+/// `event!("name", key = value, ...)`.
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::span::emit_event(
+                $name,
+                &[$((stringify!($key), $crate::span::Field::from($val))),*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subscriber::TestSubscriber;
+
+    #[test]
+    fn disabled_macros_do_not_evaluate_fields() {
+        // Not installed → the closure side effect must not run.
+        let mut hit = false;
+        let mut bump = || {
+            hit = true;
+            1u64
+        };
+        if false {
+            // Type-check only.
+            let _ = span!("x", v = bump());
+        }
+        let _ = &mut bump;
+        assert!(!hit);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn subscriber_sees_nested_spans_and_events() {
+        let sub = Arc::new(TestSubscriber::default());
+        subscribe(sub.clone());
+        {
+            let _outer = span!("outer", n = 1usize);
+            {
+                let _inner = span!("inner");
+                event!("tick", ok = true);
+            }
+        }
+        unsubscribe();
+        assert_eq!(sub.entered(), vec!["outer", "inner"]);
+        let exits = sub.exited();
+        assert_eq!(exits, vec!["inner", "outer"], "LIFO exit order");
+        assert_eq!(sub.events(), vec!["tick"]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Process-global metrics registry: named counters, gauges, and histogram
+//! summaries.
+//!
+//! Recording sites live in library code and are always safe to call;
+//! whether anything is *stored* is controlled by an explicit session
+//! ([`session`]). When no session is active, [`counter`] / [`gauge`] /
+//! [`histogram`] are one relaxed atomic load and a branch — effectively
+//! free — so the pipeline crates instrument unconditionally.
+//!
+//! Metric names are dot-separated, lowercase, with the unit as the final
+//! path segment where one applies (e.g. `quest.stage.synthesis_seconds`).
+//! DESIGN.md's Observability section lists every name the pipeline emits.
+//!
+//! ```
+//! let session = qobs::metrics::session();
+//! qobs::metrics::counter("demo.widgets", 2);
+//! qobs::metrics::histogram("demo.latency_seconds", 0.5);
+//! let snap = session.snapshot();
+//! assert_eq!(snap.iter().find(|s| s.name == "demo.widgets").unwrap().sum, 2.0);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// What a metric measures — determines how its [`Sample`] is read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Monotonic sum of deltas; read `sum`.
+    Counter,
+    /// Last-write-wins value; read `last`.
+    Gauge,
+    /// Distribution summary; read `count`/`sum`/`min`/`max`/`mean()`.
+    Histogram,
+}
+
+impl Kind {
+    /// Stable lowercase name used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One metric's aggregated state at snapshot time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Dot-separated metric name.
+    pub name: String,
+    /// Counter, gauge, or histogram.
+    pub kind: Kind,
+    /// Number of recordings.
+    pub count: u64,
+    /// Sum of recorded values (the value of a counter).
+    pub sum: f64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+    /// Most recent recorded value (the value of a gauge).
+    pub last: f64,
+}
+
+impl Sample {
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.sum / self.count as f64
+            }
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    kind: Kind,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    last: f64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<HashMap<&'static str, Entry>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<&'static str, Entry>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn session_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Whether a collection session is active.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn record(name: &'static str, kind: Kind, value: f64) {
+    let mut map = registry().lock().unwrap();
+    let entry = map.entry(name).or_insert(Entry {
+        kind,
+        count: 0,
+        sum: 0.0,
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+        last: 0.0,
+    });
+    debug_assert_eq!(
+        entry.kind, kind,
+        "metric {name} recorded with two different kinds"
+    );
+    entry.count += 1;
+    entry.sum += value;
+    entry.min = entry.min.min(value);
+    entry.max = entry.max.max(value);
+    entry.last = value;
+}
+
+/// Adds `delta` to the counter `name` (no-op without an active session).
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    if is_enabled() {
+        #[allow(clippy::cast_precision_loss)]
+        record(name, Kind::Counter, delta as f64);
+    }
+}
+
+/// Sets the gauge `name` to `value` (no-op without an active session).
+#[inline]
+pub fn gauge(name: &'static str, value: f64) {
+    if is_enabled() {
+        record(name, Kind::Gauge, value);
+    }
+}
+
+/// Records `value` into the histogram `name` (no-op without an active
+/// session).
+#[inline]
+pub fn histogram(name: &'static str, value: f64) {
+    if is_enabled() {
+        record(name, Kind::Histogram, value);
+    }
+}
+
+/// An exclusive metrics-collection window.
+///
+/// Construction ([`session`]) serializes on a process-global lock (so
+/// concurrent tests cannot interleave their metrics), clears the registry,
+/// and enables recording; dropping disables recording again. Snapshot
+/// before dropping.
+pub struct Session {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl Session {
+    /// Reads every metric recorded so far, sorted by name.
+    pub fn snapshot(&self) -> Vec<Sample> {
+        snapshot()
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Starts an exclusive collection session: blocks until any other session
+/// ends, resets all metrics, and enables recording until the returned
+/// [`Session`] drops.
+pub fn session() -> Session {
+    // A poisoned lock only means another session's test panicked; the
+    // registry is reset below, so collection state is still coherent.
+    let guard = session_lock()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    registry().lock().unwrap().clear();
+    ENABLED.store(true, Ordering::Relaxed);
+    Session { _guard: guard }
+}
+
+/// Reads every metric recorded in the current session, sorted by name.
+/// Usually reached through [`Session::snapshot`].
+pub fn snapshot() -> Vec<Sample> {
+    let map = registry().lock().unwrap();
+    let mut out: Vec<Sample> = map
+        .iter()
+        .map(|(name, e)| Sample {
+            name: (*name).to_string(),
+            kind: e.kind,
+            count: e.count,
+            sum: e.sum,
+            min: e.min,
+            max: e.max,
+            last: e.last,
+        })
+        .collect();
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_collects_and_disabling_stops_collection() {
+        {
+            let s = session();
+            counter("t.count", 1);
+            counter("t.count", 4);
+            gauge("t.width", 8.0);
+            histogram("t.dist", 0.25);
+            histogram("t.dist", 0.75);
+            let snap = s.snapshot();
+            let get = |n: &str| snap.iter().find(|s| s.name == n).unwrap().clone();
+            assert_eq!(get("t.count").sum, 5.0);
+            assert_eq!(get("t.count").kind, Kind::Counter);
+            assert_eq!(get("t.width").last, 8.0);
+            let d = get("t.dist");
+            assert_eq!(d.count, 2);
+            assert_eq!(d.min, 0.25);
+            assert_eq!(d.max, 0.75);
+            assert!((d.mean() - 0.5).abs() < 1e-12);
+        }
+        // Session over: recording is a no-op again.
+        counter("t.count", 100);
+        assert!(!is_enabled());
+    }
+
+    #[test]
+    fn new_session_resets_previous_state() {
+        {
+            let _s = session();
+            counter("t.reset", 9);
+        }
+        let s = session();
+        assert!(
+            s.snapshot().iter().all(|m| m.name != "t.reset"),
+            "stale metric survived session reset"
+        );
+    }
+}

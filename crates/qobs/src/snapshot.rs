@@ -1,0 +1,148 @@
+//! `BENCH_*.json` performance snapshots.
+//!
+//! The repo's perf trajectory is a series of committed `BENCH_<name>.json`
+//! files: flat, diffable records of stage wall-times and pipeline counters
+//! captured by the bench harness and by `quest-cli --report`. Every future
+//! performance PR regenerates the same snapshots so regressions show up as
+//! JSON diffs (see EXPERIMENTS.md's regeneration workflow).
+//!
+//! Schema (`schema_version` 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "name": "pipeline",
+//!   "created_unix": 1754000000,
+//!   "entries": { "<metric name>": <number>, ... }
+//! }
+//! ```
+
+use crate::json::Json;
+use crate::metrics::Sample;
+use std::path::{Path, PathBuf};
+
+/// Current `BENCH_*.json` schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A named set of scalar performance entries, serializable to
+/// `BENCH_<name>.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchSnapshot {
+    /// Snapshot name; the file is written as `BENCH_<name>.json`.
+    pub name: String,
+    /// Seconds since the Unix epoch at capture time.
+    pub created_unix: u64,
+    /// Ordered `(metric name, value)` pairs.
+    pub entries: Vec<(String, f64)>,
+}
+
+impl BenchSnapshot {
+    /// Creates an empty snapshot stamped with the current wall-clock time.
+    pub fn new(name: impl Into<String>) -> Self {
+        let created_unix = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        BenchSnapshot {
+            name: name.into(),
+            created_unix,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends one scalar entry (builder style).
+    #[must_use]
+    pub fn with(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.entries.push((key.into(), value));
+        self
+    }
+
+    /// Appends the scalar reading of every metric in `samples`: counters
+    /// contribute their sum, gauges their last value, histograms their mean.
+    #[must_use]
+    pub fn with_metrics(mut self, samples: &[Sample]) -> Self {
+        for s in samples {
+            let value = match s.kind {
+                crate::metrics::Kind::Counter => s.sum,
+                crate::metrics::Kind::Gauge => s.last,
+                crate::metrics::Kind::Histogram => s.mean(),
+            };
+            self.entries.push((s.name.clone(), value));
+        }
+        self
+    }
+
+    /// The snapshot as a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("schema_version".into(), Json::from(SCHEMA_VERSION)),
+            ("name".into(), Json::from(self.name.clone())),
+            ("created_unix".into(), Json::from(self.created_unix)),
+            (
+                "entries".into(),
+                Json::Object(
+                    self.entries
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Writes `BENCH_<name>.json` into `dir` and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the write.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json().pretty())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Kind;
+
+    #[test]
+    fn snapshot_serializes_with_schema_and_entries() {
+        let snap = BenchSnapshot::new("unit")
+            .with("a.seconds", 1.5)
+            .with_metrics(&[Sample {
+                name: "b.count".into(),
+                kind: Kind::Counter,
+                count: 2,
+                sum: 7.0,
+                min: 3.0,
+                max: 4.0,
+                last: 4.0,
+            }]);
+        let json = snap.to_json();
+        assert_eq!(json.get("schema_version").and_then(Json::as_u64), Some(1));
+        assert_eq!(json.get("name").and_then(Json::as_str), Some("unit"));
+        let entries = json.get("entries").unwrap();
+        assert_eq!(entries.get("a.seconds").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(entries.get("b.count").and_then(Json::as_f64), Some(7.0));
+    }
+
+    #[test]
+    fn writes_bench_file() {
+        let dir = std::env::temp_dir().join("qobs_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = BenchSnapshot::new("t")
+            .with("x", 2.0)
+            .write_to(&dir)
+            .unwrap();
+        assert!(path.file_name().unwrap().to_str().unwrap() == "BENCH_t.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(
+            back.get("entries").unwrap().get("x").and_then(Json::as_f64),
+            Some(2.0)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,149 @@
+//! Span plumbing behind the [`span!`](crate::span!) / [`event!`](crate::event!)
+//! macros: structured field values, per-thread depth tracking, and the RAII
+//! guard that times a region.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// A structured field value attached to a span or event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Field {
+    /// Unsigned integer (counts, indices, widths).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (distances, seconds, rates).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Free-form text (names, strategies).
+    Str(String),
+}
+
+impl std::fmt::Display for Field {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Field::U64(v) => write!(f, "{v}"),
+            Field::I64(v) => write!(f, "{v}"),
+            Field::F64(v) => write!(f, "{v}"),
+            Field::Bool(v) => write!(f, "{v}"),
+            Field::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+macro_rules! field_from {
+    ($($ty:ty => $variant:ident as $conv:ty),+ $(,)?) => {
+        $(impl From<$ty> for Field {
+            fn from(v: $ty) -> Field {
+                Field::$variant(v as $conv)
+            }
+        })+
+    };
+}
+
+field_from!(
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64,
+    u64 => U64 as u64, usize => U64 as u64,
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    f32 => F64 as f64, f64 => F64 as f64,
+);
+
+impl From<bool> for Field {
+    fn from(v: bool) -> Field {
+        Field::Bool(v)
+    }
+}
+
+impl From<&str> for Field {
+    fn from(v: &str) -> Field {
+        Field::Str(v.to_string())
+    }
+}
+
+impl From<String> for Field {
+    fn from(v: String) -> Field {
+        Field::Str(v)
+    }
+}
+
+/// RAII guard for an open span: reports elapsed wall-clock time to the
+/// subscriber when dropped. Obtained from [`span!`](crate::span!).
+#[must_use = "a span is closed (and timed) when its guard drops"]
+pub struct SpanGuard {
+    live: Option<LiveSpan>,
+}
+
+struct LiveSpan {
+    name: &'static str,
+    fields: Vec<(&'static str, Field)>,
+    depth: usize,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// The inert guard handed out when no subscriber is installed.
+    pub fn disabled() -> SpanGuard {
+        SpanGuard { live: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(live) = self.live.take() {
+            let elapsed = live.start.elapsed();
+            DEPTH.with(|d| d.set(live.depth));
+            crate::with_subscriber(|sub| {
+                sub.on_exit(live.name, &live.fields, live.depth, elapsed);
+            });
+        }
+    }
+}
+
+/// Opens a live span (macro backend — prefer [`span!`](crate::span!)).
+pub fn enter(name: &'static str, fields: Vec<(&'static str, Field)>) -> SpanGuard {
+    let depth = DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth
+    });
+    crate::with_subscriber(|sub| sub.on_enter(name, &fields, depth));
+    SpanGuard {
+        live: Some(LiveSpan {
+            name,
+            fields,
+            depth,
+            start: Instant::now(),
+        }),
+    }
+}
+
+/// Emits an event (macro backend — prefer [`event!`](crate::event!)).
+pub fn emit_event(name: &'static str, fields: &[(&'static str, Field)]) {
+    let depth = DEPTH.with(Cell::get);
+    crate::with_subscriber(|sub| sub.on_event(name, fields, depth));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fields_convert_and_display() {
+        assert_eq!(Field::from(3usize), Field::U64(3));
+        assert_eq!(Field::from(-2i32), Field::I64(-2));
+        assert_eq!(Field::from(0.5f64), Field::F64(0.5));
+        assert_eq!(Field::from(true).to_string(), "true");
+        assert_eq!(Field::from("x").to_string(), "x");
+    }
+
+    #[test]
+    fn disabled_guard_is_inert() {
+        let g = SpanGuard::disabled();
+        drop(g); // must not touch thread state or panic
+    }
+}

@@ -1,0 +1,253 @@
+//! Span/event sinks: the [`Subscriber`] trait plus the two CLI-facing
+//! implementations (human-readable [`FmtSubscriber`], line-delimited
+//! [`JsonSubscriber`]) and a collecting [`TestSubscriber`] for assertions.
+
+use crate::json::Json;
+use crate::span::Field;
+use std::io::Write as _;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Receives span enter/exit and event notifications from every thread.
+///
+/// `depth` is the nesting depth on the emitting thread (0 = top level);
+/// worker threads start at depth 0 in their own right, so subscribers that
+/// reconstruct a tree should also key on the thread id they observe.
+pub trait Subscriber: Send + Sync {
+    /// A span opened.
+    fn on_enter(&self, name: &'static str, fields: &[(&'static str, Field)], depth: usize);
+    /// A span closed after `elapsed`.
+    fn on_exit(
+        &self,
+        name: &'static str,
+        fields: &[(&'static str, Field)],
+        depth: usize,
+        elapsed: Duration,
+    );
+    /// An instantaneous event fired.
+    fn on_event(&self, name: &'static str, fields: &[(&'static str, Field)], depth: usize);
+}
+
+fn fmt_fields(fields: &[(&'static str, Field)]) -> String {
+    if fields.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!(" {{{}}}", body.join(" "))
+}
+
+/// Indented, human-readable span log on stderr:
+///
+/// ```text
+/// → quest.compile {qubits=4 gates=12}
+///   → quest.partition
+///   ← quest.partition 312µs
+/// ← quest.compile 1.8s
+/// ```
+#[derive(Debug, Default)]
+pub struct FmtSubscriber {
+    out: Mutex<()>,
+}
+
+impl FmtSubscriber {
+    /// Creates a subscriber writing to stderr.
+    pub fn new() -> Self {
+        FmtSubscriber::default()
+    }
+
+    fn line(&self, depth: usize, text: &str) {
+        let _guard = self.out.lock().unwrap();
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "{:indent$}{text}", "", indent = depth * 2);
+    }
+}
+
+impl Subscriber for FmtSubscriber {
+    fn on_enter(&self, name: &'static str, fields: &[(&'static str, Field)], depth: usize) {
+        self.line(depth, &format!("→ {name}{}", fmt_fields(fields)));
+    }
+
+    fn on_exit(
+        &self,
+        name: &'static str,
+        _fields: &[(&'static str, Field)],
+        depth: usize,
+        elapsed: Duration,
+    ) {
+        self.line(depth, &format!("← {name} {elapsed:.1?}"));
+    }
+
+    fn on_event(&self, name: &'static str, fields: &[(&'static str, Field)], depth: usize) {
+        self.line(depth, &format!("· {name}{}", fmt_fields(fields)));
+    }
+}
+
+fn json_record(
+    kind: &str,
+    name: &str,
+    fields: &[(&'static str, Field)],
+    depth: usize,
+    elapsed: Option<Duration>,
+) -> Json {
+    let mut obj: Vec<(String, Json)> = vec![
+        ("type".into(), Json::from(kind)),
+        ("name".into(), Json::from(name)),
+        ("depth".into(), Json::from(depth)),
+        (
+            "thread".into(),
+            Json::from(format!("{:?}", std::thread::current().id())),
+        ),
+    ];
+    if let Some(e) = elapsed {
+        obj.push(("elapsed_us".into(), Json::from(e.as_secs_f64() * 1e6)));
+    }
+    if !fields.is_empty() {
+        let body: Vec<(String, Json)> = fields
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), Json::from(v.clone())))
+            .collect();
+        obj.push(("fields".into(), Json::Object(body)));
+    }
+    Json::Object(obj)
+}
+
+/// Machine-readable span log: one JSON object per line on stderr, with
+/// `type` ∈ {`span_enter`, `span_exit`, `event`}, the emitting thread, and
+/// `elapsed_us` on exits. This is the `--trace=json` layer of `quest-cli`.
+#[derive(Debug, Default)]
+pub struct JsonSubscriber {
+    out: Mutex<()>,
+}
+
+impl JsonSubscriber {
+    /// Creates a subscriber writing JSON lines to stderr.
+    pub fn new() -> Self {
+        JsonSubscriber::default()
+    }
+
+    fn line(&self, record: &Json) {
+        let _guard = self.out.lock().unwrap();
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "{record}");
+    }
+}
+
+impl Subscriber for JsonSubscriber {
+    fn on_enter(&self, name: &'static str, fields: &[(&'static str, Field)], depth: usize) {
+        self.line(&json_record("span_enter", name, fields, depth, None));
+    }
+
+    fn on_exit(
+        &self,
+        name: &'static str,
+        fields: &[(&'static str, Field)],
+        depth: usize,
+        elapsed: Duration,
+    ) {
+        self.line(&json_record(
+            "span_exit",
+            name,
+            fields,
+            depth,
+            Some(elapsed),
+        ));
+    }
+
+    fn on_event(&self, name: &'static str, fields: &[(&'static str, Field)], depth: usize) {
+        self.line(&json_record("event", name, fields, depth, None));
+    }
+}
+
+/// Collects span/event names in order — for tests asserting that a code
+/// path is instrumented.
+#[derive(Debug, Default)]
+pub struct TestSubscriber {
+    entered: Mutex<Vec<String>>,
+    exited: Mutex<Vec<String>>,
+    events: Mutex<Vec<String>>,
+}
+
+impl TestSubscriber {
+    /// Names of spans entered, in order.
+    pub fn entered(&self) -> Vec<String> {
+        self.entered.lock().unwrap().clone()
+    }
+
+    /// Names of spans exited, in order.
+    pub fn exited(&self) -> Vec<String> {
+        self.exited.lock().unwrap().clone()
+    }
+
+    /// Names of events emitted, in order.
+    pub fn events(&self) -> Vec<String> {
+        self.events.lock().unwrap().clone()
+    }
+}
+
+impl Subscriber for TestSubscriber {
+    fn on_enter(&self, name: &'static str, _fields: &[(&'static str, Field)], _depth: usize) {
+        self.entered.lock().unwrap().push(name.to_string());
+    }
+
+    fn on_exit(
+        &self,
+        name: &'static str,
+        _fields: &[(&'static str, Field)],
+        _depth: usize,
+        _elapsed: Duration,
+    ) {
+        self.exited.lock().unwrap().push(name.to_string());
+    }
+
+    fn on_event(&self, name: &'static str, _fields: &[(&'static str, Field)], _depth: usize) {
+        self.events.lock().unwrap().push(name.to_string());
+    }
+}
+
+impl From<Field> for Json {
+    fn from(f: Field) -> Json {
+        match f {
+            Field::U64(v) => Json::from(v),
+            Field::I64(v) => Json::from(v),
+            Field::F64(v) => Json::from(v),
+            Field::Bool(v) => Json::from(v),
+            Field::Str(v) => Json::from(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_record_shape() {
+        let rec = json_record(
+            "span_exit",
+            "quest.compile",
+            &[("blocks", Field::U64(3))],
+            1,
+            Some(Duration::from_micros(250)),
+        );
+        let text = rec.to_string();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.get("type").and_then(Json::as_str), Some("span_exit"));
+        assert_eq!(back.get("depth").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            back.get("fields")
+                .and_then(|f| f.get("blocks"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        assert!((back.get("elapsed_us").and_then(Json::as_f64).unwrap() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fmt_fields_renders_pairs() {
+        assert_eq!(fmt_fields(&[]), "");
+        assert_eq!(
+            fmt_fields(&[("a", Field::U64(1)), ("b", Field::Bool(false))]),
+            " {a=1 b=false}"
+        );
+    }
+}

@@ -160,6 +160,12 @@ pub fn scan_partition_with(
         "blocks must hold at least 2 qubits to contain CNOTs"
     );
     assert!(max_block_gates != Some(0), "gate budget must be at least 1");
+    let _span = qobs::span!(
+        "qpartition.scan",
+        qubits = circuit.num_qubits(),
+        gates = circuit.len(),
+        max_block_size = max_block_size,
+    );
     let mut blocks: Vec<Block> = Vec::new();
     let mut open_qubits: Vec<usize> = Vec::new();
     let mut open_insts: Vec<Instruction> = Vec::new();
@@ -202,6 +208,14 @@ pub fn scan_partition_with(
     }
     flush(&mut open_qubits, &mut open_insts, &mut blocks);
 
+    qobs::metrics::counter("qpartition.blocks", blocks.len() as u64);
+    for b in &blocks {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            qobs::metrics::histogram("qpartition.block_width", b.width() as f64);
+            qobs::metrics::histogram("qpartition.block_gates", b.circuit().len() as f64);
+        }
+    }
     PartitionedCircuit {
         num_qubits: circuit.num_qubits(),
         blocks,

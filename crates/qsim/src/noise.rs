@@ -113,6 +113,13 @@ pub fn run_noisy(
 ) -> NoisyResult {
     assert!(shots > 0, "shots must be positive");
     assert!(trajectories > 0, "trajectories must be positive");
+    let _span = qobs::span!(
+        "qsim.run_noisy",
+        qubits = circuit.num_qubits(),
+        shots = shots,
+        trajectories = trajectories,
+    );
+    qobs::metrics::counter("qsim.noisy_runs", 1);
     let n = circuit.num_qubits();
     let dim = 1usize << n;
     let mut counts = vec![0u64; dim];
@@ -126,6 +133,7 @@ pub fn run_noisy(
     }
 
     let trajectories = trajectories.min(shots);
+    qobs::metrics::counter("qsim.trajectories", trajectories as u64);
     // Distribute shots as evenly as possible over trajectories.
     let base = shots / trajectories;
     let extra = shots % trajectories;

@@ -41,6 +41,13 @@ impl Statevector {
 
     /// Runs `circuit` on `|0…0⟩` and returns the final state.
     pub fn run(circuit: &Circuit) -> Self {
+        let _span = qobs::span!(
+            "qsim.statevector_run",
+            qubits = circuit.num_qubits(),
+            gates = circuit.len(),
+        );
+        qobs::metrics::counter("qsim.statevector_runs", 1);
+        qobs::metrics::counter("qsim.gates_applied", circuit.len() as u64);
         let mut sv = Statevector::zero_state(circuit.num_qubits());
         sv.apply_circuit(circuit);
         sv

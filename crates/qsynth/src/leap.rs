@@ -180,6 +180,13 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
     let n = dim.trailing_zeros() as usize;
     let max_cnots = cfg.max_cnots.unwrap_or(n * n + 8);
     let exact_floor = (cfg.epsilon * 1e-2).min(1e-7);
+    let _span = qobs::span!(
+        "qsynth.synthesize",
+        qubits = n,
+        max_cnots = max_cnots,
+        epsilon = cfg.epsilon,
+        collect_all = cfg.collect_all,
+    );
 
     let mut result = SynthesisResult::default();
     let record = |node: &Node, result: &mut SynthesisResult| {
@@ -291,6 +298,18 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
             }
         }
         children.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+        if let Some(best) = children.first() {
+            // Per-layer telemetry: how deep the LEAP tree is and how fast
+            // the best branch's HS distance falls with each CNOT layer.
+            let layer_best = HsCost::distance(best.cost);
+            qobs::event!(
+                "qsynth.layer",
+                layer = layer,
+                nodes = children.len(),
+                best_distance = layer_best,
+            );
+            qobs::metrics::histogram("qsynth.layer_best_distance", layer_best);
+        }
         if !cfg.collect_all {
             if let Some(best) = children.first() {
                 if HsCost::distance(best.cost) <= cfg.epsilon {
@@ -316,6 +335,11 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
         frontier = children;
     }
     result.layers_explored = layer;
+    qobs::metrics::counter("qsynth.runs", 1);
+    qobs::metrics::counter("qsynth.gradient_evals", result.gradient_evals as u64);
+    qobs::metrics::counter("qsynth.candidates", result.candidates.len() as u64);
+    #[allow(clippy::cast_precision_loss)]
+    qobs::metrics::histogram("qsynth.layers_explored", result.layers_explored as f64);
     result
 }
 

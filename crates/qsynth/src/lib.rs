@@ -28,6 +28,8 @@
 //! assert!(best.distance < 1e-6);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cost;
 pub mod leap;
 pub mod optimize;

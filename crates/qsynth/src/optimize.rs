@@ -129,6 +129,9 @@ pub fn minimize(
             break;
         }
     }
+    // Instantiation cost: one metric per optimizer call would be noisy, so
+    // only the aggregate gradient-evaluation count is published.
+    qobs::metrics::counter("qsynth.instantiation_iters", evals as u64);
     OptimizeOutcome {
         params: best_params,
         cost: best_cost,

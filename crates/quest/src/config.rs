@@ -54,6 +54,11 @@ pub struct QuestConfig {
     /// Synthesize blocks on parallel threads (the paper runs blocks on up to
     /// ten cluster nodes).
     pub parallel: bool,
+    /// Worker-thread cap for block synthesis. `None` uses
+    /// [`std::thread::available_parallelism`]; the effective width never
+    /// exceeds the number of blocks and is reported as the
+    /// `quest.parallel_width` metric.
+    pub parallel_width: Option<usize>,
     /// Master seed.
     pub seed: u64,
 }
@@ -75,6 +80,7 @@ impl Default for QuestConfig {
             },
             selection: SelectionStrategy::Dissimilar,
             parallel: true,
+            parallel_width: None,
             seed: 0xBA5E,
         }
     }

@@ -35,6 +35,8 @@
 //! );
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bound;
 pub mod cache;
 pub mod config;
@@ -46,4 +48,7 @@ pub mod verify;
 
 pub use cache::BlockCache;
 pub use config::{QuestConfig, SelectionStrategy};
-pub use pipeline::{Quest, QuestResult, QuestSample, StageTimings, SynthesizedBlock};
+pub use pipeline::{
+    CacheStats, Quest, QuestResult, QuestSample, SelectionStats, StageTimings, SynthesizedBlock,
+};
+pub use report::RunReport;

@@ -10,6 +10,7 @@ use qpartition::{scan_partition_with, PartitionedCircuit};
 use qsynth::synthesize;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// One approximation of one block.
@@ -73,6 +74,59 @@ pub struct QuestSample {
     pub bound: f64,
 }
 
+/// Block-cache activity attributable to one compilation (all zeros for
+/// uncached runs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Block lookups served from the shared [`BlockCache`].
+    pub hits: usize,
+    /// Block lookups that required fresh synthesis.
+    pub misses: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when uncached).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.hits as f64 / total as f64
+            }
+        }
+    }
+}
+
+/// Aggregate dual-annealing statistics over the whole selection stage
+/// (zeros for the non-annealing ablation strategies).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SelectionStats {
+    /// Annealing runs launched, counting per-round retries.
+    pub anneal_runs: usize,
+    /// Objective evaluations spent across all runs.
+    pub evals: usize,
+    /// Moves the Tsallis criterion accepted across all runs.
+    pub accepted: usize,
+    /// Temperature-collapse restarts across all runs.
+    pub restarts: usize,
+}
+
+impl SelectionStats {
+    /// Fraction of proposed moves accepted (0 when nothing ran).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.evals == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.accepted as f64 / self.evals as f64
+            }
+        }
+    }
+}
+
 /// The output of [`Quest::compile`].
 #[derive(Clone, Debug)]
 pub struct QuestResult {
@@ -87,6 +141,12 @@ pub struct QuestResult {
     pub timings: StageTimings,
     /// The full-circuit bound threshold that gated selection.
     pub threshold: f64,
+    /// Block-cache hits/misses attributable to this compilation.
+    pub cache: CacheStats,
+    /// Dual-annealing statistics from the selection stage.
+    pub selection_stats: SelectionStats,
+    /// Worker threads actually used for block synthesis (1 = sequential).
+    pub parallel_width: usize,
 }
 
 impl QuestResult {
@@ -162,33 +222,53 @@ impl Quest {
 
     fn compile_inner(&self, circuit: &Circuit, cache: Option<&BlockCache>) -> QuestResult {
         assert!(!circuit.is_empty(), "cannot compile an empty circuit");
+        let _span = qobs::span!(
+            "quest.compile",
+            qubits = circuit.num_qubits(),
+            gates = circuit.len(),
+            cnots = circuit.cnot_count(),
+        );
         let mut timings = StageTimings::default();
+        let cache_before = cache.map(|c| (c.hits(), c.misses()));
 
         // Step 1: partition (Sec. 3.3).
         let t0 = Instant::now();
-        let parts =
-            scan_partition_with(circuit, self.config.block_size, self.config.max_block_gates);
+        let parts = {
+            let _span = qobs::span!("quest.partition");
+            scan_partition_with(circuit, self.config.block_size, self.config.max_block_gates)
+        };
         timings.partition = t0.elapsed();
 
         // Step 2: approximate synthesis per block (Sec. 3.5).
         let t0 = Instant::now();
-        let blocks = self.synthesize_blocks(&parts, cache);
+        let (blocks, parallel_width) = {
+            let _span = qobs::span!("quest.synthesis", blocks = parts.len());
+            self.synthesize_blocks(&parts, cache)
+        };
         timings.synthesis = t0.elapsed();
 
         // Step 3: dissimilar selection (Sec. 3.6 / Algorithm 1).
         let t0 = Instant::now();
         let threshold = self.config.full_threshold(blocks.len());
         let original_cnots = circuit.cnot_count();
-        let selected = match self.config.selection {
-            SelectionStrategy::Dissimilar => {
-                self.select_dissimilar(&blocks, threshold, original_cnots)
+        let (selected, selection_stats) = {
+            let _span = qobs::span!("quest.selection", threshold = threshold);
+            match self.config.selection {
+                SelectionStrategy::Dissimilar => {
+                    self.select_dissimilar(&blocks, threshold, original_cnots)
+                }
+                SelectionStrategy::Random => (
+                    self.select_random(&blocks, threshold),
+                    SelectionStats::default(),
+                ),
+                SelectionStrategy::MinCnotOnly => {
+                    (self.select_min_cnot(&blocks), SelectionStats::default())
+                }
             }
-            SelectionStrategy::Random => self.select_random(&blocks, threshold),
-            SelectionStrategy::MinCnotOnly => self.select_min_cnot(&blocks),
         };
         timings.annealing = t0.elapsed();
 
-        let samples = selected
+        let samples: Vec<QuestSample> = selected
             .into_iter()
             .map(|indices| {
                 let chosen: Vec<&Circuit> = indices
@@ -211,13 +291,24 @@ impl Quest {
             })
             .collect();
 
+        let cache_stats = match (cache_before, cache) {
+            (Some((h0, m0)), Some(c)) => CacheStats {
+                hits: c.hits() - h0,
+                misses: c.misses() - m0,
+            },
+            _ => CacheStats::default(),
+        };
         let result = QuestResult {
             samples,
             original_cnots,
             blocks,
             timings,
             threshold,
+            cache: cache_stats,
+            selection_stats,
+            parallel_width,
         };
+        record_compile_metrics(&result);
         // With the `verify` feature on, re-check every invariant the result
         // rests on before handing it out (see the `verify` module).
         #[cfg(feature = "verify")]
@@ -225,11 +316,14 @@ impl Quest {
         result
     }
 
+    /// Synthesizes every block's approximation menu, fanning out over a
+    /// bounded worker pool, and returns the blocks plus the worker count
+    /// actually used.
     fn synthesize_blocks(
         &self,
         parts: &PartitionedCircuit,
         cache: Option<&BlockCache>,
-    ) -> Vec<SynthesizedBlock> {
+    ) -> (Vec<SynthesizedBlock>, usize) {
         // The synthesis seed depends only on block *content* (via the cache
         // key) when caching, and on the block index otherwise; both are
         // deterministic for a fixed input circuit.
@@ -266,7 +360,13 @@ impl Quest {
                 synthesis_evals: res.gradient_evals,
             }
         };
-        let synth_one = |_index: usize, block: &qpartition::Block| -> SynthesizedBlock {
+        let synth_one = |index: usize, block: &qpartition::Block| -> SynthesizedBlock {
+            let _span = qobs::span!(
+                "quest.synthesize_block",
+                block = index,
+                width = block.width(),
+                gates = block.circuit().len(),
+            );
             // Seeding by content key (not block index) keeps cached and
             // uncached compilations bit-identical.
             let key = block_key(block.circuit(), &self.config);
@@ -285,29 +385,60 @@ impl Quest {
             }
         };
 
-        if self.config.parallel && parts.len() > 1 {
-            let blocks = parts.blocks();
+        let blocks = parts.blocks();
+        // Fan-out is bounded: one worker per available core (or the
+        // configured override), never more than there are blocks. The old
+        // one-thread-per-block policy spawned unbounded threads on large
+        // circuits, oversubscribing the machine exactly when synthesis was
+        // most expensive.
+        let width = if self.config.parallel {
+            self.config
+                .parallel_width
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+                })
+                .clamp(1, blocks.len().max(1))
+        } else {
+            1
+        };
+        qobs::metrics::gauge("quest.parallel_width", width as f64);
+
+        if width > 1 {
             let mut out: Vec<Option<SynthesizedBlock>> = (0..blocks.len()).map(|_| None).collect();
+            let next = AtomicUsize::new(0);
             crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = blocks
-                    .iter()
-                    .enumerate()
-                    .map(|(i, b)| scope.spawn(move |_| (i, synth_one(i, b))))
+                let handles: Vec<_> = (0..width)
+                    .map(|_| {
+                        scope.spawn(|_| {
+                            // Chunked work queue: workers pull the next
+                            // unclaimed block index until the queue drains.
+                            let mut done: Vec<(usize, SynthesizedBlock)> = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(block) = blocks.get(i) else { break };
+                                done.push((i, synth_one(i, block)));
+                            }
+                            done
+                        })
+                    })
                     .collect();
                 for h in handles {
-                    let (i, sb) = h.join().expect("block synthesis thread panicked");
-                    out[i] = Some(sb);
+                    for (i, sb) in h.join().expect("block synthesis thread panicked") {
+                        out[i] = Some(sb);
+                    }
                 }
             })
             .expect("crossbeam scope failed");
-            out.into_iter().map(|o| o.unwrap()).collect()
+            (out.into_iter().map(|o| o.unwrap()).collect(), width)
         } else {
-            parts
-                .blocks()
-                .iter()
-                .enumerate()
-                .map(|(i, b)| synth_one(i, b))
-                .collect()
+            (
+                blocks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| synth_one(i, b))
+                    .collect(),
+                1,
+            )
         }
     }
 
@@ -316,10 +447,11 @@ impl Quest {
         blocks: &[SynthesizedBlock],
         threshold: f64,
         original_cnots: usize,
-    ) -> Vec<Vec<usize>> {
+    ) -> (Vec<Vec<usize>>, SelectionStats) {
         let similarities: Vec<BlockSimilarity> = blocks.iter().map(BlockSimilarity::new).collect();
         let arity: Vec<usize> = blocks.iter().map(|b| b.approximations.len()).collect();
         let mut selected: Vec<Vec<usize>> = Vec::new();
+        let mut stats = SelectionStats::default();
         'rounds: for s in 0..self.config.max_samples {
             let obj = Objective::new(
                 blocks,
@@ -345,6 +477,10 @@ impl Quest {
                     &arity,
                     &self.config.anneal.with_seed(seed),
                 );
+                stats.anneal_runs += 1;
+                stats.evals += outcome.evals;
+                stats.accepted += outcome.accepted;
+                stats.restarts += outcome.restarts;
                 let best = if obj.bound(&outcome.best) > threshold && selected.is_empty() {
                     // Degenerate landscape: when only near-exact
                     // combinations are feasible, every feasible score ties
@@ -357,6 +493,12 @@ impl Quest {
                     outcome.best
                 };
                 if obj.bound(&best) <= threshold && !selected.contains(&best) {
+                    qobs::event!(
+                        "quest.sample_selected",
+                        round = s,
+                        attempt = attempt,
+                        bound = obj.bound(&best),
+                    );
                     selected.push(best);
                     continue 'rounds;
                 }
@@ -365,7 +507,7 @@ impl Quest {
             // paper's termination condition.
             break;
         }
-        selected
+        (selected, stats)
     }
 
     fn select_random(&self, blocks: &[SynthesizedBlock], threshold: f64) -> Vec<Vec<usize>> {
@@ -407,6 +549,44 @@ impl Quest {
             .collect();
         vec![indices]
     }
+}
+
+/// Publishes one finished compilation to the metrics registry. Metric names
+/// and units are tabulated in DESIGN.md's Observability section; the
+/// per-block CNOT counter is cross-checked against `qlint`'s independent
+/// accounting in tests.
+fn record_compile_metrics(result: &QuestResult) {
+    if !qobs::metrics::is_enabled() {
+        return;
+    }
+    qobs::metrics::counter("quest.compilations", 1);
+    qobs::metrics::counter("quest.blocks", result.blocks.len() as u64);
+    qobs::metrics::gauge("quest.original_cnots", result.original_cnots as f64);
+    qobs::metrics::gauge("quest.samples", result.samples.len() as f64);
+    qobs::metrics::gauge("quest.threshold", result.threshold);
+    qobs::metrics::counter("quest.cache.hits", result.cache.hits as u64);
+    qobs::metrics::counter("quest.cache.misses", result.cache.misses as u64);
+    qobs::metrics::counter(
+        "quest.selection.anneal_runs",
+        result.selection_stats.anneal_runs as u64,
+    );
+    for b in &result.blocks {
+        qobs::metrics::counter("quest.block_cnots", b.original_cnots as u64);
+        qobs::metrics::counter("quest.candidates", b.approximations.len() as u64);
+        qobs::metrics::counter("quest.synthesis_evals", b.synthesis_evals as u64);
+        #[allow(clippy::cast_precision_loss)]
+        qobs::metrics::histogram("quest.block.menu_size", b.approximations.len() as f64);
+    }
+    for s in &result.samples {
+        #[allow(clippy::cast_precision_loss)]
+        qobs::metrics::histogram("quest.sample.cnots", s.cnot_count as f64);
+        qobs::metrics::histogram("quest.sample.bound", s.bound);
+    }
+    let t = result.timings;
+    qobs::metrics::gauge("quest.stage.partition_seconds", t.partition.as_secs_f64());
+    qobs::metrics::gauge("quest.stage.synthesis_seconds", t.synthesis.as_secs_f64());
+    qobs::metrics::gauge("quest.stage.annealing_seconds", t.annealing.as_secs_f64());
+    qobs::metrics::gauge("quest.stage.total_seconds", t.total().as_secs_f64());
 }
 
 /// The index vector choosing each block's exact original (distance 0).

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Runs the Criterion benchmark suite with a reduced sampling budget suitable
-# for CI / single-core machines. Full run: plain `cargo bench --workspace`.
+# for CI / single-core machines, then regenerates the committed
+# BENCH_pipeline.json perf snapshot. Full run: plain `cargo bench --workspace`.
 set -u
 cd "$(dirname "$0")/.."
 cargo bench --workspace -- --warm-up-time 1 --measurement-time 2 --sample-size 10 "$@"
+cargo run --release -q -p bench --bin perf_snapshot .

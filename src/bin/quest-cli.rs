@@ -3,14 +3,20 @@
 //! ```sh
 //! quest-cli INPUT.qasm [--epsilon 0.1] [--block-size 4] [--samples 16]
 //!           [--seed 42] [--out-dir DIR] [--fast] [--qiskit]
+//!           [--trace[=json]] [--report OUT.json]
 //! ```
 //!
 //! Writes one `approx_<i>_<cnots>cx.qasm` per selected approximation (to
 //! `--out-dir`, default alongside the input) and prints a summary.
+//! `--trace` streams the pipeline's span hierarchy to stderr (`=json` for
+//! one JSON object per line); `--report` writes the machine-readable
+//! [`quest::RunReport`] plus a `BENCH_<stem>.json` perf snapshot from the
+//! same run (schemas in DESIGN.md's Observability section).
 
-use quest::{Quest, QuestConfig};
+use quest::{Quest, QuestConfig, RunReport};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     input: PathBuf,
@@ -21,6 +27,14 @@ struct Args {
     seed: Option<u64>,
     fast: bool,
     qiskit: bool,
+    trace: Option<TraceFormat>,
+    report: Option<PathBuf>,
+}
+
+#[derive(Clone, Copy)]
+enum TraceFormat {
+    Fmt,
+    Json,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +47,8 @@ fn parse_args() -> Result<Args, String> {
         seed: None,
         fast: false,
         qiskit: false,
+        trace: None,
+        report: None,
     };
     let mut it = std::env::args().skip(1);
     let mut have_input = false;
@@ -72,6 +88,10 @@ fn parse_args() -> Result<Args, String> {
             "--out-dir" => args.out_dir = Some(PathBuf::from(value("--out-dir")?)),
             "--fast" => args.fast = true,
             "--qiskit" => args.qiskit = true,
+            "--trace" => args.trace = Some(TraceFormat::Fmt),
+            "--trace=json" => args.trace = Some(TraceFormat::Json),
+            "--trace=fmt" => args.trace = Some(TraceFormat::Fmt),
+            "--report" => args.report = Some(PathBuf::from(value("--report")?)),
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             path => {
@@ -93,6 +113,7 @@ fn usage() {
     eprintln!(
         "usage: quest-cli INPUT.qasm [--epsilon E] [--block-size K] [--samples M]\n\
          \u{20}                 [--seed S] [--out-dir DIR] [--fast] [--qiskit]\n\
+         \u{20}                 [--trace[=json]] [--report OUT.json]\n\
          \n\
          Approximates the circuit with QUEST (ASPLOS'22) and writes one\n\
          OpenQASM file per selected low-CNOT approximation.\n\
@@ -103,7 +124,10 @@ fn usage() {
          --seed S        master seed (default 0xBA5E)\n\
          --out-dir DIR   output directory (default: input's directory)\n\
          --fast          lighter optimization budget\n\
-         --qiskit        run the Qiskit-baseline passes on each sample"
+         --qiskit        run the Qiskit-baseline passes on each sample\n\
+         --trace[=json]  stream pipeline spans to stderr (text or JSON lines)\n\
+         --report F.json write the RunReport JSON to F.json, plus a\n\
+         \u{20}                BENCH_<input-stem>.json snapshot alongside it"
     );
 }
 
@@ -128,6 +152,15 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &Args) -> Result<(), String> {
+    match args.trace {
+        Some(TraceFormat::Fmt) => qobs::subscribe(Arc::new(qobs::FmtSubscriber::new())),
+        Some(TraceFormat::Json) => qobs::subscribe(Arc::new(qobs::JsonSubscriber::new())),
+        None => {}
+    }
+    // A metrics session is only opened when the run will be reported; the
+    // instrumentation throughout the pipeline is free otherwise.
+    let metrics_session = args.report.as_ref().map(|_| qobs::metrics::session());
+
     let source = std::fs::read_to_string(&args.input)
         .map_err(|e| format!("cannot read {}: {e}", args.input.display()))?;
     let circuit = qcircuit::qasm::parse(&source).map_err(|e| format!("parse error: {e}"))?;
@@ -158,7 +191,8 @@ fn run(args: &Args) -> Result<(), String> {
     }
 
     let t0 = std::time::Instant::now();
-    let mut result = Quest::new(cfg).compile(&circuit);
+    let quest = Quest::new(cfg);
+    let mut result = quest.compile(&circuit);
     if args.qiskit {
         for s in &mut result.samples {
             let optimized = qtranspile::optimize(&s.circuit);
@@ -174,6 +208,10 @@ fn run(args: &Args) -> Result<(), String> {
         t0.elapsed(),
         result.cnot_reduction_percent()
     );
+
+    if let (Some(report_path), Some(session)) = (&args.report, &metrics_session) {
+        write_report(&quest, &circuit, &result, report_path, &args.input, session)?;
+    }
 
     let out_dir = args
         .out_dir
@@ -192,5 +230,39 @@ fn run(args: &Args) -> Result<(), String> {
             s.bound
         );
     }
+    Ok(())
+}
+
+/// Writes the RunReport JSON to `report_path` and a `BENCH_<stem>.json`
+/// snapshot of the same run into the report's directory.
+fn write_report(
+    quest: &Quest,
+    circuit: &qcircuit::Circuit,
+    result: &quest::QuestResult,
+    report_path: &Path,
+    input: &Path,
+    session: &qobs::metrics::Session,
+) -> Result<(), String> {
+    let metrics = session.snapshot();
+    let report = RunReport::new(quest, circuit, result).with_metrics(&metrics);
+    if let Some(dir) = report_path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    std::fs::write(report_path, report.to_json().pretty())
+        .map_err(|e| format!("cannot write {}: {e}", report_path.display()))?;
+    println!("  report: {}", report_path.display());
+
+    let stem = input
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("run")
+        .to_string();
+    let bench_dir = report_path.parent().unwrap_or(Path::new("."));
+    let bench_path = report
+        .bench_snapshot(stem)
+        .write_to(bench_dir)
+        .map_err(|e| format!("cannot write BENCH snapshot: {e}"))?;
+    println!("  bench snapshot: {}", bench_path.display());
     Ok(())
 }
