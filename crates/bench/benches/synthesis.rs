@@ -46,9 +46,11 @@ fn bench_gradient_eval(c: &mut Criterion) {
     let circ = qbench::spin::heisenberg(3, 1, 0.1);
     let target = circ.unitary();
     let cost = qsynth::cost::HsCost::new(&template, &target);
+    let mut ws = cost.workspace();
     let params: Vec<f64> = (0..cost.num_params()).map(|i| 0.1 * i as f64).collect();
+    let mut grad = vec![0.0; cost.num_params()];
     c.bench_function("hs_cost_and_grad_3q", |b| {
-        b.iter(|| cost.cost_and_grad(&params))
+        b.iter(|| cost.cost_and_grad(&mut ws, &params, &mut grad))
     });
 }
 

@@ -1,6 +1,6 @@
 //! The circuit data structure.
 
-use crate::{embed, CircuitError, Gate};
+use crate::{CircuitError, Gate};
 use qmath::Matrix;
 use std::fmt;
 
@@ -374,8 +374,8 @@ impl Circuit {
         let dim = 1usize << self.num_qubits;
         let mut u = Matrix::identity(dim);
         for inst in &self.instructions {
-            let g = embed::embed(&inst.gate.matrix(), &inst.qubits, self.num_qubits);
-            u = g.matmul(&u);
+            qmath::kernels::LocalOp::new(&inst.gate.matrix(), &inst.qubits, self.num_qubits)
+                .apply_left_inplace(&mut u);
         }
         Ok(u)
     }

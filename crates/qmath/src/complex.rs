@@ -19,6 +19,7 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 /// assert!((C64::from_polar(2.0, std::f64::consts::FRAC_PI_2) - 2.0 * i).abs() < 1e-12);
 /// ```
 #[derive(Clone, Copy, Default, PartialEq)]
+#[repr(C)]
 pub struct C64 {
     /// Real part.
     pub re: f64,

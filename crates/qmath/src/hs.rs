@@ -41,6 +41,37 @@ pub fn inner(a: &Matrix, b: &Matrix) -> crate::C64 {
         .sum()
 }
 
+/// `Tr(a · b)` without materializing the product matrix — O(N²) instead of
+/// O(N³).
+///
+/// The synthesis gradient needs `Tr(Q · ∂G)` per parameter; this is the
+/// no-materialization trace trick, shared here next to [`inner`] (which is
+/// the `a† b` special case).
+///
+/// # Panics
+///
+/// Panics unless `a` is `r × c` and `b` is `c × r`.
+///
+/// ```
+/// use qmath::{hs, Matrix};
+/// let id = Matrix::identity(3);
+/// assert!((hs::trace_of_product(&id, &id).re - 3.0).abs() < 1e-12);
+/// ```
+pub fn trace_of_product(a: &Matrix, b: &Matrix) -> crate::C64 {
+    assert_eq!(
+        (a.cols(), a.rows()),
+        (b.rows(), b.cols()),
+        "trace of product requires compatible shapes"
+    );
+    let mut acc = crate::C64::ZERO;
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            acc += a[(i, k)] * b[(k, i)];
+        }
+    }
+    acc
+}
+
 /// QUEST's normalized HS process distance
 /// `sqrt(1 − |Tr(U† V)|² / N²)` for `N×N` matrices.
 ///

@@ -1,0 +1,402 @@
+//! In-place local gate-application kernels.
+//!
+//! The synthesis hot loop multiplies a `2^n × 2^n` matrix by an embedded
+//! 1- or 2-qubit operator tens of thousands of times per block. Materializing
+//! the embedded `2^n × 2^n` gate (via `qcircuit::embed`) and calling
+//! [`Matrix::matmul`] costs an allocation plus a dense triple loop per gate;
+//! a *local* operator only ever mixes `2^k` rows (left multiplication) or
+//! `2^k` columns (right multiplication) whose indices differ on the gate's
+//! qubit bits, so the same product is a bit-strided sweep with no scratch
+//! matrix at all.
+//!
+//! # Bit-exactness contract
+//!
+//! These kernels are drop-in replacements for `embed(...)` + `matmul` on the
+//! *values* level, not just up to rounding: for every output entry they
+//! accumulate exactly the same nonzero terms in exactly the same order,
+//! starting from `+0.0`, as [`Matrix::matmul`]'s `i-k-j` loop does on the
+//! embedded matrix. The only permitted deviations are terms that are exact
+//! complex zeros (skipped or included freely — adding `±0.0` to a running sum
+//! can only affect the *sign* of an exactly-zero result, never the value of a
+//! nonzero one). Every nonzero output is therefore bit-identical; exact-zero
+//! outputs may differ in sign only, which `C64`'s `==` (IEEE semantics,
+//! `-0.0 == +0.0`) treats as equal. Property tests in `qcircuit` pin this
+//! equivalence against the embed-then-matmul reference for every qubit
+//! placement up to `n = 4`.
+//!
+//! The ordering argument in one line: `matmul` accumulates output entry
+//! `(i, j)` over `k` ascending, and the embedded gate's nonzero columns `k`
+//! within row `i` are `base | soff[x]` for the *sorted* scattered offsets
+//! `soff`, so iterating local indices through the sorting permutation visits
+//! `k` in ascending order.
+
+use crate::{Matrix, C64};
+
+/// Maximum local operator width (qubits); the gate set is 1- and 2-qubit.
+const MAX_K: usize = 2;
+/// Local dimension bound (`2^MAX_K`).
+const MAX_L: usize = 1 << MAX_K;
+
+/// A `2^k × 2^k` operator bound to `k` qubit positions of an `n`-qubit
+/// register, prepared for strided application.
+///
+/// The placement (offsets, sorting permutation, group expansion) is computed
+/// once; the local matrix can be swapped cheaply with [`LocalOp::set_1q`]
+/// for parameterized gates, so per-evaluation refills are allocation-free.
+///
+/// ```
+/// use qmath::{kernels::LocalOp, C64, Matrix};
+///
+/// let x = Matrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]]);
+/// let op = LocalOp::new(&x, &[1], 2); // X on qubit 1 of 2
+/// let mut u = Matrix::identity(4);
+/// op.apply_left_inplace(&mut u);
+/// assert_eq!(u[(0, 1)], C64::ONE);
+/// assert_eq!(u[(1, 0)], C64::ONE);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LocalOp {
+    /// Number of local qubits (1 or 2).
+    k: usize,
+    /// Local dimension `2^k`.
+    l: usize,
+    /// Full dimension `2^n`.
+    dim: usize,
+    /// Scattered offsets of the local basis states, sorted ascending
+    /// (`soff[0] == 0`).
+    soff: [usize; MAX_L],
+    /// Sorting permutation: `soff[x]` is the scatter of local index
+    /// `perm[x]`.
+    perm: [usize; MAX_L],
+    /// Active bit positions (LSB-based), sorted ascending — used to expand a
+    /// group index into a base index with zeros on the active bits.
+    pos: [usize; MAX_K],
+    /// Local matrix conjugated by the sorting permutation:
+    /// `mm[x][y] = m[perm[x]][perm[y]]`.
+    mm: [[C64; MAX_L]; MAX_L],
+}
+
+impl LocalOp {
+    /// Prepares `m` (a `2^k × 2^k` matrix, `k = qubits.len() ∈ {1, 2}`)
+    /// acting on the ordered qubit list `qubits` of an `n`-qubit register.
+    ///
+    /// `qubits[0]` is the most significant bit of the local index, matching
+    /// `qcircuit::embed`'s big-endian convention (qubit `q` lives at bit
+    /// `n - 1 - q`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits.len()` is not 1 or 2, if `m` is not
+    /// `2^k × 2^k`, if a qubit is out of range, or if qubits repeat.
+    pub fn new(m: &Matrix, qubits: &[usize], n: usize) -> Self {
+        let mut op = LocalOp::with_placement(qubits, n);
+        op.set_matrix(m);
+        op
+    }
+
+    /// Prepares a 1-qubit operator given as a plain array — no `Matrix`
+    /// allocation on either side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit >= n`.
+    pub fn from_1q(m: &[[C64; 2]; 2], qubit: usize, n: usize) -> Self {
+        let mut op = LocalOp::with_placement(&[qubit], n);
+        op.set_1q(m);
+        op
+    }
+
+    /// Computes the placement (offsets, permutation, group expansion) with a
+    /// zeroed local matrix.
+    fn with_placement(qubits: &[usize], n: usize) -> Self {
+        let k = qubits.len();
+        assert!(
+            (1..=MAX_K).contains(&k),
+            "local operators act on 1 or 2 qubits, got {k}"
+        );
+        let l = 1usize << k;
+        for (i, &q) in qubits.iter().enumerate() {
+            assert!(q < n, "qubit {q} out of range for {n} qubits");
+            assert!(!qubits[..i].contains(&q), "duplicate qubit {q}");
+        }
+
+        // Scatter each local basis index through the qubit bit positions.
+        let mut off = [0usize; MAX_L];
+        for (sub, o) in off.iter_mut().enumerate().take(l) {
+            for (bit, &q) in qubits.iter().enumerate() {
+                if (sub >> (k - 1 - bit)) & 1 == 1 {
+                    *o |= 1 << (n - 1 - q);
+                }
+            }
+        }
+        let mut perm = [0usize; MAX_L];
+        for (x, p) in perm.iter_mut().enumerate() {
+            *p = x;
+        }
+        perm[..l].sort_by_key(|&x| off[x]);
+        let mut soff = [0usize; MAX_L];
+        for x in 0..l {
+            soff[x] = off[perm[x]];
+        }
+        let mut pos = [0usize; MAX_K];
+        for (i, p) in pos.iter_mut().enumerate().take(k) {
+            *p = n - 1 - qubits[i];
+        }
+        pos[..k].sort_unstable();
+
+        LocalOp {
+            k,
+            l,
+            dim: 1usize << n,
+            soff,
+            perm,
+            pos,
+            mm: [[C64::ZERO; MAX_L]; MAX_L],
+        }
+    }
+
+    /// Replaces the local matrix, keeping the placement. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not `2^k × 2^k`.
+    pub fn set_matrix(&mut self, m: &Matrix) {
+        assert_eq!((m.rows(), m.cols()), (self.l, self.l), "size mismatch");
+        for x in 0..self.l {
+            for y in 0..self.l {
+                self.mm[x][y] = m[(self.perm[x], self.perm[y])];
+            }
+        }
+    }
+
+    /// Replaces the local matrix of a 1-qubit operator from a plain array —
+    /// the allocation-free refill path for parameterized `U3`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator is not 1-qubit.
+    #[inline]
+    pub fn set_1q(&mut self, m: &[[C64; 2]; 2]) {
+        assert_eq!(self.k, 1, "set_1q needs a 1-qubit operator");
+        for x in 0..2 {
+            for y in 0..2 {
+                self.mm[x][y] = m[self.perm[x]][self.perm[y]];
+            }
+        }
+    }
+
+    /// Full-space dimension `2^n` the operator is prepared for.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Expands a group index into a base index with zeros inserted at the
+    /// active bit positions.
+    #[inline]
+    fn base(&self, g: usize) -> usize {
+        let mut base = g;
+        for &p in &self.pos[..self.k] {
+            base = ((base >> p) << (p + 1)) | (base & ((1 << p) - 1));
+        }
+        base
+    }
+
+    /// `dst = op · src` (left multiplication by the embedded operator).
+    ///
+    /// `src` may have any column count (the full unitary case is
+    /// `cols == 2^n`); only its row count must be `2^n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn apply_left_into(&self, src: &Matrix, dst: &mut Matrix) {
+        assert_eq!(src.rows(), self.dim, "row count must be 2^n");
+        assert_eq!((dst.rows(), dst.cols()), (src.rows(), src.cols()));
+        let cols = src.cols();
+        let s = src.as_slice();
+        let d = dst.as_mut_slice();
+        for g in 0..(self.dim >> self.k) {
+            let base = self.base(g);
+            for x in 0..self.l {
+                let di = (base | self.soff[x]) * cols;
+                d[di..di + cols].fill(C64::ZERO);
+                for y in 0..self.l {
+                    let c = self.mm[x][y];
+                    if c == C64::ZERO {
+                        continue;
+                    }
+                    let si = (base | self.soff[y]) * cols;
+                    // Split-free: src and dst are distinct buffers.
+                    crate::simd::axpy(&mut d[di..di + cols], c, &s[si..si + cols]);
+                }
+            }
+        }
+    }
+
+    /// `a ← op · a` in place, mixing the `2^k` rows of each group through
+    /// per-element temporaries (no scratch matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` does not have `2^n` rows.
+    pub fn apply_left_inplace(&self, a: &mut Matrix) {
+        assert_eq!(a.rows(), self.dim, "row count must be 2^n");
+        let cols = a.cols();
+        let data = a.as_mut_slice();
+        for g in 0..(self.dim >> self.k) {
+            let base = self.base(g);
+            let mut rs = [0usize; MAX_L];
+            for (r, &soff) in rs.iter_mut().zip(&self.soff).take(self.l) {
+                *r = (base | soff) * cols;
+            }
+            for j in 0..cols {
+                let mut v = [C64::ZERO; MAX_L];
+                for (vy, &r) in v.iter_mut().zip(&rs).take(self.l) {
+                    *vy = data[r + j];
+                }
+                for x in 0..self.l {
+                    let mut acc = C64::ZERO;
+                    for (&c, &vy) in self.mm[x].iter().zip(&v).take(self.l) {
+                        if c == C64::ZERO {
+                            continue;
+                        }
+                        acc += c * vy;
+                    }
+                    data[rs[x] + j] = acc;
+                }
+            }
+        }
+    }
+
+    /// `dst = src · op` (right multiplication by the embedded operator).
+    ///
+    /// `src` may have any row count; only its column count must be `2^n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn apply_right_into(&self, src: &Matrix, dst: &mut Matrix) {
+        assert_eq!(src.cols(), self.dim, "column count must be 2^n");
+        assert_eq!((dst.rows(), dst.cols()), (src.rows(), src.cols()));
+        let cols = src.cols();
+        let s = src.as_slice();
+        let d = dst.as_mut_slice();
+        for i in 0..src.rows() {
+            let srow = &s[i * cols..(i + 1) * cols];
+            let drow = &mut d[i * cols..(i + 1) * cols];
+            for g in 0..(self.dim >> self.k) {
+                let base = self.base(g);
+                let mut v = [C64::ZERO; MAX_L];
+                for x in 0..self.l {
+                    v[x] = srow[base | self.soff[x]];
+                }
+                for y in 0..self.l {
+                    let mut acc = C64::ZERO;
+                    for (mrow, &vx) in self.mm.iter().zip(&v).take(self.l) {
+                        let c = mrow[y];
+                        if c == C64::ZERO {
+                            continue;
+                        }
+                        acc += vx * c;
+                    }
+                    drow[base | self.soff[y]] = acc;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x_gate() -> Matrix {
+        Matrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]])
+    }
+
+    fn cnot_gate() -> Matrix {
+        let mut m = Matrix::zeros(4, 4);
+        m[(0, 0)] = C64::ONE;
+        m[(1, 1)] = C64::ONE;
+        m[(2, 3)] = C64::ONE;
+        m[(3, 2)] = C64::ONE;
+        m
+    }
+
+    #[test]
+    fn one_qubit_left_apply_matches_kron() {
+        // X on qubit 0 of 2 is X ⊗ I.
+        let op = LocalOp::new(&x_gate(), &[0], 2);
+        let mut u = Matrix::identity(4);
+        op.apply_left_inplace(&mut u);
+        let expect = x_gate().kron(&Matrix::identity(2));
+        assert_eq!(u, expect);
+    }
+
+    #[test]
+    fn cnot_reversed_qubits_swaps_roles() {
+        // Control on qubit 1: |01⟩ ↔ |11⟩ (indices 1 and 3).
+        let op = LocalOp::new(&cnot_gate(), &[1, 0], 2);
+        let mut u = Matrix::identity(4);
+        op.apply_left_inplace(&mut u);
+        assert_eq!(u[(3, 1)], C64::ONE);
+        assert_eq!(u[(1, 3)], C64::ONE);
+        assert_eq!(u[(0, 0)], C64::ONE);
+        assert_eq!(u[(2, 2)], C64::ONE);
+    }
+
+    #[test]
+    fn left_into_and_inplace_agree() {
+        let m = Matrix::from_rows(&[
+            &[C64::new(0.3, 0.1), C64::new(-0.2, 0.9)],
+            &[C64::new(0.5, -0.4), C64::new(0.8, 0.2)],
+        ]);
+        let op = LocalOp::new(&m, &[1], 3);
+        let src = Matrix::from_fn(8, 8, |i, j| C64::new(i as f64 + 0.25, j as f64 - 3.5));
+        let mut dst = Matrix::zeros(8, 8);
+        op.apply_left_into(&src, &mut dst);
+        let mut inplace = src.clone();
+        op.apply_left_inplace(&mut inplace);
+        assert_eq!(dst, inplace);
+    }
+
+    #[test]
+    fn right_apply_of_identity_is_identity() {
+        let op = LocalOp::new(&cnot_gate(), &[0, 2], 3);
+        let src = Matrix::from_fn(8, 8, |i, j| C64::new((i * 8 + j) as f64, 0.5));
+        let mut dst = Matrix::zeros(8, 8);
+        let id_op = LocalOp::new(&Matrix::identity(4), &[0, 2], 3);
+        id_op.apply_right_into(&src, &mut dst);
+        assert_eq!(dst, src);
+        // And CNOT right-application permutes columns.
+        op.apply_right_into(&src, &mut dst);
+        for i in 0..8 {
+            assert_eq!(dst[(i, 5)], src[(i, 4)]);
+            assert_eq!(dst[(i, 4)], src[(i, 5)]);
+            assert_eq!(dst[(i, 0)], src[(i, 0)]);
+        }
+    }
+
+    #[test]
+    fn set_1q_refill_matches_fresh_construction() {
+        let m = Matrix::from_rows(&[
+            &[C64::new(0.1, 0.2), C64::new(0.3, -0.1)],
+            &[C64::new(-0.7, 0.0), C64::new(0.0, 1.0)],
+        ]);
+        let mut op = LocalOp::new(&x_gate(), &[2], 4);
+        op.set_1q(&[[m[(0, 0)], m[(0, 1)]], [m[(1, 0)], m[(1, 1)]]]);
+        let fresh = LocalOp::new(&m, &[2], 4);
+        let src = Matrix::from_fn(16, 16, |i, j| C64::new(i as f64 * 0.5, j as f64 * 0.25));
+        let (mut a, mut b) = (Matrix::zeros(16, 16), Matrix::zeros(16, 16));
+        op.apply_left_into(&src, &mut a);
+        fresh.apply_left_into(&src, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 or 2 qubits")]
+    fn three_qubit_operator_panics() {
+        let _ = LocalOp::new(&Matrix::identity(8), &[0, 1, 2], 3);
+    }
+}

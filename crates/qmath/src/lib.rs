@@ -11,6 +11,8 @@
 //! * [`hs`] — the Hilbert–Schmidt inner product and the *process distance*
 //!   `sqrt(1 - |Tr(U† V)|² / N²)` that QUEST's synthesis and theoretical
 //!   bound (paper Sec. 3.8) are built on,
+//! * [`kernels`] — bit-strided local gate-application kernels (the synthesis
+//!   hot path: applying a 1-/2-qubit operator to a dense matrix in place),
 //! * [`random`] — Haar-random unitaries via QR of Ginibre matrices,
 //! * [`decompose`] — the ZYZ Euler decomposition of 2×2 unitaries used by the
 //!   transpiler's single-qubit fusion pass.
@@ -35,8 +37,10 @@ pub mod complex;
 pub mod decompose;
 pub mod eigen;
 pub mod hs;
+pub mod kernels;
 pub mod matrix;
 pub mod random;
+mod simd;
 pub mod vector;
 
 pub use complex::C64;

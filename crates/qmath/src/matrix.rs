@@ -140,12 +140,32 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Writes `self · rhs` into `out` without allocating.
+    ///
+    /// Same arithmetic (and bit-for-bit the same result) as [`Self::matmul`];
+    /// this is the workspace-reuse variant for hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()` or `out` is not
+    /// `self.rows() × rhs.cols()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, rhs.cols),
+            "output shape mismatch"
+        );
+        out.data.fill(C64::ZERO);
         // i-k-j ordering keeps the inner loop streaming over contiguous rows.
         for i in 0..self.rows {
             for k in 0..self.cols {
@@ -155,12 +175,9 @@ impl Matrix {
                 }
                 let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
                 let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &r) in orow.iter_mut().zip(rrow) {
-                    *o += a * r;
-                }
+                crate::simd::axpy(orow, a, rrow);
             }
         }
-        out
     }
 
     /// Conjugate transpose `self†`.

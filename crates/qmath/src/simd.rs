@@ -1,0 +1,101 @@
+//! Vectorized complex AXPY for the dense hot loops.
+//!
+//! `axpy` computes `acc[j] += a · row[j]` — the inner operation of both
+//! [`crate::Matrix::matmul_into`] and the gate-application kernels. Each
+//! `j` is an independent accumulation chain, so processing elements in SIMD
+//! lanes cannot reassociate any floating-point sum; the AVX path issues the
+//! exact scalar operation sequence per lane (`mul`, `mul`, `addsub`, `add`
+//! — never FMA), making it **bit-identical** to the scalar loop. Callers
+//! therefore don't need to know which path ran.
+
+use crate::C64;
+
+/// `acc[j] += a * row[j]` over the common prefix of the two slices.
+#[inline]
+pub(crate) fn axpy(acc: &mut [C64], a: C64, row: &[C64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx") {
+            // SAFETY: AVX support was just checked.
+            unsafe { axpy_avx(acc, a, row) };
+            return;
+        }
+    }
+    axpy_scalar(acc, a, row);
+}
+
+#[inline]
+fn axpy_scalar(acc: &mut [C64], a: C64, row: &[C64]) {
+    for (o, &r) in acc.iter_mut().zip(row) {
+        *o += a * r;
+    }
+}
+
+/// AVX path: two complex numbers per 256-bit vector.
+///
+/// Per lane pair this computes exactly what `C64: Mul`/`AddAssign` compute:
+/// `t1 = (a.re·r.re, a.re·r.im)`, `t2 = (a.im·r.im, a.im·r.re)`, then
+/// `addsub` yields `(a.re·r.re − a.im·r.im, a.re·r.im + a.im·r.re)` — the
+/// same products, subtraction, and addition in the same order, all under
+/// IEEE round-to-nearest with no contraction.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn axpy_avx(acc: &mut [C64], a: C64, row: &[C64]) {
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_addsub_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_permute_pd,
+        _mm256_set1_pd, _mm256_storeu_pd,
+    };
+    let n = acc.len().min(row.len());
+    let va_re = _mm256_set1_pd(a.re);
+    let va_im = _mm256_set1_pd(a.im);
+    // SAFETY: C64 is `repr(C)` with two f64 fields, so a slice of n C64s is
+    // exactly 2n contiguous f64s; all pointer offsets stay within the
+    // common prefix checked against `n`.
+    let ap = acc.as_mut_ptr().cast::<f64>();
+    let rp = row.as_ptr().cast::<f64>();
+    let mut i = 0;
+    while i + 2 <= n {
+        let r = _mm256_loadu_pd(rp.add(2 * i));
+        let t1 = _mm256_mul_pd(r, va_re);
+        // Swap re/im within each complex: (r.im, r.re).
+        let rs = _mm256_permute_pd(r, 0b0101);
+        let t2 = _mm256_mul_pd(rs, va_im);
+        let prod = _mm256_addsub_pd(t1, t2);
+        let o = _mm256_loadu_pd(ap.add(2 * i));
+        _mm256_storeu_pd(ap.add(2 * i), _mm256_add_pd(o, prod));
+        i += 2;
+    }
+    if i < n {
+        axpy_scalar(&mut acc[i..n], a, &row[i..n]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_matches_scalar_bitwise() {
+        // Awkward values (subnormals, signed zeros, large exponents) across
+        // even and odd lengths, including the tail path.
+        let vals = [
+            C64::new(1.5, -2.25),
+            C64::new(-0.0, 0.0),
+            C64::new(1e-308, -1e308),
+            C64::new(std::f64::consts::PI, -1e-12),
+            C64::new(-3.5e5, 7.25),
+        ];
+        for len in 0..=7 {
+            let row: Vec<C64> = (0..len).map(|i| vals[i % vals.len()]).collect();
+            let a = C64::new(0.123456789, -9.87);
+            let mut got: Vec<C64> = (0..len).map(|i| vals[(i + 2) % vals.len()]).collect();
+            let mut want = got.clone();
+            axpy(&mut got, a, &row);
+            axpy_scalar(&mut want, a, &row);
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.re.to_bits(), w.re.to_bits(), "len {len}");
+                assert_eq!(g.im.to_bits(), w.im.to_bits(), "len {len}");
+            }
+        }
+    }
+}

@@ -67,7 +67,7 @@ impl DensityMatrix {
 
     /// Purity `Tr(ρ²)`: 1 for pure states, `1/2^n` for maximally mixed.
     pub fn purity(&self) -> f64 {
-        self.rho.matmul(&self.rho).trace().re
+        qmath::hs::trace_of_product(&self.rho, &self.rho).re
     }
 
     /// Von Neumann entanglement entropy `S(ρ) = −Tr(ρ ln ρ)` in nats:

@@ -5,17 +5,91 @@
 //! analytically with the standard prefix/suffix-product trick: with
 //! `V = G_m · … · G_1`, every per-gate derivative needs only
 //! `Tr(R_k · A† · L_k · ∂G_k)` where `R_k`/`L_k` are cached partial
-//! products — `O(m)` small matrix multiplies per gradient evaluation.
+//! products.
+//!
+//! This is the synthesis hot loop (55k evaluations per pipeline run), so it
+//! is built on [`qmath::kernels`] and a caller-owned [`Workspace`]:
+//!
+//! * every gate (and gradient) application is a bit-strided local kernel
+//!   instead of `embed` + dense `matmul` — the suffix sweep drops from
+//!   `O(N³)` to `O(4N²)` per gate;
+//! * `Q = L_k · A† · R_k` is never materialized: only the `2N` entries the
+//!   1-qubit derivative traces actually read are computed;
+//! * all scratch (prefix/suffix products, the one exact `N³` product
+//!   `L_k · A†`, the reduced-`Q` column pair) lives in the reusable
+//!   [`Workspace`], so an evaluation performs **zero heap allocations**
+//!   (covered by the counting-allocator test `tests/zero_alloc.rs`).
+//!
+//! Results are bit-identical to the embedded-matrix formulation: every
+//! nonzero accumulation happens in the same order (see the bit-exactness
+//! contract in [`qmath::kernels`]), which `tests/kernel_equivalence.rs`
+//! checks against an embed-and-matmul reference implementation.
 
-use crate::template::{u3_and_grads, Template, TemplateOp};
-use qcircuit::{embed::embed, Gate};
+use crate::template::{u3_entries, Template, TemplateOp, M2};
+use qcircuit::Gate;
+use qmath::kernels::LocalOp;
 use qmath::{Matrix, C64};
 
+/// Per-op structural info the gradient sweep needs (the qubit bit position
+/// of free `U3`s).
+#[derive(Clone, Copy, Debug)]
+enum OpKind {
+    /// Free `U3` with its qubit's LSB-based bit position.
+    U3 { shift: usize },
+    /// Fixed CNOT (no parameters).
+    Cnot,
+}
+
 /// Cost function object binding a target unitary to a template.
+///
+/// The object itself is immutable (and `Sync` — parallel optimizer starts
+/// share it); all per-evaluation scratch lives in a [`Workspace`] obtained
+/// from [`HsCost::workspace`].
 pub struct HsCost<'a> {
     template: &'a Template,
     target: Matrix,
+    /// `A†`, precomputed once (the embedded formulation recomputed it per
+    /// evaluation).
+    a_dag: Matrix,
     dim: usize,
+    n2: f64,
+    kinds: Vec<OpKind>,
+    /// Kernel placements per op; `U3` matrices are refilled per evaluation
+    /// in the workspace clone, CNOT matrices are fixed here.
+    ops_proto: Vec<LocalOp>,
+    num_u3: usize,
+}
+
+/// Reusable per-evaluation scratch for [`HsCost`] — construct once (per
+/// optimizer start / thread), evaluate many times with no heap traffic.
+pub struct Workspace {
+    /// Per-op kernels (U3 local matrices are refilled each evaluation).
+    ops: Vec<LocalOp>,
+    /// Per-U3 derivative matrices `[∂θ, ∂φ, ∂λ]` at the current parameters.
+    u3d: Vec<[M2; 3]>,
+    /// `prefix[k] = G_k … G_1` (`prefix[0] = I`).
+    prefix: Vec<Matrix>,
+    /// `suffix[k] = G_m … G_{k+1}` (`suffix[m] = I`).
+    suffix: Vec<Matrix>,
+    /// Scratch for `W = L_k · A†`.
+    w: Matrix,
+    /// The two `Q` entries per row a 1-qubit derivative trace reads:
+    /// `qred[2i + x] = Q[i, base_i | x·2^shift]`.
+    qred: Vec<C64>,
+}
+
+/// [`HsCost`] bundled with a [`Workspace`] — implements
+/// [`crate::optimize::Evaluator`] so optimizer starts can evaluate without
+/// per-call allocation.
+pub struct HsEvaluator<'c, 'a> {
+    cost: &'c HsCost<'a>,
+    ws: Workspace,
+}
+
+impl crate::optimize::Evaluator for HsEvaluator<'_, '_> {
+    fn eval(&mut self, params: &[f64], grad: &mut [f64]) -> f64 {
+        self.cost.cost_and_grad(&mut self.ws, params, grad)
+    }
 }
 
 impl<'a> HsCost<'a> {
@@ -25,16 +99,43 @@ impl<'a> HsCost<'a> {
     ///
     /// Panics if the target dimension does not match the template width.
     pub fn new(template: &'a Template, target: &Matrix) -> Self {
-        let dim = 1usize << template.num_qubits();
+        let n = template.num_qubits();
+        let dim = 1usize << n;
         assert_eq!(
             (target.rows(), target.cols()),
             (dim, dim),
             "target dimension does not match template width"
         );
+        let zero2 = [[C64::ZERO; 2]; 2];
+        let mut kinds = Vec::with_capacity(template.ops().len());
+        let mut ops_proto = Vec::with_capacity(template.ops().len());
+        let mut num_u3 = 0;
+        for op in template.ops() {
+            match *op {
+                TemplateOp::FreeU3 { qubit } => {
+                    kinds.push(OpKind::U3 {
+                        shift: n - 1 - qubit,
+                    });
+                    ops_proto.push(LocalOp::from_1q(&zero2, qubit, n));
+                    num_u3 += 1;
+                }
+                TemplateOp::Cnot { control, target } => {
+                    kinds.push(OpKind::Cnot);
+                    ops_proto.push(LocalOp::new(&Gate::Cnot.matrix(), &[control, target], n));
+                }
+            }
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let n2 = (dim * dim) as f64;
         HsCost {
             template,
             target: target.clone(),
+            a_dag: target.dagger(),
             dim,
+            n2,
+            kinds,
+            ops_proto,
+            num_u3,
         }
     }
 
@@ -48,88 +149,144 @@ impl<'a> HsCost<'a> {
         cost.max(0.0).sqrt()
     }
 
-    /// Evaluates the cost only.
-    pub fn cost(&self, params: &[f64]) -> f64 {
-        let v = self.template.unitary(params);
-        let t = qmath::hs::inner(&self.target, &v);
-        1.0 - t.norm_sqr() / ((self.dim * self.dim) as f64)
+    /// Allocates a fresh evaluation workspace sized for this cost object.
+    pub fn workspace(&self) -> Workspace {
+        let m = self.kinds.len();
+        Workspace {
+            ops: self.ops_proto.clone(),
+            u3d: vec![[[[C64::ZERO; 2]; 2]; 3]; self.num_u3],
+            prefix: (0..=m).map(|_| Matrix::zeros(self.dim, self.dim)).collect(),
+            suffix: (0..=m).map(|_| Matrix::zeros(self.dim, self.dim)).collect(),
+            w: Matrix::zeros(self.dim, self.dim),
+            qred: vec![C64::ZERO; 2 * self.dim],
+        }
     }
 
-    /// Evaluates the cost and its gradient with respect to every parameter.
-    pub fn cost_and_grad(&self, params: &[f64]) -> (f64, Vec<f64>) {
-        let n = self.template.num_qubits();
-        let ops = self.template.ops();
-        let m = ops.len();
+    /// Returns a self-contained evaluator (cost + workspace) for the
+    /// optimizer.
+    pub fn evaluator(&self) -> HsEvaluator<'_, 'a> {
+        HsEvaluator {
+            cost: self,
+            ws: self.workspace(),
+        }
+    }
 
-        // Embedded gate matrices and, for free U3s, their parameter grads.
-        let mut gates: Vec<Matrix> = Vec::with_capacity(m);
-        let mut grads: Vec<Option<[Matrix; 3]>> = Vec::with_capacity(m);
+    /// Refills the workspace's U3 kernels (and, when `with_grads`, the
+    /// derivative matrices) from the parameter vector.
+    fn load_params(&self, ws: &mut Workspace, params: &[f64], with_grads: bool) {
+        assert_eq!(params.len(), self.num_params(), "parameter count mismatch");
         let mut p = 0;
-        for op in ops {
-            match *op {
-                TemplateOp::FreeU3 { qubit } => {
-                    let (g, dg) = u3_and_grads(params[p], params[p + 1], params[p + 2]);
-                    p += 3;
-                    gates.push(embed(&g, &[qubit], n));
-                    grads.push(Some([
-                        embed(&dg[0], &[qubit], n),
-                        embed(&dg[1], &[qubit], n),
-                        embed(&dg[2], &[qubit], n),
-                    ]));
-                }
-                TemplateOp::Cnot { control, target } => {
-                    gates.push(embed(&Gate::Cnot.matrix(), &[control, target], n));
-                    grads.push(None);
+        let mut ui = 0;
+        for (k, kind) in self.kinds.iter().enumerate() {
+            if let OpKind::U3 { .. } = kind {
+                let (m, d) = u3_entries(params[p], params[p + 1], params[p + 2]);
+                p += 3;
+                ws.ops[k].set_1q(&m);
+                if with_grads {
+                    ws.u3d[ui] = d;
+                    ui += 1;
                 }
             }
         }
+    }
 
-        // prefix[k] = G_k … G_1 (prefix[0] = I); suffix[k] = G_m … G_{k+1}.
-        let id = Matrix::identity(self.dim);
-        let mut prefix: Vec<Matrix> = Vec::with_capacity(m + 1);
-        prefix.push(id.clone());
-        for g in &gates {
-            let next = g.matmul(prefix.last().unwrap());
-            prefix.push(next);
+    /// Evaluates the cost only (allocation-free given a workspace).
+    pub fn cost(&self, ws: &mut Workspace, params: &[f64]) -> f64 {
+        self.load_params(ws, params, false);
+        fill_identity(&mut ws.w);
+        for op in &ws.ops {
+            op.apply_left_inplace(&mut ws.w);
         }
-        let mut suffix: Vec<Matrix> = vec![id; m + 1];
+        let t = qmath::hs::inner(&self.target, &ws.w);
+        1.0 - t.norm_sqr() / self.n2
+    }
+
+    /// Evaluates the cost and writes the gradient with respect to every
+    /// parameter into `grad`. Allocation-free given a workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` or `grad` do not have `num_params()` entries.
+    pub fn cost_and_grad(&self, ws: &mut Workspace, params: &[f64], grad: &mut [f64]) -> f64 {
+        assert_eq!(grad.len(), self.num_params(), "gradient length mismatch");
+        self.load_params(ws, params, true);
+        let m = self.kinds.len();
+        let dim = self.dim;
+
+        // prefix[k+1] = G_{k+1} · prefix[k]; suffix[k] = suffix[k+1] · G_{k+1}.
+        fill_identity(&mut ws.prefix[0]);
+        for k in 0..m {
+            let (head, tail) = ws.prefix.split_at_mut(k + 1);
+            ws.ops[k].apply_left_into(&head[k], &mut tail[0]);
+        }
+        fill_identity(&mut ws.suffix[m]);
         for k in (0..m).rev() {
-            suffix[k] = suffix[k + 1].matmul(&gates[k]);
+            let (head, tail) = ws.suffix.split_at_mut(k + 1);
+            ws.ops[k].apply_right_into(&tail[0], &mut head[k]);
         }
 
-        let v = &prefix[m];
-        let t = qmath::hs::inner(&self.target, v); // Tr(A† V)
-        let n2 = (self.dim * self.dim) as f64;
-        let cost = 1.0 - t.norm_sqr() / n2;
+        let t = qmath::hs::inner(&self.target, &ws.prefix[m]); // Tr(A† V)
+        let cost = 1.0 - t.norm_sqr() / self.n2;
 
-        let a_dag = self.target.dagger();
-        let mut grad = vec![0.0; self.num_params()];
         let mut gi = 0;
-        for (k, maybe_dg) in grads.iter().enumerate() {
-            let Some(dg) = maybe_dg else { continue };
-            // Q = R_k · A† · L_k so that dT = Tr(Q · ∂G_k).
-            let q = prefix[k].matmul(&a_dag).matmul(&suffix[k + 1]);
-            for d in dg {
-                let dt = trace_of_product(&q, d);
+        let mut ui = 0;
+        for (k, kind) in self.kinds.iter().enumerate() {
+            let OpKind::U3 { shift } = *kind else {
+                continue;
+            };
+            // Q = L_k · A† · R_k so that dT = Tr(Q · ∂G_k). The left half
+            // W = L_k · A† is a full (dense) product; of W · R_k only the two
+            // columns per row that the 1-qubit derivative trace touches are
+            // ever read, so just those 2N entries are computed.
+            ws.prefix[k].matmul_into(&self.a_dag, &mut ws.w);
+            let bit = 1usize << shift;
+            let sdata = ws.suffix[k + 1].as_slice();
+            let wdata = ws.w.as_slice();
+            for i in 0..dim {
+                let base = i & !bit;
+                let wrow = &wdata[i * dim..(i + 1) * dim];
+                let (mut q0, mut q1) = (C64::ZERO, C64::ZERO);
+                for (j, &wij) in wrow.iter().enumerate() {
+                    if wij == C64::ZERO {
+                        continue;
+                    }
+                    q0 += wij * sdata[j * dim + base];
+                    q1 += wij * sdata[j * dim + (base | bit)];
+                }
+                ws.qred[2 * i] = q0;
+                ws.qred[2 * i + 1] = q1;
+            }
+            // dT = Tr(Q · ∂G) accumulated in the same (row-major, ascending
+            // column) order as a dense trace-of-product would.
+            for dm in &ws.u3d[ui] {
+                let mut dt = C64::ZERO;
+                for i in 0..dim {
+                    let y = (i >> shift) & 1;
+                    for (x, drow) in dm.iter().enumerate() {
+                        let c = drow[y];
+                        if c == C64::ZERO {
+                            continue;
+                        }
+                        dt += ws.qred[2 * i + x] * c;
+                    }
+                }
                 // dC = −2·Re(conj(T)·dT)/N².
-                grad[gi] = -2.0 * (t.conj() * dt).re / n2;
+                grad[gi] = -2.0 * (t.conj() * dt).re / self.n2;
                 gi += 1;
             }
+            ui += 1;
         }
-        (cost, grad)
+        cost
     }
 }
 
-/// `Tr(a · b)` without materializing the product.
-fn trace_of_product(a: &Matrix, b: &Matrix) -> C64 {
-    let n = a.rows();
-    let mut acc = C64::ZERO;
+/// Resets a square matrix to the identity without allocating.
+fn fill_identity(m: &mut Matrix) {
+    let n = m.rows();
+    m.as_mut_slice().fill(C64::ZERO);
     for i in 0..n {
-        for k in 0..n {
-            acc += a[(i, k)] * b[(k, i)];
-        }
+        m[(i, i)] = C64::ONE;
     }
-    acc
 }
 
 #[cfg(test)]
@@ -146,7 +303,8 @@ mod tests {
             0.3, -0.2, 0.8, 1.1, 0.0, -0.5, 0.25, 0.5, -1.0, 0.7, 0.1, 0.9,
         ];
         let target = t.unitary(&params);
-        let cost = HsCost::new(&t, &target).cost(&params);
+        let cost_fn = HsCost::new(&t, &target);
+        let cost = cost_fn.cost(&mut cost_fn.workspace(), &params);
         assert!(cost.abs() < 1e-10, "cost {cost}");
     }
 
@@ -155,7 +313,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let t = Template::initial(2);
         let target = haar_unitary(4, &mut rng);
-        let cost = HsCost::new(&t, &target).cost(&vec![0.0; t.num_params()]);
+        let cost_fn = HsCost::new(&t, &target);
+        let cost = cost_fn.cost(&mut cost_fn.workspace(), &vec![0.0; t.num_params()]);
         assert!(cost > 0.0);
         assert!(cost <= 1.0 + 1e-12);
     }
@@ -166,16 +325,18 @@ mod tests {
         let t = Template::initial(2).with_layer(0, 1).with_layer(1, 0);
         let target = haar_unitary(4, &mut rng);
         let cost_fn = HsCost::new(&t, &target);
+        let mut ws = cost_fn.workspace();
         let params: Vec<f64> = (0..t.num_params())
             .map(|_| rng.random_range(-3.0..3.0))
             .collect();
-        let (c0, grad) = cost_fn.cost_and_grad(&params);
-        assert!((c0 - cost_fn.cost(&params)).abs() < 1e-12);
+        let mut grad = vec![0.0; t.num_params()];
+        let c0 = cost_fn.cost_and_grad(&mut ws, &params, &mut grad);
+        assert!((c0 - cost_fn.cost(&mut ws, &params)).abs() < 1e-12);
         let h = 1e-6;
         for i in 0..params.len() {
             let mut pp = params.clone();
             pp[i] += h;
-            let fd = (cost_fn.cost(&pp) - c0) / h;
+            let fd = (cost_fn.cost(&mut ws, &pp) - c0) / h;
             assert!(
                 (fd - grad[i]).abs() < 1e-4,
                 "param {i}: fd {fd} vs analytic {}",
@@ -190,15 +351,17 @@ mod tests {
         let t = Template::initial(3).with_layer(0, 2).with_layer(1, 2);
         let target = haar_unitary(8, &mut rng);
         let cost_fn = HsCost::new(&t, &target);
+        let mut ws = cost_fn.workspace();
         let params: Vec<f64> = (0..t.num_params())
             .map(|_| rng.random_range(-3.0..3.0))
             .collect();
-        let (c0, grad) = cost_fn.cost_and_grad(&params);
+        let mut grad = vec![0.0; t.num_params()];
+        let c0 = cost_fn.cost_and_grad(&mut ws, &params, &mut grad);
         let h = 1e-6;
         for i in (0..params.len()).step_by(5) {
             let mut pp = params.clone();
             pp[i] += h;
-            let fd = (cost_fn.cost(&pp) - c0) / h;
+            let fd = (cost_fn.cost(&mut ws, &pp) - c0) / h;
             assert!(
                 (fd - grad[i]).abs() < 1e-4,
                 "param {i}: {fd} vs {}",
@@ -215,8 +378,33 @@ mod tests {
         let params: Vec<f64> = (0..t.num_params())
             .map(|_| rng.random_range(-3.0..3.0))
             .collect();
-        let cost = HsCost::new(&t, &target).cost(&params);
+        let cost_fn = HsCost::new(&t, &target);
+        let cost = cost_fn.cost(&mut cost_fn.workspace(), &params);
         let direct = qmath::hs::process_distance(&target, &t.unitary(&params));
         assert!((HsCost::distance(cost) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workspace_reuse_is_stable() {
+        // Evaluating twice with the same workspace gives bit-identical
+        // results (no state leaks between evaluations).
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = Template::initial(3).with_layer(0, 1).with_layer(1, 2);
+        let target = haar_unitary(8, &mut rng);
+        let cost_fn = HsCost::new(&t, &target);
+        let mut ws = cost_fn.workspace();
+        let params: Vec<f64> = (0..t.num_params())
+            .map(|_| rng.random_range(-3.0..3.0))
+            .collect();
+        let other: Vec<f64> = (0..t.num_params())
+            .map(|_| rng.random_range(-3.0..3.0))
+            .collect();
+        let mut g1 = vec![0.0; t.num_params()];
+        let mut g2 = vec![0.0; t.num_params()];
+        let c1 = cost_fn.cost_and_grad(&mut ws, &params, &mut g1);
+        let _ = cost_fn.cost_and_grad(&mut ws, &other, &mut g2);
+        let c2 = cost_fn.cost_and_grad(&mut ws, &params, &mut g2);
+        assert_eq!(c1.to_bits(), c2.to_bits());
+        assert_eq!(g1, g2);
     }
 }

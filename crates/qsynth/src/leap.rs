@@ -202,7 +202,7 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
     let root = {
         let cost_fn = HsCost::new(&root_template, target);
         let out = minimize(
-            &|x| cost_fn.cost_and_grad(x),
+            || cost_fn.evaluator(),
             cost_fn.num_params(),
             None,
             &seeded(&cfg.optimizer, 0),
@@ -262,7 +262,7 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
                     ..seeded(&cfg.optimizer, seed_mix)
                 };
                 let mut out = minimize(
-                    &|x| cost_fn.cost_and_grad(x),
+                    || cost_fn.evaluator(),
                     cost_fn.num_params(),
                     Some(&node.params),
                     &warm_cfg,
@@ -273,7 +273,7 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
                         ..seeded(&cfg.optimizer, seed_mix ^ 0xC01D)
                     };
                     let mut cold = minimize(
-                        &|x| cost_fn.cost_and_grad(x),
+                        || cost_fn.evaluator(),
                         cost_fn.num_params(),
                         None,
                         &cold_cfg,

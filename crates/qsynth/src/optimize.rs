@@ -4,9 +4,19 @@
 //! this with multi-start local optimization. Adam is robust here because the
 //! cost and gradient are cheap and smooth; restarts draw fresh angles
 //! uniformly from `[−π, π]`.
+//!
+//! Starts are independent, so [`minimize`] runs them on a bounded worker
+//! pool (the PR-2 fan-out pattern) while staying **deterministic**: each
+//! start's initial point comes from fast-forwarding a single seeded RNG
+//! stream to that start's position (so start `s` sees exactly the draws the
+//! serial loop would have given it), and the reduction picks the best
+//! `(cost, start_index)` pair — bit-identical to the serial sweep for any
+//! worker count. See DESIGN.md § "Synthesis hot path".
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Configuration for [`minimize`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -21,6 +31,9 @@ pub struct OptimizerConfig {
     pub target_cost: f64,
     /// RNG seed for restart initialization.
     pub seed: u64,
+    /// Run independent starts on a bounded worker pool. The result is
+    /// bit-identical either way; this only trades wall-clock for threads.
+    pub parallel: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -31,6 +44,7 @@ impl Default for OptimizerConfig {
             restarts: 2,
             target_cost: 1e-14,
             seed: 0,
+            parallel: true,
         }
     }
 }
@@ -46,95 +60,229 @@ pub struct OptimizeOutcome {
     pub evals: usize,
 }
 
-/// A cost function returning `(cost, gradient)` for a parameter vector.
-pub type CostAndGrad<'a> = &'a dyn Fn(&[f64]) -> (f64, Vec<f64>);
-
-/// Minimizes `f` (returning `(cost, gradient)`) over `num_params` angles.
+/// A reusable cost-and-gradient evaluator.
 ///
-/// The first start uses `warm_start` when provided (missing tail entries are
-/// zero-filled); remaining starts are random. Returns the best point across
-/// all starts.
-pub fn minimize(
-    f: CostAndGrad<'_>,
+/// `eval` writes the gradient into a caller-provided buffer and returns the
+/// cost, so a stateful implementation (e.g. [`crate::cost::HsEvaluator`]
+/// with its workspace) performs no per-call allocation. Plain
+/// `FnMut(&[f64], &mut [f64]) -> f64` closures implement this via the
+/// blanket impl.
+pub trait Evaluator {
+    /// Evaluates the cost at `x`, writing `∂cost/∂x` into `grad`.
+    fn eval(&mut self, x: &[f64], grad: &mut [f64]) -> f64;
+}
+
+impl<F: FnMut(&[f64], &mut [f64]) -> f64> Evaluator for F {
+    fn eval(&mut self, x: &[f64], grad: &mut [f64]) -> f64 {
+        self(x, grad)
+    }
+}
+
+/// What one optimizer start produced.
+struct StartOutcome {
+    params: Vec<f64>,
+    cost: f64,
+    evals: usize,
+}
+
+/// Runs one Adam start from `x`, returning the first iterate that achieved
+/// the start's minimum cost (strict-improvement tracking, matching the
+/// global serial sweep).
+fn run_start<E: Evaluator>(
+    eval: &mut E,
+    mut x: Vec<f64>,
+    num_params: usize,
+    cfg: &OptimizerConfig,
+) -> StartOutcome {
+    let mut best_params = x.clone();
+    let mut best_cost = f64::INFINITY;
+    let mut evals = 0;
+    let mut g = vec![0.0; num_params];
+    let (mut m, mut v) = (vec![0.0; num_params], vec![0.0; num_params]);
+    let (b1, b2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+    // Adaptive schedule: halve the step when progress stalls so the
+    // final approach to a minimum is not limited by a fixed step size.
+    let mut lr = cfg.learning_rate;
+    let mut start_best = f64::INFINITY;
+    let mut stall = 0usize;
+    for iter in 1..=cfg.max_iters {
+        let c = eval.eval(&x, &mut g);
+        evals += 1;
+        if c < best_cost {
+            best_cost = c;
+            best_params.copy_from_slice(&x);
+        }
+        if c < start_best * (1.0 - 1e-3) {
+            start_best = c;
+            stall = 0;
+        } else {
+            stall += 1;
+            if stall >= 30 {
+                lr = (lr * 0.5).max(1e-5);
+                stall = 0;
+            }
+        }
+        if c <= cfg.target_cost {
+            break;
+        }
+        // Iteration counts stay far below i32::MAX; beyond ~10^3 the
+        // bias-correction factor is 1.0 to machine precision anyway.
+        #[allow(clippy::cast_possible_truncation)]
+        let t = iter as i32;
+        let b1t = 1.0 - b1.powi(t);
+        let b2t = 1.0 - b2.powi(t);
+        for i in 0..num_params {
+            m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+            v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+            let mhat = m[i] / b1t;
+            let vhat = v[i] / b2t;
+            x[i] -= lr * mhat / (vhat.sqrt() + eps);
+        }
+    }
+    StartOutcome {
+        params: best_params,
+        cost: best_cost,
+        evals,
+    }
+}
+
+/// Builds start `s`'s initial point. All starts share one logical RNG
+/// stream seeded with `cfg.seed`: start `s` fast-forwards the stream past
+/// the draws earlier starts consumed (a warm first start consumes none),
+/// so the points are identical to a serial shared-RNG sweep regardless of
+/// which thread builds them.
+fn initial_point(
+    s: usize,
     num_params: usize,
     warm_start: Option<&[f64]>,
     cfg: &OptimizerConfig,
-) -> OptimizeOutcome {
+) -> Vec<f64> {
+    use std::f64::consts::PI;
+    if s == 0 {
+        if let Some(w) = warm_start {
+            let mut x = vec![0.0; num_params];
+            let k = w.len().min(num_params);
+            x[..k].copy_from_slice(&w[..k]);
+            return x;
+        }
+    }
+    let burn = if warm_start.is_some() {
+        (s - 1) * num_params
+    } else {
+        s * num_params
+    };
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut best_params = vec![0.0; num_params];
-    let mut best_cost = f64::INFINITY;
-    let mut evals = 0;
+    for _ in 0..burn {
+        let _ = rng.random_range(-PI..PI);
+    }
+    (0..num_params).map(|_| rng.random_range(-PI..PI)).collect()
+}
 
-    for start in 0..cfg.restarts.max(1) {
-        let mut x: Vec<f64> = if start == 0 {
-            match warm_start {
-                Some(w) => {
-                    let mut x = vec![0.0; num_params];
-                    let k = w.len().min(num_params);
-                    x[..k].copy_from_slice(&w[..k]);
-                    x
-                }
-                None => (0..num_params)
-                    .map(|_| rng.random_range(-std::f64::consts::PI..std::f64::consts::PI))
-                    .collect(),
-            }
-        } else {
-            (0..num_params)
-                .map(|_| rng.random_range(-std::f64::consts::PI..std::f64::consts::PI))
-                .collect()
-        };
+/// Minimizes the evaluator produced by `make_eval` over `num_params` angles.
+///
+/// `make_eval` is called once per worker (each worker owns its evaluator's
+/// mutable state, e.g. a gradient workspace). The first start uses
+/// `warm_start` when provided (missing tail entries are zero-filled);
+/// remaining starts are random. Returns the best point across all starts —
+/// bit-identical whether the starts run serially or on a worker pool.
+pub fn minimize<E, F>(
+    make_eval: F,
+    num_params: usize,
+    warm_start: Option<&[f64]>,
+    cfg: &OptimizerConfig,
+) -> OptimizeOutcome
+where
+    E: Evaluator,
+    F: Fn() -> E + Sync,
+{
+    let width = if cfg.parallel {
+        std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(cfg.restarts.max(1))
+    } else {
+        1
+    };
+    minimize_with_width(make_eval, num_params, warm_start, cfg, width)
+}
 
-        let (mut m, mut v) = (vec![0.0; num_params], vec![0.0; num_params]);
-        let (b1, b2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
-        // Adaptive schedule: halve the step when progress stalls so the
-        // final approach to a minimum is not limited by a fixed step size.
-        let mut lr = cfg.learning_rate;
-        let mut start_best = f64::INFINITY;
-        let mut stall = 0usize;
-        for iter in 1..=cfg.max_iters {
-            let (c, g) = f(&x);
-            evals += 1;
-            if c < best_cost {
-                best_cost = c;
-                best_params.copy_from_slice(&x);
-            }
-            if c < start_best * (1.0 - 1e-3) {
-                start_best = c;
-                stall = 0;
-            } else {
-                stall += 1;
-                if stall >= 30 {
-                    lr = (lr * 0.5).max(1e-5);
-                    stall = 0;
-                }
-            }
-            if c <= cfg.target_cost {
+/// [`minimize`] with an explicit worker-pool width (`1` = fully serial).
+/// Exposed so the determinism contract is directly testable.
+pub fn minimize_with_width<E, F>(
+    make_eval: F,
+    num_params: usize,
+    warm_start: Option<&[f64]>,
+    cfg: &OptimizerConfig,
+    width: usize,
+) -> OptimizeOutcome
+where
+    E: Evaluator,
+    F: Fn() -> E + Sync,
+{
+    let nstarts = cfg.restarts.max(1);
+    let mut results: Vec<Option<StartOutcome>> = (0..nstarts).map(|_| None).collect();
+
+    if width <= 1 {
+        // Serial sweep keeps the early-stop: later starts never run once a
+        // start reaches the target cost.
+        let mut eval = make_eval();
+        for (s, slot) in results.iter_mut().enumerate() {
+            let x = initial_point(s, num_params, warm_start, cfg);
+            let out = run_start(&mut eval, x, num_params, cfg);
+            let reached = out.cost <= cfg.target_cost;
+            *slot = Some(out);
+            if reached {
                 break;
             }
-            // Iteration counts stay far below i32::MAX; beyond ~10^3 the
-            // bias-correction factor is 1.0 to machine precision anyway.
-            #[allow(clippy::cast_possible_truncation)]
-            let t = iter as i32;
-            let b1t = 1.0 - b1.powi(t);
-            let b2t = 1.0 - b2.powi(t);
-            for i in 0..num_params {
-                m[i] = b1 * m[i] + (1.0 - b1) * g[i];
-                v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
-                let mhat = m[i] / b1t;
-                let vhat = v[i] / b2t;
-                x[i] -= lr * mhat / (vhat.sqrt() + eps);
-            }
         }
-        if best_cost <= cfg.target_cost {
+    } else {
+        let cells: Vec<OnceLock<StartOutcome>> = (0..nstarts).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..width.min(nstarts) {
+                scope.spawn(|_| {
+                    let mut eval = make_eval();
+                    loop {
+                        let s = next.fetch_add(1, Ordering::Relaxed);
+                        if s >= nstarts {
+                            break;
+                        }
+                        let x = initial_point(s, num_params, warm_start, cfg);
+                        let out = run_start(&mut eval, x, num_params, cfg);
+                        let _ = cells[s].set(out);
+                    }
+                });
+            }
+        })
+        .expect("optimizer worker panicked");
+        for (slot, cell) in results.iter_mut().zip(cells) {
+            *slot = cell.into_inner();
+        }
+    }
+
+    // Deterministic reduction, equivalent to the serial sweep: only starts
+    // up to (and including) the first one that reached the target count —
+    // the serial loop would have stopped there — and ties on cost go to the
+    // earliest start.
+    let mut best: Option<(usize, &StartOutcome)> = None;
+    let mut evals = 0;
+    for (s, out) in results.iter().enumerate() {
+        let Some(out) = out.as_ref() else { continue };
+        evals += out.evals;
+        if best.is_none_or(|(_, b)| out.cost < b.cost) {
+            best = Some((s, out));
+        }
+        if out.cost <= cfg.target_cost {
             break;
         }
     }
+    let (_, best) = best.expect("at least one optimizer start runs");
+
     // Instantiation cost: one metric per optimizer call would be noisy, so
     // only the aggregate gradient-evaluation count is published.
     qobs::metrics::counter("qsynth.instantiation_iters", evals as u64);
     OptimizeOutcome {
-        params: best_params,
-        cost: best_cost,
+        params: best.params.clone(),
+        cost: best.cost,
         evals,
     }
 }
@@ -144,16 +292,15 @@ mod tests {
     use super::*;
 
     /// Simple convex bowl with minimum at (1, −2, 3).
-    fn bowl(x: &[f64]) -> (f64, Vec<f64>) {
+    fn bowl(x: &[f64], g: &mut [f64]) -> f64 {
         let target = [1.0, -2.0, 3.0];
         let mut c = 0.0;
-        let mut g = vec![0.0; 3];
         for i in 0..3 {
             let d = x[i] - target[i];
             c += d * d;
             g[i] = 2.0 * d;
         }
-        (c, g)
+        c
     }
 
     #[test]
@@ -164,8 +311,9 @@ mod tests {
             restarts: 1,
             target_cost: 1e-12,
             seed: 1,
+            parallel: true,
         };
-        let out = minimize(&bowl, 3, None, &cfg);
+        let out = minimize(|| bowl, 3, None, &cfg);
         assert!(out.cost < 1e-6, "cost {}", out.cost);
         assert!((out.params[0] - 1.0).abs() < 1e-3);
         assert!((out.params[1] + 2.0).abs() < 1e-3);
@@ -180,9 +328,10 @@ mod tests {
             restarts: 1,
             target_cost: 1e-12,
             seed: 2,
+            parallel: true,
         };
-        let cold = minimize(&bowl, 3, None, &cfg);
-        let warm = minimize(&bowl, 3, Some(&[1.0, -2.0, 3.0]), &cfg);
+        let cold = minimize(|| bowl, 3, None, &cfg);
+        let warm = minimize(|| bowl, 3, Some(&[1.0, -2.0, 3.0]), &cfg);
         assert!(warm.cost < cold.cost);
         assert!(warm.cost < 1e-10);
     }
@@ -190,11 +339,10 @@ mod tests {
     #[test]
     fn restarts_escape_bad_basins() {
         // Rastrigin-ish 1D with many local minima; global at 0.
-        let nasty = |x: &[f64]| {
+        let nasty = |x: &[f64], g: &mut [f64]| {
             let v = x[0];
-            let c = v * v + 3.0 * (1.0 - (2.0 * v).cos());
-            let g = vec![2.0 * v + 6.0 * (2.0 * v).sin()];
-            (c, g)
+            g[0] = 2.0 * v + 6.0 * (2.0 * v).sin();
+            v * v + 3.0 * (1.0 - (2.0 * v).cos())
         };
         let cfg = OptimizerConfig {
             max_iters: 500,
@@ -202,8 +350,9 @@ mod tests {
             restarts: 8,
             target_cost: 1e-10,
             seed: 3,
+            parallel: true,
         };
-        let out = minimize(&nasty, 1, Some(&[2.9]), &cfg);
+        let out = minimize(|| nasty, 1, Some(&[2.9]), &cfg);
         assert!(out.cost < 0.5, "stuck at {}", out.cost);
     }
 
@@ -215,9 +364,61 @@ mod tests {
             restarts: 1,
             target_cost: 1e-3,
             seed: 4,
+            parallel: true,
         };
-        let out = minimize(&bowl, 3, None, &cfg);
+        let out = minimize(|| bowl, 3, None, &cfg);
         assert!(out.cost <= 1e-3);
         assert!(out.evals < 100_000, "should stop early, used {}", out.evals);
+    }
+
+    #[test]
+    fn parallel_starts_match_serial_bitwise() {
+        // The determinism contract: any pool width returns bit-identical
+        // params, cost, and eval count to the width-1 serial sweep.
+        let nasty = |x: &[f64], g: &mut [f64]| {
+            let mut c = 0.0;
+            for i in 0..x.len() {
+                let v = x[i];
+                g[i] = 2.0 * v + 6.0 * (2.0 * v).sin();
+                c += v * v + 3.0 * (1.0 - (2.0 * v).cos());
+            }
+            c
+        };
+        for warm in [None, Some([2.9, -1.4, 0.3].as_slice())] {
+            let cfg = OptimizerConfig {
+                max_iters: 200,
+                learning_rate: 0.03,
+                restarts: 5,
+                target_cost: 1e-10,
+                seed: 7,
+                parallel: true,
+            };
+            let serial = minimize_with_width(|| nasty, 3, warm, &cfg, 1);
+            for width in [2, 4, 8] {
+                let par = minimize_with_width(|| nasty, 3, warm, &cfg, width);
+                assert_eq!(par.cost.to_bits(), serial.cost.to_bits(), "width {width}");
+                assert_eq!(par.params, serial.params, "width {width}");
+                assert_eq!(par.evals, serial.evals, "width {width}");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_early_stop_and_parallel_account_same_evals() {
+        // A start that hits the target stops the serial sweep; the parallel
+        // reduction must charge exactly the same starts.
+        let cfg = OptimizerConfig {
+            max_iters: 5000,
+            learning_rate: 0.05,
+            restarts: 4,
+            target_cost: 1e-9,
+            seed: 11,
+            parallel: true,
+        };
+        let serial = minimize_with_width(|| bowl, 3, None, &cfg, 1);
+        let par = minimize_with_width(|| bowl, 3, None, &cfg, 4);
+        assert!(serial.cost <= cfg.target_cost);
+        assert_eq!(par.evals, serial.evals);
+        assert_eq!(par.params, serial.params);
     }
 }

@@ -7,6 +7,7 @@
 //! on the two touched qubits.
 
 use qcircuit::Circuit;
+use qmath::kernels::LocalOp;
 use qmath::{Matrix, C64};
 
 /// One structural element of a template.
@@ -116,35 +117,80 @@ impl Template {
     }
 
     /// The template's unitary at the given parameters.
+    ///
+    /// Computed by in-place local gate application ([`qmath::kernels`]) —
+    /// same values as instantiating the circuit and multiplying embedded
+    /// gates, without the per-gate scratch matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.num_params()`.
     pub fn unitary(&self, params: &[f64]) -> Matrix {
-        self.instantiate(params).unitary()
+        assert_eq!(params.len(), self.num_params(), "parameter count mismatch");
+        let n = self.num_qubits;
+        let mut u = Matrix::identity(1 << n);
+        let mut p = 0;
+        for op in &self.ops {
+            match *op {
+                TemplateOp::FreeU3 { qubit } => {
+                    let (m, _) = u3_entries(params[p], params[p + 1], params[p + 2]);
+                    p += 3;
+                    LocalOp::from_1q(&m, qubit, n).apply_left_inplace(&mut u);
+                }
+                TemplateOp::Cnot { control, target } => {
+                    LocalOp::new(&qcircuit::Gate::Cnot.matrix(), &[control, target], n)
+                        .apply_left_inplace(&mut u);
+                }
+            }
+        }
+        u
     }
 }
 
-/// The `U3` matrix and its three partial derivatives — the analytic core of
-/// the gradient computation.
-pub(crate) fn u3_and_grads(t: f64, p: f64, l: f64) -> (Matrix, [Matrix; 3]) {
+/// A `2 × 2` complex matrix as a plain array — the allocation-free currency
+/// between [`u3_entries`] and the gate-application kernels.
+pub(crate) type M2 = [[C64; 2]; 2];
+
+/// The `U3` matrix and its three partial derivatives as plain arrays — the
+/// analytic core of the gradient computation, allocation-free for the hot
+/// loop.
+pub(crate) fn u3_entries(t: f64, p: f64, l: f64) -> (M2, [M2; 3]) {
     let (s, c) = (t / 2.0).sin_cos();
     let eip = C64::cis(p);
     let eil = C64::cis(l);
     let eipl = C64::cis(p + l);
-    let m = Matrix::from_rows(&[&[C64::real(c), -eil * s], &[eip * s, eipl * c]]);
+    let m = [[C64::real(c), -eil * s], [eip * s, eipl * c]];
     // ∂/∂θ
-    let dt = Matrix::from_rows(&[
-        &[C64::real(-s / 2.0), -eil * (c / 2.0)],
-        &[eip * (c / 2.0), -eipl * (s / 2.0)],
-    ]);
+    let dt = [
+        [C64::real(-s / 2.0), -eil * (c / 2.0)],
+        [eip * (c / 2.0), -eipl * (s / 2.0)],
+    ];
     // ∂/∂φ
-    let dp = Matrix::from_rows(&[
-        &[C64::ZERO, C64::ZERO],
-        &[C64::I * eip * s, C64::I * eipl * c],
-    ]);
+    let dp = [
+        [C64::ZERO, C64::ZERO],
+        [C64::I * eip * s, C64::I * eipl * c],
+    ];
     // ∂/∂λ
-    let dl = Matrix::from_rows(&[
-        &[C64::ZERO, -C64::I * eil * s],
-        &[C64::ZERO, C64::I * eipl * c],
-    ]);
+    let dl = [
+        [C64::ZERO, -C64::I * eil * s],
+        [C64::ZERO, C64::I * eipl * c],
+    ];
     (m, [dt, dp, dl])
+}
+
+/// Matrix-typed wrapper over [`u3_entries`] for tests and non-hot callers.
+///
+/// Hidden from docs: exported so the integration-test reference gradient
+/// implementation (`tests/kernel_equivalence.rs`) is guaranteed to use the
+/// exact same gate values as the hot path.
+#[doc(hidden)]
+pub fn u3_and_grads(t: f64, p: f64, l: f64) -> (Matrix, [Matrix; 3]) {
+    let to_matrix = |m: &M2| Matrix::from_rows(&[&m[0][..], &m[1][..]]);
+    let (m, d) = u3_entries(t, p, l);
+    (
+        to_matrix(&m),
+        [to_matrix(&d[0]), to_matrix(&d[1]), to_matrix(&d[2])],
+    )
 }
 
 #[cfg(test)]
@@ -200,6 +246,18 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn unitary_matches_instantiated_circuit_exactly() {
+        // The kernel path and the circuit's own (kernel-based) unitary must
+        // agree bit-for-bit — both sit on the same bit-exactness contract.
+        let t = Template::initial(3)
+            .with_layer(0, 1)
+            .with_layer(2, 1)
+            .with_layer(0, 2);
+        let params: Vec<f64> = (0..t.num_params()).map(|i| 0.37 * i as f64 - 2.1).collect();
+        assert_eq!(t.unitary(&params), t.instantiate(&params).unitary());
     }
 
     #[test]

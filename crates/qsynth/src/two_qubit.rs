@@ -55,13 +55,9 @@ pub fn synthesize_two_qubit(target: &Matrix, epsilon: f64, seed: u64) -> Option<
             restarts: 2 + cnots,
             target_cost,
             seed: seed.wrapping_add(cnots as u64),
+            ..OptimizerConfig::default()
         };
-        let out = minimize(
-            &|x| cost_fn.cost_and_grad(x),
-            cost_fn.num_params(),
-            None,
-            &cfg,
-        );
+        let out = minimize(|| cost_fn.evaluator(), cost_fn.num_params(), None, &cfg);
         let distance = HsCost::distance(out.cost);
         if distance <= epsilon {
             return Some(Candidate {

@@ -1,0 +1,128 @@
+//! Bit-identity of the kernel-based gradient path against the
+//! embed-then-matmul reference formulation.
+//!
+//! `HsCost::cost_and_grad` was rewritten from dense embedded products to
+//! bit-strided kernels plus a reduced-`Q` trace; this test keeps the
+//! original formulation alive as a reference and asserts *exact* agreement
+//! (f64 `==`, so nonzero values must match to the bit and exact zeros may
+//! differ in sign only) across templates, placements, and parameter draws.
+
+use qcircuit::embed::embed;
+use qmath::{hs, Matrix};
+use qsynth::cost::HsCost;
+use qsynth::template::TemplateOp;
+use qsynth::Template;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The pre-kernel `cost_and_grad`: embedded gate matrices, dense
+/// prefix/suffix products, full `Q = L·A†·R`, trace against embedded
+/// derivative matrices.
+fn reference_cost_and_grad(
+    template: &Template,
+    target: &Matrix,
+    params: &[f64],
+) -> (f64, Vec<f64>) {
+    let n = template.num_qubits();
+    let dim = 1usize << n;
+    let ops = template.ops();
+    let m = ops.len();
+
+    let mut gates: Vec<Matrix> = Vec::with_capacity(m);
+    let mut grads: Vec<Option<[Matrix; 3]>> = Vec::with_capacity(m);
+    let mut p = 0;
+    for op in ops {
+        match *op {
+            TemplateOp::FreeU3 { qubit } => {
+                let (g, dg) =
+                    qsynth::template::u3_and_grads(params[p], params[p + 1], params[p + 2]);
+                p += 3;
+                gates.push(embed(&g, &[qubit], n));
+                grads.push(Some([
+                    embed(&dg[0], &[qubit], n),
+                    embed(&dg[1], &[qubit], n),
+                    embed(&dg[2], &[qubit], n),
+                ]));
+            }
+            TemplateOp::Cnot { control, target } => {
+                gates.push(embed(&qcircuit::Gate::Cnot.matrix(), &[control, target], n));
+                grads.push(None);
+            }
+        }
+    }
+
+    let id = Matrix::identity(dim);
+    let mut prefix: Vec<Matrix> = Vec::with_capacity(m + 1);
+    prefix.push(id.clone());
+    for g in &gates {
+        let next = g.matmul(prefix.last().unwrap());
+        prefix.push(next);
+    }
+    let mut suffix: Vec<Matrix> = vec![id; m + 1];
+    for k in (0..m).rev() {
+        suffix[k] = suffix[k + 1].matmul(&gates[k]);
+    }
+
+    let t = hs::inner(target, &prefix[m]);
+    #[allow(clippy::cast_precision_loss)]
+    let n2 = (dim * dim) as f64;
+    let cost = 1.0 - t.norm_sqr() / n2;
+
+    let a_dag = target.dagger();
+    let mut grad = vec![0.0; template.num_params()];
+    let mut gi = 0;
+    for (k, maybe_dg) in grads.iter().enumerate() {
+        let Some(dg) = maybe_dg else { continue };
+        let q = prefix[k].matmul(&a_dag).matmul(&suffix[k + 1]);
+        for d in dg {
+            let dt = hs::trace_of_product(&q, d);
+            grad[gi] = -2.0 * (t.conj() * dt).re / n2;
+            gi += 1;
+        }
+    }
+    (cost, grad)
+}
+
+fn check(template: &Template, target: &Matrix, rng: &mut StdRng) {
+    let params: Vec<f64> = (0..template.num_params())
+        .map(|_| rng.random_range(-3.0..3.0))
+        .collect();
+    let (want_cost, want_grad) = reference_cost_and_grad(template, target, &params);
+
+    let cost_fn = HsCost::new(template, target);
+    let mut ws = cost_fn.workspace();
+    let mut grad = vec![0.0; template.num_params()];
+    let got_cost = cost_fn.cost_and_grad(&mut ws, &params, &mut grad);
+
+    assert!(
+        got_cost == want_cost,
+        "cost mismatch: {got_cost:e} vs reference {want_cost:e}"
+    );
+    assert_eq!(grad, want_grad, "gradient mismatch");
+
+    // The cost-only path goes through the same kernels.
+    assert!(cost_fn.cost(&mut ws, &params) == want_cost);
+}
+
+#[test]
+fn kernel_gradient_is_bit_identical_to_reference() {
+    let mut rng = StdRng::seed_from_u64(0xB17);
+    for n in 2..=4usize {
+        let dim = 1usize << n;
+        let mut template = Template::initial(n);
+        // Grow layer by layer so shallow and deep templates are both pinned,
+        // cycling through distinct qubit placements.
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+            .collect();
+        for (i, &(a, b)) in pairs.iter().cycle().take(2 * pairs.len()).enumerate() {
+            template = if i % 2 == 0 {
+                template.with_layer(a, b)
+            } else {
+                template.with_layer(b, a)
+            };
+            let target = qmath::random::haar_unitary(dim, &mut rng);
+            check(&template, &target, &mut rng);
+        }
+    }
+}

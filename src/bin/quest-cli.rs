@@ -192,7 +192,11 @@ fn run(args: &Args) -> Result<(), String> {
 
     let t0 = std::time::Instant::now();
     let quest = Quest::new(cfg);
-    let mut result = quest.compile(&circuit);
+    // A fresh per-run cache: repeated blocks inside one circuit (Trotter
+    // steps, layered ansätze) are synthesized once; the counters land in the
+    // report's cache fields.
+    let cache = quest::BlockCache::new();
+    let mut result = quest.compile_with_cache(&circuit, &cache);
     if args.qiskit {
         for s in &mut result.samples {
             let optimized = qtranspile::optimize(&s.circuit);
