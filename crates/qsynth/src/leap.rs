@@ -2,10 +2,12 @@
 //! collect-all-approximations modification.
 
 use crate::cost::HsCost;
-use crate::optimize::{minimize, OptimizerConfig};
+use crate::optimize::{minimize_with_width, OptimizerConfig};
 use crate::template::Template;
 use qcircuit::Circuit;
 use qmath::Matrix;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Configuration of the synthesis search.
 #[derive(Clone, Debug, PartialEq)]
@@ -30,6 +32,15 @@ pub struct SynthesisConfig {
     /// qubit pairs, so synthesized circuits need no routing (LEAP is
     /// topology-aware). `None` means all-to-all.
     pub coupling: Option<qcircuit::topology::CouplingMap>,
+    /// Total worker-thread budget for this synthesis run. The frontier's
+    /// candidate placements expand concurrently up to this width; leftover
+    /// budget flows into the per-candidate optimizer's restart pool, so the
+    /// run never spawns more than `parallel_width` workers at once. `None`
+    /// uses [`std::thread::available_parallelism`]; `Some(1)` is fully
+    /// serial. The result is **bit-identical** for every width (each
+    /// candidate's RNG seed depends only on its tree position, and the
+    /// expanded children are reduced in deterministic placement order).
+    pub parallel_width: Option<usize>,
 }
 
 impl SynthesisConfig {
@@ -48,6 +59,7 @@ impl SynthesisConfig {
             },
             collect_all: false,
             coupling: None,
+            parallel_width: None,
         }
     }
 
@@ -67,6 +79,7 @@ impl SynthesisConfig {
             },
             collect_all: true,
             coupling: None,
+            parallel_width: None,
         }
     }
 
@@ -180,12 +193,22 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
     let n = dim.trailing_zeros() as usize;
     let max_cnots = cfg.max_cnots.unwrap_or(n * n + 8);
     let exact_floor = (cfg.epsilon * 1e-2).min(1e-7);
+    // The total worker budget for this run. Frontier candidates consume it
+    // first; whatever is left per candidate flows into the optimizer's
+    // restart pool. Every split yields bit-identical results (the optimizer
+    // and the frontier reduction are both width-invariant), so the budget
+    // only trades wall-clock for threads.
+    let budget = cfg.parallel_width.map_or_else(
+        || std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        |w| w.max(1),
+    );
     let _span = qobs::span!(
         "qsynth.synthesize",
         qubits = n,
         max_cnots = max_cnots,
         epsilon = cfg.epsilon,
         collect_all = cfg.collect_all,
+        parallel_width = budget,
     );
 
     let mut result = SynthesisResult::default();
@@ -201,11 +224,12 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
     let root_template = Template::initial(n);
     let root = {
         let cost_fn = HsCost::new(&root_template, target);
-        let out = minimize(
+        let out = minimize_with_width(
             || cost_fn.evaluator(),
             cost_fn.num_params(),
             None,
             &seeded(&cfg.optimizer, 0),
+            if cfg.optimizer.parallel { budget } else { 1 },
         );
         result.gradient_evals += out.evals;
         Node {
@@ -248,54 +272,103 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
         if layer > max_cnots {
             break;
         }
-        let mut children: Vec<Node> = Vec::new();
-        for (ni, node) in frontier.iter().enumerate() {
-            for (pi, &(c, t)) in pairs.iter().enumerate() {
-                let template = node.template.with_layer(c, t);
-                let cost_fn = HsCost::new(&template, target);
-                let seed_mix = (layer as u64) << 32 | (ni as u64) << 16 | pi as u64;
-                // Adaptive effort: try the warm start alone first; extra
-                // random restarts are only paid for when the warm basin
-                // fails to reach the threshold.
-                let warm_cfg = OptimizerConfig {
-                    restarts: 1,
-                    ..seeded(&cfg.optimizer, seed_mix)
+        // One job per candidate placement of this layer's CNOT. Each job's
+        // RNG seed depends only on its (layer, node, pair) position, so the
+        // jobs are order-independent and can run on any number of workers.
+        let jobs = frontier.len() * pairs.len();
+        let frontier_width = budget.min(jobs).max(1);
+        let opt_width = if cfg.optimizer.parallel {
+            (budget / frontier_width).max(1)
+        } else {
+            1
+        };
+        let expand = |ni: usize, pi: usize| -> (Node, usize) {
+            let node = &frontier[ni];
+            let (c, t) = pairs[pi];
+            let template = node.template.with_layer(c, t);
+            let cost_fn = HsCost::new(&template, target);
+            let seed_mix = (layer as u64) << 32 | (ni as u64) << 16 | pi as u64;
+            // Adaptive effort: try the warm start alone first; extra
+            // random restarts are only paid for when the warm basin
+            // fails to reach the threshold.
+            let warm_cfg = OptimizerConfig {
+                restarts: 1,
+                ..seeded(&cfg.optimizer, seed_mix)
+            };
+            let mut out = minimize_with_width(
+                || cost_fn.evaluator(),
+                cost_fn.num_params(),
+                Some(&node.params),
+                &warm_cfg,
+                opt_width,
+            );
+            if HsCost::distance(out.cost) > cfg.epsilon && cfg.optimizer.restarts > 1 {
+                let cold_cfg = OptimizerConfig {
+                    restarts: cfg.optimizer.restarts - 1,
+                    ..seeded(&cfg.optimizer, seed_mix ^ 0xC01D)
                 };
-                let mut out = minimize(
+                let mut cold = minimize_with_width(
                     || cost_fn.evaluator(),
                     cost_fn.num_params(),
-                    Some(&node.params),
-                    &warm_cfg,
+                    None,
+                    &cold_cfg,
+                    opt_width,
                 );
-                if HsCost::distance(out.cost) > cfg.epsilon && cfg.optimizer.restarts > 1 {
-                    let cold_cfg = OptimizerConfig {
-                        restarts: cfg.optimizer.restarts - 1,
-                        ..seeded(&cfg.optimizer, seed_mix ^ 0xC01D)
-                    };
-                    let mut cold = minimize(
-                        || cost_fn.evaluator(),
-                        cost_fn.num_params(),
-                        None,
-                        &cold_cfg,
-                    );
-                    cold.evals += out.evals;
-                    if cold.cost < out.cost {
-                        out = cold;
-                    } else {
-                        out.evals = cold.evals;
-                    }
+                cold.evals += out.evals;
+                if cold.cost < out.cost {
+                    out = cold;
+                } else {
+                    out.evals = cold.evals;
                 }
-                result.gradient_evals += out.evals;
-                let child = Node {
+            }
+            let evals = out.evals;
+            (
+                Node {
                     template,
                     params: out.params,
                     cost: out.cost,
-                };
-                if cfg.collect_all {
-                    record(&child, &mut result);
+                },
+                evals,
+            )
+        };
+
+        let expanded: Vec<(Node, usize)> = if frontier_width > 1 {
+            // Deterministic parallel expansion: workers pull job indices
+            // from an atomic queue and publish into per-job cells; the
+            // collection below walks the cells in placement order, so the
+            // recorded candidates, eval counts, and children are identical
+            // to the serial sweep.
+            let cells: Vec<OnceLock<(Node, usize)>> = (0..jobs).map(|_| OnceLock::new()).collect();
+            let next = AtomicUsize::new(0);
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..frontier_width {
+                    scope.spawn(|_| loop {
+                        let j = next.fetch_add(1, Ordering::Relaxed);
+                        if j >= jobs {
+                            break;
+                        }
+                        let _ = cells[j].set(expand(j / pairs.len(), j % pairs.len()));
+                    });
                 }
-                children.push(child);
+            })
+            .expect("frontier expansion worker panicked");
+            cells
+                .into_iter()
+                .map(|cell| cell.into_inner().expect("frontier job completed"))
+                .collect()
+        } else {
+            (0..jobs)
+                .map(|j| expand(j / pairs.len(), j % pairs.len()))
+                .collect()
+        };
+
+        let mut children: Vec<Node> = Vec::with_capacity(jobs);
+        for (child, evals) in expanded {
+            result.gradient_evals += evals;
+            if cfg.collect_all {
+                record(&child, &mut result);
             }
+            children.push(child);
         }
         children.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
         if let Some(best) = children.first() {

@@ -1,0 +1,123 @@
+//! Determinism contract of the parallel LEAP frontier: for any
+//! `parallel_width`, [`qsynth::synthesize`] must return candidate menus,
+//! gradient-evaluation counts, and downstream selections that are
+//! bit-identical to the serial search. Workers only change *where* each
+//! frontier expansion runs, never its seed or its reduction order.
+
+use qcircuit::Circuit;
+use qsynth::{synthesize, SynthesisConfig, SynthesisResult};
+
+/// A Trotter-style 2-qubit block: the workload the pipeline synthesizes
+/// most often.
+fn trotter_target() -> qmath::Matrix {
+    let mut c = Circuit::new(2);
+    c.cnot(0, 1).rz(1, 0.2).cnot(0, 1).rz(0, 0.1);
+    c.unitary()
+}
+
+/// A VQE-style entangling block with an extra layer of structure.
+fn vqe_target() -> qmath::Matrix {
+    let mut c = Circuit::new(2);
+    c.h(0)
+        .cnot(0, 1)
+        .rz(1, 0.35)
+        .cnot(0, 1)
+        .ry(0, 0.15)
+        .ry(1, 0.25);
+    c.unitary()
+}
+
+fn config(width: Option<usize>) -> SynthesisConfig {
+    let mut cfg = SynthesisConfig::approximate(0.1, 8);
+    cfg.collect_all = true;
+    cfg.parallel_width = width;
+    cfg
+}
+
+fn assert_identical(serial: &SynthesisResult, parallel: &SynthesisResult, label: &str) {
+    assert_eq!(
+        serial.gradient_evals, parallel.gradient_evals,
+        "{label}: gradient_evals must match"
+    );
+    assert_eq!(
+        serial.layers_explored, parallel.layers_explored,
+        "{label}: layers_explored must match"
+    );
+    assert_eq!(
+        serial.candidates.len(),
+        parallel.candidates.len(),
+        "{label}: candidate count must match"
+    );
+    for (i, (a, b)) in serial
+        .candidates
+        .iter()
+        .zip(&parallel.candidates)
+        .enumerate()
+    {
+        assert_eq!(a.circuit, b.circuit, "{label}: candidate {i} circuit");
+        assert_eq!(
+            a.distance.to_bits(),
+            b.distance.to_bits(),
+            "{label}: candidate {i} distance must be bit-identical"
+        );
+        assert_eq!(a.cnot_count, b.cnot_count, "{label}: candidate {i} CNOTs");
+    }
+}
+
+#[test]
+fn trotter_frontier_is_width_invariant() {
+    let target = trotter_target();
+    let serial = synthesize(&target, &config(Some(1)));
+    assert!(!serial.candidates.is_empty());
+    for width in [2, 4] {
+        let parallel = synthesize(&target, &config(Some(width)));
+        assert_identical(&serial, &parallel, &format!("trotter width {width}"));
+    }
+}
+
+#[test]
+fn vqe_frontier_is_width_invariant() {
+    let target = vqe_target();
+    let serial = synthesize(&target, &config(Some(1)));
+    assert!(!serial.candidates.is_empty());
+    for width in [2, 4] {
+        let parallel = synthesize(&target, &config(Some(width)));
+        assert_identical(&serial, &parallel, &format!("vqe width {width}"));
+    }
+}
+
+#[test]
+fn default_width_matches_serial() {
+    // `None` resolves to the machine's available parallelism — whatever
+    // that is, the output must still match the explicit serial run.
+    let target = trotter_target();
+    let serial = synthesize(&target, &config(Some(1)));
+    let auto = synthesize(&target, &config(None));
+    assert_identical(&serial, &auto, "auto width");
+}
+
+#[test]
+fn downstream_selection_is_width_invariant() {
+    // The quantities selection depends on — best, best-within-ε, Pareto
+    // frontier — must pick the same candidates at every width.
+    let target = vqe_target();
+    let serial = synthesize(&target, &config(Some(1)));
+    let parallel = synthesize(&target, &config(Some(4)));
+
+    let key = |c: &qsynth::Candidate| (c.cnot_count, c.distance.to_bits());
+    assert_eq!(
+        serial.best().map(key),
+        parallel.best().map(key),
+        "best candidate must match"
+    );
+    assert_eq!(
+        serial.best_within(0.1).map(key),
+        parallel.best_within(0.1).map(key),
+        "best-within-epsilon must match"
+    );
+    assert_eq!(
+        serial.pareto().into_iter().map(key).collect::<Vec<_>>(),
+        parallel.pareto().into_iter().map(key).collect::<Vec<_>>(),
+        "Pareto frontier must match"
+    );
+}

@@ -1,4 +1,5 @@
-//! Block-level synthesis memoization.
+//! Block-level synthesis memoization: an in-memory map backed by an
+//! optional persistent on-disk tier.
 //!
 //! The paper's case study compiles one circuit per Trotter timestep
 //! (Sec. 4.3), and a timestep-`t` circuit contains the same blocks as the
@@ -9,18 +10,93 @@
 //! compilations of structurally repetitive circuits — time evolution sweeps,
 //! threshold sweeps at fixed ε-independent stages — dramatically cheaper.
 //!
-//! The cache is keyed purely by block *content*; results are only valid for
-//! one pipeline configuration, so use one cache per [`crate::QuestConfig`]
-//! (enforced by fingerprinting the relevant config knobs too).
+//! The **memory tier** is keyed purely by block *content*; results are only
+//! valid for one pipeline configuration, so use one in-memory cache per
+//! [`crate::QuestConfig`] (enforced by fingerprinting the relevant config
+//! knobs too). The **disk tier** ([`BlockCache::with_disk`]) amortizes
+//! synthesis *across processes*: entries are content-addressed JSON files
+//! named by the block key, a hash of the block's unitary, and a fingerprint
+//! of every menu-shaping config knob (including the master seed), written
+//! atomically (temp file + rename) and validated on load — the stored HS
+//! distance of every approximation is re-checked against the freshly
+//! recomputed circuit unitary, and any corruption, truncation, or
+//! schema-version skew degrades to a cache miss (the block is simply
+//! re-synthesized), never an error. A size cap evicts
+//! least-recently-used entries (recency = file mtime, refreshed on hit).
 
 use crate::config::QuestConfig;
 use crate::pipeline::BlockApprox;
 use parking_lot::Mutex;
-use qcircuit::Circuit;
+use qcircuit::{Circuit, Gate};
+use qmath::Matrix;
+use qobs::json::Json;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Version of the on-disk entry format. Bump on any incompatible change to
+/// the entry JSON; readers treat entries with a different version as misses.
+pub const DISK_CACHE_SCHEMA_VERSION: u64 = 1;
+
+/// Default size cap for the disk tier (256 MiB).
+pub const DEFAULT_DISK_CACHE_MAX_BYTES: u64 = 256 * 1024 * 1024;
+
+/// Suffix of on-disk cache entries (the rest of the name is the key).
+const ENTRY_SUFFIX: &str = ".qbc.json";
+
+/// Slack allowed between an entry's stored HS distance and the distance
+/// recomputed from its reconstructed circuit at load time. The stored values
+/// round-trip bit-exactly, but the recomputation itself has a floating-point
+/// floor: the menu's exact original is recorded at distance 0.0 while
+/// `process_distance(U, U)` evaluates to ~1e-8 on 4-qubit unitaries. The
+/// tolerance sits well above that floor and far below any usable
+/// `epsilon_per_block`, so it never admits a genuinely wrong menu.
+const DISTANCE_RECHECK_TOLERANCE: f64 = 1e-6;
+
+/// Configuration of the persistent disk tier.
+#[derive(Clone, Debug)]
+pub struct DiskCacheConfig {
+    /// Directory holding the entry files (created on first use).
+    pub dir: PathBuf,
+    /// Size cap in bytes; least-recently-used entries are evicted once the
+    /// directory's entry files exceed it.
+    pub max_bytes: u64,
+}
+
+impl DiskCacheConfig {
+    /// A disk-tier configuration rooted at `dir` with the default size cap.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DiskCacheConfig {
+            dir: dir.into(),
+            max_bytes: DEFAULT_DISK_CACHE_MAX_BYTES,
+        }
+    }
+
+    /// Returns a copy with a different size cap.
+    #[must_use]
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> Self {
+        self.max_bytes = max_bytes;
+        self
+    }
+
+    /// The conventional per-user cache directory:
+    /// `$XDG_CACHE_HOME/quest-blocks` or `~/.cache/quest-blocks`. `None`
+    /// when neither `XDG_CACHE_HOME` nor `HOME` is set.
+    pub fn default_dir() -> Option<PathBuf> {
+        let base = std::env::var_os("XDG_CACHE_HOME")
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from)
+            .or_else(|| {
+                std::env::var_os("HOME")
+                    .filter(|v| !v.is_empty())
+                    .map(|h| PathBuf::from(h).join(".cache"))
+            })?;
+        Some(base.join("quest-blocks"))
+    }
+}
 
 /// A memoized block menu.
 #[derive(Clone, Debug)]
@@ -31,13 +107,19 @@ pub(crate) struct CachedMenu {
     pub synthesis_evals: usize,
 }
 
-/// A shareable, thread-safe cache of per-block synthesis results.
+/// A shareable, thread-safe, two-tier cache of per-block synthesis results.
+///
+/// The first tier is an in-memory map (one per process/config); the optional
+/// second tier is a content-addressed on-disk store shared across processes
+/// and runs. `hits`/`misses` count the memory tier; `disk_hits`/
+/// `disk_misses` count how the memory misses were resolved.
 ///
 /// ```
 /// use quest::cache::BlockCache;
 /// let cache = BlockCache::new();
 /// assert_eq!(cache.hits(), 0);
 /// assert_eq!(cache.misses(), 0);
+/// assert_eq!(cache.disk_hits(), 0);
 /// ```
 #[derive(Debug, Default)]
 pub struct BlockCache {
@@ -45,27 +127,77 @@ pub struct BlockCache {
     // synthesis run (the second caller blocks on `get_or_init` instead of
     // duplicating the work).
     inner: Mutex<HashMap<u64, Arc<std::sync::OnceLock<Arc<CachedMenu>>>>>,
-    hits: std::sync::atomic::AtomicUsize,
-    misses: std::sync::atomic::AtomicUsize,
+    disk: Option<DiskCacheConfig>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    disk_hits: AtomicUsize,
+    disk_misses: AtomicUsize,
+    evictions: AtomicUsize,
+    validation_failures: AtomicUsize,
 }
 
 impl BlockCache {
-    /// Creates an empty cache.
+    /// Creates an empty in-memory cache (no disk tier).
     pub fn new() -> Self {
         BlockCache::default()
     }
 
-    /// Number of lookups served from the cache.
+    /// Creates a cache backed by the persistent disk tier at `config.dir`
+    /// (the directory is created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created.
+    pub fn with_disk(config: DiskCacheConfig) -> std::io::Result<Self> {
+        std::fs::create_dir_all(&config.dir)?;
+        Ok(BlockCache {
+            disk: Some(config),
+            ..BlockCache::default()
+        })
+    }
+
+    /// The disk-tier configuration, when one is attached.
+    pub fn disk_config(&self) -> Option<&DiskCacheConfig> {
+        self.disk.as_ref()
+    }
+
+    /// Number of lookups served from the in-memory tier.
     pub fn hits(&self) -> usize {
-        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+        self.hits.load(Ordering::Relaxed)
     }
 
-    /// Number of lookups that required fresh synthesis.
+    /// Number of lookups that missed the in-memory tier (resolved from disk
+    /// or by fresh synthesis).
     pub fn misses(&self) -> usize {
-        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+        self.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of distinct block menus stored (completed syntheses only).
+    /// Memory-tier misses served by a validated on-disk entry.
+    pub fn disk_hits(&self) -> usize {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// Memory-tier misses the disk tier could not serve (absent, corrupt,
+    /// or version-skewed entry — fresh synthesis ran). Always 0 without a
+    /// disk tier.
+    pub fn disk_misses(&self) -> usize {
+        self.disk_misses.load(Ordering::Relaxed)
+    }
+
+    /// On-disk entries evicted to keep the store under its size cap.
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// On-disk entries rejected at load time (corruption, truncation,
+    /// schema-version or fingerprint mismatch, HS-distance re-check
+    /// failure). Each one also counts as a disk miss.
+    pub fn validation_failures(&self) -> usize {
+        self.validation_failures.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct block menus stored in memory (completed syntheses
+    /// only).
     pub fn len(&self) -> usize {
         self.inner
             .lock()
@@ -74,40 +206,175 @@ impl BlockCache {
             .count()
     }
 
-    /// Returns `true` when nothing has been cached yet.
+    /// Returns `true` when nothing has been cached in memory yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Drops all cached menus (keeps counters).
+    /// Drops all in-memory menus (keeps counters and the disk tier).
     pub fn clear(&self) {
         self.inner.lock().clear();
     }
 
+    /// Looks up the menu for `key`, falling back to the disk tier and then
+    /// to `make` (fresh synthesis). `target` is the block's unitary,
+    /// re-derived independently at every lookup — disk entries are only
+    /// accepted after their stored distances re-validate against it.
     pub(crate) fn get_or_insert_with(
         &self,
         key: u64,
+        target: &Matrix,
+        config: &QuestConfig,
         make: impl FnOnce() -> CachedMenu,
     ) -> Arc<CachedMenu> {
         let cell = self.inner.lock().entry(key).or_default().clone();
-        // Synthesis runs outside the map lock (it is the expensive part);
-        // concurrent callers for the same key serialize on the cell instead
-        // of duplicating the work.
-        let mut ran = false;
+        // Synthesis (and any disk I/O) runs outside the map lock; concurrent
+        // callers for the same key serialize on the cell instead of
+        // duplicating the work.
+        let mut in_memory = true;
         let value = cell
             .get_or_init(|| {
-                ran = true;
-                Arc::new(make())
+                in_memory = false;
+                if let Some(menu) = self.disk_load(key, target, config) {
+                    return Arc::new(menu);
+                }
+                let menu = make();
+                self.disk_store(key, target, config, &menu);
+                Arc::new(menu)
             })
             .clone();
-        let counter = if ran { &self.misses } else { &self.hits };
-        counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let counter = if in_memory { &self.hits } else { &self.misses };
+        counter.fetch_add(1, Ordering::Relaxed);
         value
+    }
+
+    /// Path of the on-disk entry for this (block, config) pair. The name is
+    /// fully content-addressed: block key, unitary hash, and the config
+    /// fingerprint all participate, so distinct configurations never share
+    /// an entry file.
+    fn entry_path(&self, key: u64, target: &Matrix, config: &QuestConfig) -> Option<PathBuf> {
+        let disk = self.disk.as_ref()?;
+        let name = format!(
+            "{key:016x}-{:016x}-{:016x}{ENTRY_SUFFIX}",
+            unitary_hash(target),
+            config_fingerprint(config),
+        );
+        Some(disk.dir.join(name))
+    }
+
+    /// Attempts to serve a lookup from the disk tier. Any failure — missing
+    /// file, unreadable JSON, schema skew, fingerprint mismatch, a
+    /// reconstructed circuit whose recomputed HS distance disagrees with the
+    /// stored one — returns `None` (a miss); invalid entries are deleted
+    /// best-effort so they are not re-parsed on every lookup.
+    fn disk_load(&self, key: u64, target: &Matrix, config: &QuestConfig) -> Option<CachedMenu> {
+        let path = self.entry_path(key, target, config)?;
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                if e.kind() != std::io::ErrorKind::NotFound {
+                    // Present but unreadable: treat like corruption.
+                    self.reject_entry(&path);
+                }
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match decode_entry(&text, target, config) {
+            Some(menu) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                touch(&path);
+                Some(menu)
+            }
+            None => {
+                self.reject_entry(&path);
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Records a validation failure and removes the offending entry
+    /// (best-effort — a concurrent process may have already replaced it).
+    fn reject_entry(&self, path: &Path) {
+        self.validation_failures.fetch_add(1, Ordering::Relaxed);
+        let _ = std::fs::remove_file(path);
+    }
+
+    /// Persists a freshly synthesized menu. Fully best-effort: an
+    /// unwritable cache directory degrades to a per-run cache, never an
+    /// error. The write is atomic (unique temp file in the same directory,
+    /// then rename), so concurrent writers racing on one key leave one
+    /// winner's complete entry, never an interleaving.
+    fn disk_store(&self, key: u64, target: &Matrix, config: &QuestConfig, menu: &CachedMenu) {
+        let Some(path) = self.entry_path(key, target, config) else {
+            return;
+        };
+        let text = encode_entry(key, target, config, menu).pretty();
+        let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+        if std::fs::write(&tmp, text).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return;
+        }
+        if std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return;
+        }
+        self.evict_to_cap();
+    }
+
+    /// Deletes least-recently-used entries (oldest mtime first; hits refresh
+    /// mtime) until the store fits its size cap. Races with concurrent
+    /// processes are benign: a doomed file already deleted elsewhere is
+    /// skipped silently.
+    fn evict_to_cap(&self) {
+        let Some(disk) = self.disk.as_ref() else {
+            return;
+        };
+        let Ok(read) = std::fs::read_dir(&disk.dir) else {
+            return;
+        };
+        let mut entries: Vec<(PathBuf, u64, std::time::SystemTime)> = read
+            .filter_map(Result::ok)
+            .filter(|e| {
+                e.file_name()
+                    .to_str()
+                    .is_some_and(|n| n.ends_with(ENTRY_SUFFIX))
+            })
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                let mtime = meta.modified().ok()?;
+                Some((e.path(), meta.len(), mtime))
+            })
+            .collect();
+        let mut total: u64 = entries.iter().map(|(_, len, _)| len).sum();
+        if total <= disk.max_bytes {
+            return;
+        }
+        entries.sort_by_key(|(_, _, mtime)| *mtime);
+        for (path, len, _) in entries {
+            if total <= disk.max_bytes {
+                break;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Refreshes a file's mtime so LRU eviction sees the hit (best-effort).
+fn touch(path: &Path) {
+    if let Ok(f) = std::fs::File::options().write(true).open(path) {
+        let _ = f.set_modified(std::time::SystemTime::now());
     }
 }
 
 /// Fingerprints a block body together with the config knobs that affect its
-/// synthesis result.
+/// synthesis result. This is the memory-tier key *and* the per-block
+/// synthesis seed mix, so it deliberately excludes the master seed (which
+/// is mixed in separately) and every knob that cannot change the menu.
 pub(crate) fn block_key(body: &Circuit, config: &QuestConfig) -> u64 {
     let mut h = DefaultHasher::new();
     body.num_qubits().hash(&mut h);
@@ -133,6 +400,221 @@ pub(crate) fn block_key(body: &Circuit, config: &QuestConfig) -> u64 {
         .to_bits()
         .hash(&mut h);
     h.finish()
+}
+
+/// Hash of a unitary's exact entries (f64 bit patterns) and dimensions —
+/// the disk tier's guard against block-key collisions.
+fn unitary_hash(u: &Matrix) -> u64 {
+    let mut h = DefaultHasher::new();
+    u.rows().hash(&mut h);
+    for c in u.as_slice() {
+        c.re.to_bits().hash(&mut h);
+        c.im.to_bits().hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Fingerprints every configuration knob that shapes a block's menu —
+/// including the master seed, which [`block_key`] deliberately leaves out —
+/// while excluding pure execution knobs (`parallel`, `parallel_width`),
+/// whose settings are bit-identical by the determinism contract.
+fn config_fingerprint(config: &QuestConfig) -> u64 {
+    let mut h = DefaultHasher::new();
+    DISK_CACHE_SCHEMA_VERSION.hash(&mut h);
+    config.seed.hash(&mut h);
+    config.epsilon_per_block.to_bits().hash(&mut h);
+    config.max_synthesis_cnots.hash(&mut h);
+    config.max_candidates_per_block.hash(&mut h);
+    let s = &config.synthesis;
+    s.beam_width.hash(&mut h);
+    s.reseed_interval.hash(&mut h);
+    s.collect_all.hash(&mut h);
+    if let Some(map) = &s.coupling {
+        map.num_qubits().hash(&mut h);
+        for a in 0..map.num_qubits() {
+            for b in (a + 1)..map.num_qubits() {
+                map.connected(a, b).hash(&mut h);
+            }
+        }
+    }
+    let o = &s.optimizer;
+    o.max_iters.hash(&mut h);
+    o.restarts.hash(&mut h);
+    o.learning_rate.to_bits().hash(&mut h);
+    o.target_cost.to_bits().hash(&mut h);
+    h.finish()
+}
+
+/// Serializes a menu to the on-disk entry JSON. Floats (gate angles, HS
+/// distances) round-trip bit-exactly through [`qobs::json`]'s
+/// shortest-representation formatting, which is what makes warm menus
+/// bit-identical to cold ones.
+fn encode_entry(key: u64, target: &Matrix, config: &QuestConfig, menu: &CachedMenu) -> Json {
+    let obj = |members: Vec<(&str, Json)>| {
+        Json::Object(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    };
+    let num_qubits = target.rows().trailing_zeros() as usize;
+    obj(vec![
+        ("schema_version", Json::from(DISK_CACHE_SCHEMA_VERSION)),
+        ("key", Json::from(format!("{key:016x}"))),
+        (
+            "unitary_hash",
+            Json::from(format!("{:016x}", unitary_hash(target))),
+        ),
+        (
+            "config_fingerprint",
+            Json::from(format!("{:016x}", config_fingerprint(config))),
+        ),
+        ("num_qubits", Json::from(num_qubits)),
+        ("synthesis_evals", Json::from(menu.synthesis_evals)),
+        (
+            "approximations",
+            Json::Array(
+                menu.approximations
+                    .iter()
+                    .map(|a| {
+                        obj(vec![
+                            ("cnots", Json::from(a.cnot_count)),
+                            ("distance", Json::from(a.distance)),
+                            (
+                                "gates",
+                                Json::Array(
+                                    a.circuit
+                                        .iter()
+                                        .map(|inst| {
+                                            obj(vec![
+                                                ("g", Json::from(inst.gate.name().to_string())),
+                                                (
+                                                    "q",
+                                                    Json::Array(
+                                                        inst.qubits
+                                                            .iter()
+                                                            .map(|&q| Json::from(q))
+                                                            .collect(),
+                                                    ),
+                                                ),
+                                                (
+                                                    "p",
+                                                    Json::Array(
+                                                        inst.gate
+                                                            .params()
+                                                            .iter()
+                                                            .map(|&p| Json::from(p))
+                                                            .collect(),
+                                                    ),
+                                                ),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses and validates an on-disk entry. `None` on *any* irregularity:
+/// unparseable JSON (corruption, truncated writes), schema-version skew,
+/// key/fingerprint mismatch, unknown gates, out-of-range qubit operands, or
+/// a stored HS distance that disagrees with the distance recomputed from
+/// the reconstructed circuit against the live target unitary.
+fn decode_entry(text: &str, target: &Matrix, config: &QuestConfig) -> Option<CachedMenu> {
+    let json = Json::parse(text).ok()?;
+    if json.get("schema_version")?.as_u64()? != DISK_CACHE_SCHEMA_VERSION {
+        return None;
+    }
+    if json.get("unitary_hash")?.as_str()? != format!("{:016x}", unitary_hash(target)) {
+        return None;
+    }
+    if json.get("config_fingerprint")?.as_str()? != format!("{:016x}", config_fingerprint(config)) {
+        return None;
+    }
+    let num_qubits = usize::try_from(json.get("num_qubits")?.as_u64()?).ok()?;
+    if target.rows() != 1usize.checked_shl(u32::try_from(num_qubits).ok()?)? {
+        return None;
+    }
+    let synthesis_evals = usize::try_from(json.get("synthesis_evals")?.as_u64()?).ok()?;
+    let mut approximations = Vec::new();
+    for a in json.get("approximations")?.as_array()? {
+        let cnot_count = usize::try_from(a.get("cnots")?.as_u64()?).ok()?;
+        let distance = a.get("distance")?.as_f64()?;
+        let mut circuit = Circuit::new(num_qubits);
+        for g in a.get("gates")?.as_array()? {
+            let name = g.get("g")?.as_str()?;
+            let qubits: Vec<usize> = g
+                .get("q")?
+                .as_array()?
+                .iter()
+                .map(|q| q.as_u64().and_then(|v| usize::try_from(v).ok()))
+                .collect::<Option<_>>()?;
+            let params: Vec<f64> = g
+                .get("p")?
+                .as_array()?
+                .iter()
+                .map(Json::as_f64)
+                .collect::<Option<_>>()?;
+            let gate = gate_from_parts(name, &params)?;
+            circuit.try_push(gate, &qubits).ok()?;
+        }
+        if circuit.cnot_count() != cnot_count {
+            return None;
+        }
+        // The load-time contract: the menu is only trusted after its claimed
+        // quality re-verifies against the *live* block unitary.
+        let unitary = circuit.try_unitary().ok()?;
+        let recomputed = qmath::hs::process_distance(target, &unitary);
+        if !(recomputed.is_finite() && (recomputed - distance).abs() <= DISTANCE_RECHECK_TOLERANCE)
+        {
+            return None;
+        }
+        approximations.push(BlockApprox {
+            circuit,
+            unitary,
+            distance,
+            cnot_count,
+        });
+    }
+    if approximations.is_empty() {
+        return None;
+    }
+    Some(CachedMenu {
+        approximations,
+        synthesis_evals,
+    })
+}
+
+/// Rebuilds a [`Gate`] from its canonical name and parameter list (the
+/// inverse of `Gate::name()` + `Gate::params()`).
+fn gate_from_parts(name: &str, params: &[f64]) -> Option<Gate> {
+    let one = || -> Option<f64> { (params.len() == 1).then(|| params[0]) };
+    let none = |g: Gate| -> Option<Gate> { params.is_empty().then_some(g) };
+    match name {
+        "x" => none(Gate::X),
+        "y" => none(Gate::Y),
+        "z" => none(Gate::Z),
+        "h" => none(Gate::H),
+        "s" => none(Gate::S),
+        "sdg" => none(Gate::Sdg),
+        "t" => none(Gate::T),
+        "tdg" => none(Gate::Tdg),
+        "rx" => Some(Gate::Rx(one()?)),
+        "ry" => Some(Gate::Ry(one()?)),
+        "rz" => Some(Gate::Rz(one()?)),
+        "p" => Some(Gate::Phase(one()?)),
+        "u3" => (params.len() == 3).then(|| Gate::U3(params[0], params[1], params[2])),
+        "cx" => none(Gate::Cnot),
+        "cz" => none(Gate::Cz),
+        "swap" => none(Gate::Swap),
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +648,9 @@ mod tests {
             cache.hits(),
             cache.misses()
         );
+        // No disk tier: the disk counters must stay untouched.
+        assert_eq!(cache.disk_hits(), 0);
+        assert_eq!(cache.disk_misses(), 0);
     }
 
     #[test]
@@ -205,5 +690,45 @@ mod tests {
         let cfg_b = QuestConfig::fast().with_epsilon(0.37);
         assert_ne!(block_key(body, &cfg_a), block_key(body, &cfg_b));
         assert_eq!(block_key(body, &cfg_a), block_key(body, &cfg_a));
+    }
+
+    #[test]
+    fn master_seed_changes_disk_fingerprint_but_not_block_key() {
+        let c = toy(1);
+        let parts = qpartition::scan_partition(&c, 3);
+        let body = parts.blocks()[0].circuit();
+        let cfg_a = QuestConfig::fast().with_seed(1);
+        let cfg_b = QuestConfig::fast().with_seed(2);
+        // The memory key doubles as the synthesis seed mix and must not move
+        // with the master seed…
+        assert_eq!(block_key(body, &cfg_a), block_key(body, &cfg_b));
+        // …but menus DO depend on the master seed, so the disk tier must
+        // separate them.
+        assert_ne!(config_fingerprint(&cfg_a), config_fingerprint(&cfg_b));
+    }
+
+    #[test]
+    fn gate_parts_roundtrip() {
+        let gates = [
+            Gate::X,
+            Gate::H,
+            Gate::Sdg,
+            Gate::Tdg,
+            Gate::Rx(0.25),
+            Gate::Ry(-1.75),
+            Gate::Rz(3.5),
+            Gate::Phase(0.125),
+            Gate::U3(0.1, -0.2, 0.3),
+            Gate::Cnot,
+            Gate::Cz,
+            Gate::Swap,
+        ];
+        for g in gates {
+            let back = gate_from_parts(g.name(), &g.params()).expect("roundtrip");
+            assert_eq!(back, g, "{}", g.name());
+        }
+        assert_eq!(gate_from_parts("nope", &[]), None);
+        assert_eq!(gate_from_parts("rz", &[]), None, "missing parameter");
+        assert_eq!(gate_from_parts("x", &[0.1]), None, "spurious parameter");
     }
 }

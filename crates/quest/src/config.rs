@@ -54,10 +54,12 @@ pub struct QuestConfig {
     /// Synthesize blocks on parallel threads (the paper runs blocks on up to
     /// ten cluster nodes).
     pub parallel: bool,
-    /// Worker-thread cap for block synthesis. `None` uses
-    /// [`std::thread::available_parallelism`]; the effective width never
-    /// exceeds the number of blocks and is reported as the
-    /// `quest.parallel_width` metric.
+    /// Total worker-thread budget for the synthesis stage. `None` uses
+    /// [`std::thread::available_parallelism`]. The budget is split between
+    /// the block-level pool and the per-block LEAP frontier (block workers ×
+    /// frontier workers ≤ budget, so nested parallelism never oversubscribes)
+    /// and the resolved product is reported as the `quest.parallel_width`
+    /// metric. Results are bit-identical for every budget.
     pub parallel_width: Option<usize>,
     /// Master seed.
     pub seed: u64,

@@ -46,7 +46,7 @@ pub mod pipeline;
 pub mod report;
 pub mod verify;
 
-pub use cache::BlockCache;
+pub use cache::{BlockCache, DiskCacheConfig, DISK_CACHE_SCHEMA_VERSION};
 pub use config::{QuestConfig, SelectionStrategy};
 pub use pipeline::{
     CacheStats, Quest, QuestResult, QuestSample, SelectionStats, StageTimings, SynthesizedBlock,

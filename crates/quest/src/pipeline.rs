@@ -75,17 +75,29 @@ pub struct QuestSample {
 }
 
 /// Block-cache activity attributable to one compilation (all zeros for
-/// uncached runs).
+/// uncached runs; disk fields additionally require a disk-backed cache).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CacheStats {
-    /// Block lookups served from the shared [`BlockCache`].
+    /// Block lookups served from the shared [`BlockCache`]'s memory tier.
     pub hits: usize,
-    /// Block lookups that required fresh synthesis.
+    /// Block lookups that missed the memory tier (served from disk or by
+    /// fresh synthesis).
     pub misses: usize,
+    /// Memory misses served by a validated on-disk entry (no synthesis ran).
+    pub disk_hits: usize,
+    /// Memory misses the disk tier could not serve (fresh synthesis ran).
+    pub disk_misses: usize,
+    /// On-disk entries evicted to keep the store under its size cap.
+    pub evictions: usize,
+    /// On-disk entries rejected at load time (corruption, truncation,
+    /// schema or fingerprint skew, failed HS re-check) — each degraded to a
+    /// miss.
+    pub validation_failures: usize,
 }
 
 impl CacheStats {
-    /// Fraction of lookups served from the cache (0 when uncached).
+    /// Fraction of lookups served without fresh synthesis — memory hits
+    /// plus disk hits over all lookups (0 when uncached).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -93,7 +105,7 @@ impl CacheStats {
         } else {
             #[allow(clippy::cast_precision_loss)]
             {
-                self.hits as f64 / total as f64
+                (self.hits + self.disk_hits) as f64 / total as f64
             }
         }
     }
@@ -145,7 +157,8 @@ pub struct QuestResult {
     pub cache: CacheStats,
     /// Dual-annealing statistics from the selection stage.
     pub selection_stats: SelectionStats,
-    /// Worker threads actually used for block synthesis (1 = sequential).
+    /// Worker threads actually resolved for the synthesis stage: block-pool
+    /// workers × per-block LEAP frontier workers (1 = fully sequential).
     pub parallel_width: usize,
 }
 
@@ -229,7 +242,7 @@ impl Quest {
             cnots = circuit.cnot_count(),
         );
         let mut timings = StageTimings::default();
-        let cache_before = cache.map(|c| (c.hits(), c.misses()));
+        let cache_before = cache.map(snapshot_cache_counters);
 
         // Step 1: partition (Sec. 3.3).
         let t0 = Instant::now();
@@ -292,10 +305,17 @@ impl Quest {
             .collect();
 
         let cache_stats = match (cache_before, cache) {
-            (Some((h0, m0)), Some(c)) => CacheStats {
-                hits: c.hits() - h0,
-                misses: c.misses() - m0,
-            },
+            (Some(before), Some(c)) => {
+                let after = snapshot_cache_counters(c);
+                CacheStats {
+                    hits: after.hits - before.hits,
+                    misses: after.misses - before.misses,
+                    disk_hits: after.disk_hits - before.disk_hits,
+                    disk_misses: after.disk_misses - before.disk_misses,
+                    evictions: after.evictions - before.evictions,
+                    validation_failures: after.validation_failures - before.validation_failures,
+                }
+            }
             _ => CacheStats::default(),
         };
         let result = QuestResult {
@@ -324,6 +344,33 @@ impl Quest {
         parts: &PartitionedCircuit,
         cache: Option<&BlockCache>,
     ) -> (Vec<SynthesizedBlock>, usize) {
+        let blocks = parts.blocks();
+        // One thread budget governs both parallel layers. The block-level
+        // pool takes as many workers as there are blocks (capped by the
+        // budget); the remainder flows into each block's LEAP frontier
+        // expansion via `SynthesisConfig::parallel_width`, so nested
+        // parallelism never oversubscribes the machine. On our saturating
+        // workloads (2 blocks on an 8-way machine) this is what turns the
+        // idle 6 cores into intra-search speedup.
+        let budget = if self.config.parallel {
+            self.config
+                .parallel_width
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+                })
+                .max(1)
+        } else {
+            1
+        };
+        let block_workers = budget.clamp(1, blocks.len().max(1));
+        let frontier_width = (budget / block_workers).max(1);
+        // The width actually resolved at synthesis time — block workers ×
+        // per-block frontier workers — not the block-count-clamped pool size
+        // that used to under-report wide configurations on few-block
+        // circuits.
+        let resolved_width = block_workers * frontier_width;
+        qobs::metrics::gauge("quest.parallel_width", resolved_width as f64);
+
         // The synthesis seed depends only on block *content* (via the cache
         // key) when caching, and on the block index otherwise; both are
         // deterministic for a fixed input circuit.
@@ -333,6 +380,7 @@ impl Quest {
             let mut cfg = self.config.synthesis.clone();
             cfg.epsilon = self.config.epsilon_per_block;
             cfg.max_cnots = Some(original_cnots.min(self.config.max_synthesis_cnots).max(1));
+            cfg.parallel_width = Some(frontier_width);
             cfg = cfg.with_seed(self.config.seed ^ seed_mix.wrapping_mul(0x9E37));
             let res = synthesize(&target, &cfg);
             let mut approximations: Vec<BlockApprox> = res
@@ -372,7 +420,10 @@ impl Quest {
             let key = block_key(block.circuit(), &self.config);
             let menu = match cache {
                 Some(cache) => {
-                    (*cache.get_or_insert_with(key, || synthesize_menu(key, block))).clone()
+                    (*cache.get_or_insert_with(key, &block.unitary(), &self.config, || {
+                        synthesize_menu(key, block)
+                    }))
+                    .clone()
                 }
                 None => synthesize_menu(key, block),
             };
@@ -385,29 +436,15 @@ impl Quest {
             }
         };
 
-        let blocks = parts.blocks();
-        // Fan-out is bounded: one worker per available core (or the
-        // configured override), never more than there are blocks. The old
-        // one-thread-per-block policy spawned unbounded threads on large
-        // circuits, oversubscribing the machine exactly when synthesis was
-        // most expensive.
-        let width = if self.config.parallel {
-            self.config
-                .parallel_width
-                .unwrap_or_else(|| {
-                    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
-                })
-                .clamp(1, blocks.len().max(1))
-        } else {
-            1
-        };
-        qobs::metrics::gauge("quest.parallel_width", width as f64);
-
-        if width > 1 {
+        // Fan-out is bounded: the block pool never exceeds the budget or
+        // the block count. The old one-thread-per-block policy spawned
+        // unbounded threads on large circuits, oversubscribing the machine
+        // exactly when synthesis was most expensive.
+        if block_workers > 1 {
             let mut out: Vec<Option<SynthesizedBlock>> = (0..blocks.len()).map(|_| None).collect();
             let next = AtomicUsize::new(0);
             crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = (0..width)
+                let handles: Vec<_> = (0..block_workers)
                     .map(|_| {
                         scope.spawn(|_| {
                             // Chunked work queue: workers pull the next
@@ -429,7 +466,10 @@ impl Quest {
                 }
             })
             .expect("crossbeam scope failed");
-            (out.into_iter().map(|o| o.unwrap()).collect(), width)
+            (
+                out.into_iter().map(|o| o.unwrap()).collect(),
+                resolved_width,
+            )
         } else {
             (
                 blocks
@@ -437,7 +477,7 @@ impl Quest {
                     .enumerate()
                     .map(|(i, b)| synth_one(i, b))
                     .collect(),
-                1,
+                resolved_width,
             )
         }
     }
@@ -566,6 +606,18 @@ fn record_compile_metrics(result: &QuestResult) {
     qobs::metrics::gauge("quest.threshold", result.threshold);
     qobs::metrics::counter("quest.cache.hits", result.cache.hits as u64);
     qobs::metrics::counter("quest.cache.misses", result.cache.misses as u64);
+    qobs::metrics::counter("quest.cache.disk_hits", result.cache.disk_hits as u64);
+    qobs::metrics::counter("quest.cache.disk_misses", result.cache.disk_misses as u64);
+    qobs::metrics::counter("quest.cache.evictions", result.cache.evictions as u64);
+    qobs::metrics::counter(
+        "quest.cache.validation_failures",
+        result.cache.validation_failures as u64,
+    );
+    // Fully warm runs never enter `qsynth::synthesize`, so the counter it
+    // owns would be absent from the snapshot; registering a zero here keeps
+    // `qsynth.gradient_evals` present (and exactly 0) in warm-run reports —
+    // the observable contract for "the disk cache skipped all synthesis".
+    qobs::metrics::counter("qsynth.gradient_evals", 0);
     qobs::metrics::counter(
         "quest.selection.anneal_runs",
         result.selection_stats.anneal_runs as u64,
@@ -587,6 +639,19 @@ fn record_compile_metrics(result: &QuestResult) {
     qobs::metrics::gauge("quest.stage.synthesis_seconds", t.synthesis.as_secs_f64());
     qobs::metrics::gauge("quest.stage.annealing_seconds", t.annealing.as_secs_f64());
     qobs::metrics::gauge("quest.stage.total_seconds", t.total().as_secs_f64());
+}
+
+/// Reads a [`BlockCache`]'s cumulative counters as absolute [`CacheStats`]
+/// (compile_inner diffs two snapshots to attribute activity to one run).
+fn snapshot_cache_counters(cache: &BlockCache) -> CacheStats {
+    CacheStats {
+        hits: cache.hits(),
+        misses: cache.misses(),
+        disk_hits: cache.disk_hits(),
+        disk_misses: cache.disk_misses(),
+        evictions: cache.evictions(),
+        validation_failures: cache.validation_failures(),
+    }
 }
 
 /// The index vector choosing each block's exact original (distance 0).

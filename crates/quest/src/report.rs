@@ -64,11 +64,30 @@ pub fn render(result: &QuestResult) -> String {
         t.annealing,
         t.total()
     );
+    let c = &result.cache;
+    if c.hits + c.misses > 0 {
+        let _ = writeln!(
+            out,
+            "cache: {} memory hit(s), {} disk hit(s), {} miss(es) ({:.0}% hit rate); \
+             {} eviction(s), {} validation failure(s)",
+            c.hits,
+            c.disk_hits,
+            c.misses.saturating_sub(c.disk_hits),
+            100.0 * c.hit_rate(),
+            c.evictions,
+            c.validation_failures
+        );
+    }
     out
 }
 
 /// Current [`RunReport`] JSON schema version.
-pub const RUN_REPORT_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the disk-tier cache fields (`cache.disk_hits`,
+/// `cache.disk_misses`, `cache.evictions`, `cache.validation_failures`);
+/// [`RunReport::from_json`] still accepts v1 documents, defaulting those
+/// fields to zero.
+pub const RUN_REPORT_SCHEMA_VERSION: u64 = 2;
 
 /// Shape of the input circuit.
 #[derive(Clone, Debug, PartialEq)]
@@ -150,14 +169,25 @@ pub struct TimingsReport {
     pub total_seconds: f64,
 }
 
-/// Block-cache activity for this run.
+/// Block-cache activity for this run (memory + disk tiers).
 #[derive(Clone, Debug, PartialEq)]
 pub struct CacheReport {
-    /// Lookups served from the cache.
+    /// Lookups served from the in-memory tier.
     pub hits: usize,
-    /// Lookups requiring fresh synthesis.
+    /// Lookups that missed the in-memory tier.
     pub misses: usize,
-    /// `hits / (hits + misses)`, 0 when uncached.
+    /// Memory misses served from the on-disk tier (schema v2+).
+    pub disk_hits: usize,
+    /// Memory misses that also missed disk and ran fresh synthesis
+    /// (schema v2+).
+    pub disk_misses: usize,
+    /// Disk entries evicted by the LRU size cap during this run
+    /// (schema v2+).
+    pub evictions: usize,
+    /// Disk entries rejected by validation-on-load — corruption, schema
+    /// skew, or a stale fingerprint (schema v2+).
+    pub validation_failures: usize,
+    /// `(hits + disk_hits) / lookups`, 0 when uncached.
     pub hit_rate: f64,
 }
 
@@ -303,6 +333,10 @@ impl RunReport {
             cache: CacheReport {
                 hits: result.cache.hits,
                 misses: result.cache.misses,
+                disk_hits: result.cache.disk_hits,
+                disk_misses: result.cache.disk_misses,
+                evictions: result.cache.evictions,
+                validation_failures: result.cache.validation_failures,
                 hit_rate: result.cache.hit_rate(),
             },
             anneal: AnnealReport {
@@ -453,6 +487,13 @@ impl RunReport {
                 obj(vec![
                     ("hits", Json::from(self.cache.hits)),
                     ("misses", Json::from(self.cache.misses)),
+                    ("disk_hits", Json::from(self.cache.disk_hits)),
+                    ("disk_misses", Json::from(self.cache.disk_misses)),
+                    ("evictions", Json::from(self.cache.evictions)),
+                    (
+                        "validation_failures",
+                        Json::from(self.cache.validation_failures),
+                    ),
                     ("hit_rate", Json::from(self.cache.hit_rate)),
                 ]),
             ),
@@ -515,6 +556,17 @@ impl RunReport {
                 .as_str()
                 .map(str::to_string)
                 .ok_or_else(|| format!("field `{key}` is not a string"))
+        };
+        // For fields introduced after schema v1: absent means 0, present
+        // must still be well-typed.
+        let get_u_or_zero = |j: &Json, key: &str| -> Result<usize, String> {
+            match j.get(key) {
+                None => Ok(0),
+                Some(v) => v
+                    .as_u64()
+                    .map(|v| usize::try_from(v).unwrap_or(usize::MAX))
+                    .ok_or_else(|| format!("field `{key}` is not an unsigned integer")),
+            }
         };
         let get_usize_arr = |j: &Json, key: &str| -> Result<Vec<usize>, String> {
             need(j, key)?
@@ -622,6 +674,10 @@ impl RunReport {
             cache: CacheReport {
                 hits: get_u(&cache, "hits")?,
                 misses: get_u(&cache, "misses")?,
+                disk_hits: get_u_or_zero(&cache, "disk_hits")?,
+                disk_misses: get_u_or_zero(&cache, "disk_misses")?,
+                evictions: get_u_or_zero(&cache, "evictions")?,
+                validation_failures: get_u_or_zero(&cache, "validation_failures")?,
                 hit_rate: get_f(&cache, "hit_rate")?,
             },
             anneal: AnnealReport {
@@ -660,6 +716,13 @@ impl RunReport {
             .with("quest.blocks", self.blocks.len() as f64)
             .with("quest.parallel_width", self.parallel_width as f64)
             .with("quest.cache.hit_rate", self.cache.hit_rate)
+            .with("quest.cache.disk_hits", self.cache.disk_hits as f64)
+            .with("quest.cache.disk_misses", self.cache.disk_misses as f64)
+            .with("quest.cache.evictions", self.cache.evictions as f64)
+            .with(
+                "quest.cache.validation_failures",
+                self.cache.validation_failures as f64,
+            )
             .with("quest.anneal.evals", self.anneal.evals as f64)
             .with("quest.anneal.acceptance_rate", self.anneal.acceptance_rate)
     }

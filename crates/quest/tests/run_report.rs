@@ -96,6 +96,48 @@ fn run_report_json_roundtrip_is_stable() {
 }
 
 #[test]
+fn run_report_from_json_accepts_schema_v1() {
+    let circuit = fixture_circuit();
+    let quest = Quest::new(QuestConfig::fast().with_seed(29));
+    let result = quest.compile(&circuit);
+    let report = RunReport::new(&quest, &circuit, &result);
+
+    // Rewrite the serialized form into a schema-v1 document: version 1 and
+    // no disk-tier cache fields (those were introduced in v2).
+    let mut json = report.to_json();
+    let qobs::json::Json::Object(members) = &mut json else {
+        panic!("report JSON is not an object");
+    };
+    for (key, value) in members.iter_mut() {
+        match key.as_str() {
+            "schema_version" => *value = qobs::json::Json::from(1u64),
+            "cache" => {
+                let qobs::json::Json::Object(cache) = value else {
+                    panic!("`cache` is not an object");
+                };
+                cache.retain(|(k, _)| matches!(k.as_str(), "hits" | "misses" | "hit_rate"));
+            }
+            _ => {}
+        }
+    }
+
+    let text = json.pretty();
+    assert!(
+        !text.contains("disk_hits"),
+        "v1 fixture still has v2 fields"
+    );
+    let back = RunReport::from_json(&qobs::json::Json::parse(&text).unwrap())
+        .expect("v1 report still deserializes");
+    assert_eq!(back.schema_version, 1);
+    assert_eq!(back.cache.hits, report.cache.hits);
+    assert_eq!(back.cache.misses, report.cache.misses);
+    assert_eq!(back.cache.disk_hits, 0, "absent v2 field defaults to zero");
+    assert_eq!(back.cache.disk_misses, 0);
+    assert_eq!(back.cache.evictions, 0);
+    assert_eq!(back.cache.validation_failures, 0);
+}
+
+#[test]
 fn block_cnot_metrics_agree_with_qlint_accounting() {
     let circuit = fixture_circuit();
     let quest = Quest::new(QuestConfig::fast().with_seed(31));

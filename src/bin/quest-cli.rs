@@ -3,15 +3,20 @@
 //! ```sh
 //! quest-cli INPUT.qasm [--epsilon 0.1] [--block-size 4] [--samples 16]
 //!           [--seed 42] [--out-dir DIR] [--fast] [--qiskit]
+//!           [--cache-dir DIR] [--no-disk-cache]
 //!           [--trace[=json]] [--report OUT.json]
 //! ```
 //!
 //! Writes one `approx_<i>_<cnots>cx.qasm` per selected approximation (to
 //! `--out-dir`, default alongside the input) and prints a summary.
-//! `--trace` streams the pipeline's span hierarchy to stderr (`=json` for
-//! one JSON object per line); `--report` writes the machine-readable
-//! [`quest::RunReport`] plus a `BENCH_<stem>.json` perf snapshot from the
-//! same run (schemas in DESIGN.md's Observability section).
+//! Synthesized block menus persist in an on-disk cache between runs
+//! (`--cache-dir`, default `~/.cache/quest-blocks/`; `--no-disk-cache` for
+//! a memory-only cache), so recompiling an unchanged circuit skips
+//! synthesis entirely. `--trace` streams the pipeline's span hierarchy to
+//! stderr (`=json` for one JSON object per line); `--report` writes the
+//! machine-readable [`quest::RunReport`] plus a `BENCH_<stem>.json` perf
+//! snapshot from the same run (schemas in DESIGN.md's Observability
+//! section).
 
 use quest::{Quest, QuestConfig, RunReport};
 use std::path::{Path, PathBuf};
@@ -27,6 +32,8 @@ struct Args {
     seed: Option<u64>,
     fast: bool,
     qiskit: bool,
+    cache_dir: Option<PathBuf>,
+    no_disk_cache: bool,
     trace: Option<TraceFormat>,
     report: Option<PathBuf>,
 }
@@ -47,6 +54,8 @@ fn parse_args() -> Result<Args, String> {
         seed: None,
         fast: false,
         qiskit: false,
+        cache_dir: None,
+        no_disk_cache: false,
         trace: None,
         report: None,
     };
@@ -88,6 +97,8 @@ fn parse_args() -> Result<Args, String> {
             "--out-dir" => args.out_dir = Some(PathBuf::from(value("--out-dir")?)),
             "--fast" => args.fast = true,
             "--qiskit" => args.qiskit = true,
+            "--cache-dir" => args.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--no-disk-cache" => args.no_disk_cache = true,
             "--trace" => args.trace = Some(TraceFormat::Fmt),
             "--trace=json" => args.trace = Some(TraceFormat::Json),
             "--trace=fmt" => args.trace = Some(TraceFormat::Fmt),
@@ -113,6 +124,7 @@ fn usage() {
     eprintln!(
         "usage: quest-cli INPUT.qasm [--epsilon E] [--block-size K] [--samples M]\n\
          \u{20}                 [--seed S] [--out-dir DIR] [--fast] [--qiskit]\n\
+         \u{20}                 [--cache-dir DIR] [--no-disk-cache]\n\
          \u{20}                 [--trace[=json]] [--report OUT.json]\n\
          \n\
          Approximates the circuit with QUEST (ASPLOS'22) and writes one\n\
@@ -125,6 +137,10 @@ fn usage() {
          --out-dir DIR   output directory (default: input's directory)\n\
          --fast          lighter optimization budget\n\
          --qiskit        run the Qiskit-baseline passes on each sample\n\
+         --cache-dir DIR persistent block-cache directory\n\
+         \u{20}                (default $XDG_CACHE_HOME/quest-blocks or\n\
+         \u{20}                ~/.cache/quest-blocks)\n\
+         --no-disk-cache use a memory-only block cache for this run\n\
          --trace[=json]  stream pipeline spans to stderr (text or JSON lines)\n\
          --report F.json write the RunReport JSON to F.json, plus a\n\
          \u{20}                BENCH_<input-stem>.json snapshot alongside it"
@@ -147,6 +163,36 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// Builds the run's block cache: two-tier (disk-backed) by default,
+/// degrading to memory-only with a warning when no usable cache directory
+/// exists, or on `--no-disk-cache`.
+fn make_cache(args: &Args) -> quest::BlockCache {
+    if args.no_disk_cache {
+        return quest::BlockCache::new();
+    }
+    let Some(dir) = args
+        .cache_dir
+        .clone()
+        .or_else(quest::DiskCacheConfig::default_dir)
+    else {
+        eprintln!(
+            "warning: no cache directory (set $HOME/$XDG_CACHE_HOME or pass --cache-dir); \
+             using a memory-only cache"
+        );
+        return quest::BlockCache::new();
+    };
+    match quest::BlockCache::with_disk(quest::DiskCacheConfig::new(&dir)) {
+        Ok(cache) => cache,
+        Err(e) => {
+            eprintln!(
+                "warning: cannot use cache directory {}: {e}; using a memory-only cache",
+                dir.display()
+            );
+            quest::BlockCache::new()
         }
     }
 }
@@ -192,10 +238,11 @@ fn run(args: &Args) -> Result<(), String> {
 
     let t0 = std::time::Instant::now();
     let quest = Quest::new(cfg);
-    // A fresh per-run cache: repeated blocks inside one circuit (Trotter
-    // steps, layered ansätze) are synthesized once; the counters land in the
-    // report's cache fields.
-    let cache = quest::BlockCache::new();
+    // Repeated blocks inside one circuit (Trotter steps, layered ansätze)
+    // are synthesized once per process; with the disk tier enabled, menus
+    // also persist across runs. The counters land in the report's cache
+    // fields.
+    let cache = make_cache(args);
     let mut result = quest.compile_with_cache(&circuit, &cache);
     if args.qiskit {
         for s in &mut result.samples {
@@ -211,6 +258,14 @@ fn run(args: &Args) -> Result<(), String> {
         result.samples.len(),
         t0.elapsed(),
         result.cnot_reduction_percent()
+    );
+    let c = &result.cache;
+    println!(
+        "cache: {} memory hit(s), {} disk hit(s), {} synthesized fresh ({:.0}% hit rate)",
+        c.hits,
+        c.disk_hits,
+        c.misses.saturating_sub(c.disk_hits),
+        100.0 * c.hit_rate()
     );
 
     if let (Some(report_path), Some(session)) = (&args.report, &metrics_session) {
