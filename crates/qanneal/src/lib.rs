@@ -31,12 +31,19 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::Cell;
+use std::time::{Duration, Instant};
 
 /// Configuration of the annealer.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AnnealConfig {
     /// Total objective evaluations budget.
     pub max_evals: usize,
+    /// Wall-clock watchdog: when set, the run stops at the next evaluation
+    /// after the deadline and returns its best-so-far point with
+    /// `timed_out` set. `None` ⇒ the eval budget alone bounds the run, and
+    /// the result stays deterministic per seed.
+    pub deadline: Option<Duration>,
     /// Initial temperature `t₀` (SciPy default 5230).
     pub initial_temp: f64,
     /// Restart when `t` falls below `initial_temp × this` (SciPy: 2e-5).
@@ -53,6 +60,7 @@ impl Default for AnnealConfig {
     fn default() -> Self {
         AnnealConfig {
             max_evals: 4000,
+            deadline: None,
             initial_temp: 5230.0,
             restart_temp_ratio: 2e-5,
             visit: 2.62,
@@ -84,6 +92,9 @@ pub struct AnnealOutcome {
     pub accepted: usize,
     /// Temperature-collapse restarts taken.
     pub restarts: usize,
+    /// The [`AnnealConfig::deadline`] watchdog fired; `best` is the
+    /// best-so-far point at that moment rather than a full-budget result.
+    pub timed_out: bool,
 }
 
 impl AnnealOutcome {
@@ -139,6 +150,7 @@ pub fn minimize_discrete(
         evals: run.evals,
         accepted: run.accepted,
         restarts: run.restarts,
+        timed_out: run.timed_out,
     }
 }
 
@@ -151,6 +163,9 @@ pub struct ContinuousOutcome {
     pub best_value: f64,
     /// Objective evaluations spent.
     pub evals: usize,
+    /// The [`AnnealConfig::deadline`] watchdog fired; `best` is the
+    /// best-so-far point at that moment.
+    pub timed_out: bool,
 }
 
 /// Minimizes `f` over the box `Πᵢ [bounds[i].0, bounds[i].1]` — the
@@ -186,6 +201,7 @@ pub fn minimize_continuous(
         best: decode(&run.best),
         best_value: run.best_value,
         evals: run.evals,
+        timed_out: run.timed_out,
     }
 }
 
@@ -197,6 +213,8 @@ struct EngineRun {
     accepted: usize,
     restarts: usize,
     final_temperature: f64,
+    timed_out: bool,
+    nonfinite_evals: usize,
 }
 
 /// Publishes one engine run to the metrics registry (no-op when metrics
@@ -215,6 +233,8 @@ fn record_run(run: &EngineRun) {
     qobs::metrics::histogram("qanneal.acceptance_rate", rate);
     qobs::metrics::gauge("qanneal.final_temperature", run.final_temperature);
     qobs::metrics::histogram("qanneal.best_value", run.best_value);
+    qobs::metrics::counter("qanneal.timeouts", u64::from(run.timed_out));
+    qobs::metrics::counter("qanneal.nonfinite_evals", run.nonfinite_evals as u64);
 }
 
 /// The GSA engine over the unit box `[0, 1)^d` with periodic boundaries.
@@ -226,11 +246,36 @@ fn anneal01(f: &dyn Fn(&[f64]) -> f64, d: usize, cfg: &AnnealConfig) -> EngineRu
     let mut last_temperature = cfg.initial_temp;
     let mut best: Vec<f64> = vec![0.0; d];
     let mut best_value = f64::INFINITY;
+    let started = Instant::now();
+    let mut timed_out = false;
+    // Non-finite objective values would jam the acceptance chain (a NaN
+    // `e_cur` rejects every later move); sanitizing them to +∞ keeps the
+    // walk alive — any finite move is then strictly downhill and accepted.
+    let nonfinite = Cell::new(0usize);
+    let eval_sane = |x: &[f64]| -> f64 {
+        #[allow(unused_mut)]
+        let mut v = f(x);
+        qfault::inject!("qanneal.objective", nan, v);
+        if v.is_finite() {
+            v
+        } else {
+            nonfinite.set(nonfinite.get() + 1);
+            f64::INFINITY
+        }
+    };
+    let expired = |timed_out: &mut bool| -> bool {
+        if cfg.deadline.is_some_and(|dl| started.elapsed() >= dl) {
+            *timed_out = true;
+            true
+        } else {
+            false
+        }
+    };
 
     'outer: loop {
         // (Re)start from a fresh random point.
         let mut x: Vec<f64> = (0..d).map(|_| rng.random::<f64>()).collect();
-        let mut e_cur = f(&x);
+        let mut e_cur = eval_sane(&x);
         evals += 1;
         if e_cur < best_value {
             best_value = e_cur;
@@ -256,7 +301,8 @@ fn anneal01(f: &dyn Fn(&[f64]) -> f64, d: usize, cfg: &AnnealConfig) -> EngineRu
             // One annealing "cycle": a global all-dimensions move followed
             // by d single-dimension moves (SciPy's strategy chain).
             for step in 0..=d {
-                if evals >= cfg.max_evals {
+                qfault::inject!("qanneal.step", delay);
+                if evals >= cfg.max_evals || expired(&mut timed_out) {
                     break 'outer;
                 }
                 let mut cand = x.clone();
@@ -268,7 +314,7 @@ fn anneal01(f: &dyn Fn(&[f64]) -> f64, d: usize, cfg: &AnnealConfig) -> EngineRu
                     let j = step - 1;
                     cand[j] = wrap01(cand[j] + visit_step(t, cfg.visit, &mut rng));
                 }
-                let e_new = f(&cand);
+                let e_new = eval_sane(&cand);
                 evals += 1;
                 if e_new < best_value {
                     best_value = e_new;
@@ -289,9 +335,12 @@ fn anneal01(f: &dyn Fn(&[f64]) -> f64, d: usize, cfg: &AnnealConfig) -> EngineRu
             }
             k += 1;
         }
-        if evals >= cfg.max_evals {
+        if evals >= cfg.max_evals || expired(&mut timed_out) {
             break;
         }
+    }
+    if timed_out {
+        qobs::event!("qanneal.watchdog", evals = evals, best_value = best_value,);
     }
     EngineRun {
         best,
@@ -300,6 +349,8 @@ fn anneal01(f: &dyn Fn(&[f64]) -> f64, d: usize, cfg: &AnnealConfig) -> EngineRu
         accepted,
         restarts,
         final_temperature: last_temperature,
+        timed_out,
+        nonfinite_evals: nonfinite.get(),
     }
 }
 
@@ -487,6 +538,50 @@ mod tests {
             .filter(|_| tsallis_accept(10.0, 1e-6, -5.0, &mut rng))
             .count();
         assert_eq!(accepted, 0);
+    }
+
+    #[test]
+    fn zero_deadline_returns_best_so_far() {
+        let f = |idx: &[usize]| idx.iter().map(|&i| i as f64).sum::<f64>();
+        let cfg = AnnealConfig {
+            deadline: Some(Duration::ZERO),
+            ..AnnealConfig::default()
+        };
+        let out = minimize_discrete(&f, &[4, 4], &cfg);
+        assert!(out.timed_out);
+        assert_eq!(out.best.len(), 2, "best-so-far point still returned");
+        // The watchdog fires on the first boundary check, after at most
+        // the initial evaluation.
+        assert!(out.evals <= 1, "evals {}", out.evals);
+    }
+
+    #[test]
+    fn non_finite_objective_is_sanitized() {
+        // NaN on a spike, finite elsewhere: the chain must keep moving and
+        // settle on a finite optimum instead of jamming on the NaN.
+        let f = |idx: &[usize]| {
+            if idx[0] == 2 {
+                f64::NAN
+            } else {
+                (idx[0] as f64 - 5.0).powi(2)
+            }
+        };
+        let out = minimize_discrete(&f, &[8], &AnnealConfig::default().with_seed(4));
+        assert_eq!(out.best, vec![5], "value {}", out.best_value);
+        assert!(out.best_value.is_finite());
+        assert!(!out.timed_out);
+    }
+
+    #[test]
+    fn all_nan_objective_still_terminates() {
+        let cfg = AnnealConfig {
+            max_evals: 300,
+            ..AnnealConfig::default()
+        };
+        let out = minimize_discrete(&|_| f64::NAN, &[4, 4], &cfg);
+        assert!(out.best_value.is_infinite(), "sanitized to +inf");
+        assert_eq!(out.best.len(), 2);
+        assert!(out.evals <= 300);
     }
 
     #[test]

@@ -1,0 +1,427 @@
+//! Deterministic fault injection for the QUEST pipeline.
+//!
+//! Robustness claims are only testable if failures can be *produced on
+//! demand, deterministically*. This crate provides named injection points —
+//! [`inject!`] sites — that the pipeline crates compile in behind the
+//! `fault-injection` cargo feature. Without the feature every site expands
+//! to a branch on a `const fn` returning `false`, which the optimizer
+//! deletes: production builds carry zero overhead and remain bit-identical
+//! to builds that predate the harness.
+//!
+//! With the feature on, faults are **armed** against sites either
+//! programmatically ([`arm`], [`arm_spec`]) or via the `QFAULT` environment
+//! variable (read once, lazily), and fire deterministically by *hit count*:
+//! the n-th execution of a site fires, every earlier and later one does not
+//! (or every hit, for `FireAt::Every`). There is no randomness — a given
+//! spec against a given (deterministic) workload always trips the same
+//! site at the same moment, which is what makes degraded-mode runs
+//! reproducible and assertable in CI.
+//!
+//! # Spec grammar
+//!
+//! ```text
+//! spec     := clause (';' clause)*
+//! clause   := site '=' kind target?
+//! kind     := 'panic' | 'nan' | 'io' | 'delay' | 'corrupt'
+//! target   := '@' (uint | '*')        # fire at hit N (default 0) or every hit
+//! ```
+//!
+//! Example: `QFAULT="quest.block_worker=panic@*;qsynth.cost=nan@2"`.
+//!
+//! # Site kinds
+//!
+//! | kind      | site shape                              | effect when fired |
+//! |-----------|------------------------------------------|-------------------|
+//! | `panic`   | `inject!("site", panic)`                 | panics            |
+//! | `nan`     | `inject!("site", nan, expr_slot)`        | sets the slot to NaN |
+//! | `io`      | `inject!("site", io)` (expression)       | yields `Some(io::Error)` |
+//! | `delay`   | `inject!("site", delay)`                 | sleeps [`delay_ms`] ms |
+//! | `corrupt` | `inject!("site", corrupt, &mut String)`  | corrupts the buffer |
+//!
+//! ```
+//! // Sites are inert until armed (and compiled out without the feature).
+//! let mut cost = 1.0_f64;
+//! qfault::inject!("docs.example", nan, cost);
+//! assert_eq!(cost, 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+/// The kind of failure an armed fault produces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Panic at the site (worker-thread death, library bug).
+    Panic,
+    /// Poison a floating-point value to NaN (numerical divergence).
+    Nan,
+    /// Surface an `std::io::Error` (disk/filesystem trouble).
+    Io,
+    /// Sleep at the site (hung I/O, scheduling stall, slow optimizer).
+    Delay,
+    /// Corrupt an in-memory buffer (torn write, bit rot).
+    Corrupt,
+}
+
+impl FaultKind {
+    /// Canonical lowercase name (the spec-grammar token).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Nan => "nan",
+            FaultKind::Io => "io",
+            FaultKind::Delay => "delay",
+            FaultKind::Corrupt => "corrupt",
+        }
+    }
+
+    /// Parses a spec-grammar token.
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "panic" => Some(FaultKind::Panic),
+            "nan" => Some(FaultKind::Nan),
+            "io" => Some(FaultKind::Io),
+            "delay" => Some(FaultKind::Delay),
+            "corrupt" => Some(FaultKind::Corrupt),
+            _ => None,
+        }
+    }
+}
+
+/// Which hits of a site an armed fault fires on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FireAt {
+    /// Fire exactly once, on the zero-based n-th hit of the site.
+    Hit(usize),
+    /// Fire on every hit.
+    Every,
+}
+
+/// One armed fault: a site, what to do there, and when.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Injection-site name (e.g. `quest.block_worker`).
+    pub site: String,
+    /// Failure kind to produce.
+    pub kind: FaultKind,
+    /// Hit-count trigger.
+    pub at: FireAt,
+}
+
+impl FaultSpec {
+    /// Parses one spec clause (`site=kind[@n|@*]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed clause.
+    pub fn parse(clause: &str) -> Result<FaultSpec, String> {
+        let (site, rest) = clause
+            .split_once('=')
+            .ok_or_else(|| format!("fault clause `{clause}` is missing `=`"))?;
+        let (kind_str, at) = match rest.split_once('@') {
+            None => (rest, FireAt::Hit(0)),
+            Some((k, "*")) => (k, FireAt::Every),
+            Some((k, n)) => (
+                k,
+                FireAt::Hit(
+                    n.parse()
+                        .map_err(|_| format!("fault clause `{clause}`: bad hit index `{n}`"))?,
+                ),
+            ),
+        };
+        let kind = FaultKind::parse(kind_str)
+            .ok_or_else(|| format!("fault clause `{clause}`: unknown kind `{kind_str}`"))?;
+        if site.is_empty() {
+            return Err(format!("fault clause `{clause}`: empty site"));
+        }
+        Ok(FaultSpec {
+            site: site.to_string(),
+            kind,
+            at,
+        })
+    }
+}
+
+/// Milliseconds a fired `delay` fault sleeps. Long enough that a
+/// millisecond-scale deadline deterministically expires across it, short
+/// enough to keep chaos suites fast.
+pub fn delay_ms() -> u64 {
+    50
+}
+
+/// Deterministically corrupts a text buffer in place (the `corrupt` kind's
+/// payload for string entries): flips a character in the middle and
+/// truncates the tail, simulating both bit rot and a torn write. The
+/// mutation depends only on the input length, never on a clock or RNG.
+pub fn corrupt_string(buf: &mut String) {
+    let keep = buf.len() / 2;
+    buf.truncate(keep);
+    buf.push('\u{0}');
+}
+
+#[cfg(feature = "fault-injection")]
+mod registry {
+    use super::{FaultKind, FaultSpec, FireAt};
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    struct Armed {
+        spec: FaultSpec,
+        hits: usize,
+    }
+
+    struct Registry {
+        armed: Mutex<Vec<Armed>>,
+        fired: AtomicUsize,
+        fired_by_site: Mutex<HashMap<String, usize>>,
+    }
+
+    fn registry() -> &'static Registry {
+        static REG: OnceLock<Registry> = OnceLock::new();
+        REG.get_or_init(|| {
+            let reg = Registry {
+                armed: Mutex::new(Vec::new()),
+                fired: AtomicUsize::new(0),
+                fired_by_site: Mutex::new(HashMap::new()),
+            };
+            // Environment arming makes chaos runs possible without code
+            // changes: QFAULT="site=kind[@n];..." on any binary built with
+            // the feature. Malformed clauses are an immediate panic — a
+            // chaos run with a typo'd spec silently testing nothing is
+            // worse than no run.
+            if let Ok(spec) = std::env::var("QFAULT") {
+                for clause in spec.split(';').filter(|c| !c.trim().is_empty()) {
+                    let parsed =
+                        FaultSpec::parse(clause.trim()).unwrap_or_else(|e| panic!("QFAULT: {e}"));
+                    reg.armed.lock().unwrap().push(Armed {
+                        spec: parsed,
+                        hits: 0,
+                    });
+                }
+            }
+            reg
+        })
+    }
+
+    /// Arms one fault against its site (hit counter starts at zero).
+    pub fn arm(spec: FaultSpec) {
+        registry()
+            .armed
+            .lock()
+            .unwrap()
+            .push(Armed { spec, hits: 0 });
+    }
+
+    /// Clears every armed fault and resets all counters.
+    pub fn disarm_all() {
+        let reg = registry();
+        reg.armed.lock().unwrap().clear();
+        reg.fired.store(0, Ordering::Relaxed);
+        reg.fired_by_site.lock().unwrap().clear();
+    }
+
+    /// Total faults fired since the last [`disarm_all`].
+    pub fn fired() -> usize {
+        registry().fired.load(Ordering::Relaxed)
+    }
+
+    /// Faults fired at one site since the last [`disarm_all`].
+    pub fn fired_at(site: &str) -> usize {
+        registry()
+            .fired_by_site
+            .lock()
+            .unwrap()
+            .get(site)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Records a hit at `site` and reports whether an armed fault fires.
+    pub fn fire(site: &str, kind: FaultKind) -> bool {
+        let reg = registry();
+        let mut armed = reg.armed.lock().unwrap();
+        let mut should_fire = false;
+        for a in armed.iter_mut() {
+            if a.spec.site != site || a.spec.kind != kind {
+                continue;
+            }
+            let hit = a.hits;
+            a.hits += 1;
+            should_fire |= match a.spec.at {
+                FireAt::Hit(n) => hit == n,
+                FireAt::Every => true,
+            };
+        }
+        drop(armed);
+        if should_fire {
+            reg.fired.fetch_add(1, Ordering::Relaxed);
+            *reg.fired_by_site
+                .lock()
+                .unwrap()
+                .entry(site.to_string())
+                .or_insert(0) += 1;
+        }
+        should_fire
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub use registry::{arm, disarm_all, fire, fired, fired_at};
+
+/// Arms every clause of a `;`-separated spec string.
+///
+/// # Errors
+///
+/// Returns the first malformed clause's description (nothing is armed then).
+#[cfg(feature = "fault-injection")]
+pub fn arm_spec(spec: &str) -> Result<usize, String> {
+    let clauses: Vec<FaultSpec> = spec
+        .split(';')
+        .filter(|c| !c.trim().is_empty())
+        .map(|c| FaultSpec::parse(c.trim()))
+        .collect::<Result<_, _>>()?;
+    let n = clauses.len();
+    for c in clauses {
+        arm(c);
+    }
+    Ok(n)
+}
+
+/// Feature-off stub: never fires. `const` + `inline(always)` lets the
+/// optimizer delete the whole site.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn fire(_site: &str, _kind: FaultKind) -> bool {
+    false
+}
+
+/// Feature-off stub: no faults ever fire.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn fired() -> usize {
+    0
+}
+
+/// Feature-off stub: no faults ever fire.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn fired_at(_site: &str) -> usize {
+    0
+}
+
+/// Feature-off stub: nothing to clear.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn disarm_all() {}
+
+/// An injection point. See the crate docs for the per-kind forms; every
+/// form is a no-op (and compiles away) unless a matching fault is armed
+/// and the `fault-injection` feature is enabled.
+#[macro_export]
+macro_rules! inject {
+    ($site:literal, panic) => {
+        if $crate::fire($site, $crate::FaultKind::Panic) {
+            panic!(concat!("qfault: injected panic at ", $site));
+        }
+    };
+    ($site:literal, nan, $slot:expr) => {
+        if $crate::fire($site, $crate::FaultKind::Nan) {
+            $slot = f64::NAN;
+        }
+    };
+    ($site:literal, io) => {
+        if $crate::fire($site, $crate::FaultKind::Io) {
+            Some(::std::io::Error::other(concat!(
+                "qfault: injected I/O error at ",
+                $site
+            )))
+        } else {
+            None
+        }
+    };
+    ($site:literal, delay) => {
+        if $crate::fire($site, $crate::FaultKind::Delay) {
+            ::std::thread::sleep(::std::time::Duration::from_millis($crate::delay_ms()));
+        }
+    };
+    ($site:literal, corrupt, $buf:expr) => {
+        if $crate::fire($site, $crate::FaultKind::Corrupt) {
+            $crate::corrupt_string($buf);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_clauses_parse() {
+        assert_eq!(
+            FaultSpec::parse("a.b=panic").unwrap(),
+            FaultSpec {
+                site: "a.b".into(),
+                kind: FaultKind::Panic,
+                at: FireAt::Hit(0)
+            }
+        );
+        assert_eq!(
+            FaultSpec::parse("x=nan@3").unwrap(),
+            FaultSpec {
+                site: "x".into(),
+                kind: FaultKind::Nan,
+                at: FireAt::Hit(3)
+            }
+        );
+        assert_eq!(FaultSpec::parse("x=io@*").unwrap().at, FireAt::Every);
+        assert!(FaultSpec::parse("x=frob").is_err());
+        assert!(FaultSpec::parse("nonsense").is_err());
+        assert!(FaultSpec::parse("=panic").is_err());
+        assert!(FaultSpec::parse("x=delay@q").is_err());
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for k in [
+            FaultKind::Panic,
+            FaultKind::Nan,
+            FaultKind::Io,
+            FaultKind::Delay,
+            FaultKind::Corrupt,
+        ] {
+            assert_eq!(FaultKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(FaultKind::parse("other"), None);
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_destructive() {
+        let mut a = String::from("{\"schema_version\":1,\"key\":\"abc\"}");
+        let mut b = a.clone();
+        corrupt_string(&mut a);
+        corrupt_string(&mut b);
+        assert_eq!(a, b, "corruption must be deterministic");
+        assert_ne!(a, "{\"schema_version\":1,\"key\":\"abc\"}");
+    }
+
+    #[test]
+    fn disarmed_sites_are_inert() {
+        // Whether or not the feature is on, nothing is armed here (tests in
+        // this crate never arm), so every form must be a no-op.
+        let mut x = 7.5_f64;
+        inject!("qfault.test.nan", nan, x);
+        assert_eq!(x, 7.5);
+        let io: Option<std::io::Error> = inject!("qfault.test.io", io);
+        assert!(io.is_none());
+        inject!("qfault.test.panic", panic);
+        inject!("qfault.test.delay", delay);
+        let mut s = String::from("intact");
+        inject!("qfault.test.corrupt", corrupt, &mut s);
+        assert_eq!(s, "intact");
+    }
+
+    // Arming/firing behaviour is exercised end-to-end (with the feature on)
+    // by `quest/tests/degradation.rs`; unit-testing it here would require
+    // this crate's own tests to run under the feature flag, which the
+    // default workspace test run does not do.
+}

@@ -6,8 +6,9 @@ use crate::optimize::{minimize_with_width, OptimizerConfig};
 use crate::template::Template;
 use qcircuit::Circuit;
 use qmath::Matrix;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 /// Configuration of the synthesis search.
 #[derive(Clone, Debug, PartialEq)]
@@ -41,6 +42,18 @@ pub struct SynthesisConfig {
     /// candidate's RNG seed depends only on its tree position, and the
     /// expanded children are reduced in deterministic placement order).
     pub parallel_width: Option<usize>,
+    /// Wall-clock budget for the whole search. When it expires the run
+    /// stops at the next layer boundary (in-flight jobs of the current
+    /// layer are skipped) and [`SynthesisResult::deadline_expired`] is set;
+    /// candidates recorded so far are kept. `None` ⇒ unbounded. Timed-out
+    /// results depend on wall-clock, so callers must not treat them as
+    /// deterministic (quest degrades such blocks to their exact entry).
+    pub deadline: Option<Duration>,
+    /// Gradient-evaluation budget for the whole search, checked at layer
+    /// boundaries — enforcement is deterministic: the same layers run for
+    /// a given config regardless of thread count. Exceeding it sets
+    /// [`SynthesisResult::eval_budget_exhausted`]. `None` ⇒ unbounded.
+    pub max_gradient_evals: Option<usize>,
 }
 
 impl SynthesisConfig {
@@ -60,6 +73,8 @@ impl SynthesisConfig {
             collect_all: false,
             coupling: None,
             parallel_width: None,
+            deadline: None,
+            max_gradient_evals: None,
         }
     }
 
@@ -80,6 +95,8 @@ impl SynthesisConfig {
             collect_all: true,
             coupling: None,
             parallel_width: None,
+            deadline: None,
+            max_gradient_evals: None,
         }
     }
 
@@ -116,15 +133,35 @@ pub struct SynthesisResult {
     pub layers_explored: usize,
     /// Total gradient evaluations spent (cost proxy for Fig. 12).
     pub gradient_evals: usize,
+    /// Optimizer start attempts aborted on a non-finite cost/gradient or a
+    /// panic and redrawn from a salted seed. Nonzero means the run took a
+    /// recovery path a clean run never samples, so its output is valid but
+    /// not bit-reproducible against an unpoisoned run.
+    pub poisoned_starts: usize,
+    /// The wall-clock [`SynthesisConfig::deadline`] expired before the
+    /// search converged; the candidate set is a best-so-far prefix.
+    pub deadline_expired: bool,
+    /// The [`SynthesisConfig::max_gradient_evals`] budget ran out before
+    /// the search converged; the candidate set is a best-so-far prefix.
+    pub eval_budget_exhausted: bool,
 }
 
 impl SynthesisResult {
+    /// True when the search was cut short or had to recover from poisoned
+    /// starts — the candidates are valid but incomplete or off the
+    /// deterministic clean path.
+    pub fn degraded(&self) -> bool {
+        self.deadline_expired || self.eval_budget_exhausted || self.poisoned_starts > 0
+    }
+
     /// The candidate with the smallest distance (ties → fewer CNOTs).
+    /// NaN distances order after every finite value (`total_cmp`), so a
+    /// poisoned candidate can never be selected over a finite one.
     pub fn best(&self) -> Option<&Candidate> {
         self.candidates.iter().min_by(|a, b| {
-            (a.distance, a.cnot_count)
-                .partial_cmp(&(b.distance, b.cnot_count))
-                .unwrap()
+            a.distance
+                .total_cmp(&b.distance)
+                .then(a.cnot_count.cmp(&b.cnot_count))
         })
     }
 
@@ -134,9 +171,9 @@ impl SynthesisResult {
             .iter()
             .filter(|c| c.distance <= epsilon)
             .min_by(|a, b| {
-                (a.cnot_count, a.distance)
-                    .partial_cmp(&(b.cnot_count, b.distance))
-                    .unwrap()
+                a.cnot_count
+                    .cmp(&b.cnot_count)
+                    .then(a.distance.total_cmp(&b.distance))
             })
     }
 
@@ -147,9 +184,9 @@ impl SynthesisResult {
         let mut by_cnots: Vec<&Candidate> = Vec::new();
         let mut sorted: Vec<&Candidate> = self.candidates.iter().collect();
         sorted.sort_by(|a, b| {
-            (a.cnot_count, a.distance)
-                .partial_cmp(&(b.cnot_count, b.distance))
-                .unwrap()
+            a.cnot_count
+                .cmp(&b.cnot_count)
+                .then(a.distance.total_cmp(&b.distance))
         });
         let mut best_so_far = f64::INFINITY;
         for c in sorted {
@@ -211,8 +248,15 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
         parallel_width = budget,
     );
 
+    let started = Instant::now();
     let mut result = SynthesisResult::default();
     let record = |node: &Node, result: &mut SynthesisResult| {
+        // A fully-poisoned node carries an infinite cost; recording it
+        // would put a useless entry (and a NaN-free but infinite distance)
+        // into the menu, so it is dropped here.
+        if !node.cost.is_finite() {
+            return;
+        }
         result.candidates.push(Candidate {
             circuit: node.template.instantiate(&node.params),
             distance: HsCost::distance(node.cost),
@@ -232,6 +276,7 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
             if cfg.optimizer.parallel { budget } else { 1 },
         );
         result.gradient_evals += out.evals;
+        result.poisoned_starts += out.poisoned_starts;
         Node {
             template: root_template,
             params: out.params,
@@ -267,7 +312,23 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
     }
 
     let mut layer = 0usize;
+    let hard_expired = AtomicBool::new(false);
     while !done {
+        qfault::inject!("qsynth.layer", delay);
+        // Budget checks happen at layer boundaries. The eval budget is
+        // deterministic (gradient_evals at a boundary does not depend on
+        // thread count); the deadline is wall-clock and therefore is not.
+        if cfg
+            .max_gradient_evals
+            .is_some_and(|cap| result.gradient_evals >= cap)
+        {
+            result.eval_budget_exhausted = true;
+            break;
+        }
+        if cfg.deadline.is_some_and(|dl| started.elapsed() >= dl) {
+            result.deadline_expired = true;
+            break;
+        }
         layer += 1;
         if layer > max_cnots {
             break;
@@ -282,7 +343,15 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
         } else {
             1
         };
-        let expand = |ni: usize, pi: usize| -> (Node, usize) {
+        let expand = |ni: usize, pi: usize| -> Option<(Node, usize, usize)> {
+            // A deadline that expires mid-layer skips the remaining jobs:
+            // which jobs got skipped is wall-clock dependent, but any
+            // deadline-truncated result is flagged and treated as degraded
+            // downstream, so the nondeterminism never reaches a clean run.
+            if cfg.deadline.is_some_and(|dl| started.elapsed() >= dl) {
+                hard_expired.store(true, Ordering::Relaxed);
+                return None;
+            }
             let node = &frontier[ni];
             let (c, t) = pairs[pi];
             let template = node.template.with_layer(c, t);
@@ -322,23 +391,25 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
                 }
             }
             let evals = out.evals;
-            (
+            Some((
                 Node {
                     template,
                     params: out.params,
                     cost: out.cost,
                 },
                 evals,
-            )
+                out.poisoned_starts,
+            ))
         };
 
-        let expanded: Vec<(Node, usize)> = if frontier_width > 1 {
+        type Job = Option<(Node, usize, usize)>;
+        let expanded: Vec<Job> = if frontier_width > 1 {
             // Deterministic parallel expansion: workers pull job indices
             // from an atomic queue and publish into per-job cells; the
             // collection below walks the cells in placement order, so the
             // recorded candidates, eval counts, and children are identical
             // to the serial sweep.
-            let cells: Vec<OnceLock<(Node, usize)>> = (0..jobs).map(|_| OnceLock::new()).collect();
+            let cells: Vec<OnceLock<Job>> = (0..jobs).map(|_| OnceLock::new()).collect();
             let next = AtomicUsize::new(0);
             crossbeam::thread::scope(|scope| {
                 for _ in 0..frontier_width {
@@ -363,14 +434,21 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
         };
 
         let mut children: Vec<Node> = Vec::with_capacity(jobs);
-        for (child, evals) in expanded {
+        for job in expanded {
+            let Some((child, evals, poisoned)) = job else {
+                continue; // skipped by the mid-layer deadline check
+            };
             result.gradient_evals += evals;
+            result.poisoned_starts += poisoned;
             if cfg.collect_all {
                 record(&child, &mut result);
             }
             children.push(child);
         }
-        children.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+        if hard_expired.load(Ordering::Relaxed) {
+            result.deadline_expired = true;
+        }
+        children.sort_by(|a, b| a.cost.total_cmp(&b.cost));
         if let Some(best) = children.first() {
             // Per-layer telemetry: how deep the LEAP tree is and how fast
             // the best branch's HS distance falls with each CNOT layer.
@@ -408,8 +486,18 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
         frontier = children;
     }
     result.layers_explored = layer;
+    if result.deadline_expired || result.eval_budget_exhausted {
+        qobs::event!(
+            "qsynth.budget_cutoff",
+            layer = layer,
+            gradient_evals = result.gradient_evals,
+            deadline_expired = result.deadline_expired,
+            eval_budget_exhausted = result.eval_budget_exhausted,
+        );
+    }
     qobs::metrics::counter("qsynth.runs", 1);
     qobs::metrics::counter("qsynth.gradient_evals", result.gradient_evals as u64);
+    qobs::metrics::counter("qsynth.poisoned_starts", result.poisoned_starts as u64);
     qobs::metrics::counter("qsynth.candidates", result.candidates.len() as u64);
     #[allow(clippy::cast_precision_loss)]
     qobs::metrics::histogram("qsynth.layers_explored", result.layers_explored as f64);
@@ -497,6 +585,45 @@ mod tests {
         let r2 = synthesize(&c.unitary(), &cfg);
         assert_eq!(r1.candidates.len(), r2.candidates.len());
         assert_eq!(r1.best().unwrap().circuit, r2.best().unwrap().circuit);
+    }
+
+    #[test]
+    fn eval_budget_cuts_search_short_but_keeps_candidates() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1).rz(1, 0.9).cnot(0, 1).ry(0, 0.4);
+        let mut cfg = SynthesisConfig::approximate(1e-8, 4);
+        cfg.max_gradient_evals = Some(1); // exhausted right after the root
+        let result = synthesize(&c.unitary(), &cfg);
+        assert!(result.eval_budget_exhausted);
+        assert!(result.degraded());
+        assert!(!result.candidates.is_empty(), "root candidate kept");
+    }
+
+    #[test]
+    fn zero_deadline_expires_but_keeps_root() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1).rz(1, 0.9);
+        let mut cfg = SynthesisConfig::approximate(1e-8, 4);
+        cfg.deadline = Some(Duration::ZERO);
+        let result = synthesize(&c.unitary(), &cfg);
+        assert!(result.deadline_expired);
+        assert!(!result.candidates.is_empty(), "root candidate kept");
+    }
+
+    #[test]
+    fn best_ignores_nan_distance_candidates() {
+        let mk = |distance: f64, cnot_count: usize| Candidate {
+            circuit: Circuit::new(1),
+            distance,
+            cnot_count,
+        };
+        let result = SynthesisResult {
+            candidates: vec![mk(f64::NAN, 0), mk(0.25, 1), mk(f64::NAN, 2)],
+            ..SynthesisResult::default()
+        };
+        assert_eq!(result.best().unwrap().cnot_count, 1);
+        assert_eq!(result.best_within(0.5).unwrap().cnot_count, 1);
+        assert_eq!(result.pareto().len(), 1);
     }
 
     #[test]

@@ -58,7 +58,15 @@ pub struct OptimizeOutcome {
     pub cost: f64,
     /// Total gradient evaluations spent.
     pub evals: usize,
+    /// Start attempts aborted on a non-finite cost/gradient or a panic.
+    /// Each aborted attempt was retried from a salted seed (up to
+    /// [`MAX_POISON_RETRIES`] times); zero on a clean run.
+    pub poisoned_starts: usize,
 }
+
+/// How many times a poisoned (non-finite or panicked) start is redrawn
+/// from a fresh salted seed before it is written off as unusable.
+pub const MAX_POISON_RETRIES: usize = 2;
 
 /// A reusable cost-and-gradient evaluator.
 ///
@@ -83,6 +91,11 @@ struct StartOutcome {
     params: Vec<f64>,
     cost: f64,
     evals: usize,
+    /// True when the start aborted on a non-finite cost or gradient.
+    poisoned: bool,
+    /// Aborted attempts (non-finite or panicked) consumed by this start,
+    /// including retries. The final outcome may still be clean.
+    poisoned_attempts: usize,
 }
 
 /// Runs one Adam start from `x`, returning the first iterate that achieved
@@ -105,9 +118,18 @@ fn run_start<E: Evaluator>(
     let mut lr = cfg.learning_rate;
     let mut start_best = f64::INFINITY;
     let mut stall = 0usize;
+    let mut poisoned = false;
     for iter in 1..=cfg.max_iters {
-        let c = eval.eval(&x, &mut g);
+        #[allow(unused_mut)]
+        let mut c = eval.eval(&x, &mut g);
         evals += 1;
+        qfault::inject!("qsynth.cost", nan, c);
+        // A non-finite cost or gradient poisons every later Adam iterate;
+        // abort the start so the caller can redraw from a fresh seed.
+        if !c.is_finite() || g.iter().any(|v| !v.is_finite()) {
+            poisoned = true;
+            break;
+        }
         if c < best_cost {
             best_cost = c;
             best_params.copy_from_slice(&x);
@@ -143,6 +165,70 @@ fn run_start<E: Evaluator>(
         params: best_params,
         cost: best_cost,
         evals,
+        poisoned,
+        poisoned_attempts: usize::from(poisoned),
+    }
+}
+
+/// Runs one start with panic isolation. A panicking evaluator (or an
+/// injected fault) yields `None` instead of tearing down the worker pool;
+/// its eval count is unknowable and charged as zero.
+fn attempt_start<E: Evaluator>(
+    eval: &mut E,
+    x: Vec<f64>,
+    num_params: usize,
+    cfg: &OptimizerConfig,
+) -> Option<StartOutcome> {
+    // Evaluator workspaces are plain numeric buffers fully rewritten by
+    // each eval, so reuse after an unwind cannot observe torn state.
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_start(eval, x, num_params, cfg)
+    }))
+    .ok()
+}
+
+/// Runs start `s` to a usable outcome: a poisoned or panicked attempt is
+/// retried up to [`MAX_POISON_RETRIES`] times from [`retry_point`]'s salted
+/// stream. Clean attempts take exactly the pre-existing code path, so runs
+/// that never poison stay bit-identical to an unguarded sweep.
+fn run_start_resilient<E: Evaluator>(
+    eval: &mut E,
+    s: usize,
+    num_params: usize,
+    warm_start: Option<&[f64]>,
+    cfg: &OptimizerConfig,
+) -> StartOutcome {
+    let mut evals = 0;
+    let mut poisoned_attempts = 0;
+    for attempt in 0..=MAX_POISON_RETRIES {
+        let x = if attempt == 0 {
+            initial_point(s, num_params, warm_start, cfg)
+        } else {
+            retry_point(s, attempt, num_params, cfg)
+        };
+        match attempt_start(eval, x, num_params, cfg) {
+            Some(out) if !out.poisoned => {
+                return StartOutcome {
+                    evals: evals + out.evals,
+                    poisoned_attempts,
+                    ..out
+                };
+            }
+            Some(out) => {
+                evals += out.evals;
+                poisoned_attempts += 1;
+            }
+            None => poisoned_attempts += 1,
+        }
+    }
+    // Every attempt poisoned: return an inert outcome that can never beat
+    // a finite start in the reduction.
+    StartOutcome {
+        params: vec![0.0; num_params],
+        cost: f64::INFINITY,
+        evals,
+        poisoned: true,
+        poisoned_attempts,
     }
 }
 
@@ -175,6 +261,19 @@ fn initial_point(
     for _ in 0..burn {
         let _ = rng.random_range(-PI..PI);
     }
+    (0..num_params).map(|_| rng.random_range(-PI..PI)).collect()
+}
+
+/// Builds the initial point for retry `attempt` of a poisoned start `s`:
+/// a fresh stream salted with the start index and retry ordinal, which a
+/// clean run never samples. Deterministic for a given `(seed, s, attempt)`
+/// and independent of thread scheduling.
+fn retry_point(s: usize, attempt: usize, num_params: usize, cfg: &OptimizerConfig) -> Vec<f64> {
+    use std::f64::consts::PI;
+    let salt = 0x9E37_79B9_7F4A_7C15u64
+        .wrapping_mul(s as u64 + 1)
+        .wrapping_add(attempt as u64);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ salt);
     (0..num_params).map(|_| rng.random_range(-PI..PI)).collect()
 }
 
@@ -226,8 +325,7 @@ where
         // start reaches the target cost.
         let mut eval = make_eval();
         for (s, slot) in results.iter_mut().enumerate() {
-            let x = initial_point(s, num_params, warm_start, cfg);
-            let out = run_start(&mut eval, x, num_params, cfg);
+            let out = run_start_resilient(&mut eval, s, num_params, warm_start, cfg);
             let reached = out.cost <= cfg.target_cost;
             *slot = Some(out);
             if reached {
@@ -246,8 +344,7 @@ where
                         if s >= nstarts {
                             break;
                         }
-                        let x = initial_point(s, num_params, warm_start, cfg);
-                        let out = run_start(&mut eval, x, num_params, cfg);
+                        let out = run_start_resilient(&mut eval, s, num_params, warm_start, cfg);
                         let _ = cells[s].set(out);
                     }
                 });
@@ -265,9 +362,11 @@ where
     // earliest start.
     let mut best: Option<(usize, &StartOutcome)> = None;
     let mut evals = 0;
+    let mut poisoned_starts = 0;
     for (s, out) in results.iter().enumerate() {
         let Some(out) = out.as_ref() else { continue };
         evals += out.evals;
+        poisoned_starts += out.poisoned_attempts;
         if best.is_none_or(|(_, b)| out.cost < b.cost) {
             best = Some((s, out));
         }
@@ -284,6 +383,7 @@ where
         params: best.params.clone(),
         cost: best.cost,
         evals,
+        poisoned_starts,
     }
 }
 
@@ -401,6 +501,109 @@ mod tests {
                 assert_eq!(par.evals, serial.evals, "width {width}");
             }
         }
+    }
+
+    #[test]
+    fn nan_cost_start_recovers_from_salted_seed() {
+        // First evaluation of the run poisons; the retry draws from the
+        // salted stream and must still converge to a finite optimum.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let cfg = OptimizerConfig {
+            max_iters: 2000,
+            learning_rate: 0.05,
+            restarts: 1,
+            target_cost: 1e-12,
+            seed: 5,
+            parallel: false,
+        };
+        let out = minimize(
+            || {
+                |x: &[f64], g: &mut [f64]| {
+                    if calls.fetch_add(1, Ordering::Relaxed) == 0 {
+                        g.fill(0.0);
+                        return f64::NAN;
+                    }
+                    bowl(x, g)
+                }
+            },
+            3,
+            None,
+            &cfg,
+        );
+        assert_eq!(out.poisoned_starts, 1);
+        assert!(out.cost.is_finite());
+        assert!(out.cost < 1e-6, "cost {}", out.cost);
+    }
+
+    #[test]
+    fn panicking_start_recovers() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let cfg = OptimizerConfig {
+            max_iters: 2000,
+            learning_rate: 0.05,
+            restarts: 1,
+            target_cost: 1e-12,
+            seed: 6,
+            parallel: false,
+        };
+        let out = minimize(
+            || {
+                |x: &[f64], g: &mut [f64]| {
+                    assert!(calls.fetch_add(1, Ordering::Relaxed) > 0, "injected panic");
+                    bowl(x, g)
+                }
+            },
+            3,
+            None,
+            &cfg,
+        );
+        assert_eq!(out.poisoned_starts, 1);
+        assert!(out.cost < 1e-6, "cost {}", out.cost);
+    }
+
+    #[test]
+    fn fully_poisoned_run_returns_inert_outcome() {
+        let cfg = OptimizerConfig {
+            max_iters: 50,
+            learning_rate: 0.05,
+            restarts: 2,
+            target_cost: 1e-12,
+            seed: 8,
+            parallel: false,
+        };
+        let out = minimize(
+            || {
+                |_: &[f64], g: &mut [f64]| {
+                    g.fill(0.0);
+                    f64::NAN
+                }
+            },
+            3,
+            None,
+            &cfg,
+        );
+        assert!(out.cost.is_infinite());
+        assert_eq!(out.poisoned_starts, 2 * (MAX_POISON_RETRIES + 1));
+    }
+
+    #[test]
+    fn clean_runs_unaffected_by_guards() {
+        // poisoned_starts is zero and results match on repeat runs.
+        let cfg = OptimizerConfig {
+            max_iters: 300,
+            learning_rate: 0.05,
+            restarts: 3,
+            target_cost: 1e-14,
+            seed: 9,
+            parallel: true,
+        };
+        let a = minimize(|| bowl, 3, None, &cfg);
+        let b = minimize(|| bowl, 3, None, &cfg);
+        assert_eq!(a.poisoned_starts, 0);
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        assert_eq!(a.params, b.params);
     }
 
     #[test]

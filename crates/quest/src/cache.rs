@@ -105,6 +105,16 @@ pub(crate) struct CachedMenu {
     pub approximations: Vec<BlockApprox>,
     /// Gradient evaluations originally spent producing it.
     pub synthesis_evals: usize,
+    /// The producing synthesis hit its deadline or eval budget and the menu
+    /// collapsed to the exact entry. Degraded menus stay in the memory tier
+    /// (a re-run under the same caps would degrade again) but are never
+    /// written to disk, where they would outlive the caps that shaped them.
+    pub degraded: bool,
+    /// Optimizer start attempts the producing synthesis had to redraw after
+    /// non-finite costs or panics. Nonzero menus took a recovery path a
+    /// clean run never samples, so they are also kept off the disk tier to
+    /// preserve warm-run bit-determinism.
+    pub poisoned_starts: usize,
 }
 
 /// A shareable, thread-safe, two-tier cache of per-block synthesis results.
@@ -134,6 +144,7 @@ pub struct BlockCache {
     disk_misses: AtomicUsize,
     evictions: AtomicUsize,
     validation_failures: AtomicUsize,
+    io_retries: AtomicUsize,
 }
 
 impl BlockCache {
@@ -194,6 +205,12 @@ impl BlockCache {
     /// failure). Each one also counts as a disk miss.
     pub fn validation_failures(&self) -> usize {
         self.validation_failures.load(Ordering::Relaxed)
+    }
+
+    /// Transient disk-read failures retried with bounded backoff. A lookup
+    /// whose retries all fail simply degrades to a miss.
+    pub fn io_retries(&self) -> usize {
+        self.io_retries.load(Ordering::Relaxed)
     }
 
     /// Number of distinct block menus stored in memory (completed syntheses
@@ -269,17 +286,20 @@ impl BlockCache {
     /// best-effort so they are not re-parsed on every lookup.
     fn disk_load(&self, key: u64, target: &Matrix, config: &QuestConfig) -> Option<CachedMenu> {
         let path = self.entry_path(key, target, config)?;
-        let text = match std::fs::read_to_string(&path) {
+        #[allow(unused_mut)]
+        let mut text = match self.read_with_retry(&path) {
             Ok(t) => t,
             Err(e) => {
                 if e.kind() != std::io::ErrorKind::NotFound {
-                    // Present but unreadable: treat like corruption.
+                    // Present but persistently unreadable: treat like
+                    // corruption.
                     self.reject_entry(&path);
                 }
                 self.disk_misses.fetch_add(1, Ordering::Relaxed);
                 return None;
             }
         };
+        qfault::inject!("quest.cache.entry", corrupt, &mut text);
         match decode_entry(&text, target, config) {
             Some(menu) => {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
@@ -290,6 +310,34 @@ impl BlockCache {
                 self.reject_entry(&path);
                 self.disk_misses.fetch_add(1, Ordering::Relaxed);
                 None
+            }
+        }
+    }
+
+    /// Reads an entry file, retrying transient failures with bounded
+    /// doubling backoff (10 ms, 20 ms). `NotFound` is definitive — a cold
+    /// cache is the common case — and returns immediately without a retry.
+    fn read_with_retry(&self, path: &Path) -> std::io::Result<String> {
+        const MAX_ATTEMPTS: usize = 3;
+        let mut backoff = std::time::Duration::from_millis(10);
+        let mut attempt = 0;
+        loop {
+            let read = match qfault::inject!("quest.cache.read", io) {
+                Some(e) => Err(e),
+                None => std::fs::read_to_string(path),
+            };
+            match read {
+                Ok(text) => return Ok(text),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(e),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= MAX_ATTEMPTS {
+                        return Err(e);
+                    }
+                    self.io_retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(backoff);
+                    backoff *= 2;
+                }
             }
         }
     }
@@ -307,6 +355,13 @@ impl BlockCache {
     /// then rename), so concurrent writers racing on one key leave one
     /// winner's complete entry, never an interleaving.
     fn disk_store(&self, key: u64, target: &Matrix, config: &QuestConfig, menu: &CachedMenu) {
+        // Degraded menus reflect this run's deadline/budget caps (which the
+        // fingerprint deliberately omits), and poisoned menus took a salted
+        // recovery seed stream; persisting either would leak
+        // run-circumstantial results into clean future runs.
+        if menu.degraded || menu.poisoned_starts > 0 {
+            return;
+        }
         let Some(path) = self.entry_path(key, target, config) else {
             return;
         };
@@ -588,6 +643,10 @@ fn decode_entry(text: &str, target: &Matrix, config: &QuestConfig) -> Option<Cac
     Some(CachedMenu {
         approximations,
         synthesis_evals,
+        // Degraded/poisoned menus are never written (see `disk_store`), so
+        // anything loaded from disk is clean by construction.
+        degraded: false,
+        poisoned_starts: 0,
     })
 }
 

@@ -2,6 +2,7 @@
 
 use qanneal::AnnealConfig;
 use qsynth::SynthesisConfig;
+use std::time::Duration;
 
 /// How full-circuit approximations are selected from the block-choice
 /// lattice. `Dissimilar` is QUEST; the others are the ablation baselines the
@@ -63,6 +64,23 @@ pub struct QuestConfig {
     pub parallel_width: Option<usize>,
     /// Master seed.
     pub seed: u64,
+    /// Per-block synthesis wall-clock deadline. A block whose search hits
+    /// it degrades to its exact (distance-0) menu entry — a worse-but-valid
+    /// result, never a failure. `None` ⇒ unbounded. Deliberately excluded
+    /// from the cache key/fingerprint: un-degraded menus are identical to
+    /// uncapped ones, and degraded menus are never persisted.
+    pub block_deadline: Option<Duration>,
+    /// Per-block gradient-evaluation budget, enforced deterministically at
+    /// LEAP layer boundaries. A block that exhausts it degrades to its
+    /// exact menu entry. `None` ⇒ unbounded.
+    pub max_gradient_evals: Option<usize>,
+    /// Turn graceful degradation into hard errors: with this set,
+    /// [`crate::Quest::try_compile`] returns
+    /// [`crate::PipelineError::StrictDegradation`] whenever any fault fired
+    /// during the run — even one recovered bit-identically. CI's chaos job
+    /// uses this to prove injected faults are detected, and batch users can
+    /// use it to refuse silently-degraded artifacts.
+    pub strict: bool,
 }
 
 impl Default for QuestConfig {
@@ -84,6 +102,9 @@ impl Default for QuestConfig {
             parallel: true,
             parallel_width: None,
             seed: 0xBA5E,
+            block_deadline: None,
+            max_gradient_evals: None,
+            strict: false,
         }
     }
 }

@@ -1,0 +1,121 @@
+//! Structured pipeline errors and graceful-degradation accounting.
+//!
+//! Every failure mode in the pipeline degrades to a *worse-but-valid*
+//! result instead of crashing: a timed-out or panicked block falls back to
+//! its exact (distance-0) menu entry, a poisoned optimizer start redraws
+//! from a salted seed, a flaky cache read retries with bounded backoff, and
+//! the annealer watchdog returns its best-so-far selection. What happened
+//! along the way is tallied in [`DegradationStats`] (surfaced on
+//! [`crate::QuestResult`], in the `quest.degraded.*` metrics, and in the
+//! `RunReport.degradation` section). With [`crate::QuestConfig::strict`]
+//! set, any nonzero tally turns into a hard [`PipelineError`] instead —
+//! the mode CI's chaos job uses to prove injected faults are detected.
+
+use std::fmt;
+
+/// Graceful-degradation tally for one compilation. All-zero on a clean run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DegradationStats {
+    /// Blocks whose menu collapsed to the exact (distance-0) entry because
+    /// synthesis hit its deadline or gradient-eval budget, or because the
+    /// block's worker panicked twice.
+    pub degraded_blocks: usize,
+    /// Optimizer start attempts aborted on a non-finite cost/gradient (or a
+    /// panic inside the evaluator) and redrawn from a salted seed.
+    pub poisoned_starts: usize,
+    /// Block-synthesis workers that panicked and were recovered by the one
+    /// serial retry (the retry reproduced the block bit-identically, so the
+    /// output itself is not degraded — but the fault did fire).
+    pub recovered_panics: usize,
+    /// Disk-cache reads that failed transiently and were retried with
+    /// bounded backoff.
+    pub cache_retries: usize,
+    /// Annealing runs cut short by the watchdog deadline (selection used
+    /// their best-so-far point).
+    pub anneal_timeouts: usize,
+}
+
+impl DegradationStats {
+    /// True when any fault fired during the run — including ones recovered
+    /// bit-identically. This is what [`crate::QuestConfig::strict`] gates
+    /// on.
+    pub fn any(&self) -> bool {
+        self.degraded_blocks > 0
+            || self.poisoned_starts > 0
+            || self.recovered_panics > 0
+            || self.cache_retries > 0
+            || self.anneal_timeouts > 0
+    }
+}
+
+impl fmt::Display for DegradationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} degraded block(s), {} poisoned start(s), {} recovered panic(s), \
+             {} cache retry(ies), {} anneal timeout(s)",
+            self.degraded_blocks,
+            self.poisoned_starts,
+            self.recovered_panics,
+            self.cache_retries,
+            self.anneal_timeouts
+        )
+    }
+}
+
+/// A structured pipeline failure, returned by [`crate::Quest::try_compile`]
+/// (the panicking [`crate::Quest::compile`] wrapper formats it into its
+/// panic message).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The input circuit has no gates — there is nothing to approximate.
+    EmptyCircuit,
+    /// Strict mode ([`crate::QuestConfig::strict`]) was on and at least one
+    /// degradation or recovery event fired.
+    StrictDegradation(DegradationStats),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::EmptyCircuit => write!(f, "cannot compile an empty circuit"),
+            PipelineError::StrictDegradation(stats) => {
+                write!(f, "strict mode: compilation degraded ({stats})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_stats_report_nothing() {
+        let stats = DegradationStats::default();
+        assert!(!stats.any());
+    }
+
+    #[test]
+    fn any_single_counter_flags_degradation() {
+        for i in 0..5 {
+            let mut stats = DegradationStats::default();
+            match i {
+                0 => stats.degraded_blocks = 1,
+                1 => stats.poisoned_starts = 1,
+                2 => stats.recovered_panics = 1,
+                3 => stats.cache_retries = 1,
+                _ => stats.anneal_timeouts = 1,
+            }
+            assert!(stats.any(), "counter {i}");
+        }
+    }
+
+    #[test]
+    fn empty_circuit_error_names_the_problem() {
+        let msg = PipelineError::EmptyCircuit.to_string();
+        assert!(msg.contains("empty circuit"));
+    }
+}

@@ -40,6 +40,7 @@
 pub mod bound;
 pub mod cache;
 pub mod config;
+pub mod degrade;
 pub mod evaluate;
 pub mod objective;
 pub mod pipeline;
@@ -48,6 +49,7 @@ pub mod verify;
 
 pub use cache::{BlockCache, DiskCacheConfig, DISK_CACHE_SCHEMA_VERSION};
 pub use config::{QuestConfig, SelectionStrategy};
+pub use degrade::{DegradationStats, PipelineError};
 pub use pipeline::{
     CacheStats, Quest, QuestResult, QuestSample, SelectionStats, StageTimings, SynthesizedBlock,
 };

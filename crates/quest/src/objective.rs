@@ -170,6 +170,7 @@ mod tests {
             original_cnots: *cnots.iter().max().unwrap(),
             approximations,
             synthesis_evals: 0,
+            degraded: false,
         }
     }
 

@@ -2,6 +2,7 @@
 
 use crate::cache::{block_key, BlockCache, CachedMenu};
 use crate::config::{QuestConfig, SelectionStrategy};
+use crate::degrade::{DegradationStats, PipelineError};
 use crate::objective::{BlockSimilarity, Objective};
 use qanneal::minimize_discrete;
 use qcircuit::Circuit;
@@ -10,6 +11,7 @@ use qpartition::{scan_partition_with, PartitionedCircuit};
 use qsynth::synthesize;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -40,6 +42,10 @@ pub struct SynthesizedBlock {
     pub approximations: Vec<BlockApprox>,
     /// Gradient evaluations spent synthesizing this block.
     pub synthesis_evals: usize,
+    /// Synthesis hit its deadline/eval budget (or its worker panicked
+    /// unrecoverably) and the menu collapsed to the exact (distance-0)
+    /// entry — worse but valid.
+    pub degraded: bool,
 }
 
 /// Wall-clock cost of each pipeline stage (the paper's Fig. 12 breakdown).
@@ -93,6 +99,8 @@ pub struct CacheStats {
     /// schema or fingerprint skew, failed HS re-check) — each degraded to a
     /// miss.
     pub validation_failures: usize,
+    /// Transient disk-read failures retried with bounded backoff.
+    pub io_retries: usize,
 }
 
 impl CacheStats {
@@ -123,6 +131,9 @@ pub struct SelectionStats {
     pub accepted: usize,
     /// Temperature-collapse restarts across all runs.
     pub restarts: usize,
+    /// Runs the annealer watchdog cut short at their deadline (selection
+    /// used their best-so-far point).
+    pub timeouts: usize,
 }
 
 impl SelectionStats {
@@ -160,6 +171,9 @@ pub struct QuestResult {
     /// Worker threads actually resolved for the synthesis stage: block-pool
     /// workers × per-block LEAP frontier workers (1 = fully sequential).
     pub parallel_width: usize,
+    /// Graceful-degradation tally: every fault the pipeline absorbed on the
+    /// way to this result. All-zero on a clean run.
+    pub degradation: DegradationStats,
 }
 
 impl QuestResult {
@@ -216,9 +230,11 @@ impl Quest {
     ///
     /// # Panics
     ///
-    /// Panics if the circuit is empty (there is nothing to approximate).
+    /// Panics if the circuit is empty (there is nothing to approximate), or
+    /// in strict mode ([`QuestConfig::strict`]) if any degradation event
+    /// fired. Use [`Quest::try_compile`] to handle these as values.
     pub fn compile(&self, circuit: &Circuit) -> QuestResult {
-        self.compile_inner(circuit, None)
+        self.try_compile(circuit).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Like [`Quest::compile`], but memoizing per-block synthesis results in
@@ -228,13 +244,45 @@ impl Quest {
     ///
     /// # Panics
     ///
-    /// Panics if the circuit is empty.
+    /// Panics if the circuit is empty, or in strict mode if any degradation
+    /// event fired.
     pub fn compile_with_cache(&self, circuit: &Circuit, cache: &BlockCache) -> QuestResult {
+        self.try_compile_with_cache(circuit, cache)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Quest::compile`].
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::EmptyCircuit`] when there is nothing to approximate;
+    /// [`PipelineError::StrictDegradation`] when [`QuestConfig::strict`] is
+    /// set and any fault fired during the run.
+    pub fn try_compile(&self, circuit: &Circuit) -> Result<QuestResult, PipelineError> {
+        self.compile_inner(circuit, None)
+    }
+
+    /// Fallible form of [`Quest::compile_with_cache`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Quest::try_compile`].
+    pub fn try_compile_with_cache(
+        &self,
+        circuit: &Circuit,
+        cache: &BlockCache,
+    ) -> Result<QuestResult, PipelineError> {
         self.compile_inner(circuit, Some(cache))
     }
 
-    fn compile_inner(&self, circuit: &Circuit, cache: Option<&BlockCache>) -> QuestResult {
-        assert!(!circuit.is_empty(), "cannot compile an empty circuit");
+    fn compile_inner(
+        &self,
+        circuit: &Circuit,
+        cache: Option<&BlockCache>,
+    ) -> Result<QuestResult, PipelineError> {
+        if circuit.is_empty() {
+            return Err(PipelineError::EmptyCircuit);
+        }
         let _span = qobs::span!(
             "quest.compile",
             qubits = circuit.num_qubits(),
@@ -254,7 +302,7 @@ impl Quest {
 
         // Step 2: approximate synthesis per block (Sec. 3.5).
         let t0 = Instant::now();
-        let (blocks, parallel_width) = {
+        let (blocks, parallel_width, synth_degradation) = {
             let _span = qobs::span!("quest.synthesis", blocks = parts.len());
             self.synthesize_blocks(&parts, cache)
         };
@@ -314,10 +362,21 @@ impl Quest {
                     disk_misses: after.disk_misses - before.disk_misses,
                     evictions: after.evictions - before.evictions,
                     validation_failures: after.validation_failures - before.validation_failures,
+                    io_retries: after.io_retries - before.io_retries,
                 }
             }
             _ => CacheStats::default(),
         };
+        let degradation = DegradationStats {
+            degraded_blocks: blocks.iter().filter(|b| b.degraded).count(),
+            poisoned_starts: synth_degradation.poisoned_starts,
+            recovered_panics: synth_degradation.recovered_panics,
+            cache_retries: cache_stats.io_retries,
+            anneal_timeouts: selection_stats.timeouts,
+        };
+        if self.config.strict && degradation.any() {
+            return Err(PipelineError::StrictDegradation(degradation));
+        }
         let result = QuestResult {
             samples,
             original_cnots,
@@ -327,23 +386,26 @@ impl Quest {
             cache: cache_stats,
             selection_stats,
             parallel_width,
+            degradation,
         };
         record_compile_metrics(&result);
         // With the `verify` feature on, re-check every invariant the result
         // rests on before handing it out (see the `verify` module).
         #[cfg(feature = "verify")]
         crate::verify::assert_result_clean(circuit, &result, &self.config);
-        result
+        Ok(result)
     }
 
     /// Synthesizes every block's approximation menu, fanning out over a
-    /// bounded worker pool, and returns the blocks plus the worker count
-    /// actually used.
+    /// bounded worker pool, and returns the blocks, the worker count
+    /// actually used, and the synthesis-stage degradation tally
+    /// (`poisoned_starts`/`recovered_panics`; the other counters are filled
+    /// by `compile_inner`).
     fn synthesize_blocks(
         &self,
         parts: &PartitionedCircuit,
         cache: Option<&BlockCache>,
-    ) -> (Vec<SynthesizedBlock>, usize) {
+    ) -> (Vec<SynthesizedBlock>, usize, DegradationStats) {
         let blocks = parts.blocks();
         // One thread budget governs both parallel layers. The block-level
         // pool takes as many workers as there are blocks (capped by the
@@ -371,6 +433,11 @@ impl Quest {
         let resolved_width = block_workers * frontier_width;
         qobs::metrics::gauge("quest.parallel_width", resolved_width as f64);
 
+        // Optimizer start attempts redrawn after non-finite costs or panics,
+        // summed over every *fresh* synthesis run (cache hits reuse the menu
+        // without re-counting).
+        let poisoned_total = AtomicUsize::new(0);
+
         // The synthesis seed depends only on block *content* (via the cache
         // key) when caching, and on the block index otherwise; both are
         // deterministic for a fixed input circuit.
@@ -381,31 +448,46 @@ impl Quest {
             cfg.epsilon = self.config.epsilon_per_block;
             cfg.max_cnots = Some(original_cnots.min(self.config.max_synthesis_cnots).max(1));
             cfg.parallel_width = Some(frontier_width);
+            cfg.deadline = self.config.block_deadline;
+            cfg.max_gradient_evals = self.config.max_gradient_evals;
             cfg = cfg.with_seed(self.config.seed ^ seed_mix.wrapping_mul(0x9E37));
             let res = synthesize(&target, &cfg);
-            let mut approximations: Vec<BlockApprox> = res
-                .candidates
-                .into_iter()
-                .map(|c| BlockApprox {
-                    unitary: c.circuit.unitary(),
-                    circuit: c.circuit,
-                    distance: c.distance,
-                    cnot_count: c.cnot_count,
-                })
-                .collect();
-            // The original circuit itself is always available at distance 0:
-            // QUEST never does worse than the Baseline.
-            approximations.push(BlockApprox {
+            poisoned_total.fetch_add(res.poisoned_starts, Ordering::Relaxed);
+            let exact = BlockApprox {
                 circuit: block.circuit().clone(),
                 unitary: target,
                 distance: 0.0,
                 cnot_count: original_cnots,
-            });
-            let approximations =
-                cap_candidates(approximations, self.config.max_candidates_per_block);
+            };
+            // A search cut short by its deadline or eval budget produced a
+            // menu of unknown completeness; rather than select from a
+            // truncated (and wall-clock-dependent) candidate set, degrade
+            // the whole block to its exact entry — worse but valid, and
+            // deterministic.
+            let cutoff = res.deadline_expired || res.eval_budget_exhausted;
+            let approximations = if cutoff {
+                vec![exact]
+            } else {
+                let mut all: Vec<BlockApprox> = res
+                    .candidates
+                    .into_iter()
+                    .map(|c| BlockApprox {
+                        unitary: c.circuit.unitary(),
+                        circuit: c.circuit,
+                        distance: c.distance,
+                        cnot_count: c.cnot_count,
+                    })
+                    .collect();
+                // The original circuit itself is always available at
+                // distance 0: QUEST never does worse than the Baseline.
+                all.push(exact);
+                cap_candidates(all, self.config.max_candidates_per_block)
+            };
             CachedMenu {
                 approximations,
                 synthesis_evals: res.gradient_evals,
+                degraded: cutoff,
+                poisoned_starts: res.poisoned_starts,
             }
         };
         let synth_one = |index: usize, block: &qpartition::Block| -> SynthesizedBlock {
@@ -415,6 +497,7 @@ impl Quest {
                 width = block.width(),
                 gates = block.circuit().len(),
             );
+            qfault::inject!("quest.block_worker", panic);
             // Seeding by content key (not block index) keeps cached and
             // uncached compilations bit-identical.
             let key = block_key(block.circuit(), &self.config);
@@ -433,53 +516,102 @@ impl Quest {
                 original_cnots: block.circuit().cnot_count(),
                 approximations: menu.approximations,
                 synthesis_evals: menu.synthesis_evals,
+                degraded: menu.degraded,
             }
+        };
+        // Panic isolation: a panicking block (library bug, injected fault)
+        // must not take down the whole compilation. `None` = this block's
+        // synthesis died; the recovery pass below retries it serially.
+        let safe_synth = |index: usize, block: &qpartition::Block| -> Option<SynthesizedBlock> {
+            catch_unwind(AssertUnwindSafe(|| synth_one(index, block))).ok()
         };
 
         // Fan-out is bounded: the block pool never exceeds the budget or
         // the block count. The old one-thread-per-block policy spawned
         // unbounded threads on large circuits, oversubscribing the machine
         // exactly when synthesis was most expensive.
+        let mut out: Vec<Option<SynthesizedBlock>> = (0..blocks.len()).map(|_| None).collect();
         if block_workers > 1 {
-            let mut out: Vec<Option<SynthesizedBlock>> = (0..blocks.len()).map(|_| None).collect();
             let next = AtomicUsize::new(0);
-            crossbeam::thread::scope(|scope| {
+            let scope_result = crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = (0..block_workers)
                     .map(|_| {
                         scope.spawn(|_| {
                             // Chunked work queue: workers pull the next
                             // unclaimed block index until the queue drains.
-                            let mut done: Vec<(usize, SynthesizedBlock)> = Vec::new();
+                            let mut done: Vec<(usize, Option<SynthesizedBlock>)> = Vec::new();
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 let Some(block) = blocks.get(i) else { break };
-                                done.push((i, synth_one(i, block)));
+                                done.push((i, safe_synth(i, block)));
                             }
                             done
                         })
                     })
                     .collect();
                 for h in handles {
-                    for (i, sb) in h.join().expect("block synthesis thread panicked") {
-                        out[i] = Some(sb);
+                    // A worker that somehow died outside the per-block
+                    // isolation just leaves its claimed slots empty for the
+                    // recovery pass — no panic propagation.
+                    if let Ok(done) = h.join() {
+                        for (i, sb) in done {
+                            out[i] = sb;
+                        }
                     }
                 }
-            })
-            .expect("crossbeam scope failed");
-            (
-                out.into_iter().map(|o| o.unwrap()).collect(),
-                resolved_width,
-            )
+            });
+            if scope_result.is_err() {
+                // Unjoined-thread panic: unfilled slots are recovered below.
+                qobs::event!("quest.synthesis_scope_panicked");
+            }
         } else {
-            (
-                blocks
-                    .iter()
-                    .enumerate()
-                    .map(|(i, b)| synth_one(i, b))
-                    .collect(),
-                resolved_width,
-            )
+            for (i, b) in blocks.iter().enumerate() {
+                out[i] = safe_synth(i, b);
+            }
         }
+
+        // Recovery pass: each dead block gets one serial retry (synthesis is
+        // deterministic, so a transient-fault retry reproduces the menu
+        // bit-identically). A block that dies twice degrades to its exact
+        // (distance-0) entry — QUEST falls back to the Baseline circuit for
+        // that block instead of failing the compilation.
+        let mut recovered_panics = 0usize;
+        let result_blocks: Vec<SynthesizedBlock> = out
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                if let Some(sb) = slot {
+                    return sb;
+                }
+                let block = &blocks[i];
+                if let Some(sb) = safe_synth(i, block) {
+                    recovered_panics += 1;
+                    qobs::event!("quest.block_panic_recovered", block = i);
+                    return sb;
+                }
+                qobs::event!("quest.block_degraded_to_exact", block = i);
+                SynthesizedBlock {
+                    qubits: block.qubits().to_vec(),
+                    original_unitary: block.unitary(),
+                    original_cnots: block.circuit().cnot_count(),
+                    approximations: vec![BlockApprox {
+                        circuit: block.circuit().clone(),
+                        unitary: block.unitary(),
+                        distance: 0.0,
+                        cnot_count: block.circuit().cnot_count(),
+                    }],
+                    synthesis_evals: 0,
+                    degraded: true,
+                }
+            })
+            .collect();
+
+        let degradation = DegradationStats {
+            poisoned_starts: poisoned_total.load(Ordering::Relaxed),
+            recovered_panics,
+            ..DegradationStats::default()
+        };
+        (result_blocks, resolved_width, degradation)
     }
 
     fn select_dissimilar(
@@ -521,6 +653,7 @@ impl Quest {
                 stats.evals += outcome.evals;
                 stats.accepted += outcome.accepted;
                 stats.restarts += outcome.restarts;
+                stats.timeouts += usize::from(outcome.timed_out);
                 let best = if obj.bound(&outcome.best) > threshold && selected.is_empty() {
                     // Degenerate landscape: when only near-exact
                     // combinations are feasible, every feasible score ties
@@ -613,6 +746,15 @@ fn record_compile_metrics(result: &QuestResult) {
         "quest.cache.validation_failures",
         result.cache.validation_failures as u64,
     );
+    // Degradation counters are always registered — even at zero — so the
+    // `quest.degraded.*` keys are present in every report and CI's chaos job
+    // can grep for them unconditionally.
+    let d = &result.degradation;
+    qobs::metrics::counter("quest.degraded.blocks", d.degraded_blocks as u64);
+    qobs::metrics::counter("quest.degraded.starts", d.poisoned_starts as u64);
+    qobs::metrics::counter("quest.degraded.recovered_panics", d.recovered_panics as u64);
+    qobs::metrics::counter("quest.degraded.cache_retries", d.cache_retries as u64);
+    qobs::metrics::counter("quest.degraded.anneal_timeouts", d.anneal_timeouts as u64);
     // Fully warm runs never enter `qsynth::synthesize`, so the counter it
     // owns would be absent from the snapshot; registering a zero here keeps
     // `qsynth.gradient_evals` present (and exactly 0) in warm-run reports —
@@ -651,6 +793,7 @@ fn snapshot_cache_counters(cache: &BlockCache) -> CacheStats {
         disk_misses: cache.disk_misses(),
         evictions: cache.evictions(),
         validation_failures: cache.validation_failures(),
+        io_retries: cache.io_retries(),
     }
 }
 
@@ -662,7 +805,7 @@ fn exact_indices(blocks: &[SynthesizedBlock]) -> Vec<usize> {
             b.approximations
                 .iter()
                 .enumerate()
-                .min_by(|(_, x), (_, y)| x.distance.partial_cmp(&y.distance).unwrap())
+                .min_by(|(_, x), (_, y)| x.distance.total_cmp(&y.distance))
                 .map(|(i, _)| i)
                 .expect("block has at least one approximation")
         })
@@ -677,9 +820,9 @@ fn cap_candidates(mut all: Vec<BlockApprox>, cap: usize) -> Vec<BlockApprox> {
         return all;
     }
     all.sort_by(|a, b| {
-        (a.cnot_count, a.distance)
-            .partial_cmp(&(b.cnot_count, b.distance))
-            .unwrap()
+        a.cnot_count
+            .cmp(&b.cnot_count)
+            .then(a.distance.total_cmp(&b.distance))
     });
     let mut keep: Vec<BlockApprox> = Vec::with_capacity(cap);
     // Pareto frontier.
@@ -727,7 +870,7 @@ fn cap_candidates(mut all: Vec<BlockApprox>, cap: usize) -> Vec<BlockApprox> {
     // Fill any remaining room by ascending distance.
     if keep.len() < cap {
         let mut rest: Vec<usize> = (0..all.len()).filter(|&i| !taken[i]).collect();
-        rest.sort_by(|&a, &b| all[a].distance.partial_cmp(&all[b].distance).unwrap());
+        rest.sort_by(|&a, &b| all[a].distance.total_cmp(&all[b].distance));
         for i in rest {
             if keep.len() >= cap {
                 break;
@@ -736,9 +879,9 @@ fn cap_candidates(mut all: Vec<BlockApprox>, cap: usize) -> Vec<BlockApprox> {
         }
     }
     keep.sort_by(|a, b| {
-        (a.cnot_count, a.distance)
-            .partial_cmp(&(b.cnot_count, b.distance))
-            .unwrap()
+        a.cnot_count
+            .cmp(&b.cnot_count)
+            .then(a.distance.total_cmp(&b.distance))
     });
     keep
 }
@@ -895,6 +1038,50 @@ mod tests {
         // Pareto members survive.
         assert!(kept.iter().any(|a| a.cnot_count == 0));
         assert!(kept.iter().any(|a| a.distance == 0.0));
+    }
+
+    #[test]
+    fn nan_distance_entries_never_panic_sorting() {
+        // Regression: menu sorts used `partial_cmp(..).unwrap()`, which
+        // panicked the moment a NaN distance entered a menu (e.g. from a
+        // poisoned optimizer start). `total_cmp` orders NaN after every
+        // finite distance instead, so NaN entries lose all comparisons and
+        // sane entries keep their ranking.
+        let mk = |d: f64, c: usize| BlockApprox {
+            circuit: Circuit::new(2),
+            unitary: Matrix::identity(4),
+            distance: d,
+            cnot_count: c,
+        };
+        let all = vec![
+            mk(f64::NAN, 0),
+            mk(0.3, 1),
+            mk(f64::NAN, 1),
+            mk(0.1, 2),
+            mk(0.0, 3),
+        ];
+        let kept = cap_candidates(all, 3);
+        assert_eq!(kept.len(), 3);
+        // The exact entry survives and NaN never outranks a finite one
+        // within a CNOT class.
+        assert!(kept.iter().any(|a| a.distance == 0.0));
+        for w in kept.windows(2) {
+            if w[0].cnot_count == w[1].cnot_count && w[1].distance.is_nan() {
+                assert!(!w[0].distance.is_nan(), "NaN sorted before finite");
+            }
+        }
+
+        // exact_indices must keep picking the distance-0 entry even when a
+        // sibling entry is NaN.
+        let block = SynthesizedBlock {
+            qubits: vec![0, 1],
+            original_unitary: Matrix::identity(4),
+            original_cnots: 3,
+            approximations: vec![mk(f64::NAN, 1), mk(0.0, 3)],
+            synthesis_evals: 0,
+            degraded: false,
+        };
+        assert_eq!(exact_indices(std::slice::from_ref(&block)), vec![1]);
     }
 
     #[test]

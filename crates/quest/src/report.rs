@@ -78,16 +78,21 @@ pub fn render(result: &QuestResult) -> String {
             c.validation_failures
         );
     }
+    let d = &result.degradation;
+    if d.any() {
+        let _ = writeln!(out, "degradation: {d}");
+    }
     out
 }
 
 /// Current [`RunReport`] JSON schema version.
 ///
 /// v2 added the disk-tier cache fields (`cache.disk_hits`,
-/// `cache.disk_misses`, `cache.evictions`, `cache.validation_failures`);
-/// [`RunReport::from_json`] still accepts v1 documents, defaulting those
-/// fields to zero.
-pub const RUN_REPORT_SCHEMA_VERSION: u64 = 2;
+/// `cache.disk_misses`, `cache.evictions`, `cache.validation_failures`).
+/// v3 added the `degradation` section plus `cache.io_retries` and
+/// `anneal.timeouts`. [`RunReport::from_json`] still accepts v1 and v2
+/// documents, defaulting the missing fields to zero.
+pub const RUN_REPORT_SCHEMA_VERSION: u64 = 3;
 
 /// Shape of the input circuit.
 #[derive(Clone, Debug, PartialEq)]
@@ -187,6 +192,9 @@ pub struct CacheReport {
     /// Disk entries rejected by validation-on-load — corruption, schema
     /// skew, or a stale fingerprint (schema v2+).
     pub validation_failures: usize,
+    /// Transient disk-read failures retried with bounded backoff
+    /// (schema v3+).
+    pub io_retries: usize,
     /// `(hits + disk_hits) / lookups`, 0 when uncached.
     pub hit_rate: f64,
 }
@@ -204,6 +212,24 @@ pub struct AnnealReport {
     pub acceptance_rate: f64,
     /// Temperature-collapse restarts across all runs.
     pub restarts: usize,
+    /// Runs cut short by the watchdog deadline (schema v3+).
+    pub timeouts: usize,
+}
+
+/// Graceful-degradation tally for the run (schema v3+; all-zero for clean
+/// runs and for v1/v2 documents). Mirrors [`crate::DegradationStats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// Blocks degraded to their exact (distance-0) menu entry.
+    pub degraded_blocks: usize,
+    /// Optimizer starts redrawn after non-finite costs or panics.
+    pub poisoned_starts: usize,
+    /// Block workers that panicked and were recovered by the serial retry.
+    pub recovered_panics: usize,
+    /// Disk-cache reads retried with bounded backoff.
+    pub cache_retries: usize,
+    /// Annealing runs cut short by the watchdog deadline.
+    pub anneal_timeouts: usize,
 }
 
 /// One metric from the [`qobs::metrics`] registry, as captured at report
@@ -252,6 +278,8 @@ pub struct RunReport {
     pub cache: CacheReport,
     /// Selection-stage annealing statistics.
     pub anneal: AnnealReport,
+    /// Graceful-degradation tally (schema v3+; zeros for older documents).
+    pub degradation: DegradationReport,
     /// Optional [`qobs::metrics`] snapshot taken with the run (empty when
     /// metrics collection was off).
     pub metrics: Vec<MetricReport>,
@@ -337,6 +365,7 @@ impl RunReport {
                 disk_misses: result.cache.disk_misses,
                 evictions: result.cache.evictions,
                 validation_failures: result.cache.validation_failures,
+                io_retries: result.cache.io_retries,
                 hit_rate: result.cache.hit_rate(),
             },
             anneal: AnnealReport {
@@ -345,6 +374,14 @@ impl RunReport {
                 accepted: result.selection_stats.accepted,
                 acceptance_rate: result.selection_stats.acceptance_rate(),
                 restarts: result.selection_stats.restarts,
+                timeouts: result.selection_stats.timeouts,
+            },
+            degradation: DegradationReport {
+                degraded_blocks: result.degradation.degraded_blocks,
+                poisoned_starts: result.degradation.poisoned_starts,
+                recovered_panics: result.degradation.recovered_panics,
+                cache_retries: result.degradation.cache_retries,
+                anneal_timeouts: result.degradation.anneal_timeouts,
             },
             metrics: Vec::new(),
         }
@@ -494,6 +531,7 @@ impl RunReport {
                         "validation_failures",
                         Json::from(self.cache.validation_failures),
                     ),
+                    ("io_retries", Json::from(self.cache.io_retries)),
                     ("hit_rate", Json::from(self.cache.hit_rate)),
                 ]),
             ),
@@ -505,6 +543,29 @@ impl RunReport {
                     ("accepted", Json::from(self.anneal.accepted)),
                     ("acceptance_rate", Json::from(self.anneal.acceptance_rate)),
                     ("restarts", Json::from(self.anneal.restarts)),
+                    ("timeouts", Json::from(self.anneal.timeouts)),
+                ]),
+            ),
+            (
+                "degradation",
+                obj(vec![
+                    (
+                        "degraded_blocks",
+                        Json::from(self.degradation.degraded_blocks),
+                    ),
+                    (
+                        "poisoned_starts",
+                        Json::from(self.degradation.poisoned_starts),
+                    ),
+                    (
+                        "recovered_panics",
+                        Json::from(self.degradation.recovered_panics),
+                    ),
+                    ("cache_retries", Json::from(self.degradation.cache_retries)),
+                    (
+                        "anneal_timeouts",
+                        Json::from(self.degradation.anneal_timeouts),
+                    ),
                 ]),
             ),
             (
@@ -678,6 +739,7 @@ impl RunReport {
                 disk_misses: get_u_or_zero(&cache, "disk_misses")?,
                 evictions: get_u_or_zero(&cache, "evictions")?,
                 validation_failures: get_u_or_zero(&cache, "validation_failures")?,
+                io_retries: get_u_or_zero(&cache, "io_retries")?,
                 hit_rate: get_f(&cache, "hit_rate")?,
             },
             anneal: AnnealReport {
@@ -686,6 +748,19 @@ impl RunReport {
                 accepted: get_u(&anneal, "accepted")?,
                 acceptance_rate: get_f(&anneal, "acceptance_rate")?,
                 restarts: get_u(&anneal, "restarts")?,
+                timeouts: get_u_or_zero(&anneal, "timeouts")?,
+            },
+            // The whole section is new in v3; absent (v1/v2) means a clean
+            // run.
+            degradation: match json.get("degradation") {
+                None => DegradationReport::default(),
+                Some(d) => DegradationReport {
+                    degraded_blocks: get_u_or_zero(d, "degraded_blocks")?,
+                    poisoned_starts: get_u_or_zero(d, "poisoned_starts")?,
+                    recovered_panics: get_u_or_zero(d, "recovered_panics")?,
+                    cache_retries: get_u_or_zero(d, "cache_retries")?,
+                    anneal_timeouts: get_u_or_zero(d, "anneal_timeouts")?,
+                },
             },
             metrics,
         })
@@ -725,13 +800,67 @@ impl RunReport {
             )
             .with("quest.anneal.evals", self.anneal.evals as f64)
             .with("quest.anneal.acceptance_rate", self.anneal.acceptance_rate)
+            .with(
+                "quest.degraded.blocks",
+                self.degradation.degraded_blocks as f64,
+            )
+            .with(
+                "quest.degraded.starts",
+                self.degradation.poisoned_starts as f64,
+            )
+            .with(
+                "quest.degraded.cache_retries",
+                self.degradation.cache_retries as f64,
+            )
+            .with(
+                "quest.degraded.anneal_timeouts",
+                self.degradation.anneal_timeouts as f64,
+            )
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::{DegradationReport, RunReport, RUN_REPORT_SCHEMA_VERSION};
     use crate::{Quest, QuestConfig};
     use qcircuit::Circuit;
+    use qobs::json::Json;
+
+    #[test]
+    fn v2_documents_parse_with_zero_degradation() {
+        // A v3 writer round-trips; stripping the v3 additions produces a
+        // faithful v2 document, which must still parse with the new fields
+        // defaulted to zero.
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1).rz(1, 0.4).cnot(0, 1);
+        let quest = Quest::new(QuestConfig::fast().with_seed(5));
+        let result = quest.compile(&c);
+        let report = RunReport::new(&quest, &c, &result);
+        let mut json = report.to_json();
+        if let Json::Object(members) = &mut json {
+            members.retain(|(k, _)| k != "degradation");
+            for (k, v) in members.iter_mut() {
+                if let (true, Json::Object(sub)) = (k == "cache", &mut *v) {
+                    sub.retain(|(k, _)| k != "io_retries");
+                }
+                if let (true, Json::Object(sub)) = (k == "anneal", &mut *v) {
+                    sub.retain(|(k, _)| k != "timeouts");
+                }
+                if k == "schema_version" {
+                    *v = Json::from(2u64);
+                }
+            }
+        }
+        let parsed = RunReport::from_json(&json).expect("v2 document must parse");
+        assert_eq!(parsed.schema_version, 2);
+        assert_eq!(parsed.degradation, DegradationReport::default());
+        assert_eq!(parsed.cache.io_retries, 0);
+        assert_eq!(parsed.anneal.timeouts, 0);
+        // And the untouched v3 form round-trips exactly.
+        assert_eq!(RUN_REPORT_SCHEMA_VERSION, 3);
+        let roundtrip = RunReport::from_json(&report.to_json()).expect("v3 roundtrip");
+        assert_eq!(roundtrip, report);
+    }
 
     #[test]
     fn report_mentions_all_samples_and_timings() {

@@ -31,6 +31,7 @@ fn block(specs: &[(f64, usize)]) -> SynthesizedBlock {
         original_cnots: specs.iter().map(|s| s.1).max().unwrap_or(1),
         approximations,
         synthesis_evals: 0,
+        degraded: false,
     }
 }
 

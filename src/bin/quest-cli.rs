@@ -4,6 +4,8 @@
 //! quest-cli INPUT.qasm [--epsilon 0.1] [--block-size 4] [--samples 16]
 //!           [--seed 42] [--out-dir DIR] [--fast] [--qiskit]
 //!           [--cache-dir DIR] [--no-disk-cache]
+//!           [--block-deadline SECS] [--max-gradient-evals N]
+//!           [--anneal-deadline SECS] [--strict]
 //!           [--trace[=json]] [--report OUT.json]
 //! ```
 //!
@@ -34,6 +36,10 @@ struct Args {
     qiskit: bool,
     cache_dir: Option<PathBuf>,
     no_disk_cache: bool,
+    block_deadline: Option<f64>,
+    max_gradient_evals: Option<usize>,
+    anneal_deadline: Option<f64>,
+    strict: bool,
     trace: Option<TraceFormat>,
     report: Option<PathBuf>,
 }
@@ -56,6 +62,10 @@ fn parse_args() -> Result<Args, String> {
         qiskit: false,
         cache_dir: None,
         no_disk_cache: false,
+        block_deadline: None,
+        max_gradient_evals: None,
+        anneal_deadline: None,
+        strict: false,
         trace: None,
         report: None,
     };
@@ -99,6 +109,26 @@ fn parse_args() -> Result<Args, String> {
             "--qiskit" => args.qiskit = true,
             "--cache-dir" => args.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
             "--no-disk-cache" => args.no_disk_cache = true,
+            "--block-deadline" => {
+                args.block_deadline = Some(parse_seconds(
+                    "--block-deadline",
+                    &value("--block-deadline")?,
+                )?)
+            }
+            "--max-gradient-evals" => {
+                args.max_gradient_evals = Some(
+                    value("--max-gradient-evals")?
+                        .parse()
+                        .map_err(|e| format!("--max-gradient-evals: {e}"))?,
+                )
+            }
+            "--anneal-deadline" => {
+                args.anneal_deadline = Some(parse_seconds(
+                    "--anneal-deadline",
+                    &value("--anneal-deadline")?,
+                )?)
+            }
+            "--strict" => args.strict = true,
             "--trace" => args.trace = Some(TraceFormat::Fmt),
             "--trace=json" => args.trace = Some(TraceFormat::Json),
             "--trace=fmt" => args.trace = Some(TraceFormat::Fmt),
@@ -118,6 +148,15 @@ fn parse_args() -> Result<Args, String> {
         return Err("missing input .qasm file".into());
     }
     Ok(args)
+}
+
+/// Parses a positive seconds value (fractions allowed: `0.25` = 250 ms).
+fn parse_seconds(flag: &str, text: &str) -> Result<f64, String> {
+    let secs: f64 = text.parse().map_err(|e| format!("{flag}: {e}"))?;
+    if !(secs.is_finite() && secs > 0.0) {
+        return Err(format!("{flag}: expected a positive number of seconds"));
+    }
+    Ok(secs)
 }
 
 fn usage() {
@@ -141,6 +180,17 @@ fn usage() {
          \u{20}                (default $XDG_CACHE_HOME/quest-blocks or\n\
          \u{20}                ~/.cache/quest-blocks)\n\
          --no-disk-cache use a memory-only block cache for this run\n\
+         --block-deadline SECS\n\
+         \u{20}                per-block synthesis wall-clock deadline; a block\n\
+         \u{20}                that hits it degrades to its exact menu entry\n\
+         --max-gradient-evals N\n\
+         \u{20}                per-block gradient-evaluation budget (same\n\
+         \u{20}                degradation as --block-deadline, deterministic)\n\
+         --anneal-deadline SECS\n\
+         \u{20}                per-run selection-annealing watchdog; a timed-out\n\
+         \u{20}                run contributes its best-so-far point\n\
+         --strict        fail (exit 1) if any degradation event fired instead\n\
+         \u{20}                of absorbing it\n\
          --trace[=json]  stream pipeline spans to stderr (text or JSON lines)\n\
          --report F.json write the RunReport JSON to F.json, plus a\n\
          \u{20}                BENCH_<input-stem>.json snapshot alongside it"
@@ -235,6 +285,14 @@ fn run(args: &Args) -> Result<(), String> {
     if let Some(s) = args.seed {
         cfg = cfg.with_seed(s);
     }
+    if let Some(secs) = args.block_deadline {
+        cfg.block_deadline = Some(std::time::Duration::from_secs_f64(secs));
+    }
+    cfg.max_gradient_evals = args.max_gradient_evals;
+    if let Some(secs) = args.anneal_deadline {
+        cfg.anneal.deadline = Some(std::time::Duration::from_secs_f64(secs));
+    }
+    cfg.strict = args.strict;
 
     let t0 = std::time::Instant::now();
     let quest = Quest::new(cfg);
@@ -243,7 +301,12 @@ fn run(args: &Args) -> Result<(), String> {
     // also persist across runs. The counters land in the report's cache
     // fields.
     let cache = make_cache(args);
-    let mut result = quest.compile_with_cache(&circuit, &cache);
+    let mut result = quest
+        .try_compile_with_cache(&circuit, &cache)
+        .map_err(|e| e.to_string())?;
+    if result.degradation.any() {
+        eprintln!("warning: degradation absorbed: {}", result.degradation);
+    }
     if args.qiskit {
         for s in &mut result.samples {
             let optimized = qtranspile::optimize(&s.circuit);
