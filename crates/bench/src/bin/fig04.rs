@@ -35,8 +35,8 @@ fn main() {
         }
     }
     // Keep at most two solutions per CNOT count (distinct seeds).
-    solutions.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).unwrap());
-    let mut per_count: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    solutions.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let mut per_count: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
     solutions.retain(|(c, _, _)| {
         let seen = per_count.entry(*c).or_insert(0);
         *seen += 1;
@@ -64,7 +64,7 @@ fn main() {
     );
     if let (Some(min_c), Some(min_t)) = (
         stats.iter().min_by_key(|r| r.0),
-        stats.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()),
+        stats.iter().min_by(|a, b| a.1.total_cmp(&b.1)),
     ) {
         println!(
             "\nmin-CNOT solution: {} CNOTs with TVD {:.3}; best-TVD solution: {} CNOTs with TVD {:.3}",

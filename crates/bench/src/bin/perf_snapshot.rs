@@ -168,6 +168,9 @@ fn main() -> ExitCode {
             warm.cache.disk_hits,
             warm.mean_cnot_count()
         );
+        // Exact float inequality is deliberate: the warm run must reproduce
+        // the cold run bit-for-bit, not merely approximately.
+        #[allow(clippy::float_cmp)]
         if warm.cache.disk_hits == 0 || warm.mean_cnot_count() != result.mean_cnot_count() {
             eprintln!("error: warm pass of {name} did not reproduce the cold run from disk");
             return ExitCode::FAILURE;

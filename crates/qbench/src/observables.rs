@@ -49,6 +49,9 @@ fn weighted_magnetization(probs: &[f64], n: usize, weight: impl Fn(usize) -> f64
 
 #[cfg(test)]
 mod tests {
+    // Exact float equality is deliberate throughout these tests: the
+    // values are produced by bit-deterministic code paths.
+    #![allow(clippy::float_cmp)]
     use super::*;
     use qsim::Statevector;
 

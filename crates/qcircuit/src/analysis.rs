@@ -66,6 +66,9 @@ pub fn interaction_degrees(circuit: &Circuit) -> Vec<usize> {
 
 #[cfg(test)]
 mod tests {
+    // Exact float equality is deliberate throughout these tests: the
+    // values are produced by bit-deterministic code paths.
+    #![allow(clippy::float_cmp)]
     use super::*;
 
     #[test]

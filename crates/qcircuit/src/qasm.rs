@@ -450,6 +450,9 @@ impl ExprParser<'_> {
 
 #[cfg(test)]
 mod tests {
+    // Exact float equality is deliberate throughout these tests: the
+    // values are produced by bit-deterministic code paths.
+    #![allow(clippy::float_cmp)]
     use super::*;
     use std::f64::consts::PI;
 

@@ -161,7 +161,7 @@ pub fn corrupt_string(buf: &mut String) {
 #[cfg(feature = "fault-injection")]
 mod registry {
     use super::{FaultKind, FaultSpec, FireAt};
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Mutex, OnceLock};
 
@@ -173,7 +173,7 @@ mod registry {
     struct Registry {
         armed: Mutex<Vec<Armed>>,
         fired: AtomicUsize,
-        fired_by_site: Mutex<HashMap<String, usize>>,
+        fired_by_site: Mutex<BTreeMap<String, usize>>,
     }
 
     fn registry() -> &'static Registry {
@@ -182,7 +182,7 @@ mod registry {
             let reg = Registry {
                 armed: Mutex::new(Vec::new()),
                 fired: AtomicUsize::new(0),
-                fired_by_site: Mutex::new(HashMap::new()),
+                fired_by_site: Mutex::new(BTreeMap::new()),
             };
             // Environment arming makes chaos runs possible without code
             // changes: QFAULT="site=kind[@n];..." on any binary built with
@@ -353,6 +353,9 @@ macro_rules! inject {
 
 #[cfg(test)]
 mod tests {
+    // Exact float equality is deliberate throughout these tests: the
+    // values are produced by bit-deterministic code paths.
+    #![allow(clippy::float_cmp)]
     use super::*;
 
     #[test]

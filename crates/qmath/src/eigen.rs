@@ -102,7 +102,7 @@ pub fn eigh(a: &Matrix) -> EigenDecomposition {
 
     // Extract and sort.
     let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)].re, i)).collect();
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
     let values: Vec<f64> = pairs.iter().map(|&(val, _)| val).collect();
     let vectors = Matrix::from_fn(n, n, |i, k| v[(i, pairs[k].1)]);
     EigenDecomposition { values, vectors }

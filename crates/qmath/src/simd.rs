@@ -38,6 +38,15 @@ fn axpy_scalar(acc: &mut [C64], a: C64, row: &[C64]) {
 /// `addsub` yields `(a.re·r.re − a.im·r.im, a.re·r.im + a.im·r.re)` — the
 /// same products, subtraction, and addition in the same order, all under
 /// IEEE round-to-nearest with no contraction.
+///
+/// # Safety
+///
+/// The caller must guarantee the CPU supports AVX (this fn is
+/// `#[target_feature(enable = "avx")]`); calling it on a non-AVX CPU is
+/// undefined behavior. The sole call site in [`axpy`] gates on
+/// `is_x86_feature_detected!("avx")`. No other precondition: slice bounds
+/// are derived from the common prefix length inside the function, and all
+/// loads/stores are unaligned (`loadu`/`storeu`).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx")]
 unsafe fn axpy_avx(acc: &mut [C64], a: C64, row: &[C64]) {

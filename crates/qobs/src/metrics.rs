@@ -19,7 +19,7 @@
 //! assert_eq!(snap.iter().find(|s| s.name == "demo.widgets").unwrap().sum, 2.0);
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
@@ -90,9 +90,9 @@ struct Entry {
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
-fn registry() -> &'static Mutex<HashMap<&'static str, Entry>> {
-    static REGISTRY: OnceLock<Mutex<HashMap<&'static str, Entry>>> = OnceLock::new();
-    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+fn registry() -> &'static Mutex<BTreeMap<&'static str, Entry>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, Entry>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
 fn session_lock() -> &'static Mutex<()> {
@@ -212,6 +212,9 @@ pub fn snapshot() -> Vec<Sample> {
 
 #[cfg(test)]
 mod tests {
+    // Exact float equality is deliberate throughout these tests: the
+    // values are produced by bit-deterministic code paths.
+    #![allow(clippy::float_cmp)]
     use super::*;
 
     #[test]

@@ -60,7 +60,7 @@ pub fn top_outcomes(probs: &[f64], k: usize) -> Vec<(String, f64)> {
     assert!(probs.len().is_power_of_two(), "length must be 2^n");
     let n = probs.len().trailing_zeros() as usize;
     let mut indexed: Vec<(usize, f64)> = probs.iter().copied().enumerate().collect();
-    indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    indexed.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     indexed
         .into_iter()
         .take(k)

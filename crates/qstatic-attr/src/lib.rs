@@ -1,0 +1,23 @@
+//! Inert marker attributes for the `qstatic` source analyzer.
+//!
+//! These attributes change nothing about the annotated code — they expand to
+//! the item verbatim. Their value is entirely static: `qstatic` recognizes
+//! the annotation in source and enforces the contract it declares, and the
+//! attribute doubles as in-code documentation of that contract.
+
+use proc_macro::TokenStream;
+
+/// Declares that a function performs **no heap allocation** on any path.
+///
+/// The runtime complement is the counting-allocator test
+/// (`qsynth/tests/zero_alloc.rs`), which proves the property for the inputs
+/// it exercises; `qstatic`'s `zero-alloc` lint statically rejects calls that
+/// obviously allocate (`Vec::new`, `vec![..]`, `collect`, `format!`,
+/// `to_vec`, `Box::new`, …) anywhere in the annotated body, covering paths
+/// the test never drives.
+///
+/// The attribute itself is a no-op passthrough.
+#[proc_macro_attribute]
+pub fn zero_alloc(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}

@@ -1,0 +1,300 @@
+//! The `qstatic.toml` allowlist: audited exceptions to the invariant lints.
+//!
+//! Every entry names a lint, a file, a `pattern` the offending source line
+//! must contain, and a `reason` documenting the audit. Entries without a
+//! reason and entries that suppress nothing are reported as warnings
+//! (errors under `--deny-all`) so the allowlist can only shrink honestly.
+//!
+//! The format is a small TOML subset parsed by hand (no external TOML crate
+//! in this container): `[[allow]]` array-of-tables headers followed by
+//! `key = "string"` pairs, with `#` comments.
+
+use crate::lints::{Finding, Lint};
+
+/// One audited exception.
+#[derive(Clone, Debug, Default)]
+pub struct AllowEntry {
+    /// Lint id (`hash-iteration`, …).
+    pub lint: String,
+    /// Repo-relative path suffix of the file (`crates/qsynth/src/leap.rs`).
+    pub path: String,
+    /// Substring the offending source line must contain; `None` matches any
+    /// line of the file for that lint.
+    pub pattern: Option<String>,
+    /// Why this exception is sound. Required in practice: a missing reason
+    /// is a warning, and an error under `--deny-all`.
+    pub reason: Option<String>,
+    /// 1-based line of the `[[allow]]` header in `qstatic.toml`.
+    pub line: u32,
+}
+
+impl AllowEntry {
+    /// True when this entry suppresses `f`.
+    pub fn matches(&self, f: &Finding) -> bool {
+        self.lint == f.lint.id()
+            && path_matches(&f.path, &self.path)
+            && self
+                .pattern
+                .as_ref()
+                .is_none_or(|p| f.line_text.contains(p.as_str()))
+    }
+}
+
+/// Suffix path match on `/` boundaries: `crates/qsynth/src/leap.rs` matches
+/// a finding at that exact repo-relative path, and also (for robustness to
+/// how the root was given) any path ending in `/<entry>`.
+fn path_matches(finding_path: &str, entry_path: &str) -> bool {
+    let f = finding_path.replace('\\', "/");
+    let e = entry_path.replace('\\', "/");
+    if f == e {
+        return true;
+    }
+    f.ends_with(&e) && f.as_bytes().get(f.len() - e.len() - 1) == Some(&b'/')
+}
+
+/// The parsed allowlist.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    /// Entries, in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses `qstatic.toml` text. Errors (malformed lines, unknown keys,
+    /// unknown lint ids) are hard: an allowlist that silently drops entries
+    /// would silently widen enforcement — or worse, silently narrow it.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut in_entry = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                entries.push(AllowEntry {
+                    line: lineno,
+                    ..AllowEntry::default()
+                });
+                in_entry = true;
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!(
+                    "qstatic.toml:{lineno}: unknown section `{line}` (only [[allow]] is recognized)"
+                ));
+            }
+            let Some((key, value)) = parse_kv(&line) else {
+                return Err(format!(
+                    "qstatic.toml:{lineno}: expected `key = \"value\"`, got `{line}`"
+                ));
+            };
+            if !in_entry {
+                return Err(format!(
+                    "qstatic.toml:{lineno}: `{key}` outside an [[allow]] entry"
+                ));
+            }
+            let entry = entries
+                .last_mut()
+                .ok_or_else(|| format!("qstatic.toml:{lineno}: no open [[allow]] entry"))?;
+            match key {
+                "lint" => {
+                    if Lint::from_id(&value).is_none() {
+                        let known: Vec<&str> = Lint::ALL.iter().map(|l| l.id()).collect();
+                        return Err(format!(
+                            "qstatic.toml:{lineno}: unknown lint `{value}` (known: {})",
+                            known.join(", ")
+                        ));
+                    }
+                    entry.lint = value;
+                }
+                "path" => entry.path = value,
+                "pattern" => entry.pattern = Some(value),
+                "reason" => entry.reason = Some(value),
+                other => {
+                    return Err(format!(
+                        "qstatic.toml:{lineno}: unknown key `{other}` \
+                         (known: lint, path, pattern, reason)"
+                    ));
+                }
+            }
+        }
+        for e in &entries {
+            if e.lint.is_empty() || e.path.is_empty() {
+                return Err(format!(
+                    "qstatic.toml:{}: [[allow]] entry must set both `lint` and `path`",
+                    e.line
+                ));
+            }
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Partitions findings into (kept, suppressed-with-entry-index).
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<(Finding, usize)>) {
+        let mut kept = Vec::new();
+        let mut suppressed = Vec::new();
+        for f in findings {
+            match self.entries.iter().position(|e| e.matches(&f)) {
+                Some(idx) => suppressed.push((f, idx)),
+                None => kept.push(f),
+            }
+        }
+        (kept, suppressed)
+    }
+
+    /// Hygiene warnings: entries without a reason, and entries that
+    /// suppressed nothing (`used` holds the indices returned by [`apply`]).
+    pub fn hygiene_warnings(&self, used: &[usize]) -> Vec<String> {
+        let mut out = Vec::new();
+        for (idx, e) in self.entries.iter().enumerate() {
+            if e.reason.as_ref().is_none_or(|r| r.trim().is_empty()) {
+                out.push(format!(
+                    "qstatic.toml:{}: [[allow]] entry for `{}` at `{}` has no `reason` — \
+                     every audited exception must document why it is sound",
+                    e.line, e.lint, e.path
+                ));
+            }
+            if !used.contains(&idx) {
+                out.push(format!(
+                    "qstatic.toml:{}: [[allow]] entry for `{}` at `{}` suppressed nothing — \
+                     stale entries must be removed so the allowlist only shrinks",
+                    e.line, e.lint, e.path
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Strips a `#` comment, respecting `"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+/// Parses `key = "value"`. Only double-quoted string values are accepted.
+fn parse_kv(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let key = key.trim();
+    if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return None;
+    }
+    let rest = rest.trim();
+    let inner = rest.strip_prefix('"')?.strip_suffix('"')?;
+    // Minimal escape handling: \" and \\.
+    let mut value = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => value.push('"'),
+                Some('\\') => value.push('\\'),
+                Some(other) => {
+                    value.push('\\');
+                    value.push(other);
+                }
+                None => value.push('\\'),
+            }
+        } else {
+            value.push(c);
+        }
+    }
+    Some((key, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::analyze_source;
+
+    const TOML: &str = r#"
+# audited exceptions
+[[allow]]
+lint = "wall-clock"
+path = "crates/demo/src/lib.rs"
+pattern = "Instant::now"
+reason = "registered deadline site"
+"#;
+
+    #[test]
+    fn parse_round_trips() {
+        let al = Allowlist::parse(TOML).unwrap();
+        assert_eq!(al.entries.len(), 1);
+        let e = &al.entries[0];
+        assert_eq!(e.lint, "wall-clock");
+        assert_eq!(e.pattern.as_deref(), Some("Instant::now"));
+        assert_eq!(e.reason.as_deref(), Some("registered deadline site"));
+    }
+
+    #[test]
+    fn entry_suppresses_matching_finding() {
+        let al = Allowlist::parse(TOML).unwrap();
+        let findings = analyze_source(
+            "crates/demo/src/lib.rs",
+            "demo",
+            "fn f() { let t = Instant::now(); }",
+        );
+        assert_eq!(findings.len(), 1);
+        let (kept, suppressed) = al.apply(findings);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed.len(), 1);
+        let used: Vec<usize> = suppressed.iter().map(|(_, i)| *i).collect();
+        assert!(al.hygiene_warnings(&used).is_empty());
+    }
+
+    #[test]
+    fn wrong_path_or_pattern_does_not_suppress() {
+        let al = Allowlist::parse(TOML).unwrap();
+        let other_file = analyze_source(
+            "crates/demo/src/other.rs",
+            "demo",
+            "fn f() { let t = Instant::now(); }",
+        );
+        let (kept, _) = al.apply(other_file);
+        assert_eq!(kept.len(), 1, "different file must not be suppressed");
+    }
+
+    #[test]
+    fn unused_and_reasonless_entries_warn() {
+        let al =
+            Allowlist::parse("[[allow]]\nlint = \"wall-clock\"\npath = \"crates/x/src/lib.rs\"\n")
+                .unwrap();
+        let warnings = al.hygiene_warnings(&[]);
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        assert!(warnings[0].contains("no `reason`"));
+        assert!(warnings[1].contains("suppressed nothing"));
+    }
+
+    #[test]
+    fn malformed_input_is_a_hard_error() {
+        assert!(Allowlist::parse("[unknown]").is_err());
+        assert!(Allowlist::parse("lint = \"wall-clock\"").is_err());
+        assert!(Allowlist::parse("[[allow]]\nlint = \"no-such-lint\"\npath = \"x\"").is_err());
+        assert!(Allowlist::parse("[[allow]]\nlint = \"wall-clock\"").is_err());
+    }
+
+    #[test]
+    fn path_matching_is_boundary_aware() {
+        assert!(path_matches(
+            "crates/qsynth/src/leap.rs",
+            "crates/qsynth/src/leap.rs"
+        ));
+        assert!(path_matches(
+            "repo/crates/qsynth/src/leap.rs",
+            "crates/qsynth/src/leap.rs"
+        ));
+        assert!(!path_matches("crates/qsynth/src/xleap.rs", "leap.rs"));
+        assert!(path_matches("crates/qsynth/src/leap.rs", "leap.rs"));
+    }
+}

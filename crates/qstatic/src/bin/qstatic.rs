@@ -1,0 +1,166 @@
+//! qstatic CLI — run the workspace determinism & safety lints.
+//!
+//! Exit codes mirror `qlint`: 0 when clean, 1 when findings were reported,
+//! 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use qstatic::lints::Lint;
+
+const USAGE: &str = "\
+qstatic — workspace determinism & safety analyzer
+
+USAGE:
+    qstatic [OPTIONS] [ROOT]
+
+ARGS:
+    ROOT    Repo root to analyze (default: current directory)
+
+OPTIONS:
+    --allowlist <FILE>   Allowlist of audited exceptions
+                         (default: ROOT/qstatic.toml when present)
+    --deny-all           Treat allowlist hygiene warnings (missing reasons,
+                         stale entries) as errors
+    --allow-warnings     Exit 0 when only warnings were reported
+    --list               List the registered lints and exit
+    -q, --quiet          Suppress the summary line
+    -h, --help           Show this help
+
+EXIT CODES:
+    0    clean
+    1    findings were reported
+    2    usage or I/O error
+";
+
+struct Options {
+    root: PathBuf,
+    allowlist: Option<PathBuf>,
+    deny_all: bool,
+    allow_warnings: bool,
+    list: bool,
+    quiet: bool,
+}
+
+/// `Ok(None)` means help was requested (print usage, exit 0).
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        allowlist: None,
+        deny_all: false,
+        allow_warnings: false,
+        list: false,
+        quiet: false,
+    };
+    let mut root_set = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--allowlist" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--allowlist requires a path".to_string())?;
+                opts.allowlist = Some(PathBuf::from(v));
+            }
+            "--deny-all" => opts.deny_all = true,
+            "--allow-warnings" => opts.allow_warnings = true,
+            "--list" => opts.list = true,
+            "-q" | "--quiet" => opts.quiet = true,
+            "-h" | "--help" => return Ok(None),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            other => {
+                if root_set {
+                    return Err(format!("unexpected extra argument `{other}`"));
+                }
+                opts.root = PathBuf::from(other);
+                root_set = true;
+            }
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("qstatic: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list {
+        for lint in Lint::ALL {
+            println!("{:<24} {}", lint.id(), lint.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let allowlist_path = opts
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| opts.root.join("qstatic.toml"));
+    let allow = match qstatic::load_allowlist(&allowlist_path) {
+        Ok(allow) => allow,
+        Err(msg) => {
+            eprintln!("qstatic: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match qstatic::analyze_workspace(&opts.root, &allow) {
+        Ok(report) => report,
+        Err(msg) => {
+            eprintln!("qstatic: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for finding in &report.findings {
+        eprintln!("{finding}");
+    }
+    let warnings_are_errors = opts.deny_all;
+    for warning in &report.warnings {
+        let level = if warnings_are_errors {
+            "error"
+        } else {
+            "warning"
+        };
+        eprintln!("{level}[allowlist]: {warning}");
+    }
+
+    let finding_count = report.findings.len()
+        + if warnings_are_errors {
+            report.warnings.len()
+        } else {
+            0
+        };
+    let warning_count = if warnings_are_errors {
+        0
+    } else {
+        report.warnings.len()
+    };
+    if !opts.quiet {
+        eprintln!(
+            "qstatic: {} file(s) scanned, {} finding(s), {} suppressed by allowlist, {} warning(s)",
+            report.files_scanned,
+            finding_count,
+            report.suppressed.len(),
+            warning_count
+        );
+    }
+
+    if finding_count > 0 || (warning_count > 0 && !opts.allow_warnings) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,422 @@
+//! A minimal Rust lexer for lint-grade source analysis.
+//!
+//! The container this workspace builds in has no crates.io access, so
+//! `syn` is unavailable; the analyzer instead works on a token stream from
+//! this hand-rolled lexer. It understands exactly as much Rust as the lints
+//! need to avoid false positives: line/block/doc comments (recorded, for
+//! `// SAFETY:` auditing), string/char/byte/raw-string literals (skipped,
+//! so `"HashMap"` in a message never fires a lint), lifetimes vs. char
+//! literals, numbers (including `0..n` ranges), identifiers, and
+//! single-char punctuation. It does **not** build an AST — the lint pass in
+//! [`crate::lints`] layers lightweight scope tracking (brace depth,
+//! `#[cfg(test)]` item skipping, current `fn` name) on top of the stream.
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tok {
+    /// What the token is.
+    pub kind: TokKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// Token kinds, at lint granularity.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `unsafe`, `fn`, …).
+    Ident(String),
+    /// Single punctuation character (`#`, `[`, `{`, `.`, …). Multi-char
+    /// operators arrive as consecutive tokens.
+    Punct(char),
+    /// Any string/char/byte literal (contents dropped).
+    Literal,
+    /// Numeric literal (contents dropped).
+    Number,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment, with the line range it covers.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based first line of the comment.
+    pub start_line: u32,
+    /// 1-based last line of the comment.
+    pub end_line: u32,
+    /// Raw comment text, including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// The output of [`lex`].
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens, in source order.
+    pub toks: Vec<Tok>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// True when any comment overlapping lines `[from, to]` contains
+    /// `needle` (used for `// SAFETY:` and `# Safety` auditing).
+    pub fn comment_in_range_contains(&self, from: u32, to: u32, needle: &str) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.end_line >= from && c.start_line <= to && c.text.contains(needle))
+    }
+}
+
+/// Lexes `src` (panics never; unterminated constructs are consumed to EOF).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = b.len();
+
+    // Advances past `len` chars, counting newlines.
+    macro_rules! bump {
+        ($len:expr) => {{
+            for _ in 0..$len {
+                if i < n {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+
+    while i < n {
+        let c = b[i];
+        // Line comment (includes `///` and `//!` doc comments).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start_line = line;
+            let mut text = String::new();
+            while i < n && b[i] != '\n' {
+                text.push(b[i]);
+                i += 1;
+            }
+            out.comments.push(Comment {
+                start_line,
+                end_line: line,
+                text,
+            });
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start_line = line;
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while i < n {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    text.push_str("/*");
+                    bump!(2);
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    text.push_str("*/");
+                    bump!(2);
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(b[i]);
+                    bump!(1);
+                }
+            }
+            out.comments.push(Comment {
+                start_line,
+                end_line: line,
+                text,
+            });
+            continue;
+        }
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Raw strings: r"..." / r#"..."# / br"..." etc.
+        if (c == 'r' || c == 'b') && is_raw_string_start(&b, i) {
+            let tok_line = line;
+            let mut j = i;
+            while j < n && (b[j] == 'r' || b[j] == 'b') {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            // b[j] == '"' by is_raw_string_start.
+            bump!(j + 1 - i);
+            // Consume until `"` followed by `hashes` hashes.
+            while i < n {
+                if b[i] == '"' {
+                    let mut k = 0usize;
+                    while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        bump!(1 + hashes);
+                        break;
+                    }
+                }
+                bump!(1);
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                line: tok_line,
+            });
+            continue;
+        }
+        // Identifier / keyword (also eats the `b` of b'x' / b"..." prefixes
+        // — handled above for raw strings; plain b"..." is caught here by
+        // peeking).
+        if c.is_alphabetic() || c == '_' {
+            // Byte string/char prefix.
+            if c == 'b' && i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '\'') {
+                bump!(1); // skip the prefix, fall through to literal lexing
+                continue;
+            }
+            let tok_line = line;
+            let mut s = String::new();
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                s.push(b[i]);
+                i += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident(s),
+                line: tok_line,
+            });
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let tok_line = line;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            // Decimal part — but not the `..` of a range (`0..n`).
+            if i < n && b[i] == '.' && i + 1 < n && b[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+            } else if i < n
+                && b[i] == '.'
+                && (i + 1 >= n || (b[i + 1] != '.' && !is_ident_start(b.get(i + 1))))
+            {
+                // Trailing-dot float like `1.` (not `1..` and not `1.method()`).
+                i += 1;
+            }
+            // Exponent (`1e-3`) is consumed by the alphanumeric loop up to
+            // `e`; pick up a sign + digits if present.
+            if i < n && (b[i] == '+' || b[i] == '-') && i > 0 && matches!(b[i - 1], 'e' | 'E') {
+                i += 1;
+                while i < n && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Number,
+                line: tok_line,
+            });
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let tok_line = line;
+            bump!(1);
+            while i < n {
+                if b[i] == '\\' {
+                    bump!(2);
+                } else if b[i] == '"' {
+                    bump!(1);
+                    break;
+                } else {
+                    bump!(1);
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                line: tok_line,
+            });
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            let tok_line = line;
+            // Lifetime: 'ident not closed by a quote (`'a`), vs. char `'a'`.
+            if i + 1 < n && (b[i + 1].is_alphabetic() || b[i + 1] == '_') {
+                let mut j = i + 1;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                if j < n && b[j] == '\'' {
+                    // Char literal like 'a'.
+                    bump!(j + 1 - i);
+                    out.toks.push(Tok {
+                        kind: TokKind::Literal,
+                        line: tok_line,
+                    });
+                } else {
+                    // Lifetime.
+                    bump!(j - i);
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        line: tok_line,
+                    });
+                }
+                continue;
+            }
+            // Escaped or symbolic char literal: '\n', '\u{..}', '{', ...
+            bump!(1);
+            while i < n {
+                if b[i] == '\\' {
+                    bump!(2);
+                } else if b[i] == '\'' {
+                    bump!(1);
+                    break;
+                } else {
+                    bump!(1);
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                line: tok_line,
+            });
+            continue;
+        }
+        // Punctuation.
+        out.toks.push(Tok {
+            kind: TokKind::Punct(c),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+fn is_ident_start(c: Option<&char>) -> bool {
+    c.is_some_and(|&c| c.is_alphabetic() || c == '_')
+}
+
+/// True when position `i` starts a raw (byte) string: `r`/`br` + `#`* + `"`.
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if b.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while b.get(j) == Some(&'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&'"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .filter_map(|t| t.ident().map(String::from))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in a block /* nested */ comment */
+            let s = "HashMap in a string";
+            let r = r#"HashMap in a raw string"#;
+            let c = 'H';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn comments_are_recorded_with_lines() {
+        let src = "fn a() {}\n// SAFETY: fine\nunsafe {}\n";
+        let lexed = lex(src);
+        assert!(lexed.comment_in_range_contains(2, 2, "SAFETY:"));
+        assert!(!lexed.comment_in_range_contains(1, 1, "SAFETY:"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn ranges_do_not_swallow_dots() {
+        let src = "for i in 0..n { x[i] = 1.5e-3; }";
+        let lexed = lex(src);
+        // `0` `.` `.` `n` — the range dots must survive as punctuation.
+        let dots = lexed.toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+        let nums = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .count();
+        assert_eq!(nums, 2, "0 and 1.5e-3");
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_in_literals() {
+        let src = "let s = \"a\nb\nc\";\nafter();";
+        let lexed = lex(src);
+        let after = lexed
+            .toks
+            .iter()
+            .find(|t| t.ident() == Some("after"))
+            .unwrap();
+        assert_eq!(after.line, 4);
+    }
+}

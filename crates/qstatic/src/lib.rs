@@ -1,0 +1,146 @@
+//! qstatic — workspace determinism & safety analyzer.
+//!
+//! QUEST's certification story (DESIGN.md §4h) rests on invariants no unit
+//! test can enforce globally: no hash-order iteration in deterministic
+//! paths, no wall-clock reads outside registered sites, NaN-total float
+//! sorts, no panics in pipeline code, seeded-only randomness, audited
+//! `unsafe`, allocation-free `#[zero_alloc]` bodies, and timestamp-free
+//! cache fingerprints. `qstatic` walks every workspace crate's sources and
+//! enforces all eight as token-level lints (see [`lints::Lint`]), with
+//! audited exceptions recorded in `qstatic.toml` (see [`allowlist`]).
+//!
+//! The analyzer is itself a workspace crate and scans itself; the
+//! `workspace_clean` integration test runs it over the real repo under
+//! `--deny-all` semantics, so "the workspace is clean" is enforced by
+//! `cargo test`, not just by CI.
+
+pub mod allowlist;
+pub mod lexer;
+pub mod lints;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use allowlist::Allowlist;
+use lints::Finding;
+
+/// Result of analyzing a workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings not suppressed by the allowlist, in (path, line) order.
+    pub findings: Vec<Finding>,
+    /// Suppressed findings with the index of the allowlist entry used.
+    pub suppressed: Vec<(Finding, usize)>,
+    /// Allowlist hygiene warnings (missing reasons, stale entries).
+    pub warnings: Vec<String>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when there are no findings (warnings may remain).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Analyzes every workspace crate under `root` (the repo root): the
+/// umbrella package's `src/` plus each `crates/*/src/`. Vendored `shims/*`
+/// stand-ins are not scanned — they mimic external crates' APIs and are not
+/// part of the determinism contract.
+///
+/// Errors are I/O or allowlist-parse failures (CLI exit code 2), never
+/// findings.
+pub fn analyze_workspace(root: &Path, allow: &Allowlist) -> Result<Report, String> {
+    let mut files: Vec<(String, PathBuf)> = Vec::new(); // (crate name, file)
+
+    let umbrella = root.join("src");
+    if umbrella.is_dir() {
+        collect_rs_files(&umbrella, "quest-repro", &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(format!(
+            "{}: no crates/ directory — is this the repo root?",
+            root.display()
+        ));
+    }
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("{}: {e}", crates_dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    // Deterministic scan order regardless of directory-entry order.
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let crate_name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &crate_name, &mut files)?;
+        }
+    }
+
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut files_scanned = 0usize;
+    for (crate_name, path) in &files {
+        let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let rel = rel_path(root, path);
+        raw.extend(lints::analyze_source(&rel, crate_name, &text));
+        files_scanned += 1;
+    }
+    raw.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+
+    let (findings, suppressed) = allow.apply(raw);
+    let used: Vec<usize> = suppressed.iter().map(|(_, idx)| *idx).collect();
+    let warnings = allow.hygiene_warnings(&used);
+    Ok(Report {
+        findings,
+        suppressed,
+        warnings,
+        files_scanned,
+    })
+}
+
+/// Loads the allowlist at `path`, or an empty allowlist when the file does
+/// not exist (absence means "no exceptions", not an error).
+pub fn load_allowlist(path: &Path) -> Result<Allowlist, String> {
+    match fs::read_to_string(path) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Allowlist::default()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for determinism.
+fn collect_rs_files(
+    dir: &Path,
+    crate_name: &str,
+    out: &mut Vec<(String, PathBuf)>,
+) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, crate_name, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push((crate_name.to_string(), path));
+        }
+    }
+    Ok(())
+}
+
+/// Repo-relative, `/`-separated display path.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,726 @@
+//! The invariant lints and the per-file analysis pass.
+//!
+//! Each lint statically enforces one invariant that QUEST's certification
+//! story (bit-identical menus, selections, and RunReports across cache
+//! state, parallel width, and fault-disarmed runs — paper Sec. 3.6/3.8)
+//! rests on. The pass is token-level (see [`crate::lexer`]): it tracks just
+//! enough structure — brace depth, `#[cfg(test)]` items, the enclosing `fn`
+//! name, `#[zero_alloc]` bodies — to scope the checks, and leaves precision
+//! about *audited* exceptions to the `qstatic.toml` allowlist.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// The registered lints, in stable order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Lint {
+    /// `HashMap`/`HashSet` in deterministic code: iteration order is
+    /// randomized-at-birth (per-process), so any iteration that reaches an
+    /// artifact breaks cross-run bit-identity. Use `BTreeMap`/`BTreeSet` or
+    /// an explicit sort.
+    HashIteration,
+    /// `Instant::now`/`SystemTime::now` outside registered deadline,
+    /// watchdog, or telemetry sites: a clock read that shapes a menu or a
+    /// selection makes the artifact wall-clock dependent.
+    WallClock,
+    /// Float comparator built on `partial_cmp` inside a sort/min/max call:
+    /// `partial_cmp(..).unwrap()` panics on NaN and NaN-poisoned orderings
+    /// are unstable. Use `f64::total_cmp` (the PR 5 NaN-sort bug class).
+    PartialCmpSort,
+    /// `.unwrap()`/`.expect(..)` in pipeline crates outside tests: every
+    /// pipeline failure must degrade to a worse-but-valid result or a
+    /// structured `PipelineError`, never a panic.
+    UnwrapExpect,
+    /// Ambient entropy (`thread_rng`, `from_entropy`, `OsRng`,
+    /// `rand::random`): all randomness must flow from the master seed or
+    /// results stop being reproducible.
+    AmbientEntropy,
+    /// An `unsafe` block/fn/impl without an adjacent `// SAFETY:` comment
+    /// (or `# Safety` doc section): unaudited unsafe code in the SIMD/kernel
+    /// layer is how silent miscompiles enter the bit-exactness contract.
+    UnsafeWithoutSafety,
+    /// Heap allocation inside a `#[zero_alloc]`-annotated function: the
+    /// static complement of the counting-allocator test, covering paths the
+    /// test never drives.
+    ZeroAllocHeap,
+    /// Wall-clock data flowing into cache fingerprint/key computation: a
+    /// timestamp in a fingerprint silently partitions the cache by run time
+    /// and breaks warm/cold bit-identity.
+    FingerprintWallClock,
+}
+
+impl Lint {
+    /// All lints, in stable order.
+    pub const ALL: [Lint; 8] = [
+        Lint::HashIteration,
+        Lint::WallClock,
+        Lint::PartialCmpSort,
+        Lint::UnwrapExpect,
+        Lint::AmbientEntropy,
+        Lint::UnsafeWithoutSafety,
+        Lint::ZeroAllocHeap,
+        Lint::FingerprintWallClock,
+    ];
+
+    /// Stable kebab-case identifier (used in output and `qstatic.toml`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Lint::HashIteration => "hash-iteration",
+            Lint::WallClock => "wall-clock",
+            Lint::PartialCmpSort => "partial-cmp-sort",
+            Lint::UnwrapExpect => "unwrap-expect",
+            Lint::AmbientEntropy => "ambient-entropy",
+            Lint::UnsafeWithoutSafety => "unsafe-without-safety",
+            Lint::ZeroAllocHeap => "zero-alloc-heap",
+            Lint::FingerprintWallClock => "fingerprint-wall-clock",
+        }
+    }
+
+    /// One-line description for `--list` and documentation.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Lint::HashIteration => {
+                "HashMap/HashSet in deterministic code — use BTreeMap/BTreeSet or an explicit sort"
+            }
+            Lint::WallClock => {
+                "Instant::now/SystemTime::now outside registered deadline/watchdog/telemetry sites"
+            }
+            Lint::PartialCmpSort => {
+                "float sort/min/max comparator via partial_cmp — use f64::total_cmp"
+            }
+            Lint::UnwrapExpect => {
+                "unwrap/expect in pipeline crates outside tests — degrade or return PipelineError"
+            }
+            Lint::AmbientEntropy => {
+                "ambient entropy (thread_rng/from_entropy/OsRng) — all RNG flows from the master seed"
+            }
+            Lint::UnsafeWithoutSafety => {
+                "unsafe block/fn/impl without an adjacent // SAFETY: comment or # Safety doc section"
+            }
+            Lint::ZeroAllocHeap => {
+                "heap allocation inside a #[zero_alloc] function (static zero-alloc complement)"
+            }
+            Lint::FingerprintWallClock => {
+                "wall-clock data inside cache fingerprint/key computation"
+            }
+        }
+    }
+
+    /// Parses a lint id as written in `qstatic.toml`.
+    pub fn from_id(id: &str) -> Option<Lint> {
+        Lint::ALL.iter().copied().find(|l| l.id() == id)
+    }
+
+    /// Whether this lint runs at all for a crate. Most lints are
+    /// workspace-wide; the unwrap lint is scoped to the pipeline crates
+    /// (CLI/bench crates legitimately fail fast), the wall-clock lint skips
+    /// the bench harness (measuring wall-clock is its purpose), and the
+    /// fingerprint lint is scoped to the crate owning the cache.
+    pub fn applies_to_crate(self, crate_name: &str) -> bool {
+        match self {
+            Lint::UnwrapExpect => {
+                matches!(crate_name, "quest" | "qsynth" | "qanneal" | "qpartition")
+            }
+            Lint::WallClock => crate_name != "bench",
+            Lint::FingerprintWallClock => crate_name == "quest",
+            _ => true,
+        }
+    }
+}
+
+/// One lint hit.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// The lint that fired.
+    pub lint: Lint,
+    /// Repo-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The offending source line, trimmed (allowlist `pattern`s match
+    /// against this).
+    pub line_text: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "error[{}]: {}:{}: {}\n    | {}",
+            self.lint.id(),
+            self.path,
+            self.line,
+            self.message,
+            self.line_text
+        )
+    }
+}
+
+/// Methods whose comparator argument must not be `partial_cmp`-based.
+const SORT_METHODS: [&str; 6] = [
+    "sort_by",
+    "sort_unstable_by",
+    "max_by",
+    "min_by",
+    "binary_search_by",
+    "sort_by_cached_key",
+];
+
+/// Idents that are ambient-entropy sources.
+const ENTROPY_IDENTS: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "getrandom"];
+
+/// `Type::method` pairs that obviously allocate (for the zero-alloc lint).
+const ALLOC_TYPES: [&str; 6] = ["Vec", "Box", "String", "BTreeMap", "BTreeSet", "VecDeque"];
+const ALLOC_CTORS: [&str; 4] = ["new", "with_capacity", "from", "from_iter"];
+/// Method/macro idents that obviously allocate.
+const ALLOC_METHODS: [&str; 6] = [
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "collect",
+    "push_str",
+    "into_boxed_slice",
+];
+
+/// Analyzes one source file. `path` is the repo-relative path reported in
+/// findings; `crate_name` scopes the per-crate lints.
+pub fn analyze_source(path: &str, crate_name: &str, src: &str) -> Vec<Finding> {
+    let lexed = lex(src);
+    let toks = &lexed.toks;
+    let lines: Vec<&str> = src.lines().collect();
+    let line_text = |line: u32| -> String {
+        lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut push = |lint: Lint, line: u32, message: String| {
+        if lint.applies_to_crate(crate_name) {
+            findings.push(Finding {
+                lint,
+                path: path.to_string(),
+                line,
+                message,
+                line_text: line_text(line),
+            });
+        }
+    };
+
+    // Token ranges of `#[zero_alloc]` fn bodies, scanned separately below.
+    let mut zero_ranges: Vec<(usize, usize, String)> = Vec::new();
+
+    let mut i = 0usize;
+    let mut brace: i32 = 0;
+    // (fn name, brace depth of its body) — innermost last.
+    let mut fn_stack: Vec<(String, i32)> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+    let mut pending_zero_alloc = false;
+
+    while i < toks.len() {
+        let t = &toks[i];
+
+        // Attributes: parse, act on cfg(test)/#[test]/zero_alloc markers,
+        // and never lint their contents.
+        if t.is_punct('#') {
+            if let Some((inner, idents, end)) = parse_attr(toks, i) {
+                if !inner {
+                    let is_cfg_test = idents.iter().any(|s| s == "cfg")
+                        && idents.iter().any(|s| s == "test")
+                        && !idents.iter().any(|s| s == "not");
+                    let is_test_attr = idents.len() == 1 && idents[0] == "test";
+                    if is_cfg_test || is_test_attr {
+                        i = skip_item(toks, end + 1);
+                        pending_zero_alloc = false;
+                        continue;
+                    }
+                    if idents.iter().any(|s| s == "zero_alloc") {
+                        pending_zero_alloc = true;
+                    }
+                }
+                i = end + 1;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+
+        match &t.kind {
+            TokKind::Punct('{') => {
+                brace += 1;
+                if let Some(name) = pending_fn.take() {
+                    fn_stack.push((name, brace));
+                }
+            }
+            TokKind::Punct('}') => {
+                if fn_stack.last().is_some_and(|(_, d)| *d == brace) {
+                    fn_stack.pop();
+                }
+                brace -= 1;
+            }
+            TokKind::Ident(id) => {
+                match id.as_str() {
+                    "fn" => {
+                        if let Some(name) = toks.get(i + 1).and_then(Tok::ident) {
+                            pending_fn = Some(name.to_string());
+                            if pending_zero_alloc {
+                                if let Some((open, close)) = fn_body_range(toks, i) {
+                                    zero_ranges.push((open, close, name.to_string()));
+                                }
+                            }
+                        }
+                        pending_zero_alloc = false;
+                    }
+                    "HashMap" | "HashSet" => push(
+                        Lint::HashIteration,
+                        t.line,
+                        format!(
+                            "`{id}` in deterministic code: iteration order varies per process; \
+                             use `BTree{}` or sort explicitly (allowlist audited non-iterated uses)",
+                            &id[4..]
+                        ),
+                    ),
+                    "Instant" | "SystemTime"
+                        if toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                            && toks.get(i + 3).and_then(Tok::ident) == Some("now") =>
+                    {
+                        push(
+                            Lint::WallClock,
+                            t.line,
+                            format!(
+                                "`{id}::now` outside a registered deadline/watchdog/telemetry \
+                                 site: clock reads must never shape a certified artifact"
+                            ),
+                        );
+                    }
+                    "unwrap" | "expect" if i > 0 && toks[i - 1].is_punct('.') => {
+                        push(
+                            Lint::UnwrapExpect,
+                            t.line,
+                            format!(
+                                "`.{id}(..)` in a pipeline crate: degrade to a worse-but-valid \
+                                 result or return a structured `PipelineError` instead"
+                            ),
+                        );
+                    }
+                    s if SORT_METHODS.contains(&s) && i > 0 && toks[i - 1].is_punct('.') => {
+                        if let Some(close) = paren_group_end(toks, i + 1) {
+                            let has_partial = toks[i + 1..close]
+                                .iter()
+                                .any(|t| t.ident() == Some("partial_cmp"));
+                            if has_partial {
+                                push(
+                                    Lint::PartialCmpSort,
+                                    t.line,
+                                    format!(
+                                        "`{s}` comparator built on `partial_cmp`: panics or \
+                                         destabilizes on NaN; use `f64::total_cmp`"
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                    s if ENTROPY_IDENTS.contains(&s) => push(
+                        Lint::AmbientEntropy,
+                        t.line,
+                        format!(
+                            "`{s}` draws ambient entropy: every RNG must be seeded from the \
+                             master seed for reproducibility"
+                        ),
+                    ),
+                    // `rand::random` (the free function), not `.random_range`.
+                    "random"
+                        if i >= 2
+                            && toks[i - 1].is_punct(':')
+                            && toks[i - 2].is_punct(':')
+                            && toks.get(i.wrapping_sub(3)).and_then(Tok::ident) == Some("rand") =>
+                    {
+                        push(
+                            Lint::AmbientEntropy,
+                            t.line,
+                            "`rand::random` draws ambient entropy: seed from the master seed"
+                                .to_string(),
+                        );
+                    }
+                    "unsafe" => {
+                        check_unsafe(&lexed, toks, i, &mut push);
+                    }
+                    _ => {}
+                }
+                // Fingerprint wall-clock: any time-ish ident inside a
+                // fingerprint/key/entry-encoding function.
+                if let Some((fn_name, _)) = fn_stack.last() {
+                    if is_fingerprint_fn(fn_name)
+                        && matches!(
+                            id.as_str(),
+                            "SystemTime"
+                                | "Instant"
+                                | "timestamp"
+                                | "Utc"
+                                | "Local"
+                                | "chrono"
+                                | "now"
+                                | "elapsed"
+                        )
+                    {
+                        push(
+                            Lint::FingerprintWallClock,
+                            t.line,
+                            format!(
+                                "wall-clock ident `{id}` inside fingerprint function `{fn_name}`: \
+                                 a timestamp in a cache key breaks warm/cold bit-identity"
+                            ),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    // Zero-alloc bodies: flag obvious allocation calls.
+    for (open, close, fn_name) in zero_ranges {
+        let mut j = open;
+        while j < close {
+            let t = &toks[j];
+            if let Some(id) = t.ident() {
+                let flagged = if ALLOC_METHODS.contains(&id) {
+                    j > open && toks[j - 1].is_punct('.')
+                } else if id == "vec" || id == "format" {
+                    toks.get(j + 1).is_some_and(|t| t.is_punct('!'))
+                } else if ALLOC_TYPES.contains(&id) {
+                    toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                        && toks.get(j + 2).is_some_and(|t| t.is_punct(':'))
+                        && toks
+                            .get(j + 3)
+                            .and_then(Tok::ident)
+                            .is_some_and(|m| ALLOC_CTORS.contains(&m))
+                } else {
+                    false
+                };
+                if flagged {
+                    push(
+                        Lint::ZeroAllocHeap,
+                        t.line,
+                        format!(
+                            "`{id}` allocates inside `#[zero_alloc]` fn `{fn_name}`: hoist the \
+                             allocation into the workspace/constructor"
+                        ),
+                    );
+                }
+            }
+            j += 1;
+        }
+    }
+
+    findings
+}
+
+/// Fingerprint-shaped function names (scoped by
+/// [`Lint::applies_to_crate`] to the cache-owning crate).
+fn is_fingerprint_fn(name: &str) -> bool {
+    name.contains("fingerprint")
+        || name.ends_with("_key")
+        || name.ends_with("_hash")
+        || name == "encode_entry"
+        || name == "entry_path"
+}
+
+/// The `unsafe` audit: requires `// SAFETY:` (blocks) or `// SAFETY:` /
+/// `# Safety` docs (fns, impls, traits) adjacent to the keyword.
+fn check_unsafe(
+    lexed: &crate::lexer::Lexed,
+    toks: &[Tok],
+    i: usize,
+    push: &mut impl FnMut(Lint, u32, String),
+) {
+    let line = toks[i].line;
+    // Skip `extern "C"`-style qualifiers between `unsafe` and the subject.
+    let mut j = i + 1;
+    while toks
+        .get(j)
+        .is_some_and(|t| t.ident() == Some("extern") || t.kind == TokKind::Literal)
+    {
+        j += 1;
+    }
+    let (subject, lookback) = match toks.get(j) {
+        Some(t) if t.is_punct('{') => ("block", 3),
+        Some(t) if t.ident() == Some("fn") => ("fn", 14),
+        Some(t) if t.ident() == Some("impl") => ("impl", 14),
+        Some(t) if t.ident() == Some("trait") => ("trait", 14),
+        _ => return, // e.g. `unsafe` inside a type position — out of scope
+    };
+    let from = line.saturating_sub(lookback);
+    let documented = lexed.comment_in_range_contains(from, line, "SAFETY:")
+        || lexed.comment_in_range_contains(from, line, "# Safety");
+    if !documented {
+        push(
+            Lint::UnsafeWithoutSafety,
+            line,
+            format!(
+                "`unsafe` {subject} without an adjacent `// SAFETY:` comment \
+                 (or `# Safety` doc section) stating the proof obligation"
+            ),
+        );
+    }
+}
+
+/// Parses the attribute starting at `i` (a `#`). Returns
+/// `(is_inner, idents, index_of_closing_bracket)`.
+fn parse_attr(toks: &[Tok], i: usize) -> Option<(bool, Vec<String>, usize)> {
+    let mut j = i + 1;
+    let inner = toks.get(j).is_some_and(|t| t.is_punct('!'));
+    if inner {
+        j += 1;
+    }
+    if !toks.get(j).is_some_and(|t| t.is_punct('[')) {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut idents = Vec::new();
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((inner, idents, j));
+                }
+            }
+            TokKind::Ident(s) => idents.push(s.clone()),
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Skips one item starting at `i` (which may begin with more attributes):
+/// consumes to the matching `}` of the item's first top-level brace group,
+/// or to a top-level `;`. Returns the index just past the item.
+fn skip_item(toks: &[Tok], mut i: usize) -> usize {
+    let (mut paren, mut bracket, mut brace) = (0i32, 0i32, 0i32);
+    let mut entered_brace = false;
+    while i < toks.len() {
+        match toks[i].kind {
+            TokKind::Punct('(') => paren += 1,
+            TokKind::Punct(')') => paren -= 1,
+            TokKind::Punct('[') => bracket += 1,
+            TokKind::Punct(']') => bracket -= 1,
+            TokKind::Punct('{') => {
+                brace += 1;
+                entered_brace = true;
+            }
+            TokKind::Punct('}') => {
+                brace -= 1;
+                if entered_brace && brace == 0 {
+                    return i + 1;
+                }
+            }
+            TokKind::Punct(';') if paren == 0 && bracket == 0 && brace == 0 => {
+                return i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Given `i` pointing at `(`-or-earlier of a call, finds the index of the
+/// matching `)` of the first paren group at or after `i`.
+fn paren_group_end(toks: &[Tok], i: usize) -> Option<usize> {
+    let mut j = i;
+    while j < toks.len() && !toks[j].is_punct('(') {
+        // Only whitespace/turbofish may sit between a method name and its
+        // argument list; give up past a small window.
+        if j > i + 6 {
+            return None;
+        }
+        j += 1;
+    }
+    let mut depth = 0i32;
+    while j < toks.len() {
+        if toks[j].is_punct('(') {
+            depth += 1;
+        } else if toks[j].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Finds the token range `(open_brace, close_brace)` of the body of the fn
+/// whose `fn` keyword is at `i`. `None` for bodyless declarations.
+fn fn_body_range(toks: &[Tok], i: usize) -> Option<(usize, usize)> {
+    let (mut paren, mut bracket) = (0i32, 0i32);
+    let mut j = i;
+    while j < toks.len() {
+        match toks[j].kind {
+            TokKind::Punct('(') => paren += 1,
+            TokKind::Punct(')') => paren -= 1,
+            TokKind::Punct('[') => bracket += 1,
+            TokKind::Punct(']') => bracket -= 1,
+            TokKind::Punct(';') if paren == 0 && bracket == 0 => return None,
+            TokKind::Punct('{') if paren == 0 && bracket == 0 => {
+                // Match this brace group.
+                let open = j;
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    if toks[j].is_punct('{') {
+                        depth += 1;
+                    } else if toks[j].is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some((open, j));
+                        }
+                    }
+                    j += 1;
+                }
+                return None;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(crate_name: &str, src: &str) -> Vec<Finding> {
+        analyze_source("test.rs", crate_name, src)
+    }
+
+    #[test]
+    fn hash_map_fires_outside_tests_only() {
+        let src = "
+            use std::collections::HashMap;
+            fn f() { let m: HashMap<u64, u64> = HashMap::default(); }
+            #[cfg(test)]
+            mod tests { use std::collections::HashMap; fn g() { let _: HashMap<u8,u8>; } }
+        ";
+        let f = run("quest", src);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|f| f.lint == Lint::HashIteration));
+    }
+
+    #[test]
+    fn wall_clock_requires_now() {
+        let src = "
+            fn f(deadline: Option<std::time::Instant>) {}
+            fn g() { let t = Instant::now(); let s = SystemTime::now(); }
+        ";
+        let f = run("quest", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.lint == Lint::WallClock));
+        // The bench harness is exempt.
+        assert!(run("bench", src).is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_sort_fires_only_in_comparators() {
+        let fires = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        let f = run("qmath", fires);
+        assert!(f.iter().any(|f| f.lint == Lint::PartialCmpSort), "{f:?}");
+        let clean = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }
+                     fn g(a: f64, b: f64) -> Option<std::cmp::Ordering> { a.partial_cmp(&b) }";
+        assert!(run("qmath", clean).is_empty());
+    }
+
+    #[test]
+    fn unwrap_scoped_to_pipeline_crates() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(run("quest", src).len(), 1);
+        assert_eq!(run("qsynth", src).len(), 1);
+        assert!(run("qcircuit", src).is_empty(), "non-pipeline crate exempt");
+        // unwrap_or is fine.
+        let clean = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }";
+        assert!(run("quest", clean).is_empty());
+    }
+
+    #[test]
+    fn entropy_idents_fire() {
+        let src = "fn f() { let mut rng = thread_rng(); let x: u8 = rand::random(); }";
+        let f = run("qsim", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.lint == Lint::AmbientEntropy));
+        let clean = "fn f(seed: u64) { let mut rng = StdRng::seed_from_u64(seed); \
+                     let x = rng.random_range(0..4); }";
+        assert!(run("qsim", clean).is_empty());
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bare = "fn f() { unsafe { danger() } }";
+        assert_eq!(run("qmath", bare).len(), 1);
+        let commented = "fn f() {\n    // SAFETY: feature detection guarantees AVX.\n    unsafe { danger() }\n}";
+        assert!(run("qmath", commented).is_empty());
+        let doc_fn =
+            "/// Does things.\n///\n/// # Safety\n///\n/// Caller checks AVX.\nunsafe fn g() {}";
+        assert!(run("qmath", doc_fn).is_empty());
+        let bare_fn = "unsafe fn g() {}";
+        assert_eq!(run("qmath", bare_fn).len(), 1);
+    }
+
+    #[test]
+    fn zero_alloc_flags_allocations() {
+        let src = "
+            #[zero_alloc]
+            fn hot(xs: &[f64], out: &mut Vec<f64>) {
+                let v: Vec<f64> = xs.to_vec();
+                let w = vec![0.0; 4];
+                out.copy_from_slice(&v[..1.min(v.len())]);
+                drop(w);
+            }
+            fn cold(xs: &[f64]) -> Vec<f64> { xs.to_vec() }
+        ";
+        let f = run("qsynth", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.lint == Lint::ZeroAllocHeap));
+    }
+
+    #[test]
+    fn fingerprint_wall_clock_scoped_to_fn_and_crate() {
+        let src = "
+            fn config_fingerprint(h: &mut u64) {
+                let t = SystemTime::now();
+            }
+            fn unrelated() { let t = SystemTime::now(); }
+        ";
+        let f = run("quest", src);
+        // The fingerprint fn fires both lints; `unrelated` only wall-clock.
+        assert!(f.iter().any(|f| f.lint == Lint::FingerprintWallClock));
+        assert_eq!(
+            f.iter()
+                .filter(|f| f.lint == Lint::FingerprintWallClock)
+                .count(),
+            2,
+            "SystemTime + now inside the fingerprint fn: {f:?}"
+        );
+        assert!(run("qmath", src)
+            .iter()
+            .all(|f| f.lint != Lint::FingerprintWallClock));
+    }
+
+    #[test]
+    fn cfg_not_test_is_still_scanned() {
+        let src = "#[cfg(not(test))]\nfn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(run("quest", src).len(), 1);
+    }
+
+    #[test]
+    fn test_fn_attribute_skips_item() {
+        let src = "#[test]\nfn t() { Option::<u8>::None.unwrap(); }\nfn f() {}";
+        assert!(run("quest", src).is_empty());
+    }
+}

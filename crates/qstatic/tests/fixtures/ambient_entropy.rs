@@ -1,0 +1,13 @@
+// Fixture: ambient-entropy. FIRE: OS-seeded randomness in pipeline code.
+pub fn roll() -> (u8, u8) {
+    let mut rng = thread_rng();
+    let a = rng.random_range(0..6);
+    let b: u8 = rand::random();
+    (a, b)
+}
+
+// CLEAN: explicitly seeded randomness is the contract.
+pub fn roll_seeded(seed: u64) -> u8 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.random_range(0..6)
+}

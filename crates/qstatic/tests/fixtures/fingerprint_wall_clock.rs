@@ -1,0 +1,16 @@
+// Fixture: fingerprint-wall-clock. FIRE: a timestamp folded into a cache
+// key inside a fingerprint-shaped function (crate scope: quest).
+pub fn config_fingerprint(seed: u64) -> u64 {
+    let stamp = SystemTime::now();
+    let secs = stamp
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    seed ^ secs
+}
+
+// CLEAN: the same ident outside a fingerprint-shaped fn only triggers the
+// general wall-clock lint, not this one.
+pub fn log_stamp() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,23 @@
+// Fixture: hash-iteration. FIRE: the HashMap below is in production code.
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u64]) -> Vec<(u64, usize)> {
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    // Iteration order here varies per process — exactly the bug class.
+    counts.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    // CLEAN: test-only HashMap use is exempt.
+    use std::collections::HashMap;
+
+    #[test]
+    fn t() {
+        let m: HashMap<u8, u8> = HashMap::new();
+        assert!(m.is_empty());
+    }
+}

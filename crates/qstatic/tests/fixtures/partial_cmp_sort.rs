@@ -1,0 +1,15 @@
+// Fixture: partial-cmp-sort. FIRE: NaN-unsafe comparators in sort/min.
+pub fn rank(xs: &mut Vec<f64>) -> Option<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.iter().copied().min_by(|a, b| a.partial_cmp(b).unwrap())
+}
+
+// CLEAN: total_cmp comparators, and partial_cmp outside a sort context.
+pub fn rank_total(xs: &mut Vec<f64>) -> Option<f64> {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs.iter().copied().min_by(|a, b| a.total_cmp(b))
+}
+
+pub fn tri(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    a.partial_cmp(&b)
+}

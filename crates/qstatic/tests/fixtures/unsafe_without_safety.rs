@@ -1,0 +1,24 @@
+// Fixture: unsafe-without-safety. FIRE: undocumented unsafe block and fn.
+pub fn read_first(xs: &[u8]) -> u8 {
+    unsafe { *xs.as_ptr() }
+}
+
+pub unsafe fn unchecked_add(a: *const u8, n: usize) -> *const u8 {
+    a.add(n)
+}
+
+// CLEAN: the audit comment / doc section satisfies the lint.
+pub fn read_first_documented(xs: &[u8]) -> u8 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees at least one element.
+    unsafe { *xs.as_ptr() }
+}
+
+/// Offsets a pointer.
+///
+/// # Safety
+///
+/// `a + n` must stay within the same allocated object.
+pub unsafe fn unchecked_add_documented(a: *const u8, n: usize) -> *const u8 {
+    a.add(n)
+}

@@ -1,0 +1,20 @@
+// Fixture: unwrap-expect. FIRE: panics in pipeline-crate production code.
+pub fn first_len(xs: &[Vec<u8>]) -> usize {
+    let head = xs.first().unwrap();
+    let tail = xs.last().expect("non-empty");
+    head.len() + tail.len()
+}
+
+// CLEAN: structured alternatives.
+pub fn first_len_checked(xs: &[Vec<u8>]) -> Option<usize> {
+    Some(xs.first()?.len() + xs.last()?.len())
+}
+
+#[cfg(test)]
+mod tests {
+    // CLEAN: tests may unwrap freely.
+    #[test]
+    fn t() {
+        assert_eq!(super::first_len_checked(&[vec![1]]).unwrap(), 2);
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: wall-clock. FIRE: both clock reads below are unregistered.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, u64) {
+    let t = Instant::now();
+    let unix = SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    (t, unix)
+}
+
+// CLEAN: storing or passing an Instant is fine — only `::now` reads fire.
+pub fn remaining(deadline: Instant, now: Instant) -> std::time::Duration {
+    deadline.saturating_duration_since(now)
+}

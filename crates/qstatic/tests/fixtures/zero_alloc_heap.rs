@@ -1,0 +1,22 @@
+// Fixture: zero-alloc-heap. FIRE: allocations inside a #[zero_alloc] body.
+#[zero_alloc]
+pub fn hot(xs: &[f64], out: &mut [f64]) -> f64 {
+    let scratch: Vec<f64> = xs.to_vec();
+    let label = format!("{} elems", xs.len());
+    drop(label);
+    out.copy_from_slice(&scratch[..out.len().min(scratch.len())]);
+    scratch.iter().sum()
+}
+
+// CLEAN: same operations outside the annotation are unrestricted.
+pub fn cold(xs: &[f64]) -> Vec<f64> {
+    xs.to_vec()
+}
+
+// CLEAN: an annotated fn that only works in place.
+#[zero_alloc]
+pub fn hot_in_place(xs: &mut [f64], a: f64) {
+    for x in xs.iter_mut() {
+        *x *= a;
+    }
+}

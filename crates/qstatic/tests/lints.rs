@@ -1,0 +1,192 @@
+//! Fixture tests: every registered lint (a) fires on its fixture, (b) does
+//! not fire on the fixture's clean/test-scoped cases, and (c) is
+//! suppressible only through a justified `qstatic.toml` entry.
+
+use qstatic::allowlist::Allowlist;
+use qstatic::lints::{analyze_source, Finding, Lint};
+
+/// Runs a fixture as if it were production source of `crate_name`.
+fn run_fixture(crate_name: &str, fixture: &str, src: &str) -> Vec<Finding> {
+    let path = format!("crates/{crate_name}/src/{fixture}");
+    analyze_source(&path, crate_name, src)
+}
+
+/// Findings of exactly `lint`.
+fn of(findings: &[Finding], lint: Lint) -> Vec<Finding> {
+    findings
+        .iter()
+        .filter(|f| f.lint == lint)
+        .cloned()
+        .collect()
+}
+
+/// Asserts the full fire → suppress → hygiene cycle for one lint: the
+/// fixture's findings vanish under a pattern-scoped allowlist entry, the
+/// entry is reported used, and a reason-free variant of the same entry
+/// draws a hygiene warning.
+fn assert_suppressible(findings: &[Finding], lint: Lint, pattern: &str) {
+    let hits = of(findings, lint);
+    assert!(!hits.is_empty(), "{} should have fired", lint.id());
+    let path = &hits[0].path;
+    let toml = format!(
+        "[[allow]]\nlint = \"{}\"\npath = \"{path}\"\npattern = \"{pattern}\"\nreason = \"fixture audit\"\n",
+        lint.id()
+    );
+    let allow = Allowlist::parse(&toml).expect("fixture allowlist parses");
+    let (kept, suppressed) = allow.apply(hits.clone());
+    assert!(
+        kept.is_empty(),
+        "{}: all findings matching `{pattern}` should be suppressed, kept {kept:?}",
+        lint.id()
+    );
+    assert!(!suppressed.is_empty());
+    let used: Vec<usize> = suppressed.iter().map(|(_, i)| *i).collect();
+    assert!(
+        allow.hygiene_warnings(&used).is_empty(),
+        "a used, justified entry must be hygiene-clean"
+    );
+
+    // The same entry without a reason is a hygiene warning (an error under
+    // --deny-all): audited exceptions must say why they are sound.
+    let reasonless = format!(
+        "[[allow]]\nlint = \"{}\"\npath = \"{path}\"\npattern = \"{pattern}\"\n",
+        lint.id()
+    );
+    let allow = Allowlist::parse(&reasonless).expect("parses");
+    let (_, suppressed) = allow.apply(hits);
+    let used: Vec<usize> = suppressed.iter().map(|(_, i)| *i).collect();
+    let warnings = allow.hygiene_warnings(&used);
+    assert_eq!(warnings.len(), 1, "{warnings:?}");
+    assert!(warnings[0].contains("no `reason`"));
+}
+
+#[test]
+fn hash_iteration_fixture() {
+    let findings = run_fixture("quest", "fx.rs", include_str!("fixtures/hash_iteration.rs"));
+    let hits = of(&findings, Lint::HashIteration);
+    assert_eq!(
+        hits.len(),
+        3,
+        "use + type + ctor, test mod exempt: {hits:?}"
+    );
+    assert_suppressible(&findings, Lint::HashIteration, "HashMap");
+}
+
+#[test]
+fn wall_clock_fixture() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    let findings = run_fixture("quest", "fx.rs", src);
+    let hits = of(&findings, Lint::WallClock);
+    assert_eq!(hits.len(), 2, "only ::now reads fire: {hits:?}");
+    // The bench harness is exempt by crate scoping.
+    assert!(of(&run_fixture("bench", "fx.rs", src), Lint::WallClock).is_empty());
+    assert_suppressible(&findings, Lint::WallClock, "::now");
+}
+
+#[test]
+fn partial_cmp_sort_fixture() {
+    let findings = run_fixture(
+        "qmath",
+        "fx.rs",
+        include_str!("fixtures/partial_cmp_sort.rs"),
+    );
+    let hits = of(&findings, Lint::PartialCmpSort);
+    assert_eq!(hits.len(), 2, "sort_by + min_by; total_cmp clean: {hits:?}");
+    assert_suppressible(&findings, Lint::PartialCmpSort, "partial_cmp");
+}
+
+#[test]
+fn unwrap_expect_fixture() {
+    let src = include_str!("fixtures/unwrap_expect.rs");
+    let findings = run_fixture("quest", "fx.rs", src);
+    let hits = of(&findings, Lint::UnwrapExpect);
+    assert_eq!(hits.len(), 2, "unwrap + expect, test mod exempt: {hits:?}");
+    // Non-pipeline crates are exempt by crate scoping.
+    assert!(of(&run_fixture("qmath", "fx.rs", src), Lint::UnwrapExpect).is_empty());
+    assert_suppressible(&findings, Lint::UnwrapExpect, "xs.");
+}
+
+#[test]
+fn ambient_entropy_fixture() {
+    let findings = run_fixture("qsim", "fx.rs", include_str!("fixtures/ambient_entropy.rs"));
+    let hits = of(&findings, Lint::AmbientEntropy);
+    assert_eq!(hits.len(), 2, "thread_rng + rand::random: {hits:?}");
+    assert_suppressible(&findings, Lint::AmbientEntropy, "r");
+}
+
+#[test]
+fn unsafe_without_safety_fixture() {
+    let findings = run_fixture(
+        "qmath",
+        "fx.rs",
+        include_str!("fixtures/unsafe_without_safety.rs"),
+    );
+    let hits = of(&findings, Lint::UnsafeWithoutSafety);
+    assert_eq!(
+        hits.len(),
+        2,
+        "bare block + bare fn; documented clean: {hits:?}"
+    );
+    assert_suppressible(&findings, Lint::UnsafeWithoutSafety, "unsafe");
+}
+
+#[test]
+fn zero_alloc_heap_fixture() {
+    let findings = run_fixture(
+        "qsynth",
+        "fx.rs",
+        include_str!("fixtures/zero_alloc_heap.rs"),
+    );
+    let hits = of(&findings, Lint::ZeroAllocHeap);
+    assert_eq!(hits.len(), 2, "to_vec + format!; cold fn exempt: {hits:?}");
+    assert_suppressible(&findings, Lint::ZeroAllocHeap, "");
+}
+
+#[test]
+fn fingerprint_wall_clock_fixture() {
+    let src = include_str!("fixtures/fingerprint_wall_clock.rs");
+    let findings = run_fixture("quest", "fx.rs", src);
+    let hits = of(&findings, Lint::FingerprintWallClock);
+    assert_eq!(
+        hits.len(),
+        2,
+        "SystemTime + now inside config_fingerprint only: {hits:?}"
+    );
+    // Outside the cache-owning crate the lint is off entirely.
+    assert!(of(
+        &run_fixture("qsim", "fx.rs", src),
+        Lint::FingerprintWallClock
+    )
+    .is_empty());
+    assert_suppressible(&findings, Lint::FingerprintWallClock, "");
+}
+
+#[test]
+fn allowlist_entry_for_wrong_lint_does_not_suppress() {
+    let findings = run_fixture("quest", "fx.rs", include_str!("fixtures/hash_iteration.rs"));
+    let hits = of(&findings, Lint::HashIteration);
+    let toml = format!(
+        "[[allow]]\nlint = \"wall-clock\"\npath = \"{}\"\nreason = \"wrong lint\"\n",
+        hits[0].path
+    );
+    let allow = Allowlist::parse(&toml).expect("parses");
+    let (kept, suppressed) = allow.apply(hits);
+    assert!(
+        suppressed.is_empty(),
+        "a wall-clock entry must not hide hash-iteration"
+    );
+    assert_eq!(kept.len(), 3);
+}
+
+#[test]
+fn every_lint_has_a_stable_unique_id() {
+    let mut ids: Vec<&str> = Lint::ALL.iter().map(|l| l.id()).collect();
+    let n = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "lint ids must be unique");
+    for lint in Lint::ALL {
+        assert_eq!(Lint::from_id(lint.id()), Some(lint));
+        assert!(!lint.summary().is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! The acceptance gate: the real workspace, analyzed with the committed
+//! `qstatic.toml`, is clean under `--deny-all` semantics. Because this runs
+//! on every `cargo test`, a regression against any invariant (or a stale /
+//! reason-free allowlist entry) fails tier-1 CI, not just the dedicated
+//! static-analysis job.
+
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    // crates/qstatic -> crates -> repo root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("crates/qstatic has a grandparent")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_clean_under_deny_all() {
+    let root = repo_root();
+    let allow = qstatic::load_allowlist(&root.join("qstatic.toml")).expect("qstatic.toml parses");
+    let report = qstatic::analyze_workspace(&root, &allow).expect("workspace analyzable");
+
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}): wrong root?",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.findings.iter().map(ToString::to_string).collect();
+    assert!(
+        report.findings.is_empty(),
+        "workspace has unallowed lint findings:\n{}",
+        rendered.join("\n")
+    );
+    // --deny-all semantics: hygiene warnings (reason-free or stale
+    // allowlist entries) are failures too.
+    assert!(
+        report.warnings.is_empty(),
+        "allowlist hygiene warnings:\n{}",
+        report.warnings.join("\n")
+    );
+}
+
+#[test]
+fn every_allowlist_entry_is_exercised_and_justified() {
+    let root = repo_root();
+    let allow = qstatic::load_allowlist(&root.join("qstatic.toml")).expect("qstatic.toml parses");
+    assert!(
+        !allow.entries.is_empty(),
+        "the workspace has registered deadline/telemetry sites; an empty \
+         allowlist means the wrong file was loaded"
+    );
+    let report = qstatic::analyze_workspace(&root, &allow).expect("workspace analyzable");
+    for (idx, entry) in allow.entries.iter().enumerate() {
+        assert!(
+            entry
+                .reason
+                .as_deref()
+                .is_some_and(|r| !r.trim().is_empty()),
+            "entry {} ({} at {}) has no reason",
+            idx,
+            entry.lint,
+            entry.path
+        );
+        assert!(
+            report.suppressed.iter().any(|(_, used)| *used == idx),
+            "entry {} ({} at {}) suppresses nothing — remove it",
+            idx,
+            entry.lint,
+            entry.path
+        );
+    }
+}

@@ -191,6 +191,7 @@ impl<'a> HsCost<'a> {
     }
 
     /// Evaluates the cost only (allocation-free given a workspace).
+    #[qstatic_attr::zero_alloc]
     pub fn cost(&self, ws: &mut Workspace, params: &[f64]) -> f64 {
         self.load_params(ws, params, false);
         fill_identity(&mut ws.w);
@@ -207,6 +208,7 @@ impl<'a> HsCost<'a> {
     /// # Panics
     ///
     /// Panics if `params` or `grad` do not have `num_params()` entries.
+    #[qstatic_attr::zero_alloc]
     pub fn cost_and_grad(&self, ws: &mut Workspace, params: &[f64], grad: &mut [f64]) -> f64 {
         assert_eq!(grad.len(), self.num_params(), "gradient length mismatch");
         self.load_params(ws, params, true);

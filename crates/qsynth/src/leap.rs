@@ -411,7 +411,11 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
             // to the serial sweep.
             let cells: Vec<OnceLock<Job>> = (0..jobs).map(|_| OnceLock::new()).collect();
             let next = AtomicUsize::new(0);
-            crossbeam::thread::scope(|scope| {
+            // A worker panic must degrade, not tear down synthesis: the
+            // survivors drain the queue, and any job whose cell was never
+            // set is treated as a skipped expansion (counted as a poisoned
+            // start so the run is reported degraded).
+            let scope_result = crossbeam::thread::scope(|scope| {
                 for _ in 0..frontier_width {
                     scope.spawn(|_| loop {
                         let j = next.fetch_add(1, Ordering::Relaxed);
@@ -421,11 +425,19 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
                         let _ = cells[j].set(expand(j / pairs.len(), j % pairs.len()));
                     });
                 }
-            })
-            .expect("frontier expansion worker panicked");
+            });
+            if scope_result.is_err() {
+                qobs::metrics::counter("qsynth.worker_panics", 1);
+            }
             cells
                 .into_iter()
-                .map(|cell| cell.into_inner().expect("frontier job completed"))
+                .map(|cell| {
+                    let slot = cell.into_inner();
+                    if slot.is_none() {
+                        result.poisoned_starts += 1;
+                    }
+                    slot.flatten()
+                })
                 .collect()
         } else {
             (0..jobs)

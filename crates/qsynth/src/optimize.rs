@@ -335,7 +335,12 @@ where
     } else {
         let cells: Vec<OnceLock<StartOutcome>> = (0..nstarts).map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
+        // A panic that escapes `run_start_resilient`'s own isolation (a bug
+        // in the queue itself, an injected fault in the spawn path) kills one
+        // worker; the survivors keep draining the queue. Degrade instead of
+        // panicking: starts whose cells were never set are counted as
+        // poisoned below and flow into the pipeline's degradation stats.
+        let scope_result = crossbeam::thread::scope(|scope| {
             for _ in 0..width.min(nstarts) {
                 scope.spawn(|_| {
                     let mut eval = make_eval();
@@ -349,8 +354,10 @@ where
                     }
                 });
             }
-        })
-        .expect("optimizer worker panicked");
+        });
+        if scope_result.is_err() {
+            qobs::metrics::counter("qsynth.worker_panics", 1);
+        }
         for (slot, cell) in results.iter_mut().zip(cells) {
             *slot = cell.into_inner();
         }
@@ -364,7 +371,15 @@ where
     let mut evals = 0;
     let mut poisoned_starts = 0;
     for (s, out) in results.iter().enumerate() {
-        let Some(out) = out.as_ref() else { continue };
+        let Some(out) = out.as_ref() else {
+            // A start that produced no outcome: either the serial sweep
+            // early-stopped before it (not degradation), or its worker died
+            // mid-run. Only the latter leaves a hole before the reduction's
+            // own stopping point, and it is counted as poisoned so the
+            // pipeline reports the run as degraded.
+            poisoned_starts += 1;
+            continue;
+        };
         evals += out.evals;
         poisoned_starts += out.poisoned_attempts;
         if best.is_none_or(|(_, b)| out.cost < b.cost) {
@@ -374,16 +389,26 @@ where
             break;
         }
     }
-    let (_, best) = best.expect("at least one optimizer start runs");
 
     // Instantiation cost: one metric per optimizer call would be noisy, so
     // only the aggregate gradient-evaluation count is published.
     qobs::metrics::counter("qsynth.instantiation_iters", evals as u64);
-    OptimizeOutcome {
-        params: best.params.clone(),
-        cost: best.cost,
-        evals,
-        poisoned_starts,
+    match best {
+        Some((_, best)) => OptimizeOutcome {
+            params: best.params.clone(),
+            cost: best.cost,
+            evals,
+            poisoned_starts,
+        },
+        // Every start was lost (all workers died before setting a cell):
+        // return an inert outcome — infinite cost so no caller ever selects
+        // it as an approximation — rather than panicking the pipeline.
+        None => OptimizeOutcome {
+            params: vec![0.0; num_params],
+            cost: f64::INFINITY,
+            evals,
+            poisoned_starts,
+        },
     }
 }
 

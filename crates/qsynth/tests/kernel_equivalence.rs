@@ -7,6 +7,10 @@
 //! (f64 `==`, so nonzero values must match to the bit and exact zeros may
 //! differ in sign only) across templates, placements, and parameter draws.
 
+// Exact float equality is deliberate: these tests assert bit-identical
+// results from deterministic code paths.
+#![allow(clippy::float_cmp)]
+
 use qcircuit::embed::embed;
 use qmath::{hs, Matrix};
 use qsynth::cost::HsCost;

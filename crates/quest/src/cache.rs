@@ -31,7 +31,7 @@ use qcircuit::{Circuit, Gate};
 use qmath::Matrix;
 use qobs::json::Json;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -136,7 +136,7 @@ pub struct BlockCache {
     // Per-key OnceLock cells: concurrent lookups of the same key share one
     // synthesis run (the second caller blocks on `get_or_init` instead of
     // duplicating the work).
-    inner: Mutex<HashMap<u64, Arc<std::sync::OnceLock<Arc<CachedMenu>>>>>,
+    inner: Mutex<BTreeMap<u64, Arc<std::sync::OnceLock<Arc<CachedMenu>>>>>,
     disk: Option<DiskCacheConfig>,
     hits: AtomicUsize,
     misses: AtomicUsize,

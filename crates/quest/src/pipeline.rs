@@ -802,12 +802,14 @@ fn exact_indices(blocks: &[SynthesizedBlock]) -> Vec<usize> {
     blocks
         .iter()
         .map(|b| {
+            // An empty approximation list cannot occur (synthesis always
+            // emits at least the exact original), but index 0 is still a
+            // valid selection if it ever did — no reason to panic here.
             b.approximations
                 .iter()
                 .enumerate()
                 .min_by(|(_, x), (_, y)| x.distance.total_cmp(&y.distance))
-                .map(|(i, _)| i)
-                .expect("block has at least one approximation")
+                .map_or(0, |(i, _)| i)
         })
         .collect()
 }
@@ -849,7 +851,7 @@ fn cap_candidates(mut all: Vec<BlockApprox>, cap: usize) -> Vec<BlockApprox> {
         keep.push(all[i].clone());
     }
     // Second-best per CNOT count for dissimilarity variety.
-    let mut per_count: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut per_count: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
     for &i in &frontier_idx {
         per_count.insert(all[i].cnot_count, 1);
     }

@@ -11,6 +11,10 @@
 //! them with `cargo test -p quest --features fault-injection`); the
 //! deadline/budget/watchdog tests need no injection and always run.
 
+// Exact float equality is deliberate: these tests assert bit-identical
+// results from deterministic code paths.
+#![allow(clippy::float_cmp)]
+
 use qcircuit::Circuit;
 use quest::{PipelineError, Quest, QuestConfig, QuestResult};
 use std::sync::{Mutex, PoisonError};

@@ -1,5 +1,9 @@
 //! Property-based tests of Algorithm 1's objective function.
 
+// Exact float equality is deliberate: these tests assert bit-identical
+// results from deterministic code paths.
+#![allow(clippy::float_cmp)]
+
 use proptest::prelude::*;
 use qcircuit::Circuit;
 use qmath::Matrix;

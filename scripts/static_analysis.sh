@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Local runner for the static-analysis suite CI executes in the
+# `static-analysis` job. Tools that are not installed in the current
+# environment (miri, cargo-deny) are skipped with a notice instead of
+# failing, so the script is useful both in the offline dev container and on
+# a fully-provisioned CI runner.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "== qstatic --deny-all =="
+cargo run -q -p qstatic -- --deny-all . || fail=1
+
+echo "== allowlist justification gate =="
+# Belt-and-braces alongside qstatic's own hygiene check: every [[allow]]
+# block in qstatic.toml must carry a reason.
+entries=$(grep -c '^\[\[allow\]\]' qstatic.toml || true)
+reasons=$(grep -c '^reason = "..*"' qstatic.toml || true)
+if [ "$entries" -ne "$reasons" ]; then
+    echo "qstatic.toml: $entries [[allow]] entries but $reasons reasons — every audited exception needs a justification" >&2
+    fail=1
+else
+    echo "ok: $entries entries, $reasons reasons"
+fi
+
+echo "== loom model (bounded work-queue handoff) =="
+QLOOM_ITERS="${QLOOM_ITERS:-256}" cargo test -q -p qsynth --test loom_queue || fail=1
+
+echo "== miri (qmath kernels/SIMD) =="
+if cargo miri --version >/dev/null 2>&1; then
+    # SIMD intrinsics are unsupported under miri; QMATH_FORCE_SCALAR pins the
+    # scalar path so the kernels' raw-slice indexing is still checked.
+    MIRIFLAGS="-Zmiri-strict-provenance" cargo +nightly miri test -p qmath kernels || fail=1
+else
+    echo "skipped: miri not installed (rustup +nightly component add miri)"
+fi
+
+echo "== cargo-deny =="
+if cargo deny --version >/dev/null 2>&1; then
+    cargo deny check || fail=1
+else
+    echo "skipped: cargo-deny not installed (cargo install cargo-deny)"
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "static analysis FAILED" >&2
+    exit 1
+fi
+echo "static analysis OK"

@@ -1,0 +1,119 @@
+//! Offline stand-in for the [`loom`](https://docs.rs/loom) concurrency
+//! model checker.
+//!
+//! The real loom exhaustively explores thread interleavings of a model by
+//! replacing `std::sync`/`std::thread` with instrumented versions. This
+//! container has no crates.io access, so this shim keeps loom's *API shape*
+//! — `loom::model(|| ...)`, `loom::thread`, `loom::sync` — but implements
+//! [`model`] as **bounded stress iteration**: the model body runs many times
+//! on real OS threads, with the shim's [`thread::spawn`] injecting a
+//! deterministic pattern of `yield_now` calls (varied per iteration) to
+//! shake out ordering-dependent bugs. This explores far fewer schedules than
+//! real loom, but the checked properties (every queue slot claimed exactly
+//! once, reductions independent of completion order) are the same, and a
+//! model written against this shim runs unmodified under real loom.
+//!
+//! Iteration count: `QLOOM_ITERS` env var, default [`DEFAULT_ITERS`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default number of times [`model`] re-runs its body.
+pub const DEFAULT_ITERS: usize = 64;
+
+/// Per-iteration seed for the yield-injection pattern. Written by [`model`]
+/// before each run so spawned threads perturb their schedule differently on
+/// every iteration, deterministically.
+static SCHEDULE_SALT: AtomicU64 = AtomicU64::new(0);
+
+/// Runs `f` repeatedly (bounded stress exploration; see module docs).
+///
+/// A panic inside any iteration propagates immediately, matching real
+/// loom's failure behavior.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters = std::env::var("QLOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_ITERS);
+    for i in 0..iters {
+        SCHEDULE_SALT.store(i as u64, Ordering::Relaxed);
+        f();
+    }
+}
+
+/// `loom::thread` — spawn with deterministic schedule perturbation.
+pub mod thread {
+    pub use std::thread::{current, yield_now, JoinHandle};
+
+    use super::SCHEDULE_SALT;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Monotonic spawn counter: combined with the iteration salt it gives
+    /// each spawned thread a distinct, reproducible yield pattern.
+    static SPAWN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    /// Spawns a model thread. Before running the body, the thread yields a
+    /// salt-dependent number of times (0..=3) so that across [`super::model`]
+    /// iterations the threads start in different relative orders.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let salt = SCHEDULE_SALT.load(Ordering::Relaxed);
+        let seq = SPAWN_SEQ.fetch_add(1, Ordering::Relaxed);
+        std::thread::spawn(move || {
+            // splitmix-style hash of (iteration, spawn index) → small jitter.
+            let mut z = salt
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(seq.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+            z ^= z >> 31;
+            for _ in 0..(z % 4) {
+                yield_now();
+            }
+            f()
+        })
+    }
+}
+
+/// `loom::sync` — re-exports of the std primitives the models use.
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, RwLock};
+
+    /// `loom::sync::atomic`.
+    pub mod atomic {
+        pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    }
+}
+
+/// `loom::hint`.
+pub mod hint {
+    pub use std::hint::spin_loop;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_body_default_iters() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let r = runs.clone();
+        super::model(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), super::DEFAULT_ITERS);
+    }
+
+    #[test]
+    fn spawned_threads_join_with_result() {
+        super::model(|| {
+            let h = super::thread::spawn(|| 41 + 1);
+            assert_eq!(h.join().unwrap(), 42);
+        });
+    }
+}
