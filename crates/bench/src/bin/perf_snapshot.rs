@@ -31,6 +31,9 @@
 //! * `qsynth.grad_eval_ns` / `qsynth.unitary_eval_ns` — microbenchmarks of
 //!   the synthesis hot loop (one gradient evaluation, one template unitary
 //!   build), the direct per-eval signal behind `*.total_seconds`.
+//! * `service.*` — throughput of the `questd` compilation daemon under
+//!   concurrent clients with a deterministic dedup mix (see
+//!   [`service_throughput`] and EXPERIMENTS.md "Service throughput").
 
 use bench::{harness_config, run_quest_cached};
 use qcircuit::Circuit;
@@ -120,6 +123,127 @@ fn synthesis_microbench() -> (f64, f64) {
     (grad_ns, unitary_ns)
 }
 
+/// Sustained service throughput against an in-process `questd` daemon
+/// (protocol: `docs/questd-protocol.md`; design: DESIGN.md §4i).
+///
+/// One slow blocker job holds the single worker while 8 concurrent client
+/// threads each submit one unique job and one *shared* job (identical
+/// fingerprint across all threads), so the whole fan-out lands in the
+/// queue together and the shared submissions deterministically coalesce:
+/// 17 submissions, 10 pipeline runs, 7 dedup hits. Returns
+/// `(jobs_completed, dedup_hits, seconds)`; errors if any job fails or
+/// the dedup count is off (a behaviour change, not noise).
+fn service_throughput() -> Result<(u64, u64, f64), String> {
+    const CLIENTS: u64 = 8;
+    let server = questd::Server::bind(
+        "127.0.0.1:0",
+        questd::ServerConfig {
+            workers: 1,
+            queue_capacity: 64,
+            cache_dir: None,
+        },
+    )
+    .map_err(|e| format!("service: bind: {e}"))?;
+    let addr = server.local_addr().to_string();
+
+    // The blocker is the heavier 4-qubit workload; submissions take
+    // milliseconds, so every fan-out job is queued long before the worker
+    // frees up.
+    let blocker_qasm = qcircuit::qasm::emit(&workload().remove(1).1);
+    let job_qasm = qcircuit::qasm::emit(&workload().remove(0).1);
+    let config = |seed: u64| questd::JobConfig {
+        fast: true,
+        max_samples: Some(2),
+        seed: Some(seed),
+        ..questd::JobConfig::default()
+    };
+    let submit = |id: &str, qasm: &str, seed: u64| questd::SubmitRequest {
+        id: id.into(),
+        qasm: qasm.into(),
+        config: config(seed),
+        priority: questd::protocol::DEFAULT_PRIORITY,
+        queue_deadline_ms: None,
+    };
+
+    let mut blocker = questd::Client::connect(&addr).map_err(|e| format!("service: {e}"))?;
+    blocker
+        .submit(submit("blocker", &blocker_qasm, 999))
+        .map_err(|e| format!("service: {e}"))?;
+    // Wait until the worker has actually claimed the blocker before
+    // fanning out, so the dedup mix below queues behind it.
+    loop {
+        match blocker.recv().map_err(|e| format!("service: {e}"))? {
+            questd::Event::Started { .. } => break,
+            questd::Event::Error { code, message, .. } => {
+                return Err(format!("service: blocker failed ({code}): {message}"));
+            }
+            _ => {}
+        }
+    }
+
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let addr = addr.clone();
+            let qasm = job_qasm.clone();
+            let submit_unique = submit(&format!("unique-{i}"), &qasm, 100 + i);
+            let submit_shared = submit(&format!("shared-{i}"), &qasm, 42);
+            std::thread::spawn(move || -> Result<(), String> {
+                let mut client =
+                    questd::Client::connect(&addr).map_err(|e| format!("client {i}: {e}"))?;
+                client
+                    .submit(submit_unique)
+                    .map_err(|e| format!("client {i}: {e}"))?;
+                client
+                    .submit(submit_shared)
+                    .map_err(|e| format!("client {i}: {e}"))?;
+                let ids = [format!("unique-{i}"), format!("shared-{i}")];
+                let outcomes = client
+                    .wait_for_all(&[&ids[0], &ids[1]], |_| {})
+                    .map_err(|e| format!("client {i}: {e}"))?;
+                for (id, outcome) in outcomes {
+                    if let questd::JobOutcome::Failed { code, message } = outcome {
+                        return Err(format!("client {i}: job {id} failed ({code}): {message}"));
+                    }
+                }
+                Ok(())
+            })
+        })
+        .collect();
+    match blocker.wait_for("blocker", |_| {}) {
+        Ok(questd::JobOutcome::Report(_)) => {}
+        Ok(questd::JobOutcome::Failed { code, message }) => {
+            return Err(format!("service: blocker failed ({code}): {message}"));
+        }
+        Err(e) => return Err(format!("service: {e}")),
+    }
+    for t in threads {
+        t.join()
+            .map_err(|_| "service: client thread panicked".to_string())??;
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+
+    let stats = questd::Client::connect(&addr)
+        .and_then(|mut c| c.stats())
+        .map_err(|e| format!("service: stats: {e}"))?;
+    server.shutdown();
+    let expected_jobs = 2 * CLIENTS + 1;
+    let expected_hits = CLIENTS - 1;
+    if stats.jobs_completed != expected_jobs || stats.jobs_failed != 0 {
+        return Err(format!(
+            "service: expected {expected_jobs} completed jobs, got {} completed / {} failed",
+            stats.jobs_completed, stats.jobs_failed
+        ));
+    }
+    if stats.dedup_hits != expected_hits {
+        return Err(format!(
+            "service: expected {expected_hits} dedup hits, got {}",
+            stats.dedup_hits
+        ));
+    }
+    Ok((stats.jobs_completed, stats.dedup_hits, seconds))
+}
+
 fn main() -> ExitCode {
     let out_dir = std::env::args()
         .nth(1)
@@ -131,6 +255,21 @@ fn main() -> ExitCode {
     println!("microbench: grad {grad_ns:.0} ns/eval, unitary {unitary_ns:.0} ns/build");
     let (sweep_seconds, sweep_hits, sweep_misses) = trotter_sweep();
     println!("trotter_sweep: {sweep_seconds:.2}s, {sweep_hits} cache hits / {sweep_misses} misses");
+    // Also outside the session: the daemon's workers record pipeline
+    // metrics opportunistically, which must not pollute the main counters.
+    let (service_jobs, service_dedup_hits, service_seconds) = match service_throughput() {
+        Ok(numbers) => numbers,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    #[allow(clippy::cast_precision_loss)]
+    let service_jobs_per_second = service_jobs as f64 / service_seconds;
+    println!(
+        "service_throughput: {service_jobs} jobs in {service_seconds:.2}s \
+         ({service_jobs_per_second:.1} jobs/s, {service_dedup_hits} dedup hits)"
+    );
 
     let session = qobs::metrics::session();
     let mut snapshot = qobs::snapshot::BenchSnapshot::new("pipeline");
@@ -196,7 +335,10 @@ fn main() -> ExitCode {
             .with("trotter_sweep.cache_hits", sweep_hits as f64)
             .with("trotter_sweep.cache_misses", sweep_misses as f64)
             .with("qsynth.grad_eval_ns", grad_ns)
-            .with("qsynth.unitary_eval_ns", unitary_ns);
+            .with("qsynth.unitary_eval_ns", unitary_ns)
+            .with("service.jobs", service_jobs as f64)
+            .with("service.dedup_hits", service_dedup_hits as f64)
+            .with("service.jobs_per_second", service_jobs_per_second);
     }
 
     match snapshot.write_to(&out_dir) {

@@ -6,6 +6,8 @@
 //! pipeline configuration, the noisy-backend presets, and text-table
 //! formatting.
 
+#![deny(missing_docs)]
+
 use qcircuit::Circuit;
 use quest::{Quest, QuestConfig, QuestResult};
 

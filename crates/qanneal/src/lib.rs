@@ -27,7 +27,7 @@
 //! assert_eq!(out.best, vec![3, 1, 4]);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

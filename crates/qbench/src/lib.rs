@@ -20,6 +20,8 @@
 //! [`suite`] assembles the named benchmark instances used across the
 //! figure-regeneration harnesses.
 
+#![deny(missing_docs)]
+
 pub mod arith;
 pub mod observables;
 pub mod spin;

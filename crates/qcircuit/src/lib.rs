@@ -32,7 +32,7 @@
 //! assert!(u.is_unitary(1e-12));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod analysis;
 pub mod circuit;

@@ -45,7 +45,7 @@
 //! assert_eq!(cost, 1.0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 /// The kind of failure an armed fault produces.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

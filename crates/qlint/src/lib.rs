@@ -27,6 +27,8 @@
 //! assert!(findings.is_empty());
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod context;
 pub mod lints;
 

@@ -31,7 +31,7 @@
 //! assert!(hs::process_distance(&x, &x) < 1e-9);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod complex;
 pub mod decompose;

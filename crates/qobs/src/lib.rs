@@ -35,7 +35,7 @@
 //! assert_eq!(sub.entered(), vec!["demo.work".to_string()]);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod json;
 pub mod metrics;

@@ -190,6 +190,24 @@ pub fn session() -> Session {
     Session { _guard: guard }
 }
 
+/// Non-blocking [`session`]: returns `None` when another session is already
+/// active instead of waiting for it.
+///
+/// Built for opportunistic per-job collection in a concurrent server: the
+/// registry is process-global, so at most one job at a time can own a
+/// session, and a busy daemon must not stall a compile job behind another
+/// job's metrics window. Jobs that lose the race simply run unmetered.
+pub fn try_session() -> Option<Session> {
+    let guard = match session_lock().try_lock() {
+        Ok(guard) => guard,
+        Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+        Err(std::sync::TryLockError::WouldBlock) => return None,
+    };
+    registry().lock().unwrap().clear();
+    ENABLED.store(true, Ordering::Relaxed);
+    Some(Session { _guard: guard })
+}
+
 /// Reads every metric recorded in the current session, sorted by name.
 /// Usually reached through [`Session::snapshot`].
 pub fn snapshot() -> Vec<Sample> {

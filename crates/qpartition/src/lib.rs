@@ -21,6 +21,8 @@
 //! assert!(parts.reassemble().unitary().approx_eq(&c.unitary(), 1e-10));
 //! ```
 
+#![deny(missing_docs)]
+
 use qcircuit::{Circuit, Instruction};
 use qmath::Matrix;
 

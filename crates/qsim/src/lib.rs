@@ -25,6 +25,8 @@
 //! assert!((probs[3] - 0.5).abs() < 1e-12);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod density;
 pub mod dist;
 pub mod marginals;

@@ -5,6 +5,8 @@
 //! the annotation in source and enforces the contract it declares, and the
 //! attribute doubles as in-code documentation of that contract.
 
+#![deny(missing_docs)]
+
 use proc_macro::TokenStream;
 
 /// Declares that a function performs **no heap allocation** on any path.

@@ -14,6 +14,8 @@
 //! `--deny-all` semantics, so "the workspace is clean" is enforced by
 //! `cargo test`, not just by CI.
 
+#![deny(missing_docs)]
+
 pub mod allowlist;
 pub mod lexer;
 pub mod lints;

@@ -28,7 +28,7 @@
 //! assert!(best.distance < 1e-6);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cost;
 pub mod leap;

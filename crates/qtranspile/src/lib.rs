@@ -32,6 +32,8 @@
 //! assert_eq!(opt.len(), 0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod consolidate;
 pub mod contract;
 pub mod passes;

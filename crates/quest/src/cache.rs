@@ -457,6 +457,49 @@ pub(crate) fn block_key(body: &Circuit, config: &QuestConfig) -> u64 {
     h.finish()
 }
 
+/// Content-addressed fingerprint of one whole compile *request*: the exact
+/// circuit (gate kinds, parameter bits, operands) plus every configuration
+/// knob that can shape the result — the menu-shaping knobs via
+/// [`config_fingerprint`], the partition/selection knobs, and the
+/// degradation budgets (two jobs with different budgets may legitimately
+/// produce different degraded results, so they must not coalesce).
+///
+/// This is `questd`'s single-flight dedup key: two in-flight submissions
+/// with equal fingerprints are guaranteed — by the pipeline's determinism
+/// contract — to produce bit-identical [`crate::QuestResult`]s, so the
+/// daemon runs one compilation and hands both clients the same report.
+/// Execution-only knobs (`parallel`, `parallel_width`) are excluded: width
+/// never changes artifacts.
+pub fn request_fingerprint(circuit: &Circuit, config: &QuestConfig) -> u64 {
+    let mut h = DefaultHasher::new();
+    circuit.num_qubits().hash(&mut h);
+    for inst in circuit.iter() {
+        inst.gate.name().hash(&mut h);
+        for p in inst.gate.params() {
+            p.to_bits().hash(&mut h);
+        }
+        inst.qubits.hash(&mut h);
+    }
+    config_fingerprint(config).hash(&mut h);
+    // Partition / selection knobs config_fingerprint deliberately omits
+    // (they cannot change a *block's* menu, but they do change the result).
+    config.block_size.hash(&mut h);
+    config.max_block_gates.hash(&mut h);
+    config.max_samples.hash(&mut h);
+    config.cnot_weight.to_bits().hash(&mut h);
+    std::mem::discriminant(&config.selection).hash(&mut h);
+    let a = &config.anneal;
+    a.max_evals.hash(&mut h);
+    a.seed.hash(&mut h);
+    a.deadline.map(|d| d.as_nanos()).hash(&mut h);
+    // Degradation budgets and strictness: they shape which (worse-but-valid)
+    // result a constrained run converges to, and whether it errors.
+    config.block_deadline.map(|d| d.as_nanos()).hash(&mut h);
+    config.max_gradient_evals.hash(&mut h);
+    config.strict.hash(&mut h);
+    h.finish()
+}
+
 /// Hash of a unitary's exact entries (f64 bit patterns) and dimensions —
 /// the disk tier's guard against block-key collisions.
 fn unitary_hash(u: &Matrix) -> u64 {
@@ -473,7 +516,13 @@ fn unitary_hash(u: &Matrix) -> u64 {
 /// including the master seed, which [`block_key`] deliberately leaves out —
 /// while excluding pure execution knobs (`parallel`, `parallel_width`),
 /// whose settings are bit-identical by the determinism contract.
-fn config_fingerprint(config: &QuestConfig) -> u64 {
+///
+/// Public because `questd` keys its per-configuration in-memory caches by
+/// this value: the memory tier's [`block_key`] excludes the master seed, so
+/// two jobs differing only in seed must not share one in-memory
+/// [`BlockCache`] (the disk tier already separates them via this same
+/// fingerprint in the entry filename).
+pub fn config_fingerprint(config: &QuestConfig) -> u64 {
     let mut h = DefaultHasher::new();
     DISK_CACHE_SCHEMA_VERSION.hash(&mut h);
     config.seed.hash(&mut h);

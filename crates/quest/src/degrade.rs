@@ -73,6 +73,10 @@ pub enum PipelineError {
     /// Strict mode ([`crate::QuestConfig::strict`]) was on and at least one
     /// degradation or recovery event fired.
     StrictDegradation(DegradationStats),
+    /// The run's [`crate::progress::CompileObserver`] requested cancellation
+    /// and the pipeline stopped at the next poll point. No partial result is
+    /// produced — a cancelled compilation has no artifacts at all.
+    Cancelled,
 }
 
 impl fmt::Display for PipelineError {
@@ -82,6 +86,7 @@ impl fmt::Display for PipelineError {
             PipelineError::StrictDegradation(stats) => {
                 write!(f, "strict mode: compilation degraded ({stats})")
             }
+            PipelineError::Cancelled => write!(f, "compilation cancelled by its observer"),
         }
     }
 }

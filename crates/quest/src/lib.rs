@@ -35,7 +35,7 @@
 //! );
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bound;
 pub mod cache;
@@ -44,13 +44,17 @@ pub mod degrade;
 pub mod evaluate;
 pub mod objective;
 pub mod pipeline;
+pub mod progress;
 pub mod report;
 pub mod verify;
 
-pub use cache::{BlockCache, DiskCacheConfig, DISK_CACHE_SCHEMA_VERSION};
+pub use cache::{
+    config_fingerprint, request_fingerprint, BlockCache, DiskCacheConfig, DISK_CACHE_SCHEMA_VERSION,
+};
 pub use config::{QuestConfig, SelectionStrategy};
 pub use degrade::{DegradationStats, PipelineError};
 pub use pipeline::{
     CacheStats, Quest, QuestResult, QuestSample, SelectionStats, StageTimings, SynthesizedBlock,
 };
+pub use progress::{CompileEvent, CompileObserver, NoopObserver};
 pub use report::RunReport;

@@ -4,6 +4,7 @@ use crate::cache::{block_key, BlockCache, CachedMenu};
 use crate::config::{QuestConfig, SelectionStrategy};
 use crate::degrade::{DegradationStats, PipelineError};
 use crate::objective::{BlockSimilarity, Objective};
+use crate::progress::{CompileEvent, CompileObserver, NoopObserver};
 use qanneal::minimize_discrete;
 use qcircuit::Circuit;
 use qmath::Matrix;
@@ -259,7 +260,7 @@ impl Quest {
     /// [`PipelineError::StrictDegradation`] when [`QuestConfig::strict`] is
     /// set and any fault fired during the run.
     pub fn try_compile(&self, circuit: &Circuit) -> Result<QuestResult, PipelineError> {
-        self.compile_inner(circuit, None)
+        self.compile_inner(circuit, None, &NoopObserver)
     }
 
     /// Fallible form of [`Quest::compile_with_cache`].
@@ -272,16 +273,39 @@ impl Quest {
         circuit: &Circuit,
         cache: &BlockCache,
     ) -> Result<QuestResult, PipelineError> {
-        self.compile_inner(circuit, Some(cache))
+        self.compile_inner(circuit, Some(cache), &NoopObserver)
+    }
+
+    /// Job-scoped form: like [`Quest::try_compile_with_cache`] (with an
+    /// optional cache), but reporting stage progress to `observer` and
+    /// honouring its cancellation flag between units of work. This is the
+    /// entry point `questd` multiplexes client jobs through.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Quest::try_compile`] returns, plus
+    /// [`PipelineError::Cancelled`] when the observer requested
+    /// cancellation.
+    pub fn try_compile_observed(
+        &self,
+        circuit: &Circuit,
+        cache: Option<&BlockCache>,
+        observer: &dyn CompileObserver,
+    ) -> Result<QuestResult, PipelineError> {
+        self.compile_inner(circuit, cache, observer)
     }
 
     fn compile_inner(
         &self,
         circuit: &Circuit,
         cache: Option<&BlockCache>,
+        observer: &dyn CompileObserver,
     ) -> Result<QuestResult, PipelineError> {
         if circuit.is_empty() {
             return Err(PipelineError::EmptyCircuit);
+        }
+        if observer.cancelled() {
+            return Err(PipelineError::Cancelled);
         }
         let _span = qobs::span!(
             "quest.compile",
@@ -299,14 +323,23 @@ impl Quest {
             scan_partition_with(circuit, self.config.block_size, self.config.max_block_gates)
         };
         timings.partition = t0.elapsed();
+        observer.event(CompileEvent::Partitioned {
+            blocks: parts.len(),
+        });
+        if observer.cancelled() {
+            return Err(PipelineError::Cancelled);
+        }
 
         // Step 2: approximate synthesis per block (Sec. 3.5).
         let t0 = Instant::now();
         let (blocks, parallel_width, synth_degradation) = {
             let _span = qobs::span!("quest.synthesis", blocks = parts.len());
-            self.synthesize_blocks(&parts, cache)
+            self.synthesize_blocks(&parts, cache, observer)
         };
         timings.synthesis = t0.elapsed();
+        if observer.cancelled() {
+            return Err(PipelineError::Cancelled);
+        }
 
         // Step 3: dissimilar selection (Sec. 3.6 / Algorithm 1).
         let t0 = Instant::now();
@@ -316,7 +349,7 @@ impl Quest {
             let _span = qobs::span!("quest.selection", threshold = threshold);
             match self.config.selection {
                 SelectionStrategy::Dissimilar => {
-                    self.select_dissimilar(&blocks, threshold, original_cnots)
+                    self.select_dissimilar(&blocks, threshold, original_cnots, observer)
                 }
                 SelectionStrategy::Random => (
                     self.select_random(&blocks, threshold),
@@ -328,6 +361,12 @@ impl Quest {
             }
         };
         timings.annealing = t0.elapsed();
+        if observer.cancelled() {
+            return Err(PipelineError::Cancelled);
+        }
+        observer.event(CompileEvent::SelectionDone {
+            samples: selected.len(),
+        });
 
         let samples: Vec<QuestSample> = selected
             .into_iter()
@@ -405,6 +444,7 @@ impl Quest {
         &self,
         parts: &PartitionedCircuit,
         cache: Option<&BlockCache>,
+        observer: &dyn CompileObserver,
     ) -> (Vec<SynthesizedBlock>, usize, DegradationStats) {
         let blocks = parts.blocks();
         // One thread budget governs both parallel layers. The block-level
@@ -510,6 +550,10 @@ impl Quest {
                 }
                 None => synthesize_menu(key, block),
             };
+            observer.event(CompileEvent::BlockSynthesized {
+                index,
+                total: blocks.len(),
+            });
             SynthesizedBlock {
                 qubits: block.qubits().to_vec(),
                 original_unitary: block.unitary(),
@@ -541,6 +585,12 @@ impl Quest {
                             // unclaimed block index until the queue drains.
                             let mut done: Vec<(usize, Option<SynthesizedBlock>)> = Vec::new();
                             loop {
+                                // A cancelled job stops claiming new blocks;
+                                // the in-flight ones finish and are thrown
+                                // away by `compile_inner`'s post-stage check.
+                                if observer.cancelled() {
+                                    break;
+                                }
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 let Some(block) = blocks.get(i) else { break };
                                 done.push((i, safe_synth(i, block)));
@@ -566,6 +616,9 @@ impl Quest {
             }
         } else {
             for (i, b) in blocks.iter().enumerate() {
+                if observer.cancelled() {
+                    break;
+                }
                 out[i] = safe_synth(i, b);
             }
         }
@@ -584,10 +637,15 @@ impl Quest {
                     return sb;
                 }
                 let block = &blocks[i];
-                if let Some(sb) = safe_synth(i, block) {
-                    recovered_panics += 1;
-                    qobs::event!("quest.block_panic_recovered", block = i);
-                    return sb;
+                // On a cancelled run the whole result is about to be thrown
+                // away; skip the serial retry and fall straight through to
+                // the cheap exact-only placeholder.
+                if !observer.cancelled() {
+                    if let Some(sb) = safe_synth(i, block) {
+                        recovered_panics += 1;
+                        qobs::event!("quest.block_panic_recovered", block = i);
+                        return sb;
+                    }
                 }
                 qobs::event!("quest.block_degraded_to_exact", block = i);
                 SynthesizedBlock {
@@ -619,12 +677,18 @@ impl Quest {
         blocks: &[SynthesizedBlock],
         threshold: f64,
         original_cnots: usize,
+        observer: &dyn CompileObserver,
     ) -> (Vec<Vec<usize>>, SelectionStats) {
         let similarities: Vec<BlockSimilarity> = blocks.iter().map(BlockSimilarity::new).collect();
         let arity: Vec<usize> = blocks.iter().map(|b| b.approximations.len()).collect();
         let mut selected: Vec<Vec<usize>> = Vec::new();
         let mut stats = SelectionStats::default();
         'rounds: for s in 0..self.config.max_samples {
+            // Cancellation poll between annealing rounds: the partial
+            // selection is discarded by `compile_inner`'s post-stage check.
+            if observer.cancelled() {
+                break;
+            }
             let obj = Objective::new(
                 blocks,
                 &similarities,

@@ -1,0 +1,77 @@
+//! Job-scoped compilation hooks: progress events and cooperative
+//! cancellation.
+//!
+//! A one-shot CLI run only needs the final [`crate::QuestResult`]; a
+//! long-running service (`questd`) needs to *watch* a compilation — stream
+//! stage progress to the submitting client and abandon work whose client has
+//! gone away or whose queue deadline has passed. [`CompileObserver`] is that
+//! seam: the pipeline calls [`CompileObserver::event`] at every stage
+//! boundary and polls [`CompileObserver::cancelled`] between units of work
+//! (stage transitions, individual block syntheses, annealing rounds). A
+//! cancelled compilation stops at the next poll point and returns
+//! [`crate::PipelineError::Cancelled`] — no partial result escapes.
+//!
+//! Observers must be [`Sync`]: block-synthesis events are emitted from the
+//! bounded worker pool's threads, concurrently.
+
+/// A progress notification from one compilation. Events for one run arrive
+/// in pipeline order *except* [`CompileEvent::BlockSynthesized`], which is
+/// emitted from parallel workers and may interleave out of index order
+/// (`index`/`total` let consumers render progress regardless).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompileEvent {
+    /// Partitioning finished; synthesis over `blocks` blocks starts next.
+    Partitioned {
+        /// Number of blocks the circuit was cut into.
+        blocks: usize,
+    },
+    /// One block's approximation menu is ready (synthesized fresh or served
+    /// from the block cache).
+    BlockSynthesized {
+        /// Block index in program order.
+        index: usize,
+        /// Total number of blocks.
+        total: usize,
+    },
+    /// Dissimilar selection finished with `samples` selected circuits; only
+    /// reassembly and bookkeeping remain.
+    SelectionDone {
+        /// Number of full-circuit approximations selected.
+        samples: usize,
+    },
+}
+
+/// Observer of one compilation's lifecycle. All methods have no-op
+/// defaults, so implementors override only what they need.
+pub trait CompileObserver: Sync {
+    /// Called at each stage boundary (and per finished block). Must be
+    /// cheap and must not panic; it runs on pipeline worker threads.
+    fn event(&self, _event: CompileEvent) {}
+
+    /// Polled between units of work. Returning `true` makes the pipeline
+    /// stop at the next poll point with [`crate::PipelineError::Cancelled`].
+    /// Cancellation is cooperative: a block synthesis already in flight runs
+    /// to completion before the flag is honoured.
+    fn cancelled(&self) -> bool {
+        false
+    }
+}
+
+/// The do-nothing observer used by the plain
+/// [`crate::Quest::try_compile`]-family entry points.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl CompileObserver for NoopObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_observer_never_cancels() {
+        let obs = NoopObserver;
+        obs.event(CompileEvent::Partitioned { blocks: 3 });
+        assert!(!obs.cancelled());
+    }
+}

@@ -87,11 +87,20 @@ pub fn render(result: &QuestResult) -> String {
 
 /// Current [`RunReport`] JSON schema version.
 ///
-/// v2 added the disk-tier cache fields (`cache.disk_hits`,
-/// `cache.disk_misses`, `cache.evictions`, `cache.validation_failures`).
-/// v3 added the `degradation` section plus `cache.io_retries` and
-/// `anneal.timeouts`. [`RunReport::from_json`] still accepts v1 and v2
-/// documents, defaulting the missing fields to zero.
+/// This table is the authoritative schema history (DESIGN.md §4d defers to
+/// it). [`RunReport::from_json`] accepts every listed version: fields a
+/// document predates default to zero / empty, so older reports parse
+/// loss-lessly into the current struct.
+///
+/// | Version | Added over the previous version |
+/// |---|---|
+/// | 1 | baseline: `input`, `config`, `parallel_width`, `blocks` (per-block menus, best-within-ε, synthesis evals), `samples` (indices, cnots, Σε bound), `timings`, `cache` {`hits`, `misses`, `hit_rate`}, `anneal` {`runs`, `evals`, `accepted`, `acceptance_rate`, `restarts`}, optional `metrics` snapshot |
+/// | 2 | disk cache tier: `cache.disk_hits`, `cache.disk_misses`, `cache.evictions`, `cache.validation_failures` |
+/// | 3 | graceful degradation: the `degradation` section (`degraded_blocks`, `poisoned_starts`, `recovered_panics`, `cache_retries`, `anneal_timeouts`), `cache.io_retries`, `anneal.timeouts` |
+///
+/// Emitted documents always carry the current version; acceptance of old
+/// versions is pinned by `schema_v2_documents_still_parse` below and the
+/// round-trip tests in `crates/quest/tests/run_report.rs`.
 pub const RUN_REPORT_SCHEMA_VERSION: u64 = 3;
 
 /// Shape of the input circuit.

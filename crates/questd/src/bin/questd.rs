@@ -1,0 +1,75 @@
+//! The standalone daemon binary.
+//!
+//! ```sh
+//! questd [--addr 127.0.0.1:7878] [--workers N] [--queue-capacity N]
+//!        [--cache-dir DIR]
+//! ```
+//!
+//! Binds the address, prints the resolved listen address (useful with port
+//! 0) and serves until killed. Protocol: `docs/questd-protocol.md`.
+
+use std::process::ExitCode;
+
+struct Args {
+    addr: String,
+    config: questd::ServerConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".into(),
+        config: questd::ServerConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue-capacity" => {
+                args.config.queue_capacity = value("--queue-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--queue-capacity: {e}"))?
+            }
+            "--cache-dir" => args.config.cache_dir = Some(value("--cache-dir")?.into()),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!(
+                "usage: questd [--addr HOST:PORT] [--workers N] [--queue-capacity N] \
+                 [--cache-dir DIR]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match questd::Server::bind(&args.addr, args.config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("questd listening on {}", server.local_addr());
+    // Serve until the process is killed: the server's threads do all the
+    // work; parking the main thread keeps the daemon alive.
+    loop {
+        std::thread::park();
+    }
+}

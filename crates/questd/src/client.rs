@@ -1,0 +1,184 @@
+//! A small blocking client for the questd wire protocol.
+//!
+//! Used by the `quest-cli client` subcommand, the integration tests, and
+//! the `service_throughput` bench scenario. One [`Client`] owns one
+//! connection; requests are written as single JSON lines and events are
+//! read back with [`Client::recv`]. Submissions from one connection are
+//! serviced concurrently by the daemon, so interleaved events for several
+//! in-flight jobs may arrive — [`Client::wait_for`] filters by job id.
+
+use crate::protocol::{ErrorCode, Event, Request, SubmitRequest};
+use qobs::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// The terminal outcome of one submitted job.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// The job produced a RunReport (embedded JSON, schema v3).
+    Report(Json),
+    /// The job failed with a documented error code.
+    Failed {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// One blocking protocol connection.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Sends one request as one JSON line.
+    pub fn send(&mut self, request: &Request) -> std::io::Result<()> {
+        let mut line = request.to_json().compact();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())
+    }
+
+    /// Blocks for the next event. An EOF (server went away) surfaces as
+    /// `UnexpectedEof`; an unparsable line as `InvalidData`.
+    pub fn recv(&mut self) -> std::io::Result<Event> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let json = Json::parse(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad event JSON: {e}"),
+            )
+        })?;
+        Event::from_json(&json).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad event ({}): {}", e.code, e.message),
+            )
+        })
+    }
+
+    /// Sends a `ping` and waits for the `pong`.
+    pub fn ping(&mut self) -> std::io::Result<()> {
+        self.send(&Request::Ping)?;
+        loop {
+            if matches!(self.recv()?, Event::Pong) {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Sends a `stats` request and waits for the snapshot.
+    pub fn stats(&mut self) -> std::io::Result<crate::protocol::StatsSnapshot> {
+        self.send(&Request::Stats)?;
+        loop {
+            if let Event::Stats(s) = self.recv()? {
+                return Ok(s);
+            }
+        }
+    }
+
+    /// Submits a job (fire-and-forget; pair with [`Client::wait_for`]).
+    pub fn submit(&mut self, submit: SubmitRequest) -> std::io::Result<()> {
+        self.send(&Request::Submit(submit))
+    }
+
+    /// Reads events until job `id` reaches a terminal state, forwarding
+    /// every observed event to `on_event` (progress displays, tests).
+    /// Events for other in-flight jobs on this connection pass through
+    /// `on_event` too — *including their terminal events*, which are then
+    /// gone from the stream. With several jobs in flight on one
+    /// connection, use [`Client::wait_for_all`] instead of repeated
+    /// `wait_for` calls, or the second wait can block forever on a report
+    /// the first wait already consumed.
+    pub fn wait_for(
+        &mut self,
+        id: &str,
+        mut on_event: impl FnMut(&Event),
+    ) -> std::io::Result<JobOutcome> {
+        loop {
+            let event = self.recv()?;
+            on_event(&event);
+            match &event {
+                Event::Report {
+                    id: got, report, ..
+                } if got == id => {
+                    return Ok(JobOutcome::Report(report.clone()));
+                }
+                Event::Error {
+                    id: Some(got),
+                    code,
+                    message,
+                } if got == id => {
+                    return Ok(JobOutcome::Failed {
+                        code: *code,
+                        message: message.clone(),
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Convenience: submit one job and block until its terminal event.
+    pub fn submit_and_wait(&mut self, submit: SubmitRequest) -> std::io::Result<JobOutcome> {
+        let id = submit.id.clone();
+        self.submit(submit)?;
+        self.wait_for(&id, |_| {})
+    }
+
+    /// Waits until *every* listed job reaches a terminal state, in
+    /// whatever order the daemon completes them, returning the outcomes
+    /// keyed by job id. This is the multi-job counterpart of
+    /// [`Client::wait_for`]: terminal events are matched against the whole
+    /// pending set, so none can be consumed and lost. Non-terminal events
+    /// (and events for jobs outside `ids`) pass through `on_event`.
+    pub fn wait_for_all(
+        &mut self,
+        ids: &[&str],
+        mut on_event: impl FnMut(&Event),
+    ) -> std::io::Result<std::collections::BTreeMap<String, JobOutcome>> {
+        let mut pending: std::collections::BTreeSet<&str> = ids.iter().copied().collect();
+        let mut outcomes = std::collections::BTreeMap::new();
+        while !pending.is_empty() {
+            let event = self.recv()?;
+            on_event(&event);
+            let (id, outcome) = match &event {
+                Event::Report { id, report, .. } => (id, JobOutcome::Report(report.clone())),
+                Event::Error {
+                    id: Some(id),
+                    code,
+                    message,
+                } => (
+                    id,
+                    JobOutcome::Failed {
+                        code: *code,
+                        message: message.clone(),
+                    },
+                ),
+                _ => continue,
+            };
+            if pending.remove(id.as_str()) {
+                outcomes.insert(id.clone(), outcome);
+            }
+        }
+        Ok(outcomes)
+    }
+}

@@ -1,0 +1,133 @@
+//! Single-flight admission: identical in-flight submissions coalesce onto
+//! one job.
+//!
+//! The table maps a request fingerprint ([`quest::request_fingerprint`]) to
+//! its in-flight [`Job`]. "In flight" means queued or running: the worker
+//! removes the entry (under the table lock) *before* broadcasting the
+//! report, so a submission arriving after removal starts a fresh job and
+//! recomputes — which, by the determinism contract, reproduces the same
+//! artifacts. The interesting window is the concurrent one: while a
+//! fingerprint is in the table, [`SingleFlight::admit`] attaches the new
+//! submission as a follower instead of enqueuing anything, so N identical
+//! concurrent submissions cost exactly one synthesis pass and every client
+//! receives a byte-identical report payload (the worker serializes the
+//! report once and broadcasts clones of the same JSON tree).
+
+use crate::job::{Job, Subscriber};
+use crate::queue::{PushError, Queue};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// The fingerprint → in-flight job table.
+#[derive(Default)]
+pub struct SingleFlight {
+    inner: Mutex<BTreeMap<u64, Arc<Job>>>,
+}
+
+/// The outcome of one admission attempt.
+pub enum Admission {
+    /// The submission attached to an already-in-flight identical job; no
+    /// new work was enqueued.
+    Deduplicated(Arc<Job>),
+    /// A new job was enqueued. `evicted` lists expired-deadline jobs the
+    /// queue pushed out to make room — the caller must notify their
+    /// subscribers and drop them from this table.
+    Enqueued {
+        /// The new job (already subscribed and accepted).
+        job: Arc<Job>,
+        /// Jobs evicted past their queue deadline to make room.
+        evicted: Vec<Arc<Job>>,
+    },
+    /// The queue is at capacity: explicit backpressure (`queue_full`).
+    QueueFull,
+    /// The server is shutting down and accepts no new work.
+    Closed,
+}
+
+impl SingleFlight {
+    /// Creates an empty table.
+    pub fn new() -> SingleFlight {
+        SingleFlight::default()
+    }
+
+    /// Admits one submission: joins the in-flight job for `fingerprint`
+    /// (the subscriber is then marked `deduplicated`), or creates one via
+    /// `make_job` and enqueues it. Pass `subscriber` with `deduplicated:
+    /// false`; this method flips the flag if the submission coalesces. The
+    /// subscriber's `accepted` event is sent inside the appropriate
+    /// critical section, so by the time this returns the client's event
+    /// order is already fixed.
+    ///
+    /// Holds the table lock across publication *and* the queue push: a
+    /// worker that instantly pops the new job cannot complete (completion
+    /// needs this lock) before the entry and first subscriber are in place,
+    /// and followers cannot attach to a job whose enqueue later failed.
+    pub fn admit(
+        &self,
+        queue: &Queue<Arc<Job>>,
+        fingerprint: u64,
+        make_job: impl FnOnce() -> Arc<Job>,
+        mut subscriber: Subscriber,
+        priority: u8,
+        queue_deadline: Option<Duration>,
+    ) -> Admission {
+        let mut table = self.lock();
+        if let Some(job) = table.get(&fingerprint) {
+            subscriber.deduplicated = true;
+            job.attach_follower(subscriber);
+            return Admission::Deduplicated(Arc::clone(job));
+        }
+        let job = make_job();
+        table.insert(fingerprint, Arc::clone(&job));
+        // Hold the subscriber lock across the push: a worker that pops the
+        // job immediately serializes its `started` broadcast on this lock,
+        // so the subscriber's `accepted` (sent below, only once admission
+        // is certain) always lands first — and a refused push leaves the
+        // client with a clean `queue_full` rejection, never an `accepted`
+        // followed by an error.
+        let mut subs = job.subs();
+        match queue.push(Arc::clone(&job), priority, queue_deadline) {
+            Ok(evicted) => {
+                let accepted = crate::protocol::Event::Accepted {
+                    id: subscriber.id.clone(),
+                    fingerprint: crate::protocol::fingerprint_hex(fingerprint),
+                    deduplicated: false,
+                };
+                let _ = subscriber.writer.send(&accepted);
+                subs.list.push(subscriber);
+                drop(subs);
+                // Un-publish evicted jobs while still holding the table
+                // lock, so no follower can attach to a job that is about to
+                // receive its terminal `deadline_expired` broadcast.
+                for gone in &evicted {
+                    table.remove(&gone.fingerprint);
+                }
+                Admission::Enqueued { job, evicted }
+            }
+            Err(refused) => {
+                drop(subs);
+                table.remove(&fingerprint);
+                match refused {
+                    PushError::Full(_) => Admission::QueueFull,
+                    PushError::Closed(_) => Admission::Closed,
+                }
+            }
+        }
+    }
+
+    /// Removes a finished (or evicted) job from the table. Call *before*
+    /// broadcasting its outcome; see the module docs for why.
+    pub fn complete(&self, fingerprint: u64) {
+        self.lock().remove(&fingerprint);
+    }
+
+    /// Number of in-flight fingerprints (tests and stats).
+    pub fn in_flight(&self) -> usize {
+        self.lock().len()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<u64, Arc<Job>>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}

@@ -1,0 +1,244 @@
+//! In-flight job state: subscribers, broadcast, and server counters.
+//!
+//! A [`Job`] is one *deduplicated* unit of compilation work: the first
+//! submission of a fingerprint creates it, identical concurrent submissions
+//! attach to it as additional [`Subscriber`]s, and every subscriber
+//! observes the single run's events and its one report. Lock ordering
+//! across the crate is `dedup map → job subscribers → queue`; no path
+//! acquires them in any other order.
+
+use crate::protocol::{ErrorCode, Event, Progress};
+use qobs::json::Json;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Serialized writer for one client connection. Events from the reader
+/// thread and from compile workers interleave on the same socket, so every
+/// write goes through this mutex and sends exactly one line.
+pub struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    /// Wraps a connection's write half.
+    pub fn new(stream: TcpStream) -> ConnWriter {
+        ConnWriter {
+            stream: Mutex::new(stream),
+        }
+    }
+
+    /// Sends one event as one newline-terminated JSON line.
+    pub fn send(&self, event: &Event) -> std::io::Result<()> {
+        if let Some(e) = qfault::inject!("questd.socket.write", io) {
+            return Err(e);
+        }
+        let mut line = event.to_json().compact();
+        line.push('\n');
+        let mut stream = self.stream.lock().unwrap_or_else(PoisonError::into_inner);
+        stream.write_all(line.as_bytes())
+    }
+}
+
+/// One client waiting on a job's outcome.
+pub struct Subscriber {
+    /// The client-chosen job id, echoed on every event for this client.
+    pub id: String,
+    /// Whether this subscription joined an already-in-flight job.
+    pub deduplicated: bool,
+    /// The subscriber's connection.
+    pub writer: std::sync::Arc<ConnWriter>,
+}
+
+/// Subscriber list plus the started flag, guarded by one mutex so the
+/// `started` broadcast and late attachments serialize (each subscriber sees
+/// `accepted` → `started` exactly once, in that order).
+pub struct SubState {
+    /// Current subscribers. Drained exactly once at completion.
+    pub list: Vec<Subscriber>,
+    /// True once a worker began compiling (late joiners get a synthetic
+    /// `started` event at attach time).
+    pub started: bool,
+}
+
+/// One deduplicated compilation job.
+pub struct Job {
+    /// Content-addressed request fingerprint (`quest::request_fingerprint`).
+    pub fingerprint: u64,
+    /// The parsed circuit to compile.
+    pub circuit: qcircuit::Circuit,
+    /// The fully-materialized pipeline configuration.
+    pub config: quest::QuestConfig,
+    /// Cooperative cancellation flag, polled by the pipeline observer. Set
+    /// when the last subscriber detaches.
+    pub cancelled: AtomicBool,
+    subs: Mutex<SubState>,
+}
+
+impl Job {
+    /// Creates a job with no subscribers yet.
+    pub fn new(fingerprint: u64, circuit: qcircuit::Circuit, config: quest::QuestConfig) -> Job {
+        Job {
+            fingerprint,
+            circuit,
+            config,
+            cancelled: AtomicBool::new(false),
+            subs: Mutex::new(SubState {
+                list: Vec::new(),
+                started: false,
+            }),
+        }
+    }
+
+    /// Locks the subscriber state (poison-tolerant: a panicking broadcast
+    /// must not wedge every later subscriber).
+    pub fn subs(&self) -> MutexGuard<'_, SubState> {
+        self.subs.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Attaches a follower to an in-flight job and sends its `accepted`
+    /// (and, when the job already started, `started`) events under the
+    /// subscriber lock so no broadcast can interleave.
+    pub fn attach_follower(&self, sub: Subscriber) {
+        let mut state = self.subs();
+        let accepted = Event::Accepted {
+            id: sub.id.clone(),
+            fingerprint: crate::protocol::fingerprint_hex(self.fingerprint),
+            deduplicated: sub.deduplicated,
+        };
+        let _ = sub.writer.send(&accepted);
+        if state.started {
+            let _ = sub.writer.send(&Event::Started { id: sub.id.clone() });
+        }
+        state.list.push(sub);
+    }
+
+    /// Detaches the subscriber with the given id on the given connection.
+    /// Returns false when no such subscription exists (already finished or
+    /// never submitted here). When the last subscriber leaves, the job is
+    /// cancelled — nobody is listening.
+    pub fn detach(&self, id: &str, writer: &std::sync::Arc<ConnWriter>) -> bool {
+        let mut state = self.subs();
+        let before = state.list.len();
+        state
+            .list
+            .retain(|s| !(s.id == id && std::sync::Arc::ptr_eq(&s.writer, writer)));
+        let found = state.list.len() < before;
+        if found && state.list.is_empty() {
+            self.cancelled.store(true, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Marks the job started and broadcasts `started` to every current
+    /// subscriber.
+    pub fn broadcast_started(&self) {
+        let mut state = self.subs();
+        state.started = true;
+        for sub in &state.list {
+            let _ = sub.writer.send(&Event::Started { id: sub.id.clone() });
+        }
+    }
+
+    /// Broadcasts one progress notification to every current subscriber.
+    pub fn broadcast_progress(&self, progress: Progress) {
+        let state = self.subs();
+        for sub in &state.list {
+            let _ = sub.writer.send(&Event::Progress {
+                id: sub.id.clone(),
+                progress,
+            });
+        }
+    }
+
+    /// Drains the subscriber list — completion is about to broadcast.
+    /// Taking the list first lets the caller update counters *before* any
+    /// client can observe its terminal event (so a client that sees its
+    /// report and immediately asks for `stats` reads consistent numbers).
+    pub fn drain_subscribers(&self) -> Vec<Subscriber> {
+        std::mem::take(&mut self.subs().list)
+    }
+
+    /// Sends each drained subscriber its `report` event with the shared
+    /// (byte-identical) report payload.
+    pub fn send_report(&self, subs: &[Subscriber], report: &Json) {
+        let fingerprint = crate::protocol::fingerprint_hex(self.fingerprint);
+        for sub in subs {
+            let _ = sub.writer.send(&Event::Report {
+                id: sub.id.clone(),
+                fingerprint: fingerprint.clone(),
+                deduplicated: sub.deduplicated,
+                report: report.clone(),
+            });
+        }
+    }
+
+    /// Sends each drained subscriber a terminal `error` event.
+    pub fn send_error(subs: &[Subscriber], code: ErrorCode, message: &str) {
+        for sub in subs {
+            let _ = sub.writer.send(&Event::Error {
+                id: Some(sub.id.clone()),
+                code,
+                message: message.to_string(),
+            });
+        }
+    }
+}
+
+/// Bridges the pipeline's [`quest::CompileObserver`] hooks onto a job's
+/// subscriber broadcast and cancellation flag.
+pub struct JobObserver<'a> {
+    job: &'a Job,
+}
+
+impl<'a> JobObserver<'a> {
+    /// Observes `job`.
+    pub fn new(job: &'a Job) -> JobObserver<'a> {
+        JobObserver { job }
+    }
+}
+
+impl quest::CompileObserver for JobObserver<'_> {
+    fn event(&self, event: quest::CompileEvent) {
+        self.job.broadcast_progress(Progress::from(event));
+    }
+
+    fn cancelled(&self) -> bool {
+        self.job.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+/// Monotonic server-wide counters, exported as the `questd.*` namespace in
+/// `stats` events (queue depth/capacity are read live from the queue).
+#[derive(Default)]
+pub struct Counters {
+    /// `questd.jobs.submitted`.
+    pub jobs_submitted: AtomicU64,
+    /// `questd.jobs.executed`.
+    pub jobs_executed: AtomicU64,
+    /// `questd.jobs.completed`.
+    pub jobs_completed: AtomicU64,
+    /// `questd.jobs.failed`.
+    pub jobs_failed: AtomicU64,
+    /// `questd.queue.rejected_full`.
+    pub queue_rejected_full: AtomicU64,
+    /// `questd.queue.evicted_deadline`.
+    pub queue_evicted_deadline: AtomicU64,
+    /// `questd.dedup.hits`.
+    pub dedup_hits: AtomicU64,
+    /// `questd.dedup.misses`.
+    pub dedup_misses: AtomicU64,
+}
+
+impl Counters {
+    /// Adds `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads a counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,43 @@
+//! `questd` — the long-running QUEST compilation daemon.
+//!
+//! Wraps the one-shot pipeline (`quest`) in a TCP service speaking
+//! newline-delimited JSON: clients submit OpenQASM circuits as jobs, watch
+//! stage-by-stage progress events stream back, and receive the final
+//! schema-v3 `RunReport`. The wire protocol is specified — normatively —
+//! in `docs/questd-protocol.md`; the [`protocol`] module mirrors it type
+//! for type, and the `protocol_doc` integration test parses every JSON
+//! example in the document through these types.
+//!
+//! Three mechanics distinguish the daemon from "CLI in a loop":
+//!
+//! - **Single-flight dedup** ([`dedup`]): submissions are content-addressed
+//!   by [`quest::request_fingerprint`]; N identical in-flight submissions
+//!   trigger exactly one synthesis pass, and every subscriber receives a
+//!   byte-identical report.
+//! - **Bounded, deadline-aware queue** ([`queue`]): explicit backpressure
+//!   (`queue_full`) instead of unbounded latency, priority scheduling, and
+//!   eviction of jobs whose queue deadline passed before a worker was free.
+//! - **Per-request degradation budgets** ([`protocol::JobConfig`]): each
+//!   job maps its own `block_deadline_ms` / `max_gradient_evals` /
+//!   `anneal_deadline_ms` / `strict` knobs onto the pipeline's graceful-
+//!   degradation machinery, and each report carries its own degradation
+//!   tally.
+//!
+//! Start a daemon in-process with [`Server::bind`] (the `questd` binary and
+//! `quest-cli serve` are thin wrappers), talk to it with [`Client`].
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod dedup;
+pub mod job;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::{Client, JobOutcome};
+pub use protocol::{
+    ErrorCode, Event, JobConfig, Progress, ProtocolError, Request, StatsSnapshot, SubmitRequest,
+    PROTOCOL_VERSION,
+};
+pub use server::{Server, ServerConfig};

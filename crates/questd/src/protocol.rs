@@ -1,0 +1,936 @@
+//! Wire-protocol types: requests, events, error codes, and their JSON forms.
+//!
+//! The normative specification is `docs/questd-protocol.md` — every type
+//! here mirrors a section of that document, and the `protocol_doc`
+//! integration test parses each JSON example in the document through
+//! [`Request::from_json`] / [`Event::from_json`] to keep the two in sync.
+//! The framing is newline-delimited JSON: one request or event object per
+//! line, no length prefixes, no binary.
+//!
+//! Compatibility policy (also stated in the document): every object carries
+//! a `"v"` field holding [`PROTOCOL_VERSION`]. A server rejects requests
+//! whose major version it does not speak with
+//! [`ErrorCode::UnsupportedProtocol`]; unknown *fields* are ignored by both
+//! sides so additive changes do not bump the version.
+
+use qobs::json::Json;
+
+/// The protocol version this build speaks. Carried as `"v"` on every
+/// request and event; see the module docs for the compatibility policy.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Machine-readable failure categories, sent in `error` events as the
+/// `code` field. The table in `docs/questd-protocol.md` §6 lists the same
+/// codes; CI greps that the two stay identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line was not valid JSON.
+    ParseError,
+    /// The request was valid JSON but structurally invalid (unknown `op`,
+    /// missing field, bad field type, unparsable QASM, out-of-range knob).
+    InvalidRequest,
+    /// The request's `"v"` field names a protocol version this server does
+    /// not speak.
+    UnsupportedProtocol,
+    /// The job queue is at capacity and no expired entry could be evicted
+    /// to make room; resubmit later (backpressure).
+    QueueFull,
+    /// The job's `queue_deadline_ms` elapsed before a worker could start
+    /// it; the job was evicted without compiling.
+    DeadlineExpired,
+    /// The job was cancelled (by request, or because every subscriber
+    /// detached) before producing a report.
+    Cancelled,
+    /// The pipeline itself failed — e.g. the submitted circuit has no gates
+    /// to approximate.
+    CompileFailed,
+    /// The job ran with `strict: true` and at least one degradation event
+    /// fired, so per contract no result is returned.
+    StrictDegradation,
+    /// A `cancel` request named a job id this connection never submitted
+    /// (or that already finished).
+    UnknownJob,
+    /// The server is draining for shutdown and accepts no new jobs.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// Every code, in the order documented in `docs/questd-protocol.md` §6.
+    pub const ALL: [ErrorCode; 10] = [
+        ErrorCode::ParseError,
+        ErrorCode::InvalidRequest,
+        ErrorCode::UnsupportedProtocol,
+        ErrorCode::QueueFull,
+        ErrorCode::DeadlineExpired,
+        ErrorCode::Cancelled,
+        ErrorCode::CompileFailed,
+        ErrorCode::StrictDegradation,
+        ErrorCode::UnknownJob,
+        ErrorCode::ShuttingDown,
+    ];
+
+    /// The wire form of the code (snake_case, stable).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::ParseError => "parse_error",
+            ErrorCode::InvalidRequest => "invalid_request",
+            ErrorCode::UnsupportedProtocol => "unsupported_protocol",
+            ErrorCode::QueueFull => "queue_full",
+            ErrorCode::DeadlineExpired => "deadline_expired",
+            ErrorCode::Cancelled => "cancelled",
+            ErrorCode::CompileFailed => "compile_failed",
+            ErrorCode::StrictDegradation => "strict_degradation",
+            ErrorCode::UnknownJob => "unknown_job",
+            ErrorCode::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Parses a wire-form code.
+    pub fn parse(text: &str) -> Option<ErrorCode> {
+        ErrorCode::ALL.iter().copied().find(|c| c.as_str() == text)
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A structured protocol failure: the error code plus a human-readable
+/// message. Converted into an `error` [`Event`] before hitting the wire.
+#[derive(Clone, Debug)]
+pub struct ProtocolError {
+    /// Machine-readable category.
+    pub code: ErrorCode,
+    /// Human-readable detail (never parsed by clients).
+    pub message: String,
+}
+
+impl ProtocolError {
+    /// Builds an error with the given code and message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> ProtocolError {
+        ProtocolError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// Per-job compilation knobs, mapped onto [`quest::QuestConfig`]. Every
+/// field is optional on the wire; absent fields take the pipeline defaults
+/// (the `fast: true` preset swaps the base from `QuestConfig::default()` to
+/// `QuestConfig::fast()` before the overrides apply).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JobConfig {
+    /// Start from the lighter `QuestConfig::fast()` preset.
+    pub fast: bool,
+    /// Per-block process-distance threshold ε.
+    pub epsilon: Option<f64>,
+    /// Partition block size in qubits.
+    pub block_size: Option<usize>,
+    /// Maximum number of dissimilar approximations to select.
+    pub max_samples: Option<usize>,
+    /// Master seed for the run's deterministic randomness.
+    pub seed: Option<u64>,
+    /// Per-block synthesis wall-clock budget in milliseconds; a block that
+    /// exceeds it degrades to its exact menu entry.
+    pub block_deadline_ms: Option<u64>,
+    /// Per-block gradient-evaluation budget (deterministic counterpart of
+    /// `block_deadline_ms`).
+    pub max_gradient_evals: Option<usize>,
+    /// Selection-annealing watchdog in milliseconds; a timed-out run
+    /// contributes its best-so-far point.
+    pub anneal_deadline_ms: Option<u64>,
+    /// Fail the job (code `strict_degradation`) if any degradation event
+    /// fired instead of absorbing it.
+    pub strict: bool,
+}
+
+impl JobConfig {
+    /// Materializes the full pipeline configuration this job runs with.
+    pub fn to_quest_config(&self) -> quest::QuestConfig {
+        let mut cfg = if self.fast {
+            quest::QuestConfig::fast()
+        } else {
+            quest::QuestConfig::default()
+        };
+        if let Some(e) = self.epsilon {
+            cfg = cfg.with_epsilon(e);
+        }
+        if let Some(k) = self.block_size {
+            cfg.block_size = k;
+        }
+        if let Some(m) = self.max_samples {
+            cfg.max_samples = m;
+        }
+        if let Some(s) = self.seed {
+            cfg = cfg.with_seed(s);
+        }
+        if let Some(ms) = self.block_deadline_ms {
+            cfg.block_deadline = Some(std::time::Duration::from_millis(ms));
+        }
+        cfg.max_gradient_evals = self.max_gradient_evals;
+        if let Some(ms) = self.anneal_deadline_ms {
+            cfg.anneal.deadline = Some(std::time::Duration::from_millis(ms));
+        }
+        cfg.strict = self.strict;
+        cfg
+    }
+
+    /// Serializes only the explicitly-set knobs (wire form).
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        if self.fast {
+            fields.push(("fast".into(), Json::Bool(true)));
+        }
+        if let Some(e) = self.epsilon {
+            fields.push(("epsilon".into(), Json::Number(e)));
+        }
+        if let Some(k) = self.block_size {
+            fields.push(("block_size".into(), Json::Number(k as f64)));
+        }
+        if let Some(m) = self.max_samples {
+            fields.push(("max_samples".into(), Json::Number(m as f64)));
+        }
+        if let Some(s) = self.seed {
+            fields.push(("seed".into(), Json::Number(s as f64)));
+        }
+        if let Some(ms) = self.block_deadline_ms {
+            fields.push(("block_deadline_ms".into(), Json::Number(ms as f64)));
+        }
+        if let Some(n) = self.max_gradient_evals {
+            fields.push(("max_gradient_evals".into(), Json::Number(n as f64)));
+        }
+        if let Some(ms) = self.anneal_deadline_ms {
+            fields.push(("anneal_deadline_ms".into(), Json::Number(ms as f64)));
+        }
+        if self.strict {
+            fields.push(("strict".into(), Json::Bool(true)));
+        }
+        Json::Object(fields)
+    }
+
+    /// Parses the wire form; unknown fields are ignored per the
+    /// compatibility policy.
+    pub fn from_json(json: &Json) -> Result<JobConfig, ProtocolError> {
+        let bad = |field: &str| {
+            ProtocolError::new(
+                ErrorCode::InvalidRequest,
+                format!("config field `{field}` has the wrong type"),
+            )
+        };
+        let mut cfg = JobConfig::default();
+        if let Some(v) = json.get("fast") {
+            cfg.fast = v.as_bool().ok_or_else(|| bad("fast"))?;
+        }
+        if let Some(v) = json.get("epsilon") {
+            cfg.epsilon = Some(v.as_f64().ok_or_else(|| bad("epsilon"))?);
+        }
+        if let Some(v) = json.get("block_size") {
+            let n = v.as_u64().ok_or_else(|| bad("block_size"))?;
+            cfg.block_size = Some(usize::try_from(n).map_err(|_| bad("block_size"))?);
+        }
+        if let Some(v) = json.get("max_samples") {
+            let n = v.as_u64().ok_or_else(|| bad("max_samples"))?;
+            cfg.max_samples = Some(usize::try_from(n).map_err(|_| bad("max_samples"))?);
+        }
+        if let Some(v) = json.get("seed") {
+            cfg.seed = Some(v.as_u64().ok_or_else(|| bad("seed"))?);
+        }
+        if let Some(v) = json.get("block_deadline_ms") {
+            cfg.block_deadline_ms = Some(v.as_u64().ok_or_else(|| bad("block_deadline_ms"))?);
+        }
+        if let Some(v) = json.get("max_gradient_evals") {
+            let n = v.as_u64().ok_or_else(|| bad("max_gradient_evals"))?;
+            cfg.max_gradient_evals =
+                Some(usize::try_from(n).map_err(|_| bad("max_gradient_evals"))?);
+        }
+        if let Some(v) = json.get("anneal_deadline_ms") {
+            cfg.anneal_deadline_ms = Some(v.as_u64().ok_or_else(|| bad("anneal_deadline_ms"))?);
+        }
+        if let Some(v) = json.get("strict") {
+            cfg.strict = v.as_bool().ok_or_else(|| bad("strict"))?;
+        }
+        Ok(cfg)
+    }
+}
+
+/// A `submit` request: compile one OpenQASM circuit as a queued job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubmitRequest {
+    /// Client-chosen job id, echoed on every event for this job. Must be
+    /// non-empty and unique among this connection's in-flight jobs.
+    pub id: String,
+    /// The circuit, as OpenQASM 2.0 source.
+    pub qasm: String,
+    /// Per-job pipeline knobs (all optional).
+    pub config: JobConfig,
+    /// Scheduling priority 0–9 (9 most urgent; default 5). Higher-priority
+    /// jobs start first; ties run in submission order.
+    pub priority: u8,
+    /// Queue-residency budget: if no worker has *started* the job after
+    /// this many milliseconds it is evicted with `deadline_expired`.
+    /// Absent = wait indefinitely.
+    pub queue_deadline_ms: Option<u64>,
+}
+
+/// The default priority for submissions that do not set one.
+pub const DEFAULT_PRIORITY: u8 = 5;
+
+/// The highest accepted priority.
+pub const MAX_PRIORITY: u8 = 9;
+
+/// One client→server message. Wire form: a JSON object with a `"v"`
+/// version field and an `"op"` discriminator, one per line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Submit a compile job.
+    Submit(SubmitRequest),
+    /// Cancel this connection's job with the given id.
+    Cancel {
+        /// The client-chosen id from the original `submit`.
+        id: String,
+    },
+    /// Ask for the server-wide counter snapshot (a `stats` event).
+    Stats,
+    /// Liveness probe; answered with a `pong` event.
+    Ping,
+}
+
+impl Request {
+    /// Serializes to the wire object (without the trailing newline).
+    pub fn to_json(&self) -> Json {
+        let v = ("v".to_string(), Json::Number(PROTOCOL_VERSION as f64));
+        match self {
+            Request::Submit(s) => {
+                let mut fields = vec![
+                    v,
+                    ("op".into(), Json::String("submit".into())),
+                    ("id".into(), Json::String(s.id.clone())),
+                    ("qasm".into(), Json::String(s.qasm.clone())),
+                    ("config".into(), s.config.to_json()),
+                    ("priority".into(), Json::Number(f64::from(s.priority))),
+                ];
+                if let Some(ms) = s.queue_deadline_ms {
+                    fields.push(("queue_deadline_ms".into(), Json::Number(ms as f64)));
+                }
+                Json::Object(fields)
+            }
+            Request::Cancel { id } => Json::Object(vec![
+                v,
+                ("op".into(), Json::String("cancel".into())),
+                ("id".into(), Json::String(id.clone())),
+            ]),
+            Request::Stats => Json::Object(vec![v, ("op".into(), Json::String("stats".into()))]),
+            Request::Ping => Json::Object(vec![v, ("op".into(), Json::String("ping".into()))]),
+        }
+    }
+
+    /// Parses a wire object. Checks the protocol version first, then the
+    /// `op` discriminator, then per-op fields.
+    pub fn from_json(json: &Json) -> Result<Request, ProtocolError> {
+        check_version(json)?;
+        let op = json
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ProtocolError::new(ErrorCode::InvalidRequest, "missing `op` field"))?;
+        match op {
+            "submit" => {
+                let id = require_id(json)?;
+                let qasm = json
+                    .get("qasm")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| {
+                        ProtocolError::new(
+                            ErrorCode::InvalidRequest,
+                            "submit needs a `qasm` string",
+                        )
+                    })?
+                    .to_string();
+                let config = match json.get("config") {
+                    Some(c) => JobConfig::from_json(c)?,
+                    None => JobConfig::default(),
+                };
+                let priority = match json.get("priority") {
+                    Some(p) => {
+                        let p = p.as_u64().ok_or_else(|| {
+                            ProtocolError::new(
+                                ErrorCode::InvalidRequest,
+                                "`priority` must be an integer",
+                            )
+                        })?;
+                        u8::try_from(p)
+                            .ok()
+                            .filter(|p| *p <= MAX_PRIORITY)
+                            .ok_or_else(|| {
+                                ProtocolError::new(
+                                    ErrorCode::InvalidRequest,
+                                    format!("`priority` must be 0..={MAX_PRIORITY}, got {p}"),
+                                )
+                            })?
+                    }
+                    None => DEFAULT_PRIORITY,
+                };
+                let queue_deadline_ms = match json.get("queue_deadline_ms") {
+                    Some(ms) => Some(ms.as_u64().ok_or_else(|| {
+                        ProtocolError::new(
+                            ErrorCode::InvalidRequest,
+                            "`queue_deadline_ms` must be an integer",
+                        )
+                    })?),
+                    None => None,
+                };
+                Ok(Request::Submit(SubmitRequest {
+                    id,
+                    qasm,
+                    config,
+                    priority,
+                    queue_deadline_ms,
+                }))
+            }
+            "cancel" => Ok(Request::Cancel {
+                id: require_id(json)?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            other => Err(ProtocolError::new(
+                ErrorCode::InvalidRequest,
+                format!("unknown op `{other}`"),
+            )),
+        }
+    }
+}
+
+/// Per-job progress notifications, streamed between `started` and the
+/// terminal `report`/`error` event. Mirrors [`quest::CompileEvent`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Progress {
+    /// Partitioning finished; the circuit was cut into `blocks` blocks.
+    Partitioned {
+        /// Number of blocks.
+        blocks: usize,
+    },
+    /// One block's approximation menu is ready. Emitted from parallel
+    /// workers, so `index` values may arrive out of order.
+    BlockSynthesized {
+        /// Block index in program order.
+        index: usize,
+        /// Total number of blocks.
+        total: usize,
+    },
+    /// Dissimilar selection picked `samples` full-circuit approximations.
+    SelectionDone {
+        /// Number of selected approximations.
+        samples: usize,
+    },
+}
+
+impl From<quest::CompileEvent> for Progress {
+    fn from(event: quest::CompileEvent) -> Progress {
+        match event {
+            quest::CompileEvent::Partitioned { blocks } => Progress::Partitioned { blocks },
+            quest::CompileEvent::BlockSynthesized { index, total } => {
+                Progress::BlockSynthesized { index, total }
+            }
+            quest::CompileEvent::SelectionDone { samples } => Progress::SelectionDone { samples },
+        }
+    }
+}
+
+/// Server-wide counter snapshot returned by the `stats` op. Counter names
+/// use the `questd.*` metric namespace documented in
+/// `docs/questd-protocol.md` §5.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Size of the compile worker pool.
+    pub workers: u64,
+    /// `questd.queue.capacity`: bounded queue depth limit.
+    pub queue_capacity: u64,
+    /// `questd.queue.depth`: jobs currently queued (not yet started).
+    pub queue_depth: u64,
+    /// `questd.queue.rejected_full`: submissions bounced with `queue_full`.
+    pub queue_rejected_full: u64,
+    /// `questd.queue.evicted_deadline`: jobs evicted past their queue
+    /// deadline.
+    pub queue_evicted_deadline: u64,
+    /// `questd.dedup.hits`: submissions coalesced onto an in-flight
+    /// identical job.
+    pub dedup_hits: u64,
+    /// `questd.dedup.misses`: submissions that started a fresh job.
+    pub dedup_misses: u64,
+    /// `questd.jobs.submitted`: structurally valid submissions.
+    pub jobs_submitted: u64,
+    /// `questd.jobs.executed`: pipeline runs actually performed (dedup
+    /// makes this ≤ `jobs_completed`).
+    pub jobs_executed: u64,
+    /// `questd.jobs.completed`: report events delivered.
+    pub jobs_completed: u64,
+    /// `questd.jobs.failed`: jobs that ended in an `error` event (any
+    /// code).
+    pub jobs_failed: u64,
+}
+
+/// The dotted counter names inside a `stats` event, in emission order.
+const STAT_KEYS: [&str; 10] = [
+    "questd.queue.capacity",
+    "questd.queue.depth",
+    "questd.queue.rejected_full",
+    "questd.queue.evicted_deadline",
+    "questd.dedup.hits",
+    "questd.dedup.misses",
+    "questd.jobs.submitted",
+    "questd.jobs.executed",
+    "questd.jobs.completed",
+    "questd.jobs.failed",
+];
+
+impl StatsSnapshot {
+    fn counters(&self) -> [u64; 10] {
+        [
+            self.queue_capacity,
+            self.queue_depth,
+            self.queue_rejected_full,
+            self.queue_evicted_deadline,
+            self.dedup_hits,
+            self.dedup_misses,
+            self.jobs_submitted,
+            self.jobs_executed,
+            self.jobs_completed,
+            self.jobs_failed,
+        ]
+    }
+
+    fn to_counters_json(&self) -> Json {
+        Json::Object(
+            STAT_KEYS
+                .iter()
+                .zip(self.counters())
+                .map(|(k, v)| ((*k).to_string(), Json::Number(v as f64)))
+                .collect(),
+        )
+    }
+
+    fn from_counters_json(workers: u64, json: &Json) -> StatsSnapshot {
+        let n = |key: &str| json.get(key).and_then(Json::as_u64).unwrap_or(0);
+        StatsSnapshot {
+            workers,
+            queue_capacity: n("questd.queue.capacity"),
+            queue_depth: n("questd.queue.depth"),
+            queue_rejected_full: n("questd.queue.rejected_full"),
+            queue_evicted_deadline: n("questd.queue.evicted_deadline"),
+            dedup_hits: n("questd.dedup.hits"),
+            dedup_misses: n("questd.dedup.misses"),
+            jobs_submitted: n("questd.jobs.submitted"),
+            jobs_executed: n("questd.jobs.executed"),
+            jobs_completed: n("questd.jobs.completed"),
+            jobs_failed: n("questd.jobs.failed"),
+        }
+    }
+}
+
+/// One server→client message. Wire form: a JSON object with a `"v"`
+/// version field and an `"event"` discriminator, one per line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// The job was admitted (queued, or coalesced onto an identical
+    /// in-flight job when `deduplicated` is true).
+    Accepted {
+        /// The client's job id.
+        id: String,
+        /// Content-addressed request fingerprint, `0x`-prefixed hex.
+        fingerprint: String,
+        /// True when this submission attached to an in-flight job instead
+        /// of enqueuing a new one.
+        deduplicated: bool,
+    },
+    /// A worker began compiling the job.
+    Started {
+        /// The client's job id.
+        id: String,
+    },
+    /// A pipeline stage boundary was crossed.
+    Progress {
+        /// The client's job id.
+        id: String,
+        /// What happened.
+        progress: Progress,
+    },
+    /// Terminal success: the job's RunReport (schema v3; see DESIGN.md §4d
+    /// and `quest::report`). Deduplicated submissions of the same
+    /// fingerprint receive byte-identical `report` payloads.
+    Report {
+        /// The client's job id.
+        id: String,
+        /// Content-addressed request fingerprint, `0x`-prefixed hex.
+        fingerprint: String,
+        /// True when this job's report came from a coalesced run.
+        deduplicated: bool,
+        /// The RunReport JSON object, embedded verbatim.
+        report: Json,
+    },
+    /// Answer to a `stats` request.
+    Stats(StatsSnapshot),
+    /// Answer to a `ping` request.
+    Pong,
+    /// Terminal failure for a job (`id` set) or a request-level failure
+    /// (`id` null/absent).
+    Error {
+        /// The client's job id, when the error concerns a specific job.
+        id: Option<String>,
+        /// Machine-readable category (§6 of the protocol doc).
+        code: ErrorCode,
+        /// Human-readable detail; not for machine consumption.
+        message: String,
+    },
+}
+
+impl Event {
+    /// Serializes to the wire object (without the trailing newline).
+    pub fn to_json(&self) -> Json {
+        let v = ("v".to_string(), Json::Number(PROTOCOL_VERSION as f64));
+        match self {
+            Event::Accepted {
+                id,
+                fingerprint,
+                deduplicated,
+            } => Json::Object(vec![
+                v,
+                ("event".into(), Json::String("accepted".into())),
+                ("id".into(), Json::String(id.clone())),
+                ("fingerprint".into(), Json::String(fingerprint.clone())),
+                ("deduplicated".into(), Json::Bool(*deduplicated)),
+            ]),
+            Event::Started { id } => Json::Object(vec![
+                v,
+                ("event".into(), Json::String("started".into())),
+                ("id".into(), Json::String(id.clone())),
+            ]),
+            Event::Progress { id, progress } => {
+                let mut fields = vec![
+                    v,
+                    ("event".into(), Json::String("progress".into())),
+                    ("id".into(), Json::String(id.clone())),
+                ];
+                match progress {
+                    Progress::Partitioned { blocks } => {
+                        fields.push(("stage".into(), Json::String("partitioned".into())));
+                        fields.push(("blocks".into(), Json::Number(*blocks as f64)));
+                    }
+                    Progress::BlockSynthesized { index, total } => {
+                        fields.push(("stage".into(), Json::String("block_synthesized".into())));
+                        fields.push(("index".into(), Json::Number(*index as f64)));
+                        fields.push(("total".into(), Json::Number(*total as f64)));
+                    }
+                    Progress::SelectionDone { samples } => {
+                        fields.push(("stage".into(), Json::String("selection_done".into())));
+                        fields.push(("samples".into(), Json::Number(*samples as f64)));
+                    }
+                }
+                Json::Object(fields)
+            }
+            Event::Report {
+                id,
+                fingerprint,
+                deduplicated,
+                report,
+            } => Json::Object(vec![
+                v,
+                ("event".into(), Json::String("report".into())),
+                ("id".into(), Json::String(id.clone())),
+                ("fingerprint".into(), Json::String(fingerprint.clone())),
+                ("deduplicated".into(), Json::Bool(*deduplicated)),
+                ("report".into(), report.clone()),
+            ]),
+            Event::Stats(s) => Json::Object(vec![
+                v,
+                ("event".into(), Json::String("stats".into())),
+                ("workers".into(), Json::Number(s.workers as f64)),
+                ("counters".into(), s.to_counters_json()),
+            ]),
+            Event::Pong => Json::Object(vec![v, ("event".into(), Json::String("pong".into()))]),
+            Event::Error { id, code, message } => Json::Object(vec![
+                v,
+                ("event".into(), Json::String("error".into())),
+                (
+                    "id".into(),
+                    match id {
+                        Some(id) => Json::String(id.clone()),
+                        None => Json::Null,
+                    },
+                ),
+                ("code".into(), Json::String(code.as_str().into())),
+                ("message".into(), Json::String(message.clone())),
+            ]),
+        }
+    }
+
+    /// Parses a wire object (the client side of the stream).
+    pub fn from_json(json: &Json) -> Result<Event, ProtocolError> {
+        check_version(json)?;
+        let kind = json.get("event").and_then(Json::as_str).ok_or_else(|| {
+            ProtocolError::new(ErrorCode::InvalidRequest, "missing `event` field")
+        })?;
+        match kind {
+            "accepted" => Ok(Event::Accepted {
+                id: require_id(json)?,
+                fingerprint: require_str(json, "fingerprint")?,
+                deduplicated: json
+                    .get("deduplicated")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false),
+            }),
+            "started" => Ok(Event::Started {
+                id: require_id(json)?,
+            }),
+            "progress" => {
+                let id = require_id(json)?;
+                let stage = require_str(json, "stage")?;
+                let n = |key: &str| -> Result<usize, ProtocolError> {
+                    json.get(key)
+                        .and_then(Json::as_u64)
+                        .and_then(|v| usize::try_from(v).ok())
+                        .ok_or_else(|| {
+                            ProtocolError::new(
+                                ErrorCode::InvalidRequest,
+                                format!("progress event needs integer `{key}`"),
+                            )
+                        })
+                };
+                let progress = match stage.as_str() {
+                    "partitioned" => Progress::Partitioned {
+                        blocks: n("blocks")?,
+                    },
+                    "block_synthesized" => Progress::BlockSynthesized {
+                        index: n("index")?,
+                        total: n("total")?,
+                    },
+                    "selection_done" => Progress::SelectionDone {
+                        samples: n("samples")?,
+                    },
+                    other => {
+                        return Err(ProtocolError::new(
+                            ErrorCode::InvalidRequest,
+                            format!("unknown progress stage `{other}`"),
+                        ))
+                    }
+                };
+                Ok(Event::Progress { id, progress })
+            }
+            "report" => Ok(Event::Report {
+                id: require_id(json)?,
+                fingerprint: require_str(json, "fingerprint")?,
+                deduplicated: json
+                    .get("deduplicated")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false),
+                report: json.get("report").cloned().ok_or_else(|| {
+                    ProtocolError::new(
+                        ErrorCode::InvalidRequest,
+                        "report event needs a `report` object",
+                    )
+                })?,
+            }),
+            "stats" => {
+                let workers = json.get("workers").and_then(Json::as_u64).unwrap_or(0);
+                let empty = Json::Object(Vec::new());
+                let counters = json.get("counters").unwrap_or(&empty);
+                Ok(Event::Stats(StatsSnapshot::from_counters_json(
+                    workers, counters,
+                )))
+            }
+            "pong" => Ok(Event::Pong),
+            "error" => {
+                let code_text = require_str(json, "code")?;
+                let code = ErrorCode::parse(&code_text).ok_or_else(|| {
+                    ProtocolError::new(
+                        ErrorCode::InvalidRequest,
+                        format!("unknown error code `{code_text}`"),
+                    )
+                })?;
+                let id = match json.get("id") {
+                    Some(Json::String(id)) => Some(id.clone()),
+                    _ => None,
+                };
+                Ok(Event::Error {
+                    id,
+                    code,
+                    message: json
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                })
+            }
+            other => Err(ProtocolError::new(
+                ErrorCode::InvalidRequest,
+                format!("unknown event `{other}`"),
+            )),
+        }
+    }
+}
+
+/// Renders a request fingerprint in its wire form (`0x`-prefixed,
+/// zero-padded hex — JSON numbers cannot carry a u64 losslessly).
+pub fn fingerprint_hex(fingerprint: u64) -> String {
+    format!("{fingerprint:#018x}")
+}
+
+fn check_version(json: &Json) -> Result<(), ProtocolError> {
+    match json.get("v") {
+        Some(v) => {
+            let v = v.as_u64().ok_or_else(|| {
+                ProtocolError::new(ErrorCode::UnsupportedProtocol, "`v` must be an integer")
+            })?;
+            if v != PROTOCOL_VERSION {
+                return Err(ProtocolError::new(
+                    ErrorCode::UnsupportedProtocol,
+                    format!("this server speaks protocol version {PROTOCOL_VERSION}, got {v}"),
+                ));
+            }
+            Ok(())
+        }
+        None => Err(ProtocolError::new(
+            ErrorCode::UnsupportedProtocol,
+            "missing protocol version field `v`",
+        )),
+    }
+}
+
+fn require_id(json: &Json) -> Result<String, ProtocolError> {
+    let id = require_str(json, "id")?;
+    if id.is_empty() {
+        return Err(ProtocolError::new(
+            ErrorCode::InvalidRequest,
+            "`id` must be non-empty",
+        ));
+    }
+    Ok(id)
+}
+
+fn require_str(json: &Json, key: &str) -> Result<String, ProtocolError> {
+    json.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| {
+            ProtocolError::new(
+                ErrorCode::InvalidRequest,
+                format!("missing string field `{key}`"),
+            )
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: &Request) {
+        let json = req.to_json().compact();
+        let parsed = Request::from_json(&Json::parse(&json).expect("valid json")).expect("parses");
+        assert_eq!(&parsed, req);
+    }
+
+    fn roundtrip_event(ev: &Event) {
+        let json = ev.to_json().compact();
+        let parsed = Event::from_json(&Json::parse(&json).expect("valid json")).expect("parses");
+        assert_eq!(&parsed, ev);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(&Request::Ping);
+        roundtrip_request(&Request::Stats);
+        roundtrip_request(&Request::Cancel { id: "j1".into() });
+        roundtrip_request(&Request::Submit(SubmitRequest {
+            id: "j2".into(),
+            qasm: "OPENQASM 2.0;".into(),
+            config: JobConfig {
+                fast: true,
+                epsilon: Some(0.2),
+                seed: Some(7),
+                strict: true,
+                ..JobConfig::default()
+            },
+            priority: 9,
+            queue_deadline_ms: Some(250),
+        }));
+    }
+
+    #[test]
+    fn events_roundtrip() {
+        roundtrip_event(&Event::Pong);
+        roundtrip_event(&Event::Accepted {
+            id: "j".into(),
+            fingerprint: fingerprint_hex(0xBA5E),
+            deduplicated: true,
+        });
+        roundtrip_event(&Event::Started { id: "j".into() });
+        roundtrip_event(&Event::Progress {
+            id: "j".into(),
+            progress: Progress::BlockSynthesized { index: 1, total: 4 },
+        });
+        roundtrip_event(&Event::Report {
+            id: "j".into(),
+            fingerprint: fingerprint_hex(1),
+            deduplicated: false,
+            report: Json::Object(vec![("schema_version".into(), Json::Number(3.0))]),
+        });
+        roundtrip_event(&Event::Stats(StatsSnapshot {
+            workers: 2,
+            queue_capacity: 16,
+            dedup_hits: 1,
+            ..StatsSnapshot::default()
+        }));
+        roundtrip_event(&Event::Error {
+            id: Some("j".into()),
+            code: ErrorCode::QueueFull,
+            message: "queue is at capacity".into(),
+        });
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_with_the_documented_code() {
+        let err = Request::from_json(&Json::parse(r#"{"v":99,"op":"ping"}"#).unwrap())
+            .expect_err("version 99 must be rejected");
+        assert_eq!(err.code, ErrorCode::UnsupportedProtocol);
+        let err = Request::from_json(&Json::parse(r#"{"op":"ping"}"#).unwrap())
+            .expect_err("missing version must be rejected");
+        assert_eq!(err.code, ErrorCode::UnsupportedProtocol);
+    }
+
+    #[test]
+    fn every_error_code_roundtrips_through_its_wire_form() {
+        for code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+    }
+
+    #[test]
+    fn job_config_maps_onto_quest_knobs() {
+        let cfg = JobConfig {
+            fast: false,
+            epsilon: Some(0.25),
+            block_size: Some(3),
+            max_samples: Some(4),
+            seed: Some(42),
+            block_deadline_ms: Some(1500),
+            max_gradient_evals: Some(99),
+            anneal_deadline_ms: Some(2000),
+            strict: true,
+        }
+        .to_quest_config();
+        assert_eq!(cfg.block_size, 3);
+        assert_eq!(cfg.max_samples, 4);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(
+            cfg.block_deadline,
+            Some(std::time::Duration::from_millis(1500))
+        );
+        assert_eq!(cfg.max_gradient_evals, Some(99));
+        assert_eq!(
+            cfg.anneal.deadline,
+            Some(std::time::Duration::from_millis(2000))
+        );
+        assert!(cfg.strict);
+    }
+}

@@ -1,0 +1,258 @@
+//! Bounded, priority/deadline-aware job queue with explicit backpressure.
+//!
+//! Semantics (normative description in `docs/questd-protocol.md` §4):
+//!
+//! - **Bounded depth.** [`Queue::push`] never blocks: when the queue is at
+//!   capacity and no expired entry can be evicted to make room, the item is
+//!   handed back as [`PushError::Full`] and the server answers
+//!   `queue_full` — backpressure is explicit, not implicit latency.
+//! - **Priority.** Entries carry a 0–9 priority; [`Queue::pop`] always
+//!   returns the highest-priority entry, FIFO within a priority level
+//!   (tie-break on a monotonic sequence number).
+//! - **Deadline eviction.** An entry may carry a queue-residency deadline:
+//!   the job must *start* (be popped by a worker) before it. Expired
+//!   entries are evicted lazily — scanned on every push and pop — and
+//!   returned to the caller ([`Popped::Expired`], or the eviction list from
+//!   a push that made room) so the server can notify their subscribers with
+//!   `deadline_expired`. A deadline bounds queue residency only; it never
+//!   interrupts a compilation that already started.
+//!
+//! The queue is a plain `Mutex<Vec>` + `Condvar` (capacities are small —
+//! the scan is cheaper than a heap's bookkeeping and keeps eviction
+//! trivial). `std::sync` primitives are used deliberately: the workspace's
+//! `parking_lot` shim has no `Condvar`.
+
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// One queued item plus its scheduling metadata.
+struct Entry<T> {
+    item: T,
+    priority: u8,
+    seq: u64,
+    deadline: Option<Instant>,
+}
+
+struct Inner<T> {
+    entries: Vec<Entry<T>>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// The bounded priority/deadline queue. `T` is the job handle type; the
+/// queue owns no job semantics beyond scheduling metadata.
+pub struct Queue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+/// Why a [`Queue::push`] was refused; carries the item back to the caller.
+pub enum PushError<T> {
+    /// The queue is at capacity and nothing could be evicted.
+    Full(T),
+    /// The queue was closed for shutdown.
+    Closed(T),
+}
+
+/// The outcome of one [`Queue::pop`].
+pub enum Popped<T> {
+    /// The highest-priority ready entry; the caller should run it.
+    Item(T),
+    /// An entry whose queue deadline passed before a worker reached it;
+    /// the caller should notify its subscribers and pop again.
+    Expired(T),
+    /// The queue is closed and drained; the worker should exit.
+    Closed,
+}
+
+impl<T> Queue<T> {
+    /// Creates a queue holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Queue<T> {
+        Queue {
+            inner: Mutex::new(Inner {
+                entries: Vec::new(),
+                next_seq: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured depth bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently queued.
+    pub fn depth(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Enqueues `item`. On success, returns the (possibly empty) list of
+    /// expired entries that were evicted to make room — the caller must
+    /// notify them. A full queue with no evictable entry refuses with
+    /// [`PushError::Full`].
+    pub fn push(
+        &self,
+        item: T,
+        priority: u8,
+        queue_deadline: Option<Duration>,
+    ) -> Result<Vec<T>, PushError<T>> {
+        qfault::inject!("questd.queue.push", delay);
+        let now = Instant::now();
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        let mut evicted = Vec::new();
+        if inner.entries.len() >= self.capacity {
+            let expired: Vec<usize> = expired_indices(&inner.entries, now);
+            // Remove from the back so earlier indices stay valid.
+            for i in expired.into_iter().rev() {
+                evicted.push(inner.entries.remove(i).item);
+            }
+            if inner.entries.len() >= self.capacity {
+                // Hand any evictions we did make back anyway? No — eviction
+                // only happens when it creates room; a still-full queue
+                // means nothing was expired, so `evicted` is empty here.
+                return Err(PushError::Full(item));
+            }
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.entries.push(Entry {
+            item,
+            priority,
+            seq,
+            deadline: queue_deadline.map(|d| now + d),
+        });
+        drop(inner);
+        self.ready.notify_one();
+        Ok(evicted)
+    }
+
+    /// Blocks until an entry is available (or the queue closes). Expired
+    /// entries are drained first, one [`Popped::Expired`] at a time, so the
+    /// caller can notify their subscribers before real work resumes.
+    pub fn pop(&self) -> Popped<T> {
+        let mut inner = self.lock();
+        loop {
+            let now = Instant::now();
+            if let Some(i) = expired_indices(&inner.entries, now).first().copied() {
+                return Popped::Expired(inner.entries.remove(i).item);
+            }
+            // Highest priority wins; FIFO (lowest seq) within a level.
+            let best = inner
+                .entries
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, e)| (e.priority, std::cmp::Reverse(e.seq)))
+                .map(|(i, _)| i);
+            if let Some(i) = best {
+                return Popped::Item(inner.entries.remove(i).item);
+            }
+            if inner.closed {
+                return Popped::Closed;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: pending entries still drain, further pushes fail
+    /// with [`PushError::Closed`], and idle workers wake up to exit.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        // A poisoned queue mutex would mean a panic inside one of the short
+        // critical sections above; the scheduling state stays coherent.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+fn expired_indices<T>(entries: &[Entry<T>], now: Instant) -> Vec<usize> {
+    entries
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.deadline.is_some_and(|d| now >= d))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_orders_by_priority_then_fifo() {
+        let q = Queue::new(8);
+        q.push("low", 1, None).ok().unwrap();
+        q.push("high-a", 9, None).ok().unwrap();
+        q.push("high-b", 9, None).ok().unwrap();
+        q.push("mid", 5, None).ok().unwrap();
+        let order: Vec<&str> = (0..4)
+            .map(|_| match q.pop() {
+                Popped::Item(x) => x,
+                _ => panic!("expected items"),
+            })
+            .collect();
+        assert_eq!(order, ["high-a", "high-b", "mid", "low"]);
+    }
+
+    #[test]
+    fn full_queue_refuses_with_backpressure() {
+        let q = Queue::new(2);
+        q.push(1, 5, None).ok().unwrap();
+        q.push(2, 5, None).ok().unwrap();
+        match q.push(3, 5, None) {
+            Err(PushError::Full(item)) => assert_eq!(item, 3),
+            _ => panic!("expected Full"),
+        }
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn expired_entries_are_evicted_to_make_room() {
+        let q = Queue::new(1);
+        q.push("stale", 5, Some(Duration::ZERO)).ok().unwrap();
+        // Duration::ZERO expires immediately, so the next push evicts it.
+        let evicted = q.push("fresh", 5, None).ok().unwrap();
+        assert_eq!(evicted, ["stale"]);
+        match q.pop() {
+            Popped::Item(x) => assert_eq!(x, "fresh"),
+            _ => panic!("expected fresh item"),
+        }
+    }
+
+    #[test]
+    fn pop_surfaces_expired_entries_before_work() {
+        let q = Queue::new(4);
+        q.push("stale", 9, Some(Duration::ZERO)).ok().unwrap();
+        q.push("live", 1, None).ok().unwrap();
+        match q.pop() {
+            Popped::Expired(x) => assert_eq!(x, "stale"),
+            _ => panic!("expected expiry first"),
+        }
+        match q.pop() {
+            Popped::Item(x) => assert_eq!(x, "live"),
+            _ => panic!("expected live item"),
+        }
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = Queue::new(4);
+        q.push("pending", 5, None).ok().unwrap();
+        q.close();
+        assert!(matches!(q.push("late", 5, None), Err(PushError::Closed(_))));
+        assert!(matches!(q.pop(), Popped::Item("pending")));
+        assert!(matches!(q.pop(), Popped::Closed));
+    }
+}

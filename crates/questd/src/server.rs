@@ -1,0 +1,437 @@
+//! The daemon: TCP listener, connection handling, and the compile worker
+//! pool.
+//!
+//! Threading model: one detached reader thread per client connection
+//! (connections are cheap and block on socket reads), a fixed pool of
+//! `workers` compile threads draining the bounded job [`Queue`], and one
+//! accept thread. All writes to a connection go through its [`ConnWriter`]
+//! mutex, so job events from worker threads and direct responses from the
+//! reader thread interleave without tearing lines.
+//!
+//! Per-job observability: each worker opportunistically opens a
+//! [`qobs::metrics::try_session`] — the registry is process-global, so at
+//! most one concurrent job gets a session; that job's report carries the
+//! run's `quest.*`/`quest.degraded.*` metrics, every job's report carries
+//! its own degradation tally regardless. Server-wide `questd.*` counters
+//! live in [`Counters`] and are returned by the `stats` op.
+
+use crate::dedup::{Admission, SingleFlight};
+use crate::job::{ConnWriter, Counters, Job, JobObserver, Subscriber};
+use crate::protocol::{ErrorCode, Event, ProtocolError, Request, StatsSnapshot, SubmitRequest};
+use crate::queue::{Popped, Queue};
+use qobs::json::Json;
+use std::collections::BTreeMap;
+use std::io::BufRead;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+use std::time::Duration;
+
+/// Tunables for one daemon instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Compile worker pool size (the bounded concurrency of the daemon).
+    pub workers: usize,
+    /// Job queue depth bound; submissions beyond it bounce with
+    /// `queue_full`.
+    pub queue_capacity: usize,
+    /// Directory for the persistent block cache. `None` keeps every cache
+    /// memory-only (the default: a daemon already amortizes warm-up across
+    /// jobs in memory).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 16,
+            cache_dir: None,
+        }
+    }
+}
+
+struct Shared {
+    queue: Queue<Arc<Job>>,
+    dedup: SingleFlight,
+    // One block cache per configuration fingerprint: the memory tier's
+    // block keys deliberately exclude the master seed, so jobs differing
+    // only in seed must not share one in-memory cache.
+    caches: Mutex<BTreeMap<u64, Arc<quest::BlockCache>>>,
+    stats: Counters,
+    config: ServerConfig,
+    shutting_down: AtomicBool,
+}
+
+/// A running daemon. Dropping (or calling [`Server::shutdown`]) closes the
+/// queue, drains in-flight jobs, and joins the worker pool.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop and worker pool.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Queue::new(config.queue_capacity),
+            dedup: SingleFlight::new(),
+            caches: Mutex::new(BTreeMap::new()),
+            stats: Counters::default(),
+            config,
+            shutting_down: AtomicBool::new(false),
+        });
+
+        let workers = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("questd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = thread::Builder::new()
+            .name("questd-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn accept thread");
+
+        Ok(Server {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports for clients).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting work, drains the queue, and joins every thread.
+    /// Queued-but-unstarted jobs still run to completion; new submissions
+    /// are refused with `shutting_down`.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        // Wake the accept loop with a throwaway connection so it observes
+        // the flag; it may already have exited on an accept error.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let shared = Arc::clone(shared);
+        // Reader threads are detached: they exit on client disconnect, and
+        // their cleanup path detaches every subscription they own.
+        let _ = thread::Builder::new()
+            .name("questd-conn".into())
+            .spawn(move || handle_connection(stream, &shared));
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(ConnWriter::new(stream));
+    // This connection's live submissions, by client job id. Used to route
+    // `cancel` and to detach everything on disconnect.
+    let mut my_jobs: BTreeMap<String, Arc<Job>> = BTreeMap::new();
+
+    let reader = std::io::BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            break;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Json::parse(&line) {
+            Ok(json) => Request::from_json(&json),
+            Err(e) => Err(ProtocolError::new(
+                ErrorCode::ParseError,
+                format!("invalid JSON: {e}"),
+            )),
+        };
+        match request {
+            Ok(Request::Ping) => {
+                let _ = writer.send(&Event::Pong);
+            }
+            Ok(Request::Stats) => {
+                let _ = writer.send(&Event::Stats(stats_snapshot(shared)));
+            }
+            Ok(Request::Cancel { id }) => handle_cancel(&writer, &mut my_jobs, &id),
+            Ok(Request::Submit(submit)) => {
+                handle_submit(shared, &writer, &mut my_jobs, &submit);
+            }
+            Err(e) => {
+                let _ = writer.send(&Event::Error {
+                    id: None,
+                    code: e.code,
+                    message: e.message,
+                });
+            }
+        }
+    }
+
+    // Disconnect: walk away from everything this connection was waiting
+    // on. A job whose last subscriber leaves is cancelled cooperatively.
+    for (id, job) in my_jobs {
+        job.detach(&id, &writer);
+    }
+}
+
+fn handle_cancel(writer: &Arc<ConnWriter>, my_jobs: &mut BTreeMap<String, Arc<Job>>, id: &str) {
+    let Some(job) = my_jobs.remove(id) else {
+        let _ = writer.send(&Event::Error {
+            id: Some(id.to_string()),
+            code: ErrorCode::UnknownJob,
+            message: format!("no in-flight job `{id}` on this connection"),
+        });
+        return;
+    };
+    if job.detach(id, writer) {
+        let _ = writer.send(&Event::Error {
+            id: Some(id.to_string()),
+            code: ErrorCode::Cancelled,
+            message: "job cancelled by request".into(),
+        });
+    } else {
+        // The job finished between the last event we relayed and this
+        // cancel; from the client's view it is no longer cancellable.
+        let _ = writer.send(&Event::Error {
+            id: Some(id.to_string()),
+            code: ErrorCode::UnknownJob,
+            message: format!("job `{id}` already finished"),
+        });
+    }
+}
+
+fn handle_submit(
+    shared: &Arc<Shared>,
+    writer: &Arc<ConnWriter>,
+    my_jobs: &mut BTreeMap<String, Arc<Job>>,
+    submit: &SubmitRequest,
+) {
+    let reject = |code: ErrorCode, message: String| {
+        let _ = writer.send(&Event::Error {
+            id: Some(submit.id.clone()),
+            code,
+            message,
+        });
+    };
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        reject(
+            ErrorCode::ShuttingDown,
+            "server is draining for shutdown".into(),
+        );
+        return;
+    }
+    if my_jobs.contains_key(&submit.id) {
+        reject(
+            ErrorCode::InvalidRequest,
+            format!(
+                "job id `{}` is already in flight on this connection",
+                submit.id
+            ),
+        );
+        return;
+    }
+    let circuit = match qcircuit::qasm::parse(&submit.qasm) {
+        Ok(c) => c,
+        Err(e) => {
+            reject(ErrorCode::InvalidRequest, format!("QASM parse error: {e}"));
+            return;
+        }
+    };
+    let config = submit.config.to_quest_config();
+    let fingerprint = quest::request_fingerprint(&circuit, &config);
+    Counters::add(&shared.stats.jobs_submitted, 1);
+
+    let admission = shared.dedup.admit(
+        &shared.queue,
+        fingerprint,
+        || Arc::new(Job::new(fingerprint, circuit.clone(), config.clone())),
+        Subscriber {
+            id: submit.id.clone(),
+            deduplicated: false,
+            writer: Arc::clone(writer),
+        },
+        submit.priority,
+        submit.queue_deadline_ms.map(Duration::from_millis),
+    );
+    match admission {
+        Admission::Deduplicated(job) => {
+            Counters::add(&shared.stats.dedup_hits, 1);
+            my_jobs.insert(submit.id.clone(), job);
+        }
+        Admission::Enqueued { job, evicted } => {
+            Counters::add(&shared.stats.dedup_misses, 1);
+            my_jobs.insert(submit.id.clone(), job);
+            for gone in evicted {
+                evict_job(shared, &gone);
+            }
+        }
+        Admission::QueueFull => {
+            Counters::add(&shared.stats.queue_rejected_full, 1);
+            Counters::add(&shared.stats.jobs_failed, 1);
+            reject(
+                ErrorCode::QueueFull,
+                format!(
+                    "job queue is at capacity ({}); resubmit later",
+                    shared.queue.capacity()
+                ),
+            );
+        }
+        Admission::Closed => {
+            reject(
+                ErrorCode::ShuttingDown,
+                "server is draining for shutdown".into(),
+            );
+        }
+    }
+}
+
+/// Notifies an evicted job's subscribers (already un-published from the
+/// dedup table) and tallies the eviction.
+fn evict_job(shared: &Arc<Shared>, job: &Arc<Job>) {
+    let subs = job.drain_subscribers();
+    Counters::add(&shared.stats.queue_evicted_deadline, 1);
+    Counters::add(&shared.stats.jobs_failed, subs.len() as u64);
+    Job::send_error(
+        &subs,
+        ErrorCode::DeadlineExpired,
+        "queue deadline expired before a worker could start the job",
+    );
+}
+
+fn stats_snapshot(shared: &Shared) -> StatsSnapshot {
+    StatsSnapshot {
+        workers: shared.config.workers.max(1) as u64,
+        queue_capacity: shared.queue.capacity() as u64,
+        queue_depth: shared.queue.depth() as u64,
+        queue_rejected_full: Counters::get(&shared.stats.queue_rejected_full),
+        queue_evicted_deadline: Counters::get(&shared.stats.queue_evicted_deadline),
+        dedup_hits: Counters::get(&shared.stats.dedup_hits),
+        dedup_misses: Counters::get(&shared.stats.dedup_misses),
+        jobs_submitted: Counters::get(&shared.stats.jobs_submitted),
+        jobs_executed: Counters::get(&shared.stats.jobs_executed),
+        jobs_completed: Counters::get(&shared.stats.jobs_completed),
+        jobs_failed: Counters::get(&shared.stats.jobs_failed),
+    }
+}
+
+/// One block cache per configuration fingerprint (see [`Shared::caches`]).
+fn cache_for(shared: &Shared, config: &quest::QuestConfig) -> Arc<quest::BlockCache> {
+    let key = quest::config_fingerprint(config);
+    let mut caches = shared.caches.lock().unwrap_or_else(PoisonError::into_inner);
+    Arc::clone(caches.entry(key).or_insert_with(|| {
+        let cache = match &shared.config.cache_dir {
+            Some(dir) => quest::BlockCache::with_disk(quest::DiskCacheConfig::new(dir))
+                .unwrap_or_else(|_| quest::BlockCache::new()),
+            None => quest::BlockCache::new(),
+        };
+        Arc::new(cache)
+    }))
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        match shared.queue.pop() {
+            Popped::Closed => return,
+            Popped::Expired(job) => {
+                shared.dedup.complete(job.fingerprint);
+                evict_job(shared, &job);
+            }
+            Popped::Item(job) => run_job(shared, &job),
+        }
+    }
+}
+
+fn run_job(shared: &Arc<Shared>, job: &Arc<Job>) {
+    if job.cancelled.load(Ordering::Relaxed) {
+        // Every subscriber already detached while the job was queued.
+        shared.dedup.complete(job.fingerprint);
+        let subs = job.drain_subscribers();
+        Counters::add(&shared.stats.jobs_failed, subs.len() as u64);
+        Job::send_error(&subs, ErrorCode::Cancelled, "job cancelled while queued");
+        return;
+    }
+    job.broadcast_started();
+    Counters::add(&shared.stats.jobs_executed, 1);
+
+    // Opportunistic per-job metrics: the qobs registry is process-global,
+    // so only one concurrent job can hold a session; the others simply run
+    // unmetered (their reports still carry the degradation tally).
+    let session = qobs::metrics::try_session();
+
+    let cache = cache_for(shared, &job.config);
+    let quest = quest::Quest::new(job.config.clone());
+    let observer = JobObserver::new(job);
+    let outcome = quest.try_compile_observed(&job.circuit, Some(&cache), &observer);
+
+    // Un-publish before broadcasting: a submission that arrives after this
+    // line starts a fresh (deterministic, bit-identical) run instead of
+    // attaching to a job whose subscriber list is about to drain.
+    shared.dedup.complete(job.fingerprint);
+    match outcome {
+        Ok(result) => {
+            let mut report = quest::RunReport::new(&quest, &job.circuit, &result);
+            if let Some(session) = &session {
+                report = report.with_metrics(&session.snapshot());
+            }
+            let subs = job.drain_subscribers();
+            Counters::add(&shared.stats.jobs_completed, subs.len() as u64);
+            job.send_report(&subs, &report.to_json());
+        }
+        Err(e) => {
+            let code = match &e {
+                quest::PipelineError::Cancelled => ErrorCode::Cancelled,
+                quest::PipelineError::StrictDegradation(_) => ErrorCode::StrictDegradation,
+                quest::PipelineError::EmptyCircuit => ErrorCode::CompileFailed,
+            };
+            let subs = job.drain_subscribers();
+            Counters::add(&shared.stats.jobs_failed, subs.len() as u64);
+            Job::send_error(&subs, code, &e.to_string());
+        }
+    }
+}

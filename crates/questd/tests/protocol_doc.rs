@@ -1,0 +1,126 @@
+//! Keeps `docs/questd-protocol.md` (the normative protocol specification)
+//! and the implementation in lockstep:
+//!
+//! - every fenced ```json example in the document must parse through the
+//!   real wire types (`Request::from_json` for objects with an `"op"`,
+//!   `Event::from_json` for objects with an `"event"`),
+//! - the §6 error-code table must list exactly the `ErrorCode` enum's wire
+//!   strings (both directions), and
+//! - the documented protocol version must match `PROTOCOL_VERSION`.
+
+use questd::{ErrorCode, Event, Request, PROTOCOL_VERSION};
+
+fn doc_text() -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("crates/questd has a grandparent")
+        .join("docs/questd-protocol.md");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// Extracts the contents of every fenced ```json block.
+fn json_blocks(doc: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in doc.lines() {
+        match &mut current {
+            None if line.trim() == "```json" => current = Some(String::new()),
+            None => {}
+            Some(block) => {
+                if line.trim() == "```" {
+                    blocks.push(current.take().unwrap_or_default());
+                } else {
+                    block.push_str(line);
+                    block.push('\n');
+                }
+            }
+        }
+    }
+    assert!(current.is_none(), "unterminated ```json block in the doc");
+    blocks
+}
+
+#[test]
+fn every_json_example_parses_through_the_wire_types() {
+    let doc = doc_text();
+    let blocks = json_blocks(&doc);
+    assert!(
+        blocks.len() >= 12,
+        "suspiciously few JSON examples ({}) — was the doc restructured?",
+        blocks.len()
+    );
+    let mut requests = 0;
+    let mut events = 0;
+    for (i, block) in blocks.iter().enumerate() {
+        let json = qobs::json::Json::parse(block)
+            .unwrap_or_else(|e| panic!("doc example {i} is not valid JSON: {e}\n{block}"));
+        if json.get("op").is_some() {
+            Request::from_json(&json).unwrap_or_else(|e| {
+                panic!(
+                    "doc request example {i} rejected by Request::from_json \
+                     ({}: {}):\n{block}",
+                    e.code, e.message
+                )
+            });
+            requests += 1;
+        } else if json.get("event").is_some() {
+            Event::from_json(&json).unwrap_or_else(|e| {
+                panic!(
+                    "doc event example {i} rejected by Event::from_json \
+                     ({}: {}):\n{block}",
+                    e.code, e.message
+                )
+            });
+            events += 1;
+        } else {
+            panic!("doc example {i} is neither a request nor an event:\n{block}");
+        }
+    }
+    // Every op and every event kind has at least one example.
+    assert!(requests >= 4, "only {requests} request examples");
+    assert!(events >= 7, "only {events} event examples");
+}
+
+#[test]
+fn error_code_table_matches_the_enum_exactly() {
+    let doc = doc_text();
+    let section = doc
+        .split("## 6. Error codes")
+        .nth(1)
+        .expect("doc has an error-codes section")
+        .split("\n## ")
+        .next()
+        .expect("section body");
+    // Table rows look like: | `queue_full` | explanation |
+    let documented: Vec<&str> = section
+        .lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            let rest = line.strip_prefix("| `")?;
+            rest.split('`').next()
+        })
+        .collect();
+    let implemented: Vec<&str> = ErrorCode::ALL.iter().map(|c| c.as_str()).collect();
+    assert_eq!(
+        documented, implemented,
+        "docs/questd-protocol.md §6 and questd::ErrorCode must list the \
+         same codes in the same order"
+    );
+}
+
+#[test]
+fn documented_version_matches_the_implementation() {
+    let doc = doc_text();
+    assert!(
+        doc.contains(&format!(
+            "The current protocol version is **{PROTOCOL_VERSION}**"
+        )),
+        "doc must state the current protocol version ({PROTOCOL_VERSION})"
+    );
+    // Every complete example carries the current version field.
+    assert!(
+        doc.contains(&format!("\"v\": {PROTOCOL_VERSION}")),
+        "examples must carry the version field"
+    );
+}

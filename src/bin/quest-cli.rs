@@ -7,6 +7,11 @@
 //!           [--block-deadline SECS] [--max-gradient-evals N]
 //!           [--anneal-deadline SECS] [--strict]
 //!           [--trace[=json]] [--report OUT.json]
+//! quest-cli serve  [--addr HOST:PORT] [--workers N] [--queue-capacity N]
+//!                  [--cache-dir DIR]
+//! quest-cli client [--addr HOST:PORT] INPUT.qasm [--fast] [--seed S] ...
+//!                  [--priority P] [--queue-deadline SECS]
+//!                  [--report OUT.json]
 //! ```
 //!
 //! Writes one `approx_<i>_<cnots>cx.qasm` per selected approximation (to
@@ -19,6 +24,11 @@
 //! machine-readable [`quest::RunReport`] plus a `BENCH_<stem>.json` perf
 //! snapshot from the same run (schemas in DESIGN.md's Observability
 //! section).
+//!
+//! The `serve` subcommand runs the resident compilation daemon and
+//! `client` submits a job to one, streaming progress events and the
+//! RunReport back over the wire protocol specified in
+//! `docs/questd-protocol.md` (design notes in DESIGN.md §4i).
 
 use quest::{Quest, QuestConfig, RunReport};
 use std::path::{Path, PathBuf};
@@ -161,7 +171,14 @@ fn parse_seconds(flag: &str, text: &str) -> Result<f64, String> {
 
 fn usage() {
     eprintln!(
-        "usage: quest-cli INPUT.qasm [--epsilon E] [--block-size K] [--samples M]\n\
+        "usage: quest-cli INPUT.qasm [flags]   compile one circuit (below)\n\
+         \u{20}      quest-cli serve [--addr HOST:PORT] [--workers N]\n\
+         \u{20}                      [--queue-capacity N] [--cache-dir DIR]\n\
+         \u{20}                      run the compilation daemon (docs/questd-protocol.md)\n\
+         \u{20}      quest-cli client [--addr HOST:PORT] INPUT.qasm [flags]\n\
+         \u{20}                      submit a job to a running daemon\n\
+         \n\
+         usage: quest-cli INPUT.qasm [--epsilon E] [--block-size K] [--samples M]\n\
          \u{20}                 [--seed S] [--out-dir DIR] [--fast] [--qiskit]\n\
          \u{20}                 [--cache-dir DIR] [--no-disk-cache]\n\
          \u{20}                 [--trace[=json]] [--report OUT.json]\n\
@@ -198,23 +215,228 @@ fn usage() {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(msg) => {
-            if !msg.is_empty() {
-                eprintln!("error: {msg}\n");
-            }
-            usage();
-            return ExitCode::FAILURE;
+    // Subcommand dispatch on argv[1]; anything else (including a path that
+    // happens to be first) is the original compile-one-file mode, so
+    // existing `quest-cli INPUT.qasm ...` invocations are untouched.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = match argv.first().map(String::as_str) {
+        Some("serve") => serve(&argv[1..]),
+        Some("client") => client(&argv[1..]),
+        _ => {
+            let args = match parse_args() {
+                Ok(a) => a,
+                Err(msg) => {
+                    if !msg.is_empty() {
+                        eprintln!("error: {msg}\n");
+                    }
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            };
+            run(&args)
         }
     };
-    match run(&args) {
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// `quest-cli serve`: run the questd daemon until killed. Thin wrapper over
+/// [`questd::Server`] so service workflows need only the one binary.
+fn serve(argv: &[String]) -> Result<(), String> {
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut config = questd::ServerConfig::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr")?.clone(),
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue-capacity" => {
+                config.queue_capacity = value("--queue-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--queue-capacity: {e}"))?
+            }
+            "--cache-dir" => config.cache_dir = Some(value("--cache-dir")?.into()),
+            other => {
+                return Err(format!(
+                    "serve: unknown argument {other}\n\
+                     usage: quest-cli serve [--addr HOST:PORT] [--workers N] \
+                     [--queue-capacity N] [--cache-dir DIR]"
+                ));
+            }
+        }
+    }
+    let server =
+        questd::Server::bind(&addr, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!("questd listening on {}", server.local_addr());
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `quest-cli client`: submit one circuit to a running daemon, stream its
+/// progress events to stderr, and print (or write) the returned RunReport.
+fn client(argv: &[String]) -> Result<(), String> {
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut input: Option<PathBuf> = None;
+    let mut config = questd::JobConfig::default();
+    let mut priority = questd::protocol::DEFAULT_PRIORITY;
+    let mut queue_deadline_ms = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut id = String::from("job-0");
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr")?.clone(),
+            "--id" => id = value("--id")?.clone(),
+            "--fast" => config.fast = true,
+            "--strict" => config.strict = true,
+            "--epsilon" => {
+                config.epsilon = Some(
+                    value("--epsilon")?
+                        .parse()
+                        .map_err(|e| format!("--epsilon: {e}"))?,
+                )
+            }
+            "--block-size" => {
+                config.block_size = Some(
+                    value("--block-size")?
+                        .parse()
+                        .map_err(|e| format!("--block-size: {e}"))?,
+                )
+            }
+            "--samples" => {
+                config.max_samples = Some(
+                    value("--samples")?
+                        .parse()
+                        .map_err(|e| format!("--samples: {e}"))?,
+                )
+            }
+            "--seed" => {
+                config.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
+            "--block-deadline" => {
+                config.block_deadline_ms = Some(millis(parse_seconds(
+                    "--block-deadline",
+                    value("--block-deadline")?,
+                )?))
+            }
+            "--max-gradient-evals" => {
+                config.max_gradient_evals = Some(
+                    value("--max-gradient-evals")?
+                        .parse()
+                        .map_err(|e| format!("--max-gradient-evals: {e}"))?,
+                )
+            }
+            "--anneal-deadline" => {
+                config.anneal_deadline_ms = Some(millis(parse_seconds(
+                    "--anneal-deadline",
+                    value("--anneal-deadline")?,
+                )?))
+            }
+            "--priority" => {
+                priority = value("--priority")?
+                    .parse()
+                    .map_err(|e| format!("--priority: {e}"))?
+            }
+            "--queue-deadline" => {
+                queue_deadline_ms = Some(millis(parse_seconds(
+                    "--queue-deadline",
+                    value("--queue-deadline")?,
+                )?))
+            }
+            "--report" => report_path = Some(PathBuf::from(value("--report")?)),
+            other if other.starts_with('-') => {
+                return Err(format!(
+                    "client: unknown flag {other}\n\
+                     usage: quest-cli client [--addr HOST:PORT] INPUT.qasm [--id ID]\n\
+                     \u{20}      [--fast] [--epsilon E] [--block-size K] [--samples M]\n\
+                     \u{20}      [--seed S] [--block-deadline SECS] [--max-gradient-evals N]\n\
+                     \u{20}      [--anneal-deadline SECS] [--strict] [--priority 0-9]\n\
+                     \u{20}      [--queue-deadline SECS] [--report OUT.json]"
+                ));
+            }
+            path => {
+                if input.is_some() {
+                    return Err("client: only one input file is supported".into());
+                }
+                input = Some(PathBuf::from(path));
+            }
+        }
+    }
+    let input = input.ok_or("client: missing input .qasm file")?;
+    let qasm = std::fs::read_to_string(&input)
+        .map_err(|e| format!("cannot read {}: {e}", input.display()))?;
+
+    let mut client = questd::Client::connect(&addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e} (is `quest-cli serve` running?)"))?;
+    client
+        .submit(questd::SubmitRequest {
+            id: id.clone(),
+            qasm,
+            config,
+            priority,
+            queue_deadline_ms,
+        })
+        .map_err(|e| format!("submit failed: {e}"))?;
+    let outcome = client
+        .wait_for(&id, |event| match event {
+            questd::Event::Accepted {
+                fingerprint,
+                deduplicated,
+                ..
+            } => {
+                eprintln!(
+                    "accepted: fingerprint {fingerprint}{}",
+                    if *deduplicated { " (deduplicated)" } else { "" }
+                )
+            }
+            questd::Event::Started { .. } => eprintln!("started"),
+            questd::Event::Progress { progress, .. } => eprintln!("progress: {progress:?}"),
+            _ => {}
+        })
+        .map_err(|e| format!("connection lost: {e}"))?;
+    match outcome {
+        questd::JobOutcome::Report(report) => {
+            let samples = report
+                .get("samples")
+                .and_then(|s| s.as_array())
+                .map_or(0, <[qobs::json::Json]>::len);
+            println!("job {id}: report received ({samples} sample(s))");
+            if let Some(path) = report_path {
+                std::fs::write(&path, report.pretty())
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                println!("  report: {}", path.display());
+            }
+            Ok(())
+        }
+        questd::JobOutcome::Failed { code, message } => {
+            Err(format!("job {id} failed ({code}): {message}"))
+        }
+    }
+}
+
+/// Converts a seconds value (already validated positive) to whole ms.
+fn millis(secs: f64) -> u64 {
+    u64::try_from(std::time::Duration::from_secs_f64(secs).as_millis()).unwrap_or(u64::MAX)
 }
 
 /// Builds the run's block cache: two-tier (disk-backed) by default,

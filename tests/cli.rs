@@ -79,3 +79,62 @@ fn cli_prints_usage_without_args() {
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("usage:"), "stderr: {stderr}");
 }
+
+#[test]
+fn cli_serve_and_client_roundtrip() {
+    use std::io::BufRead;
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_quest-cli"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "1"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("failed to launch quest-cli serve");
+    // The daemon prints its resolved listen address as its first line.
+    let stdout = server.stdout.take().expect("captured stdout");
+    let mut first_line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut first_line)
+        .expect("read listen line");
+    let addr = first_line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("listen line has an address")
+        .to_string();
+    assert!(addr.contains(':'), "unexpected listen line: {first_line}");
+
+    let dir = std::env::temp_dir().join(format!("quest_cli_serve_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("input.qasm");
+    std::fs::write(&input, INPUT).unwrap();
+    let report_path = dir.join("report.json");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_quest-cli"))
+        .args(["client", "--addr", &addr])
+        .arg(&input)
+        .args(["--fast", "--samples", "2", "--seed", "7", "--report"])
+        .arg(&report_path)
+        .output()
+        .expect("failed to launch quest-cli client");
+    server.kill().ok();
+    server.wait().ok();
+    assert!(
+        output.status.success(),
+        "client failed: {}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("accepted"), "no accepted event: {stderr}");
+    assert!(stderr.contains("started"), "no started event: {stderr}");
+
+    let report = std::fs::read_to_string(&report_path).expect("report written");
+    let json = qobs::json::Json::parse(&report).expect("report parses");
+    assert_eq!(
+        json.get("schema_version")
+            .and_then(qobs::json::Json::as_u64),
+        Some(3),
+        "client-received report must be schema v3"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
