@@ -28,9 +28,12 @@
 //!   nonzero cache hits in the committed artifact. The sweep runs *outside*
 //!   the metrics session so the session counters (`qsynth.gradient_evals`
 //!   etc.) keep describing exactly the two main workloads.
-//! * `qsynth.grad_eval_ns` / `qsynth.unitary_eval_ns` — microbenchmarks of
-//!   the synthesis hot loop (one gradient evaluation, one template unitary
-//!   build), the direct per-eval signal behind `*.total_seconds`.
+//! * `qsynth.grad_eval_ns` / `qsynth.batched_grad_eval_ns` /
+//!   `qsynth.batch_speedup` / `qsynth.unitary_eval_ns` — microbenchmarks of
+//!   the synthesis hot loop (serial and full-width SoA-batched gradient
+//!   evaluations, one template unitary build), the direct per-eval signal
+//!   behind `*.total_seconds`. Each is a median over several timed runs
+//!   after warm-up, so one-off scheduler noise cannot skew the snapshot.
 //! * `service.*` — throughput of the `questd` compilation daemon under
 //!   concurrent clients with a deterministic dedup mix (see
 //!   [`service_throughput`] and EXPERIMENTS.md "Service throughput").
@@ -90,10 +93,49 @@ fn trotter_sweep() -> (f64, usize, usize) {
     (t0.elapsed().as_secs_f64(), cache.hits(), cache.misses())
 }
 
-/// Times the synthesis hot loop: one `cost_and_grad` evaluation and one
-/// `Template::unitary` build on a representative 4-qubit template,
-/// in nanoseconds.
-fn synthesis_microbench() -> (f64, f64) {
+/// Nanoseconds per *unit of work* for `op`, measured as the median of
+/// [`MICRO_RUNS`] timed runs of `iters` calls each (after a warm-up run).
+/// `units_per_call` divides the per-call time — a batched call doing 8
+/// gradient evaluations reports per-evaluation time, comparable to the
+/// serial number. The median across runs (instead of one long mean) makes
+/// the snapshot robust against one-off scheduler hiccups and frequency
+/// ramps on shared CI machines.
+fn median_ns_per_unit(iters: u32, units_per_call: u32, mut op: impl FnMut()) -> f64 {
+    const MICRO_RUNS: usize = 7;
+    // Warm-up: page in code/data, settle clocks, populate allocator pools.
+    for _ in 0..iters {
+        op();
+    }
+    let mut runs: Vec<f64> = (0..MICRO_RUNS)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                op();
+            }
+            t0.elapsed().as_secs_f64() * 1e9 / f64::from(iters * units_per_call)
+        })
+        .collect();
+    runs.sort_by(f64::total_cmp);
+    runs[MICRO_RUNS / 2]
+}
+
+/// Results of the synthesis hot-loop microbenchmarks, all in ns/eval.
+struct Microbench {
+    /// One serial `cost_and_grad` evaluation.
+    grad_ns: f64,
+    /// One gradient evaluation amortized over a full-width batched
+    /// `cost_and_grad_batch` call (per-lane time).
+    batched_grad_ns: f64,
+    /// `grad_ns / batched_grad_ns` — the SoA batching win.
+    batch_speedup: f64,
+    /// One `Template::unitary` build.
+    unitary_ns: f64,
+}
+
+/// Times the synthesis hot loop on a representative 4-qubit template: the
+/// serial gradient evaluation, the batched (full-width SoA) gradient
+/// evaluation per lane, and a template unitary build.
+fn synthesis_microbench() -> Microbench {
     let template = qsynth::Template::initial(4)
         .with_layer(0, 1)
         .with_layer(1, 2)
@@ -103,24 +145,43 @@ fn synthesis_microbench() -> (f64, f64) {
     c.h(0).cnot(0, 1).cnot(1, 2).cnot(2, 3).rz(3, 0.4);
     let target = c.unitary();
     let cost = qsynth::cost::HsCost::new(&template, &target);
-    let params: Vec<f64> = (0..cost.num_params()).map(|i| 0.1 * i as f64).collect();
-    let mut ws = cost.workspace();
-    let mut grad = vec![0.0; cost.num_params()];
+    let p = cost.num_params();
+    let params: Vec<f64> = (0..p).map(|i| 0.1 * i as f64).collect();
     let iters = 2000u32;
-    for _ in 0..50 {
-        let _ = cost.cost_and_grad(&mut ws, &params, &mut grad); // warm-up
-    }
-    let t0 = Instant::now();
-    for _ in 0..iters {
+
+    let mut ws = cost.workspace();
+    let mut grad = vec![0.0; p];
+    let grad_ns = median_ns_per_unit(iters, 1, || {
         let _ = cost.cost_and_grad(&mut ws, &params, &mut grad);
+    });
+
+    let lanes = qmath::kernels::MAX_BATCH;
+    let mut bws = cost.batch_workspace(lanes);
+    // Lane-major xs: every lane gets the same parameter point; the batched
+    // call still does `lanes` full gradient evaluations of work.
+    let mut xs = vec![0.0; p * lanes];
+    for i in 0..p {
+        for b in 0..lanes {
+            xs[i * lanes + b] = params[i];
+        }
     }
-    let grad_ns = t0.elapsed().as_secs_f64() * 1e9 / f64::from(iters);
-    let t0 = Instant::now();
-    for _ in 0..iters {
+    let mut costs = vec![0.0; lanes];
+    let mut grads = vec![0.0; p * lanes];
+    #[allow(clippy::cast_possible_truncation)]
+    let batched_grad_ns = median_ns_per_unit(iters / 4, lanes as u32, || {
+        cost.cost_and_grad_batch(&mut bws, lanes, &xs, &mut costs, &mut grads);
+    });
+
+    let unitary_ns = median_ns_per_unit(iters, 1, || {
         let _ = template.unitary(&params);
+    });
+
+    Microbench {
+        grad_ns,
+        batched_grad_ns,
+        batch_speedup: grad_ns / batched_grad_ns,
+        unitary_ns,
     }
-    let unitary_ns = t0.elapsed().as_secs_f64() * 1e9 / f64::from(iters);
-    (grad_ns, unitary_ns)
 }
 
 /// Sustained service throughput against an in-process `questd` daemon
@@ -251,8 +312,11 @@ fn main() -> ExitCode {
 
     // Outside the metrics session: these produce their own snapshot entries
     // and must not perturb the session counters of the main workloads.
-    let (grad_ns, unitary_ns) = synthesis_microbench();
-    println!("microbench: grad {grad_ns:.0} ns/eval, unitary {unitary_ns:.0} ns/build");
+    let micro = synthesis_microbench();
+    println!(
+        "microbench: grad {:.0} ns/eval, batched {:.0} ns/eval ({:.1}x), unitary {:.0} ns/build",
+        micro.grad_ns, micro.batched_grad_ns, micro.batch_speedup, micro.unitary_ns
+    );
     let (sweep_seconds, sweep_hits, sweep_misses) = trotter_sweep();
     println!("trotter_sweep: {sweep_seconds:.2}s, {sweep_hits} cache hits / {sweep_misses} misses");
     // Also outside the session: the daemon's workers record pipeline
@@ -334,8 +398,10 @@ fn main() -> ExitCode {
             .with("trotter_sweep.total_seconds", sweep_seconds)
             .with("trotter_sweep.cache_hits", sweep_hits as f64)
             .with("trotter_sweep.cache_misses", sweep_misses as f64)
-            .with("qsynth.grad_eval_ns", grad_ns)
-            .with("qsynth.unitary_eval_ns", unitary_ns)
+            .with("qsynth.grad_eval_ns", micro.grad_ns)
+            .with("qsynth.batched_grad_eval_ns", micro.batched_grad_ns)
+            .with("qsynth.batch_speedup", micro.batch_speedup)
+            .with("qsynth.unitary_eval_ns", micro.unitary_ns)
             .with("service.jobs", service_jobs as f64)
             .with("service.dedup_hits", service_dedup_hits as f64)
             .with("service.jobs_per_second", service_jobs_per_second);

@@ -1,4 +1,4 @@
-//! In-place local gate-application kernels.
+//! In-place local gate-application kernels, serial and batched.
 //!
 //! The synthesis hot loop multiplies a `2^n × 2^n` matrix by an embedded
 //! 1- or 2-qubit operator tens of thousands of times per block. Materializing
@@ -8,6 +8,18 @@
 //! `2^k` columns (right multiplication) whose indices differ on the gate's
 //! qubit bits, so the same product is a bit-strided sweep with no scratch
 //! matrix at all.
+//!
+//! Two kernel families share one placement decode:
+//!
+//! * [`LocalOp`] applies one operator to one matrix — the serial kernels
+//!   introduced in PR 3.
+//! * [`BatchedLocalOp`] applies up to [`MAX_BATCH`] operators (one per
+//!   *lane*, e.g. one per optimizer start) to a structure-of-arrays stack of
+//!   matrices in a single traversal. Lane `b` of element `(i, j)` lives at
+//!   `(i·dim + j)·lanes + b`, so the innermost dimension is the lane index
+//!   and every accumulation step is a contiguous SIMD-width block
+//!   ([`crate::simd::vmla`]). Gate placement is decoded once per group
+//!   instead of once per lane per group.
 //!
 //! # Bit-exactness contract
 //!
@@ -29,6 +41,23 @@
 //! within row `i` are `base | soff[x]` for the *sorted* scattered offsets
 //! `soff`, so iterating local indices through the sorting permutation visits
 //! `k` in ascending order.
+//!
+//! # Batched bit-exactness contract
+//!
+//! Lanes are fully independent accumulation chains: for every lane `b` and
+//! every batch width `lanes ∈ 1..=MAX_BATCH`, a [`BatchedLocalOp`]
+//! application produces results bit-identical to applying lane `b`'s
+//! operator to lane `b`'s matrix alone (`lanes = 1`). Per-lane operators
+//! never skip data-dependent zero entries (a skip decided by one lane's
+//! value would have to apply to all lanes); shared operators skip exactly
+//! the entries [`LocalOp`] skips, which are identical across lanes. Both
+//! are covered by the per-contract argument above: only exact-zero terms
+//! are ever included or omitted differently.
+//!
+//! The serial and batched kernels agree bit-for-bit in both numerics modes
+//! because every scalar accumulation routes through the same
+//! [`crate::simd`] multiply-accumulate step the vector paths implement
+//! (strict unfused by default, FMA-contracted under `simd-relaxed`).
 
 use crate::{Matrix, C64};
 
@@ -36,26 +65,17 @@ use crate::{Matrix, C64};
 const MAX_K: usize = 2;
 /// Local dimension bound (`2^MAX_K`).
 const MAX_L: usize = 1 << MAX_K;
+/// Maximum number of SoA lanes a [`BatchedLocalOp`] can carry — sized so
+/// per-group scratch (`MAX_L · MAX_BATCH` complexes) stays a small stack
+/// array and one lane block fills an AVX-512 register file comfortably.
+pub const MAX_BATCH: usize = 8;
 
-/// A `2^k × 2^k` operator bound to `k` qubit positions of an `n`-qubit
-/// register, prepared for strided application.
-///
-/// The placement (offsets, sorting permutation, group expansion) is computed
-/// once; the local matrix can be swapped cheaply with [`LocalOp::set_1q`]
-/// for parameterized gates, so per-evaluation refills are allocation-free.
-///
-/// ```
-/// use qmath::{kernels::LocalOp, C64, Matrix};
-///
-/// let x = Matrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]]);
-/// let op = LocalOp::new(&x, &[1], 2); // X on qubit 1 of 2
-/// let mut u = Matrix::identity(4);
-/// op.apply_left_inplace(&mut u);
-/// assert_eq!(u[(0, 1)], C64::ONE);
-/// assert_eq!(u[(1, 0)], C64::ONE);
-/// ```
-#[derive(Clone, Debug)]
-pub struct LocalOp {
+/// The placement of `k` local qubits within an `n`-qubit register: scattered
+/// offsets, their sorting permutation, and the group-index expansion. Shared
+/// by the serial and batched kernels so the decode is computed (and tested)
+/// once.
+#[derive(Clone, Copy, Debug)]
+struct Placement {
     /// Number of local qubits (1 or 2).
     k: usize,
     /// Local dimension `2^k`.
@@ -71,44 +91,16 @@ pub struct LocalOp {
     /// Active bit positions (LSB-based), sorted ascending — used to expand a
     /// group index into a base index with zeros on the active bits.
     pos: [usize; MAX_K],
-    /// Local matrix conjugated by the sorting permutation:
-    /// `mm[x][y] = m[perm[x]][perm[y]]`.
-    mm: [[C64; MAX_L]; MAX_L],
 }
 
-impl LocalOp {
-    /// Prepares `m` (a `2^k × 2^k` matrix, `k = qubits.len() ∈ {1, 2}`)
-    /// acting on the ordered qubit list `qubits` of an `n`-qubit register.
-    ///
-    /// `qubits[0]` is the most significant bit of the local index, matching
-    /// `qcircuit::embed`'s big-endian convention (qubit `q` lives at bit
-    /// `n - 1 - q`).
+impl Placement {
+    /// Computes the placement for `qubits` of an `n`-qubit register.
     ///
     /// # Panics
     ///
-    /// Panics if `qubits.len()` is not 1 or 2, if `m` is not
-    /// `2^k × 2^k`, if a qubit is out of range, or if qubits repeat.
-    pub fn new(m: &Matrix, qubits: &[usize], n: usize) -> Self {
-        let mut op = LocalOp::with_placement(qubits, n);
-        op.set_matrix(m);
-        op
-    }
-
-    /// Prepares a 1-qubit operator given as a plain array — no `Matrix`
-    /// allocation on either side.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `qubit >= n`.
-    pub fn from_1q(m: &[[C64; 2]; 2], qubit: usize, n: usize) -> Self {
-        let mut op = LocalOp::with_placement(&[qubit], n);
-        op.set_1q(m);
-        op
-    }
-
-    /// Computes the placement (offsets, permutation, group expansion) with a
-    /// zeroed local matrix.
-    fn with_placement(qubits: &[usize], n: usize) -> Self {
+    /// Panics if `qubits.len()` is not 1 or 2, if a qubit is out of range,
+    /// or if qubits repeat.
+    fn new(qubits: &[usize], n: usize) -> Self {
         let k = qubits.len();
         assert!(
             (1..=MAX_K).contains(&k),
@@ -144,51 +136,14 @@ impl LocalOp {
         }
         pos[..k].sort_unstable();
 
-        LocalOp {
+        Placement {
             k,
             l,
             dim: 1usize << n,
             soff,
             perm,
             pos,
-            mm: [[C64::ZERO; MAX_L]; MAX_L],
         }
-    }
-
-    /// Replaces the local matrix, keeping the placement. Allocation-free.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `m` is not `2^k × 2^k`.
-    pub fn set_matrix(&mut self, m: &Matrix) {
-        assert_eq!((m.rows(), m.cols()), (self.l, self.l), "size mismatch");
-        for x in 0..self.l {
-            for y in 0..self.l {
-                self.mm[x][y] = m[(self.perm[x], self.perm[y])];
-            }
-        }
-    }
-
-    /// Replaces the local matrix of a 1-qubit operator from a plain array —
-    /// the allocation-free refill path for parameterized `U3`s.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the operator is not 1-qubit.
-    #[inline]
-    pub fn set_1q(&mut self, m: &[[C64; 2]; 2]) {
-        assert_eq!(self.k, 1, "set_1q needs a 1-qubit operator");
-        for x in 0..2 {
-            for y in 0..2 {
-                self.mm[x][y] = m[self.perm[x]][self.perm[y]];
-            }
-        }
-    }
-
-    /// Full-space dimension `2^n` the operator is prepared for.
-    #[inline]
-    pub fn dim(&self) -> usize {
-        self.dim
     }
 
     /// Expands a group index into a base index with zeros inserted at the
@@ -201,6 +156,109 @@ impl LocalOp {
         }
         base
     }
+}
+
+/// A `2^k × 2^k` operator bound to `k` qubit positions of an `n`-qubit
+/// register, prepared for strided application.
+///
+/// The placement (offsets, sorting permutation, group expansion) is computed
+/// once; the local matrix can be swapped cheaply with [`LocalOp::set_1q`]
+/// for parameterized gates, so per-evaluation refills are allocation-free.
+///
+/// ```
+/// use qmath::{kernels::LocalOp, C64, Matrix};
+///
+/// let x = Matrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]]);
+/// let op = LocalOp::new(&x, &[1], 2); // X on qubit 1 of 2
+/// let mut u = Matrix::identity(4);
+/// op.apply_left_inplace(&mut u);
+/// assert_eq!(u[(0, 1)], C64::ONE);
+/// assert_eq!(u[(1, 0)], C64::ONE);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LocalOp {
+    /// Qubit placement shared with the batched kernels.
+    pl: Placement,
+    /// Local matrix conjugated by the sorting permutation:
+    /// `mm[x][y] = m[perm[x]][perm[y]]`.
+    mm: [[C64; MAX_L]; MAX_L],
+}
+
+impl LocalOp {
+    /// Prepares `m` (a `2^k × 2^k` matrix, `k = qubits.len() ∈ {1, 2}`)
+    /// acting on the ordered qubit list `qubits` of an `n`-qubit register.
+    ///
+    /// `qubits[0]` is the most significant bit of the local index, matching
+    /// `qcircuit::embed`'s big-endian convention (qubit `q` lives at bit
+    /// `n - 1 - q`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits.len()` is not 1 or 2, if `m` is not
+    /// `2^k × 2^k`, if a qubit is out of range, or if qubits repeat.
+    pub fn new(m: &Matrix, qubits: &[usize], n: usize) -> Self {
+        let mut op = LocalOp {
+            pl: Placement::new(qubits, n),
+            mm: [[C64::ZERO; MAX_L]; MAX_L],
+        };
+        op.set_matrix(m);
+        op
+    }
+
+    /// Prepares a 1-qubit operator given as a plain array — no `Matrix`
+    /// allocation on either side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit >= n`.
+    pub fn from_1q(m: &[[C64; 2]; 2], qubit: usize, n: usize) -> Self {
+        let mut op = LocalOp {
+            pl: Placement::new(&[qubit], n),
+            mm: [[C64::ZERO; MAX_L]; MAX_L],
+        };
+        op.set_1q(m);
+        op
+    }
+
+    /// Replaces the local matrix, keeping the placement. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not `2^k × 2^k`.
+    pub fn set_matrix(&mut self, m: &Matrix) {
+        assert_eq!(
+            (m.rows(), m.cols()),
+            (self.pl.l, self.pl.l),
+            "size mismatch"
+        );
+        for x in 0..self.pl.l {
+            for y in 0..self.pl.l {
+                self.mm[x][y] = m[(self.pl.perm[x], self.pl.perm[y])];
+            }
+        }
+    }
+
+    /// Replaces the local matrix of a 1-qubit operator from a plain array —
+    /// the allocation-free refill path for parameterized `U3`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator is not 1-qubit.
+    #[inline]
+    pub fn set_1q(&mut self, m: &[[C64; 2]; 2]) {
+        assert_eq!(self.pl.k, 1, "set_1q needs a 1-qubit operator");
+        for x in 0..2 {
+            for y in 0..2 {
+                self.mm[x][y] = m[self.pl.perm[x]][self.pl.perm[y]];
+            }
+        }
+    }
+
+    /// Full-space dimension `2^n` the operator is prepared for.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.pl.dim
+    }
 
     /// `dst = op · src` (left multiplication by the embedded operator).
     ///
@@ -211,22 +269,22 @@ impl LocalOp {
     ///
     /// Panics on shape mismatch.
     pub fn apply_left_into(&self, src: &Matrix, dst: &mut Matrix) {
-        assert_eq!(src.rows(), self.dim, "row count must be 2^n");
+        assert_eq!(src.rows(), self.pl.dim, "row count must be 2^n");
         assert_eq!((dst.rows(), dst.cols()), (src.rows(), src.cols()));
         let cols = src.cols();
         let s = src.as_slice();
         let d = dst.as_mut_slice();
-        for g in 0..(self.dim >> self.k) {
-            let base = self.base(g);
-            for x in 0..self.l {
-                let di = (base | self.soff[x]) * cols;
+        for g in 0..(self.pl.dim >> self.pl.k) {
+            let base = self.pl.base(g);
+            for x in 0..self.pl.l {
+                let di = (base | self.pl.soff[x]) * cols;
                 d[di..di + cols].fill(C64::ZERO);
-                for y in 0..self.l {
+                for y in 0..self.pl.l {
                     let c = self.mm[x][y];
                     if c == C64::ZERO {
                         continue;
                     }
-                    let si = (base | self.soff[y]) * cols;
+                    let si = (base | self.pl.soff[y]) * cols;
                     // Split-free: src and dst are distinct buffers.
                     crate::simd::axpy(&mut d[di..di + cols], c, &s[si..si + cols]);
                 }
@@ -241,27 +299,27 @@ impl LocalOp {
     ///
     /// Panics if `a` does not have `2^n` rows.
     pub fn apply_left_inplace(&self, a: &mut Matrix) {
-        assert_eq!(a.rows(), self.dim, "row count must be 2^n");
+        assert_eq!(a.rows(), self.pl.dim, "row count must be 2^n");
         let cols = a.cols();
         let data = a.as_mut_slice();
-        for g in 0..(self.dim >> self.k) {
-            let base = self.base(g);
+        for g in 0..(self.pl.dim >> self.pl.k) {
+            let base = self.pl.base(g);
             let mut rs = [0usize; MAX_L];
-            for (r, &soff) in rs.iter_mut().zip(&self.soff).take(self.l) {
+            for (r, &soff) in rs.iter_mut().zip(&self.pl.soff).take(self.pl.l) {
                 *r = (base | soff) * cols;
             }
             for j in 0..cols {
                 let mut v = [C64::ZERO; MAX_L];
-                for (vy, &r) in v.iter_mut().zip(&rs).take(self.l) {
+                for (vy, &r) in v.iter_mut().zip(&rs).take(self.pl.l) {
                     *vy = data[r + j];
                 }
-                for x in 0..self.l {
+                for x in 0..self.pl.l {
                     let mut acc = C64::ZERO;
-                    for (&c, &vy) in self.mm[x].iter().zip(&v).take(self.l) {
+                    for (&c, &vy) in self.mm[x].iter().zip(&v).take(self.pl.l) {
                         if c == C64::ZERO {
                             continue;
                         }
-                        acc += c * vy;
+                        acc = crate::simd::mla_step(acc, c, vy);
                     }
                     data[rs[x] + j] = acc;
                 }
@@ -277,7 +335,7 @@ impl LocalOp {
     ///
     /// Panics on shape mismatch.
     pub fn apply_right_into(&self, src: &Matrix, dst: &mut Matrix) {
-        assert_eq!(src.cols(), self.dim, "column count must be 2^n");
+        assert_eq!(src.cols(), self.pl.dim, "column count must be 2^n");
         assert_eq!((dst.rows(), dst.cols()), (src.rows(), src.cols()));
         let cols = src.cols();
         let s = src.as_slice();
@@ -285,22 +343,302 @@ impl LocalOp {
         for i in 0..src.rows() {
             let srow = &s[i * cols..(i + 1) * cols];
             let drow = &mut d[i * cols..(i + 1) * cols];
-            for g in 0..(self.dim >> self.k) {
-                let base = self.base(g);
+            for g in 0..(self.pl.dim >> self.pl.k) {
+                let base = self.pl.base(g);
                 let mut v = [C64::ZERO; MAX_L];
-                for x in 0..self.l {
-                    v[x] = srow[base | self.soff[x]];
+                for x in 0..self.pl.l {
+                    v[x] = srow[base | self.pl.soff[x]];
                 }
-                for y in 0..self.l {
+                for y in 0..self.pl.l {
                     let mut acc = C64::ZERO;
-                    for (mrow, &vx) in self.mm.iter().zip(&v).take(self.l) {
+                    for (mrow, &vx) in self.mm.iter().zip(&v).take(self.pl.l) {
                         let c = mrow[y];
                         if c == C64::ZERO {
                             continue;
                         }
-                        acc += vx * c;
+                        // Coefficient in the first operand slot: the relaxed
+                        // FMA contraction is not operand-symmetric, and the
+                        // batched kernels put the gate entry there too.
+                        acc = crate::simd::mla_step(acc, c, vx);
                     }
-                    drow[base | self.soff[y]] = acc;
+                    drow[base | self.pl.soff[y]] = acc;
+                }
+            }
+        }
+    }
+}
+
+/// A local operator applied across up to [`MAX_BATCH`] SoA lanes in one
+/// traversal.
+///
+/// Two flavors share the struct:
+///
+/// * **Shared** ([`BatchedLocalOp::shared`]): one matrix for every lane
+///   (fixed gates — CNOTs). Zero entries are skipped exactly as the serial
+///   kernel skips them.
+/// * **Per-lane** ([`BatchedLocalOp::per_lane_1q`] +
+///   [`BatchedLocalOp::set_lane_1q`]): each lane carries its own 1-qubit
+///   matrix (parameterized `U3`s, one optimizer start per lane). Entries are
+///   stored entry-major × lane-minor so the coefficient of entry `(x, y)`
+///   for all lanes is one contiguous block fed to [`crate::simd::vmla`].
+///
+/// Matrices and scratch are fixed-size arrays; applying an operator performs
+/// zero heap allocations at any batch width.
+#[derive(Clone, Debug)]
+pub struct BatchedLocalOp {
+    /// Qubit placement (identical decode to the serial kernel).
+    pl: Placement,
+    /// Whether all lanes share `shared_mm` (fixed gate) or each lane has its
+    /// own slice of `lane_mm`.
+    is_shared: bool,
+    /// The shared matrix, permuted like [`LocalOp::mm`]. Unused (zero) for
+    /// per-lane operators.
+    shared_mm: [[C64; MAX_L]; MAX_L],
+    /// Per-lane matrices: entry `(x, y)` of lane `b` at
+    /// `(x·MAX_L + y)·MAX_BATCH + b`. Unused (zero) for shared operators.
+    lane_mm: [C64; MAX_L * MAX_L * MAX_BATCH],
+}
+
+impl BatchedLocalOp {
+    /// Prepares a fixed operator shared by every lane (e.g. a CNOT), with
+    /// the same conventions as [`LocalOp::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`LocalOp::new`].
+    pub fn shared(m: &Matrix, qubits: &[usize], n: usize) -> Self {
+        let pl = Placement::new(qubits, n);
+        assert_eq!((m.rows(), m.cols()), (pl.l, pl.l), "size mismatch");
+        let mut shared_mm = [[C64::ZERO; MAX_L]; MAX_L];
+        for x in 0..pl.l {
+            for y in 0..pl.l {
+                shared_mm[x][y] = m[(pl.perm[x], pl.perm[y])];
+            }
+        }
+        BatchedLocalOp {
+            pl,
+            is_shared: true,
+            shared_mm,
+            lane_mm: [C64::ZERO; MAX_L * MAX_L * MAX_BATCH],
+        }
+    }
+
+    /// Prepares a per-lane 1-qubit operator with zeroed matrices; fill each
+    /// lane with [`BatchedLocalOp::set_lane_1q`] before applying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit >= n`.
+    pub fn per_lane_1q(qubit: usize, n: usize) -> Self {
+        BatchedLocalOp {
+            pl: Placement::new(&[qubit], n),
+            is_shared: false,
+            shared_mm: [[C64::ZERO; MAX_L]; MAX_L],
+            lane_mm: [C64::ZERO; MAX_L * MAX_L * MAX_BATCH],
+        }
+    }
+
+    /// Replaces lane `lane`'s local matrix — the allocation-free per-lane
+    /// refill path for parameterized `U3`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator is shared, not 1-qubit, or `lane` is out of
+    /// range.
+    #[inline]
+    pub fn set_lane_1q(&mut self, lane: usize, m: &[[C64; 2]; 2]) {
+        assert!(!self.is_shared, "set_lane_1q needs a per-lane operator");
+        assert_eq!(self.pl.k, 1, "set_lane_1q needs a 1-qubit operator");
+        assert!(lane < MAX_BATCH, "lane {lane} out of range");
+        for x in 0..2 {
+            for y in 0..2 {
+                self.lane_mm[(x * MAX_L + y) * MAX_BATCH + lane] =
+                    m[self.pl.perm[x]][self.pl.perm[y]];
+            }
+        }
+    }
+
+    /// Full-space dimension `2^n` the operator is prepared for.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.pl.dim
+    }
+
+    /// The coefficient block of entry `(x, y)` across the first `lanes`
+    /// lanes of a per-lane operator.
+    #[inline]
+    fn lane_block(&self, x: usize, y: usize, lanes: usize) -> &[C64] {
+        let e = (x * MAX_L + y) * MAX_BATCH;
+        &self.lane_mm[e..e + lanes]
+    }
+
+    /// `a ← op · a` for every lane in place. `a` is a lane-major SoA stack:
+    /// `a[(i·dim + j)·lanes + b]` is entry `(i, j)` of lane `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is 0 or exceeds [`MAX_BATCH`], or if `a` is not
+    /// exactly `dim²·lanes` long.
+    pub fn apply_left_inplace(&self, a: &mut [C64], lanes: usize) {
+        let dim = self.pl.dim;
+        assert!((1..=MAX_BATCH).contains(&lanes), "bad lane count {lanes}");
+        assert_eq!(a.len(), dim * dim * lanes, "SoA stack size mismatch");
+        let l = self.pl.l;
+        let row = dim * lanes;
+        let mut v = [C64::ZERO; MAX_L * MAX_BATCH];
+        for g in 0..(dim >> self.pl.k) {
+            let base = self.pl.base(g);
+            let mut rs = [0usize; MAX_L];
+            for (r, &soff) in rs.iter_mut().zip(&self.pl.soff).take(l) {
+                *r = (base | soff) * row;
+            }
+            for j in 0..dim {
+                let col = j * lanes;
+                for (y, &r) in rs.iter().enumerate().take(l) {
+                    v[y * lanes..(y + 1) * lanes].copy_from_slice(&a[r + col..r + col + lanes]);
+                }
+                for (x, &r) in rs.iter().enumerate().take(l) {
+                    let out = &mut a[r + col..r + col + lanes];
+                    out.fill(C64::ZERO);
+                    for y in 0..l {
+                        let vy = &v[y * lanes..(y + 1) * lanes];
+                        if self.is_shared {
+                            let c = self.shared_mm[x][y];
+                            if c == C64::ZERO {
+                                continue;
+                            }
+                            crate::simd::axpy(out, c, vy);
+                        } else {
+                            crate::simd::vmla(out, self.lane_block(x, y, lanes), vy);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `dst = op · src` for every lane (left multiplication), row-based:
+    /// each output row of a lane-major SoA stack is one contiguous
+    /// `dim·lanes` slice, and a local left-multiplication only mixes the
+    /// `2^k` whole rows of each group. The inner loop is therefore a
+    /// full-row [`crate::simd::axpy`] (shared operator) or
+    /// [`crate::simd::vmla_cyclic`] (per-lane operator) — vectorized at
+    /// *every* lane count, including `lanes == 1`, unlike the per-element
+    /// gather of [`BatchedLocalOp::apply_left_inplace`]. Both buffers are
+    /// `dim²·lanes` stacks and must be distinct.
+    ///
+    /// Bit-identical per lane to [`BatchedLocalOp::apply_left_inplace`]:
+    /// each output element accumulates the same terms (`y` ascending,
+    /// coefficient in the first operand slot, shared zeros skipped
+    /// identically) from `+0.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is 0 or exceeds [`MAX_BATCH`], or on a size
+    /// mismatch.
+    pub fn apply_left_into(&self, src: &[C64], dst: &mut [C64], lanes: usize) {
+        self.left_rows_into(src, dst, lanes, false);
+    }
+
+    /// `dst = opᵀ · src` for every lane — left multiplication by the
+    /// *transpose* of the embedded operator (embedding commutes with
+    /// transposition, so this transposes the `2^k × 2^k` local matrix and
+    /// keeps the placement).
+    ///
+    /// This is how a right multiplication stays row-based: for stacks
+    /// stored transposed, `(A · op)ᵀ = opᵀ · Aᵀ`, so a sweep that keeps its
+    /// matrices transposed replaces [`BatchedLocalOp::apply_right_into`]
+    /// with this kernel and wins full-row vectorization at every lane
+    /// count. Bit-identical per element to `apply_right_into` on the
+    /// untransposed stack: each output element accumulates the same terms
+    /// in the same order (the transposed sweep's ascending `y` *is* the
+    /// right-kernel's ascending `x`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is 0 or exceeds [`MAX_BATCH`], or on a size
+    /// mismatch.
+    pub fn apply_left_transposed_into(&self, src: &[C64], dst: &mut [C64], lanes: usize) {
+        self.left_rows_into(src, dst, lanes, true);
+    }
+
+    /// Shared body of the row-based left kernels; `transposed` swaps the
+    /// local-matrix index order.
+    fn left_rows_into(&self, src: &[C64], dst: &mut [C64], lanes: usize, transposed: bool) {
+        let dim = self.pl.dim;
+        assert!((1..=MAX_BATCH).contains(&lanes), "bad lane count {lanes}");
+        assert_eq!(src.len(), dim * dim * lanes, "SoA stack size mismatch");
+        assert_eq!(dst.len(), src.len(), "SoA stack size mismatch");
+        let l = self.pl.l;
+        let row = dim * lanes;
+        for g in 0..(dim >> self.pl.k) {
+            let base = self.pl.base(g);
+            for x in 0..l {
+                let di = (base | self.pl.soff[x]) * row;
+                let out = &mut dst[di..di + row];
+                out.fill(C64::ZERO);
+                for y in 0..l {
+                    let si = (base | self.pl.soff[y]) * row;
+                    let srow = &src[si..si + row];
+                    if self.is_shared {
+                        let c = if transposed {
+                            self.shared_mm[y][x]
+                        } else {
+                            self.shared_mm[x][y]
+                        };
+                        if c == C64::ZERO {
+                            continue;
+                        }
+                        crate::simd::axpy(out, c, srow);
+                    } else {
+                        let cb = if transposed {
+                            self.lane_block(y, x, lanes)
+                        } else {
+                            self.lane_block(x, y, lanes)
+                        };
+                        crate::simd::vmla_cyclic(out, cb, srow);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `dst = src · op` for every lane (right multiplication). Both buffers
+    /// are `dim²·lanes` lane-major SoA stacks; they must be distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is 0 or exceeds [`MAX_BATCH`], or on a size
+    /// mismatch.
+    pub fn apply_right_into(&self, src: &[C64], dst: &mut [C64], lanes: usize) {
+        let dim = self.pl.dim;
+        assert!((1..=MAX_BATCH).contains(&lanes), "bad lane count {lanes}");
+        assert_eq!(src.len(), dim * dim * lanes, "SoA stack size mismatch");
+        assert_eq!(dst.len(), src.len(), "SoA stack size mismatch");
+        let l = self.pl.l;
+        let row = dim * lanes;
+        for i in 0..dim {
+            let srow = &src[i * row..(i + 1) * row];
+            let drow = &mut dst[i * row..(i + 1) * row];
+            for g in 0..(dim >> self.pl.k) {
+                let base = self.pl.base(g);
+                for y in 0..l {
+                    let col = (base | self.pl.soff[y]) * lanes;
+                    let out = &mut drow[col..col + lanes];
+                    out.fill(C64::ZERO);
+                    for x in 0..l {
+                        let scol = (base | self.pl.soff[x]) * lanes;
+                        let vx = &srow[scol..scol + lanes];
+                        if self.is_shared {
+                            let c = self.shared_mm[x][y];
+                            if c == C64::ZERO {
+                                continue;
+                            }
+                            crate::simd::axpy(out, c, vx);
+                        } else {
+                            crate::simd::vmla(out, self.lane_block(x, y, lanes), vx);
+                        }
+                    }
                 }
             }
         }
@@ -398,5 +736,235 @@ mod tests {
     #[should_panic(expected = "1 or 2 qubits")]
     fn three_qubit_operator_panics() {
         let _ = LocalOp::new(&Matrix::identity(8), &[0, 1, 2], 3);
+    }
+
+    // ---- batched kernels ----
+
+    /// A deterministic dense lane matrix (entries vary by lane).
+    fn lane_matrix(dim: usize, lane: usize) -> Matrix {
+        Matrix::from_fn(dim, dim, |i, j| {
+            C64::new(
+                0.37 * (i as f64 + 1.0) - 0.11 * j as f64 + 0.05 * lane as f64,
+                0.23 * j as f64 - 0.4 * i as f64 - 0.07 * lane as f64,
+            )
+        })
+    }
+
+    /// A deterministic 1-qubit lane gate.
+    fn lane_1q(lane: usize) -> [[C64; 2]; 2] {
+        let t = 0.3 + 0.21 * lane as f64;
+        [
+            [C64::new(t.cos(), 0.1 * t), C64::new(-t.sin(), 0.2)],
+            [C64::new(t.sin(), -0.15), C64::new(t.cos(), 0.05 * t)],
+        ]
+    }
+
+    /// Packs per-lane matrices into a lane-major SoA stack.
+    fn pack(ms: &[Matrix], lanes: usize) -> Vec<C64> {
+        let dim = ms[0].rows();
+        let mut out = vec![C64::ZERO; dim * dim * lanes];
+        for (b, m) in ms.iter().enumerate().take(lanes) {
+            for i in 0..dim {
+                for j in 0..dim {
+                    out[(i * dim + j) * lanes + b] = m[(i, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Unpacks lane `b` of a lane-major SoA stack.
+    fn unpack(stack: &[C64], dim: usize, lanes: usize, b: usize) -> Matrix {
+        Matrix::from_fn(dim, dim, |i, j| stack[(i * dim + j) * lanes + b])
+    }
+
+    #[test]
+    fn batched_shared_left_inplace_matches_serial_per_lane() {
+        let n = 3;
+        let dim = 1usize << n;
+        let serial = LocalOp::new(&cnot_gate(), &[2, 0], n);
+        let batched = BatchedLocalOp::shared(&cnot_gate(), &[2, 0], n);
+        for lanes in [1usize, 2, 3, 5, 8] {
+            let ms: Vec<Matrix> = (0..lanes).map(|b| lane_matrix(dim, b)).collect();
+            let mut stack = pack(&ms, lanes);
+            batched.apply_left_inplace(&mut stack, lanes);
+            for (b, m) in ms.iter().enumerate() {
+                let mut want = m.clone();
+                serial.apply_left_inplace(&mut want);
+                assert_eq!(unpack(&stack, dim, lanes, b), want, "lane {b} of {lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_per_lane_left_inplace_matches_serial_per_lane() {
+        let n = 3;
+        let dim = 1usize << n;
+        let mut batched = BatchedLocalOp::per_lane_1q(1, n);
+        for lanes in [1usize, 2, 4, 7, 8] {
+            let ms: Vec<Matrix> = (0..lanes).map(|b| lane_matrix(dim, b)).collect();
+            let mut stack = pack(&ms, lanes);
+            for b in 0..lanes {
+                batched.set_lane_1q(b, &lane_1q(b));
+            }
+            batched.apply_left_inplace(&mut stack, lanes);
+            for (b, m) in ms.iter().enumerate() {
+                let serial = LocalOp::from_1q(&lane_1q(b), 1, n);
+                let mut want = m.clone();
+                serial.apply_left_inplace(&mut want);
+                assert_eq!(unpack(&stack, dim, lanes, b), want, "lane {b} of {lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_right_into_matches_serial_per_lane() {
+        let n = 3;
+        let dim = 1usize << n;
+        let shared = BatchedLocalOp::shared(&cnot_gate(), &[0, 2], n);
+        let serial_shared = LocalOp::new(&cnot_gate(), &[0, 2], n);
+        let mut per_lane = BatchedLocalOp::per_lane_1q(2, n);
+        for lanes in [1usize, 2, 4, 8] {
+            let ms: Vec<Matrix> = (0..lanes).map(|b| lane_matrix(dim, b + 3)).collect();
+            let stack = pack(&ms, lanes);
+            let mut dst = vec![C64::ZERO; stack.len()];
+
+            shared.apply_right_into(&stack, &mut dst, lanes);
+            for (b, m) in ms.iter().enumerate() {
+                let mut want = Matrix::zeros(dim, dim);
+                serial_shared.apply_right_into(m, &mut want);
+                assert_eq!(unpack(&dst, dim, lanes, b), want, "shared lane {b}");
+            }
+
+            for b in 0..lanes {
+                per_lane.set_lane_1q(b, &lane_1q(b + 1));
+            }
+            per_lane.apply_right_into(&stack, &mut dst, lanes);
+            for (b, m) in ms.iter().enumerate() {
+                let serial = LocalOp::from_1q(&lane_1q(b + 1), 2, n);
+                let mut want = Matrix::zeros(dim, dim);
+                serial.apply_right_into(m, &mut want);
+                assert_eq!(unpack(&dst, dim, lanes, b), want, "per-lane lane {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_width_invariance_is_bitwise() {
+        // Lane b's result is independent of how many other lanes ride along.
+        let n = 4;
+        let dim = 1usize << n;
+        let mut op = BatchedLocalOp::per_lane_1q(3, n);
+        let ms: Vec<Matrix> = (0..MAX_BATCH).map(|b| lane_matrix(dim, b)).collect();
+        // Full-width result.
+        let mut wide = pack(&ms, MAX_BATCH);
+        for b in 0..MAX_BATCH {
+            op.set_lane_1q(b, &lane_1q(b));
+        }
+        op.apply_left_inplace(&mut wide, MAX_BATCH);
+        // Each lane alone.
+        for (b, lane_m) in ms.iter().enumerate() {
+            let mut narrow = pack(std::slice::from_ref(lane_m), 1);
+            let mut single = BatchedLocalOp::per_lane_1q(3, n);
+            single.set_lane_1q(0, &lane_1q(b));
+            single.apply_left_inplace(&mut narrow, 1);
+            let got = unpack(&wide, dim, MAX_BATCH, b);
+            let want = unpack(&narrow, dim, 1, 0);
+            for i in 0..dim {
+                for j in 0..dim {
+                    assert_eq!(
+                        got[(i, j)].re.to_bits(),
+                        want[(i, j)].re.to_bits(),
+                        "lane {b} ({i},{j})"
+                    );
+                    assert_eq!(got[(i, j)].im.to_bits(), want[(i, j)].im.to_bits());
+                }
+            }
+        }
+    }
+
+    /// Packs per-lane matrices into a *transposed* lane-major SoA stack:
+    /// entry `(i, j)` of lane `b` at `(j·dim + i)·lanes + b`.
+    fn pack_transposed(ms: &[Matrix], lanes: usize) -> Vec<C64> {
+        let dim = ms[0].rows();
+        let mut out = vec![C64::ZERO; dim * dim * lanes];
+        for (b, m) in ms.iter().enumerate().take(lanes) {
+            for i in 0..dim {
+                for j in 0..dim {
+                    out[(j * dim + i) * lanes + b] = m[(i, j)];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn row_based_left_into_matches_inplace_bitwise() {
+        // The row-based kernel is a bit-exact drop-in for the per-element
+        // in-place kernel, for shared and per-lane operators alike.
+        let n = 3;
+        let dim = 1usize << n;
+        let shared = BatchedLocalOp::shared(&cnot_gate(), &[2, 0], n);
+        let mut per_lane = BatchedLocalOp::per_lane_1q(1, n);
+        for lanes in [1usize, 2, 3, 5, 8] {
+            let ms: Vec<Matrix> = (0..lanes).map(|b| lane_matrix(dim, b)).collect();
+            let stack = pack(&ms, lanes);
+            let mut dst = vec![C64::ZERO; stack.len()];
+            for b in 0..lanes {
+                per_lane.set_lane_1q(b, &lane_1q(b));
+            }
+            for op in [&shared, &per_lane] {
+                let mut inplace = stack.clone();
+                op.apply_left_inplace(&mut inplace, lanes);
+                op.apply_left_into(&stack, &mut dst, lanes);
+                for (e, (g, w)) in dst.iter().zip(&inplace).enumerate() {
+                    assert_eq!(g.re.to_bits(), w.re.to_bits(), "lanes {lanes} e {e}");
+                    assert_eq!(g.im.to_bits(), w.im.to_bits(), "lanes {lanes} e {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_left_on_transposed_stack_matches_right_into_bitwise() {
+        // The transposed-sweep identity: (A·op)ᵀ = opᵀ·Aᵀ, element for
+        // element and bit for bit. This is what lets the suffix sweep stay
+        // row-based.
+        let n = 3;
+        let dim = 1usize << n;
+        let shared = BatchedLocalOp::shared(&cnot_gate(), &[0, 2], n);
+        let mut per_lane = BatchedLocalOp::per_lane_1q(2, n);
+        for lanes in [1usize, 2, 4, 8] {
+            let ms: Vec<Matrix> = (0..lanes).map(|b| lane_matrix(dim, b + 3)).collect();
+            let stack = pack(&ms, lanes);
+            let stack_t = pack_transposed(&ms, lanes);
+            let mut want = vec![C64::ZERO; stack.len()];
+            let mut got_t = vec![C64::ZERO; stack.len()];
+            for b in 0..lanes {
+                per_lane.set_lane_1q(b, &lane_1q(b + 1));
+            }
+            for op in [&shared, &per_lane] {
+                op.apply_right_into(&stack, &mut want, lanes);
+                op.apply_left_transposed_into(&stack_t, &mut got_t, lanes);
+                for i in 0..dim {
+                    for j in 0..dim {
+                        for b in 0..lanes {
+                            let g = got_t[(j * dim + i) * lanes + b];
+                            let w = want[(i * dim + j) * lanes + b];
+                            assert_eq!(g.re.to_bits(), w.re.to_bits(), "({i},{j}) lane {b}");
+                            assert_eq!(g.im.to_bits(), w.im.to_bits(), "({i},{j}) lane {b}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad lane count")]
+    fn zero_lanes_panics() {
+        let op = BatchedLocalOp::shared(&cnot_gate(), &[0, 1], 2);
+        let mut stack: Vec<C64> = vec![];
+        op.apply_left_inplace(&mut stack, 0);
     }
 }

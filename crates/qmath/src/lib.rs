@@ -13,6 +13,11 @@
 //!   bound (paper Sec. 3.8) are built on,
 //! * [`kernels`] — bit-strided local gate-application kernels (the synthesis
 //!   hot path: applying a 1-/2-qubit operator to a dense matrix in place),
+//!   including batched structure-of-arrays variants that evaluate many
+//!   optimizer starts per traversal,
+//! * [`simd`] — the vectorized complex multiply-accumulate primitives under
+//!   the kernels, with a strict (bit-exact) default and an optional
+//!   `simd-relaxed` FMA/AVX-512 mode,
 //! * [`random`] — Haar-random unitaries via QR of Ginibre matrices,
 //! * [`decompose`] — the ZYZ Euler decomposition of 2×2 unitaries used by the
 //!   transpiler's single-qubit fusion pass.
@@ -40,11 +45,12 @@ pub mod hs;
 pub mod kernels;
 pub mod matrix;
 pub mod random;
-mod simd;
+pub mod simd;
 pub mod vector;
 
 pub use complex::C64;
 pub use matrix::Matrix;
+pub use simd::NUMERICS_MODE;
 pub use vector::Vector;
 
 /// Tolerance used throughout the workspace when comparing floating-point

@@ -1,37 +1,280 @@
-//! Vectorized complex AXPY for the dense hot loops.
+//! Vectorized complex multiply-accumulate primitives for the dense hot
+//! loops.
 //!
-//! `axpy` computes `acc[j] += a · row[j]` — the inner operation of both
-//! [`crate::Matrix::matmul_into`] and the gate-application kernels. Each
-//! `j` is an independent accumulation chain, so processing elements in SIMD
-//! lanes cannot reassociate any floating-point sum; the AVX path issues the
-//! exact scalar operation sequence per lane (`mul`, `mul`, `addsub`, `add`
-//! — never FMA), making it **bit-identical** to the scalar loop. Callers
-//! therefore don't need to know which path ran.
+//! Two elementwise operations cover every accumulation in the synthesis hot
+//! path:
+//!
+//! * [`axpy`] — `acc[j] += a · row[j]` with a *broadcast* coefficient: the
+//!   inner operation of [`crate::Matrix::matmul_into`] and the serial gate
+//!   kernels.
+//! * [`vmla`] — `acc[j] += a[j] · row[j]` with *elementwise* coefficients:
+//!   the inner operation of the batched kernels
+//!   ([`crate::kernels::BatchedLocalOp`]), where each SIMD lane carries a
+//!   different optimizer start with its own gate entries.
+//!
+//! Each index `j` is an independent accumulation chain, so processing
+//! elements in SIMD lanes cannot reassociate any floating-point sum — only
+//! the per-element operation sequence matters for reproducibility.
+//!
+//! # Strict mode (default)
+//!
+//! The AVX paths issue the exact scalar operation sequence per lane (`mul`,
+//! `mul`, `addsub`, `add` — never FMA), making them **bit-identical** to the
+//! scalar loop. Callers never need to know which path ran, on any machine.
+//!
+//! # Relaxed mode (`simd-relaxed` feature)
+//!
+//! With the `simd-relaxed` feature every complex multiply-accumulate is
+//! *contracted*: each component is produced by exactly two fused
+//! multiply-adds,
+//!
+//! ```text
+//! acc.re = fma(r.re, a.re, fma(r.im, −a.im, acc.re))
+//! acc.im = fma(r.im, a.re, fma(r.re, a.im, acc.im))
+//! ```
+//!
+//! skipping one intermediate rounding per component and unlocking FMA and
+//! AVX-512 throughput. The formulation is the same in the scalar
+//! (`f64::mul_add`), 256-bit FMA, and 512-bit AVX-512 paths — an FMA is
+//! correctly rounded wherever it executes — so relaxed results are still
+//! **deterministic and identical across machines, vector widths, and batch
+//! widths**. They are *not* bit-equal to strict mode: each fused step rounds
+//! once instead of twice, a sub-ulp perturbation per accumulation that
+//! compounds to the documented qsynth-level tolerance (DESIGN.md §4j).
+//! Default builds keep the strict contract.
 
 use crate::C64;
 
+/// Numerics-mode tag compiled into this build of qmath: `"strict"` (the
+/// default bit-exact embed+matmul contract) or `"relaxed-fma"`
+/// (`simd-relaxed`: FMA-contracted accumulation). Cache fingerprints hash
+/// this tag so artifacts produced under the two rounding regimes never mix.
+pub const NUMERICS_MODE: &str = if cfg!(feature = "simd-relaxed") {
+    "relaxed-fma"
+} else {
+    "strict"
+};
+
 /// `acc[j] += a * row[j]` over the common prefix of the two slices.
 #[inline]
-pub(crate) fn axpy(acc: &mut [C64], a: C64, row: &[C64]) {
-    #[cfg(target_arch = "x86_64")]
+pub fn axpy(acc: &mut [C64], a: C64, row: &[C64]) {
+    #[cfg(all(target_arch = "x86_64", not(feature = "simd-relaxed")))]
     {
-        if std::arch::is_x86_feature_detected!("avx") {
+        if acc.len().min(row.len()) >= 2 && std::arch::is_x86_feature_detected!("avx") {
             // SAFETY: AVX support was just checked.
             unsafe { axpy_avx(acc, a, row) };
+            return;
+        }
+    }
+    #[cfg(all(target_arch = "x86_64", feature = "simd-relaxed"))]
+    {
+        let n = acc.len().min(row.len());
+        if n >= 4 && std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: AVX-512F support was just checked.
+            unsafe { axpy_avx512(acc, a, row) };
+            return;
+        }
+        if n >= 2 && std::arch::is_x86_feature_detected!("fma") {
+            // SAFETY: FMA (and thus AVX) support was just checked.
+            unsafe { axpy_fma(acc, a, row) };
             return;
         }
     }
     axpy_scalar(acc, a, row);
 }
 
+/// `acc[j] += a[j] * row[j]` over the common prefix of the three slices.
+///
+/// The elementwise-coefficient sibling of [`axpy`]. Same strict/relaxed
+/// contract: in strict mode every path is bit-identical to the scalar
+/// `C64` multiply-accumulate; in relaxed mode every path is the two-FMA
+/// contraction.
 #[inline]
-fn axpy_scalar(acc: &mut [C64], a: C64, row: &[C64]) {
-    for (o, &r) in acc.iter_mut().zip(row) {
-        *o += a * r;
+pub fn vmla(acc: &mut [C64], a: &[C64], row: &[C64]) {
+    #[cfg(all(target_arch = "x86_64", not(feature = "simd-relaxed")))]
+    {
+        if acc.len().min(a.len()).min(row.len()) >= 2 && std::arch::is_x86_feature_detected!("avx")
+        {
+            // SAFETY: AVX support was just checked.
+            unsafe { vmla_avx(acc, a, row) };
+            return;
+        }
+    }
+    #[cfg(all(target_arch = "x86_64", feature = "simd-relaxed"))]
+    {
+        let n = acc.len().min(a.len()).min(row.len());
+        if n >= 4 && std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: AVX-512F support was just checked.
+            unsafe { vmla_avx512(acc, a, row) };
+            return;
+        }
+        if n >= 2 && std::arch::is_x86_feature_detected!("fma") {
+            // SAFETY: FMA (and thus AVX) support was just checked.
+            unsafe { vmla_fma(acc, a, row) };
+            return;
+        }
+    }
+    vmla_scalar(acc, a, row);
+}
+
+/// `acc[j] += a[j mod a.len()] * row[j]` — [`vmla`] with a coefficient
+/// block that repeats cyclically with period `a.len()`.
+///
+/// This is the row-based batched-kernel inner loop: a lane-major SoA row of
+/// `dim` elements × `lanes` lanes is one contiguous slice of `dim·lanes`
+/// complexes, and multiplying it by a per-lane gate entry applies the same
+/// `lanes` coefficients to every element. At `lanes == 1` the block is a
+/// single coefficient and the whole row runs through [`axpy`]'s full-width
+/// vector path — the reason narrow batches stay fast.
+///
+/// Bit-exactness: element `j`'s accumulation chain is identical to
+/// `vmla(acc, repeat(a), row)` (and, for `a.len() == 1`, to
+/// `axpy(acc, a[0], row)`) in both numerics modes.
+///
+/// # Panics
+///
+/// Panics if `a` is empty.
+#[inline]
+pub fn vmla_cyclic(acc: &mut [C64], a: &[C64], row: &[C64]) {
+    let lanes = a.len();
+    assert!(lanes >= 1, "empty coefficient block");
+    if lanes == 1 {
+        axpy(acc, a[0], row);
+        return;
+    }
+    let n = acc.len().min(row.len());
+    let mut i = 0;
+    while i < n {
+        let end = (i + lanes).min(n);
+        vmla(&mut acc[i..end], &a[..end - i], &row[i..end]);
+        i = end;
     }
 }
 
-/// AVX path: two complex numbers per 256-bit vector.
+/// Two simultaneous complex dot products sharing one coefficient row:
+/// returns `(Σ_j w[j]·s0[j], Σ_j w[j]·s1[j])` over the common prefix, each
+/// accumulated in ascending `j` order from `+0.0` with the mode's
+/// multiply-accumulate step (coefficient `w[j]` in the first operand slot).
+///
+/// This is the width-1 fast path of the reduced-`Q` sweep: at one lane the
+/// per-element [`vmla`] blocks degenerate to single scalar steps buried in
+/// slice plumbing, while here both independent accumulation chains live in
+/// registers across the whole row. Bit-identical to the equivalent `vmla`
+/// loop in both numerics modes.
+#[inline]
+pub fn dot2(w: &[C64], s0: &[C64], s1: &[C64]) -> (C64, C64) {
+    #[cfg(all(target_arch = "x86_64", not(feature = "simd-relaxed")))]
+    {
+        if !w.is_empty() && std::arch::is_x86_feature_detected!("avx") {
+            // SAFETY: AVX support was just checked.
+            return unsafe { dot2_avx(w, s0, s1) };
+        }
+    }
+    dot2_scalar(w, s0, s1)
+}
+
+#[inline]
+fn dot2_scalar(w: &[C64], s0: &[C64], s1: &[C64]) -> (C64, C64) {
+    let mut a0 = C64::ZERO;
+    let mut a1 = C64::ZERO;
+    for ((&wj, &x0), &x1) in w.iter().zip(s0).zip(s1) {
+        a0 = mla_step(a0, wj, x0);
+        a1 = mla_step(a1, wj, x1);
+    }
+    (a0, a1)
+}
+
+/// Strict AVX path of [`dot2`]: both chains ride in one 256-bit accumulator
+/// (`[a0.re, a0.im, a1.re, a1.im]`); each step broadcasts the shared
+/// coefficient and issues the exact unfused `mul`/`mul`/`addsub`/`add`
+/// sequence of [`axpy_avx`], so every element of each chain is bit-identical
+/// to [`dot2_scalar`]. No tail: one iteration handles one `j` of both
+/// chains.
+///
+/// # Safety
+///
+/// Caller must guarantee AVX support; the sole call site in [`dot2`] gates
+/// on `is_x86_feature_detected!("avx")`. Pointer arithmetic stays within
+/// the common prefix of the three slices.
+#[cfg(all(target_arch = "x86_64", not(feature = "simd-relaxed")))]
+#[target_feature(enable = "avx")]
+unsafe fn dot2_avx(w: &[C64], s0: &[C64], s1: &[C64]) -> (C64, C64) {
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_addsub_pd, _mm256_broadcast_sd, _mm256_castpd256_pd128,
+        _mm256_extractf128_pd, _mm256_loadu2_m128d, _mm256_mul_pd, _mm256_permute_pd,
+        _mm256_setzero_pd, _mm_storeu_pd,
+    };
+    let n = w.len().min(s0.len()).min(s1.len());
+    // SAFETY: C64 is `repr(C)` with two f64 fields; every offset below
+    // stays within the common prefix checked against `n`.
+    let wp = w.as_ptr().cast::<f64>();
+    let p0 = s0.as_ptr().cast::<f64>();
+    let p1 = s1.as_ptr().cast::<f64>();
+    let mut acc = _mm256_setzero_pd();
+    for j in 0..n {
+        // r = [s0[j], s1[j]] — low half chain 0, high half chain 1.
+        let r = _mm256_loadu2_m128d(p1.add(2 * j), p0.add(2 * j));
+        let w_re = _mm256_broadcast_sd(&*wp.add(2 * j));
+        let w_im = _mm256_broadcast_sd(&*wp.add(2 * j + 1));
+        let t1 = _mm256_mul_pd(r, w_re);
+        let rs = _mm256_permute_pd(r, 0b0101);
+        let t2 = _mm256_mul_pd(rs, w_im);
+        acc = _mm256_add_pd(acc, _mm256_addsub_pd(t1, t2));
+    }
+    let mut out = [C64::ZERO; 2];
+    let op = out.as_mut_ptr().cast::<f64>();
+    _mm_storeu_pd(op, _mm256_castpd256_pd128(acc));
+    _mm_storeu_pd(op.add(2), _mm256_extractf128_pd(acc, 1));
+    (out[0], out[1])
+}
+
+/// One complex multiply-accumulate `acc + a·r` in the mode this build was
+/// compiled for — the exact scalar step every kernel chain is built from
+/// (coefficient `a` in the first operand slot; the relaxed contraction is
+/// not operand-symmetric). Public so downstream width-1 fast paths can
+/// keep accumulators in registers while staying bit-identical to the
+/// [`vmla`]/[`axpy`] chains.
+#[inline]
+pub fn mla1(acc: C64, a: C64, r: C64) -> C64 {
+    mla_step(acc, a, r)
+}
+
+/// One multiply-accumulate step in the mode this build was compiled for.
+/// The kernels' scalar accumulations route through this so serial and
+/// batched paths agree bit-for-bit in *both* numerics modes.
+#[inline]
+pub(crate) fn mla_step(acc: C64, a: C64, r: C64) -> C64 {
+    #[cfg(not(feature = "simd-relaxed"))]
+    {
+        acc + a * r
+    }
+    #[cfg(feature = "simd-relaxed")]
+    {
+        // The relaxed contraction; see the module docs. `f64::mul_add` is a
+        // correctly rounded fused multiply-add, so this matches the vector
+        // FMA paths bit-for-bit.
+        C64::new(
+            r.re.mul_add(a.re, r.im.mul_add(-a.im, acc.re)),
+            r.im.mul_add(a.re, r.re.mul_add(a.im, acc.im)),
+        )
+    }
+}
+
+#[inline]
+fn axpy_scalar(acc: &mut [C64], a: C64, row: &[C64]) {
+    for (o, &r) in acc.iter_mut().zip(row) {
+        *o = mla_step(*o, a, r);
+    }
+}
+
+#[inline]
+fn vmla_scalar(acc: &mut [C64], a: &[C64], row: &[C64]) {
+    for ((o, &av), &r) in acc.iter_mut().zip(a).zip(row) {
+        *o = mla_step(*o, av, r);
+    }
+}
+
+/// Strict AVX path: two complex numbers per 256-bit vector.
 ///
 /// Per lane pair this computes exactly what `C64: Mul`/`AddAssign` compute:
 /// `t1 = (a.re·r.re, a.re·r.im)`, `t2 = (a.im·r.im, a.im·r.re)`, then
@@ -47,7 +290,7 @@ fn axpy_scalar(acc: &mut [C64], a: C64, row: &[C64]) {
 /// `is_x86_feature_detected!("avx")`. No other precondition: slice bounds
 /// are derived from the common prefix length inside the function, and all
 /// loads/stores are unaligned (`loadu`/`storeu`).
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(target_arch = "x86_64", not(feature = "simd-relaxed")))]
 #[target_feature(enable = "avx")]
 unsafe fn axpy_avx(acc: &mut [C64], a: C64, row: &[C64]) {
     use std::arch::x86_64::{
@@ -79,14 +322,205 @@ unsafe fn axpy_avx(acc: &mut [C64], a: C64, row: &[C64]) {
     }
 }
 
+/// Strict AVX path of [`vmla`]: identical operation sequence to
+/// [`axpy_avx`], with the coefficient's re/im parts duplicated per complex
+/// (`unpacklo`/`unpackhi` within each 128-bit half) instead of broadcast.
+///
+/// # Safety
+///
+/// Caller must guarantee AVX support; see [`axpy_avx`]. Pointer arithmetic
+/// stays within the common prefix of the three slices.
+#[cfg(all(target_arch = "x86_64", not(feature = "simd-relaxed")))]
+#[target_feature(enable = "avx")]
+unsafe fn vmla_avx(acc: &mut [C64], a: &[C64], row: &[C64]) {
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_addsub_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_permute_pd,
+        _mm256_storeu_pd, _mm256_unpackhi_pd, _mm256_unpacklo_pd,
+    };
+    let n = acc.len().min(a.len()).min(row.len());
+    // SAFETY: as in `axpy_avx` — C64 is repr(C) { re: f64, im: f64 }, and
+    // every offset below stays within the common prefix `n`.
+    let ap = acc.as_mut_ptr().cast::<f64>();
+    let cp = a.as_ptr().cast::<f64>();
+    let rp = row.as_ptr().cast::<f64>();
+    let mut i = 0;
+    while i + 2 <= n {
+        let r = _mm256_loadu_pd(rp.add(2 * i));
+        let va = _mm256_loadu_pd(cp.add(2 * i));
+        // Per 128-bit half: (a.re, a.re) and (a.im, a.im).
+        let a_re = _mm256_unpacklo_pd(va, va);
+        let a_im = _mm256_unpackhi_pd(va, va);
+        let t1 = _mm256_mul_pd(r, a_re);
+        let rs = _mm256_permute_pd(r, 0b0101);
+        let t2 = _mm256_mul_pd(rs, a_im);
+        let prod = _mm256_addsub_pd(t1, t2);
+        let o = _mm256_loadu_pd(ap.add(2 * i));
+        _mm256_storeu_pd(ap.add(2 * i), _mm256_add_pd(o, prod));
+        i += 2;
+    }
+    if i < n {
+        vmla_scalar(&mut acc[i..n], &a[i..n], &row[i..n]);
+    }
+}
+
+/// Relaxed 256-bit FMA path: per complex,
+/// `step1 = fma((r.im, r.re), (−a.im, a.im), acc)` then
+/// `fma((r.re, r.im), (a.re, a.re), step1)` — the exact contraction
+/// [`mla_step`] computes with `f64::mul_add`.
+///
+/// # Safety
+///
+/// Caller must guarantee FMA support (which implies AVX); the sole call
+/// site gates on `is_x86_feature_detected!("fma")`. Pointer arithmetic
+/// stays within the common prefix of the slices.
+#[cfg(all(target_arch = "x86_64", feature = "simd-relaxed"))]
+#[target_feature(enable = "avx,fma")]
+unsafe fn axpy_fma(acc: &mut [C64], a: C64, row: &[C64]) {
+    use std::arch::x86_64::{
+        _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_permute_pd, _mm256_set1_pd, _mm256_setr_pd,
+        _mm256_storeu_pd,
+    };
+    let n = acc.len().min(row.len());
+    let a_re = _mm256_set1_pd(a.re);
+    // (−a.im, +a.im) per complex slot: the re component subtracts
+    // a.im·r.im, the im component adds a.im·r.re.
+    let a_im = _mm256_setr_pd(-a.im, a.im, -a.im, a.im);
+    // SAFETY: see `axpy_avx` — offsets stay within the common prefix.
+    let ap = acc.as_mut_ptr().cast::<f64>();
+    let rp = row.as_ptr().cast::<f64>();
+    let mut i = 0;
+    while i + 2 <= n {
+        let r = _mm256_loadu_pd(rp.add(2 * i));
+        let rs = _mm256_permute_pd(r, 0b0101);
+        let o = _mm256_loadu_pd(ap.add(2 * i));
+        let step1 = _mm256_fmadd_pd(rs, a_im, o);
+        _mm256_storeu_pd(ap.add(2 * i), _mm256_fmadd_pd(r, a_re, step1));
+        i += 2;
+    }
+    if i < n {
+        axpy_scalar(&mut acc[i..n], a, &row[i..n]);
+    }
+}
+
+/// Relaxed 256-bit FMA path of [`vmla`]; same contraction as [`axpy_fma`]
+/// with per-element coefficients.
+///
+/// # Safety
+///
+/// Caller must guarantee FMA support; see [`axpy_fma`].
+#[cfg(all(target_arch = "x86_64", feature = "simd-relaxed"))]
+#[target_feature(enable = "avx,fma")]
+unsafe fn vmla_fma(acc: &mut [C64], a: &[C64], row: &[C64]) {
+    use std::arch::x86_64::{
+        _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_permute_pd, _mm256_set_pd, _mm256_storeu_pd,
+        _mm256_unpackhi_pd, _mm256_unpacklo_pd, _mm256_xor_pd,
+    };
+    let n = acc.len().min(a.len()).min(row.len());
+    // Flips the sign of the even (re) slot of each complex.
+    let signflip = _mm256_set_pd(0.0, -0.0, 0.0, -0.0);
+    // SAFETY: see `vmla_avx` — offsets stay within the common prefix.
+    let ap = acc.as_mut_ptr().cast::<f64>();
+    let cp = a.as_ptr().cast::<f64>();
+    let rp = row.as_ptr().cast::<f64>();
+    let mut i = 0;
+    while i + 2 <= n {
+        let r = _mm256_loadu_pd(rp.add(2 * i));
+        let va = _mm256_loadu_pd(cp.add(2 * i));
+        let a_re = _mm256_unpacklo_pd(va, va);
+        // (−a.im, +a.im) per complex slot.
+        let a_im = _mm256_xor_pd(_mm256_unpackhi_pd(va, va), signflip);
+        let rs = _mm256_permute_pd(r, 0b0101);
+        let o = _mm256_loadu_pd(ap.add(2 * i));
+        let step1 = _mm256_fmadd_pd(rs, a_im, o);
+        _mm256_storeu_pd(ap.add(2 * i), _mm256_fmadd_pd(r, a_re, step1));
+        i += 2;
+    }
+    if i < n {
+        vmla_scalar(&mut acc[i..n], &a[i..n], &row[i..n]);
+    }
+}
+
+/// Relaxed AVX-512 path: four complex numbers per 512-bit vector, same
+/// two-FMA contraction as [`axpy_fma`] (bit-identical per element — an FMA
+/// rounds the same at any vector width).
+///
+/// # Safety
+///
+/// Caller must guarantee AVX-512F support; the sole call site gates on
+/// `is_x86_feature_detected!("avx512f")`. Pointer arithmetic stays within
+/// the common prefix of the slices.
+#[cfg(all(target_arch = "x86_64", feature = "simd-relaxed"))]
+#[target_feature(enable = "avx512f")]
+unsafe fn axpy_avx512(acc: &mut [C64], a: C64, row: &[C64]) {
+    use std::arch::x86_64::{
+        _mm512_fmadd_pd, _mm512_loadu_pd, _mm512_permute_pd, _mm512_set1_pd, _mm512_setr_pd,
+        _mm512_storeu_pd,
+    };
+    let n = acc.len().min(row.len());
+    let a_re = _mm512_set1_pd(a.re);
+    let a_im = _mm512_setr_pd(-a.im, a.im, -a.im, a.im, -a.im, a.im, -a.im, a.im);
+    // SAFETY: see `axpy_avx` — offsets stay within the common prefix.
+    let ap = acc.as_mut_ptr().cast::<f64>();
+    let rp = row.as_ptr().cast::<f64>();
+    let mut i = 0;
+    while i + 4 <= n {
+        let r = _mm512_loadu_pd(rp.add(2 * i));
+        let rs = _mm512_permute_pd(r, 0b0101_0101);
+        let o = _mm512_loadu_pd(ap.add(2 * i));
+        let step1 = _mm512_fmadd_pd(rs, a_im, o);
+        _mm512_storeu_pd(ap.add(2 * i), _mm512_fmadd_pd(r, a_re, step1));
+        i += 4;
+    }
+    if i < n {
+        // The 256-bit FMA path computes the identical contraction.
+        // SAFETY: AVX-512F implies AVX2+FMA.
+        unsafe { axpy_fma(&mut acc[i..n], a, &row[i..n]) };
+    }
+}
+
+/// Relaxed AVX-512 path of [`vmla`]; same contraction, per-element
+/// coefficients.
+///
+/// # Safety
+///
+/// Caller must guarantee AVX-512F support; see [`axpy_avx512`].
+#[cfg(all(target_arch = "x86_64", feature = "simd-relaxed"))]
+#[target_feature(enable = "avx512f")]
+unsafe fn vmla_avx512(acc: &mut [C64], a: &[C64], row: &[C64]) {
+    use std::arch::x86_64::{
+        _mm512_fmadd_pd, _mm512_loadu_pd, _mm512_permute_pd, _mm512_set_pd, _mm512_storeu_pd,
+        _mm512_unpackhi_pd, _mm512_unpacklo_pd, _mm512_xor_pd,
+    };
+    let n = acc.len().min(a.len()).min(row.len());
+    let signflip = _mm512_set_pd(0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0);
+    // SAFETY: see `vmla_avx` — offsets stay within the common prefix.
+    let ap = acc.as_mut_ptr().cast::<f64>();
+    let cp = a.as_ptr().cast::<f64>();
+    let rp = row.as_ptr().cast::<f64>();
+    let mut i = 0;
+    while i + 4 <= n {
+        let r = _mm512_loadu_pd(rp.add(2 * i));
+        let va = _mm512_loadu_pd(cp.add(2 * i));
+        let a_re = _mm512_unpacklo_pd(va, va);
+        let a_im = _mm512_xor_pd(_mm512_unpackhi_pd(va, va), signflip);
+        let rs = _mm512_permute_pd(r, 0b0101_0101);
+        let o = _mm512_loadu_pd(ap.add(2 * i));
+        let step1 = _mm512_fmadd_pd(rs, a_im, o);
+        _mm512_storeu_pd(ap.add(2 * i), _mm512_fmadd_pd(r, a_re, step1));
+        i += 4;
+    }
+    if i < n {
+        // SAFETY: AVX-512F implies AVX2+FMA.
+        unsafe { vmla_fma(&mut acc[i..n], &a[i..n], &row[i..n]) };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn axpy_matches_scalar_bitwise() {
-        // Awkward values (subnormals, signed zeros, large exponents) across
-        // even and odd lengths, including the tail path.
+    fn awkward(len: usize, salt: usize) -> Vec<C64> {
+        // Awkward values (subnormals, signed zeros, large exponents).
         let vals = [
             C64::new(1.5, -2.25),
             C64::new(-0.0, 0.0),
@@ -94,10 +528,19 @@ mod tests {
             C64::new(std::f64::consts::PI, -1e-12),
             C64::new(-3.5e5, 7.25),
         ];
-        for len in 0..=7 {
-            let row: Vec<C64> = (0..len).map(|i| vals[i % vals.len()]).collect();
+        (0..len).map(|i| vals[(i + salt) % vals.len()]).collect()
+    }
+
+    #[test]
+    fn axpy_matches_scalar_bitwise() {
+        // The dispatcher must agree with the compiled-in scalar reference in
+        // *both* numerics modes: strict SIMD mirrors the unfused sequence,
+        // relaxed SIMD mirrors the `mul_add` contraction. Lengths cover the
+        // 512-bit, 256-bit, and scalar-tail paths.
+        for len in 0..=11 {
+            let row = awkward(len, 0);
             let a = C64::new(0.123456789, -9.87);
-            let mut got: Vec<C64> = (0..len).map(|i| vals[(i + 2) % vals.len()]).collect();
+            let mut got = awkward(len, 2);
             let mut want = got.clone();
             axpy(&mut got, a, &row);
             axpy_scalar(&mut want, a, &row);
@@ -105,6 +548,145 @@ mod tests {
                 assert_eq!(g.re.to_bits(), w.re.to_bits(), "len {len}");
                 assert_eq!(g.im.to_bits(), w.im.to_bits(), "len {len}");
             }
+        }
+    }
+
+    #[test]
+    fn vmla_matches_scalar_bitwise() {
+        for len in 0..=11 {
+            let row = awkward(len, 0);
+            let a = awkward(len, 1);
+            let mut got = awkward(len, 2);
+            let mut want = got.clone();
+            vmla(&mut got, &a, &row);
+            vmla_scalar(&mut want, &a, &row);
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.re.to_bits(), w.re.to_bits(), "len {len}");
+                assert_eq!(g.im.to_bits(), w.im.to_bits(), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn vmla_with_broadcast_coefficient_matches_axpy() {
+        // axpy is vmla with a constant coefficient vector — in either mode.
+        for len in [1usize, 2, 3, 5, 8, 9] {
+            let row = awkward(len, 3);
+            let a = C64::new(-0.75, 2.5e-3);
+            let av = vec![a; len];
+            let mut via_axpy = awkward(len, 4);
+            let mut via_vmla = via_axpy.clone();
+            axpy(&mut via_axpy, a, &row);
+            vmla(&mut via_vmla, &av, &row);
+            for (g, w) in via_vmla.iter().zip(&via_axpy) {
+                assert_eq!(g.re.to_bits(), w.re.to_bits(), "len {len}");
+                assert_eq!(g.im.to_bits(), w.im.to_bits(), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn vmla_cyclic_matches_elementwise_vmla() {
+        // A cyclic coefficient block of period `lanes` must agree bitwise
+        // with materializing the repeated coefficient vector.
+        for lanes in [1usize, 2, 3, 5, 8] {
+            for rows in [1usize, 2, 7, 16] {
+                let len = rows * lanes;
+                let row = awkward(len, 0);
+                let block = awkward(lanes, 1);
+                let full: Vec<C64> = (0..len).map(|j| block[j % lanes]).collect();
+                let mut got = awkward(len, 2);
+                let mut want = got.clone();
+                vmla_cyclic(&mut got, &block, &row);
+                vmla(&mut want, &full, &row);
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.re.to_bits(), w.re.to_bits(), "lanes {lanes} len {len}");
+                    assert_eq!(g.im.to_bits(), w.im.to_bits(), "lanes {lanes} len {len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot2_matches_single_element_vmla_chain() {
+        // dot2 is bitwise the same pair of accumulation chains a per-step
+        // width-1 vmla loop produces.
+        for len in [0usize, 1, 2, 7, 16] {
+            let w = awkward(len, 0);
+            let s0 = awkward(len, 1);
+            let s1 = awkward(len, 2);
+            let (a0, a1) = dot2(&w, &s0, &s1);
+            let mut w0 = [C64::ZERO];
+            let mut w1 = [C64::ZERO];
+            for j in 0..len {
+                vmla(&mut w0, &w[j..=j], &s0[j..=j]);
+                vmla(&mut w1, &w[j..=j], &s1[j..=j]);
+            }
+            assert_eq!(a0.re.to_bits(), w0[0].re.to_bits(), "len {len}");
+            assert_eq!(a0.im.to_bits(), w0[0].im.to_bits(), "len {len}");
+            assert_eq!(a1.re.to_bits(), w1[0].re.to_bits(), "len {len}");
+            assert_eq!(a1.im.to_bits(), w1[0].im.to_bits(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn vmla_cyclic_single_lane_matches_axpy() {
+        let row = awkward(16, 3);
+        let c = [C64::new(0.6, -1.75)];
+        let mut got = awkward(16, 4);
+        let mut want = got.clone();
+        vmla_cyclic(&mut got, &c, &row);
+        axpy(&mut want, c[0], &row);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.re.to_bits(), w.re.to_bits());
+            assert_eq!(g.im.to_bits(), w.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn numerics_mode_matches_build() {
+        if cfg!(feature = "simd-relaxed") {
+            assert_eq!(NUMERICS_MODE, "relaxed-fma");
+        } else {
+            assert_eq!(NUMERICS_MODE, "strict");
+        }
+    }
+
+    /// Relaxed mode must track the strict (unfused) result to a tight
+    /// relative tolerance: each contraction skips one rounding, so a single
+    /// multiply-accumulate differs by well under 1 ulp of the exact value.
+    #[cfg(feature = "simd-relaxed")]
+    #[test]
+    fn relaxed_stays_within_tolerance_of_strict() {
+        // Strict reference computed inline (this build's mla_step is the
+        // relaxed contraction).
+        fn strict_step(acc: C64, a: C64, r: C64) -> C64 {
+            acc + a * r
+        }
+        // Moderate magnitudes: the awkward() extremes overflow to ±inf in
+        // both modes, where a relative comparison is meaningless.
+        let gen = |salt: usize| -> Vec<C64> {
+            (0..64)
+                .map(|i| {
+                    let k = (i * 37 + salt * 11) % 97;
+                    C64::new(0.05 * k as f64 - 2.4, 1.7 - 0.03 * k as f64)
+                })
+                .collect()
+        };
+        let row = gen(0);
+        let a = gen(1);
+        let mut got = gen(2);
+        let mut want = got.clone();
+        vmla(&mut got, &a, &row);
+        for ((w, &av), &r) in want.iter_mut().zip(&a).zip(&row) {
+            *w = strict_step(*w, av, r);
+        }
+        for (g, w) in got.iter().zip(&want) {
+            let scale = w.norm_sqr().sqrt().max(1e-300);
+            assert!(
+                (*g - *w).norm_sqr().sqrt() / scale < 1e-14,
+                "relaxed {g:?} vs strict {w:?}"
+            );
         }
     }
 }

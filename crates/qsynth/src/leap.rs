@@ -2,7 +2,7 @@
 //! collect-all-approximations modification.
 
 use crate::cost::HsCost;
-use crate::optimize::{minimize_with_width, OptimizerConfig};
+use crate::optimize::{minimize_batched, OptimizerConfig};
 use crate::template::Template;
 use qcircuit::Circuit;
 use qmath::Matrix;
@@ -34,11 +34,12 @@ pub struct SynthesisConfig {
     /// topology-aware). `None` means all-to-all.
     pub coupling: Option<qcircuit::topology::CouplingMap>,
     /// Total worker-thread budget for this synthesis run. The frontier's
-    /// candidate placements expand concurrently up to this width; leftover
-    /// budget flows into the per-candidate optimizer's restart pool, so the
-    /// run never spawns more than `parallel_width` workers at once. `None`
-    /// uses [`std::thread::available_parallelism`]; `Some(1)` is fully
-    /// serial. The result is **bit-identical** for every width (each
+    /// candidate placements expand concurrently up to this width, one
+    /// thread per job; within each job the optimizer packs its restarts
+    /// into the SIMD lanes of one batched evaluator
+    /// ([`OptimizerConfig::batch_width`]) instead of spawning threads.
+    /// `None` uses [`std::thread::available_parallelism`]; `Some(1)` is
+    /// fully serial. The result is **bit-identical** for every width (each
     /// candidate's RNG seed depends only on its tree position, and the
     /// expanded children are reduced in deterministic placement order).
     pub parallel_width: Option<usize>,
@@ -230,11 +231,11 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
     let n = dim.trailing_zeros() as usize;
     let max_cnots = cfg.max_cnots.unwrap_or(n * n + 8);
     let exact_floor = (cfg.epsilon * 1e-2).min(1e-7);
-    // The total worker budget for this run. Frontier candidates consume it
-    // first; whatever is left per candidate flows into the optimizer's
-    // restart pool. Every split yields bit-identical results (the optimizer
-    // and the frontier reduction are both width-invariant), so the budget
-    // only trades wall-clock for threads.
+    // The total worker budget for this run, consumed by concurrent frontier
+    // expansions. Per-candidate optimizer starts are not threaded — they
+    // ride the SIMD lanes of a batched evaluator — so the budget only
+    // trades wall-clock for threads at the frontier level; the result is
+    // bit-identical for every width.
     let budget = cfg.parallel_width.map_or_else(
         || std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         |w| w.max(1),
@@ -268,12 +269,11 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
     let root_template = Template::initial(n);
     let root = {
         let cost_fn = HsCost::new(&root_template, target);
-        let out = minimize_with_width(
-            || cost_fn.evaluator(),
+        let out = minimize_batched(
+            |w| cost_fn.batch_evaluator(w),
             cost_fn.num_params(),
             None,
             &seeded(&cfg.optimizer, 0),
-            if cfg.optimizer.parallel { budget } else { 1 },
         );
         result.gradient_evals += out.evals;
         result.poisoned_starts += out.poisoned_starts;
@@ -338,11 +338,6 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
         // jobs are order-independent and can run on any number of workers.
         let jobs = frontier.len() * pairs.len();
         let frontier_width = budget.min(jobs).max(1);
-        let opt_width = if cfg.optimizer.parallel {
-            (budget / frontier_width).max(1)
-        } else {
-            1
-        };
         let expand = |ni: usize, pi: usize| -> Option<(Node, usize, usize)> {
             // A deadline that expires mid-layer skips the remaining jobs:
             // which jobs got skipped is wall-clock dependent, but any
@@ -364,24 +359,22 @@ pub fn synthesize(target: &Matrix, cfg: &SynthesisConfig) -> SynthesisResult {
                 restarts: 1,
                 ..seeded(&cfg.optimizer, seed_mix)
             };
-            let mut out = minimize_with_width(
-                || cost_fn.evaluator(),
+            let mut out = minimize_batched(
+                |w| cost_fn.batch_evaluator(w),
                 cost_fn.num_params(),
                 Some(&node.params),
                 &warm_cfg,
-                opt_width,
             );
             if HsCost::distance(out.cost) > cfg.epsilon && cfg.optimizer.restarts > 1 {
                 let cold_cfg = OptimizerConfig {
                     restarts: cfg.optimizer.restarts - 1,
                     ..seeded(&cfg.optimizer, seed_mix ^ 0xC01D)
                 };
-                let mut cold = minimize_with_width(
-                    || cost_fn.evaluator(),
+                let mut cold = minimize_batched(
+                    |w| cost_fn.batch_evaluator(w),
                     cost_fn.num_params(),
                     None,
                     &cold_cfg,
-                    opt_width,
                 );
                 cold.evals += out.evals;
                 if cold.cost < out.cost {

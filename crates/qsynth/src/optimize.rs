@@ -12,7 +12,19 @@
 //! serial loop would have given it), and the reduction picks the best
 //! `(cost, start_index)` pair — bit-identical to the serial sweep for any
 //! worker count. See DESIGN.md § "Synthesis hot path".
+//!
+//! [`minimize_batched`] is the faster sibling used by the synthesis hot
+//! loop: instead of one thread per start it packs all live starts into the
+//! **lanes** of one structure-of-arrays [`BatchEvaluator`], so a single
+//! template traversal produces every start's cost and gradient. Each lane
+//! carries its own Adam state; lanes retire independently when their start
+//! converges, early-stops, or exhausts its iteration budget, and freed
+//! lanes are refilled from the start queue. Because batched cost/gradient
+//! kernels are bit-identical per lane at any width, the per-start outcomes
+//! — and therefore the reduction — are bit-identical to the serial sweep
+//! for any batch width. See DESIGN.md § "Batched multi-start evaluation".
 
+use qmath::kernels::MAX_BATCH;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -34,6 +46,11 @@ pub struct OptimizerConfig {
     /// Run independent starts on a bounded worker pool. The result is
     /// bit-identical either way; this only trades wall-clock for threads.
     pub parallel: bool,
+    /// Maximum SoA lanes per batched evaluation in [`minimize_batched`]
+    /// (clamped to [`qmath::kernels::MAX_BATCH`] and to the start count).
+    /// Width only trades throughput: per-start results are bit-identical
+    /// at any batch width. Ignored by the scalar [`minimize`] path.
+    pub batch_width: usize,
 }
 
 impl Default for OptimizerConfig {
@@ -45,6 +62,7 @@ impl Default for OptimizerConfig {
             target_cost: 1e-14,
             seed: 0,
             parallel: true,
+            batch_width: MAX_BATCH,
         }
     }
 }
@@ -84,6 +102,34 @@ impl<F: FnMut(&[f64], &mut [f64]) -> f64> Evaluator for F {
     fn eval(&mut self, x: &[f64], grad: &mut [f64]) -> f64 {
         self(x, grad)
     }
+}
+
+/// A cost-and-gradient evaluator over a batch of SoA *lanes*.
+///
+/// One call evaluates `lanes` independent parameter vectors at once; the
+/// implementation (e.g. [`crate::cost::HsBatchEvaluator`]) amortizes shared
+/// work — template traversal, gate placement decoding — across the batch
+/// and vectorizes the per-lane arithmetic.
+///
+/// All stacks are **lane-major**: parameter `p` of lane `b` lives at
+/// `xs[p * lanes + b]`, and likewise for `grads`; `costs` holds one entry
+/// per lane.
+///
+/// # Determinism contract
+///
+/// Each lane must be an independent accumulation chain: lane `b`'s cost and
+/// gradient are bit-identical to a `lanes = 1` evaluation of the same
+/// parameters, for any batch width and any contents of the other lanes.
+/// [`minimize_batched`] relies on this to stay bit-identical to the serial
+/// start sweep while lanes retire and refill.
+pub trait BatchEvaluator {
+    /// Maximum lane count a single [`eval_lanes`](Self::eval_lanes) call
+    /// supports (the workspace capacity).
+    fn max_lanes(&self) -> usize;
+
+    /// Evaluates `lanes` parameter vectors packed lane-major in `xs`,
+    /// writing one cost per lane and the gradients lane-major into `grads`.
+    fn eval_lanes(&mut self, lanes: usize, xs: &[f64], costs: &mut [f64], grads: &mut [f64]);
 }
 
 /// What one optimizer start produced.
@@ -363,10 +409,18 @@ where
         }
     }
 
-    // Deterministic reduction, equivalent to the serial sweep: only starts
-    // up to (and including) the first one that reached the target count —
-    // the serial loop would have stopped there — and ties on cost go to the
-    // earliest start.
+    reduce_outcomes(&results, num_params, cfg)
+}
+
+/// Deterministic reduction shared by the threaded and batched front ends,
+/// equivalent to the serial sweep: only starts up to (and including) the
+/// first one that reached the target count — the serial loop would have
+/// stopped there — and ties on cost go to the earliest start.
+fn reduce_outcomes(
+    results: &[Option<StartOutcome>],
+    num_params: usize,
+    cfg: &OptimizerConfig,
+) -> OptimizeOutcome {
     let mut best: Option<(usize, &StartOutcome)> = None;
     let mut evals = 0;
     let mut poisoned_starts = 0;
@@ -412,6 +466,317 @@ where
     }
 }
 
+/// Adam state of one live lane in the batched engine. Every numeric field
+/// evolves through exactly the scalar operations [`run_start`] performs, so
+/// a lane's trajectory is bit-identical to the serial start it replaces.
+struct LaneState {
+    /// Start index this lane is running.
+    s: usize,
+    /// Poison-retry ordinal of the current attempt (0 = initial point).
+    attempt: usize,
+    /// Current 1-based Adam iteration of the attempt.
+    iter: usize,
+    x: Vec<f64>,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    lr: f64,
+    start_best: f64,
+    stall: usize,
+    best_params: Vec<f64>,
+    best_cost: f64,
+    /// Gradient evaluations consumed by the current attempt.
+    attempt_evals: usize,
+    /// Evaluations carried over from earlier poisoned attempts of this
+    /// start (a panicked attempt's count is unknowable and charged as zero,
+    /// matching [`attempt_start`]).
+    carried_evals: usize,
+    poisoned_attempts: usize,
+    /// Set when this step retired the lane (start finished or written off).
+    done: bool,
+}
+
+impl LaneState {
+    fn new(s: usize, x: Vec<f64>, cfg: &OptimizerConfig) -> Self {
+        let n = x.len();
+        LaneState {
+            s,
+            attempt: 0,
+            iter: 1,
+            best_params: x.clone(),
+            x,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            lr: cfg.learning_rate,
+            start_best: f64::INFINITY,
+            stall: 0,
+            best_cost: f64::INFINITY,
+            attempt_evals: 0,
+            carried_evals: 0,
+            poisoned_attempts: 0,
+            done: false,
+        }
+    }
+
+    /// Restarts the lane on a fresh attempt point, resetting all Adam state
+    /// exactly as a new [`run_start`] call would.
+    fn reset_attempt(&mut self, x: Vec<f64>, cfg: &OptimizerConfig) {
+        self.iter = 1;
+        self.best_params.copy_from_slice(&x);
+        self.x = x;
+        self.m.fill(0.0);
+        self.v.fill(0.0);
+        self.lr = cfg.learning_rate;
+        self.start_best = f64::INFINITY;
+        self.stall = 0;
+        self.best_cost = f64::INFINITY;
+        self.attempt_evals = 0;
+    }
+
+    /// The finished start's outcome (valid once the attempt completed
+    /// cleanly).
+    fn finish(&self) -> StartOutcome {
+        StartOutcome {
+            params: self.best_params.clone(),
+            cost: self.best_cost,
+            evals: self.carried_evals + self.attempt_evals,
+            poisoned: false,
+            poisoned_attempts: self.poisoned_attempts,
+        }
+    }
+
+    /// The inert outcome of a start whose every attempt poisoned.
+    fn write_off(&self, num_params: usize) -> StartOutcome {
+        StartOutcome {
+            params: vec![0.0; num_params],
+            cost: f64::INFINITY,
+            evals: self.carried_evals,
+            poisoned: true,
+            poisoned_attempts: self.poisoned_attempts,
+        }
+    }
+}
+
+/// What one batched step did to a lane.
+enum LaneFate {
+    /// Lane keeps iterating.
+    Running,
+    /// Attempt completed cleanly (target reached or iteration budget spent).
+    Finished,
+    /// Attempt hit a non-finite cost or gradient.
+    Poisoned,
+}
+
+/// Advances one lane through exactly the per-iteration logic of
+/// [`run_start`]: poison check, best tracking, stall-based learning-rate
+/// halving, early stop, then the Adam update. `w` is the stride of the
+/// lane-major `grads` stack and `b` the column this lane reads.
+fn lane_step(
+    lane: &mut LaneState,
+    #[allow(unused_mut)] mut c: f64,
+    grads: &[f64],
+    w: usize,
+    b: usize,
+    num_params: usize,
+    cfg: &OptimizerConfig,
+) -> LaneFate {
+    lane.attempt_evals += 1;
+    qfault::inject!("qsynth.cost", nan, c);
+    if !c.is_finite() || (0..num_params).any(|i| !grads[i * w + b].is_finite()) {
+        return LaneFate::Poisoned;
+    }
+    if c < lane.best_cost {
+        lane.best_cost = c;
+        lane.best_params.copy_from_slice(&lane.x);
+    }
+    if c < lane.start_best * (1.0 - 1e-3) {
+        lane.start_best = c;
+        lane.stall = 0;
+    } else {
+        lane.stall += 1;
+        if lane.stall >= 30 {
+            lane.lr = (lane.lr * 0.5).max(1e-5);
+            lane.stall = 0;
+        }
+    }
+    if c <= cfg.target_cost || lane.iter == cfg.max_iters {
+        return LaneFate::Finished;
+    }
+    // Iteration counts stay far below i32::MAX (same bound as run_start).
+    #[allow(clippy::cast_possible_truncation)]
+    let t = lane.iter as i32;
+    let (b1, b2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+    let b1t = 1.0 - b1.powi(t);
+    let b2t = 1.0 - b2.powi(t);
+    for i in 0..num_params {
+        let g = grads[i * w + b];
+        lane.m[i] = b1 * lane.m[i] + (1.0 - b1) * g;
+        lane.v[i] = b2 * lane.v[i] + (1.0 - b2) * g * g;
+        let mhat = lane.m[i] / b1t;
+        let vhat = lane.v[i] / b2t;
+        lane.x[i] -= lane.lr * mhat / (vhat.sqrt() + eps);
+    }
+    lane.iter += 1;
+    LaneFate::Running
+}
+
+/// Minimizes over `num_params` angles with all starts sharing batched SoA
+/// evaluations — the synthesis hot-loop entry point.
+///
+/// `make_eval` receives the resolved batch width (`cfg.batch_width` clamped
+/// to [`MAX_BATCH`] and the start count) and builds the batch evaluator
+/// sized for it, e.g. `|w| cost_fn.batch_evaluator(w)`. Start scheduling,
+/// warm starts, poison retries, early stopping, and the reduction all
+/// follow [`minimize`]'s semantics exactly; the returned outcome is
+/// bit-identical to the serial sweep for any batch width.
+pub fn minimize_batched<E, F>(
+    make_eval: F,
+    num_params: usize,
+    warm_start: Option<&[f64]>,
+    cfg: &OptimizerConfig,
+) -> OptimizeOutcome
+where
+    E: BatchEvaluator,
+    F: FnOnce(usize) -> E,
+{
+    let width = cfg.batch_width.clamp(1, MAX_BATCH).min(cfg.restarts.max(1));
+    let mut eval = make_eval(width);
+    let width = width.min(eval.max_lanes()).max(1);
+    minimize_batched_with_width(&mut eval, num_params, warm_start, cfg, width)
+}
+
+/// [`minimize_batched`] with a pre-built evaluator and an explicit batch
+/// width (`1` = one lane, the serial sweep). Exposed so the width-invariance
+/// contract is directly testable.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or exceeds `eval.max_lanes()`.
+pub fn minimize_batched_with_width<E: BatchEvaluator>(
+    eval: &mut E,
+    num_params: usize,
+    warm_start: Option<&[f64]>,
+    cfg: &OptimizerConfig,
+    width: usize,
+) -> OptimizeOutcome {
+    assert!(
+        width >= 1 && width <= eval.max_lanes(),
+        "batch width {width} outside evaluator capacity {}",
+        eval.max_lanes()
+    );
+    let nstarts = cfg.restarts.max(1);
+    let mut results: Vec<Option<StartOutcome>> = (0..nstarts).map(|_| None).collect();
+
+    // Degenerate budget: run_start never evaluates, so every start yields
+    // its initial point with an infinite best cost and zero evals.
+    if cfg.max_iters == 0 {
+        for (s, slot) in results.iter_mut().enumerate() {
+            *slot = Some(StartOutcome {
+                params: initial_point(s, num_params, warm_start, cfg),
+                cost: f64::INFINITY,
+                evals: 0,
+                poisoned: false,
+                poisoned_attempts: 0,
+            });
+        }
+        return reduce_outcomes(&results, num_params, cfg);
+    }
+
+    let mut lanes: Vec<LaneState> = Vec::with_capacity(width);
+    let mut next_start = 0usize;
+    // Lowest start index that reached the target cost. The reduction never
+    // looks past it, so starts after it are neither scheduled nor finished
+    // — the batched analogue of the serial sweep's early stop.
+    let mut reached_at: Option<usize> = None;
+    while next_start < nstarts.min(width) {
+        lanes.push(LaneState::new(
+            next_start,
+            initial_point(next_start, num_params, warm_start, cfg),
+            cfg,
+        ));
+        next_start += 1;
+    }
+
+    let mut xs = vec![0.0; num_params * width];
+    let mut costs = vec![0.0; width];
+    let mut grads = vec![0.0; num_params * width];
+
+    while !lanes.is_empty() {
+        let w = lanes.len();
+        for (b, lane) in lanes.iter().enumerate() {
+            for (p, &v) in lane.x.iter().enumerate() {
+                xs[p * w + b] = v;
+            }
+        }
+        // A panicking evaluator (an injected fault) cannot be attributed to
+        // one lane, so it poisons every live attempt; each retries from its
+        // salted seed exactly as a panicked serial attempt would, with the
+        // attempt's eval count charged as zero (it is unknowable).
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            eval.eval_lanes(
+                w,
+                &xs[..num_params * w],
+                &mut costs[..w],
+                &mut grads[..num_params * w],
+            );
+        }))
+        .is_err();
+
+        for (b, lane) in lanes.iter_mut().enumerate() {
+            let fate = if panicked {
+                lane.attempt_evals = 0;
+                LaneFate::Poisoned
+            } else {
+                lane_step(
+                    lane,
+                    costs[b],
+                    &grads[..num_params * w],
+                    w,
+                    b,
+                    num_params,
+                    cfg,
+                )
+            };
+            match fate {
+                LaneFate::Running => {}
+                LaneFate::Finished => {
+                    let out = lane.finish();
+                    if out.cost <= cfg.target_cost && reached_at.is_none_or(|r| lane.s < r) {
+                        reached_at = Some(lane.s);
+                    }
+                    results[lane.s] = Some(out);
+                    lane.done = true;
+                }
+                LaneFate::Poisoned => {
+                    lane.carried_evals += lane.attempt_evals;
+                    lane.poisoned_attempts += 1;
+                    if lane.attempt < MAX_POISON_RETRIES {
+                        lane.attempt += 1;
+                        let x = retry_point(lane.s, lane.attempt, num_params, cfg);
+                        lane.reset_attempt(x, cfg);
+                    } else {
+                        results[lane.s] = Some(lane.write_off(num_params));
+                        lane.done = true;
+                    }
+                }
+            }
+        }
+
+        // Retire finished lanes (and abandon starts the reduction can never
+        // reach), then refill from the start queue.
+        lanes.retain(|l| !l.done && reached_at.is_none_or(|r| l.s < r));
+        while reached_at.is_none() && next_start < nstarts && lanes.len() < width {
+            lanes.push(LaneState::new(
+                next_start,
+                initial_point(next_start, num_params, warm_start, cfg),
+                cfg,
+            ));
+            next_start += 1;
+        }
+    }
+
+    reduce_outcomes(&results, num_params, cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,6 +802,7 @@ mod tests {
             target_cost: 1e-12,
             seed: 1,
             parallel: true,
+            batch_width: qmath::kernels::MAX_BATCH,
         };
         let out = minimize(|| bowl, 3, None, &cfg);
         assert!(out.cost < 1e-6, "cost {}", out.cost);
@@ -454,6 +820,7 @@ mod tests {
             target_cost: 1e-12,
             seed: 2,
             parallel: true,
+            batch_width: qmath::kernels::MAX_BATCH,
         };
         let cold = minimize(|| bowl, 3, None, &cfg);
         let warm = minimize(|| bowl, 3, Some(&[1.0, -2.0, 3.0]), &cfg);
@@ -476,6 +843,7 @@ mod tests {
             target_cost: 1e-10,
             seed: 3,
             parallel: true,
+            batch_width: qmath::kernels::MAX_BATCH,
         };
         let out = minimize(|| nasty, 1, Some(&[2.9]), &cfg);
         assert!(out.cost < 0.5, "stuck at {}", out.cost);
@@ -490,6 +858,7 @@ mod tests {
             target_cost: 1e-3,
             seed: 4,
             parallel: true,
+            batch_width: qmath::kernels::MAX_BATCH,
         };
         let out = minimize(|| bowl, 3, None, &cfg);
         assert!(out.cost <= 1e-3);
@@ -517,6 +886,7 @@ mod tests {
                 target_cost: 1e-10,
                 seed: 7,
                 parallel: true,
+                batch_width: qmath::kernels::MAX_BATCH,
             };
             let serial = minimize_with_width(|| nasty, 3, warm, &cfg, 1);
             for width in [2, 4, 8] {
@@ -541,6 +911,7 @@ mod tests {
             target_cost: 1e-12,
             seed: 5,
             parallel: false,
+            batch_width: qmath::kernels::MAX_BATCH,
         };
         let out = minimize(
             || {
@@ -572,6 +943,7 @@ mod tests {
             target_cost: 1e-12,
             seed: 6,
             parallel: false,
+            batch_width: qmath::kernels::MAX_BATCH,
         };
         let out = minimize(
             || {
@@ -597,6 +969,7 @@ mod tests {
             target_cost: 1e-12,
             seed: 8,
             parallel: false,
+            batch_width: qmath::kernels::MAX_BATCH,
         };
         let out = minimize(
             || {
@@ -623,6 +996,7 @@ mod tests {
             target_cost: 1e-14,
             seed: 9,
             parallel: true,
+            batch_width: qmath::kernels::MAX_BATCH,
         };
         let a = minimize(|| bowl, 3, None, &cfg);
         let b = minimize(|| bowl, 3, None, &cfg);
@@ -642,6 +1016,7 @@ mod tests {
             target_cost: 1e-9,
             seed: 11,
             parallel: true,
+            batch_width: qmath::kernels::MAX_BATCH,
         };
         let serial = minimize_with_width(|| bowl, 3, None, &cfg, 1);
         let par = minimize_with_width(|| bowl, 3, None, &cfg, 4);

@@ -9,7 +9,7 @@
 //! CNOT-dense circuits like Heisenberg) is built on this.
 
 use crate::cost::HsCost;
-use crate::optimize::{minimize, OptimizerConfig};
+use crate::optimize::{minimize_batched, OptimizerConfig};
 use crate::template::Template;
 use crate::Candidate;
 use qmath::Matrix;
@@ -57,7 +57,12 @@ pub fn synthesize_two_qubit(target: &Matrix, epsilon: f64, seed: u64) -> Option<
             seed: seed.wrapping_add(cnots as u64),
             ..OptimizerConfig::default()
         };
-        let out = minimize(|| cost_fn.evaluator(), cost_fn.num_params(), None, &cfg);
+        let out = minimize_batched(
+            |w| cost_fn.batch_evaluator(w),
+            cost_fn.num_params(),
+            None,
+            &cfg,
+        );
         let distance = HsCost::distance(out.cost);
         if distance <= epsilon {
             return Some(Candidate {

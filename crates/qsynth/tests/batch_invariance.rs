@@ -1,0 +1,143 @@
+//! Batch-width invariance of the multi-start optimizer.
+//!
+//! The contract the batched hot loop rests on: for any batch width, the
+//! optimizer returns **bit-identical** results to the width-1 serial sweep
+//! — same best cost bits, same parameters, same gradient-evaluation
+//! accounting (including early-stop truncation and lane retirement), same
+//! poison bookkeeping. This holds in *both* numerics modes: the relaxed
+//! FMA kernels are also lane-invariant by construction; only strict ↔
+//! relaxed cross-build comparisons are by tolerance (covered by
+//! `relaxed_cost_tracks_plain_scalar_reference` below).
+
+// Bitwise comparisons of deterministic paths are the point of this test.
+#![allow(clippy::float_cmp)]
+
+use proptest::prelude::*;
+use qmath::random::haar_unitary;
+use qsynth::cost::HsCost;
+use qsynth::optimize::{minimize_batched_with_width, minimize_with_width, OptimizerConfig};
+use qsynth::Template;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministically grows a template with `layers` CNOT layers, cycling
+/// through qubit pairs.
+fn template_for(n: usize, layers: usize, salt: u64) -> Template {
+    let salt = usize::try_from(salt & 0xFFFF).unwrap();
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+        .collect();
+    let mut t = Template::initial(n);
+    for i in 0..layers {
+        let (a, b) = pairs[(i + salt) % pairs.len()];
+        t = if (i + salt).is_multiple_of(2) {
+            t.with_layer(a, b)
+        } else {
+            t.with_layer(b, a)
+        };
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12 })]
+
+    #[test]
+    fn every_batch_width_matches_the_serial_sweep(
+        seed in 0u64..(1 << 16),
+        n in 2usize..=3,
+        layers in 0usize..=3,
+        restarts in 1usize..=6,
+        // A reachable target exercises early stop + lane retirement; an
+        // unreachable one exercises the full iteration budget.
+        reachable_flag in 0u8..2,
+        warm_flag in 0u8..2,
+    ) {
+        let (reachable_target, warm) = (reachable_flag == 1, warm_flag == 1);
+        let dim = 1usize << n;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xAB5E);
+        let target = haar_unitary(dim, &mut rng);
+        let template = template_for(n, layers, seed);
+        let cost_fn = HsCost::new(&template, &target);
+        let p = cost_fn.num_params();
+        let warm_point: Vec<f64> =
+            (0..p).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let warm_start = warm.then_some(warm_point.as_slice());
+        let cfg = OptimizerConfig {
+            max_iters: 60,
+            restarts,
+            target_cost: if reachable_target { 5e-2 } else { 1e-14 },
+            seed,
+            ..OptimizerConfig::default()
+        };
+
+        // The serial reference goes through the scalar Evaluator path
+        // (itself the width-1 batched kernel) on a width-1 sweep.
+        let serial = minimize_with_width(|| cost_fn.evaluator(), p, warm_start, &cfg, 1);
+        for width in [1usize, 2, 4, 8] {
+            let mut eval = cost_fn.batch_evaluator(width);
+            let got = minimize_batched_with_width(&mut eval, p, warm_start, &cfg, width);
+            prop_assert_eq!(
+                got.cost.to_bits(), serial.cost.to_bits(),
+                "cost bits differ at width {} ({} vs {})", width, got.cost, serial.cost
+            );
+            prop_assert_eq!(&got.params, &serial.params, "params differ at width {}", width);
+            prop_assert_eq!(got.evals, serial.evals, "eval accounting differs at width {}", width);
+            prop_assert_eq!(got.poisoned_starts, serial.poisoned_starts);
+        }
+    }
+}
+
+/// A plain-scalar Hilbert–Schmidt cost: embedded gates multiplied entry by
+/// entry with bare `C64` mul/add (no SIMD, no FMA contraction) — the
+/// strict-arithmetic yardstick both numerics modes must track.
+fn dense_reference_cost(template: &Template, target: &qmath::Matrix, params: &[f64]) -> f64 {
+    let v = template.unitary(params);
+    let dim = target.rows();
+    let mut t = qmath::C64::ZERO;
+    for i in 0..dim {
+        for j in 0..dim {
+            t += target[(i, j)].conj() * v[(i, j)];
+        }
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let n2 = (dim * dim) as f64;
+    1.0 - t.norm_sqr() / n2
+}
+
+/// In the default strict mode the batched cost is bit-for-bit reproducible
+/// and FD-consistent; under `simd-relaxed` it may differ from strict in
+/// rounding only. Either way it must stay within the documented tolerance
+/// (DESIGN.md §4j) of a plain scalar evaluation of the same circuit.
+#[test]
+fn batched_cost_tracks_plain_scalar_reference() {
+    let mut rng = StdRng::seed_from_u64(0x7013);
+    for n in 2..=3usize {
+        let dim = 1usize << n;
+        let template = template_for(n, 3, 1);
+        let target = haar_unitary(dim, &mut rng);
+        let cost_fn = HsCost::new(&template, &target);
+        let p = cost_fn.num_params();
+        let lanes = 4;
+        let mut ws = cost_fn.batch_workspace(lanes);
+        let mut xs = vec![0.0; p * lanes];
+        for v in xs.iter_mut() {
+            *v = rng.random_range(-3.0..3.0);
+        }
+        let mut costs = vec![0.0; lanes];
+        let mut grads = vec![0.0; p * lanes];
+        cost_fn.cost_and_grad_batch(&mut ws, lanes, &xs, &mut costs, &mut grads);
+        for b in 0..lanes {
+            let lane_params: Vec<f64> = (0..p).map(|i| xs[i * lanes + b]).collect();
+            let want = dense_reference_cost(&template, &target, &lane_params);
+            // The reference builds V through a different product order, so
+            // the strict paths agree to accumulation error, not to the bit;
+            // relaxed adds only FMA rounding differences on top.
+            assert!(
+                (costs[b] - want).abs() <= 1e-11 * want.abs().max(1.0),
+                "lane {b}: batched {} vs scalar reference {want}",
+                costs[b]
+            );
+        }
+    }
+}

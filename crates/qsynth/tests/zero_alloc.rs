@@ -83,3 +83,64 @@ fn cost_and_grad_is_allocation_free_after_workspace_construction() {
     assert!((acc - 200.0 * warm).abs() < 1e-9);
     assert!(grad.iter().any(|g| g.abs() > 1e-12));
 }
+
+#[test]
+fn batched_cost_and_grad_is_allocation_free_after_workspace_construction() {
+    use qmath::kernels::MAX_BATCH;
+    use qsynth::cost::HsCost;
+    use qsynth::Template;
+
+    let template = qsynth::Template::initial(4)
+        .with_layer(0, 1)
+        .with_layer(1, 2)
+        .with_layer(2, 3);
+    let target_template = Template::initial(4).with_layer(0, 3).with_layer(1, 2);
+    let tparams: Vec<f64> = (0..target_template.num_params())
+        .map(|i| 0.17 * i as f64 - 1.3)
+        .collect();
+    let target = target_template.unitary(&tparams);
+
+    let cost = HsCost::new(&template, &target);
+    let p = cost.num_params();
+    let mut ws = cost.batch_workspace(MAX_BATCH);
+    let xs: Vec<f64> = (0..p * MAX_BATCH).map(|i| 0.03 * i as f64 - 1.1).collect();
+    let mut costs = [0.0; MAX_BATCH];
+    let mut grads = vec![0.0; p * MAX_BATCH];
+
+    // Warm-up sweep over every width down to 1 (lane retirement in the
+    // optimizer shrinks the batch mid-run, and narrower evaluations must
+    // not allocate either); it also records the expected lane-0 cost sum.
+    let mut sweep = |acc: &mut f64| {
+        for lanes in (1..=MAX_BATCH).rev() {
+            cost.cost_and_grad_batch(
+                &mut ws,
+                lanes,
+                &xs[..p * lanes],
+                &mut costs[..lanes],
+                &mut grads[..p * lanes],
+            );
+            *acc += costs[0];
+            cost.cost_batch(&mut ws, lanes, &xs[..p * lanes], &mut costs[..lanes]);
+            *acc += costs[0];
+        }
+    };
+    let mut warm = 0.0;
+    sweep(&mut warm);
+
+    let before = allocations();
+    let mut acc = 0.0;
+    for _ in 0..25 {
+        sweep(&mut acc);
+    }
+    let after = allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "batched gradient evaluation allocated on the heap"
+    );
+    // Anchor the loop against being optimized out: evaluations are
+    // bit-reproducible, so the measured sweeps match the warm sweep.
+    assert!((acc - 25.0 * warm).abs() < 1e-9);
+    assert!(grads.iter().any(|g| g.abs() > 1e-12));
+}

@@ -38,8 +38,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Version of the on-disk entry format. Bump on any incompatible change to
-/// the entry JSON; readers treat entries with a different version as misses.
-pub const DISK_CACHE_SCHEMA_VERSION: u64 = 1;
+/// the entry JSON *or* to the numerics that produced the cached menus —
+/// v2 marks the batched SoA evaluator, whose suffix-product cost places
+/// different (equally valid) bits in cached menus than the v1 prefix-sweep.
+pub const DISK_CACHE_SCHEMA_VERSION: u64 = 2;
 
 /// Default size cap for the disk tier (256 MiB).
 pub const DEFAULT_DISK_CACHE_MAX_BYTES: u64 = 256 * 1024 * 1024;
@@ -514,8 +516,11 @@ fn unitary_hash(u: &Matrix) -> u64 {
 
 /// Fingerprints every configuration knob that shapes a block's menu —
 /// including the master seed, which [`block_key`] deliberately leaves out —
-/// while excluding pure execution knobs (`parallel`, `parallel_width`),
-/// whose settings are bit-identical by the determinism contract.
+/// while excluding pure execution knobs (`parallel`, `parallel_width`,
+/// `batch_width`), whose settings are bit-identical by the determinism
+/// contract. The build's [`qmath::NUMERICS_MODE`] *is* hashed: strict and
+/// `simd-relaxed` builds round differently, so their menus must not share
+/// cache entries.
 ///
 /// Public because `questd` keys its per-configuration in-memory caches by
 /// this value: the memory tier's [`block_key`] excludes the master seed, so
@@ -525,6 +530,7 @@ fn unitary_hash(u: &Matrix) -> u64 {
 pub fn config_fingerprint(config: &QuestConfig) -> u64 {
     let mut h = DefaultHasher::new();
     DISK_CACHE_SCHEMA_VERSION.hash(&mut h);
+    qmath::NUMERICS_MODE.hash(&mut h);
     config.seed.hash(&mut h);
     config.epsilon_per_block.to_bits().hash(&mut h);
     config.max_synthesis_cnots.hash(&mut h);

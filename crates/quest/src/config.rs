@@ -62,6 +62,14 @@ pub struct QuestConfig {
     /// and the resolved product is reported as the `quest.parallel_width`
     /// metric. Results are bit-identical for every budget.
     pub parallel_width: Option<usize>,
+    /// SoA batch width for the per-block optimizer's multi-start hot loop:
+    /// how many Adam starts evaluate cost+gradient per template traversal
+    /// (see [`qsynth::optimize::OptimizerConfig::batch_width`]). `None`
+    /// uses the kernel maximum ([`qmath::kernels::MAX_BATCH`]). Like
+    /// `parallel`/`parallel_width` this is a pure execution knob — results
+    /// are bit-identical at every width — so it is deliberately excluded
+    /// from the cache key/fingerprint.
+    pub batch_width: Option<usize>,
     /// Master seed.
     pub seed: u64,
     /// Per-block synthesis wall-clock deadline. A block whose search hits
@@ -101,6 +109,7 @@ impl Default for QuestConfig {
             selection: SelectionStrategy::Dissimilar,
             parallel: true,
             parallel_width: None,
+            batch_width: None,
             seed: 0xBA5E,
             block_deadline: None,
             max_gradient_evals: None,

@@ -472,6 +472,16 @@ impl Quest {
         // circuits.
         let resolved_width = block_workers * frontier_width;
         qobs::metrics::gauge("quest.parallel_width", resolved_width as f64);
+        // SoA lanes per optimizer evaluation inside each block's search —
+        // an execution knob (bit-identical results at every width), so it
+        // shapes throughput but never the cache key.
+        let batch_width = self
+            .config
+            .batch_width
+            .unwrap_or(qmath::kernels::MAX_BATCH)
+            .clamp(1, qmath::kernels::MAX_BATCH);
+        #[allow(clippy::cast_precision_loss)]
+        qobs::metrics::gauge("qsynth.batch_width", batch_width as f64);
 
         // Optimizer start attempts redrawn after non-finite costs or panics,
         // summed over every *fresh* synthesis run (cache hits reuse the menu
@@ -488,6 +498,7 @@ impl Quest {
             cfg.epsilon = self.config.epsilon_per_block;
             cfg.max_cnots = Some(original_cnots.min(self.config.max_synthesis_cnots).max(1));
             cfg.parallel_width = Some(frontier_width);
+            cfg.optimizer.batch_width = batch_width;
             cfg.deadline = self.config.block_deadline;
             cfg.max_gradient_evals = self.config.max_gradient_evals;
             cfg = cfg.with_seed(self.config.seed ^ seed_mix.wrapping_mul(0x9E37));
@@ -521,7 +532,7 @@ impl Quest {
                 // The original circuit itself is always available at
                 // distance 0: QUEST never does worse than the Baseline.
                 all.push(exact);
-                cap_candidates(all, self.config.max_candidates_per_block)
+                cap_candidates(all, self.config.max_candidates_per_block, original_cnots)
             };
             CachedMenu {
                 approximations,
@@ -878,10 +889,21 @@ fn exact_indices(blocks: &[SynthesizedBlock]) -> Vec<usize> {
         .collect()
 }
 
-/// Caps a block's approximation list while keeping variety: the Pareto
-/// frontier over (CNOTs, distance) is kept first, then up to two entries per
-/// CNOT count by ascending distance, until the cap.
-fn cap_candidates(mut all: Vec<BlockApprox>, cap: usize) -> Vec<BlockApprox> {
+/// Caps a block's approximation list while keeping variety: the exact
+/// original (distance 0 at `original_cnots` CNOTs) is always retained, the
+/// Pareto frontier over (CNOTs, distance) is kept next, then up to two
+/// entries per CNOT count by ascending distance, until the cap.
+///
+/// Reserving the exact entry matters even when a *cheaper* candidate hits
+/// distance exactly 0.0 (the optimizer can land on a bit-exact cost of
+/// zero): the menu contract — relied on by degradation fallbacks, cache
+/// validation and the selection ablations — is that the original circuit
+/// itself is always selectable.
+fn cap_candidates(
+    mut all: Vec<BlockApprox>,
+    cap: usize,
+    original_cnots: usize,
+) -> Vec<BlockApprox> {
     if all.len() <= cap {
         return all;
     }
@@ -891,6 +913,15 @@ fn cap_candidates(mut all: Vec<BlockApprox>, cap: usize) -> Vec<BlockApprox> {
             .then(a.distance.total_cmp(&b.distance))
     });
     let mut keep: Vec<BlockApprox> = Vec::with_capacity(cap);
+    let mut taken = vec![false; all.len()];
+    // The exact original first: never a victim of the cap.
+    if let Some(i) = all
+        .iter()
+        .position(|a| a.distance == 0.0 && a.cnot_count == original_cnots)
+    {
+        taken[i] = true;
+        keep.push(all[i].clone());
+    }
     // Pareto frontier.
     let mut best = f64::INFINITY;
     let mut frontier_idx: Vec<usize> = Vec::new();
@@ -906,18 +937,20 @@ fn cap_candidates(mut all: Vec<BlockApprox>, cap: usize) -> Vec<BlockApprox> {
             frontier_idx.push(i);
         }
     }
-    let mut taken = vec![false; all.len()];
     for &i in &frontier_idx {
         if keep.len() >= cap {
             break;
+        }
+        if taken[i] {
+            continue;
         }
         taken[i] = true;
         keep.push(all[i].clone());
     }
     // Second-best per CNOT count for dissimilarity variety.
     let mut per_count: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
-    for &i in &frontier_idx {
-        per_count.insert(all[i].cnot_count, 1);
+    for a in &keep {
+        *per_count.entry(a.cnot_count).or_insert(0) += 1;
     }
     for (i, a) in all.iter().enumerate() {
         if keep.len() >= cap {
@@ -1099,11 +1132,40 @@ mod tests {
             mk(0.2, 2),
             mk(0.0, 3),
         ];
-        let kept = cap_candidates(all, 4);
+        let kept = cap_candidates(all, 4, 3);
         assert_eq!(kept.len(), 4);
         // Pareto members survive.
         assert!(kept.iter().any(|a| a.cnot_count == 0));
         assert!(kept.iter().any(|a| a.distance == 0.0));
+    }
+
+    #[test]
+    fn cap_candidates_always_retains_the_exact_original() {
+        let mk = |d: f64, c: usize| BlockApprox {
+            circuit: Circuit::new(2),
+            unitary: Matrix::identity(4),
+            distance: d,
+            cnot_count: c,
+        };
+        // A cheaper candidate also hits distance exactly 0.0, so the exact
+        // original (4 CNOTs) is strictly Pareto-dominated — it must survive
+        // the cap regardless.
+        let all = vec![
+            mk(0.5, 0),
+            mk(0.3, 1),
+            mk(0.0, 2),
+            mk(0.1, 2),
+            mk(0.05, 3),
+            mk(0.0, 4),
+        ];
+        let kept = cap_candidates(all, 4, 4);
+        assert_eq!(kept.len(), 4);
+        assert!(
+            kept.iter().any(|a| a.distance == 0.0 && a.cnot_count == 4),
+            "exact original evicted by the cap"
+        );
+        // The dominating distance-0 entry is on the frontier and kept too.
+        assert!(kept.iter().any(|a| a.distance == 0.0 && a.cnot_count == 2));
     }
 
     #[test]
@@ -1126,7 +1188,7 @@ mod tests {
             mk(0.1, 2),
             mk(0.0, 3),
         ];
-        let kept = cap_candidates(all, 3);
+        let kept = cap_candidates(all, 3, 3);
         assert_eq!(kept.len(), 3);
         // The exact entry survives and NaN never outranks a finite one
         // within a CNOT class.

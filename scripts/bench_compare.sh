@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Compares two perf snapshots (qbench BENCH_*.json files) and fails when a
+# wall-clock metric regressed.
+#
+# Usage: bench_compare.sh BASELINE.json CANDIDATE.json [MAX_REGRESSION]
+#
+# Every key matching `*.total_seconds` or `*_ns` that appears in BOTH
+# snapshots is compared; if the candidate exceeds the baseline by more than
+# MAX_REGRESSION (a fraction, default 0.25 = +25%), the key is a regression
+# and the script exits nonzero after printing the full table.
+#
+# Keys with tiny baselines are reported but not enforced — at millisecond
+# scale (warm cache-hit runs) 25% is scheduler jitter, not a signal. The
+# floors: 0.05 s for `*.total_seconds`, 1000 ns for `*_ns`.
+#
+# CI runs this against the committed BENCH_pipeline.json, so a PR that
+# slows the synthesis hot loop or the end-to-end pipeline by >25% fails
+# the build; improvements are reported and become the new baseline when
+# the snapshot is regenerated (scripts/run_benches.sh).
+set -eu
+
+if [ "$#" -lt 2 ] || [ "$#" -gt 3 ]; then
+    echo "usage: $0 BASELINE.json CANDIDATE.json [MAX_REGRESSION]" >&2
+    exit 2
+fi
+
+BASELINE="$1" CANDIDATE="$2" MAX_REGRESSION="${3:-0.25}" python3 - <<'EOF'
+import json
+import os
+import sys
+
+baseline_path = os.environ["BASELINE"]
+candidate_path = os.environ["CANDIDATE"]
+max_regression = float(os.environ["MAX_REGRESSION"])
+
+def load_entries(path):
+    with open(path) as f:
+        doc = json.load(f)
+    entries = doc.get("entries", doc)
+    if not isinstance(entries, dict):
+        sys.exit(f"{path}: no metric entries found")
+    return {
+        k: float(v)
+        for k, v in entries.items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    }
+
+def is_wallclock(key):
+    return key.endswith(".total_seconds") or key.endswith("_ns")
+
+def floor_for(key):
+    return 0.05 if key.endswith(".total_seconds") else 1000.0
+
+base = load_entries(baseline_path)
+cand = load_entries(candidate_path)
+shared = sorted(k for k in base if k in cand and is_wallclock(k))
+if not shared:
+    sys.exit("no shared *.total_seconds / *_ns keys between the snapshots")
+
+regressions = []
+width = max(len(k) for k in shared)
+print(f"{'key':<{width}}  {'baseline':>12}  {'candidate':>12}  {'delta':>8}  verdict")
+for key in shared:
+    b, c = base[key], cand[key]
+    delta = (c - b) / b if b > 0 else float("inf") if c > b else 0.0
+    enforced = b >= floor_for(key)
+    regressed = enforced and delta > max_regression
+    if regressed:
+        verdict = "REGRESSION"
+        regressions.append((key, b, c, delta))
+    elif not enforced:
+        verdict = "(below floor, not enforced)"
+    elif delta < 0:
+        verdict = "improved"
+    else:
+        verdict = "ok"
+    print(f"{key:<{width}}  {b:>12.3f}  {c:>12.3f}  {delta:>+7.1%}  {verdict}")
+
+if regressions:
+    print(
+        f"\n{len(regressions)} regression(s) beyond +{max_regression:.0%} "
+        f"vs {baseline_path}:",
+        file=sys.stderr,
+    )
+    for key, b, c, delta in regressions:
+        print(f"  {key}: {b:.3f} -> {c:.3f} ({delta:+.1%})", file=sys.stderr)
+    sys.exit(1)
+print(f"\nall {len(shared)} wall-clock keys within +{max_regression:.0%} of baseline")
+EOF
