@@ -94,7 +94,7 @@ fn trotter_sweep() -> (f64, usize, usize) {
 }
 
 /// Nanoseconds per *unit of work* for `op`, measured as the median of
-/// [`MICRO_RUNS`] timed runs of `iters` calls each (after a warm-up run).
+/// `MICRO_RUNS` timed runs of `iters` calls each (after a warm-up run).
 /// `units_per_call` divides the per-call time — a batched call doing 8
 /// gradient evaluations reports per-evaluation time, comparable to the
 /// serial number. The median across runs (instead of one long mean) makes
@@ -187,14 +187,24 @@ fn synthesis_microbench() -> Microbench {
 /// Sustained service throughput against an in-process `questd` daemon
 /// (protocol: `docs/questd-protocol.md`; design: DESIGN.md §4i).
 ///
+/// What the service scenario measured (all wall-clock values seconds).
+struct ServiceNumbers {
+    jobs: u64,
+    dedup_hits: u64,
+    seconds: f64,
+    /// 99th-percentile submit-to-terminal latency across all 17 jobs.
+    p99_latency_seconds: f64,
+    /// Graceful-drain teardown cost once the queue has emptied.
+    drain_seconds: f64,
+}
+
 /// One slow blocker job holds the single worker while 8 concurrent client
 /// threads each submit one unique job and one *shared* job (identical
 /// fingerprint across all threads), so the whole fan-out lands in the
 /// queue together and the shared submissions deterministically coalesce:
-/// 17 submissions, 10 pipeline runs, 7 dedup hits. Returns
-/// `(jobs_completed, dedup_hits, seconds)`; errors if any job fails or
-/// the dedup count is off (a behaviour change, not noise).
-fn service_throughput() -> Result<(u64, u64, f64), String> {
+/// 17 submissions, 10 pipeline runs, 7 dedup hits. Errors if any job
+/// fails or the dedup count is off (a behaviour change, not noise).
+fn service_throughput() -> Result<ServiceNumbers, String> {
     const CLIENTS: u64 = 8;
     let server = questd::Server::bind(
         "127.0.0.1:0",
@@ -202,6 +212,7 @@ fn service_throughput() -> Result<(u64, u64, f64), String> {
             workers: 1,
             queue_capacity: 64,
             cache_dir: None,
+            ..questd::ServerConfig::default()
         },
     )
     .map_err(|e| format!("service: bind: {e}"))?;
@@ -227,6 +238,7 @@ fn service_throughput() -> Result<(u64, u64, f64), String> {
     };
 
     let mut blocker = questd::Client::connect(&addr).map_err(|e| format!("service: {e}"))?;
+    let blocker_submitted = Instant::now();
     blocker
         .submit(submit("blocker", &blocker_qasm, 999))
         .map_err(|e| format!("service: {e}"))?;
@@ -249,45 +261,74 @@ fn service_throughput() -> Result<(u64, u64, f64), String> {
             let qasm = job_qasm.clone();
             let submit_unique = submit(&format!("unique-{i}"), &qasm, 100 + i);
             let submit_shared = submit(&format!("shared-{i}"), &qasm, 42);
-            std::thread::spawn(move || -> Result<(), String> {
+            std::thread::spawn(move || -> Result<Vec<f64>, String> {
                 let mut client =
                     questd::Client::connect(&addr).map_err(|e| format!("client {i}: {e}"))?;
+                let submitted = Instant::now();
                 client
                     .submit(submit_unique)
                     .map_err(|e| format!("client {i}: {e}"))?;
                 client
                     .submit(submit_shared)
                     .map_err(|e| format!("client {i}: {e}"))?;
-                let ids = [format!("unique-{i}"), format!("shared-{i}")];
-                let outcomes = client
-                    .wait_for_all(&[&ids[0], &ids[1]], |_| {})
-                    .map_err(|e| format!("client {i}: {e}"))?;
-                for (id, outcome) in outcomes {
-                    if let questd::JobOutcome::Failed { code, message } = outcome {
-                        return Err(format!("client {i}: job {id} failed ({code}): {message}"));
+                // Raw receive loop so each job's terminal event can be
+                // timestamped individually for the latency percentile.
+                let mut latencies = Vec::with_capacity(2);
+                while latencies.len() < 2 {
+                    match client.recv().map_err(|e| format!("client {i}: {e}"))? {
+                        questd::Event::Report { .. } => {
+                            latencies.push(submitted.elapsed().as_secs_f64());
+                        }
+                        questd::Event::Error { id, code, message } => {
+                            return Err(format!(
+                                "client {i}: job {id:?} failed ({code}): {message}"
+                            ));
+                        }
+                        _ => {}
                     }
                 }
-                Ok(())
+                Ok(latencies)
             })
         })
         .collect();
+    let mut latencies: Vec<f64> = Vec::new();
     match blocker.wait_for("blocker", |_| {}) {
-        Ok(questd::JobOutcome::Report(_)) => {}
+        Ok(questd::JobOutcome::Report(_)) => {
+            latencies.push(blocker_submitted.elapsed().as_secs_f64());
+        }
         Ok(questd::JobOutcome::Failed { code, message }) => {
             return Err(format!("service: blocker failed ({code}): {message}"));
         }
         Err(e) => return Err(format!("service: {e}")),
     }
     for t in threads {
-        t.join()
-            .map_err(|_| "service: client thread panicked".to_string())??;
+        latencies.extend(
+            t.join()
+                .map_err(|_| "service: client thread panicked".to_string())??,
+        );
     }
     let seconds = t0.elapsed().as_secs_f64();
+    latencies.sort_by(f64::total_cmp);
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_sign_loss,
+        clippy::cast_possible_truncation
+    )]
+    let p99_index = (latencies.len() as f64 * 0.99).ceil() as usize - 1;
+    let p99_latency_seconds = latencies[p99_index];
 
     let stats = questd::Client::connect(&addr)
         .and_then(|mut c| c.stats())
         .map_err(|e| format!("service: stats: {e}"))?;
-    server.shutdown();
+    // Teardown cost of the graceful-drain machinery with an empty queue:
+    // worker handoff, poll-thread final flush, thread joins.
+    let drain = server.drain(std::time::Duration::from_secs(30));
+    if !drain.completed {
+        return Err(format!(
+            "service: drain deadline exceeded ({:.3}s) with an empty queue",
+            drain.seconds
+        ));
+    }
     let expected_jobs = 2 * CLIENTS + 1;
     let expected_hits = CLIENTS - 1;
     if stats.jobs_completed != expected_jobs || stats.jobs_failed != 0 {
@@ -302,7 +343,13 @@ fn service_throughput() -> Result<(u64, u64, f64), String> {
             stats.dedup_hits
         ));
     }
-    Ok((stats.jobs_completed, stats.dedup_hits, seconds))
+    Ok(ServiceNumbers {
+        jobs: stats.jobs_completed,
+        dedup_hits: stats.dedup_hits,
+        seconds,
+        p99_latency_seconds,
+        drain_seconds: drain.seconds,
+    })
 }
 
 fn main() -> ExitCode {
@@ -321,7 +368,7 @@ fn main() -> ExitCode {
     println!("trotter_sweep: {sweep_seconds:.2}s, {sweep_hits} cache hits / {sweep_misses} misses");
     // Also outside the session: the daemon's workers record pipeline
     // metrics opportunistically, which must not pollute the main counters.
-    let (service_jobs, service_dedup_hits, service_seconds) = match service_throughput() {
+    let service = match service_throughput() {
         Ok(numbers) => numbers,
         Err(e) => {
             eprintln!("error: {e}");
@@ -329,10 +376,16 @@ fn main() -> ExitCode {
         }
     };
     #[allow(clippy::cast_precision_loss)]
-    let service_jobs_per_second = service_jobs as f64 / service_seconds;
+    let service_jobs_per_second = service.jobs as f64 / service.seconds;
     println!(
-        "service_throughput: {service_jobs} jobs in {service_seconds:.2}s \
-         ({service_jobs_per_second:.1} jobs/s, {service_dedup_hits} dedup hits)"
+        "service_throughput: {} jobs in {:.2}s ({:.1} jobs/s, {} dedup hits, \
+         p99 latency {:.2}s, drain {:.3}s)",
+        service.jobs,
+        service.seconds,
+        service_jobs_per_second,
+        service.dedup_hits,
+        service.p99_latency_seconds,
+        service.drain_seconds
     );
 
     let session = qobs::metrics::session();
@@ -402,9 +455,11 @@ fn main() -> ExitCode {
             .with("qsynth.batched_grad_eval_ns", micro.batched_grad_ns)
             .with("qsynth.batch_speedup", micro.batch_speedup)
             .with("qsynth.unitary_eval_ns", micro.unitary_ns)
-            .with("service.jobs", service_jobs as f64)
-            .with("service.dedup_hits", service_dedup_hits as f64)
-            .with("service.jobs_per_second", service_jobs_per_second);
+            .with("service.jobs", service.jobs as f64)
+            .with("service.dedup_hits", service.dedup_hits as f64)
+            .with("service.jobs_per_second", service_jobs_per_second)
+            .with("service.p99_latency_seconds", service.p99_latency_seconds)
+            .with("service.drain_seconds", service.drain_seconds);
     }
 
     match snapshot.write_to(&out_dir) {

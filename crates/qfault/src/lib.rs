@@ -9,7 +9,7 @@
 //! to builds that predate the harness.
 //!
 //! With the feature on, faults are **armed** against sites either
-//! programmatically ([`arm`], [`arm_spec`]) or via the `QFAULT` environment
+//! programmatically (`arm`, `arm_spec`) or via the `QFAULT` environment
 //! variable (read once, lazily), and fire deterministically by *hit count*:
 //! the n-th execution of a site fires, every earlier and later one does not
 //! (or every hit, for `FireAt::Every`). There is no randomness — a given

@@ -145,7 +145,7 @@ impl Allowlist {
     }
 
     /// Hygiene warnings: entries without a reason, and entries that
-    /// suppressed nothing (`used` holds the indices returned by [`apply`]).
+    /// suppressed nothing (`used` holds the indices returned by [`Self::apply`]).
     pub fn hygiene_warnings(&self, used: &[usize]) -> Vec<String> {
         let mut out = Vec::new();
         for (idx, e) in self.entries.iter().enumerate() {

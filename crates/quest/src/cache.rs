@@ -515,7 +515,7 @@ fn unitary_hash(u: &Matrix) -> u64 {
 }
 
 /// Fingerprints every configuration knob that shapes a block's menu —
-/// including the master seed, which [`block_key`] deliberately leaves out —
+/// including the master seed, which `block_key` deliberately leaves out —
 /// while excluding pure execution knobs (`parallel`, `parallel_width`,
 /// `batch_width`), whose settings are bit-identical by the determinism
 /// contract. The build's [`qmath::NUMERICS_MODE`] *is* hashed: strict and
@@ -523,7 +523,7 @@ fn unitary_hash(u: &Matrix) -> u64 {
 /// cache entries.
 ///
 /// Public because `questd` keys its per-configuration in-memory caches by
-/// this value: the memory tier's [`block_key`] excludes the master seed, so
+/// this value: the memory tier's `block_key` excludes the master seed, so
 /// two jobs differing only in seed must not share one in-memory
 /// [`BlockCache`] (the disk tier already separates them via this same
 /// fingerprint in the entry filename).

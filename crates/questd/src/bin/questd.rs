@@ -6,7 +6,10 @@
 //! ```
 //!
 //! Binds the address, prints the resolved listen address (useful with port
-//! 0) and serves until killed. Protocol: `docs/questd-protocol.md`.
+//! 0) and serves until killed or until a client sends the `shutdown` op,
+//! which triggers a graceful drain: queued jobs finish, new submissions
+//! are refused with `shutting_down`, and the process exits within the
+//! drain deadline. Protocol: `docs/questd-protocol.md`.
 
 use std::process::ExitCode;
 
@@ -38,6 +41,13 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--queue-capacity: {e}"))?
             }
             "--cache-dir" => args.config.cache_dir = Some(value("--cache-dir")?.into()),
+            "--drain-deadline-secs" => {
+                args.config.drain_deadline = std::time::Duration::from_secs(
+                    value("--drain-deadline-secs")?
+                        .parse()
+                        .map_err(|e| format!("--drain-deadline-secs: {e}"))?,
+                )
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument {other}")),
         }
@@ -54,11 +64,12 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: questd [--addr HOST:PORT] [--workers N] [--queue-capacity N] \
-                 [--cache-dir DIR]"
+                 [--cache-dir DIR] [--drain-deadline-secs N]"
             );
             return ExitCode::FAILURE;
         }
     };
+    let drain_deadline = args.config.drain_deadline;
     let server = match questd::Server::bind(&args.addr, args.config) {
         Ok(s) => s,
         Err(e) => {
@@ -67,9 +78,19 @@ fn main() -> ExitCode {
         }
     };
     println!("questd listening on {}", server.local_addr());
-    // Serve until the process is killed: the server's threads do all the
-    // work; parking the main thread keeps the daemon alive.
-    loop {
-        std::thread::park();
+    // Serve until a client sends the `shutdown` op (pure std has no
+    // signal handling, so the protocol op is the SIGTERM equivalent);
+    // the server's threads do all the work in the meantime.
+    server.wait_for_drain_request();
+    let report = server.drain(drain_deadline);
+    if report.completed {
+        println!("questd drained in {:.3}s", report.seconds);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "questd drain deadline exceeded after {:.3}s; exiting with jobs in flight",
+            report.seconds
+        );
+        ExitCode::FAILURE
     }
 }

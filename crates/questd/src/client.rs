@@ -5,12 +5,26 @@
 //! connection; requests are written as single JSON lines and events are
 //! read back with [`Client::recv`]. Submissions from one connection are
 //! serviced concurrently by the daemon, so interleaved events for several
-//! in-flight jobs may arrive — [`Client::wait_for`] filters by job id.
+//! in-flight jobs may arrive — every receive path in this module routes
+//! terminal events it was not looking for into a pending-outcome buffer,
+//! so interleaved [`Client::wait_for`] / [`Client::wait_for_all`] /
+//! [`Client::stats`] calls can never silently drop another job's report.
+//! (Only the raw [`Client::recv`] bypasses the buffer.)
+//!
+//! For hostile networks there is [`RetryingClient`]: it reconnects with
+//! jittered exponential backoff and resubmits the same request. Because
+//! requests are content-addressed (`quest::request_fingerprint`) and the
+//! daemon single-flights identical in-flight submissions, a resubmission
+//! either coalesces onto the still-running job or deterministically
+//! recomputes the byte-identical report — retrying is exactly-once-safe
+//! in observable effect.
 
 use crate::protocol::{ErrorCode, Event, Request, SubmitRequest};
 use qobs::json::Json;
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// The terminal outcome of one submitted job.
 #[derive(Clone, Debug)]
@@ -30,16 +44,25 @@ pub enum JobOutcome {
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    /// Terminal events received while waiting for something else, keyed
+    /// by job id; claimed by the next wait on that id.
+    pending: BTreeMap<String, JobOutcome>,
 }
 
 impl Client {
     /// Connects to a daemon.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Wraps an already-connected socket (e.g. one kept from a raw
+    /// handshake) in a protocol client.
+    pub fn from_stream(stream: TcpStream) -> std::io::Result<Client> {
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
             writer: stream,
             reader,
+            pending: BTreeMap::new(),
         })
     }
 
@@ -52,6 +75,10 @@ impl Client {
 
     /// Blocks for the next event. An EOF (server went away) surfaces as
     /// `UnexpectedEof`; an unparsable line as `InvalidData`.
+    ///
+    /// This is the *raw* receive: it does not feed the pending-outcome
+    /// buffer, so a terminal event it returns is gone from the stream.
+    /// The structured waiters below never lose one.
     pub fn recv(&mut self) -> std::io::Result<Event> {
         let mut line = String::new();
         let n = self.reader.read_line(&mut line)?;
@@ -75,11 +102,39 @@ impl Client {
         })
     }
 
+    /// Buffers a terminal (report / per-job error) event so a later wait
+    /// on its id finds it. Request-level errors (`id` null) are not
+    /// job outcomes and pass through.
+    fn stash_terminal(&mut self, event: &Event) {
+        match event {
+            Event::Report { id, report, .. } => {
+                self.pending
+                    .insert(id.clone(), JobOutcome::Report(report.clone()));
+            }
+            Event::Error {
+                id: Some(id),
+                code,
+                message,
+            } => {
+                self.pending.insert(
+                    id.clone(),
+                    JobOutcome::Failed {
+                        code: *code,
+                        message: message.clone(),
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+
     /// Sends a `ping` and waits for the `pong`.
     pub fn ping(&mut self) -> std::io::Result<()> {
         self.send(&Request::Ping)?;
         loop {
-            if matches!(self.recv()?, Event::Pong) {
+            let event = self.recv()?;
+            self.stash_terminal(&event);
+            if matches!(event, Event::Pong) {
                 return Ok(());
             }
         }
@@ -89,8 +144,37 @@ impl Client {
     pub fn stats(&mut self) -> std::io::Result<crate::protocol::StatsSnapshot> {
         self.send(&Request::Stats)?;
         loop {
-            if let Event::Stats(s) = self.recv()? {
+            let event = self.recv()?;
+            self.stash_terminal(&event);
+            if let Event::Stats(s) = event {
                 return Ok(s);
+            }
+        }
+    }
+
+    /// Sends a `metrics` request and waits for the Prometheus text
+    /// exposition of the daemon's `questd.*` counters.
+    pub fn metrics(&mut self) -> std::io::Result<String> {
+        self.send(&Request::Metrics)?;
+        loop {
+            let event = self.recv()?;
+            self.stash_terminal(&event);
+            if let Event::Metrics { text } = event {
+                return Ok(text);
+            }
+        }
+    }
+
+    /// Sends the `shutdown` op, beginning a graceful server drain, and
+    /// waits for the `draining` acknowledgement. Returns the number of
+    /// jobs that were still queued when the drain began.
+    pub fn shutdown_server(&mut self) -> std::io::Result<u64> {
+        self.send(&Request::Shutdown)?;
+        loop {
+            let event = self.recv()?;
+            self.stash_terminal(&event);
+            if let Event::Draining { queued } = event {
+                return Ok(queued);
             }
         }
     }
@@ -102,38 +186,21 @@ impl Client {
 
     /// Reads events until job `id` reaches a terminal state, forwarding
     /// every observed event to `on_event` (progress displays, tests).
-    /// Events for other in-flight jobs on this connection pass through
-    /// `on_event` too — *including their terminal events*, which are then
-    /// gone from the stream. With several jobs in flight on one
-    /// connection, use [`Client::wait_for_all`] instead of repeated
-    /// `wait_for` calls, or the second wait can block forever on a report
-    /// the first wait already consumed.
+    /// Terminal events for *other* in-flight jobs are buffered, not
+    /// dropped, so interleaved `wait_for` calls on one multiplexed
+    /// connection all find their outcomes regardless of completion order.
     pub fn wait_for(
         &mut self,
         id: &str,
         mut on_event: impl FnMut(&Event),
     ) -> std::io::Result<JobOutcome> {
         loop {
+            if let Some(outcome) = self.pending.remove(id) {
+                return Ok(outcome);
+            }
             let event = self.recv()?;
             on_event(&event);
-            match &event {
-                Event::Report {
-                    id: got, report, ..
-                } if got == id => {
-                    return Ok(JobOutcome::Report(report.clone()));
-                }
-                Event::Error {
-                    id: Some(got),
-                    code,
-                    message,
-                } if got == id => {
-                    return Ok(JobOutcome::Failed {
-                        code: *code,
-                        message: message.clone(),
-                    });
-                }
-                _ => {}
-            }
+            self.stash_terminal(&event);
         }
     }
 
@@ -146,39 +213,232 @@ impl Client {
 
     /// Waits until *every* listed job reaches a terminal state, in
     /// whatever order the daemon completes them, returning the outcomes
-    /// keyed by job id. This is the multi-job counterpart of
-    /// [`Client::wait_for`]: terminal events are matched against the whole
-    /// pending set, so none can be consumed and lost. Non-terminal events
-    /// (and events for jobs outside `ids`) pass through `on_event`.
+    /// keyed by job id. Non-terminal events (and events for jobs outside
+    /// `ids`, whose outcomes are buffered) pass through `on_event`.
     pub fn wait_for_all(
         &mut self,
         ids: &[&str],
         mut on_event: impl FnMut(&Event),
-    ) -> std::io::Result<std::collections::BTreeMap<String, JobOutcome>> {
-        let mut pending: std::collections::BTreeSet<&str> = ids.iter().copied().collect();
-        let mut outcomes = std::collections::BTreeMap::new();
-        while !pending.is_empty() {
+    ) -> std::io::Result<BTreeMap<String, JobOutcome>> {
+        let mut outcomes = BTreeMap::new();
+        loop {
+            for id in ids {
+                if outcomes.contains_key(*id) {
+                    continue;
+                }
+                if let Some(outcome) = self.pending.remove(*id) {
+                    outcomes.insert((*id).to_string(), outcome);
+                }
+            }
+            if outcomes.len() == ids.len() {
+                return Ok(outcomes);
+            }
             let event = self.recv()?;
             on_event(&event);
-            let (id, outcome) = match &event {
-                Event::Report { id, report, .. } => (id, JobOutcome::Report(report.clone())),
-                Event::Error {
-                    id: Some(id),
-                    code,
-                    message,
-                } => (
-                    id,
-                    JobOutcome::Failed {
-                        code: *code,
-                        message: message.clone(),
-                    },
-                ),
-                _ => continue,
+            self.stash_terminal(&event);
+        }
+    }
+}
+
+/// Reconnect/resubmit policy for [`RetryingClient`]: exponential backoff
+/// with deterministic jitter (the workspace forbids ambient entropy, so
+/// jitter derives from a caller-supplied seed).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try included). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per attempt after.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff delay.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter sequence.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before retry number `retry` (0-based): the
+    /// exponential delay scaled into [50%, 100%] by a deterministic hash
+    /// of `(jitter_seed, retry)` so concurrent clients spread out instead
+    /// of stampeding in lockstep.
+    pub fn delay_for(&self, retry: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(2u32.saturating_pow(retry))
+            .min(self.max_delay);
+        // splitmix64 — tiny, seeded, and good enough to decorrelate.
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(u64::from(retry).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        exp.mul_f64(0.5 + 0.5 * unit)
+    }
+}
+
+/// True for transport failures worth a reconnect-and-resubmit.
+fn retryable_io(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::WouldBlock
+    )
+}
+
+/// True for job failures that mean "try again later", not "your request
+/// is wrong": backpressure and rate limiting.
+fn retryable_failure(outcome: &JobOutcome) -> bool {
+    matches!(
+        outcome,
+        JobOutcome::Failed {
+            code: ErrorCode::QueueFull | ErrorCode::RateLimited,
+            ..
+        }
+    )
+}
+
+/// A client that survives a hostile network: on connection failure, reset,
+/// or a retryable rejection (`queue_full`, `rate_limited`) it reconnects
+/// after a jittered exponential backoff and resubmits the same request.
+/// Resubmission is idempotent — see the module docs.
+pub struct RetryingClient {
+    addr: String,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+}
+
+impl RetryingClient {
+    /// A lazily-connecting retrying client for `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> RetryingClient {
+        RetryingClient {
+            addr: addr.into(),
+            policy,
+            conn: None,
+        }
+    }
+
+    /// The current connection, dialing if necessary.
+    fn connect(&mut self) -> std::io::Result<&mut Client> {
+        if self.conn.is_none() {
+            self.conn = Some(Client::connect(&self.addr)?);
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// Submits `submit` and waits for its terminal outcome, retrying per
+    /// the policy. Non-retryable failures (bad request, compile error,
+    /// `shutting_down`) return after the attempt that observed them.
+    pub fn submit_and_wait(&mut self, submit: &SubmitRequest) -> std::io::Result<JobOutcome> {
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last_err: Option<std::io::Error> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.delay_for(attempt - 1));
+            }
+            let client = match self.connect() {
+                Ok(c) => c,
+                Err(e) if retryable_io(&e) => {
+                    self.conn = None;
+                    last_err = Some(e);
+                    continue;
+                }
+                Err(e) => return Err(e),
             };
-            if pending.remove(id.as_str()) {
-                outcomes.insert(id.clone(), outcome);
+            match client.submit_and_wait(submit.clone()) {
+                Ok(outcome) => {
+                    if attempt + 1 < attempts && retryable_failure(&outcome) {
+                        continue;
+                    }
+                    return Ok(outcome);
+                }
+                Err(e) => {
+                    // The connection is in an unknown state; dial fresh.
+                    self.conn = None;
+                    if retryable_io(&e) && attempt + 1 < attempts {
+                        last_err = Some(e);
+                        continue;
+                    }
+                    return Err(e);
+                }
             }
         }
-        Ok(outcomes)
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::TimedOut, "retry budget exhausted")
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_jittered_and_capped() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_millis(400),
+            jitter_seed: 7,
+        };
+        let delays: Vec<Duration> = (0..6).map(|r| policy.delay_for(r)).collect();
+        // Deterministic: same policy, same sequence.
+        let again: Vec<Duration> = (0..6).map(|r| policy.delay_for(r)).collect();
+        assert_eq!(delays, again);
+        // Jitter keeps each delay within [50%, 100%] of the exponential.
+        for (retry, d) in delays.iter().enumerate() {
+            let exp = Duration::from_millis(100 * (1 << retry)).min(Duration::from_millis(400));
+            assert!(*d <= exp, "retry {retry}: {d:?} > {exp:?}");
+            assert!(
+                *d >= exp.mul_f64(0.5),
+                "retry {retry}: {d:?} < half of {exp:?}"
+            );
+        }
+        // A different seed reshuffles the jitter.
+        let other = RetryPolicy {
+            jitter_seed: 8,
+            ..policy
+        };
+        assert_ne!(
+            (0..6).map(|r| other.delay_for(r)).collect::<Vec<_>>(),
+            delays
+        );
+    }
+
+    #[test]
+    fn retryable_classification() {
+        use std::io::{Error, ErrorKind};
+        assert!(retryable_io(&Error::new(ErrorKind::ConnectionRefused, "x")));
+        assert!(retryable_io(&Error::new(ErrorKind::UnexpectedEof, "x")));
+        assert!(!retryable_io(&Error::new(ErrorKind::InvalidData, "x")));
+        assert!(retryable_failure(&JobOutcome::Failed {
+            code: ErrorCode::RateLimited,
+            message: String::new(),
+        }));
+        assert!(retryable_failure(&JobOutcome::Failed {
+            code: ErrorCode::QueueFull,
+            message: String::new(),
+        }));
+        assert!(!retryable_failure(&JobOutcome::Failed {
+            code: ErrorCode::ShuttingDown,
+            message: String::new(),
+        }));
+        assert!(!retryable_failure(&JobOutcome::Report(Json::Null)));
     }
 }

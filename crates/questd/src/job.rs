@@ -7,39 +7,11 @@
 //! across the crate is `dedup map → job subscribers → queue`; no path
 //! acquires them in any other order.
 
+pub use crate::net::ConnWriter;
 use crate::protocol::{ErrorCode, Event, Progress};
 use qobs::json::Json;
-use std::io::Write;
-use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
-
-/// Serialized writer for one client connection. Events from the reader
-/// thread and from compile workers interleave on the same socket, so every
-/// write goes through this mutex and sends exactly one line.
-pub struct ConnWriter {
-    stream: Mutex<TcpStream>,
-}
-
-impl ConnWriter {
-    /// Wraps a connection's write half.
-    pub fn new(stream: TcpStream) -> ConnWriter {
-        ConnWriter {
-            stream: Mutex::new(stream),
-        }
-    }
-
-    /// Sends one event as one newline-terminated JSON line.
-    pub fn send(&self, event: &Event) -> std::io::Result<()> {
-        if let Some(e) = qfault::inject!("questd.socket.write", io) {
-            return Err(e);
-        }
-        let mut line = event.to_json().compact();
-        line.push('\n');
-        let mut stream = self.stream.lock().unwrap_or_else(PoisonError::into_inner);
-        stream.write_all(line.as_bytes())
-    }
-}
 
 /// One client waiting on a job's outcome.
 pub struct Subscriber {
@@ -229,12 +201,35 @@ pub struct Counters {
     pub dedup_hits: AtomicU64,
     /// `questd.dedup.misses`.
     pub dedup_misses: AtomicU64,
+    /// `questd.conns.accepted`.
+    pub conns_accepted: AtomicU64,
+    /// `questd.conns.open` (a gauge: incremented on accept, decremented on
+    /// close).
+    pub conns_open: AtomicU64,
+    /// `questd.conns.reaped`: connections the server closed for missing a
+    /// read/write deadline or overflowing the outbound buffer.
+    pub conns_reaped: AtomicU64,
+    /// `questd.conns.rate_limited`.
+    pub conns_rate_limited: AtomicU64,
+    /// `questd.net.accept_errors`.
+    pub net_accept_errors: AtomicU64,
+    /// `questd.net.partial_writes`.
+    pub net_partial_writes: AtomicU64,
+    /// `questd.submits.rate_limited`.
+    pub submits_rate_limited: AtomicU64,
+    /// `questd.lines.oversized`.
+    pub lines_oversized: AtomicU64,
 }
 
 impl Counters {
     /// Adds `n` to a counter.
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` from a gauge-style counter (`questd.conns.open`).
+    pub fn sub(counter: &AtomicU64, n: u64) {
+        counter.fetch_sub(n, Ordering::Relaxed);
     }
 
     /// Reads a counter.

@@ -22,6 +22,13 @@
 //!   `anneal_deadline_ms` / `strict` knobs onto the pipeline's graceful-
 //!   degradation machinery, and each report carries its own degradation
 //!   tally.
+//! - **Hostile-network hardening** ([`net`], [`server`]): a std-only
+//!   readiness event loop (nonblocking sockets, one poll thread) with
+//!   per-connection read/write deadlines, a request-line cap, bounded
+//!   outbound buffers, token-bucket accept/submission rate limits
+//!   (`rate_limited`), graceful drain (`shutdown` op → `shutting_down`
+//!   rejections, queued jobs still finish), and a Prometheus text
+//!   exposition of every `questd.*` counter (`metrics` op).
 //!
 //! Start a daemon in-process with [`Server::bind`] (the `questd` binary and
 //! `quest-cli serve` are thin wrappers), talk to it with [`Client`].
@@ -31,13 +38,15 @@
 pub mod client;
 pub mod dedup;
 pub mod job;
+pub mod net;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 
-pub use client::{Client, JobOutcome};
+pub use client::{Client, JobOutcome, RetryPolicy, RetryingClient};
+pub use net::{NetConfig, RateLimit};
 pub use protocol::{
     ErrorCode, Event, JobConfig, Progress, ProtocolError, Request, StatsSnapshot, SubmitRequest,
     PROTOCOL_VERSION,
 };
-pub use server::{Server, ServerConfig};
+pub use server::{DrainReport, Server, ServerConfig};

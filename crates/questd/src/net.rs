@@ -1,0 +1,336 @@
+//! Nonblocking connection I/O for the daemon's readiness event loop.
+//!
+//! The workspace is std-only (no `mio`, no `libc`), so the event loop is
+//! the portable form the ROADMAP sanctions: every socket is nonblocking
+//! and one poll thread multiplexes them all, sleeping on a `Notifier`
+//! condvar between ticks so idle connections cost no threads and no
+//! busy-spin. This module owns the per-connection I/O state machines:
+//!
+//! - [`ConnWriter`] — the buffered outbound half. `send` only appends to
+//!   an in-memory buffer (so compile workers never block on a slow
+//!   client); the poll thread drains it with `ConnWriter::flush`, which
+//!   survives partial writes and `WouldBlock`. A bounded buffer turns a
+//!   client that never reads into an overflow verdict instead of
+//!   unbounded memory growth.
+//! - [`TokenBucket`] — connection- and submission-rate limiting. Refill
+//!   is computed from the caller-supplied tick time, so tests pin
+//!   behaviour deterministically with `per_second: 0.0` (pure burst).
+//! - `Notifier` — the poll thread's wakeup: writers nudge it after
+//!   enqueuing output so flushes happen promptly instead of on the next
+//!   timed tick.
+//!
+//! Fault injection: `questd.net.write` (flush fails like a torn
+//! connection) and `questd.net.partial_write` (flush moves at most one
+//! byte, exercising the partial-write resume path) hook into
+//! `ConnWriter::flush`; the accept/read sites live in the server's poll
+//! loop.
+
+use crate::protocol::Event;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// A token-bucket rate limit: up to `burst` operations instantly, then
+/// `per_second` sustained. `per_second: 0.0` never refills — useful for
+/// deterministic tests (exactly `burst` operations ever succeed).
+#[derive(Clone, Copy, Debug)]
+pub struct RateLimit {
+    /// Bucket capacity: the largest tolerated burst.
+    pub burst: u32,
+    /// Sustained refill rate, tokens per second.
+    pub per_second: f64,
+}
+
+/// Runtime state for one [`RateLimit`].
+#[derive(Debug)]
+pub struct TokenBucket {
+    limit: RateLimit,
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    /// A full bucket as of `now`.
+    pub fn new(limit: RateLimit, now: Instant) -> TokenBucket {
+        TokenBucket {
+            limit,
+            tokens: f64::from(limit.burst),
+            last_refill: now,
+        }
+    }
+
+    /// Takes one token if available, refilling first from the elapsed
+    /// wall-clock time (`now` is passed in so the caller controls the
+    /// clock reads).
+    pub fn try_take(&mut self, now: Instant) -> bool {
+        let elapsed = now.saturating_duration_since(self.last_refill);
+        self.last_refill = now;
+        self.tokens = (self.tokens + elapsed.as_secs_f64() * self.limit.per_second)
+            .min(f64::from(self.limit.burst));
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Tunables for the event loop's hostile-network defenses. Part of
+/// `ServerConfig`; the defaults are production-shaped, tests tighten them
+/// to make deadlines observable.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// How long a *partial* request line may sit unfinished before the
+    /// connection is reaped (anti-slow-loris). Complete quiet between
+    /// requests is not limited — idle keepalive connections are free.
+    pub read_deadline: Duration,
+    /// How long buffered outbound data may make zero progress (socket
+    /// full, client not reading) before the connection is reaped.
+    pub write_deadline: Duration,
+    /// Hard cap on one NDJSON request line. A line that exceeds it gets
+    /// `invalid_request` and the connection is closed — the buffer never
+    /// grows without bound.
+    pub max_line_bytes: usize,
+    /// Hard cap on buffered outbound bytes per connection; beyond it the
+    /// connection is reaped (the client has stopped reading).
+    pub max_outbound_bytes: usize,
+    /// Accept-rate limit across all connections. `None` = unlimited.
+    pub accept_rate: Option<RateLimit>,
+    /// Per-connection submission-rate limit. `None` = unlimited.
+    pub submit_rate: Option<RateLimit>,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            read_deadline: Duration::from_secs(30),
+            write_deadline: Duration::from_secs(10),
+            max_line_bytes: 1 << 20,
+            max_outbound_bytes: 16 << 20,
+            accept_rate: None,
+            submit_rate: None,
+        }
+    }
+}
+
+/// The poll thread's wakeup latch: a condvar the loop sleeps on between
+/// ticks, nudged by anything that creates work (a writer enqueuing
+/// output, a drain request). Spurious wakeups are harmless — the loop
+/// just re-scans.
+pub(crate) struct Notifier {
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Notifier {
+    pub(crate) fn new() -> Notifier {
+        Notifier {
+            flag: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Wakes the poll thread (or makes its next sleep return instantly).
+    pub(crate) fn notify(&self) {
+        let mut flag = self.flag.lock().unwrap_or_else(PoisonError::into_inner);
+        *flag = true;
+        self.cv.notify_all();
+    }
+
+    /// Sleeps until notified or `timeout`, then clears the latch.
+    pub(crate) fn wait_timeout(&self, timeout: Duration) {
+        let flag = self.flag.lock().unwrap_or_else(PoisonError::into_inner);
+        let (mut flag, _) = self
+            .cv
+            .wait_timeout(flag, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        *flag = false;
+    }
+}
+
+struct OutBuf {
+    buf: Vec<u8>,
+    written: usize,
+    closed: bool,
+    overflowed: bool,
+    max: usize,
+}
+
+/// What one `ConnWriter::flush` accomplished; the poll loop turns this
+/// into keep/close/reap verdicts.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum FlushStatus {
+    /// Nothing buffered.
+    Idle,
+    /// Some bytes hit the socket; `pending` bytes remain buffered.
+    Wrote {
+        /// Bytes still buffered after the write.
+        pending: usize,
+    },
+    /// The socket was not writable; no progress (write-deadline clock
+    /// keeps running).
+    Blocked,
+    /// The outbound cap was exceeded — the client stopped reading; reap.
+    Overflowed,
+    /// Hard write error — the connection is gone.
+    Error,
+}
+
+/// Buffered outbound half of one client connection.
+///
+/// `send` is called from compile workers and the poll thread alike; it
+/// appends one serialized event line to the buffer and never touches the
+/// socket, so a stalled client can never block a worker. The poll thread
+/// owns the socket and drains the buffer via `flush`.
+pub struct ConnWriter {
+    out: Mutex<OutBuf>,
+    wake: Arc<Notifier>,
+}
+
+impl ConnWriter {
+    /// A writer with an empty buffer capped at `max_outbound_bytes`.
+    pub(crate) fn new(wake: Arc<Notifier>, max_outbound_bytes: usize) -> ConnWriter {
+        ConnWriter {
+            out: Mutex::new(OutBuf {
+                buf: Vec::new(),
+                written: 0,
+                closed: false,
+                overflowed: false,
+                max: max_outbound_bytes.max(1),
+            }),
+            wake,
+        }
+    }
+
+    /// Enqueues one event as one newline-terminated JSON line and wakes
+    /// the poll thread to flush it.
+    pub fn send(&self, event: &Event) -> std::io::Result<()> {
+        if let Some(e) = qfault::inject!("questd.socket.write", io) {
+            return Err(e);
+        }
+        let mut line = event.to_json().compact();
+        line.push('\n');
+        {
+            let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
+            if out.closed || out.overflowed {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "connection is closed",
+                ));
+            }
+            if out.buf.len() - out.written + line.len() > out.max {
+                out.overflowed = true;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "outbound buffer overflow (client not reading)",
+                ));
+            }
+            out.buf.extend_from_slice(line.as_bytes());
+        }
+        self.wake.notify();
+        Ok(())
+    }
+
+    /// True while buffered bytes remain unflushed.
+    pub(crate) fn has_pending(&self) -> bool {
+        let out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
+        out.buf.len() > out.written
+    }
+
+    /// Marks the writer dead: later `send`s fail fast instead of
+    /// buffering into the void.
+    pub(crate) fn close(&self) {
+        self.out
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
+    }
+
+    /// Writes as much buffered output to `stream` as the socket accepts
+    /// right now. Nonblocking: `WouldBlock` is a status, not an error.
+    pub(crate) fn flush(&self, stream: &mut TcpStream) -> FlushStatus {
+        let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
+        if out.overflowed {
+            return FlushStatus::Overflowed;
+        }
+        if out.written == out.buf.len() {
+            out.buf.clear();
+            out.written = 0;
+            return FlushStatus::Idle;
+        }
+        if qfault::inject!("questd.net.write", io).is_some() {
+            return FlushStatus::Error;
+        }
+        // Fault: move at most one byte per flush, exercising the
+        // partial-write resume path byte by byte.
+        let end = if qfault::inject!("questd.net.partial_write", io).is_some() {
+            out.written + 1
+        } else {
+            out.buf.len()
+        };
+        let range = out.written..end;
+        match stream.write(&out.buf[range]) {
+            Ok(0) => FlushStatus::Error,
+            Ok(n) => {
+                out.written += n;
+                if out.written == out.buf.len() {
+                    out.buf.clear();
+                    out.written = 0;
+                } else if out.written > 4096 {
+                    let written = out.written;
+                    out.buf.drain(..written);
+                    out.written = 0;
+                }
+                FlushStatus::Wrote {
+                    pending: out.buf.len() - out.written,
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => FlushStatus::Blocked,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => FlushStatus::Blocked,
+            Err(_) => FlushStatus::Error,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_bucket_enforces_burst_then_refills() {
+        let t0 = Instant::now();
+        let mut bucket = TokenBucket::new(
+            RateLimit {
+                burst: 2,
+                per_second: 10.0,
+            },
+            t0,
+        );
+        assert!(bucket.try_take(t0));
+        assert!(bucket.try_take(t0));
+        assert!(!bucket.try_take(t0), "burst exhausted");
+        // 100 ms at 10 tokens/s refills exactly one token.
+        let t1 = t0 + Duration::from_millis(100);
+        assert!(bucket.try_take(t1));
+        assert!(!bucket.try_take(t1));
+    }
+
+    #[test]
+    fn zero_refill_bucket_is_pure_burst() {
+        let t0 = Instant::now();
+        let mut bucket = TokenBucket::new(
+            RateLimit {
+                burst: 3,
+                per_second: 0.0,
+            },
+            t0,
+        );
+        for _ in 0..3 {
+            assert!(bucket.try_take(t0));
+        }
+        // No amount of elapsed time refills a zero-rate bucket.
+        assert!(!bucket.try_take(t0 + Duration::from_secs(3600)));
+    }
+}

@@ -17,7 +17,11 @@ use qobs::json::Json;
 
 /// The protocol version this build speaks. Carried as `"v"` on every
 /// request and event; see the module docs for the compatibility policy.
-pub const PROTOCOL_VERSION: u64 = 1;
+///
+/// History: v1 was the PR 7 daemon (submit/cancel/stats/ping). v2 added the
+/// `shutdown` and `metrics` ops, the `draining` and `metrics` events, the
+/// `rate_limited` error code, and the connection/backpressure counters.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Machine-readable failure categories, sent in `error` events as the
 /// `code` field. The table in `docs/questd-protocol.md` §6 lists the same
@@ -52,11 +56,14 @@ pub enum ErrorCode {
     UnknownJob,
     /// The server is draining for shutdown and accepts no new jobs.
     ShuttingDown,
+    /// A token-bucket rate limit rejected the connection or submission;
+    /// back off (jittered) and retry.
+    RateLimited,
 }
 
 impl ErrorCode {
     /// Every code, in the order documented in `docs/questd-protocol.md` §6.
-    pub const ALL: [ErrorCode; 10] = [
+    pub const ALL: [ErrorCode; 11] = [
         ErrorCode::ParseError,
         ErrorCode::InvalidRequest,
         ErrorCode::UnsupportedProtocol,
@@ -67,6 +74,7 @@ impl ErrorCode {
         ErrorCode::StrictDegradation,
         ErrorCode::UnknownJob,
         ErrorCode::ShuttingDown,
+        ErrorCode::RateLimited,
     ];
 
     /// The wire form of the code (snake_case, stable).
@@ -82,6 +90,7 @@ impl ErrorCode {
             ErrorCode::StrictDegradation => "strict_degradation",
             ErrorCode::UnknownJob => "unknown_job",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::RateLimited => "rate_limited",
         }
     }
 
@@ -296,6 +305,13 @@ pub enum Request {
     Stats,
     /// Liveness probe; answered with a `pong` event.
     Ping,
+    /// Ask for a Prometheus-style text exposition of every `questd.*`
+    /// counter (a `metrics` event).
+    Metrics,
+    /// Begin a graceful drain: stop accepting connections, finish queued
+    /// jobs, reject new submissions with `shutting_down`. Answered with a
+    /// `draining` event.
+    Shutdown,
 }
 
 impl Request {
@@ -324,6 +340,12 @@ impl Request {
             ]),
             Request::Stats => Json::Object(vec![v, ("op".into(), Json::String("stats".into()))]),
             Request::Ping => Json::Object(vec![v, ("op".into(), Json::String("ping".into()))]),
+            Request::Metrics => {
+                Json::Object(vec![v, ("op".into(), Json::String("metrics".into()))])
+            }
+            Request::Shutdown => {
+                Json::Object(vec![v, ("op".into(), Json::String("shutdown".into()))])
+            }
         }
     }
 
@@ -394,6 +416,8 @@ impl Request {
             }),
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
+            "metrics" => Ok(Request::Metrics),
+            "shutdown" => Ok(Request::Shutdown),
             other => Err(ProtocolError::new(
                 ErrorCode::InvalidRequest,
                 format!("unknown op `{other}`"),
@@ -469,10 +493,32 @@ pub struct StatsSnapshot {
     /// `questd.jobs.failed`: jobs that ended in an `error` event (any
     /// code).
     pub jobs_failed: u64,
+    /// `questd.conns.accepted`: connections accepted since startup.
+    pub conns_accepted: u64,
+    /// `questd.conns.open`: connections currently open (a gauge).
+    pub conns_open: u64,
+    /// `questd.conns.reaped`: connections closed by the server for missing
+    /// a read/write deadline or overflowing the outbound buffer.
+    pub conns_reaped: u64,
+    /// `questd.conns.rate_limited`: connections refused by the accept-rate
+    /// token bucket.
+    pub conns_rate_limited: u64,
+    /// `questd.net.accept_errors`: transient accept failures absorbed by
+    /// the event loop.
+    pub net_accept_errors: u64,
+    /// `questd.net.partial_writes`: flushes that left buffered bytes behind
+    /// (the partial-write state machine engaged).
+    pub net_partial_writes: u64,
+    /// `questd.submits.rate_limited`: submissions bounced with
+    /// `rate_limited` by the per-connection token bucket.
+    pub submits_rate_limited: u64,
+    /// `questd.lines.oversized`: request lines dropped for exceeding the
+    /// line-length cap.
+    pub lines_oversized: u64,
 }
 
 /// The dotted counter names inside a `stats` event, in emission order.
-const STAT_KEYS: [&str; 10] = [
+pub const STAT_KEYS: [&str; 18] = [
     "questd.queue.capacity",
     "questd.queue.depth",
     "questd.queue.rejected_full",
@@ -483,10 +529,27 @@ const STAT_KEYS: [&str; 10] = [
     "questd.jobs.executed",
     "questd.jobs.completed",
     "questd.jobs.failed",
+    "questd.conns.accepted",
+    "questd.conns.open",
+    "questd.conns.reaped",
+    "questd.conns.rate_limited",
+    "questd.net.accept_errors",
+    "questd.net.partial_writes",
+    "questd.submits.rate_limited",
+    "questd.lines.oversized",
+];
+
+/// The subset of [`STAT_KEYS`] that are point-in-time gauges rather than
+/// monotonic counters (drives the `# TYPE` line in the Prometheus
+/// exposition).
+const GAUGE_KEYS: [&str; 3] = [
+    "questd.queue.capacity",
+    "questd.queue.depth",
+    "questd.conns.open",
 ];
 
 impl StatsSnapshot {
-    fn counters(&self) -> [u64; 10] {
+    fn counters(&self) -> [u64; 18] {
         [
             self.queue_capacity,
             self.queue_depth,
@@ -498,7 +561,34 @@ impl StatsSnapshot {
             self.jobs_executed,
             self.jobs_completed,
             self.jobs_failed,
+            self.conns_accepted,
+            self.conns_open,
+            self.conns_reaped,
+            self.conns_rate_limited,
+            self.net_accept_errors,
+            self.net_partial_writes,
+            self.submits_rate_limited,
+            self.lines_oversized,
         ]
+    }
+
+    /// Renders every counter (plus the worker-pool gauge) in the
+    /// Prometheus text exposition format: dotted `questd.*` names become
+    /// underscore-separated metric names, each preceded by a `# TYPE` line.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# TYPE questd_workers gauge\n");
+        out.push_str(&format!("questd_workers {}\n", self.workers));
+        for (key, value) in STAT_KEYS.iter().zip(self.counters()) {
+            let name = key.replace('.', "_");
+            let kind = if GAUGE_KEYS.contains(key) {
+                "gauge"
+            } else {
+                "counter"
+            };
+            out.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
+        }
+        out
     }
 
     fn to_counters_json(&self) -> Json {
@@ -525,6 +615,14 @@ impl StatsSnapshot {
             jobs_executed: n("questd.jobs.executed"),
             jobs_completed: n("questd.jobs.completed"),
             jobs_failed: n("questd.jobs.failed"),
+            conns_accepted: n("questd.conns.accepted"),
+            conns_open: n("questd.conns.open"),
+            conns_reaped: n("questd.conns.reaped"),
+            conns_rate_limited: n("questd.conns.rate_limited"),
+            net_accept_errors: n("questd.net.accept_errors"),
+            net_partial_writes: n("questd.net.partial_writes"),
+            submits_rate_limited: n("questd.submits.rate_limited"),
+            lines_oversized: n("questd.lines.oversized"),
         }
     }
 }
@@ -573,6 +671,18 @@ pub enum Event {
     Stats(StatsSnapshot),
     /// Answer to a `ping` request.
     Pong,
+    /// Answer to a `metrics` request: the Prometheus text exposition of
+    /// every `questd.*` counter.
+    Metrics {
+        /// The exposition body (`# TYPE` lines plus `name value` samples).
+        text: String,
+    },
+    /// Answer to a `shutdown` request: the server has begun draining.
+    Draining {
+        /// Jobs still queued (not yet started) at the moment the drain
+        /// began; they will run to completion before the server exits.
+        queued: u64,
+    },
     /// Terminal failure for a job (`id` set) or a request-level failure
     /// (`id` null/absent).
     Error {
@@ -649,6 +759,16 @@ impl Event {
                 ("counters".into(), s.to_counters_json()),
             ]),
             Event::Pong => Json::Object(vec![v, ("event".into(), Json::String("pong".into()))]),
+            Event::Metrics { text } => Json::Object(vec![
+                v,
+                ("event".into(), Json::String("metrics".into())),
+                ("text".into(), Json::String(text.clone())),
+            ]),
+            Event::Draining { queued } => Json::Object(vec![
+                v,
+                ("event".into(), Json::String("draining".into())),
+                ("queued".into(), Json::Number(*queued as f64)),
+            ]),
             Event::Error { id, code, message } => Json::Object(vec![
                 v,
                 ("event".into(), Json::String("error".into())),
@@ -740,6 +860,12 @@ impl Event {
                 )))
             }
             "pong" => Ok(Event::Pong),
+            "metrics" => Ok(Event::Metrics {
+                text: require_str(json, "text")?,
+            }),
+            "draining" => Ok(Event::Draining {
+                queued: json.get("queued").and_then(Json::as_u64).unwrap_or(0),
+            }),
             "error" => {
                 let code_text = require_str(json, "code")?;
                 let code = ErrorCode::parse(&code_text).ok_or_else(|| {
@@ -840,6 +966,8 @@ mod tests {
     fn requests_roundtrip() {
         roundtrip_request(&Request::Ping);
         roundtrip_request(&Request::Stats);
+        roundtrip_request(&Request::Metrics);
+        roundtrip_request(&Request::Shutdown);
         roundtrip_request(&Request::Cancel { id: "j1".into() });
         roundtrip_request(&Request::Submit(SubmitRequest {
             id: "j2".into(),
@@ -881,11 +1009,47 @@ mod tests {
             dedup_hits: 1,
             ..StatsSnapshot::default()
         }));
+        roundtrip_event(&Event::Metrics {
+            text: "# TYPE questd_jobs_completed counter\nquestd_jobs_completed 3\n".into(),
+        });
+        roundtrip_event(&Event::Draining { queued: 4 });
         roundtrip_event(&Event::Error {
             id: Some("j".into()),
             code: ErrorCode::QueueFull,
             message: "queue is at capacity".into(),
         });
+        roundtrip_event(&Event::Error {
+            id: None,
+            code: ErrorCode::RateLimited,
+            message: "submission rate limit exceeded".into(),
+        });
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_every_stat_key() {
+        let snap = StatsSnapshot {
+            workers: 2,
+            queue_depth: 3,
+            conns_open: 5,
+            jobs_completed: 7,
+            ..StatsSnapshot::default()
+        };
+        let text = snap.to_prometheus();
+        for key in STAT_KEYS {
+            let name = key.replace('.', "_");
+            assert!(
+                text.contains(&format!("# TYPE {name} ")),
+                "exposition missing TYPE line for {name}"
+            );
+            assert!(
+                text.lines().any(|l| l.starts_with(&format!("{name} "))),
+                "exposition missing sample for {name}"
+            );
+        }
+        assert!(text.contains("# TYPE questd_queue_depth gauge\nquestd_queue_depth 3"));
+        assert!(text.contains("# TYPE questd_conns_open gauge\nquestd_conns_open 5"));
+        assert!(text.contains("# TYPE questd_jobs_completed counter\nquestd_jobs_completed 7"));
+        assert!(text.contains("questd_workers 2"));
     }
 
     #[test]

@@ -163,6 +163,22 @@ impl<T> Queue<T> {
         }
     }
 
+    /// Removes and returns every entry whose queue deadline has passed.
+    /// This is the *eager* counterpart of the lazy push/pop scans: the
+    /// server's event loop sweeps periodically (and once at drain time) so
+    /// an expired job's submitter hears `deadline_expired` promptly even
+    /// while every worker is busy on long compilations.
+    pub fn evict_expired(&self) -> Vec<T> {
+        let now = Instant::now();
+        let mut inner = self.lock();
+        let mut evicted = Vec::new();
+        // Remove from the back so earlier indices stay valid.
+        for i in expired_indices(&inner.entries, now).into_iter().rev() {
+            evicted.push(inner.entries.remove(i).item);
+        }
+        evicted
+    }
+
     /// Closes the queue: pending entries still drain, further pushes fail
     /// with [`PushError::Closed`], and idle workers wake up to exit.
     pub fn close(&self) {
@@ -244,6 +260,20 @@ mod tests {
             Popped::Item(x) => assert_eq!(x, "live"),
             _ => panic!("expected live item"),
         }
+    }
+
+    #[test]
+    fn evict_expired_sweeps_only_expired_entries() {
+        let q = Queue::new(4);
+        q.push("stale-a", 5, Some(Duration::ZERO)).ok().unwrap();
+        q.push("live", 5, None).ok().unwrap();
+        q.push("stale-b", 9, Some(Duration::ZERO)).ok().unwrap();
+        let mut evicted = q.evict_expired();
+        evicted.sort_unstable();
+        assert_eq!(evicted, ["stale-a", "stale-b"]);
+        assert_eq!(q.depth(), 1);
+        assert!(q.evict_expired().is_empty(), "sweep is idempotent");
+        assert!(matches!(q.pop(), Popped::Item("live")));
     }
 
     #[test]

@@ -1,33 +1,51 @@
-//! The daemon: TCP listener, connection handling, and the compile worker
-//! pool.
+//! The daemon: a readiness event loop multiplexing every client
+//! connection, plus the compile worker pool.
 //!
-//! Threading model: one detached reader thread per client connection
-//! (connections are cheap and block on socket reads), a fixed pool of
-//! `workers` compile threads draining the bounded job [`Queue`], and one
-//! accept thread. All writes to a connection go through its [`ConnWriter`]
-//! mutex, so job events from worker threads and direct responses from the
-//! reader thread interleave without tearing lines.
+//! Threading model: **one poll thread** owns the listener and every
+//! client socket. Sockets are nonblocking; the thread ticks through
+//! accept → deadline sweep → per-connection read/dispatch/flush, then
+//! sleeps on a condvar `Notifier` until either a timed tick elapses or
+//! a writer enqueues output. Thousands of idle connections therefore cost
+//! zero threads and zero wakeups beyond the tick. A fixed pool of
+//! `workers` compile threads drains the bounded job [`Queue`]; their
+//! event broadcasts go through each connection's buffered [`ConnWriter`],
+//! so a slow or dead client can never block a worker — it merely
+//! accumulates buffered bytes until the write deadline or outbound cap
+//! reaps it.
+//!
+//! Hostile-network defenses (all tunable via [`NetConfig`]):
+//! per-connection read deadline on partial lines (anti-slow-loris), write
+//! deadline on stalled outbound progress, a request-line length cap, an
+//! outbound buffer cap, and token-bucket accept/submission rate limits.
+//!
+//! Graceful drain: the `shutdown` op (or [`Server::drain`] /
+//! [`Server::shutdown`]) stops accepting connections, closes the queue so
+//! queued jobs still run to completion, rejects new submissions with
+//! `shutting_down`, and bounds the wait with a drain deadline — see
+//! `docs/questd-protocol.md` §4.
 //!
 //! Per-job observability: each worker opportunistically opens a
 //! [`qobs::metrics::try_session`] — the registry is process-global, so at
 //! most one concurrent job gets a session; that job's report carries the
 //! run's `quest.*`/`quest.degraded.*` metrics, every job's report carries
 //! its own degradation tally regardless. Server-wide `questd.*` counters
-//! live in [`Counters`] and are returned by the `stats` op.
+//! live in [`Counters`], are returned by the `stats` op, and are exported
+//! in Prometheus text form by the `metrics` op.
 
 use crate::dedup::{Admission, SingleFlight};
-use crate::job::{ConnWriter, Counters, Job, JobObserver, Subscriber};
+use crate::job::{Counters, Job, JobObserver, Subscriber};
+use crate::net::{ConnWriter, FlushStatus, NetConfig, Notifier, TokenBucket};
 use crate::protocol::{ErrorCode, Event, ProtocolError, Request, StatsSnapshot, SubmitRequest};
 use crate::queue::{Popped, Queue};
 use qobs::json::Json;
 use std::collections::BTreeMap;
-use std::io::BufRead;
+use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tunables for one daemon instance.
 #[derive(Clone, Debug)]
@@ -41,6 +59,11 @@ pub struct ServerConfig {
     /// memory-only (the default: a daemon already amortizes warm-up across
     /// jobs in memory).
     pub cache_dir: Option<PathBuf>,
+    /// Event-loop deadlines, caps, and rate limits.
+    pub net: NetConfig,
+    /// How long [`Server::shutdown`] waits for queued jobs to finish
+    /// before giving up on the worker pool.
+    pub drain_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -49,8 +72,31 @@ impl Default for ServerConfig {
             workers: 2,
             queue_capacity: 16,
             cache_dir: None,
+            net: NetConfig::default(),
+            drain_deadline: Duration::from_secs(30),
         }
     }
+}
+
+/// What a bounded drain accomplished (returned by [`Server::drain`]).
+#[derive(Clone, Copy, Debug)]
+pub struct DrainReport {
+    /// True when every queued job finished (and every worker exited)
+    /// within the deadline; false when the deadline cut the wait short
+    /// and the remaining worker threads were detached.
+    pub completed: bool,
+    /// Wall-clock seconds the drain took.
+    pub seconds: f64,
+}
+
+struct DrainInner {
+    workers_live: usize,
+    requested: bool,
+}
+
+struct DrainState {
+    inner: Mutex<DrainInner>,
+    cv: Condvar,
 }
 
 struct Shared {
@@ -63,23 +109,28 @@ struct Shared {
     stats: Counters,
     config: ServerConfig,
     shutting_down: AtomicBool,
+    stop_poll: AtomicBool,
+    wake: Arc<Notifier>,
+    drain: DrainState,
 }
 
-/// A running daemon. Dropping (or calling [`Server::shutdown`]) closes the
-/// queue, drains in-flight jobs, and joins the worker pool.
+/// A running daemon. Dropping (or calling [`Server::shutdown`]) drains
+/// the queue and joins the poll thread and worker pool.
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept_thread: Option<thread::JoinHandle<()>>,
+    poll_thread: Option<thread::JoinHandle<()>>,
     workers: Vec<thread::JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// accept loop and worker pool.
+    /// poll thread and worker pool.
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let worker_count = config.workers.max(1);
         let shared = Arc::new(Shared {
             queue: Queue::new(config.queue_capacity),
             dedup: SingleFlight::new(),
@@ -87,9 +138,18 @@ impl Server {
             stats: Counters::default(),
             config,
             shutting_down: AtomicBool::new(false),
+            stop_poll: AtomicBool::new(false),
+            wake: Arc::new(Notifier::new()),
+            drain: DrainState {
+                inner: Mutex::new(DrainInner {
+                    workers_live: worker_count,
+                    requested: false,
+                }),
+                cv: Condvar::new(),
+            },
         });
 
-        let workers = (0..shared.config.workers.max(1))
+        let workers = (0..worker_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 thread::Builder::new()
@@ -99,16 +159,16 @@ impl Server {
             })
             .collect();
 
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = thread::Builder::new()
-            .name("questd-accept".into())
-            .spawn(move || accept_loop(&listener, &accept_shared))
-            .expect("spawn accept thread");
+        let poll_shared = Arc::clone(&shared);
+        let poll_thread = thread::Builder::new()
+            .name("questd-poll".into())
+            .spawn(move || poll_loop(&listener, &poll_shared))
+            .expect("spawn poll thread");
 
         Ok(Server {
             addr,
             shared,
-            accept_thread: Some(accept_thread),
+            poll_thread: Some(poll_thread),
             workers,
         })
     }
@@ -118,105 +178,493 @@ impl Server {
         self.addr
     }
 
-    /// Stops accepting work, drains the queue, and joins every thread.
-    /// Queued-but-unstarted jobs still run to completion; new submissions
-    /// are refused with `shutting_down`.
-    pub fn shutdown(mut self) {
-        self.shutdown_inner();
+    /// Blocks until some client sends the `shutdown` op (returns
+    /// immediately if a drain has already been requested). The standalone
+    /// daemon binary parks here, then calls [`Server::shutdown`]; pure
+    /// std has no signal handling, so the protocol op *is* the SIGTERM
+    /// equivalent.
+    pub fn wait_for_drain_request(&self) {
+        let mut inner = self
+            .shared
+            .drain
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while !inner.requested {
+            inner = self
+                .shared
+                .drain
+                .cv
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
     }
 
-    fn shutdown_inner(&mut self) {
-        self.shared.shutting_down.store(true, Ordering::SeqCst);
-        self.shared.queue.close();
-        // Wake the accept loop with a throwaway connection so it observes
-        // the flag; it may already have exited on an accept error.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+    /// Gracefully drains with the configured default deadline. Queued
+    /// jobs still run to completion; new submissions are refused with
+    /// `shutting_down`.
+    pub fn shutdown(mut self) {
+        let deadline = self.shared.config.drain_deadline;
+        let _ = self.drain_inner(deadline);
+    }
+
+    /// Gracefully drains with an explicit deadline and reports whether
+    /// everything finished in time.
+    pub fn drain(mut self, deadline: Duration) -> DrainReport {
+        self.drain_inner(deadline)
+    }
+
+    fn drain_inner(&mut self, deadline: Duration) -> DrainReport {
+        let drain_started = Instant::now();
+        begin_drain(&self.shared);
+
+        // Wait (bounded) for the workers to finish every queued job.
+        let completed = {
+            let mut inner = self
+                .shared
+                .drain
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if inner.workers_live == 0 {
+                    break true;
+                }
+                let elapsed = drain_started.elapsed();
+                if elapsed >= deadline {
+                    break false;
+                }
+                let (guard, _) = self
+                    .shared
+                    .drain
+                    .cv
+                    .wait_timeout(inner, deadline - elapsed)
+                    .unwrap_or_else(PoisonError::into_inner);
+                inner = guard;
+            }
+        };
+
+        // Stop the poll thread; it does a final bounded flush of every
+        // outbound buffer (terminal events just broadcast by the workers)
+        // before closing the sockets and dropping the listener.
+        self.shared.stop_poll.store(true, Ordering::SeqCst);
+        self.shared.wake.notify();
+        if let Some(t) = self.poll_thread.take() {
             let _ = t.join();
         }
-        for t in self.workers.drain(..) {
-            let _ = t.join();
+        if completed {
+            for t in self.workers.drain(..) {
+                let _ = t.join();
+            }
+        } else {
+            // Deadline exceeded: detach the remaining workers. They hold
+            // their own Arc<Shared> and exit when their current job ends.
+            self.workers.clear();
+        }
+        DrainReport {
+            completed,
+            seconds: drain_started.elapsed().as_secs_f64(),
         }
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.accept_thread.is_some() {
-            self.shutdown_inner();
+        if self.poll_thread.is_some() {
+            let deadline = self.shared.config.drain_deadline;
+            let _ = self.drain_inner(deadline);
         }
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+/// Flips the daemon into draining mode (idempotent): evict
+/// already-expired queue entries, close the queue so workers drain the
+/// rest and exit, and wake both the poll thread and anything blocked in
+/// [`Server::wait_for_drain_request`].
+fn begin_drain(shared: &Arc<Shared>) {
+    if shared.shutting_down.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    sweep_expired(shared);
+    shared.queue.close();
+    {
+        let mut inner = shared
+            .drain
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        inner.requested = true;
+    }
+    shared.drain.cv.notify_all();
+    shared.wake.notify();
+}
+
+/// Eagerly evicts every queue entry whose deadline passed, notifying the
+/// submitters with `deadline_expired` (the periodic sweep of satellite
+/// "eager eviction"; also runs once at drain time).
+fn sweep_expired(shared: &Arc<Shared>) -> bool {
+    let mut any = false;
+    for job in shared.queue.evict_expired() {
+        shared.dedup.complete(job.fingerprint);
+        evict_job(shared, &job);
+        any = true;
+    }
+    any
+}
+
+// ---------------------------------------------------------------------
+// The event loop
+// ---------------------------------------------------------------------
+
+/// Per-connection state owned by the poll thread.
+struct Conn {
+    stream: TcpStream,
+    writer: Arc<ConnWriter>,
+    /// Bytes read but not yet consumed as complete lines.
+    inbuf: Vec<u8>,
+    /// Scan cursor into `inbuf` (everything before it holds no newline).
+    scanned: usize,
+    /// When the oldest byte of the current partial line arrived.
+    partial_since: Option<Instant>,
+    /// When buffered outbound data last failed to make progress.
+    stalled_since: Option<Instant>,
+    /// Per-connection submission-rate bucket.
+    submit_bucket: Option<TokenBucket>,
+    /// This connection's live submissions, by client job id.
+    my_jobs: BTreeMap<String, Arc<Job>>,
+    /// Stop reading; flush remaining output, then close.
+    closing: bool,
+}
+
+/// What to do with a connection after servicing it this tick.
+enum Verdict {
+    Keep,
+    /// Orderly close (client EOF, fatal protocol error already flushed).
+    Close,
+    /// Server-enforced close: deadline missed or buffer overflowed.
+    /// Counts toward `questd.conns.reaped`.
+    Reap,
+}
+
+fn poll_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; 16 * 1024];
+    let startup = Instant::now();
+    let mut accept_bucket = shared
+        .config
+        .net
+        .accept_rate
+        .map(|limit| TokenBucket::new(limit, startup));
+    // Ticks (1 ms sleeps) with zero progress since stop was requested;
+    // bounds the final flush so a stalled peer cannot wedge shutdown.
+    let mut stop_stall_ticks = 0u32;
     loop {
-        let Ok((stream, _)) = listener.accept() else {
-            if shared.shutting_down.load(Ordering::SeqCst) {
+        let stopping = shared.stop_poll.load(Ordering::SeqCst);
+        let now = Instant::now();
+        let mut progress = false;
+
+        if !stopping && !shared.shutting_down.load(Ordering::SeqCst) {
+            progress |= accept_ready(listener, shared, &mut conns, &mut accept_bucket, now);
+        }
+
+        progress |= sweep_expired(shared);
+
+        let mut i = 0;
+        while i < conns.len() {
+            match service_conn(shared, &mut conns[i], &mut scratch, now, &mut progress) {
+                Verdict::Keep => i += 1,
+                Verdict::Close => close_conn(shared, conns.swap_remove(i), false),
+                Verdict::Reap => close_conn(shared, conns.swap_remove(i), true),
+            }
+        }
+
+        if stopping {
+            let all_flushed = conns.iter().all(|c| !c.writer.has_pending());
+            if progress && !all_flushed {
+                stop_stall_ticks = 0;
+                continue;
+            }
+            if all_flushed || stop_stall_ticks > 250 {
+                for conn in conns.drain(..) {
+                    close_conn(shared, conn, false);
+                }
                 return;
             }
+            stop_stall_ticks += 1;
+            shared.wake.wait_timeout(Duration::from_millis(1));
             continue;
-        };
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            return;
         }
-        let shared = Arc::clone(shared);
-        // Reader threads are detached: they exit on client disconnect, and
-        // their cleanup path detaches every subscription they own.
-        let _ = thread::Builder::new()
-            .name("questd-conn".into())
-            .spawn(move || handle_connection(stream, &shared));
+
+        if !progress {
+            shared.wake.wait_timeout(Duration::from_millis(1));
+        }
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let writer = Arc::new(ConnWriter::new(stream));
-    // This connection's live submissions, by client job id. Used to route
-    // `cancel` and to detach everything on disconnect.
-    let mut my_jobs: BTreeMap<String, Arc<Job>> = BTreeMap::new();
-
-    let reader = std::io::BufReader::new(read_half);
-    for line in reader.lines() {
-        let Ok(line) = line else {
-            break;
-        };
-        if line.trim().is_empty() {
-            continue;
+/// Accepts every connection the listener has ready (bounded per tick),
+/// applying the accept-rate limit. Returns true when anything happened.
+fn accept_ready(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conns: &mut Vec<Conn>,
+    accept_bucket: &mut Option<TokenBucket>,
+    now: Instant,
+) -> bool {
+    let mut any = false;
+    for _ in 0..64 {
+        if qfault::inject!("questd.net.accept", io).is_some() {
+            // Transient accept failure: count it and retry next tick; the
+            // pending connection stays in the kernel backlog.
+            Counters::add(&shared.stats.net_accept_errors, 1);
+            return true;
         }
-        let request = match Json::parse(&line) {
-            Ok(json) => Request::from_json(&json),
-            Err(e) => Err(ProtocolError::new(
-                ErrorCode::ParseError,
-                format!("invalid JSON: {e}"),
-            )),
-        };
-        match request {
-            Ok(Request::Ping) => {
-                let _ = writer.send(&Event::Pong);
-            }
-            Ok(Request::Stats) => {
-                let _ = writer.send(&Event::Stats(stats_snapshot(shared)));
-            }
-            Ok(Request::Cancel { id }) => handle_cancel(&writer, &mut my_jobs, &id),
-            Ok(Request::Submit(submit)) => {
-                handle_submit(shared, &writer, &mut my_jobs, &submit);
-            }
-            Err(e) => {
-                let _ = writer.send(&Event::Error {
-                    id: None,
-                    code: e.code,
-                    message: e.message,
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                any = true;
+                if let Some(bucket) = accept_bucket {
+                    if !bucket.try_take(now) {
+                        Counters::add(&shared.stats.conns_rate_limited, 1);
+                        // Best-effort courtesy line so well-behaved
+                        // clients learn to back off; then drop.
+                        let mut line = Event::Error {
+                            id: None,
+                            code: ErrorCode::RateLimited,
+                            message: "connection rate limit exceeded; retry with backoff".into(),
+                        }
+                        .to_json()
+                        .compact();
+                        line.push('\n');
+                        let _ = std::io::Write::write(&mut stream, line.as_bytes());
+                        continue;
+                    }
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                Counters::add(&shared.stats.conns_accepted, 1);
+                Counters::add(&shared.stats.conns_open, 1);
+                conns.push(Conn {
+                    stream,
+                    writer: Arc::new(ConnWriter::new(
+                        Arc::clone(&shared.wake),
+                        shared.config.net.max_outbound_bytes,
+                    )),
+                    inbuf: Vec::new(),
+                    scanned: 0,
+                    partial_since: None,
+                    stalled_since: None,
+                    submit_bucket: shared
+                        .config
+                        .net
+                        .submit_rate
+                        .map(|limit| TokenBucket::new(limit, now)),
+                    my_jobs: BTreeMap::new(),
+                    closing: false,
                 });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                Counters::add(&shared.stats.net_accept_errors, 1);
+                break;
+            }
+        }
+    }
+    any
+}
+
+/// One tick of one connection: read what's available, dispatch complete
+/// lines, enforce deadlines, flush buffered output.
+fn service_conn(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    scratch: &mut [u8],
+    now: Instant,
+    progress: &mut bool,
+) -> Verdict {
+    if !conn.closing {
+        // Bounded reads per tick so one firehose client cannot starve the
+        // rest of the loop.
+        for _ in 0..4 {
+            qfault::inject!("questd.net.read", delay);
+            match conn.stream.read(scratch) {
+                Ok(0) => {
+                    // Client EOF: stop reading, flush what we owe, close.
+                    conn.closing = true;
+                    *progress = true;
+                    break;
+                }
+                Ok(n) => {
+                    *progress = true;
+                    if qfault::inject!("questd.net.read", io).is_some() {
+                        // Mid-frame disconnect: bytes of a frame arrived,
+                        // then the connection died under us.
+                        return Verdict::Reap;
+                    }
+                    conn.inbuf.extend_from_slice(&scratch[..n]);
+                    process_lines(shared, conn, now);
+                    if conn.closing || n < scratch.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return Verdict::Close,
+            }
+        }
+        // Anti-slow-loris: a partial line may not age past the read
+        // deadline (idle connections with no partial line are unlimited).
+        if let Some(since) = conn.partial_since {
+            if now.saturating_duration_since(since) >= shared.config.net.read_deadline {
+                return Verdict::Reap;
             }
         }
     }
 
-    // Disconnect: walk away from everything this connection was waiting
-    // on. A job whose last subscriber leaves is cancelled cooperatively.
-    for (id, job) in my_jobs {
-        job.detach(&id, &writer);
+    match conn.writer.flush(&mut conn.stream) {
+        FlushStatus::Idle => {
+            conn.stalled_since = None;
+            if conn.closing {
+                return Verdict::Close;
+            }
+        }
+        FlushStatus::Wrote { pending } => {
+            *progress = true;
+            conn.stalled_since = None;
+            if pending > 0 {
+                Counters::add(&shared.stats.net_partial_writes, 1);
+            } else if conn.closing {
+                return Verdict::Close;
+            }
+        }
+        FlushStatus::Blocked => {
+            // No progress with bytes owed: the write-deadline clock runs.
+            let since = *conn.stalled_since.get_or_insert(now);
+            if now.saturating_duration_since(since) >= shared.config.net.write_deadline {
+                return Verdict::Reap;
+            }
+        }
+        FlushStatus::Overflowed => return Verdict::Reap,
+        // A transport-level write failure also counts as a reap: the
+        // server force-closed a connection it could no longer serve, and
+        // the tally is the observable a chaos run asserts on.
+        FlushStatus::Error => return Verdict::Reap,
+    }
+    Verdict::Keep
+}
+
+/// Consumes every complete line in `conn.inbuf`, dispatching each;
+/// enforces the line-length cap on both complete and partial lines.
+fn process_lines(shared: &Arc<Shared>, conn: &mut Conn, now: Instant) {
+    loop {
+        match conn.inbuf[conn.scanned..].iter().position(|&b| b == b'\n') {
+            Some(rel) => {
+                let end = conn.scanned + rel;
+                let mut line: Vec<u8> = conn.inbuf.drain(..=end).collect();
+                line.pop(); // the newline itself
+                conn.scanned = 0;
+                if line.len() > shared.config.net.max_line_bytes {
+                    oversized_line(shared, conn, line.len());
+                    return;
+                }
+                dispatch_line(shared, conn, &line, now);
+                if conn.closing {
+                    return;
+                }
+            }
+            None => {
+                if conn.inbuf.len() > shared.config.net.max_line_bytes {
+                    let len = conn.inbuf.len();
+                    conn.inbuf.clear();
+                    conn.scanned = 0;
+                    oversized_line(shared, conn, len);
+                } else {
+                    conn.scanned = conn.inbuf.len();
+                    if conn.inbuf.is_empty() {
+                        conn.partial_since = None;
+                    } else {
+                        conn.partial_since.get_or_insert(now);
+                    }
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// A request line blew the length cap: answer `invalid_request`, count
+/// it, and close the connection once the error has flushed. The buffer
+/// is dropped immediately — the cap is what keeps a hostile client from
+/// ballooning server memory.
+fn oversized_line(shared: &Arc<Shared>, conn: &mut Conn, got: usize) {
+    Counters::add(&shared.stats.lines_oversized, 1);
+    let _ = conn.writer.send(&Event::Error {
+        id: None,
+        code: ErrorCode::InvalidRequest,
+        message: format!(
+            "request line of {got} bytes exceeds the {} byte cap",
+            shared.config.net.max_line_bytes
+        ),
+    });
+    conn.partial_since = None;
+    conn.closing = true;
+}
+
+/// Parses and executes one complete request line.
+fn dispatch_line(shared: &Arc<Shared>, conn: &mut Conn, line: &[u8], now: Instant) {
+    let text = String::from_utf8_lossy(line);
+    let text = text.trim();
+    if text.is_empty() {
+        return;
+    }
+    let request = match Json::parse(text) {
+        Ok(json) => Request::from_json(&json),
+        Err(e) => Err(ProtocolError::new(
+            ErrorCode::ParseError,
+            format!("invalid JSON: {e}"),
+        )),
+    };
+    match request {
+        Ok(Request::Ping) => {
+            let _ = conn.writer.send(&Event::Pong);
+        }
+        Ok(Request::Stats) => {
+            let _ = conn.writer.send(&Event::Stats(stats_snapshot(shared)));
+        }
+        Ok(Request::Metrics) => {
+            let _ = conn.writer.send(&Event::Metrics {
+                text: stats_snapshot(shared).to_prometheus(),
+            });
+        }
+        Ok(Request::Shutdown) => {
+            let queued = shared.queue.depth() as u64;
+            begin_drain(shared);
+            let _ = conn.writer.send(&Event::Draining { queued });
+        }
+        Ok(Request::Cancel { id }) => handle_cancel(&conn.writer, &mut conn.my_jobs, &id),
+        Ok(Request::Submit(submit)) => handle_submit(shared, conn, &submit, now),
+        Err(e) => {
+            let _ = conn.writer.send(&Event::Error {
+                id: None,
+                code: e.code,
+                message: e.message,
+            });
+        }
+    }
+}
+
+/// Detaches everything the connection was subscribed to and closes its
+/// writer. `reaped` marks server-enforced closes (deadline, overflow).
+fn close_conn(shared: &Arc<Shared>, conn: Conn, reaped: bool) {
+    if reaped {
+        Counters::add(&shared.stats.conns_reaped, 1);
+    }
+    Counters::sub(&shared.stats.conns_open, 1);
+    conn.writer.close();
+    // A job whose last subscriber leaves is cancelled cooperatively.
+    for (id, job) in conn.my_jobs {
+        job.detach(&id, &conn.writer);
     }
 }
 
@@ -246,12 +694,8 @@ fn handle_cancel(writer: &Arc<ConnWriter>, my_jobs: &mut BTreeMap<String, Arc<Jo
     }
 }
 
-fn handle_submit(
-    shared: &Arc<Shared>,
-    writer: &Arc<ConnWriter>,
-    my_jobs: &mut BTreeMap<String, Arc<Job>>,
-    submit: &SubmitRequest,
-) {
+fn handle_submit(shared: &Arc<Shared>, conn: &mut Conn, submit: &SubmitRequest, now: Instant) {
+    let writer = &conn.writer;
     let reject = |code: ErrorCode, message: String| {
         let _ = writer.send(&Event::Error {
             id: Some(submit.id.clone()),
@@ -259,6 +703,16 @@ fn handle_submit(
             message,
         });
     };
+    if let Some(bucket) = &mut conn.submit_bucket {
+        if !bucket.try_take(now) {
+            Counters::add(&shared.stats.submits_rate_limited, 1);
+            reject(
+                ErrorCode::RateLimited,
+                "submission rate limit exceeded; retry with backoff".into(),
+            );
+            return;
+        }
+    }
     if shared.shutting_down.load(Ordering::SeqCst) {
         reject(
             ErrorCode::ShuttingDown,
@@ -266,7 +720,7 @@ fn handle_submit(
         );
         return;
     }
-    if my_jobs.contains_key(&submit.id) {
+    if conn.my_jobs.contains_key(&submit.id) {
         reject(
             ErrorCode::InvalidRequest,
             format!(
@@ -302,11 +756,11 @@ fn handle_submit(
     match admission {
         Admission::Deduplicated(job) => {
             Counters::add(&shared.stats.dedup_hits, 1);
-            my_jobs.insert(submit.id.clone(), job);
+            conn.my_jobs.insert(submit.id.clone(), job);
         }
         Admission::Enqueued { job, evicted } => {
             Counters::add(&shared.stats.dedup_misses, 1);
-            my_jobs.insert(submit.id.clone(), job);
+            conn.my_jobs.insert(submit.id.clone(), job);
             for gone in evicted {
                 evict_job(shared, &gone);
             }
@@ -357,8 +811,20 @@ fn stats_snapshot(shared: &Shared) -> StatsSnapshot {
         jobs_executed: Counters::get(&shared.stats.jobs_executed),
         jobs_completed: Counters::get(&shared.stats.jobs_completed),
         jobs_failed: Counters::get(&shared.stats.jobs_failed),
+        conns_accepted: Counters::get(&shared.stats.conns_accepted),
+        conns_open: Counters::get(&shared.stats.conns_open),
+        conns_reaped: Counters::get(&shared.stats.conns_reaped),
+        conns_rate_limited: Counters::get(&shared.stats.conns_rate_limited),
+        net_accept_errors: Counters::get(&shared.stats.net_accept_errors),
+        net_partial_writes: Counters::get(&shared.stats.net_partial_writes),
+        submits_rate_limited: Counters::get(&shared.stats.submits_rate_limited),
+        lines_oversized: Counters::get(&shared.stats.lines_oversized),
     }
 }
+
+// ---------------------------------------------------------------------
+// The worker pool
+// ---------------------------------------------------------------------
 
 /// One block cache per configuration fingerprint (see [`Shared::caches`]).
 fn cache_for(shared: &Shared, config: &quest::QuestConfig) -> Arc<quest::BlockCache> {
@@ -377,7 +843,7 @@ fn cache_for(shared: &Shared, config: &quest::QuestConfig) -> Arc<quest::BlockCa
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
         match shared.queue.pop() {
-            Popped::Closed => return,
+            Popped::Closed => break,
             Popped::Expired(job) => {
                 shared.dedup.complete(job.fingerprint);
                 evict_job(shared, &job);
@@ -385,6 +851,16 @@ fn worker_loop(shared: &Arc<Shared>) {
             Popped::Item(job) => run_job(shared, &job),
         }
     }
+    // Tell the drain waiter this worker is done.
+    {
+        let mut inner = shared
+            .drain
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        inner.workers_live -= 1;
+    }
+    shared.drain.cv.notify_all();
 }
 
 fn run_job(shared: &Arc<Shared>, job: &Arc<Job>) {

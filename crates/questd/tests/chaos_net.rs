@@ -1,0 +1,314 @@
+//! Network-fault chaos suite (gated on the `fault-injection` feature; run
+//! with `cargo test -p questd --features fault-injection`): each qfault
+//! site in the daemon's I/O layer is armed in turn, and every scenario
+//! asserts the three chaos invariants from the protocol doc —
+//!
+//! 1. the daemon keeps serving after the fault,
+//! 2. the fault leaves a trace in a `questd.*` counter, and
+//! 3. no *other* connection's event stream is corrupted (reports received
+//!    across a fault are identical to a clean run's).
+//!
+//! Disarmed, the fault-injectable build must behave exactly like a clean
+//! one: zero fault counters and bit-identical report payloads.
+
+#![cfg(feature = "fault-injection")]
+
+use qobs::json::Json;
+use questd::{
+    Client, Event, JobConfig, JobOutcome, NetConfig, Server, ServerConfig, SubmitRequest,
+};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// A 3-qubit circuit with enough structure for a multi-block partition.
+const QASM: &str = r#"OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[0];
+cx q[0],q[1];
+rz(pi/8) q[1];
+cx q[0],q[1];
+cx q[1],q[2];
+rz(pi/8) q[2];
+cx q[1],q[2];
+cx q[0],q[1];
+rz(pi/8) q[1];
+cx q[0],q[1];
+"#;
+
+/// Serializes tests around the process-global fault registry: the guard
+/// disarms everything on acquisition *and* on drop, so armed faults can
+/// never leak between tests (or in from a stray `QFAULT` environment).
+fn serial() -> impl Drop {
+    static LOCK: Mutex<()> = Mutex::new(());
+    struct Guard {
+        _lock: std::sync::MutexGuard<'static, ()>,
+    }
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            qfault::disarm_all();
+        }
+    }
+    let guard = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    qfault::disarm_all();
+    Guard { _lock: guard }
+}
+
+fn start_server(net: NetConfig) -> Server {
+    Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 8,
+            net,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+fn submit(id: &str, seed: u64) -> SubmitRequest {
+    SubmitRequest {
+        id: id.into(),
+        qasm: QASM.into(),
+        config: JobConfig {
+            fast: true,
+            max_samples: Some(2),
+            seed: Some(seed),
+            ..JobConfig::default()
+        },
+        priority: 5,
+        queue_deadline_ms: None,
+    }
+}
+
+/// Runs one fast job to completion and returns its report.
+fn run_job(client: &mut Client, id: &str, seed: u64) -> Json {
+    client.submit(submit(id, seed)).expect("submit");
+    match client.wait_for(id, |_| {}).expect("terminal event") {
+        JobOutcome::Report(report) => report,
+        JobOutcome::Failed { code, message } => panic!("job {id} failed: {code} {message}"),
+    }
+}
+
+/// The deterministic payload of a report: its `samples` subtree (circuit
+/// content, no wall-clock fields), serialized compactly.
+fn samples_of(report: &Json) -> String {
+    report.get("samples").expect("report has samples").compact()
+}
+
+/// One clean run's samples for `seed`, from a fresh unfaulted server, as
+/// the cross-run comparison baseline.
+fn clean_baseline(seed: u64) -> String {
+    let server = start_server(NetConfig::default());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let report = run_job(&mut client, "baseline", seed);
+    server.shutdown();
+    samples_of(&report)
+}
+
+/// Accept failure: the fault burns one accept attempt; the kernel backlog
+/// keeps the pending connection, the next tick admits it, and the error
+/// is tallied. The client never notices beyond a tick of latency.
+#[test]
+fn accept_failure_is_survived_and_counted() {
+    let _guard = serial();
+    let server = start_server(NetConfig::default());
+    qfault::arm_spec("questd.net.accept=io@0").expect("arm");
+
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.ping().expect("daemon serves after the accept fault");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.net_accept_errors, 1);
+    assert_eq!(stats.conns_accepted, 1);
+    server.shutdown();
+}
+
+/// Mid-frame disconnect: bytes of a request arrive, then the transport
+/// dies. The connection is reaped, the daemon keeps serving, and a
+/// subsequent job's report is identical to a clean run's.
+#[test]
+fn mid_frame_disconnect_reaps_only_the_faulty_connection() {
+    let _guard = serial();
+    let baseline = clean_baseline(61);
+    let server = start_server(NetConfig::default());
+    let addr = server.local_addr();
+    qfault::arm_spec("questd.net.read=io@0").expect("arm");
+
+    // The victim's ping is the first data-carrying read, so the fault
+    // fires on it: reap, no reply.
+    let victim = TcpStream::connect(addr).expect("connect");
+    let mut w = victim.try_clone().expect("clone");
+    w.write_all(b"{\"v\":2,\"op\":\"ping\"}\n").expect("write");
+    let mut r = victim.try_clone().expect("clone");
+    r.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut buf = [0u8; 64];
+    assert_eq!(r.read(&mut buf).unwrap_or(0), 0, "victim must see a close");
+
+    let mut healthy = Client::connect(addr).expect("connect");
+    let report = run_job(&mut healthy, "after-fault", 61);
+    assert_eq!(
+        samples_of(&report),
+        baseline,
+        "a fault on one connection must not perturb another's results"
+    );
+    let stats = healthy.stats().expect("stats");
+    assert_eq!(stats.conns_reaped, 1);
+    server.shutdown();
+}
+
+/// Partial writes: every flush moves a single byte. The event stream
+/// trickles out but arrives complete, in order, and byte-identical to a
+/// clean run; the partial flushes are tallied.
+#[test]
+fn partial_writes_deliver_intact_streams() {
+    let _guard = serial();
+    let baseline = clean_baseline(62);
+    let server = start_server(NetConfig::default());
+    qfault::arm_spec("questd.net.partial_write=io@*").expect("arm");
+
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let report = run_job(&mut client, "trickled", 62);
+    assert_eq!(
+        samples_of(&report),
+        baseline,
+        "byte-at-a-time delivery must not corrupt the report"
+    );
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.net_partial_writes > 0,
+        "the partial-flush path must have been exercised"
+    );
+    server.shutdown();
+}
+
+/// Write failure: the first data-carrying flush errors. The owed reply is
+/// undeliverable, so the connection is reaped — and the daemon serves the
+/// next connection untouched.
+#[test]
+fn write_failure_reaps_the_connection_and_daemon_survives() {
+    let _guard = serial();
+    let server = start_server(NetConfig::default());
+    let addr = server.local_addr();
+    qfault::arm_spec("questd.net.write=io@0").expect("arm");
+
+    let victim = TcpStream::connect(addr).expect("connect");
+    let mut w = victim.try_clone().expect("clone");
+    w.write_all(b"{\"v\":2,\"op\":\"ping\"}\n").expect("write");
+    let mut r = victim.try_clone().expect("clone");
+    r.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut buf = [0u8; 64];
+    assert_eq!(r.read(&mut buf).unwrap_or(0), 0, "victim must see a close");
+
+    let mut healthy = Client::connect(addr).expect("connect");
+    healthy.ping().expect("daemon serves after the write fault");
+    let stats = healthy.stats().expect("stats");
+    assert_eq!(stats.conns_reaped, 1);
+    server.shutdown();
+}
+
+/// Slow-loris under injected read stalls: every read attempt sleeps, yet
+/// the daemon keeps answering (slowly), and a peer trickling an
+/// unterminated line still trips the read deadline and is reaped.
+#[test]
+fn read_stalls_slow_the_daemon_but_deadlines_still_fire() {
+    let _guard = serial();
+    let server = start_server(NetConfig {
+        read_deadline: Duration::from_millis(250),
+        ..NetConfig::default()
+    });
+    let addr = server.local_addr();
+    qfault::arm_spec("questd.net.read=delay@*").expect("arm");
+
+    // The daemon still serves while every read stalls 50 ms.
+    let mut probe = Client::connect(addr).expect("connect");
+    probe.ping().expect("daemon serves under read stalls");
+
+    let loris = TcpStream::connect(addr).expect("connect");
+    let mut w = loris.try_clone().expect("clone");
+    w.write_all(b"{\"v\":2,\"op\":")
+        .expect("write partial line");
+    let mut r = loris.try_clone().expect("clone");
+    r.set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    let mut buf = [0u8; 64];
+    assert_eq!(r.read(&mut buf).unwrap_or(0), 0, "loris must be reaped");
+
+    let stats = probe.stats().expect("stats");
+    assert_eq!(stats.conns_reaped, 1, "only the slow loris was reaped");
+    server.shutdown();
+}
+
+/// Peer isolation around an oversized line (no arming needed): one
+/// connection blows the line cap mid-job of another; the victim of its
+/// own oversized line is closed, while the innocent job's report matches
+/// the clean baseline byte for byte.
+#[test]
+fn oversized_line_on_one_connection_leaves_another_intact() {
+    let _guard = serial();
+    let baseline = clean_baseline(63);
+    let server = start_server(NetConfig {
+        max_line_bytes: 1024,
+        ..NetConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let mut worker = Client::connect(addr).expect("connect");
+    worker.submit(submit("innocent", 63)).expect("submit");
+    match worker.recv().expect("accepted") {
+        Event::Accepted { .. } => {}
+        other => panic!("expected accepted, got {other:?}"),
+    }
+
+    // Mid-job, a second connection sends an over-cap line.
+    let abuser = TcpStream::connect(addr).expect("connect");
+    let mut w = abuser.try_clone().expect("clone");
+    let mut reader = BufReader::new(abuser.try_clone().expect("clone"));
+    w.write_all(format!("{}\n", "z".repeat(4096)).as_bytes())
+        .expect("write oversized");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read");
+    assert!(
+        reply.contains(r#""code":"invalid_request""#),
+        "reply: {reply}"
+    );
+
+    let report = match worker.wait_for("innocent", |_| {}).expect("terminal") {
+        JobOutcome::Report(r) => r,
+        JobOutcome::Failed { code, message } => panic!("innocent failed: {code} {message}"),
+    };
+    assert_eq!(
+        samples_of(&report),
+        baseline,
+        "an abusive connection must not corrupt another's stream"
+    );
+    let stats = worker.stats().expect("stats");
+    assert_eq!(stats.lines_oversized, 1);
+    server.shutdown();
+}
+
+/// Disarmed, the fault-injectable build is indistinguishable from clean:
+/// all fault counters zero, and two runs of the same request on fresh
+/// servers produce bit-identical sample payloads.
+#[test]
+fn disarmed_build_is_bit_identical_to_clean() {
+    let _guard = serial();
+    let first = clean_baseline(64);
+    let server = start_server(NetConfig::default());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let report = run_job(&mut client, "again", 64);
+    assert_eq!(samples_of(&report), first);
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.net_accept_errors, 0);
+    assert_eq!(stats.net_partial_writes, 0);
+    assert_eq!(stats.conns_reaped, 0);
+    assert_eq!(stats.conns_rate_limited, 0);
+    assert_eq!(stats.submits_rate_limited, 0);
+    assert_eq!(stats.lines_oversized, 0);
+    server.shutdown();
+}

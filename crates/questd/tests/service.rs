@@ -63,7 +63,7 @@ fn start_server(workers: usize, queue_capacity: usize) -> Server {
         ServerConfig {
             workers,
             queue_capacity,
-            cache_dir: None,
+            ..ServerConfig::default()
         },
     )
     .expect("bind ephemeral port")
@@ -372,7 +372,7 @@ fn malformed_lines_get_documented_error_codes() {
     let reply = send_raw("this is not json");
     assert!(reply.contains(r#""code":"parse_error""#), "reply: {reply}");
 
-    let reply = send_raw(r#"{"v":1,"op":"frobnicate"}"#);
+    let reply = send_raw(r#"{"v":2,"op":"frobnicate"}"#);
     assert!(
         reply.contains(r#""code":"invalid_request""#),
         "reply: {reply}"
@@ -384,7 +384,7 @@ fn malformed_lines_get_documented_error_codes() {
         "reply: {reply}"
     );
 
-    let reply = send_raw(r#"{"v":1,"op":"submit","id":"x","qasm":"not qasm"}"#);
+    let reply = send_raw(r#"{"v":2,"op":"submit","id":"x","qasm":"not qasm"}"#);
     assert!(
         reply.contains(r#""code":"invalid_request""#),
         "reply: {reply}"

@@ -4,14 +4,14 @@
 #
 # Usage: bench_compare.sh BASELINE.json CANDIDATE.json [MAX_REGRESSION]
 #
-# Every key matching `*.total_seconds` or `*_ns` that appears in BOTH
+# Every key matching `*_seconds` or `*_ns` that appears in BOTH
 # snapshots is compared; if the candidate exceeds the baseline by more than
 # MAX_REGRESSION (a fraction, default 0.25 = +25%), the key is a regression
 # and the script exits nonzero after printing the full table.
 #
 # Keys with tiny baselines are reported but not enforced — at millisecond
 # scale (warm cache-hit runs) 25% is scheduler jitter, not a signal. The
-# floors: 0.05 s for `*.total_seconds`, 1000 ns for `*_ns`.
+# floors: 0.05 s for `*_seconds`, 1000 ns for `*_ns`.
 #
 # CI runs this against the committed BENCH_pipeline.json, so a PR that
 # slows the synthesis hot loop or the end-to-end pipeline by >25% fails
@@ -46,16 +46,16 @@ def load_entries(path):
     }
 
 def is_wallclock(key):
-    return key.endswith(".total_seconds") or key.endswith("_ns")
+    return key.endswith("_seconds") or key.endswith("_ns")
 
 def floor_for(key):
-    return 0.05 if key.endswith(".total_seconds") else 1000.0
+    return 0.05 if key.endswith("_seconds") else 1000.0
 
 base = load_entries(baseline_path)
 cand = load_entries(candidate_path)
 shared = sorted(k for k in base if k in cand and is_wallclock(k))
 if not shared:
-    sys.exit("no shared *.total_seconds / *_ns keys between the snapshots")
+    sys.exit("no shared *_seconds / *_ns keys between the snapshots")
 
 regressions = []
 width = max(len(k) for k in shared)

@@ -8,10 +8,12 @@
 //!           [--anneal-deadline SECS] [--strict]
 //!           [--trace[=json]] [--report OUT.json]
 //! quest-cli serve  [--addr HOST:PORT] [--workers N] [--queue-capacity N]
-//!                  [--cache-dir DIR]
+//!                  [--cache-dir DIR] [--drain-deadline-secs N]
 //! quest-cli client [--addr HOST:PORT] INPUT.qasm [--fast] [--seed S] ...
 //!                  [--priority P] [--queue-deadline SECS]
 //!                  [--report OUT.json]
+//! quest-cli client metrics  [--addr HOST:PORT]
+//! quest-cli client shutdown [--addr HOST:PORT]
 //! ```
 //!
 //! Writes one `approx_<i>_<cnots>cx.qasm` per selected approximation (to
@@ -174,9 +176,14 @@ fn usage() {
         "usage: quest-cli INPUT.qasm [flags]   compile one circuit (below)\n\
          \u{20}      quest-cli serve [--addr HOST:PORT] [--workers N]\n\
          \u{20}                      [--queue-capacity N] [--cache-dir DIR]\n\
+         \u{20}                      [--drain-deadline-secs N]\n\
          \u{20}                      run the compilation daemon (docs/questd-protocol.md)\n\
          \u{20}      quest-cli client [--addr HOST:PORT] INPUT.qasm [flags]\n\
          \u{20}                      submit a job to a running daemon\n\
+         \u{20}      quest-cli client metrics  [--addr HOST:PORT]\n\
+         \u{20}                      print the daemon's Prometheus counter exposition\n\
+         \u{20}      quest-cli client shutdown [--addr HOST:PORT]\n\
+         \u{20}                      ask the daemon to drain gracefully and exit\n\
          \n\
          usage: quest-cli INPUT.qasm [--epsilon E] [--block-size K] [--samples M]\n\
          \u{20}                 [--seed S] [--out-dir DIR] [--fast] [--qiskit]\n\
@@ -245,7 +252,8 @@ fn main() -> ExitCode {
     }
 }
 
-/// `quest-cli serve`: run the questd daemon until killed. Thin wrapper over
+/// `quest-cli serve`: run the questd daemon until a client sends the
+/// `shutdown` op, then drain gracefully. Thin wrapper over
 /// [`questd::Server`] so service workflows need only the one binary.
 fn serve(argv: &[String]) -> Result<(), String> {
     let mut addr = String::from("127.0.0.1:7878");
@@ -268,26 +276,89 @@ fn serve(argv: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("--queue-capacity: {e}"))?
             }
             "--cache-dir" => config.cache_dir = Some(value("--cache-dir")?.into()),
+            "--drain-deadline-secs" => {
+                config.drain_deadline = std::time::Duration::from_secs(
+                    value("--drain-deadline-secs")?
+                        .parse()
+                        .map_err(|e| format!("--drain-deadline-secs: {e}"))?,
+                )
+            }
             other => {
                 return Err(format!(
                     "serve: unknown argument {other}\n\
                      usage: quest-cli serve [--addr HOST:PORT] [--workers N] \
-                     [--queue-capacity N] [--cache-dir DIR]"
+                     [--queue-capacity N] [--cache-dir DIR] [--drain-deadline-secs N]"
                 ));
             }
         }
     }
+    let drain_deadline = config.drain_deadline;
     let server =
         questd::Server::bind(&addr, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     println!("questd listening on {}", server.local_addr());
-    loop {
-        std::thread::park();
+    server.wait_for_drain_request();
+    let report = server.drain(drain_deadline);
+    if report.completed {
+        println!("questd drained in {:.3}s", report.seconds);
+        Ok(())
+    } else {
+        Err(format!(
+            "drain deadline exceeded after {:.3}s; exiting with jobs in flight",
+            report.seconds
+        ))
+    }
+}
+
+/// `quest-cli client metrics` / `client shutdown`: the admin verbs, which
+/// take no input circuit — only `--addr`.
+fn client_admin(verb: &str, argv: &[String]) -> Result<(), String> {
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = it
+                    .next()
+                    .ok_or_else(|| "--addr needs a value".to_string())?
+                    .clone();
+            }
+            other => {
+                return Err(format!(
+                    "client {verb}: unknown argument {other}\n\
+                     usage: quest-cli client {verb} [--addr HOST:PORT]"
+                ));
+            }
+        }
+    }
+    let mut client = questd::Client::connect(&addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e} (is `quest-cli serve` running?)"))?;
+    match verb {
+        "metrics" => {
+            let text = client.metrics().map_err(|e| format!("metrics: {e}"))?;
+            print!("{text}");
+            Ok(())
+        }
+        "shutdown" => {
+            let queued = client
+                .shutdown_server()
+                .map_err(|e| format!("shutdown: {e}"))?;
+            println!("daemon draining ({queued} job(s) still queued)");
+            Ok(())
+        }
+        other => Err(format!("client: unknown admin verb {other}")),
     }
 }
 
 /// `quest-cli client`: submit one circuit to a running daemon, stream its
 /// progress events to stderr, and print (or write) the returned RunReport.
+/// The admin verbs `client metrics` and `client shutdown` dispatch to
+/// [`client_admin`] instead.
 fn client(argv: &[String]) -> Result<(), String> {
+    if let Some(first) = argv.first() {
+        if first == "metrics" || first == "shutdown" {
+            return client_admin(first, &argv[1..]);
+        }
+    }
     let mut addr = String::from("127.0.0.1:7878");
     let mut input: Option<PathBuf> = None;
     let mut config = questd::JobConfig::default();
